@@ -1,0 +1,55 @@
+// Ablation (DESIGN.md): what do the individual MuSE ingredients buy?
+//  * full aMuSE            — arbitrary projections + multi-sink placements
+//  * single-sink only      — arbitrary projections, enable_multi_sink=false
+//  * no beneficial pruning — plan quality check for the Def. 13 pruning
+//  * oOP                   — hierarchy projections, single sink (baseline)
+
+#include "bench/bench_common.h"
+
+namespace muse::bench {
+namespace {
+
+double Ratio(const WorkloadCatalogs& catalogs, const PlannerOptions& opts) {
+  return PlanWorkloadAmuse(catalogs, opts).transmission_ratio;
+}
+
+void Run() {
+  PrintTitle("Ablation: contribution of multi-sink placements and pruning");
+  PrintHeader({"seed", "aMuSE", "single-sink", "no-pruning", "oOP"});
+  SweepConfig cfg;
+  for (uint64_t seed : {901, 902, 903, 904}) {
+    Rng rng(seed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = cfg.num_nodes;
+    nopts.num_types = cfg.num_types;
+    nopts.event_node_ratio = cfg.event_node_ratio;
+    nopts.rate_skew = cfg.rate_skew;
+    Network net = MakeRandomNetwork(nopts, rng);
+    SelectivityModel model(cfg.num_types, cfg.min_selectivity,
+                           cfg.max_selectivity, rng);
+    QueryGenOptions qopts;
+    qopts.num_queries = cfg.num_queries;
+    qopts.avg_primitives = cfg.avg_primitives;
+    qopts.num_types = cfg.num_types;
+    std::vector<Query> workload = GenerateWorkload(qopts, model, rng);
+    WorkloadCatalogs catalogs(workload, net);
+
+    PlannerOptions full = BenchPlannerOptions(false);
+    PlannerOptions no_ms = full;
+    no_ms.enable_multi_sink = false;
+    PlannerOptions no_prune = full;
+    no_prune.prune_beneficial = false;
+
+    PrintRow({std::to_string(seed), Fmt(Ratio(catalogs, full)),
+              Fmt(Ratio(catalogs, no_ms)), Fmt(Ratio(catalogs, no_prune)),
+              Fmt(PlanWorkloadOop(catalogs).transmission_ratio)});
+  }
+}
+
+}  // namespace
+}  // namespace muse::bench
+
+int main() {
+  muse::bench::Run();
+  return 0;
+}

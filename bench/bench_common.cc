@@ -1,0 +1,107 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+namespace muse::bench {
+
+PlannerOptions BenchPlannerOptions(bool star) {
+  PlannerOptions opts;
+  opts.star = star;
+  // Trimmed search budgets: measured to keep plan quality within a few
+  // percent of the full-budget plans on the large configuration while
+  // roughly halving sweep wall time (see EXPERIMENTS.md).
+  opts.combo.max_combinations = 6000;
+  opts.max_graphs = 150'000;
+  return opts;
+}
+
+RatioPoint RunRatioPoint(const SweepConfig& config, uint64_t base_seed) {
+  std::vector<double> amuse_ratios;
+  std::vector<double> star_ratios;
+  std::vector<double> oop_ratios;
+  RatioPoint point;
+  for (int s = 0; s < config.seeds; ++s) {
+    Rng rng(base_seed + static_cast<uint64_t>(s) * 7919);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = config.num_nodes;
+    nopts.num_types = config.num_types;
+    nopts.event_node_ratio = config.event_node_ratio;
+    nopts.rate_skew = config.rate_skew;
+    Network net = MakeRandomNetwork(nopts, rng);
+
+    SelectivityModel model(config.num_types, config.min_selectivity,
+                           config.max_selectivity, rng);
+    QueryGenOptions qopts;
+    qopts.num_queries = config.num_queries;
+    qopts.avg_primitives = config.avg_primitives;
+    qopts.num_types = config.num_types;
+    std::vector<Query> workload = GenerateWorkload(qopts, model, rng);
+    WorkloadCatalogs catalogs(workload, net);
+
+    // Ratio sweeps run the sequential pass only (refinement sweeps are an
+    // extension of ours and would double the planning time of the large
+    // configurations; Table 3 / Fig. 8 keep them on).
+    PlannerOptions amuse_opts = BenchPlannerOptions(false);
+    amuse_opts.refine_passes = 0;
+    PlannerOptions star_opts = BenchPlannerOptions(true);
+    star_opts.refine_passes = 0;
+    WorkloadPlan amuse = PlanWorkloadAmuse(catalogs, amuse_opts);
+    WorkloadPlan star = PlanWorkloadAmuse(catalogs, star_opts);
+    WorkloadPlan oop = PlanWorkloadOop(catalogs);
+
+    amuse_ratios.push_back(amuse.transmission_ratio);
+    star_ratios.push_back(star.transmission_ratio);
+    oop_ratios.push_back(oop.transmission_ratio);
+    point.amuse_seconds += amuse.aggregate_stats.elapsed_seconds;
+    point.star_seconds += star.aggregate_stats.elapsed_seconds;
+    point.amuse_projections += amuse.aggregate_stats.projections_considered;
+    point.star_projections += star.aggregate_stats.projections_considered;
+  }
+  point.amuse = Distribution::Of(std::move(amuse_ratios));
+  point.star = Distribution::Of(std::move(star_ratios));
+  point.oop = Distribution::Of(std::move(oop_ratios));
+  point.amuse_seconds /= config.seeds;
+  point.star_seconds /= config.seeds;
+  point.amuse_projections /= config.seeds;
+  point.star_projections /= config.seeds;
+  return point;
+}
+
+void PrintTitle(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+namespace {
+void PrintCells(const std::vector<std::string>& cells, bool rule) {
+  for (const std::string& c : cells) std::printf("%-22s", c.c_str());
+  std::printf("\n");
+  if (rule) {
+    for (size_t i = 0; i < cells.size(); ++i) std::printf("%-22s", "------");
+    std::printf("\n");
+  }
+}
+}  // namespace
+
+void PrintHeader(const std::vector<std::string>& columns) {
+  PrintCells(columns, /*rule=*/true);
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  PrintCells(cells, /*rule=*/false);
+}
+
+std::string Fmt(double v) {
+  char buf[48];
+  if (v != 0 && (v < 0.001 || v >= 100000)) {
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+std::string FmtDist(const Distribution& d) {
+  return Fmt(d.p50) + " [" + Fmt(d.min) + ".." + Fmt(d.max) + "]";
+}
+
+}  // namespace muse::bench

@@ -1,0 +1,74 @@
+#ifndef MUSE_BENCH_BENCH_COMMON_H_
+#define MUSE_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/multi_query.h"
+#include "src/dist/metrics.h"
+#include "src/net/network_gen.h"
+#include "src/workload/query_gen.h"
+
+namespace muse::bench {
+
+/// One experiment point of the simulation study (§7.2): network + workload
+/// parameters. Defaults are the paper's default configuration.
+struct SweepConfig {
+  int num_nodes = 20;
+  int num_types = 15;
+  double event_node_ratio = 0.5;
+  double rate_skew = 1.5;
+  double min_selectivity = 0.01;
+  double max_selectivity = 0.2;
+  int num_queries = 5;
+  int avg_primitives = 6;
+  /// Independent repetitions (distinct seeds); the paper reports variance
+  /// via box plots.
+  int seeds = 3;
+
+  /// The paper's "large" configuration for scalability experiments:
+  /// 50 nodes, 20 types, 15 queries with 8 primitives on average.
+  SweepConfig Large() const {
+    SweepConfig c = *this;
+    c.num_nodes = 50;
+    c.num_types = 20;
+    c.num_queries = 15;
+    c.avg_primitives = 8;
+    c.seeds = 2;
+    return c;
+  }
+};
+
+/// Transmission ratios of one experiment point, per strategy, aggregated
+/// over seeds.
+struct RatioPoint {
+  Distribution amuse;
+  Distribution star;
+  Distribution oop;
+  /// Planner statistics summed over queries, averaged over seeds.
+  double amuse_seconds = 0;
+  double star_seconds = 0;
+  double amuse_projections = 0;
+  double star_projections = 0;
+};
+
+/// Runs the three strategies on `config.seeds` random instances and
+/// aggregates transmission ratios (network cost / centralized cost, §7.1).
+RatioPoint RunRatioPoint(const SweepConfig& config, uint64_t base_seed);
+
+/// Planner options used by all benches (guarded combination enumeration).
+PlannerOptions BenchPlannerOptions(bool star);
+
+/// Prints a Markdown-ish table header / row; `columns` are right-aligned.
+void PrintTitle(const std::string& title);
+void PrintHeader(const std::vector<std::string>& columns);
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Formats a double compactly ("0.0123", "1.2e-05").
+std::string Fmt(double v);
+/// Formats a distribution as "p50 [min..max]".
+std::string FmtDist(const Distribution& d);
+
+}  // namespace muse::bench
+
+#endif  // MUSE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,32 @@
+// Fig. 5a/5b: transmission ratio vs event node ratio, for the default
+// configuration (20 nodes / 15 types, 5 queries) and the large one
+// (50 nodes / 20 types, 15 queries). Lower is better; 1.0 == centralized.
+
+#include "bench/bench_common.h"
+
+namespace muse::bench {
+namespace {
+
+void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
+  PrintTitle(title);
+  PrintHeader({"event_node_ratio", "aMuSE", "aMuSE*", "oOP"});
+  for (double ratio : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    SweepConfig cfg = base;
+    cfg.event_node_ratio = ratio;
+    RatioPoint p = RunRatioPoint(cfg, seed);
+    PrintRow({Fmt(ratio), FmtDist(p.amuse), FmtDist(p.star), FmtDist(p.oop)});
+  }
+}
+
+}  // namespace
+}  // namespace muse::bench
+
+int main() {
+  using namespace muse::bench;
+  SweepConfig base;
+  RunSweep("Fig 5a: transmission ratio vs event node ratio (default)", base,
+           501);
+  RunSweep("Fig 5b: transmission ratio vs event node ratio (large)",
+           base.Large(), 502);
+  return 0;
+}

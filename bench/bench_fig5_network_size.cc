@@ -1,0 +1,34 @@
+// Fig. 5c/5d: transmission ratio vs network size. Unlike the event-node
+// ratio sweep, growing the network grows the number of producers per type
+// without bound, which widens the aMuSE / aMuSE* gap (§7.2).
+
+#include "bench/bench_common.h"
+
+namespace muse::bench {
+namespace {
+
+void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
+  PrintTitle(title);
+  PrintHeader({"num_nodes", "aMuSE", "aMuSE*", "oOP"});
+  for (int nodes : {10, 20, 30, 40, 50}) {
+    SweepConfig cfg = base;
+    cfg.num_nodes = nodes;
+    RatioPoint p = RunRatioPoint(cfg, seed);
+    PrintRow({std::to_string(nodes), FmtDist(p.amuse), FmtDist(p.star),
+              FmtDist(p.oop)});
+  }
+}
+
+}  // namespace
+}  // namespace muse::bench
+
+int main() {
+  using namespace muse::bench;
+  SweepConfig base;
+  RunSweep("Fig 5c: transmission ratio vs network size (default workload)",
+           base, 503);
+  SweepConfig large = base.Large();
+  RunSweep("Fig 5d: transmission ratio vs network size (large workload)",
+           large, 504);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 7d: efficiency of MuSE graph construction — wall-clock planning time
+// and number of projections considered, aMuSE vs aMuSE*, across the
+// experiment configurations of Figs. 5-7. aMuSE* explores fewer projections
+// and placements and is correspondingly faster (§7.2).
+
+#include "bench/bench_common.h"
+
+namespace muse::bench {
+namespace {
+
+void Point(const char* label, const SweepConfig& cfg, uint64_t seed) {
+  RatioPoint p = RunRatioPoint(cfg, seed);
+  PrintRow({label, Fmt(p.amuse_seconds), Fmt(p.star_seconds),
+            Fmt(p.amuse_projections), Fmt(p.star_projections)});
+}
+
+}  // namespace
+}  // namespace muse::bench
+
+int main() {
+  using namespace muse::bench;
+  PrintTitle("Fig 7d: construction time (s) and projections considered");
+  PrintHeader({"config", "aMuSE time", "aMuSE* time", "aMuSE #proj",
+               "aMuSE* #proj"});
+
+  SweepConfig base;
+  Point("default", base, 751);
+
+  SweepConfig ratio02 = base;
+  ratio02.event_node_ratio = 0.2;
+  Point("ratio=0.2", ratio02, 752);
+
+  SweepConfig ratio10 = base;
+  ratio10.event_node_ratio = 1.0;
+  Point("ratio=1.0", ratio10, 753);
+
+  SweepConfig skew11 = base;
+  skew11.rate_skew = 1.1;
+  Point("skew=1.1", skew11, 754);
+
+  SweepConfig skew20 = base;
+  skew20.rate_skew = 2.0;
+  Point("skew=2.0", skew20, 755);
+
+  SweepConfig sel = base;
+  sel.min_selectivity = 0.2;
+  sel.max_selectivity = 0.21;
+  Point("sel>=0.2", sel, 756);
+
+  Point("large", base.Large(), 757);
+  return 0;
+}

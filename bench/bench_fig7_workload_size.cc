@@ -1,0 +1,31 @@
+// Fig. 7c: transmission ratio vs workload size. Plan quality is largely
+// insensitive to the number of queries; small workloads reference fewer
+// types, shrinking the centralized reference and thus the improvement
+// headroom (§7.2).
+
+#include "bench/bench_common.h"
+
+namespace muse::bench {
+namespace {
+
+void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
+  PrintTitle(title);
+  PrintHeader({"num_queries", "aMuSE", "aMuSE*", "oOP"});
+  for (int queries : {1, 3, 5, 10, 15}) {
+    SweepConfig cfg = base;
+    cfg.num_queries = queries;
+    RatioPoint p = RunRatioPoint(cfg, seed);
+    PrintRow({std::to_string(queries), FmtDist(p.amuse), FmtDist(p.star),
+              FmtDist(p.oop)});
+  }
+}
+
+}  // namespace
+}  // namespace muse::bench
+
+int main() {
+  using namespace muse::bench;
+  SweepConfig base;
+  RunSweep("Fig 7c: transmission ratio vs workload size", base, 703);
+  return 0;
+}

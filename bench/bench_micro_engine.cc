@@ -1,0 +1,87 @@
+// Google-benchmark microbenchmarks of the CEP engine: event throughput of
+// centralized evaluation for SEQ/AND patterns, with and without equality
+// join keys, measured in events/second.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/cep/engine.h"
+#include "src/cep/parser.h"
+#include "src/net/trace.h"
+
+namespace muse::bench {
+namespace {
+
+struct EngineInstance {
+  TypeRegistry reg;
+  Query query;
+  std::vector<Event> trace;
+
+  EngineInstance(const std::string& pattern, uint64_t window_ms,
+                 int64_t key_cardinality) {
+    Query q = ParseQuery(pattern, &reg).value();
+    q.set_window(window_ms);
+    query = q;
+    Network net(4, reg.size());
+    for (NodeId n = 0; n < 4; ++n) {
+      for (int t = 0; t < reg.size(); ++t) {
+        net.AddProducer(n, static_cast<EventTypeId>(t));
+      }
+    }
+    for (int t = 0; t < reg.size(); ++t) {
+      net.SetRate(static_cast<EventTypeId>(t), 25.0);
+    }
+    TraceOptions topts;
+    topts.duration_ms = 20'000;
+    topts.attr_cardinality[0] = key_cardinality;
+    Rng rng(5);
+    trace = GenerateGlobalTrace(net, topts, rng);
+  }
+};
+
+void RunEngine(benchmark::State& state, EngineInstance& inst) {
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    QueryEngine engine(inst.query);
+    std::vector<Match> out;
+    for (const Event& e : inst.trace) {
+      engine.OnEvent(e, &out);
+      matches += out.size();
+      out.clear();
+    }
+    engine.Flush(&out);
+    matches += out.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(inst.trace.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+void BM_SeqKeyed(benchmark::State& state) {
+  EngineInstance inst(
+      "SEQ(A a, B b, D d) WHERE a.a0 == b.a0 AND b.a0 == d.a0", 500, 1000);
+  RunEngine(state, inst);
+}
+BENCHMARK(BM_SeqKeyed);
+
+void BM_AndKeyed(benchmark::State& state) {
+  EngineInstance inst(
+      "AND(A a, B b, D d) WHERE a.a0 == b.a0 AND b.a0 == d.a0", 500, 1000);
+  RunEngine(state, inst);
+}
+BENCHMARK(BM_AndKeyed);
+
+void BM_SeqUnkeyedSmallWindow(benchmark::State& state) {
+  EngineInstance inst("SEQ(A, B)", 100, 4);
+  RunEngine(state, inst);
+}
+BENCHMARK(BM_SeqUnkeyedSmallWindow);
+
+void BM_NseqKeyedWindow(benchmark::State& state) {
+  EngineInstance inst("NSEQ(A, B, D)", 200, 8);
+  RunEngine(state, inst);
+}
+BENCHMARK(BM_NseqKeyedWindow);
+
+}  // namespace
+}  // namespace muse::bench

@@ -1,0 +1,83 @@
+// Google-benchmark microbenchmarks of the planner building blocks:
+// catalog construction (projection enumeration), combination enumeration,
+// and full aMuSE / aMuSE* / oOP planning on the default configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/combination.h"
+#include "src/core/placement_oop.h"
+
+namespace muse::bench {
+namespace {
+
+struct Instance {
+  Network net;
+  std::vector<Query> workload;
+
+  explicit Instance(int avg_primitives = 6) : net(1, 1) {
+    Rng rng(1234);
+    NetworkGenOptions nopts;
+    net = MakeRandomNetwork(nopts, rng);
+    SelectivityModel model(nopts.num_types, 0.01, 0.2, rng);
+    QueryGenOptions qopts;
+    qopts.avg_primitives = avg_primitives;
+    qopts.num_queries = 1;
+    workload = GenerateWorkload(qopts, model, rng);
+  }
+};
+
+void BM_CatalogConstruction(benchmark::State& state) {
+  Instance inst(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ProjectionCatalog cat(inst.workload[0], inst.net);
+    benchmark::DoNotOptimize(cat.All().size());
+  }
+}
+BENCHMARK(BM_CatalogConstruction)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_CombinationEnumeration(benchmark::State& state) {
+  TypeSet target = TypeSet::FirstN(static_cast<int>(state.range(0)));
+  std::vector<TypeSet> candidates;
+  ForEachNonEmptySubset(target, [&](TypeSet s) {
+    if (s != target) candidates.push_back(s);
+  });
+  for (auto _ : state) {
+    auto combos = EnumerateCombinations(target, candidates);
+    benchmark::DoNotOptimize(combos.size());
+  }
+}
+BENCHMARK(BM_CombinationEnumeration)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_PlanAmuse(benchmark::State& state) {
+  Instance inst;
+  ProjectionCatalog cat(inst.workload[0], inst.net);
+  for (auto _ : state) {
+    PlanResult r = PlanQuery(cat, BenchPlannerOptions(false));
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+BENCHMARK(BM_PlanAmuse);
+
+void BM_PlanAmuseStar(benchmark::State& state) {
+  Instance inst;
+  ProjectionCatalog cat(inst.workload[0], inst.net);
+  for (auto _ : state) {
+    PlanResult r = PlanQuery(cat, BenchPlannerOptions(true));
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+BENCHMARK(BM_PlanAmuseStar);
+
+void BM_PlanOop(benchmark::State& state) {
+  Instance inst;
+  ProjectionCatalog cat(inst.workload[0], inst.net);
+  for (auto _ : state) {
+    OopPlan p = PlanOperatorPlacement(cat);
+    benchmark::DoNotOptimize(p.cost);
+  }
+}
+BENCHMARK(BM_PlanOop);
+
+}  // namespace
+}  // namespace muse::bench

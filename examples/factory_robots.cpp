@@ -1,0 +1,81 @@
+// The paper's motivating scenario (§1, Fig. 1): three autonomous transport
+// robots emit camera (C) and lidar (L) events at high rates and rare floor
+// clearance (F) events. The query SEQ(AND(C,L), F) detects an obstacle seen
+// by both sensors followed by a clearance report.
+//
+// This example contrasts the three evaluation strategies of Fig. 1:
+//   (a) naive/centralized   — every event to one robot;
+//   (b) operator placement  — AND(C,L) placed at the best single robot;
+//   (c) MuSE graph          — arbitrary projections (e.g. SEQ(C,F)) and
+//                             multiple sinks; the high-rate sensor streams
+//                             never leave their robots.
+
+#include <cstdio>
+
+#include "src/cep/parser.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/dist/simulator.h"
+#include "src/net/trace.h"
+
+int main() {
+  using namespace muse;
+
+  TypeRegistry registry;
+  Query query = ParseQuery("SEQ(AND(C, L), F) WITHIN 1s", &registry).value();
+  // Obstacle correlation: camera and lidar must report the same obstacle id.
+  query.AddPredicate(Predicate::Equality(registry.Find("C"), 0,
+                                         registry.Find("L"), 0, 0.05));
+
+  // Fig. 1: R1 emits C and F, R2 emits C and L, R3 emits L and F.
+  const EventTypeId kC = registry.Find("C");
+  const EventTypeId kL = registry.Find("L");
+  const EventTypeId kF = registry.Find("F");
+  Network robots(3, 3);
+  robots.AddProducer(0, kC);
+  robots.AddProducer(0, kF);
+  robots.AddProducer(1, kC);
+  robots.AddProducer(1, kL);
+  robots.AddProducer(2, kL);
+  robots.AddProducer(2, kF);
+  robots.SetRate(kC, 60.0);  // sensors: high rate
+  robots.SetRate(kL, 60.0);
+  robots.SetRate(kF, 0.4);  // clearance: rare
+
+  WorkloadCatalogs catalogs({query}, robots);
+  double naive = CentralizedWorkloadCost(robots, {query});
+  WorkloadPlan oop = PlanWorkloadOop(catalogs);
+  WorkloadPlan muse_plan = PlanWorkloadAmuse(catalogs);
+
+  std::printf("query: %s\n\n", query.ToString(&registry).c_str());
+  std::printf("(a) naive / centralized : %8.1f events/s over WiFi\n", naive);
+  std::printf("(b) operator placement  : %8.1f events/s (%.1f%% of naive)\n",
+              oop.total_cost, 100 * oop.transmission_ratio);
+  std::printf("(c) MuSE graph          : %8.1f events/s (%.1f%% of naive)\n\n",
+              muse_plan.total_cost, 100 * muse_plan.transmission_ratio);
+  std::printf("MuSE evaluation plan:\n%s\n",
+              muse_plan.combined.ToString(&registry).c_str());
+
+  // Run a minute of robot traffic through the distributed runtime.
+  Rng rng(16);
+  TraceOptions topts;
+  topts.duration_ms = 60'000;
+  topts.attr_cardinality[0] = 10;  // obstacle ids
+  std::vector<Event> trace = GenerateGlobalTrace(robots, topts, rng);
+
+  Deployment deployment(muse_plan.combined, catalogs.Pointers());
+  SimOptions sim_opts;
+  sim_opts.collect_matches = true;
+  DistributedSimulator sim(deployment, sim_opts);
+  SimReport report = sim.Run(trace);
+
+  std::printf("replayed %llu robot events: %zu obstacle patterns detected\n",
+              static_cast<unsigned long long>(report.source_events),
+              report.matches_per_query[0].size());
+  std::printf("network messages: %llu (vs %llu events total)\n",
+              static_cast<unsigned long long>(report.network_messages),
+              static_cast<unsigned long long>(report.source_events));
+  std::printf("detection latency: %s\n",
+              report.latency_ms.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "src/cep/engine.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+QueryEngine::QueryEngine(const Query& q, EvaluatorOptions options)
+    : query_(q) {
+  MUSE_CHECK(!q.ContainsOr(),
+             "QueryEngine evaluates OR-free queries; use SplitDisjunctions");
+  std::vector<Query> parts;
+  part_of_type_.assign(64, -1);
+  for (EventTypeId t : q.PositiveTypes()) {
+    part_of_type_[t] = static_cast<int>(parts.size());
+    parts.push_back(q.PrimitiveProjection(t));
+  }
+  // One anti part + sub-engine per NSEQ middle child.
+  std::vector<int> middle_roots;
+  for (int i = 0; i < q.num_ops(); ++i) {
+    if (q.op(i).kind == OpKind::kNseq) {
+      middle_roots.push_back(q.op(i).children[1]);
+    }
+  }
+  std::vector<int> anti_part_idx;
+  for (int mid : middle_roots) {
+    anti_part_idx.push_back(static_cast<int>(parts.size()));
+    parts.push_back(q.Subquery(mid));
+  }
+  main_ = std::make_unique<ProjectionEvaluator>(q, std::move(parts), options);
+  for (size_t i = 0; i < middle_roots.size(); ++i) {
+    MiddleEngine me;
+    me.engine = std::make_unique<QueryEngine>(q.Subquery(middle_roots[i]),
+                                              options);
+    me.anti_part = anti_part_idx[i];
+    middles_.push_back(std::move(me));
+  }
+}
+
+void QueryEngine::OnEvent(const Event& e, std::vector<Match>* out) {
+  // Route to NSEQ middle sub-engines first so that an invalidating anti
+  // match is known before any candidate using later events forms.
+  for (MiddleEngine& me : middles_) {
+    if (!me.engine->query().PrimitiveTypes().Contains(e.type)) continue;
+    std::vector<Match> anti;
+    me.engine->OnEvent(e, &anti);
+    me.engine->Flush(&anti);
+    for (const Match& m : anti) {
+      main_->OnMatch(me.anti_part, m, out);
+    }
+  }
+  if (static_cast<size_t>(e.type) < part_of_type_.size() &&
+      part_of_type_[e.type] >= 0) {
+    main_->OnEvent(part_of_type_[e.type], e, out);
+  }
+}
+
+void QueryEngine::Flush(std::vector<Match>* out) { main_->Flush(out); }
+
+WorkloadEngine::WorkloadEngine(const std::vector<Query>& workload,
+                               EvaluatorOptions options) {
+  engines_.reserve(workload.size());
+  for (const Query& q : workload) engines_.emplace_back(q, options);
+}
+
+void WorkloadEngine::OnEvent(const Event& e,
+                             std::vector<std::vector<Match>>* out) {
+  out->resize(engines_.size());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    engines_[i].OnEvent(e, &(*out)[i]);
+  }
+}
+
+void WorkloadEngine::Flush(std::vector<std::vector<Match>>* out) {
+  out->resize(engines_.size());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    engines_[i].Flush(&(*out)[i]);
+  }
+}
+
+}  // namespace muse

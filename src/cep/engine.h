@@ -1,0 +1,71 @@
+#ifndef MUSE_CEP_ENGINE_H_
+#define MUSE_CEP_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cep/evaluator.h"
+#include "src/cep/match.h"
+#include "src/cep/query.h"
+
+namespace muse {
+
+/// Centralized evaluation of a single (OR-free) query over a stream of raw
+/// events: the reference model in which all events are gathered at one
+/// location (§1). Internally one `ProjectionEvaluator` with a singleton
+/// primitive part per positive type, plus one sub-engine per NSEQ middle
+/// child whose matches feed the main evaluator's anti part.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Query& q, EvaluatorOptions options = {});
+
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+
+  const Query& query() const { return query_; }
+
+  /// Feeds one event of the global trace; completed matches are appended to
+  /// `out`. Events of types not referenced by the query are ignored.
+  void OnEvent(const Event& e, std::vector<Match>* out);
+
+  /// Emits pending NSEQ candidates (no-op for negation-free queries).
+  void Flush(std::vector<Match>* out);
+
+  const EvaluatorStats& stats() const { return main_->stats(); }
+
+ private:
+  Query query_;
+  std::unique_ptr<ProjectionEvaluator> main_;
+  /// part index in `main_` for each positive primitive type; -1 otherwise.
+  std::vector<int> part_of_type_;
+
+  /// One sub-engine per NSEQ middle child; its outputs are the anti inputs
+  /// of `main_`.
+  struct MiddleEngine {
+    std::unique_ptr<QueryEngine> engine;
+    int anti_part;
+  };
+  std::vector<MiddleEngine> middles_;
+};
+
+/// Evaluates a workload of OR-free queries centrally; convenience wrapper
+/// used by tests and the centralized baseline.
+class WorkloadEngine {
+ public:
+  explicit WorkloadEngine(const std::vector<Query>& workload,
+                          EvaluatorOptions options = {});
+
+  /// Feeds one event; `out[i]` receives completed matches of query i.
+  void OnEvent(const Event& e, std::vector<std::vector<Match>>* out);
+  void Flush(std::vector<std::vector<Match>>* out);
+
+  int num_queries() const { return static_cast<int>(engines_.size()); }
+  const QueryEngine& engine(int i) const { return engines_[i]; }
+
+ private:
+  std::vector<QueryEngine> engines_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_ENGINE_H_

@@ -1,0 +1,266 @@
+#include "src/cep/evaluator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace muse {
+namespace {
+
+/// Union-find over event type ids, used to detect a join attribute chaining
+/// all positive types.
+class TypeUnionFind {
+ public:
+  int Find(int x) {
+    while (parent_.size() <= static_cast<size_t>(x)) {
+      parent_.push_back(static_cast<int>(parent_.size()));
+    }
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Returns the attribute index if every equality predicate of `q` uses the
+/// same attribute on both sides and those predicates connect all positive
+/// types into one component; -1 otherwise.
+int DetectJoinAttr(const Query& q) {
+  int attr = -1;
+  TypeUnionFind uf;
+  TypeSet positive = q.PositiveTypes();
+  int num_equalities = 0;
+  for (const Predicate& p : q.predicates()) {
+    if (p.kind != Predicate::Kind::kEquality) continue;
+    if (!positive.ContainsAll(p.Types())) continue;
+    if (p.left_attr != p.right_attr) return -1;
+    if (attr == -1) attr = p.left_attr;
+    if (p.left_attr != attr) return -1;
+    uf.Merge(static_cast<int>(p.left_type), static_cast<int>(p.right_type));
+    ++num_equalities;
+  }
+  if (attr == -1 || num_equalities == 0) return -1;
+  if (positive.empty()) return -1;
+  int root = uf.Find(static_cast<int>(positive.First()));
+  for (EventTypeId t : positive) {
+    if (uf.Find(static_cast<int>(t)) != root) return -1;
+  }
+  return attr;
+}
+
+}  // namespace
+
+ProjectionEvaluator::ProjectionEvaluator(Query target,
+                                         std::vector<Query> parts,
+                                         EvaluatorOptions options)
+    : target_(std::move(target)), parts_(std::move(parts)), options_(options) {
+  MUSE_CHECK(target_.IsInitialized(), "evaluator needs a target query");
+  MUSE_CHECK(!parts_.empty(), "evaluator needs at least one part");
+
+  TypeSet negated = target_.NegatedTypes();
+  TypeSet positive_cover;
+  part_anti_.resize(parts_.size());
+  buffers_.resize(parts_.size());
+  for (int i = 0; i < num_parts(); ++i) {
+    // Polarity by primitive types; coverage by *positive* types, since a
+    // positive part may itself contain a full NSEQ whose negated events do
+    // not appear in its matches.
+    TypeSet prim = parts_[i].PrimitiveTypes();
+    const bool anti = !prim.empty() && prim.IsSubsetOf(negated);
+    part_anti_[i] = anti;
+    if (anti) {
+      anti_parts_.push_back(i);
+    } else {
+      TypeSet positive = parts_[i].PositiveTypes();
+      MUSE_CHECK(positive.IsSubsetOf(target_.PositiveTypes()),
+                 "positive part mixes positive and negated types");
+      positive_parts_.push_back(i);
+      positive_cover = positive_cover.Union(positive);
+    }
+  }
+  MUSE_CHECK(positive_cover == target_.PositiveTypes(),
+             "positive parts must cover the target's positive types");
+
+  // Wire each NSEQ operator to the anti part carrying its middle child's
+  // matches.
+  for (int idx = 0; idx < target_.num_ops(); ++idx) {
+    const QueryOp& op = target_.op(idx);
+    if (op.kind != OpKind::kNseq) continue;
+    NseqInfo info;
+    info.before = target_.SubtreeTypes(op.children[0]).Minus(negated);
+    info.after = target_.SubtreeTypes(op.children[2]).Minus(negated);
+    TypeSet middle = target_.SubtreeTypes(op.children[1]);
+    info.anti_part = -1;
+    for (int p : anti_parts_) {
+      if (parts_[p].PrimitiveTypes() == middle) {
+        info.anti_part = p;
+        break;
+      }
+    }
+    MUSE_CHECK(info.anti_part >= 0,
+               "NSEQ target needs an anti part matching the middle child");
+    nseqs_.push_back(info);
+  }
+
+  join_attr_ = DetectJoinAttr(target_);
+}
+
+int64_t ProjectionEvaluator::KeyOf(const Match& m) const {
+  if (join_attr_ < 0) return 0;
+  return m.events.front().attrs[join_attr_];
+}
+
+bool ProjectionEvaluator::SharesJoinKey(const Match& m) const {
+  if (join_attr_ < 0) return true;
+  const int64_t key = m.events.front().attrs[join_attr_];
+  for (const Event& e : m.events) {
+    if (e.attrs[join_attr_] != key) return false;
+  }
+  return true;
+}
+
+void ProjectionEvaluator::Insert(int part_idx, const Match& m) {
+  Buffer& buf = buffers_[part_idx];
+  buf.by_key[KeyOf(m)].push_back(m);
+  ++buf.size;
+  ++stats_.buffered;
+  stats_.peak_buffered = std::max(stats_.peak_buffered, stats_.buffered);
+  if (++inserts_since_eviction_ >= 256) EvictExpired();
+}
+
+void ProjectionEvaluator::EvictExpired() {
+  inserts_since_eviction_ = 0;
+  if (target_.window() == kNoWindow) return;
+  const uint64_t horizon = target_.window() + options_.eviction_slack_ms;
+  if (watermark_time_ <= horizon) return;
+  const uint64_t cutoff = watermark_time_ - horizon;
+  for (Buffer& buf : buffers_) {
+    for (auto it = buf.by_key.begin(); it != buf.by_key.end();) {
+      std::vector<Match>& matches = it->second;
+      auto keep_end = std::remove_if(
+          matches.begin(), matches.end(),
+          [cutoff](const Match& m) { return m.MaxTime() < cutoff; });
+      uint64_t removed = static_cast<uint64_t>(matches.end() - keep_end);
+      matches.erase(keep_end, matches.end());
+      buf.size -= removed;
+      stats_.buffered -= removed;
+      if (matches.empty()) {
+        it = buf.by_key.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ProjectionEvaluator::OnMatch(int part_idx, const Match& m,
+                                  std::vector<Match>* out) {
+  MUSE_CHECK(part_idx >= 0 && part_idx < num_parts(), "part index range");
+  MUSE_CHECK(!m.empty(), "empty match");
+  ++stats_.inputs;
+  watermark_time_ = std::max(watermark_time_, m.MaxTime());
+
+  if (part_anti_[part_idx]) {
+    // New anti match: store it and prune pending candidates it invalidates.
+    Insert(part_idx, m);
+    for (const NseqInfo& info : nseqs_) {
+      if (info.anti_part != part_idx) continue;
+      auto keep_end = std::remove_if(
+          pending_.begin(), pending_.end(), [&](const Match& cand) {
+            return AntiMatchInvalidates(cand, info.before, info.after, m);
+          });
+      pending_.erase(keep_end, pending_.end());
+    }
+    return;
+  }
+
+  if (!SharesJoinKey(m)) return;  // can never satisfy the equality chain
+  Insert(part_idx, m);
+  JoinFrom(part_idx, m, out);
+}
+
+void ProjectionEvaluator::JoinFrom(int arrival_part, const Match& m,
+                                   std::vector<Match>* out) {
+  // Join the new match with the buffers of all *other* positive parts.
+  std::vector<int> order;
+  for (int p : positive_parts_) {
+    if (p != arrival_part) order.push_back(p);
+  }
+  JoinRecursive(order, 0, m, KeyOf(m), out);
+}
+
+void ProjectionEvaluator::JoinRecursive(const std::vector<int>& order,
+                                        size_t depth, const Match& partial,
+                                        int64_t key, std::vector<Match>* out) {
+  if (options_.max_matches != 0 &&
+      stats_.matches_emitted >= options_.max_matches) {
+    return;
+  }
+  if (depth == order.size()) {
+    EmitCandidate(partial, out);
+    return;
+  }
+  const Buffer& buf = buffers_[order[depth]];
+  auto it = buf.by_key.find(key);
+  if (it == buf.by_key.end()) return;
+  const uint64_t window = target_.window();
+  for (const Match& other : it->second) {
+    if (window != kNoWindow) {
+      // Early window prune: the combined span must fit the window.
+      uint64_t lo = std::min(partial.MinTime(), other.MinTime());
+      uint64_t hi = std::max(partial.MaxTime(), other.MaxTime());
+      if (hi - lo > window) continue;
+    }
+    Match merged;
+    if (!MergeIfConsistent(partial, other, &merged)) continue;
+    JoinRecursive(order, depth + 1, merged, key, out);
+  }
+}
+
+void ProjectionEvaluator::EmitCandidate(const Match& candidate,
+                                        std::vector<Match>* out) {
+  ++stats_.candidates_checked;
+  if (!StructurallyMatches(target_, candidate)) return;
+  if (nseqs_.empty()) {
+    ++stats_.matches_emitted;
+    out->push_back(candidate);
+    return;
+  }
+  if (InvalidatedByAnti(candidate)) return;
+  // Hold until Flush: a later-arriving anti match may still invalidate it.
+  pending_.push_back(candidate);
+}
+
+bool ProjectionEvaluator::InvalidatedByAnti(const Match& candidate) const {
+  for (const NseqInfo& info : nseqs_) {
+    const Buffer& buf = buffers_[info.anti_part];
+    for (const auto& [key, matches] : buf.by_key) {
+      for (const Match& anti : matches) {
+        if (AntiMatchInvalidates(candidate, info.before, info.after, anti)) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void ProjectionEvaluator::Flush(std::vector<Match>* out) {
+  for (Match& m : pending_) {
+    if (options_.max_matches != 0 &&
+        stats_.matches_emitted >= options_.max_matches) {
+      break;
+    }
+    ++stats_.matches_emitted;
+    out->push_back(std::move(m));
+  }
+  pending_.clear();
+}
+
+}  // namespace muse

@@ -1,0 +1,136 @@
+#ifndef MUSE_CEP_EVALUATOR_H_
+#define MUSE_CEP_EVALUATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cep/match.h"
+#include "src/cep/query.h"
+
+namespace muse {
+
+/// Tuning knobs and runtime guards for a `ProjectionEvaluator`.
+struct EvaluatorOptions {
+  /// Extra slack (ms) added to the window when evicting buffered matches.
+  /// Needed when inputs from different parts arrive with skew (e.g. network
+  /// delay in the distributed runtime): a match is evicted only once no
+  /// in-flight input could still join with it. Callers must set this to at
+  /// least the maximum cross-part arrival skew.
+  uint64_t eviction_slack_ms = 0;
+
+  /// Hard cap on emitted matches; 0 means unlimited. Guards tests and
+  /// benches against the exponential blow-up inherent to
+  /// skip-till-any-match [26].
+  uint64_t max_matches = 0;
+};
+
+/// Load/progress counters; `peak_buffered` is the proxy for the number of
+/// maintained partial matches, which dominates per-node latency and
+/// throughput (§7.1, [26]).
+struct EvaluatorStats {
+  uint64_t inputs = 0;
+  uint64_t candidates_checked = 0;
+  uint64_t matches_emitted = 0;
+  uint64_t buffered = 0;
+  uint64_t peak_buffered = 0;
+};
+
+/// Evaluates one query projection from streams of matches of its
+/// combination's predecessor projections (§5.1).
+///
+/// This realizes the paper's per-node automata (§7.1): the inputs of the
+/// evaluator are matches of arbitrary sub-projections which may arrive in
+/// arbitrary relative order; ordering constraints of the target pattern are
+/// checked as guards when candidate matches are assembled (skip-till-any-
+/// match policy, §2.2).
+///
+/// Parts and polarity:
+///  * *positive* parts jointly cover the target's positive primitive types;
+///    overlapping parts are allowed — overlapping types must then agree on
+///    the shared event for a candidate to form (§5.1);
+///  * for every NSEQ in the target, exactly one *anti* part must supply the
+///    matches of the negated middle child; candidates invalidated by an
+///    anti match lying between the first and last child's spans are
+///    suppressed (§2.2). Because anti matches may arrive after a candidate
+///    was assembled, candidates of NSEQ targets are emitted on `Flush()`.
+///
+/// A plain event stream is fed as singleton matches of a primitive part.
+class ProjectionEvaluator {
+ public:
+  /// `target` is the projection to evaluate; `parts` its input projections.
+  /// Positive parts must jointly cover target.PositiveTypes(); each anti
+  /// part must exactly match one NSEQ middle child's type set.
+  ProjectionEvaluator(Query target, std::vector<Query> parts,
+                      EvaluatorOptions options = {});
+
+  int num_parts() const { return static_cast<int>(parts_.size()); }
+  const Query& part(int i) const { return parts_[i]; }
+  const Query& target() const { return target_; }
+  bool part_is_anti(int i) const { return part_anti_[i]; }
+
+  /// Feeds one match of part `part_idx`; newly completed matches of the
+  /// target are appended to `out` (for NSEQ targets, only on `Flush`).
+  void OnMatch(int part_idx, const Match& m, std::vector<Match>* out);
+
+  /// Convenience for primitive parts: wraps the event in a singleton match.
+  void OnEvent(int part_idx, const Event& e, std::vector<Match>* out) {
+    OnMatch(part_idx, Match::Single(e), out);
+  }
+
+  /// Emits pending candidates (NSEQ targets). Idempotent.
+  void Flush(std::vector<Match>* out);
+
+  const EvaluatorStats& stats() const { return stats_; }
+
+ private:
+  /// Per-part buffer of live matches, optionally hash-partitioned by the
+  /// value of the join attribute (see `join_attr_`).
+  struct Buffer {
+    std::unordered_map<int64_t, std::vector<Match>> by_key;
+    uint64_t size = 0;
+  };
+
+  int64_t KeyOf(const Match& m) const;
+  bool SharesJoinKey(const Match& m) const;
+  void Insert(int part_idx, const Match& m);
+  void EvictExpired();
+  void JoinFrom(int arrival_part, const Match& m, std::vector<Match>* out);
+  void JoinRecursive(const std::vector<int>& order, size_t depth,
+                     const Match& partial, int64_t key,
+                     std::vector<Match>* out);
+  void EmitCandidate(const Match& candidate, std::vector<Match>* out);
+  bool InvalidatedByAnti(const Match& candidate) const;
+
+  Query target_;
+  std::vector<Query> parts_;
+  std::vector<bool> part_anti_;
+  std::vector<int> positive_parts_;
+  std::vector<int> anti_parts_;
+  EvaluatorOptions options_;
+
+  /// If >= 0, all equality predicates of the target chain this attribute
+  /// across every positive type; buffers are hash-partitioned on it and
+  /// part matches not constant on it are dropped on insertion (they can
+  /// never complete a candidate).
+  int join_attr_ = -1;
+
+  /// For each NSEQ in the target: (positive types of first child, positive
+  /// types of last child, anti part index).
+  struct NseqInfo {
+    TypeSet before;
+    TypeSet after;
+    int anti_part;
+  };
+  std::vector<NseqInfo> nseqs_;
+
+  std::vector<Buffer> buffers_;
+  std::vector<Match> pending_;  // NSEQ candidates awaiting Flush
+  uint64_t watermark_time_ = 0;
+  uint64_t inserts_since_eviction_ = 0;
+  EvaluatorStats stats_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_EVALUATOR_H_

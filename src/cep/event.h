@@ -1,0 +1,50 @@
+#ifndef MUSE_CEP_EVENT_H_
+#define MUSE_CEP_EVENT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/typeset.h"
+
+namespace muse {
+
+/// Identifier of a network node (§2.1). Dense, starting at zero.
+using NodeId = uint32_t;
+
+/// Number of payload attributes carried by every event. Two attributes are
+/// sufficient for the paper's workloads (e.g. the cluster-monitoring queries
+/// correlate on a task id and a job id).
+inline constexpr int kNumAttrs = 2;
+
+/// An event: an instantiation of an event type with a unique identifier,
+/// an occurrence timestamp, an origin node, and payload attributes (§2.1).
+///
+/// `seq` is the event's position in the conceptual *global trace*: the
+/// interleaving of all local traces, totally ordered by timestamp with ties
+/// resolved deterministically (§2.1). All ordering decisions in query
+/// semantics (SEQ spans, NSEQ "in between") are made on `seq`, never on raw
+/// timestamps, so simultaneous events have unambiguous semantics.
+struct Event {
+  EventTypeId type = 0;
+  NodeId origin = 0;
+  /// Index in the global trace; unique and consistent with `time`.
+  uint64_t seq = 0;
+  /// Occurrence timestamp in milliseconds.
+  uint64_t time = 0;
+  /// Payload attributes referenced by predicates.
+  std::array<int64_t, kNumAttrs> attrs = {0, 0};
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.seq == b.seq;  // seq is unique within a trace
+  }
+
+  std::string ToString() const {
+    return "E" + std::to_string(type) + "@" + std::to_string(seq) + "/n" +
+           std::to_string(origin);
+  }
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_EVENT_H_

@@ -1,0 +1,189 @@
+#include "src/cep/match.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+uint64_t Match::MinTime() const {
+  uint64_t t = events.front().time;
+  for (const Event& e : events) t = std::min(t, e.time);
+  return t;
+}
+
+uint64_t Match::MaxTime() const {
+  uint64_t t = events.front().time;
+  for (const Event& e : events) t = std::max(t, e.time);
+  return t;
+}
+
+Match Match::Restrict(TypeSet types) const {
+  Match out;
+  for (const Event& e : events) {
+    if (types.Contains(e.type)) out.events.push_back(e);
+  }
+  return out;
+}
+
+std::string Match::Key() const {
+  std::string key;
+  for (const Event& e : events) {
+    key += std::to_string(e.seq);
+    key += ",";
+  }
+  return key;
+}
+
+std::string Match::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += " ";
+    out += events[i].ToString();
+  }
+  return out + "]";
+}
+
+bool operator==(const Match& a, const Match& b) {
+  if (a.events.size() != b.events.size()) return false;
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    if (a.events[i].seq != b.events[i].seq) return false;
+  }
+  return true;
+}
+
+bool MergeIfConsistent(const Match& a, const Match& b, Match* out) {
+  out->events.clear();
+  out->events.reserve(a.events.size() + b.events.size());
+  size_t i = 0;
+  size_t j = 0;
+  TypeSet seen;
+  auto push = [&](const Event& e) {
+    if (seen.Contains(e.type)) return false;  // two distinct events, one type
+    seen.Insert(e.type);
+    out->events.push_back(e);
+    return true;
+  };
+  while (i < a.events.size() && j < b.events.size()) {
+    if (a.events[i].seq == b.events[j].seq) {
+      // Same event contributed by both sides; keep one copy.
+      if (!push(a.events[i])) return false;
+      ++i;
+      ++j;
+    } else if (a.events[i].seq < b.events[j].seq) {
+      if (!push(a.events[i])) return false;
+      ++i;
+    } else {
+      if (!push(b.events[j])) return false;
+      ++j;
+    }
+  }
+  for (; i < a.events.size(); ++i) {
+    if (!push(a.events[i])) return false;
+  }
+  for (; j < b.events.size(); ++j) {
+    if (!push(b.events[j])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Span of the events of `m` whose types fall in `types`:
+/// (min seq, max seq). Returns false if no such event exists.
+bool SpanOf(const Match& m, TypeSet types, uint64_t* min_seq,
+            uint64_t* max_seq) {
+  bool found = false;
+  for (const Event& e : m.events) {
+    if (!types.Contains(e.type)) continue;
+    if (!found) {
+      *min_seq = e.seq;
+      *max_seq = e.seq;
+      found = true;
+    } else {
+      *min_seq = std::min(*min_seq, e.seq);
+      *max_seq = std::max(*max_seq, e.seq);
+    }
+  }
+  return found;
+}
+
+/// Recursively verifies the ordering constraints of the subtree at `idx`.
+/// NSEQ middle subtrees are skipped (their absence condition is checked
+/// against the negated child's match stream, not the candidate).
+bool OrderingHolds(const Query& q, const Match& m, int idx) {
+  const QueryOp& op = q.op(idx);
+  switch (op.kind) {
+    case OpKind::kPrimitive:
+      return true;
+    case OpKind::kAnd: {
+      for (int child : op.children) {
+        if (!OrderingHolds(q, m, child)) return false;
+      }
+      return true;
+    }
+    case OpKind::kSeq: {
+      uint64_t prev_max = 0;
+      bool have_prev = false;
+      for (int child : op.children) {
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        if (!SpanOf(m, q.SubtreeTypes(child), &lo, &hi)) return false;
+        if (have_prev && lo <= prev_max) return false;
+        prev_max = hi;
+        have_prev = true;
+        if (!OrderingHolds(q, m, child)) return false;
+      }
+      return true;
+    }
+    case OpKind::kNseq: {
+      uint64_t lo1 = 0;
+      uint64_t hi1 = 0;
+      uint64_t lo3 = 0;
+      uint64_t hi3 = 0;
+      if (!SpanOf(m, q.SubtreeTypes(op.children[0]), &lo1, &hi1)) return false;
+      if (!SpanOf(m, q.SubtreeTypes(op.children[2]), &lo3, &hi3)) return false;
+      if (lo3 <= hi1) return false;
+      return OrderingHolds(q, m, op.children[0]) &&
+             OrderingHolds(q, m, op.children[2]);
+    }
+    case OpKind::kOr:
+      // OR-free workloads only; evaluation goes through SplitDisjunctions.
+      MUSE_CHECK(false, "OrderingHolds on OR operator");
+  }
+  return false;
+}
+
+}  // namespace
+
+bool StructurallyMatches(const Query& q, const Match& m) {
+  TypeSet positive = q.PositiveTypes();
+  if (static_cast<int>(m.events.size()) != positive.size()) return false;
+  TypeSet present;
+  for (const Event& e : m.events) {
+    if (present.Contains(e.type)) return false;  // duplicate type
+    present.Insert(e.type);
+  }
+  if (present != positive) return false;
+  if (!OrderingHolds(q, m, q.root())) return false;
+  for (const Predicate& p : q.predicates()) {
+    if (!p.Eval(m.events)) return false;
+  }
+  if (q.window() != kNoWindow && m.MaxTime() - m.MinTime() > q.window()) {
+    return false;
+  }
+  return true;
+}
+
+bool AntiMatchInvalidates(const Match& m, TypeSet before_types,
+                          TypeSet after_types, const Match& anti) {
+  uint64_t before_lo = 0;
+  uint64_t before_hi = 0;
+  uint64_t after_lo = 0;
+  uint64_t after_hi = 0;
+  if (!SpanOf(m, before_types, &before_lo, &before_hi)) return false;
+  if (!SpanOf(m, after_types, &after_lo, &after_hi)) return false;
+  return anti.FirstSeq() > before_hi && anti.LastSeq() < after_lo;
+}
+
+}  // namespace muse

@@ -1,0 +1,66 @@
+#ifndef MUSE_CEP_MATCH_H_
+#define MUSE_CEP_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/cep/query.h"
+
+namespace muse {
+
+/// A match: a sequence of events, kept sorted by global-trace position
+/// (`seq`), i.e. in trace order (§2.2). A primitive event is a singleton
+/// match.
+struct Match {
+  std::vector<Event> events;
+
+  static Match Single(const Event& e) { return Match{{e}}; }
+
+  bool empty() const { return events.empty(); }
+  uint64_t FirstSeq() const { return events.front().seq; }
+  uint64_t LastSeq() const { return events.back().seq; }
+
+  uint64_t MinTime() const;
+  uint64_t MaxTime() const;
+
+  /// The events of the given types, as a (seq-sorted) sub-match.
+  Match Restrict(TypeSet types) const;
+
+  /// Stable identity of a match (the sorted seq list); used for
+  /// deduplication and for comparing match sets in tests.
+  std::string Key() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Match& a, const Match& b);
+};
+
+/// Merges two matches into their interleaving (sorted union of events).
+/// Fails — returns false — if the merge is inconsistent: the two matches
+/// contain *different* events of the same type. (Candidate matches of a
+/// query have at most one event per type; when combination parts overlap in
+/// a type, their matches must agree on that event, cf. §5.1.)
+/// Events with equal `seq` are the same event and are deduplicated.
+bool MergeIfConsistent(const Match& a, const Match& b, Match* out);
+
+/// Checks whether `m` is structurally a match of `q` (§2.2), ignoring
+/// NSEQ absence conditions (which require the trace context and are checked
+/// by the evaluator against the negated child's match stream):
+///  * exactly one event per positive primitive type of `q`, nothing else;
+///  * SEQ children's event spans strictly ordered; NSEQ's first child's span
+///    strictly before the last child's span;
+///  * all applicable predicates hold;
+///  * the window τ_q is respected.
+bool StructurallyMatches(const Query& q, const Match& m);
+
+/// True if some match of the negated pattern invalidates candidate `m`:
+/// for NSEQ(o1, o2, o3), an `anti` match lying strictly between the span of
+/// the o1 part of `m` and the span of the o3 part of `m` (§2.2).
+/// `before_types`/`after_types` are the positive types of o1 and o3 in `m`.
+bool AntiMatchInvalidates(const Match& m, TypeSet before_types,
+                          TypeSet after_types, const Match& anti);
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_MATCH_H_

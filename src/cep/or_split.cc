@@ -1,0 +1,80 @@
+#include "src/cep/or_split.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace muse {
+namespace {
+
+/// Returns all OR-free alternatives of the subtree rooted at `idx`.
+std::vector<Query> SplitSubtree(const Query& q, int idx) {
+  const QueryOp& op = q.op(idx);
+  if (op.kind == OpKind::kPrimitive) {
+    return {Query::Primitive(op.type)};
+  }
+  if (op.kind == OpKind::kOr) {
+    std::vector<Query> out;
+    for (int child : op.children) {
+      std::vector<Query> alts = SplitSubtree(q, child);
+      for (Query& alt : alts) out.push_back(std::move(alt));
+    }
+    return out;
+  }
+  // SEQ / AND / NSEQ: cartesian product over per-child alternatives.
+  std::vector<std::vector<Query>> child_alts;
+  child_alts.reserve(op.children.size());
+  for (int child : op.children) child_alts.push_back(SplitSubtree(q, child));
+
+  std::vector<std::vector<Query>> combos = {{}};
+  for (const std::vector<Query>& alts : child_alts) {
+    std::vector<std::vector<Query>> next;
+    for (const std::vector<Query>& combo : combos) {
+      for (const Query& alt : alts) {
+        std::vector<Query> extended = combo;
+        extended.push_back(alt);
+        next.push_back(std::move(extended));
+      }
+    }
+    combos = std::move(next);
+  }
+
+  std::vector<Query> out;
+  out.reserve(combos.size());
+  for (std::vector<Query>& combo : combos) {
+    switch (op.kind) {
+      case OpKind::kSeq:
+        out.push_back(Query::Seq(std::move(combo)));
+        break;
+      case OpKind::kAnd:
+        out.push_back(Query::And(std::move(combo)));
+        break;
+      case OpKind::kNseq: {
+        MUSE_CHECK(combo.size() == 3, "NSEQ arity");
+        out.push_back(Query::Nseq(std::move(combo[0]), std::move(combo[1]),
+                                  std::move(combo[2])));
+        break;
+      }
+      default:
+        MUSE_CHECK(false, "unexpected operator kind in SplitSubtree");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Query> SplitDisjunctions(const Query& q) {
+  MUSE_CHECK(q.IsInitialized(), "SplitDisjunctions on empty query");
+  std::vector<Query> variants = SplitSubtree(q, q.root());
+  for (Query& v : variants) {
+    v.set_window(q.window());
+    TypeSet types = v.PrimitiveTypes();
+    for (const Predicate& p : q.predicates()) {
+      if (p.ApplicableTo(types)) v.AddPredicate(p);
+    }
+  }
+  return variants;
+}
+
+}  // namespace muse

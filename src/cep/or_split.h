@@ -1,0 +1,22 @@
+#ifndef MUSE_CEP_OR_SPLIT_H_
+#define MUSE_CEP_OR_SPLIT_H_
+
+#include <vector>
+
+#include "src/cep/query.h"
+
+namespace muse {
+
+/// Rewrites a query containing OR operators into an equivalent set of
+/// OR-free queries (§2.2): each OR contributes one alternative per child,
+/// and the result is the cartesian expansion over all ORs. The union of the
+/// returned queries' matches equals the original query's matches.
+///
+/// Each returned query keeps the original window and exactly the predicates
+/// applicable to its primitive types. A query without OR is returned as-is
+/// (singleton vector).
+std::vector<Query> SplitDisjunctions(const Query& q);
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_OR_SPLIT_H_

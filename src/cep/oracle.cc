@@ -1,0 +1,159 @@
+#include "src/cep/oracle.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+namespace {
+
+/// Match set of the operator subtree at `idx` over `trace`, per the
+/// recursive definition of §2.2. Predicates and the window are applied at
+/// the query level by the caller (predicates are independent and defined
+/// over primitive operators, so the filtering order does not matter).
+std::vector<Match> OpMatches(const Query& q, int idx,
+                             const std::vector<Event>& trace) {
+  const QueryOp& op = q.op(idx);
+  switch (op.kind) {
+    case OpKind::kPrimitive: {
+      // Primitive matches are filtered by the applicable unary predicates
+      // (§2.2: events "that satisfy P"). This matters for NSEQ middle
+      // children, whose events never reach the query-level filter.
+      std::vector<Match> out;
+      for (const Event& e : trace) {
+        if (e.type != op.type) continue;
+        Match m = Match::Single(e);
+        bool ok = true;
+        for (const Predicate& p : q.predicates()) {
+          if (p.Types() == TypeSet::Of(op.type) && !p.Eval(m.events)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out.push_back(std::move(m));
+      }
+      return out;
+    }
+    case OpKind::kOr: {
+      std::vector<Match> out;
+      for (int child : op.children) {
+        std::vector<Match> child_matches = OpMatches(q, child, trace);
+        out.insert(out.end(), child_matches.begin(), child_matches.end());
+      }
+      return out;
+    }
+    case OpKind::kAnd: {
+      // All interleavings of one match per child.
+      std::vector<Match> acc = {Match{}};
+      for (int child : op.children) {
+        std::vector<Match> child_matches = OpMatches(q, child, trace);
+        std::vector<Match> next;
+        for (const Match& a : acc) {
+          for (const Match& b : child_matches) {
+            Match merged;
+            if (a.empty()) {
+              merged = b;
+            } else if (!MergeIfConsistent(a, b, &merged)) {
+              continue;
+            }
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case OpKind::kSeq: {
+      // Concatenations: each child's match strictly after the previous
+      // child's match.
+      std::vector<Match> acc = {Match{}};
+      for (int child : op.children) {
+        std::vector<Match> child_matches = OpMatches(q, child, trace);
+        std::vector<Match> next;
+        for (const Match& a : acc) {
+          for (const Match& b : child_matches) {
+            if (!a.empty() && b.FirstSeq() <= a.LastSeq()) continue;
+            Match merged;
+            if (a.empty()) {
+              merged = b;
+            } else if (!MergeIfConsistent(a, b, &merged)) {
+              continue;
+            }
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case OpKind::kNseq: {
+      std::vector<Match> first = OpMatches(q, op.children[0], trace);
+      std::vector<Match> negated = OpMatches(q, op.children[1], trace);
+      std::vector<Match> last = OpMatches(q, op.children[2], trace);
+      // Predicates fully inside the middle child's types filter the match
+      // set M2 of the negated pattern.
+      TypeSet mid_types = q.SubtreeTypes(op.children[1]);
+      std::erase_if(negated, [&](const Match& m2) {
+        for (const Predicate& p : q.predicates()) {
+          if (p.Types().IsSubsetOf(mid_types) && p.Types().size() > 1 &&
+              !p.Eval(m2.events)) {
+            return true;
+          }
+        }
+        return false;
+      });
+      std::vector<Match> out;
+      for (const Match& m1 : first) {
+        for (const Match& m3 : last) {
+          if (m3.FirstSeq() <= m1.LastSeq()) continue;
+          bool invalidated = false;
+          for (const Match& m2 : negated) {
+            if (m2.FirstSeq() > m1.LastSeq() && m2.LastSeq() < m3.FirstSeq()) {
+              invalidated = true;
+              break;
+            }
+          }
+          if (invalidated) continue;
+          Match merged;
+          if (!MergeIfConsistent(m1, m3, &merged)) continue;
+          out.push_back(std::move(merged));
+        }
+      }
+      return out;
+    }
+  }
+  MUSE_CHECK(false, "unreachable");
+  return {};
+}
+
+}  // namespace
+
+std::vector<Match> OracleMatches(const Query& q,
+                                 const std::vector<Event>& trace) {
+  std::vector<Match> raw = OpMatches(q, q.root(), trace);
+  std::vector<Match> out;
+  for (Match& m : raw) {
+    bool ok = true;
+    for (const Predicate& p : q.predicates()) {
+      if (!p.Eval(m.events)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && q.window() != kNoWindow &&
+        m.MaxTime() - m.MinTime() > q.window()) {
+      ok = false;
+    }
+    if (ok) out.push_back(std::move(m));
+  }
+  return CanonicalMatchSet(std::move(out));
+}
+
+std::vector<Match> CanonicalMatchSet(std::vector<Match> matches) {
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) { return a.Key() < b.Key(); });
+  matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
+  return matches;
+}
+
+}  // namespace muse

@@ -1,0 +1,29 @@
+#ifndef MUSE_CEP_ORACLE_H_
+#define MUSE_CEP_ORACLE_H_
+
+#include <vector>
+
+#include "src/cep/match.h"
+#include "src/cep/query.h"
+
+namespace muse {
+
+/// Brute-force reference implementation of the query semantics of §2.2
+/// (skip-till-any-match): constructs the match sets bottom-up over the
+/// operator tree exactly as the recursive definition does — interleavings
+/// for AND, concatenations for SEQ, unions for OR, and absence-checked
+/// concatenations for NSEQ — then filters by predicates and window.
+///
+/// Exponential in the trace length; intended exclusively as a test oracle
+/// on small traces (tens of events). The engine's output is compared
+/// against this on randomized inputs.
+std::vector<Match> OracleMatches(const Query& q,
+                                 const std::vector<Event>& trace);
+
+/// Sorts matches into a canonical order and removes duplicates; used to
+/// compare match sets from different evaluators.
+std::vector<Match> CanonicalMatchSet(std::vector<Match> matches);
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_ORACLE_H_

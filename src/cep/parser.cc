@@ -1,0 +1,239 @@
+#include "src/cep/parser.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace muse {
+namespace {
+
+/// Recursive-descent parser over the SASE-like grammar described in
+/// parser.h. Tokenization is character-level with ad-hoc lookahead; the
+/// grammar is small enough that this stays readable.
+class Parser {
+ public:
+  Parser(const std::string& text, TypeRegistry* reg, double default_sel)
+      : text_(text), reg_(reg), default_sel_(default_sel) {}
+
+  Result<Query> Parse() {
+    SkipSpace();
+    Result<Query> pattern = Error{"unparsed"};
+    if (ConsumeKeyword("PATTERN")) {
+      pattern = ParseExpr(/*allow_vars=*/true);
+    } else {
+      pattern = ParseExpr(/*allow_vars=*/true);
+    }
+    if (!pattern.ok()) return pattern;
+    Query q = std::move(pattern).value();
+
+    SkipSpace();
+    if (ConsumeKeyword("WHERE")) {
+      Result<std::vector<Predicate>> preds = ParseWhere();
+      if (!preds.ok()) return preds.error();
+      for (Predicate& p : preds.value()) q.AddPredicate(std::move(p));
+    }
+    SkipSpace();
+    if (ConsumeKeyword("WITHIN")) {
+      SkipSpace();
+      size_t start = pos_;
+      while (pos_ < text_.size() && !std::isspace(Peek())) ++pos_;
+      Result<uint64_t> window = ParseDuration(text_.substr(start, pos_ - start));
+      if (!window.ok()) return window.error();
+      q.set_window(window.value());
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("trailing input at position ", pos_, ": '",
+                 text_.substr(pos_), "'");
+    }
+    std::string why;
+    if (!q.Validate(&why)) return Err("invalid query: ", why);
+    return q;
+  }
+
+ private:
+  char Peek() const { return text_[pos_]; }
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(Peek())) ++pos_;
+  }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  /// Consumes `kw` if it appears (case-insensitively) at the cursor as a
+  /// whole word.
+  bool ConsumeKeyword(const std::string& kw) {
+    SkipSpace();
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(text_[pos_ + i]) != kw[i]) return false;
+    }
+    size_t after = pos_ + kw.size();
+    if (after < text_.size() &&
+        (std::isalnum(text_[after]) || text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  std::optional<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && (std::isalnum(Peek()) || Peek() == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    return text_.substr(start, pos_ - start);
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  static std::optional<OpKind> OperatorFor(const std::string& name) {
+    std::string upper;
+    for (char c : name) upper += static_cast<char>(std::toupper(c));
+    if (upper == "SEQ") return OpKind::kSeq;
+    if (upper == "AND") return OpKind::kAnd;
+    if (upper == "OR") return OpKind::kOr;
+    if (upper == "NSEQ") return OpKind::kNseq;
+    return std::nullopt;
+  }
+
+  /// expr := IDENT [var] | OP '(' expr (',' expr)* ')'
+  Result<Query> ParseExpr(bool allow_vars) {
+    std::optional<std::string> ident = ParseIdent();
+    if (!ident.has_value()) return Err("expected identifier at ", pos_);
+    std::optional<OpKind> op = OperatorFor(*ident);
+    if (op.has_value() && Consume('(')) {
+      std::vector<Query> children;
+      while (true) {
+        Result<Query> child = ParseExpr(allow_vars);
+        if (!child.ok()) return child;
+        children.push_back(std::move(child).value());
+        if (Consume(',')) continue;
+        if (Consume(')')) break;
+        return Err("expected ',' or ')' at ", pos_);
+      }
+      switch (*op) {
+        case OpKind::kSeq:
+          return Query::Seq(std::move(children));
+        case OpKind::kAnd:
+          return Query::And(std::move(children));
+        case OpKind::kOr:
+          return Query::Or(std::move(children));
+        case OpKind::kNseq: {
+          if (children.size() != 3) {
+            return Err("NSEQ requires exactly three children");
+          }
+          Query last = std::move(children.back());
+          children.pop_back();
+          Query mid = std::move(children.back());
+          children.pop_back();
+          Query first = std::move(children.back());
+          return Query::Nseq(std::move(first), std::move(mid),
+                             std::move(last));
+        }
+        default:
+          break;
+      }
+    }
+    // Primitive type, optionally followed by a variable binding.
+    EventTypeId type = reg_->Intern(*ident);
+    if (allow_vars) {
+      SkipSpace();
+      if (!AtEnd() && (std::isalpha(Peek()) || Peek() == '_')) {
+        std::optional<std::string> var = ParseIdent();
+        if (var.has_value() && !OperatorFor(*var).has_value()) {
+          vars_[*var] = type;
+        }
+      }
+    }
+    return Query::Primitive(type);
+  }
+
+  /// where := term ('AND'|'∧') term ...
+  /// term  := var '.' attr ('=='|'=') var '.' attr
+  Result<std::vector<Predicate>> ParseWhere() {
+    std::vector<Predicate> preds;
+    while (true) {
+      Result<Predicate> term = ParseWhereTerm();
+      if (!term.ok()) return term.error();
+      preds.push_back(term.value());
+      SkipSpace();
+      if (ConsumeKeyword("AND")) continue;
+      // Unicode conjunction used in the paper's listing.
+      if (pos_ + 3 <= text_.size() && text_.compare(pos_, 3, "∧") == 0) {
+        pos_ += 3;
+        continue;
+      }
+      break;
+    }
+    return preds;
+  }
+
+  Result<int> ParseAttr() {
+    std::optional<std::string> name = ParseIdent();
+    if (!name.has_value()) return Err("expected attribute at ", pos_);
+    std::string lower;
+    for (char c : *name) lower += static_cast<char>(std::tolower(c));
+    if (lower == "a0" || lower == "uid") return 0;
+    if (lower == "a1" || lower == "jid") return 1;
+    return Err("unknown attribute '", *name, "' (use a0/a1/uID/jID)");
+  }
+
+  Result<Predicate> ParseWhereTerm() {
+    std::optional<std::string> var = ParseIdent();
+    if (!var.has_value()) return Err("expected variable at ", pos_);
+    auto left = vars_.find(*var);
+    if (left == vars_.end()) return Err("unbound variable '", *var, "'");
+    if (!Consume('.')) return Err("expected '.' after variable");
+    Result<int> left_attr = ParseAttr();
+    if (!left_attr.ok()) return left_attr.error();
+    if (!Consume('=')) return Err("expected '=' in predicate");
+    Consume('=');  // tolerate both = and ==
+    std::optional<std::string> rvar = ParseIdent();
+    if (!rvar.has_value()) return Err("expected variable at ", pos_);
+    auto right = vars_.find(*rvar);
+    if (right == vars_.end()) return Err("unbound variable '", *rvar, "'");
+    if (!Consume('.')) return Err("expected '.' after variable");
+    Result<int> right_attr = ParseAttr();
+    if (!right_attr.ok()) return right_attr.error();
+    return Predicate::Equality(left->second, left_attr.value(), right->second,
+                               right_attr.value(), default_sel_);
+  }
+
+  const std::string& text_;
+  TypeRegistry* reg_;
+  double default_sel_;
+  size_t pos_ = 0;
+  std::map<std::string, EventTypeId> vars_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text, TypeRegistry* reg,
+                         double default_selectivity) {
+  return Parser(text, reg, default_selectivity).Parse();
+}
+
+Result<uint64_t> ParseDuration(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size() && std::isdigit(text[i])) ++i;
+  if (i == 0) return Err("expected number in duration '", text, "'");
+  uint64_t value = std::stoull(text.substr(0, i));
+  std::string unit;
+  for (size_t j = i; j < text.size(); ++j) {
+    unit += static_cast<char>(std::tolower(text[j]));
+  }
+  if (unit == "ms") return value;
+  if (unit == "s" || unit == "sec") return value * 1000;
+  if (unit == "m" || unit == "min") return value * 60 * 1000;
+  if (unit == "h") return value * 60 * 60 * 1000;
+  return Err("unknown duration unit '", unit, "'");
+}
+
+}  // namespace muse

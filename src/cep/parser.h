@@ -1,0 +1,43 @@
+#ifndef MUSE_CEP_PARSER_H_
+#define MUSE_CEP_PARSER_H_
+
+#include <string>
+
+#include "src/cep/query.h"
+#include "src/cep/type_registry.h"
+#include "src/common/result.h"
+
+namespace muse {
+
+/// Parses query text into a `Query`, interning event type names in `reg`.
+///
+/// Two layers of syntax are accepted:
+///
+/// 1. Bare pattern expressions, as written throughout the paper:
+///
+///      SEQ(AND(C, L), F)
+///      NSEQ(A, B, C)          // B is the negated middle child
+///
+/// 2. Full query specifications in a SASE-like notation (Listing 1):
+///
+///      PATTERN SEQ(Fail f, Evict e, Kill k, Update u)
+///      WHERE f.a0 == e.a0 AND e.a0 == k.a0 AND k.a0 == u.a0
+///      WITHIN 30min
+///
+///    Variables bind event types to names usable in WHERE. Attributes are
+///    `a0`/`a1` (with aliases `uid` -> a0 and `jid` -> a1, matching the
+///    cluster-monitoring queries). WITHIN accepts `ms`, `s`, `m`/`min`, `h`.
+///
+/// Equality predicates parsed from WHERE receive selectivity
+/// `default_selectivity`; callers with better estimates can adjust the
+/// returned query's predicates.
+Result<Query> ParseQuery(const std::string& text, TypeRegistry* reg,
+                         double default_selectivity = 0.1);
+
+/// Parses a duration literal such as "30min", "5s", "100ms", "2h" into
+/// milliseconds.
+Result<uint64_t> ParseDuration(const std::string& text);
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_PARSER_H_

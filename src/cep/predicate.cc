@@ -1,0 +1,85 @@
+#include "src/cep/predicate.h"
+
+#include "src/common/check.h"
+
+namespace muse {
+namespace {
+
+const Event* FindType(const std::vector<Event>& events, EventTypeId type) {
+  for (const Event& e : events) {
+    if (e.type == type) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Predicate Predicate::Equality(EventTypeId left_type, int left_attr,
+                              EventTypeId right_type, int right_attr,
+                              double selectivity) {
+  MUSE_CHECK(left_type != right_type, "equality predicate needs two types");
+  MUSE_CHECK(left_attr >= 0 && left_attr < kNumAttrs, "bad attr index");
+  MUSE_CHECK(right_attr >= 0 && right_attr < kNumAttrs, "bad attr index");
+  Predicate p;
+  p.kind = Kind::kEquality;
+  p.left_type = left_type;
+  p.left_attr = left_attr;
+  p.right_type = right_type;
+  p.right_attr = right_attr;
+  p.selectivity = selectivity;
+  return p;
+}
+
+Predicate Predicate::Filter(EventTypeId type, int attr, int64_t modulus) {
+  MUSE_CHECK(modulus >= 1, "filter modulus must be positive");
+  MUSE_CHECK(attr >= 0 && attr < kNumAttrs, "bad attr index");
+  Predicate p;
+  p.kind = Kind::kFilter;
+  p.left_type = type;
+  p.left_attr = attr;
+  p.modulus = modulus;
+  p.selectivity = 1.0 / static_cast<double>(modulus);
+  return p;
+}
+
+TypeSet Predicate::Types() const {
+  TypeSet s = TypeSet::Of(left_type);
+  if (kind == Kind::kEquality) s.Insert(right_type);
+  return s;
+}
+
+bool Predicate::ApplicableTo(TypeSet available) const {
+  return available.ContainsAll(Types());
+}
+
+bool Predicate::Eval(const std::vector<Event>& events) const {
+  const Event* left = FindType(events, left_type);
+  if (left == nullptr) return true;  // not applicable
+  if (kind == Kind::kFilter) {
+    return left->attrs[left_attr] % modulus == 0;
+  }
+  const Event* right = FindType(events, right_type);
+  if (right == nullptr) return true;  // not applicable
+  return left->attrs[left_attr] == right->attrs[right_attr];
+}
+
+std::string Predicate::ToString() const {
+  if (kind == Kind::kFilter) {
+    return "E" + std::to_string(left_type) + ".a" + std::to_string(left_attr) +
+           "%" + std::to_string(modulus) + "==0";
+  }
+  return "E" + std::to_string(left_type) + ".a" + std::to_string(left_attr) +
+         "==E" + std::to_string(right_type) + ".a" +
+         std::to_string(right_attr);
+}
+
+double CombinedSelectivity(const std::vector<Predicate>& preds,
+                           TypeSet available) {
+  double sel = 1.0;
+  for (const Predicate& p : preds) {
+    if (p.ApplicableTo(available)) sel *= p.selectivity;
+  }
+  return sel;
+}
+
+}  // namespace muse

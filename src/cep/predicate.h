@@ -1,0 +1,69 @@
+#ifndef MUSE_CEP_PREDICATE_H_
+#define MUSE_CEP_PREDICATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/common/typeset.h"
+
+namespace muse {
+
+/// Boolean predicate over the payload of the events bound to at most two
+/// primitive operators (§2.2). Following the paper, complex predicates are
+/// split so that each predicate references at most two primitive operators
+/// and predicates are independent of each other.
+///
+/// Two concrete forms are supported:
+///  * `kEquality`:  left.attrs[left_attr] == right.attrs[right_attr]
+///    (the form used by the cluster-monitoring queries, e.g. f.uID = e.uID);
+///  * `kFilter`:    left.attrs[left_attr] % modulus == 0
+///    (a unary filter with selectivity 1/modulus).
+///
+/// Each predicate also carries its modeled `selectivity` σ(a): the ratio of
+/// event (pairs) satisfying it, used by the cost model. For synthetic
+/// workloads the selectivity is drawn by the workload generator; for real
+/// predicates it should be estimated from data.
+struct Predicate {
+  enum class Kind { kEquality, kFilter };
+
+  Kind kind = Kind::kEquality;
+  EventTypeId left_type = 0;
+  int left_attr = 0;
+  EventTypeId right_type = 0;  // kEquality only
+  int right_attr = 0;          // kEquality only
+  int64_t modulus = 1;         // kFilter only
+  double selectivity = 1.0;
+
+  static Predicate Equality(EventTypeId left_type, int left_attr,
+                            EventTypeId right_type, int right_attr,
+                            double selectivity);
+  static Predicate Filter(EventTypeId type, int attr, int64_t modulus);
+
+  /// The event types this predicate references.
+  TypeSet Types() const;
+
+  /// True if the predicate can be checked given events of the types in
+  /// `available` — i.e. all referenced types are present. A projection
+  /// retains exactly the predicates applicable to its types (§4.2).
+  bool ApplicableTo(TypeSet available) const;
+
+  /// Evaluates the predicate over a candidate match. `events` must contain
+  /// at most one event per type (queries do not repeat primitive types, §6).
+  /// Returns true if the predicate holds or is not applicable (a referenced
+  /// type is absent from `events`).
+  bool Eval(const std::vector<Event>& events) const;
+
+  std::string ToString() const;
+};
+
+/// Product of the selectivities of the predicates in `preds` that are
+/// applicable to the type set `available` — σ(p) for a projection p (§4.2).
+double CombinedSelectivity(const std::vector<Predicate>& preds,
+                           TypeSet available);
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_PREDICATE_H_

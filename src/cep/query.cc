@@ -1,0 +1,220 @@
+#include "src/cep/query.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPrimitive:
+      return "PRIM";
+    case OpKind::kSeq:
+      return "SEQ";
+    case OpKind::kAnd:
+      return "AND";
+    case OpKind::kOr:
+      return "OR";
+    case OpKind::kNseq:
+      return "NSEQ";
+  }
+  return "?";
+}
+
+Query Query::FromParts(std::vector<QueryOp> ops, int root,
+                       std::vector<Predicate> predicates, uint64_t window) {
+  Query q;
+  q.ops_ = std::move(ops);
+  q.root_ = root;
+  q.predicates_ = std::move(predicates);
+  q.window_ = window;
+  return q;
+}
+
+Query&& Query::WithWindow(uint64_t window) && {
+  window_ = window;
+  return std::move(*this);
+}
+
+Query&& Query::WithPredicate(Predicate pred) && {
+  predicates_.push_back(std::move(pred));
+  return std::move(*this);
+}
+
+TypeSet Query::PrimitiveTypes() const {
+  TypeSet s;
+  for (const QueryOp& op : ops_) {
+    if (op.kind == OpKind::kPrimitive) s.Insert(op.type);
+  }
+  return s;
+}
+
+TypeSet Query::SubtreeTypes(int op_idx) const {
+  const QueryOp& op = ops_[op_idx];
+  if (op.kind == OpKind::kPrimitive) return TypeSet::Of(op.type);
+  TypeSet s;
+  for (int child : op.children) s = s.Union(SubtreeTypes(child));
+  return s;
+}
+
+TypeSet Query::NegatedTypes() const {
+  TypeSet s;
+  for (int i = 0; i < num_ops(); ++i) {
+    const QueryOp& op = ops_[i];
+    if (op.kind == OpKind::kNseq) {
+      MUSE_CHECK(op.children.size() == 3, "NSEQ must have three children");
+      s = s.Union(SubtreeTypes(op.children[1]));
+    }
+  }
+  return s;
+}
+
+TypeSet Query::PositiveTypes() const {
+  return PrimitiveTypes().Minus(NegatedTypes());
+}
+
+bool Query::ContainsKind(OpKind kind) const {
+  for (const QueryOp& op : ops_) {
+    if (op.kind == kind) return true;
+  }
+  return false;
+}
+
+bool Query::Validate(std::string* error) const {
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!IsInitialized()) return fail("query is empty");
+  if (root_ < 0 || root_ >= num_ops()) return fail("root out of range");
+
+  // Reachability and tree shape: every op except the root has exactly one
+  // parent; all ops are reachable from the root.
+  std::vector<int> parents(ops_.size(), -1);
+  for (int i = 0; i < num_ops(); ++i) {
+    const QueryOp& op = ops_[i];
+    if (op.kind == OpKind::kPrimitive) {
+      if (!op.children.empty()) return fail("primitive operator has children");
+      continue;
+    }
+    if (op.children.size() < 2) {
+      return fail("composite operator has arity < 2");
+    }
+    if (op.kind == OpKind::kNseq && op.children.size() != 3) {
+      return fail("NSEQ must have exactly three children");
+    }
+    for (int child : op.children) {
+      if (child < 0 || child >= num_ops()) return fail("child out of range");
+      if (parents[child] != -1) return fail("operator has two parents");
+      parents[child] = i;
+      // Validity rule of §2.2: no directly nested operators of equal kind.
+      if (ops_[child].kind == op.kind) {
+        return fail("directly nested operators of the same kind");
+      }
+    }
+  }
+  for (int i = 0; i < num_ops(); ++i) {
+    if (i != root_ && parents[i] == -1) {
+      return fail("operator unreachable from root");
+    }
+  }
+  if (parents[root_] != -1) return fail("root has a parent");
+
+  // §6 assumption: primitive event types are unique within the query.
+  TypeSet seen;
+  for (const QueryOp& op : ops_) {
+    if (op.kind != OpKind::kPrimitive) continue;
+    if (seen.Contains(op.type)) {
+      return fail("event type referenced by two primitive operators");
+    }
+    seen.Insert(op.type);
+  }
+
+  // Predicates must reference types of this query.
+  for (const Predicate& p : predicates_) {
+    if (!seen.ContainsAll(p.Types())) {
+      return fail("predicate references a type not in the query");
+    }
+  }
+  return true;
+}
+
+std::string Query::SubtreeString(int op_idx, const TypeRegistry* reg) const {
+  const QueryOp& op = ops_[op_idx];
+  if (op.kind == OpKind::kPrimitive) {
+    if (reg != nullptr && static_cast<int>(op.type) < reg->size()) {
+      return reg->Name(op.type);
+    }
+    return "E" + std::to_string(op.type);
+  }
+  std::string out = OpKindName(op.kind);
+  out += "(";
+  for (size_t i = 0; i < op.children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += SubtreeString(op.children[i], reg);
+  }
+  out += ")";
+  return out;
+}
+
+std::string Query::ToString(const TypeRegistry* reg) const {
+  if (!IsInitialized()) return "<empty>";
+  return SubtreeString(root_, reg);
+}
+
+Query Query::Subquery(int op_idx) const {
+  std::vector<QueryOp> ops;
+  // Recursive post-order copy of the subtree into a fresh arena.
+  auto copy = [this, &ops](auto&& self, int idx) -> int {
+    const QueryOp& op = ops_[idx];
+    QueryOp dup;
+    dup.kind = op.kind;
+    dup.type = op.type;
+    dup.children.reserve(op.children.size());
+    for (int child : op.children) dup.children.push_back(self(self, child));
+    ops.push_back(std::move(dup));
+    return static_cast<int>(ops.size()) - 1;
+  };
+  int root = copy(copy, op_idx);
+  TypeSet types = SubtreeTypes(op_idx);
+  std::vector<Predicate> preds;
+  for (const Predicate& p : predicates_) {
+    if (p.ApplicableTo(types)) preds.push_back(p);
+  }
+  return FromParts(std::move(ops), root, std::move(preds), window_);
+}
+
+Query Query::PrimitiveProjection(EventTypeId t) const {
+  MUSE_CHECK(PrimitiveTypes().Contains(t), "type not in query");
+  for (int i = 0; i < num_ops(); ++i) {
+    if (ops_[i].kind == OpKind::kPrimitive && ops_[i].type == t) {
+      return Subquery(i);
+    }
+  }
+  MUSE_CHECK(false, "unreachable");
+  return Query();
+}
+
+std::string Query::SubtreeSignature(int op_idx) const {
+  return SubtreeString(op_idx, nullptr);
+}
+
+std::string Query::Signature() const {
+  if (!IsInitialized()) return "<empty>";
+  std::string sig = SubtreeSignature(root_);
+  sig += "|w=";
+  sig += window_ == kNoWindow ? "inf" : std::to_string(window_);
+  // Predicates in a canonical order.
+  std::vector<std::string> preds;
+  preds.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) preds.push_back(p.ToString());
+  std::sort(preds.begin(), preds.end());
+  for (const std::string& p : preds) {
+    sig += "|";
+    sig += p;
+  }
+  return sig;
+}
+
+}  // namespace muse

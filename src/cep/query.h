@@ -1,0 +1,148 @@
+#ifndef MUSE_CEP_QUERY_H_
+#define MUSE_CEP_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/cep/predicate.h"
+#include "src/cep/type_registry.h"
+#include "src/common/typeset.h"
+
+namespace muse {
+
+/// Operator kinds of the query language (§2.2). `kPrimitive` detects events
+/// of one type; the composite kinds detect patterns over their children's
+/// matches:
+///  * SEQ  — children's matches in the given order (concatenation);
+///  * AND  — children's matches in any order (interleaving);
+///  * OR   — any child's match;
+///  * NSEQ — first child's match, then third child's match, with no match of
+///           the (negated) second child in between.
+enum class OpKind : uint8_t { kPrimitive, kSeq, kAnd, kOr, kNseq };
+
+const char* OpKindName(OpKind kind);
+
+/// One operator in a query's operator tree. Operators live in the `Query`'s
+/// arena and reference children by index.
+struct QueryOp {
+  OpKind kind = OpKind::kPrimitive;
+  EventTypeId type = 0;        // meaningful iff kind == kPrimitive
+  std::vector<int> children;   // empty iff kind == kPrimitive
+};
+
+/// Sentinel: no time window (events arbitrarily far apart may match).
+inline constexpr uint64_t kNoWindow = std::numeric_limits<uint64_t>::max();
+
+/// A query q = (O, λ, P) with a time window τ_q (§2.2): an operator tree
+/// plus a set of predicates over the payload of its primitive operators.
+///
+/// Construction goes through the static combinators (`Primitive`, `Seq`,
+/// `And`, `Or`, `Nseq` — defined in query_builder.cc) or the text parser.
+/// The combinators canonicalize: directly nested operators of the same kind
+/// are flattened (the validity rule of §2.2), and the children of the
+/// commutative operators AND/OR are sorted by structural signature so that
+/// e.g. AND(C,L) and AND(L,C) compare equal for plan sharing.
+///
+/// The planner additionally assumes (as the paper's §6 does) that a query
+/// does not contain two primitive operators referencing the same event type;
+/// `Validate` enforces this.
+class Query {
+ public:
+  Query() = default;  // empty query; !IsInitialized()
+
+  // -- Combinators (implemented in query_builder.cc) ------------------------
+  static Query Primitive(EventTypeId type);
+  static Query Seq(std::vector<Query> children);
+  static Query And(std::vector<Query> children);
+  static Query Or(std::vector<Query> children);
+  static Query Nseq(Query first, Query negated, Query last);
+
+  /// Fluent post-construction configuration.
+  Query&& WithWindow(uint64_t window) &&;
+  Query&& WithPredicate(Predicate pred) &&;
+  void set_window(uint64_t window) { window_ = window; }
+  void AddPredicate(Predicate pred) { predicates_.push_back(std::move(pred)); }
+
+  // -- Accessors -------------------------------------------------------------
+  bool IsInitialized() const { return root_ >= 0; }
+  int root() const { return root_; }
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const QueryOp& op(int idx) const { return ops_[idx]; }
+  const std::vector<QueryOp>& ops() const { return ops_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  uint64_t window() const { return window_; }
+
+  /// The set of event types referenced by primitive operators — O_p as a
+  /// `TypeSet` (valid because primitive types are unique within a query).
+  TypeSet PrimitiveTypes() const;
+
+  /// Primitive types in the subtree rooted at `op_idx`.
+  TypeSet SubtreeTypes(int op_idx) const;
+
+  /// Union of the primitive types of all NSEQ middle (negated) children.
+  /// Events of these types never appear in matches of the query; they only
+  /// *suppress* matches.
+  TypeSet NegatedTypes() const;
+
+  /// PrimitiveTypes() minus NegatedTypes(): the types whose events make up
+  /// the query's matches.
+  TypeSet PositiveTypes() const;
+
+  int NumPrimitives() const { return PrimitiveTypes().size(); }
+  bool ContainsKind(OpKind kind) const;
+  bool ContainsNegation() const { return ContainsKind(OpKind::kNseq); }
+  bool ContainsOr() const { return ContainsKind(OpKind::kOr); }
+
+  /// Validity per §2.2 plus the §6 assumption: operator tree with a single
+  /// root; composite arity ≥ 2 (NSEQ exactly 3); no directly nested
+  /// operators of the same kind; no repeated primitive event types.
+  bool Validate(std::string* error = nullptr) const;
+
+  /// Modeled selectivity σ(q): product of all predicate selectivities
+  /// applicable to this query's primitive types (§2.2).
+  double Selectivity() const {
+    return CombinedSelectivity(predicates_, PrimitiveTypes());
+  }
+
+  /// Human-readable rendering, e.g. "SEQ(AND(C,L),F)". Uses `reg` for type
+  /// names when provided, otherwise "E<id>".
+  std::string ToString(const TypeRegistry* reg = nullptr) const;
+
+  /// Canonical structural identity: two queries (or projections, which are
+  /// queries) with equal signatures detect the same patterns and can share
+  /// placements across a workload (§6.2). Covers the operator structure,
+  /// window, and applicable predicates.
+  std::string Signature() const;
+
+  friend bool operator==(const Query& a, const Query& b) {
+    return a.Signature() == b.Signature();
+  }
+
+  /// Extracts the subtree rooted at `op_idx` as a standalone query with the
+  /// same window and exactly the predicates applicable to its types.
+  Query Subquery(int op_idx) const;
+
+  /// The singleton query for primitive type `t` (must be one of this
+  /// query's primitive types), with applicable unary predicates.
+  Query PrimitiveProjection(EventTypeId t) const;
+
+  /// Low-level factory used by the projection algorithm and the parser.
+  static Query FromParts(std::vector<QueryOp> ops, int root,
+                         std::vector<Predicate> predicates, uint64_t window);
+
+ private:
+  std::string SubtreeSignature(int op_idx) const;
+  std::string SubtreeString(int op_idx, const TypeRegistry* reg) const;
+  friend struct QueryCombinator;  // query_builder.cc internals
+
+  std::vector<QueryOp> ops_;
+  int root_ = -1;
+  std::vector<Predicate> predicates_;
+  uint64_t window_ = kNoWindow;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_QUERY_H_

@@ -1,0 +1,114 @@
+// Combinators for building canonical query ASTs.
+//
+// Canonicalization performed here:
+//  * Directly nested operators of the same kind are flattened
+//    (SEQ(SEQ(A,B),C) -> SEQ(A,B,C)), which both simplifies semantics and
+//    satisfies the validity rule of §2.2.
+//  * Children of the commutative operators AND and OR are sorted by
+//    structural signature, so that AND(C,L) == AND(L,C) and equivalent
+//    projections of different queries share placements (§6.2).
+//  * Single-child composites collapse to their child.
+
+#include <algorithm>
+#include <utility>
+
+#include "src/cep/query.h"
+#include "src/common/check.h"
+
+namespace muse {
+
+/// Friend of Query that hosts the arena-merging machinery.
+struct QueryCombinator {
+  /// Copies the subtree rooted at `src_idx` of `src` into `dst_ops`,
+  /// returning the new root index.
+  static int CopySubtree(const Query& src, int src_idx,
+                         std::vector<QueryOp>* dst_ops) {
+    const QueryOp& op = src.ops_[src_idx];
+    QueryOp copy;
+    copy.kind = op.kind;
+    copy.type = op.type;
+    copy.children.reserve(op.children.size());
+    for (int child : op.children) {
+      copy.children.push_back(CopySubtree(src, child, dst_ops));
+    }
+    dst_ops->push_back(std::move(copy));
+    return static_cast<int>(dst_ops->size()) - 1;
+  }
+
+  static Query Combine(OpKind kind, std::vector<Query> children) {
+    MUSE_CHECK(!children.empty(), "composite operator needs children");
+    for (const Query& c : children) {
+      MUSE_CHECK(c.IsInitialized(), "uninitialized child query");
+    }
+    // Canonical child order for commutative operators.
+    if (kind == OpKind::kAnd || kind == OpKind::kOr) {
+      std::stable_sort(children.begin(), children.end(),
+                       [](const Query& a, const Query& b) {
+                         return a.Signature() < b.Signature();
+                       });
+    }
+
+    std::vector<QueryOp> ops;
+    std::vector<int> child_roots;
+    std::vector<Predicate> preds;
+    uint64_t window = kNoWindow;
+    for (Query& c : children) {
+      // Flatten same-kind nesting (not for NSEQ, whose children are
+      // positionally meaningful).
+      const bool flatten =
+          kind != OpKind::kNseq && c.ops_[c.root_].kind == kind;
+      if (flatten) {
+        for (int grandchild : c.ops_[c.root_].children) {
+          child_roots.push_back(CopySubtree(c, grandchild, &ops));
+        }
+      } else {
+        child_roots.push_back(CopySubtree(c, c.root_, &ops));
+      }
+      for (Predicate& p : c.predicates_) preds.push_back(std::move(p));
+      if (c.window_ != kNoWindow) {
+        window = window == kNoWindow ? c.window_ : std::min(window, c.window_);
+      }
+    }
+
+    if (child_roots.size() == 1) {
+      // Single-child composite collapses to the child.
+      return Query::FromParts(std::move(ops), child_roots[0], std::move(preds),
+                              window);
+    }
+    QueryOp root;
+    root.kind = kind;
+    root.children = std::move(child_roots);
+    ops.push_back(std::move(root));
+    return Query::FromParts(std::move(ops), static_cast<int>(ops.size()) - 1,
+                            std::move(preds), window);
+  }
+};
+
+Query Query::Primitive(EventTypeId type) {
+  QueryOp op;
+  op.kind = OpKind::kPrimitive;
+  op.type = type;
+  return FromParts({std::move(op)}, 0, {}, kNoWindow);
+}
+
+Query Query::Seq(std::vector<Query> children) {
+  return QueryCombinator::Combine(OpKind::kSeq, std::move(children));
+}
+
+Query Query::And(std::vector<Query> children) {
+  return QueryCombinator::Combine(OpKind::kAnd, std::move(children));
+}
+
+Query Query::Or(std::vector<Query> children) {
+  return QueryCombinator::Combine(OpKind::kOr, std::move(children));
+}
+
+Query Query::Nseq(Query first, Query negated, Query last) {
+  std::vector<Query> children;
+  children.push_back(std::move(first));
+  children.push_back(std::move(negated));
+  children.push_back(std::move(last));
+  return QueryCombinator::Combine(OpKind::kNseq, std::move(children));
+}
+
+}  // namespace muse

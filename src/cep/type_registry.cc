@@ -1,0 +1,35 @@
+#include "src/cep/type_registry.h"
+
+#include "src/common/check.h"
+
+namespace muse {
+
+EventTypeId TypeRegistry::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  MUSE_CHECK(names_.size() < 64, "TypeRegistry supports at most 64 types");
+  EventTypeId id = static_cast<EventTypeId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+int TypeRegistry::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : static_cast<int>(it->second);
+}
+
+const std::string& TypeRegistry::Name(EventTypeId id) const {
+  MUSE_CHECK(id < names_.size(), "unknown event type id");
+  return names_[id];
+}
+
+TypeRegistry TypeRegistry::Synthetic(int num_types) {
+  TypeRegistry reg;
+  for (int i = 0; i < num_types; ++i) {
+    reg.Intern("E" + std::to_string(i));
+  }
+  return reg;
+}
+
+}  // namespace muse

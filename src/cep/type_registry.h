@@ -1,0 +1,43 @@
+#ifndef MUSE_CEP_TYPE_REGISTRY_H_
+#define MUSE_CEP_TYPE_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/typeset.h"
+
+namespace muse {
+
+/// Interns event type names to dense `EventTypeId`s (the universe ℰ of
+/// event types, §2.1). The registry is append-only; ids are stable.
+///
+/// The planner and engine operate on ids; the registry is only needed at the
+/// edges (parsing queries, printing plans). At most 64 types can be
+/// registered (the `TypeSet` width).
+class TypeRegistry {
+ public:
+  TypeRegistry() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  EventTypeId Intern(const std::string& name);
+
+  /// Returns the id of `name`, or -1 if unknown.
+  int Find(const std::string& name) const;
+
+  /// Name of an interned id.
+  const std::string& Name(EventTypeId id) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// Registers names "E0".."E{n-1}" (used by synthetic workloads).
+  static TypeRegistry Synthetic(int num_types);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, EventTypeId> ids_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_TYPE_REGISTRY_H_

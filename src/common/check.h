@@ -1,0 +1,30 @@
+#ifndef MUSE_COMMON_CHECK_H_
+#define MUSE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace muse {
+
+/// Internal invariant checking. `MUSE_CHECK` is always on (including release
+/// builds): the planner relies on structural invariants whose violation
+/// would silently produce wrong plans, and the cost of the checks is
+/// negligible relative to plan construction.
+///
+/// This is for programmer errors only. Fallible operations driven by user
+/// input (parsing, plan requests) report through `Result<T>` instead.
+[[noreturn]] inline void CheckFailed(const char* expr, const char* msg,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "MUSE_CHECK failed: %s (%s) at %s:%d\n", expr, msg,
+               file, line);
+  std::abort();
+}
+
+#define MUSE_CHECK(expr, msg)                                 \
+  do {                                                        \
+    if (!(expr)) ::muse::CheckFailed(#expr, msg, __FILE__, __LINE__); \
+  } while (0)
+
+}  // namespace muse
+
+#endif  // MUSE_COMMON_CHECK_H_

@@ -1,0 +1,75 @@
+#ifndef MUSE_COMMON_RESULT_H_
+#define MUSE_COMMON_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+/// Lightweight error type carried by `Result<T>`.
+struct Error {
+  std::string message;
+};
+
+/// Value-or-error return type used by fallible operations that are driven by
+/// user input (query parsing, plan construction on malformed workloads).
+/// The library does not throw exceptions across its public API.
+///
+/// Usage:
+///   Result<Query> q = ParseQuery("SEQ(A, B)");
+///   if (!q.ok()) { ... q.error().message ... }
+///   Use(q.value());
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    MUSE_CHECK(ok(), "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    MUSE_CHECK(ok(), "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    MUSE_CHECK(ok(), "Result::value() on error");
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    MUSE_CHECK(!ok(), "Result::error() on value");
+    return std::get<Error>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience factory: `return Err("unexpected token at ", pos);`
+template <typename... Args>
+Error Err(Args&&... args) {
+  std::string msg;
+  ((msg += [](const auto& a) {
+     if constexpr (std::is_convertible_v<decltype(a), std::string>) {
+       return std::string(a);
+     } else {
+       return std::to_string(a);
+     }
+   }(args)),
+   ...);
+  return Error{std::move(msg)};
+}
+
+}  // namespace muse
+
+#endif  // MUSE_COMMON_RESULT_H_

@@ -1,0 +1,137 @@
+#ifndef MUSE_COMMON_TYPESET_H_
+#define MUSE_COMMON_TYPESET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+/// Identifier of an event type. Event types are interned in a
+/// `TypeRegistry`; ids are dense and start at zero.
+using EventTypeId = uint32_t;
+
+/// A set of event types, represented as a 64-bit mask. The universe of event
+/// types handled by one planner instance is therefore bounded by 64, which
+/// comfortably covers the paper's settings (15–20 types) and realistic CEP
+/// deployments.
+///
+/// `TypeSet` is the identity of a *query projection* within a single query:
+/// the paper's construction (§6) assumes that no query contains two primitive
+/// operators referencing the same event type, so a projection π(q, E') is
+/// fully determined by the subset E' of primitive event types it retains.
+class TypeSet {
+ public:
+  constexpr TypeSet() : bits_(0) {}
+  constexpr explicit TypeSet(uint64_t bits) : bits_(bits) {}
+  TypeSet(std::initializer_list<EventTypeId> types) : bits_(0) {
+    for (EventTypeId t : types) Insert(t);
+  }
+
+  /// The set containing the single type `t`.
+  static constexpr TypeSet Of(EventTypeId t) { return TypeSet(Bit(t)); }
+
+  /// The set {0, 1, ..., n-1}.
+  static constexpr TypeSet FirstN(int n) {
+    return TypeSet(n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1);
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int size() const { return std::popcount(bits_); }
+
+  constexpr bool Contains(EventTypeId t) const { return (bits_ & Bit(t)) != 0; }
+  constexpr bool ContainsAll(TypeSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Intersects(TypeSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+  /// True if this set is a (non-strict) subset of `other`.
+  constexpr bool IsSubsetOf(TypeSet other) const {
+    return other.ContainsAll(*this);
+  }
+  constexpr bool IsProperSubsetOf(TypeSet other) const {
+    return IsSubsetOf(other) && bits_ != other.bits_;
+  }
+
+  void Insert(EventTypeId t) {
+    MUSE_CHECK(t < 64, "event type id out of TypeSet range");
+    bits_ |= Bit(t);
+  }
+  void Remove(EventTypeId t) { bits_ &= ~Bit(t); }
+
+  constexpr TypeSet Union(TypeSet other) const {
+    return TypeSet(bits_ | other.bits_);
+  }
+  constexpr TypeSet Intersect(TypeSet other) const {
+    return TypeSet(bits_ & other.bits_);
+  }
+  constexpr TypeSet Minus(TypeSet other) const {
+    return TypeSet(bits_ & ~other.bits_);
+  }
+
+  /// Lowest type id contained in the set; the set must be non-empty.
+  EventTypeId First() const {
+    MUSE_CHECK(!empty(), "First() on empty TypeSet");
+    return static_cast<EventTypeId>(std::countr_zero(bits_));
+  }
+
+  friend constexpr bool operator==(TypeSet a, TypeSet b) = default;
+  friend constexpr auto operator<=>(TypeSet a, TypeSet b) = default;
+
+  /// Iterates over the contained type ids in increasing order.
+  class Iterator {
+   public:
+    explicit constexpr Iterator(uint64_t bits) : bits_(bits) {}
+    EventTypeId operator*() const {
+      return static_cast<EventTypeId>(std::countr_zero(bits_));
+    }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    friend constexpr bool operator==(Iterator a, Iterator b) = default;
+
+   private:
+    uint64_t bits_;
+  };
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+  /// Renders as e.g. "{0,3,5}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (EventTypeId t : *this) {
+      if (!first) out += ",";
+      out += std::to_string(t);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static constexpr uint64_t Bit(EventTypeId t) { return uint64_t{1} << t; }
+
+  uint64_t bits_;
+};
+
+/// Invokes `fn(TypeSet)` for every non-empty subset of `set`, in unspecified
+/// order. Runs in O(2^|set|).
+template <typename Fn>
+void ForEachNonEmptySubset(TypeSet set, Fn&& fn) {
+  const uint64_t mask = set.bits();
+  // Standard sub-mask enumeration: iterates all non-zero sub-masks of mask.
+  for (uint64_t sub = mask; sub != 0; sub = (sub - 1) & mask) {
+    fn(TypeSet(sub));
+  }
+}
+
+}  // namespace muse
+
+#endif  // MUSE_COMMON_TYPESET_H_

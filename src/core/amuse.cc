@@ -1,0 +1,582 @@
+#include "src/core/amuse.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/core/beneficial.h"
+
+namespace muse {
+namespace {
+
+/// One entry of the dynamic-programming table G[p][PO] (Alg. 3): the
+/// cheapest MuSE graph found so far that generates matches of projection
+/// `proj` with sinks determined by placement option `PO`.
+///
+/// `charges` decomposes the graph's network cost into its distinct match
+/// streams; its total is `cost`. Because stream charges deduplicate by
+/// key, the cost of a union of graphs is the total of the union of their
+/// charge sets — which lets candidate placements be costed without
+/// materializing merged graphs (see ChargeSet).
+struct PlacedGraph {
+  MuseGraph graph;
+  ChargeSet charges;
+  double cost = std::numeric_limits<double>::infinity();
+  std::vector<int> sinks;  // vertex ids in `graph`
+  bool multi_sink = false;
+  int part_type = kNoPartition;  // partitioning type if multi_sink
+};
+
+using TableKey = std::pair<uint64_t, int>;  // (proj bits, placement option)
+
+class AmusePlanner {
+ public:
+  AmusePlanner(const ProjectionCatalog& catalog, const PlannerOptions& options,
+               SharingContext* ctx, int query_index)
+      : catalog_(catalog),
+        net_(catalog.network()),
+        options_(options),
+        ctx_(ctx),
+        query_(query_index),
+        catalogs_(query_index + 1, &catalog) {}
+
+  PlanResult Run() {
+    auto started = std::chrono::steady_clock::now();
+    const Query& q = catalog_.query();
+    const TypeSet full = q.PrimitiveTypes();
+
+    CollectNegatedGroups();
+    SelectCandidateProjections();
+    InitPrimitiveEntries();
+    if (ctx_ != nullptr) RegisterReusedPlacements();
+
+    // Bottom-up over targets: candidate projections (smallest first), then
+    // the query itself (Alg. 3 lines 2-16).
+    std::vector<TypeSet> targets;
+    for (TypeSet p : candidates_) {
+      if (p.size() > 1) targets.push_back(p);
+    }
+    if (full.size() > 1) targets.push_back(full);
+    std::stable_sort(targets.begin(), targets.end(),
+                     [](TypeSet a, TypeSet b) { return a.size() < b.size(); });
+    // Distribute the global construction budget fairly across targets so
+    // that late (large) targets — including the query itself — always get
+    // searched even when early targets are combination-rich.
+    per_target_budget_ =
+        options_.max_graphs == 0
+            ? 0
+            : std::max<int>(2000, options_.max_graphs /
+                                      std::max<size_t>(1, targets.size()));
+    for (TypeSet target : targets) PlaceProjection(target);
+
+    PlanResult result;
+    result.stats = stats_;
+    if (full.size() == 1) {
+      // Degenerate single-type query: matches are the events themselves;
+      // they stay at their sources (one sink per producer, zero cost).
+      const PlacedGraph& pg = table_.at({full.bits(), full.First()});
+      result.graph = pg.graph;
+      result.graph.SetSinks(pg.sinks);
+      result.cost = 0;
+    } else {
+      const PlacedGraph* best = nullptr;
+      for (EventTypeId t : full) {
+        auto it = table_.find({full.bits(), static_cast<int>(t)});
+        if (it == table_.end()) continue;
+        if (best == nullptr || it->second.cost < best->cost) {
+          best = &it->second;
+        }
+      }
+      if (best == nullptr) {
+        // All combinations were pruned away (possible under aMuSE*'s
+        // predecessor filter): fall back to gathering all primitive
+        // streams at the single cheapest node.
+        PlacedGraph fallback = BuildGatherFallback(full);
+        result.graph = fallback.graph;
+        result.graph.SetSinks(fallback.sinks);
+        result.cost = fallback.cost;
+      } else {
+        result.graph = best->graph;
+        result.graph.SetSinks(best->sinks);
+        result.cost = best->cost;
+      }
+    }
+    result.stats.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    return result;
+  }
+
+ private:
+  void CollectNegatedGroups() {
+    const Query& q = catalog_.query();
+    for (int i = 0; i < q.num_ops(); ++i) {
+      if (q.op(i).kind == OpKind::kNseq) {
+        negated_groups_.push_back(q.SubtreeTypes(q.op(i).children[1]));
+      }
+    }
+  }
+
+  bool IsNegatedGroup(TypeSet p) const {
+    return std::find(negated_groups_.begin(), negated_groups_.end(), p) !=
+           negated_groups_.end();
+  }
+
+  /// Alg. 2: Π_ben — singletons and anti groups are always usable;
+  /// non-trivial projections pass the beneficial (and, for aMuSE*, the
+  /// star) filter.
+  void SelectCandidateProjections() {
+    const TypeSet full = catalog_.query().PrimitiveTypes();
+    stats_.projections_total = static_cast<int>(catalog_.All().size());
+    for (TypeSet p : catalog_.All()) {
+      if (p == full) continue;
+      if (p.size() == 1 || IsNegatedGroup(p)) {
+        candidates_.push_back(p);
+        continue;
+      }
+      if (options_.prune_beneficial && !IsBeneficialProjection(catalog_, p)) {
+        continue;
+      }
+      if (options_.star && !PassesStarFilter(catalog_, p)) continue;
+      candidates_.push_back(p);
+    }
+    stats_.projections_considered = static_cast<int>(candidates_.size());
+  }
+
+  /// Alg. 3 line 1: one multi-sink "graph" per primitive type, with a
+  /// vertex at every producer (each covering the bindings pinned to it).
+  void InitPrimitiveEntries() {
+    for (EventTypeId t : catalog_.query().PrimitiveTypes()) {
+      PlacedGraph pg;
+      for (NodeId n : net_.Producers(t)) {
+        int idx = pg.graph.AddVertex(PlanVertex{
+            query_, TypeSet::Of(t), n, static_cast<int>(t), false});
+        pg.sinks.push_back(idx);
+      }
+      pg.cost = 0;
+      pg.multi_sink = true;
+      pg.part_type = static_cast<int>(t);
+      table_.emplace(TableKey{TypeSet::Of(t).bits(), static_cast<int>(t)},
+                     std::move(pg));
+    }
+  }
+
+  /// §6.2 multi-query reuse: projections placed by earlier queries become
+  /// zero-cost table entries.
+  void RegisterReusedPlacements() {
+    for (TypeSet p : catalog_.All()) {
+      if (p.size() == 1) continue;  // primitives always exist everywhere
+      auto it = ctx_->placed.find(catalog_.Signature(p));
+      if (it == ctx_->placed.end()) continue;
+      // Partitioned groups: all producers of the partition type present?
+      for (EventTypeId t : p) {
+        std::set<NodeId> nodes;
+        for (const SharingContext::Placement& pl : it->second) {
+          if (pl.part_type == static_cast<int>(t)) nodes.insert(pl.node);
+        }
+        const std::vector<NodeId>& producers = net_.Producers(t);
+        if (producers.empty() ||
+            !std::all_of(producers.begin(), producers.end(),
+                         [&](NodeId n) { return nodes.count(n) != 0; })) {
+          continue;
+        }
+        PlacedGraph pg;
+        for (NodeId n : producers) {
+          pg.sinks.push_back(pg.graph.AddVertex(
+              PlanVertex{query_, p, n, static_cast<int>(t), true}));
+        }
+        pg.cost = 0;
+        pg.multi_sink = true;
+        pg.part_type = static_cast<int>(t);
+        UpdateIfCheaper(TableKey{p.bits(), static_cast<int>(t)},
+                        std::move(pg));
+      }
+      // Single-sink reuse: pick the first full-cover placement.
+      for (const SharingContext::Placement& pl : it->second) {
+        if (pl.part_type != kNoPartition) continue;
+        PlacedGraph pg;
+        pg.sinks.push_back(pg.graph.AddVertex(
+            PlanVertex{query_, p, pl.node, kNoPartition, true}));
+        pg.cost = 0;
+        pg.multi_sink = false;
+        pg.part_type = kNoPartition;
+        UpdateIfCheaper(TableKey{p.bits(), static_cast<int>(p.First())},
+                        std::move(pg));
+        break;
+      }
+    }
+  }
+
+  void UpdateIfCheaper(const TableKey& key, PlacedGraph&& pg) {
+    auto it = table_.find(key);
+    if (it == table_.end() || pg.cost < it->second.cost) {
+      table_[key] = std::move(pg);
+    }
+  }
+
+  const PlacedGraph* Lookup(TypeSet proj, int po) const {
+    auto it = table_.find({proj.bits(), po});
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+  /// Cheapest table entry for `proj` across placement options; +inf if
+  /// none.
+  double MinEntryCost(TypeSet proj) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (EventTypeId po : proj) {
+      const PlacedGraph* pg = Lookup(proj, static_cast<int>(po));
+      if (pg != nullptr) best = std::min(best, pg->cost);
+    }
+    return best;
+  }
+
+  bool TargetBudgetExhausted(int constructed_this_target) const {
+    return per_target_budget_ != 0 &&
+           constructed_this_target >= per_target_budget_;
+  }
+
+  /// The primitive combination for `target`, if it respects the negation
+  /// grouping rules; std::nullopt otherwise.
+  std::optional<Combination> PrimitiveCombination(TypeSet target) const {
+    Combination prim;
+    prim.target = target;
+    for (EventTypeId t : target) {
+      TypeSet single = TypeSet::Of(t);
+      for (TypeSet group : negated_groups_) {
+        if (group.IsProperSubsetOf(target) && single.Intersects(group) &&
+            single != group) {
+          return std::nullopt;
+        }
+      }
+      prim.parts.push_back(single);
+    }
+    return prim;
+  }
+
+  /// Alg. 3 lines 3-16 for one target projection.
+  void PlaceProjection(TypeSet target) {
+    std::vector<TypeSet> parts_pool;
+    for (TypeSet p : candidates_) {
+      if (p.IsProperSubsetOf(target)) parts_pool.push_back(p);
+    }
+    std::vector<Combination> combos = EnumerateCombinations(
+        target, parts_pool, negated_groups_, options_.combo);
+    stats_.combinations_enumerated += static_cast<int>(combos.size());
+
+    // Explore promising combinations first (small total input volume), so
+    // the lower-bound rejection in ConstructCandidate prunes the tail.
+    std::vector<double> volumes;
+    volumes.reserve(combos.size());
+    for (const Combination& c : combos) {
+      double total = 0;
+      for (TypeSet part : c.parts) {
+        total += catalog_.Rate(part) * catalog_.Bindings(part);
+      }
+      volumes.push_back(total);
+    }
+    std::vector<size_t> order(combos.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return volumes[a] < volumes[b];
+    });
+
+    // The primitive combination is processed first and unconditionally: it
+    // keeps the gather plan in the search space even if the enumeration
+    // cap truncated it (Π_ben always contains the primitive projections).
+    std::vector<const Combination*> ordered;
+    std::optional<Combination> prim = PrimitiveCombination(target);
+    if (prim.has_value()) ordered.push_back(&*prim);
+    for (size_t i : order) ordered.push_back(&combos[i]);
+
+    int stagnation = 0;
+    int constructed = 0;
+    bool first = true;
+    for (const Combination* cp : ordered) {
+      const Combination& c = *cp;
+      // The first (primitive) combination is always processed; search
+      // budgets only bound the exploration beyond it.
+      if (!first && TargetBudgetExhausted(constructed)) break;
+      if (!first && options_.stagnation_limit != 0 &&
+          stagnation > options_.stagnation_limit) {
+        break;
+      }
+      first = false;
+      bool improved = false;
+
+      int part_input = options_.enable_multi_sink
+                           ? FindPartitioningInput(catalog_, c)
+                           : -1;
+      if (part_input >= 0) {
+        // Partitioning multi-sink placement (Alg. 3 lines 5-10): the
+        // partitioning input's matches are never sent over the network.
+        TypeSet estar = c.parts[part_input];
+        for (EventTypeId po : estar) {
+          const PlacedGraph* pre = Lookup(estar, static_cast<int>(po));
+          if (pre == nullptr || !IsFullPartitionedCover(*pre, po)) continue;
+          improved |= ConstructCandidate(target, c, part_input,
+                                         static_cast<int>(po),
+                                         /*multi_sink=*/true, &constructed);
+        }
+      }
+      // Single-sink placements anchored at each predecessor's placement
+      // options (Alg. 3 lines 11-16). Unlike the paper's pseudo-code we
+      // construct these even when a partitioning input exists and let the
+      // exact graph cost decide: Eq. 6 does not account for broadcasting
+      // the other parts to every sink, so with many sinks a single-sink
+      // placement can win despite Eq. 6 holding.
+      for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+        if (options_.star &&
+            !StarAllowsPredecessor(catalog_, target, c.parts[ei])) {
+          continue;
+        }
+        for (EventTypeId po : c.parts[ei]) {
+          if (Lookup(c.parts[ei], static_cast<int>(po)) == nullptr) {
+            continue;
+          }
+          improved |= ConstructCandidate(target, c, static_cast<int>(ei),
+                                         static_cast<int>(po),
+                                         /*multi_sink=*/false, &constructed);
+        }
+      }
+      stagnation = improved ? 0 : stagnation + 1;
+    }
+  }
+
+  /// True if `pre` is partitioned on `po` with a sink at *every* producer
+  /// of `po` — the precondition for anchoring a partitioning multi-sink
+  /// placement on it (each sink then has its partitioning input locally).
+  bool IsFullPartitionedCover(const PlacedGraph& pre, EventTypeId po) const {
+    if (!pre.multi_sink || pre.part_type != static_cast<int>(po)) {
+      return false;
+    }
+    std::set<NodeId> nodes;
+    for (int s : pre.sinks) nodes.insert(pre.graph.vertex(s).node);
+    for (NodeId n : net_.Producers(po)) {
+      if (nodes.count(n) == 0) return false;
+    }
+    return true;
+  }
+
+  /// getSSP (Alg. 3 lines 23-26): choose the sink node of the anchor's
+  /// graph for the single-sink placement, preferring the node whose local
+  /// share of the target's input rate is largest (favoring local edges).
+  NodeId ChooseSinkNode(const PlacedGraph& pre, TypeSet target) const {
+    NodeId best = pre.graph.vertex(pre.sinks.front()).node;
+    double best_score = -1;
+    for (int s : pre.sinks) {
+      NodeId n = pre.graph.vertex(s).node;
+      // Score = input rate of the target that reaches n for free: locally
+      // produced streams, plus streams earlier queries already routed to n
+      // (§6.2 — this is what pulls related queries onto shared sinks).
+      double score = 0;
+      for (EventTypeId t : target) {
+        const double rate = net_.Rate(t);
+        const uint64_t sig = catalog_.SignatureHash(TypeSet::Of(t));
+        for (NodeId m : net_.Producers(t)) {
+          if (m == n) {
+            score += rate;
+          } else if (ctx_ != nullptr &&
+                     ctx_->paid_transfers.count(TransferKeyHash(
+                         sig, static_cast<int>(t), m, n)) != 0) {
+            score += rate;
+          }
+        }
+      }
+      if (score > best_score || (score == best_score && n < best)) {
+        best = n;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  /// Connection charges of delivering `pre`'s sink streams to the target's
+  /// sink nodes, as (key, weight) pairs (local deliveries and already-paid
+  /// transfers excluded).
+  std::vector<std::pair<uint64_t, double>> ConnectionCharges(
+      const PlacedGraph& pre, const std::vector<NodeId>& sink_nodes) const {
+    std::vector<std::pair<uint64_t, double>> out;
+    for (int s : pre.sinks) {
+      const PlanVertex& src = pre.graph.vertex(s);
+      for (NodeId dst : sink_nodes) {
+        if (src.node == dst) continue;
+        uint64_t key = TransferKeyHash(catalog_.SignatureHash(src.proj),
+                                       src.part_type, src.node, dst);
+        if (ctx_ != nullptr && ctx_->paid_transfers.count(key) != 0) {
+          continue;
+        }
+        out.emplace_back(key, StreamWeight(catalog_, src));
+      }
+    }
+    return out;
+  }
+
+  /// ConstructSubgraph (Alg. 3 lines 27-44): assemble the candidate for
+  /// `target` anchored at part `anchor` with placement option `po`.
+  /// Phase 1 costs the candidate purely on charge sets, greedily picking,
+  /// per remaining part, the placement option with the smallest marginal
+  /// cost (Alg. 3 lines 34-44); the merged graph is only materialized if
+  /// the candidate improves on its table bucket. Returns true on
+  /// improvement.
+  bool ConstructCandidate(TypeSet target, const Combination& c, int anchor,
+                          int po, bool multi_sink, int* constructed) {
+    const PlacedGraph* pre = Lookup(c.parts[anchor], po);
+    MUSE_CHECK(pre != nullptr, "anchor entry missing");
+
+    auto bucket = table_.find(TableKey{target.bits(), po});
+    const double bucket_cost = bucket == table_.end()
+                                   ? std::numeric_limits<double>::infinity()
+                                   : bucket->second.cost;
+
+    // Lower-bound rejection: the candidate's charge set is a superset of
+    // each sub-plan's, so its cost is at least every part's cheapest
+    // entry.
+    double lb = pre->cost;
+    for (size_t ei = 0; ei < c.parts.size() && lb < bucket_cost; ++ei) {
+      if (static_cast<int>(ei) == anchor) continue;
+      lb = std::max(lb, MinEntryCost(c.parts[ei]));
+    }
+    if (bucket_cost <= lb) return false;
+    // Only real charge-set assemblies count toward budgets; lower-bound
+    // rejections above are nearly free.
+    ++stats_.graphs_constructed;
+    ++*constructed;
+
+    // Sink nodes of the candidate.
+    std::vector<NodeId> sink_nodes;
+    if (multi_sink) {
+      std::set<NodeId> nodes;
+      for (int s : pre->sinks) nodes.insert(pre->graph.vertex(s).node);
+      sink_nodes.assign(nodes.begin(), nodes.end());
+    } else {
+      sink_nodes.push_back(ChooseSinkNode(*pre, target));
+    }
+
+    // Phase 1: cost on charge sets; record the chosen option per part.
+    ChargeSet charges = pre->charges;
+    if (!multi_sink) {
+      // Anchor sinks deliver to the single target node; for multi-sink
+      // anchors the partitioning input stays local (pairwise edges).
+      for (const auto& [key, weight] : ConnectionCharges(*pre, sink_nodes)) {
+        charges.Add(key, weight);
+      }
+    }
+    std::vector<int> chosen(c.parts.size(), -1);
+    for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+      if (static_cast<int>(ei) == anchor) continue;
+      TypeSet part = c.parts[ei];
+      double best_marginal = std::numeric_limits<double>::infinity();
+      const PlacedGraph* best_pre = nullptr;
+      for (EventTypeId po2 : part) {
+        const PlacedGraph* pre2 = Lookup(part, static_cast<int>(po2));
+        if (pre2 == nullptr) continue;
+        double marginal = charges.MarginalCost(
+            pre2->charges, ConnectionCharges(*pre2, sink_nodes));
+        if (marginal < best_marginal) {
+          best_marginal = marginal;
+          best_pre = pre2;
+          chosen[ei] = static_cast<int>(po2);
+        }
+      }
+      if (best_pre == nullptr) return false;  // part unplaceable
+      charges.MergeFrom(best_pre->charges);
+      for (const auto& [key, weight] :
+           ConnectionCharges(*best_pre, sink_nodes)) {
+        charges.Add(key, weight);
+      }
+      if (charges.total() >= bucket_cost) return false;  // already beaten
+    }
+
+    const double cost = charges.total();
+    if (cost >= bucket_cost) return false;
+
+    // Phase 2: materialize the winning candidate.
+    PlacedGraph pg;
+    pg.graph = pre->graph;
+    pg.multi_sink = multi_sink;
+    pg.part_type = multi_sink ? po : kNoPartition;
+    std::map<NodeId, int> sink_at_node;
+    for (NodeId n : sink_nodes) {
+      int idx = pg.graph.AddVertex(PlanVertex{
+          query_, target, n, multi_sink ? po : kNoPartition, false});
+      pg.sinks.push_back(idx);
+      sink_at_node[n] = idx;
+    }
+    for (int s : pre->sinks) {
+      if (multi_sink) {
+        auto it = sink_at_node.find(pre->graph.vertex(s).node);
+        MUSE_CHECK(it != sink_at_node.end(), "partition sink missing");
+        pg.graph.AddEdge(s, it->second);  // local edge
+      } else {
+        pg.graph.AddEdge(s, pg.sinks[0]);
+      }
+    }
+    for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+      if (static_cast<int>(ei) == anchor) continue;
+      const PlacedGraph* pre2 = Lookup(c.parts[ei], chosen[ei]);
+      MUSE_CHECK(pre2 != nullptr, "chosen option disappeared");
+      std::vector<int> remap = pg.graph.Merge(pre2->graph);
+      for (int s2 : pre2->sinks) {
+        for (int sink : pg.sinks) pg.graph.AddEdge(remap[s2], sink);
+      }
+    }
+    pg.charges = std::move(charges);
+    pg.cost = cost;
+    table_[TableKey{target.bits(), po}] = std::move(pg);
+    return true;
+  }
+
+  /// Fallback plan: every primitive stream of the query is shipped to the
+  /// single node where the total is cheapest. Always correct.
+  PlacedGraph BuildGatherFallback(TypeSet full) {
+    PlacedGraph best;
+    for (NodeId n = 0; n < static_cast<NodeId>(net_.num_nodes()); ++n) {
+      PlacedGraph pg;
+      int sink = pg.graph.AddVertex(
+          PlanVertex{query_, full, n, kNoPartition, false});
+      pg.sinks.push_back(sink);
+      for (EventTypeId t : full) {
+        for (NodeId producer : net_.Producers(t)) {
+          int idx = pg.graph.AddVertex(PlanVertex{
+              query_, TypeSet::Of(t), producer, static_cast<int>(t), false});
+          pg.graph.AddEdge(idx, sink);
+        }
+      }
+      pg.cost = GraphCost(pg.graph, catalogs_, ctx_);
+      if (pg.cost < best.cost) best = std::move(pg);
+    }
+    return best;
+  }
+
+  const ProjectionCatalog& catalog_;
+  const Network& net_;
+  PlannerOptions options_;
+  SharingContext* ctx_;
+  int query_;
+  std::vector<const ProjectionCatalog*> catalogs_;
+
+  std::vector<TypeSet> negated_groups_;
+  std::vector<TypeSet> candidates_;
+  std::map<TableKey, PlacedGraph> table_;
+  PlannerStats stats_;
+  int per_target_budget_ = 0;
+};
+
+}  // namespace
+
+PlanResult PlanQuery(const ProjectionCatalog& catalog,
+                     const PlannerOptions& options, SharingContext* ctx,
+                     int query_index) {
+  std::string why;
+  MUSE_CHECK(catalog.query().Validate(&why), "invalid query for planning");
+  MUSE_CHECK(!catalog.query().ContainsOr(),
+             "split OR queries before planning (SplitDisjunctions)");
+  return AmusePlanner(catalog, options, ctx, query_index).Run();
+}
+
+}  // namespace muse

@@ -1,0 +1,84 @@
+#ifndef MUSE_CORE_AMUSE_H_
+#define MUSE_CORE_AMUSE_H_
+
+#include <cstdint>
+
+#include "src/core/combination.h"
+#include "src/core/cost.h"
+#include "src/core/muse_graph.h"
+#include "src/core/projection.h"
+
+namespace muse {
+
+/// Configuration of the aMuSE planner (§6.2).
+struct PlannerOptions {
+  /// aMuSE* (§6.2): additionally restricts the considered projections and
+  /// the predecessors used for local placements. Faster, fewer projections,
+  /// potentially costlier plans.
+  bool star = false;
+
+  /// Enables partitioning multi-sink placements (§6.1.3). Disabling
+  /// restricts plans to single-sink placements of arbitrary projections —
+  /// an ablation isolating the contribution of multi-sink evaluation.
+  bool enable_multi_sink = true;
+
+  /// Enables the beneficial-projection pruning of Def. 13 / Theorem 3.
+  /// Disabling considers every valid projection — an ablation (and the
+  /// exhaustive planner's mode).
+  bool prune_beneficial = true;
+
+  /// Combination enumeration guard.
+  CombinationEnumOptions combo;
+
+  /// Global guard on constructed candidate graphs; when reached, remaining
+  /// candidates are skipped (a correct plan still results — the primitive
+  /// combination is always available). 0 = unlimited.
+  int max_graphs = 500'000;
+
+  /// Per-projection search budget: stop exploring a projection's
+  /// combinations after this many consecutive candidates fail to improve
+  /// any placement bucket (combinations are visited in ascending input-
+  /// volume order, so the tail rarely helps). 0 = unlimited.
+  int stagnation_limit = 2000;
+
+  /// Multi-query refinement sweeps (PlanWorkloadAmuse): after the
+  /// sequential pass, each query is replanned against the placements of
+  /// all other queries; improvements are kept. Makes the §6.2 reuse
+  /// symmetric (early queries can also adopt later queries' placements).
+  int refine_passes = 1;
+};
+
+/// Planner observability (Fig. 7d reports projections considered and
+/// construction time).
+struct PlannerStats {
+  int projections_total = 0;       ///< |Π(q)| (valid projection sets)
+  int projections_considered = 0;  ///< after beneficial/star pruning
+  int combinations_enumerated = 0;
+  int graphs_constructed = 0;
+  double elapsed_seconds = 0;
+};
+
+/// A finished evaluation plan: the MuSE graph, its network cost c(G), and
+/// planner statistics. `graph.sinks()` hosts the query's root projection.
+struct PlanResult {
+  MuseGraph graph;
+  double cost = 0;
+  PlannerStats stats;
+};
+
+/// Computes a MuSE graph for the catalog's query with the aMuSE algorithm
+/// (Alg. 2 enumeration + Alg. 3 bottom-up construction). With
+/// `options.star`, runs the aMuSE* variant.
+///
+/// `ctx` (optional) enables the multi-query extension (§6.2): placements
+/// and transfers recorded by previously planned queries are reused at zero
+/// cost; the caller is responsible for calling `RecordPlanInContext`
+/// afterwards (or using `PlanWorkload`, which does). `query_index` tags the
+/// plan's vertices with the query's position in the workload.
+PlanResult PlanQuery(const ProjectionCatalog& catalog,
+                     const PlannerOptions& options = {},
+                     SharingContext* ctx = nullptr, int query_index = 0);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_AMUSE_H_

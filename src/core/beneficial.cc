@@ -1,0 +1,51 @@
+#include "src/core/beneficial.h"
+
+namespace muse {
+
+bool IsBeneficialProjection(const ProjectionCatalog& catalog, TypeSet p) {
+  const Network& net = catalog.network();
+  double input_rate = 0;
+  for (EventTypeId t : p) input_rate += net.Rate(t);
+  return catalog.Rate(p) <= input_rate;
+}
+
+bool PassesStarFilter(const ProjectionCatalog& catalog, TypeSet p) {
+  if (p.size() <= 1) return true;
+  const Network& net = catalog.network();
+  const double total_output = catalog.Rate(p) * catalog.Bindings(p);
+  for (EventTypeId t : p) {
+    if (net.Rate(t) >= total_output) return true;
+  }
+  return false;
+}
+
+bool StarAllowsPredecessor(const ProjectionCatalog& catalog, TypeSet target,
+                           TypeSet predecessor) {
+  return catalog.Rate(predecessor) >=
+         catalog.Rate(target) * catalog.Bindings(target);
+}
+
+int FindPartitioningInput(const ProjectionCatalog& catalog,
+                          const Combination& c) {
+  for (size_t i = 0; i < c.parts.size(); ++i) {
+    double others = 0;
+    for (size_t j = 0; j < c.parts.size(); ++j) {
+      if (j == i) continue;
+      others += catalog.Rate(c.parts[j]) * catalog.Bindings(c.parts[j]);
+    }
+    if (catalog.Rate(c.parts[i]) >= others) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool SatisfiesBeneficialVertexInequality(
+    const ProjectionCatalog& catalog, TypeSet target, double cover,
+    const std::vector<std::pair<TypeSet, double>>& predecessor_covers) {
+  double rhs = 0;
+  for (const auto& [part, pre_cover] : predecessor_covers) {
+    rhs += catalog.Rate(part) * pre_cover;
+  }
+  return cover * catalog.Rate(target) <= rhs;
+}
+
+}  // namespace muse

@@ -1,0 +1,48 @@
+#ifndef MUSE_CORE_BENEFICIAL_H_
+#define MUSE_CORE_BENEFICIAL_H_
+
+#include <vector>
+
+#include "src/core/combination.h"
+#include "src/core/projection.h"
+
+namespace muse {
+
+/// Beneficial projection test (Def. 13, applied to the *primitive
+/// combination* as in Alg. 2): a projection can only reduce network traffic
+/// if its output rate does not exceed the summed rates of its primitive
+/// inputs, r̂(p) ≤ Σ_{t ∈ O_p^p} r(t). Projections failing this are pruned
+/// (Theorem 3: they cannot appear in an optimal MuSE graph).
+bool IsBeneficialProjection(const ProjectionCatalog& catalog, TypeSet p);
+
+/// Additional aMuSE* projection filter (§6.2): keep p only if some
+/// primitive input alone outweighs p's *total* output rate across all of
+/// its bindings: ∃ t ∈ p with r(t) ≥ r̂(p) · |𝔈(p)|. Not applied to
+/// singletons (primitive projections are always available as inputs).
+bool PassesStarFilter(const ProjectionCatalog& catalog, TypeSet p);
+
+/// aMuSE* predecessor filter (§6.2): a predecessor projection e of p is
+/// considered for (local) placements only if r̂(e) ≥ r̂(p) · |𝔈(p)|.
+bool StarAllowsPredecessor(const ProjectionCatalog& catalog, TypeSet target,
+                           TypeSet predecessor);
+
+/// Partitioning-input test, Eq. 6 (§6.1.3): part e of combination `c` can
+/// partition the placement of the target iff
+///   r̂(e) ≥ Σ_{ẽ ∈ parts \ e} r̂(ẽ) · |𝔈(ẽ)|,
+/// in which case matches of e are never sent over the network (each node
+/// producing e's placement-option type hosts the target). Returns the index
+/// of the partitioning input in c.parts, or -1. At most one part can
+/// satisfy the inequality.
+int FindPartitioningInput(const ProjectionCatalog& catalog,
+                          const Combination& c);
+
+/// Beneficial-vertex inequality of Def. 12 for a vertex with cover size
+/// `cover`, given the predecessor covers per part; exposed for tests and
+/// analysis: |𝔄(v)| · r̂(p) ≤ Σ_e r̂(e) · Σ_{w ∈ Pre(v,e)} |𝔄(w)|.
+bool SatisfiesBeneficialVertexInequality(
+    const ProjectionCatalog& catalog, TypeSet target, double cover,
+    const std::vector<std::pair<TypeSet, double>>& predecessor_covers);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_BENEFICIAL_H_

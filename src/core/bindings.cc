@@ -1,0 +1,76 @@
+#include "src/core/bindings.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+int Binding::NodeFor(EventTypeId type) const {
+  for (const auto& [t, n] : tuples) {
+    if (t == type) return static_cast<int>(n);
+  }
+  return -1;
+}
+
+bool Binding::IsSubBindingOf(const Binding& other) const {
+  for (const auto& tuple : tuples) {
+    if (std::find(other.tuples.begin(), other.tuples.end(), tuple) ==
+        other.tuples.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Binding Binding::Restrict(TypeSet types) const {
+  Binding out;
+  for (const auto& tuple : tuples) {
+    if (types.Contains(tuple.first)) out.tuples.push_back(tuple);
+  }
+  return out;
+}
+
+std::string Binding::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) out += " ";
+    out += "(E" + std::to_string(tuples[i].first) + ",n" +
+           std::to_string(tuples[i].second) + ")";
+  }
+  return out + "]";
+}
+
+double CountBindings(const Network& net, TypeSet types) {
+  double count = 1.0;
+  for (EventTypeId t : types) {
+    count *= static_cast<double>(net.NumProducers(t));
+  }
+  return count;
+}
+
+std::vector<Binding> EnumerateBindings(const Network& net, TypeSet types,
+                                       size_t limit) {
+  MUSE_CHECK(CountBindings(net, types) <= static_cast<double>(limit),
+             "binding enumeration too large; use CountBindings");
+  std::vector<Binding> acc = {Binding{}};
+  for (EventTypeId t : types) {
+    std::vector<Binding> next;
+    next.reserve(acc.size() * net.NumProducers(t));
+    for (const Binding& b : acc) {
+      for (NodeId n : net.Producers(t)) {
+        Binding extended = b;
+        extended.tuples.emplace_back(t, n);
+        next.push_back(std::move(extended));
+      }
+    }
+    acc = std::move(next);
+  }
+  // A type without producers yields no bindings at all.
+  for (EventTypeId t : types) {
+    if (net.NumProducers(t) == 0) return {};
+  }
+  return acc;
+}
+
+}  // namespace muse

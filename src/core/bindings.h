@@ -1,0 +1,52 @@
+#ifndef MUSE_CORE_BINDINGS_H_
+#define MUSE_CORE_BINDINGS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/typeset.h"
+#include "src/cep/event.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// An event type binding (Def. 1): one (event type, node) tuple per
+/// primitive operator of a query/projection, identifying a combination of
+/// origins that can contribute a single match. Tuples are kept sorted by
+/// type id. Since queries do not repeat primitive types (§6), this is a set
+/// rather than a bag.
+struct Binding {
+  std::vector<std::pair<EventTypeId, NodeId>> tuples;
+
+  /// The node bound to `type`, or -1 if the type is not in the binding.
+  int NodeFor(EventTypeId type) const;
+
+  /// True if this binding is a sub-bag of `other` (every tuple appears in
+  /// `other`), cf. §4.1: bindings of a projection are sub-bags of the
+  /// bindings of the query.
+  bool IsSubBindingOf(const Binding& other) const;
+
+  /// Restriction to the given types.
+  Binding Restrict(TypeSet types) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Binding& a, const Binding& b) = default;
+  friend auto operator<=>(const Binding& a, const Binding& b) = default;
+};
+
+/// The number of event type bindings |𝔈| of a projection with primitive
+/// types `types` in `net`: the product over the types of their producer
+/// counts. Returned as double — counts grow as |N|^|O_p|.
+double CountBindings(const Network& net, TypeSet types);
+
+/// Materializes 𝔈(Γ, q) for the projection with primitive types `types`
+/// (§4.1). Intended for tests and small instances; checks that the result
+/// stays below `limit`.
+std::vector<Binding> EnumerateBindings(const Network& net, TypeSet types,
+                                       size_t limit = 1 << 20);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_BINDINGS_H_

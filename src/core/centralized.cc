@@ -1,0 +1,46 @@
+#include "src/core/centralized.h"
+
+namespace muse {
+
+TypeSet WorkloadTypes(const std::vector<Query>& workload) {
+  TypeSet types;
+  for (const Query& q : workload) {
+    types = types.Union(q.PrimitiveTypes());
+  }
+  return types;
+}
+
+double CentralizedWorkloadCost(const Network& net,
+                               const std::vector<Query>& workload) {
+  return net.GlobalRate(WorkloadTypes(workload));
+}
+
+MuseGraph BuildCentralizedPlan(
+    const std::vector<const ProjectionCatalog*>& catalogs, NodeId sink) {
+  MuseGraph g;
+  std::vector<int> sinks;
+  for (size_t qi = 0; qi < catalogs.size(); ++qi) {
+    const ProjectionCatalog& cat = *catalogs[qi];
+    const Network& net = cat.network();
+    TypeSet full = cat.query().PrimitiveTypes();
+    int root = g.AddVertex(PlanVertex{static_cast<int>(qi), full, sink,
+                                      kNoPartition, false});
+    sinks.push_back(root);
+    if (full.size() == 1) {
+      // Single-primitive query: the "root" is the primitive stream itself,
+      // still gathered at the sink to mirror centralized evaluation.
+    }
+    for (EventTypeId t : full) {
+      for (NodeId producer : net.Producers(t)) {
+        int pv = g.AddVertex(PlanVertex{static_cast<int>(qi), TypeSet::Of(t),
+                                        producer, static_cast<int>(t),
+                                        false});
+        if (pv != root) g.AddEdge(pv, root);
+      }
+    }
+  }
+  g.SetSinks(std::move(sinks));
+  return g;
+}
+
+}  // namespace muse

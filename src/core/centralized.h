@@ -1,0 +1,32 @@
+#ifndef MUSE_CORE_CENTRALIZED_H_
+#define MUSE_CORE_CENTRALIZED_H_
+
+#include <vector>
+
+#include "src/cep/query.h"
+#include "src/core/muse_graph.h"
+#include "src/core/projection.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// Network cost of the centralized baseline for a workload (§3, §7.1):
+/// every event of every type referenced by some query is shipped once to a
+/// central instance *outside* the network. This is the denominator of the
+/// transmission-ratio metric.
+double CentralizedWorkloadCost(const Network& net,
+                               const std::vector<Query>& workload);
+
+/// Union of the primitive types of a workload's queries.
+TypeSet WorkloadTypes(const std::vector<Query>& workload);
+
+/// A centralized plan *inside* the network, for executing the baseline in
+/// the distributed runtime: all primitive streams of all queries flow to
+/// `sink`, where each query is evaluated against the unified stream.
+/// Expressed as a MuSE graph (one single-sink full-query vertex per query).
+MuseGraph BuildCentralizedPlan(
+    const std::vector<const ProjectionCatalog*>& catalogs, NodeId sink);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_CENTRALIZED_H_

@@ -1,0 +1,117 @@
+#include "src/core/combination.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+std::string Combination::ToString() const {
+  std::string out = target.ToString() + " <- {";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i].ToString();
+  }
+  return out + "}";
+}
+
+bool IsCorrectCombination(const Combination& c) {
+  if (c.parts.empty()) return false;
+  TypeSet covered;
+  for (TypeSet part : c.parts) {
+    if (part.empty() || !part.IsProperSubsetOf(c.target)) return false;
+    covered = covered.Union(part);
+  }
+  return covered == c.target;
+}
+
+bool IsRedundantCombination(const Combination& c) {
+  for (size_t i = 0; i < c.parts.size(); ++i) {
+    TypeSet others;
+    for (size_t j = 0; j < c.parts.size(); ++j) {
+      if (j != i) others = others.Union(c.parts[j]);
+    }
+    if (c.parts[i].IsSubsetOf(others)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct EnumState {
+  TypeSet target;
+  const std::vector<TypeSet>* usable;
+  const std::vector<TypeSet>* negated_groups;
+  size_t max_combinations;
+  size_t max_parts;
+  std::set<std::vector<TypeSet>> seen;
+  std::vector<Combination>* out;
+};
+
+/// Recursively extends `chosen` until the target is covered. At each step
+/// the lowest still-uncovered type is picked and every usable part
+/// containing it is tried; this bounds the recursion depth by |target| and
+/// reaches every cover. Duplicates (same part set reached via different
+/// orders) are removed via `seen`.
+void Extend(EnumState& st, TypeSet covered, std::vector<TypeSet>& chosen) {
+  if (st.max_combinations != 0 && st.out->size() >= st.max_combinations) {
+    return;
+  }
+  if (covered == st.target) {
+    Combination c;
+    c.target = st.target;
+    c.parts = chosen;
+    std::sort(c.parts.begin(), c.parts.end());
+    if (!st.seen.insert(c.parts).second) return;
+    if (IsRedundantCombination(c)) return;
+    st.out->push_back(std::move(c));
+    return;
+  }
+  if (st.max_parts != 0 && chosen.size() >= st.max_parts) return;
+  EventTypeId next = st.target.Minus(covered).First();
+  for (TypeSet part : *st.usable) {
+    if (!part.Contains(next)) continue;
+    // Skip parts already chosen (a combination is a set of projections).
+    if (std::find(chosen.begin(), chosen.end(), part) != chosen.end()) {
+      continue;
+    }
+    chosen.push_back(part);
+    Extend(st, covered.Union(part), chosen);
+    chosen.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Combination> EnumerateCombinations(
+    TypeSet target, const std::vector<TypeSet>& candidates,
+    const std::vector<TypeSet>& negated_groups,
+    const CombinationEnumOptions& options) {
+  // Filter candidates: proper non-empty subsets respecting the negation
+  // grouping rule.
+  std::vector<TypeSet> usable;
+  for (TypeSet part : candidates) {
+    if (part.empty() || !part.IsProperSubsetOf(target)) continue;
+    bool ok = true;
+    for (TypeSet group : negated_groups) {
+      // The rule only constrains targets that contain the negated pattern
+      // as a proper part; the negated pattern itself is composed freely.
+      if (!group.IsProperSubsetOf(target)) continue;
+      if (part.Intersects(group) && part != group) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) usable.push_back(part);
+  }
+
+  std::vector<Combination> out;
+  EnumState st{target,  &usable, &negated_groups, options.max_combinations,
+               options.max_parts, {},      &out};
+  std::vector<TypeSet> chosen;
+  Extend(st, TypeSet(), chosen);
+  return out;
+}
+
+}  // namespace muse

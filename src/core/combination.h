@@ -1,0 +1,68 @@
+#ifndef MUSE_CORE_COMBINATION_H_
+#define MUSE_CORE_COMBINATION_H_
+
+#include <vector>
+
+#include "src/cep/query.h"
+#include "src/common/typeset.h"
+
+namespace muse {
+
+/// A combination (Def. 5) for one target projection: the set of predecessor
+/// projections β(target) whose matches are composed into matches of the
+/// target. Parts are identified by their projection type sets and kept
+/// sorted for canonical identity.
+struct Combination {
+  TypeSet target;
+  std::vector<TypeSet> parts;
+
+  std::string ToString() const;
+  friend bool operator==(const Combination& a, const Combination& b) = default;
+};
+
+/// Structural correctness of a combination (Def. 6 / Alg. 2): the parts are
+/// non-empty proper subsets of the target whose union equals the target.
+/// Together with the evaluator's merge-consistency on overlapping types,
+/// this guarantees every target match arises as an interleaving of part
+/// matches (§5.1): the projection of any target match onto a part's types
+/// is a match of that part (§4.2).
+bool IsCorrectCombination(const Combination& c);
+
+/// Redundancy (Def. 15): some part's primitive operators are fully covered
+/// by the union of the other parts. Optimal MuSE graphs never use redundant
+/// combinations (Theorem 5).
+bool IsRedundantCombination(const Combination& c);
+
+/// Options for combination enumeration.
+struct CombinationEnumOptions {
+  /// Upper bound on enumerated combinations per target (a practical guard;
+  /// the space is doubly exponential, §6). 0 = unlimited.
+  size_t max_combinations = 20'000;
+
+  /// Upper bound on the number of parts per combination. Non-redundancy
+  /// already bounds it by |target|; restricting it further loses little:
+  /// the bottom-up construction composes larger decompositions from nested
+  /// smaller ones. The planner always adds the primitive combination
+  /// separately. 0 = unlimited.
+  size_t max_parts = 3;
+};
+
+/// Enumerates the correct, non-redundant combinations of `target` whose
+/// parts are drawn from `candidates` (Alg. 2 lines 5–9). `candidates` must
+/// be proper subsets of `target` (others are skipped). For queries with
+/// negation, `negated_groups` lists each NSEQ middle type set of the query:
+/// a part must either avoid the group or be exactly the group (the anti
+/// part; see DESIGN.md).
+///
+/// Non-redundancy bounds the number of parts by |target| (each part must
+/// contribute a type no other part contributes... at least one part-unique
+/// type), so enumeration proceeds by repeatedly covering the lowest
+/// uncovered type.
+std::vector<Combination> EnumerateCombinations(
+    TypeSet target, const std::vector<TypeSet>& candidates,
+    const std::vector<TypeSet>& negated_groups = {},
+    const CombinationEnumOptions& options = {});
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_COMBINATION_H_

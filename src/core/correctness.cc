@@ -1,0 +1,148 @@
+#include "src/core/correctness.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/core/bindings.h"
+#include "src/core/combination.h"
+
+namespace muse {
+namespace {
+
+bool Fail(std::string* why, const std::string& message) {
+  if (why != nullptr) *why = message;
+  return false;
+}
+
+/// Does the graph place projection-signature `sig` (a singleton of type
+/// `t`) at node `n`? Cross-query singleton placements count (§6.2).
+bool HasPrimitiveVertex(const MuseGraph& g,
+                        const std::vector<const ProjectionCatalog*>& catalogs,
+                        const std::string& sig, EventTypeId t, NodeId n) {
+  for (const PlanVertex& v : g.vertices()) {
+    if (v.node != n || !v.IsPrimitive() || v.proj.First() != t) continue;
+    if (catalogs[v.query]->Signature(v.proj) == sig) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsWellFormed(const MuseGraph& g,
+                  const std::vector<const ProjectionCatalog*>& catalogs,
+                  std::string* why) {
+  // (i) Every (query, primitive type, producer) is represented.
+  for (size_t qi = 0; qi < catalogs.size(); ++qi) {
+    const ProjectionCatalog& cat = *catalogs[qi];
+    const Network& net = cat.network();
+    for (EventTypeId t : cat.query().PrimitiveTypes()) {
+      const std::string& sig = cat.Signature(TypeSet::Of(t));
+      for (NodeId n : net.Producers(t)) {
+        if (!HasPrimitiveVertex(g, catalogs, sig, t, n)) {
+          return Fail(why, "missing primitive vertex for type " +
+                               std::to_string(t) + " at node " +
+                               std::to_string(n) + " (query " +
+                               std::to_string(qi) + ")");
+        }
+      }
+    }
+  }
+
+  // (ii) Per-vertex combination correctness.
+  for (int vi = 0; vi < g.num_vertices(); ++vi) {
+    const PlanVertex& v = g.vertex(vi);
+    if (v.IsPrimitive() || v.reused) continue;
+    std::set<uint64_t> part_bits;
+    std::vector<TypeSet> parts;
+    for (int pi : g.Predecessors(vi)) {
+      TypeSet p = g.vertex(pi).proj;
+      if (part_bits.insert(p.bits()).second) parts.push_back(p);
+    }
+    Combination c{v.proj, parts};
+    if (!IsCorrectCombination(c)) {
+      return Fail(why, "vertex " + v.ToString() +
+                           " has an incorrect combination: " + c.ToString());
+    }
+  }
+  return true;
+}
+
+bool IsComplete(const MuseGraph& g,
+                const std::vector<const ProjectionCatalog*>& catalogs,
+                std::string* why) {
+  for (size_t qi = 0; qi < catalogs.size(); ++qi) {
+    const ProjectionCatalog& cat = *catalogs[qi];
+    const Network& net = cat.network();
+    TypeSet full = cat.query().PrimitiveTypes();
+    const std::string& sig = cat.Signature(full);
+
+    std::vector<PlanVertex> roots;
+    for (const PlanVertex& v : g.vertices()) {
+      if (v.proj == full && catalogs[v.query]->Signature(v.proj) == sig) {
+        roots.push_back(v);
+      }
+    }
+    if (roots.empty()) {
+      return Fail(why, "query " + std::to_string(qi) + " has no sink");
+    }
+    // Single-sink cover?
+    bool covered = std::any_of(
+        roots.begin(), roots.end(),
+        [](const PlanVertex& v) { return v.part_type == kNoPartition; });
+    if (!covered) {
+      // Partitioned group spanning all producers of some type?
+      for (EventTypeId t : full) {
+        std::set<NodeId> nodes;
+        for (const PlanVertex& v : roots) {
+          if (v.part_type == static_cast<int>(t)) nodes.insert(v.node);
+        }
+        const std::vector<NodeId>& producers = net.Producers(t);
+        if (!producers.empty() &&
+            std::all_of(producers.begin(), producers.end(),
+                        [&](NodeId n) { return nodes.count(n) != 0; })) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (!covered) {
+      return Fail(why, "query " + std::to_string(qi) +
+                           "'s sinks do not cover all event type bindings");
+    }
+  }
+  return true;
+}
+
+bool IsCorrectPlan(const MuseGraph& g,
+                   const std::vector<const ProjectionCatalog*>& catalogs,
+                   std::string* why) {
+  return IsWellFormed(g, catalogs, why) && IsComplete(g, catalogs, why);
+}
+
+bool IsCorrectPlan(const MuseGraph& g, const ProjectionCatalog& catalog,
+                   std::string* why) {
+  std::vector<const ProjectionCatalog*> catalogs = {&catalog};
+  return IsCorrectPlan(g, catalogs, why);
+}
+
+bool VerticesCoverAllBindings(const std::vector<PlanVertex>& vertices,
+                              const Network& net, TypeSet proj) {
+  std::vector<Binding> bindings = EnumerateBindings(net, proj);
+  for (const Binding& b : bindings) {
+    bool covered = false;
+    for (const PlanVertex& v : vertices) {
+      if (v.proj != proj) continue;
+      if (v.part_type == kNoPartition ||
+          b.NodeFor(static_cast<EventTypeId>(v.part_type)) ==
+              static_cast<int>(v.node)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace muse

@@ -1,0 +1,51 @@
+#ifndef MUSE_CORE_CORRECTNESS_H_
+#define MUSE_CORE_CORRECTNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/muse_graph.h"
+#include "src/core/projection.h"
+
+namespace muse {
+
+/// Well-formedness (Def. 7) of a MuSE graph for the workload described by
+/// `catalogs` (one catalog per query):
+///  (i)  for each query, each primitive type and each node producing it,
+///       the graph contains the corresponding primitive vertex (possibly
+///       owned by another query with an identical singleton projection);
+///  (ii) for each non-primitive, non-reused vertex v, the predecessor
+///       projections form a correct combination of v's projection
+///       (union == v.proj, each a proper subset; Def. 6 structurally).
+bool IsWellFormed(const MuseGraph& g,
+                  const std::vector<const ProjectionCatalog*>& catalogs,
+                  std::string* why = nullptr);
+
+/// Completeness (Def. 8): for each query, the vertices hosting the full
+/// query jointly cover all of its event type bindings — either a
+/// single-sink vertex (full cover) or a partitioned group whose nodes span
+/// every producer of the partitioning type.
+bool IsComplete(const MuseGraph& g,
+                const std::vector<const ProjectionCatalog*>& catalogs,
+                std::string* why = nullptr);
+
+/// Correct = well-formed and complete (§5.2).
+bool IsCorrectPlan(const MuseGraph& g,
+                   const std::vector<const ProjectionCatalog*>& catalogs,
+                   std::string* why = nullptr);
+
+/// Single-query conveniences.
+bool IsCorrectPlan(const MuseGraph& g, const ProjectionCatalog& catalog,
+                   std::string* why = nullptr);
+
+/// Checks, by materializing bindings (small networks only), that the given
+/// vertices of projection `proj` jointly cover 𝔈(proj): every binding is
+/// covered by at least one vertex — full cover, or partition tuple at the
+/// vertex's node (Def. 4). Used by tests as the ground-truth version of the
+/// descriptor-based cover reasoning.
+bool VerticesCoverAllBindings(const std::vector<PlanVertex>& vertices,
+                              const Network& net, TypeSet proj);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_CORRECTNESS_H_

@@ -1,0 +1,161 @@
+#include "src/core/cost.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+uint64_t TransferKeyHash(uint64_t sig_hash, int part_type, NodeId src,
+                         NodeId dst) {
+  // Mix the routing fields into the signature hash (splitmix64 finalizer).
+  uint64_t h = sig_hash ^ (static_cast<uint64_t>(static_cast<uint32_t>(
+                               part_type + 1))
+                           << 40) ^
+               (static_cast<uint64_t>(src) << 20) ^ static_cast<uint64_t>(dst);
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+double StreamWeight(const ProjectionCatalog& cat, const PlanVertex& src) {
+  // |𝔄(v)| = |𝔈(p)| for full covers; pinning the partition type's tuple to
+  // v.node divides by that type's producer count.
+  double cover = cat.Bindings(src.proj);
+  if (src.part_type != kNoPartition) {
+    int producers = cat.network().NumProducers(
+        static_cast<EventTypeId>(src.part_type));
+    MUSE_CHECK(producers > 0, "partition type without producers");
+    cover /= producers;
+  }
+  return cat.Rate(src.proj) * cover;
+}
+
+bool ChargeSet::Contains(uint64_t key) const {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), key,
+      [](const std::pair<uint64_t, double>& a, uint64_t k) {
+        return a.first < k;
+      });
+  return it != items_.end() && it->first == key;
+}
+
+bool ChargeSet::Add(uint64_t key, double weight) {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), key,
+      [](const std::pair<uint64_t, double>& a, uint64_t k) {
+        return a.first < k;
+      });
+  if (it != items_.end() && it->first == key) return false;
+  items_.insert(it, {key, weight});
+  total_ += weight;
+  return true;
+}
+
+void ChargeSet::MergeFrom(const ChargeSet& other) {
+  if (other.items_.empty()) return;
+  std::vector<std::pair<uint64_t, double>> merged;
+  merged.reserve(items_.size() + other.items_.size());
+  size_t i = 0;
+  size_t j = 0;
+  double total = 0;
+  while (i < items_.size() || j < other.items_.size()) {
+    bool take_mine = j >= other.items_.size() ||
+                     (i < items_.size() &&
+                      items_[i].first <= other.items_[j].first);
+    if (take_mine) {
+      if (j < other.items_.size() &&
+          items_[i].first == other.items_[j].first) {
+        ++j;  // duplicate stream: charged once
+      }
+      total += items_[i].second;
+      merged.push_back(items_[i++]);
+    } else {
+      total += other.items_[j].second;
+      merged.push_back(other.items_[j++]);
+    }
+  }
+  items_ = std::move(merged);
+  total_ = total;
+}
+
+double ChargeSet::MarginalCost(
+    const ChargeSet& other,
+    const std::vector<std::pair<uint64_t, double>>& extra) const {
+  double marginal = 0;
+  // Two-pointer scan: weights of `other` missing here.
+  size_t i = 0;
+  for (const auto& [key, weight] : other.items_) {
+    while (i < items_.size() && items_[i].first < key) ++i;
+    if (i >= items_.size() || items_[i].first != key) marginal += weight;
+  }
+  // Extras: dedup against both sets and among themselves.
+  for (size_t a = 0; a < extra.size(); ++a) {
+    const auto& [key, weight] = extra[a];
+    if (Contains(key) || other.Contains(key)) continue;
+    bool dup = false;
+    for (size_t b = 0; b < a; ++b) {
+      if (extra[b].first == key) dup = true;
+    }
+    if (!dup) marginal += weight;
+  }
+  return marginal;
+}
+
+double GraphCost(const MuseGraph& g,
+                 const std::vector<const ProjectionCatalog*>& catalogs,
+                 const SharingContext* ctx) {
+  // One charge per distinct (stream, destination node): grouping by
+  // transfer key realizes both the same-plan sharing term 1/|V_{v,n'}| of
+  // §4.4 (several placements at one node receive a predecessor's matches
+  // once) and cross-query stream dedup (§6.2).
+  std::unordered_map<uint64_t, double> charges;
+  for (const auto& [from, to] : g.edges()) {
+    const PlanVertex& src = g.vertex(from);
+    const PlanVertex& dst = g.vertex(to);
+    if (src.node == dst.node) continue;  // local edge, weight 0
+    MUSE_CHECK(src.query >= 0 &&
+                   src.query < static_cast<int>(catalogs.size()),
+               "vertex query index out of catalog range");
+    const ProjectionCatalog& cat = *catalogs[src.query];
+    const uint64_t key = TransferKeyHash(cat.SignatureHash(src.proj),
+                                         src.part_type, src.node, dst.node);
+    if (ctx != nullptr && ctx->paid_transfers.count(key) != 0) continue;
+    charges.emplace(key, StreamWeight(cat, src));
+  }
+  double total = 0;
+  for (const auto& [key, weight] : charges) total += weight;
+  return total;
+}
+
+double GraphCost(const MuseGraph& g, const ProjectionCatalog& catalog,
+                 const SharingContext* ctx) {
+  std::vector<const ProjectionCatalog*> catalogs = {&catalog};
+  return GraphCost(g, catalogs, ctx);
+}
+
+void RecordPlanInContext(const MuseGraph& g,
+                         const std::vector<const ProjectionCatalog*>& catalogs,
+                         SharingContext* ctx) {
+  for (const PlanVertex& v : g.vertices()) {
+    const ProjectionCatalog& cat = *catalogs[v.query];
+    if (v.reused) continue;  // recorded by the earlier query already
+    ctx->placed[cat.Signature(v.proj)].push_back(
+        SharingContext::Placement{v.node, v.part_type});
+  }
+  for (const auto& [from, to] : g.edges()) {
+    const PlanVertex& src = g.vertex(from);
+    const PlanVertex& dst = g.vertex(to);
+    if (src.node == dst.node) continue;
+    const ProjectionCatalog& cat = *catalogs[src.query];
+    ctx->paid_transfers.insert(TransferKeyHash(
+        cat.SignatureHash(src.proj), src.part_type, src.node, dst.node));
+  }
+}
+
+double CentralizedCost(const Network& net, TypeSet types) {
+  return net.GlobalRate(types);
+}
+
+}  // namespace muse

@@ -1,0 +1,105 @@
+#ifndef MUSE_CORE_COST_H_
+#define MUSE_CORE_COST_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/muse_graph.h"
+#include "src/core/projection.h"
+
+namespace muse {
+
+/// Cross-query sharing state for the multi-query extension (§6.2). After a
+/// query is planned, its placements and network transfers are recorded so
+/// that later queries can (a) reuse placed projections at zero placement
+/// cost and (b) not pay again for match streams already flowing between a
+/// pair of nodes.
+struct SharingContext {
+  struct Placement {
+    NodeId node;
+    int part_type;
+  };
+  /// Projection signature -> placements established by earlier queries.
+  std::unordered_map<std::string, std::vector<Placement>> placed;
+  /// Hashed transfer keys (see `TransferKeyHash`) already paid for.
+  std::unordered_set<uint64_t> paid_transfers;
+};
+
+/// Key identifying one match stream over one network link: the projection's
+/// signature hash + its cover partition + source and destination node.
+/// Identical streams are charged once (both within a plan — the
+/// 1/|V_{v,n'}| sharing term of §4.4 — and across queries, §6.2).
+uint64_t TransferKeyHash(uint64_t sig_hash, int part_type, NodeId src,
+                         NodeId dst);
+
+/// Weight of the stream leaving vertex `src`: r̂(p) · |𝔄(src)| (§4.4),
+/// computed from catalog aggregates in O(1).
+double StreamWeight(const ProjectionCatalog& cat, const PlanVertex& src);
+
+/// A network-cost decomposition: the set of distinct charged match streams
+/// (transfer-key hash -> weight) of a (partial) plan, with their sum.
+/// Because streams deduplicate by key, the cost of a union of sub-plans is
+/// the total of the union of their charge sets — the planner's workhorse
+/// for costing candidate placements without materializing merged graphs.
+///
+/// Stored as a key-sorted vector: copying is a flat memcpy-like operation
+/// and unions are linear merges, which is what makes the planner's
+/// hot loop cheap.
+class ChargeSet {
+ public:
+  ChargeSet() = default;
+
+  double total() const { return total_; }
+  size_t size() const { return items_.size(); }
+  bool Contains(uint64_t key) const;
+
+  /// Inserts (key, weight) if absent; returns true if inserted.
+  bool Add(uint64_t key, double weight);
+
+  /// Unions `other` into this set.
+  void MergeFrom(const ChargeSet& other);
+
+  /// Sum of the weights in `other` (plus the `extra` (key, weight) pairs)
+  /// that are *not* already contained here — the marginal cost of adding a
+  /// sub-plan. `extra` entries duplicated within themselves or present in
+  /// `other` are counted once.
+  double MarginalCost(const ChargeSet& other,
+                      const std::vector<std::pair<uint64_t, double>>& extra)
+      const;
+
+ private:
+  std::vector<std::pair<uint64_t, double>> items_;  // sorted by key
+  double total_ = 0;
+};
+
+/// Network cost c(G) of a MuSE graph (§4.4): the sum over network edges of
+/// r̂(p) · |𝔄(v)|, where each distinct match stream per destination node is
+/// charged once. Local edges (same node) cost zero; transfers recorded in
+/// `ctx` cost zero.
+///
+/// `catalogs[i]` must be the projection catalog of workload query i.
+double GraphCost(const MuseGraph& g,
+                 const std::vector<const ProjectionCatalog*>& catalogs,
+                 const SharingContext* ctx = nullptr);
+
+/// Single-query convenience overload.
+double GraphCost(const MuseGraph& g, const ProjectionCatalog& catalog,
+                 const SharingContext* ctx = nullptr);
+
+/// Records the plan's placements and paid transfers into `ctx` (§6.2);
+/// called after each query of a workload is planned.
+void RecordPlanInContext(const MuseGraph& g,
+                         const std::vector<const ProjectionCatalog*>& catalogs,
+                         SharingContext* ctx);
+
+/// The network cost of centralized evaluation of `types` (§3): every event
+/// of every type is shipped to a sink outside the network. The reference
+/// point of the *transmission ratio* metric (§7.1).
+double CentralizedCost(const Network& net, TypeSet types);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_COST_H_

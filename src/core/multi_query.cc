@@ -1,0 +1,214 @@
+#include "src/core/multi_query.h"
+
+#include "src/common/check.h"
+#include <limits>
+#include <set>
+
+#include "src/core/centralized.h"
+
+namespace muse {
+
+WorkloadCatalogs::WorkloadCatalogs(const std::vector<Query>& workload,
+                                   const Network& net)
+    : workload_(workload), net_(&net) {
+  MUSE_CHECK(!workload.empty(), "empty workload");
+  catalogs_.reserve(workload_.size());
+  for (const Query& q : workload_) {
+    std::string why;
+    MUSE_CHECK(q.Validate(&why), "invalid workload query");
+    MUSE_CHECK(!q.ContainsOr(), "split OR queries before planning");
+    catalogs_.push_back(std::make_unique<ProjectionCatalog>(q, net));
+  }
+}
+
+std::vector<const ProjectionCatalog*> WorkloadCatalogs::Pointers() const {
+  std::vector<const ProjectionCatalog*> out;
+  out.reserve(catalogs_.size());
+  for (const auto& c : catalogs_) out.push_back(c.get());
+  return out;
+}
+
+namespace {
+
+void FinalizeWorkloadPlan(const WorkloadCatalogs& catalogs,
+                          WorkloadPlan* plan) {
+  std::vector<const ProjectionCatalog*> cats = catalogs.Pointers();
+  // Total cost over the merged graph: identical streams shared across
+  // queries are charged once (signature-level grouping in GraphCost).
+  plan->total_cost = GraphCost(plan->combined, cats);
+  plan->centralized_cost =
+      CentralizedWorkloadCost(catalogs.network(), catalogs.workload());
+  plan->transmission_ratio =
+      plan->centralized_cost > 0 ? plan->total_cost / plan->centralized_cost
+                                 : 0;
+}
+
+}  // namespace
+
+namespace {
+
+/// Total workload cost if `plans` were deployed together (shared streams
+/// charged once).
+double CombinedCost(const std::vector<PlanResult>& plans,
+                    const std::vector<const ProjectionCatalog*>& cats) {
+  MuseGraph combined;
+  for (const PlanResult& r : plans) combined.Merge(r.graph);
+  return GraphCost(combined, cats);
+}
+
+std::string PlacementKey(const std::vector<const ProjectionCatalog*>& cats,
+                         const PlanVertex& v) {
+  return cats[v.query]->Signature(v.proj) + "|" + std::to_string(v.node) +
+         "|" + std::to_string(v.part_type);
+}
+
+/// Placements a plan *provides* (non-reused vertices).
+std::set<std::string> ProvidedPlacements(
+    const MuseGraph& g, const std::vector<const ProjectionCatalog*>& cats) {
+  std::set<std::string> out;
+  for (const PlanVertex& v : g.vertices()) {
+    if (!v.reused) out.insert(PlacementKey(cats, v));
+  }
+  return out;
+}
+
+/// Placements a plan *consumes* from other plans (reused vertices, §6.2).
+std::set<std::string> ConsumedPlacements(
+    const MuseGraph& g, const std::vector<const ProjectionCatalog*>& cats) {
+  std::set<std::string> out;
+  for (const PlanVertex& v : g.vertices()) {
+    if (v.reused) out.insert(PlacementKey(cats, v));
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkloadPlan PlanWorkloadAmuse(const WorkloadCatalogs& catalogs,
+                               const PlannerOptions& options) {
+  WorkloadPlan plan;
+  SharingContext ctx;
+  std::vector<const ProjectionCatalog*> cats = catalogs.Pointers();
+  for (int i = 0; i < catalogs.size(); ++i) {
+    PlanResult r = PlanQuery(catalogs.catalog(i), options, &ctx, i);
+    RecordPlanInContext(r.graph, cats, &ctx);
+    plan.aggregate_stats.projections_total += r.stats.projections_total;
+    plan.aggregate_stats.projections_considered +=
+        r.stats.projections_considered;
+    plan.aggregate_stats.combinations_enumerated +=
+        r.stats.combinations_enumerated;
+    plan.aggregate_stats.graphs_constructed += r.stats.graphs_constructed;
+    plan.aggregate_stats.elapsed_seconds += r.stats.elapsed_seconds;
+    plan.per_query.push_back(std::move(r));
+  }
+
+  // Refinement sweeps (§6.2 reuse, applied symmetrically): the sequential
+  // pass lets later queries reuse earlier placements but not vice versa.
+  // Replan each query against the placements of all *other* queries and
+  // keep the replacement when the combined (stream-deduplicated) workload
+  // cost improves.
+  for (int pass = 0; pass < options.refine_passes; ++pass) {
+    bool changed = false;
+    for (int i = 0; i < catalogs.size(); ++i) {
+      SharingContext others;
+      for (int j = 0; j < catalogs.size(); ++j) {
+        if (j != i) RecordPlanInContext(plan.per_query[j].graph, cats,
+                                        &others);
+      }
+      PlanResult replanned =
+          PlanQuery(catalogs.catalog(i), options, &others, i);
+      plan.aggregate_stats.elapsed_seconds +=
+          replanned.stats.elapsed_seconds;
+
+      // A replacement must keep providing every placement that other
+      // queries reuse from this plan and nobody else provides; otherwise
+      // their reused vertices would dangle (correctness violation).
+      std::set<std::string> required;
+      std::set<std::string> provided_elsewhere;
+      for (int j = 0; j < catalogs.size(); ++j) {
+        if (j == i) continue;
+        for (const std::string& key :
+             ConsumedPlacements(plan.per_query[j].graph, cats)) {
+          required.insert(key);
+        }
+        for (const std::string& key :
+             ProvidedPlacements(plan.per_query[j].graph, cats)) {
+          provided_elsewhere.insert(key);
+        }
+      }
+      std::set<std::string> now_provided =
+          ProvidedPlacements(replanned.graph, cats);
+      bool safe = true;
+      for (const std::string& key : required) {
+        if (provided_elsewhere.count(key) == 0 &&
+            now_provided.count(key) == 0) {
+          safe = false;
+          break;
+        }
+      }
+      if (!safe) continue;
+
+      double before = CombinedCost(plan.per_query, cats);
+      PlanResult saved = std::move(plan.per_query[i]);
+      plan.per_query[i] = std::move(replanned);
+      double after = CombinedCost(plan.per_query, cats);
+      if (after < before - 1e-9) {
+        changed = true;
+      } else {
+        plan.per_query[i] = std::move(saved);
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<int> all_sinks;
+  for (PlanResult& r : plan.per_query) {
+    std::vector<int> remap = plan.combined.Merge(r.graph);
+    for (int s : r.graph.sinks()) all_sinks.push_back(remap[s]);
+  }
+  plan.combined.SetSinks(std::move(all_sinks));
+  FinalizeWorkloadPlan(catalogs, &plan);
+  return plan;
+}
+
+WorkloadPlan PlanWorkloadOop(const WorkloadCatalogs& catalogs) {
+  WorkloadPlan plan;
+  SharingContext ctx;
+  std::vector<const ProjectionCatalog*> cats = catalogs.Pointers();
+  std::vector<int> all_sinks;
+  // The traditional model gathers every query's results at one designated
+  // sink: pick the node where collecting the workload's types is cheapest
+  // and pin each query's root there (internal operators stay DP-placed).
+  const Network& net = catalogs.network();
+  TypeSet all_types = WorkloadTypes(catalogs.workload());
+  int common_sink = 0;
+  double best_gather = std::numeric_limits<double>::infinity();
+  for (NodeId n = 0; n < static_cast<NodeId>(net.num_nodes()); ++n) {
+    double cost = 0;
+    for (EventTypeId t : all_types) {
+      cost += net.Rate(t) *
+              (net.NumProducers(t) - (net.Produces(n, t) ? 1 : 0));
+    }
+    if (cost < best_gather) {
+      best_gather = cost;
+      common_sink = static_cast<int>(n);
+    }
+  }
+  for (int i = 0; i < catalogs.size(); ++i) {
+    OopPlan p = PlanOperatorPlacement(catalogs.catalog(i), &ctx, i,
+                                      common_sink);
+    // Record paid transfers so later queries share streams.
+    RecordPlanInContext(p.graph, cats, &ctx);
+    std::vector<int> remap = plan.combined.Merge(p.graph);
+    for (int s : p.graph.sinks()) all_sinks.push_back(remap[s]);
+    PlanResult r;
+    r.graph = std::move(p.graph);
+    r.cost = p.cost;
+    plan.per_query.push_back(std::move(r));
+  }
+  plan.combined.SetSinks(std::move(all_sinks));
+  FinalizeWorkloadPlan(catalogs, &plan);
+  return plan;
+}
+
+}  // namespace muse

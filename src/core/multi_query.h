@@ -1,0 +1,55 @@
+#ifndef MUSE_CORE_MULTI_QUERY_H_
+#define MUSE_CORE_MULTI_QUERY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/amuse.h"
+#include "src/core/placement_oop.h"
+
+namespace muse {
+
+/// A planned workload: per-query plans merged into one MuSE graph, with
+/// shared-stream-deduplicated total cost and the transmission ratio against
+/// centralized evaluation (§7.1).
+struct WorkloadPlan {
+  std::vector<PlanResult> per_query;
+  MuseGraph combined;
+  double total_cost = 0;
+  double centralized_cost = 0;
+  /// total_cost / centralized_cost — the headline metric of §7.
+  double transmission_ratio = 0;
+  PlannerStats aggregate_stats;
+};
+
+/// Owns the projection catalogs of a workload in a network; build once and
+/// reuse across planners (catalog construction enumerates Π(q)).
+class WorkloadCatalogs {
+ public:
+  WorkloadCatalogs(const std::vector<Query>& workload, const Network& net);
+
+  const std::vector<Query>& workload() const { return workload_; }
+  const Network& network() const { return *net_; }
+  const ProjectionCatalog& catalog(int i) const { return *catalogs_[i]; }
+  int size() const { return static_cast<int>(catalogs_.size()); }
+
+  /// Pointer view matching GraphCost's interface.
+  std::vector<const ProjectionCatalog*> Pointers() const;
+
+ private:
+  std::vector<Query> workload_;
+  const Network* net_;
+  std::vector<std::unique_ptr<ProjectionCatalog>> catalogs_;
+};
+
+/// Multi-query aMuSE (§6.2): plans queries sequentially, each reusing the
+/// placements and network transfers established by its predecessors.
+WorkloadPlan PlanWorkloadAmuse(const WorkloadCatalogs& catalogs,
+                               const PlannerOptions& options = {});
+
+/// Multi-query oOP baseline with the same transfer sharing.
+WorkloadPlan PlanWorkloadOop(const WorkloadCatalogs& catalogs);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_MULTI_QUERY_H_

@@ -1,0 +1,151 @@
+#include "src/core/muse_graph.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+std::string PlanVertex::ToString(const TypeRegistry* reg) const {
+  std::string out = "(q" + std::to_string(query) + ":";
+  bool first = true;
+  for (EventTypeId t : proj) {
+    if (!first) out += "+";
+    first = false;
+    if (reg != nullptr && static_cast<int>(t) < reg->size()) {
+      out += reg->Name(t);
+    } else {
+      out += "E" + std::to_string(t);
+    }
+  }
+  out += "@n" + std::to_string(node);
+  if (part_type != kNoPartition) {
+    out += "|part=E" + std::to_string(part_type);
+  }
+  if (reused) out += "|reused";
+  return out + ")";
+}
+
+double VertexCoverCount(const Network& net, const PlanVertex& v) {
+  double count = 1.0;
+  for (EventTypeId t : v.proj) {
+    if (static_cast<int>(t) == v.part_type) continue;  // pinned to v.node
+    count *= static_cast<double>(net.NumProducers(t));
+  }
+  return count;
+}
+
+int MuseGraph::AddVertex(const PlanVertex& v) {
+  auto [it, inserted] =
+      index_.emplace(v.Key(), static_cast<int>(vertices_.size()));
+  if (inserted) vertices_.push_back(v);
+  return it->second;
+}
+
+int MuseGraph::FindVertex(const PlanVertex& v) const {
+  auto it = index_.find(v.Key());
+  return it == index_.end() ? -1 : it->second;
+}
+
+void MuseGraph::AddEdge(int from, int to) {
+  MUSE_CHECK(from >= 0 && from < num_vertices(), "edge endpoint range");
+  MUSE_CHECK(to >= 0 && to < num_vertices(), "edge endpoint range");
+  if (from == to) return;
+  if (edge_set_.emplace(from, to).second) {
+    edges_.emplace_back(from, to);
+  }
+}
+
+std::vector<int> MuseGraph::Merge(const MuseGraph& other) {
+  std::vector<int> remap(other.vertices_.size());
+  for (size_t i = 0; i < other.vertices_.size(); ++i) {
+    remap[i] = AddVertex(other.vertices_[i]);
+  }
+  for (const auto& [from, to] : other.edges_) {
+    AddEdge(remap[from], remap[to]);
+  }
+  return remap;
+}
+
+std::vector<int> MuseGraph::Predecessors(int v) const {
+  std::vector<int> out;
+  for (const auto& [from, to] : edges_) {
+    if (to == v) out.push_back(from);
+  }
+  return out;
+}
+
+std::vector<int> MuseGraph::Successors(int v) const {
+  std::vector<int> out;
+  for (const auto& [from, to] : edges_) {
+    if (from == v) out.push_back(to);
+  }
+  return out;
+}
+
+bool MuseGraph::HasPath(int from, int to) const {
+  if (from == to) return true;
+  std::vector<bool> visited(vertices_.size(), false);
+  std::vector<int> stack = {from};
+  visited[from] = true;
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    for (const auto& [a, b] : edges_) {
+      if (a != cur || visited[b]) continue;
+      if (b == to) return true;
+      visited[b] = true;
+      stack.push_back(b);
+    }
+  }
+  return false;
+}
+
+std::vector<int> MuseGraph::SourceVertices() const {
+  std::vector<bool> has_in(vertices_.size(), false);
+  for (const auto& [from, to] : edges_) has_in[to] = true;
+  std::vector<int> out;
+  for (int i = 0; i < num_vertices(); ++i) {
+    if (!has_in[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::string MuseGraph::ToString(const TypeRegistry* reg) const {
+  std::string out = "MuSE graph: " + std::to_string(vertices_.size()) +
+                    " vertices, " + std::to_string(edges_.size()) + " edges\n";
+  for (const auto& [from, to] : edges_) {
+    out += "  " + vertices_[from].ToString(reg) + " -> " +
+           vertices_[to].ToString(reg) + "\n";
+  }
+  for (int s : sinks_) {
+    out += "  sink: " + vertices_[s].ToString(reg) + "\n";
+  }
+  return out;
+}
+
+std::string MuseGraph::CanonicalString() const {
+  std::vector<std::string> lines;
+  for (const auto& [from, to] : edges_) {
+    lines.push_back(vertices_[from].ToString() + "->" +
+                    vertices_[to].ToString());
+  }
+  // Isolated vertices still matter for identity.
+  std::vector<bool> touched(vertices_.size(), false);
+  for (const auto& [from, to] : edges_) {
+    touched[from] = true;
+    touched[to] = true;
+  }
+  for (int i = 0; i < num_vertices(); ++i) {
+    if (!touched[i]) lines.push_back(vertices_[i].ToString());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace muse

@@ -1,0 +1,113 @@
+#ifndef MUSE_CORE_MUSE_GRAPH_H_
+#define MUSE_CORE_MUSE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/cep/type_registry.h"
+#include "src/common/typeset.h"
+#include "src/cep/event.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// Partition marker for vertex covers: `kNoPartition` means the vertex
+/// covers *all* event type bindings of its projection (a single-sink
+/// placement).
+inline constexpr int kNoPartition = -1;
+
+/// A vertex (p, n) of a MuSE graph (Def. 3): projection `proj` of query
+/// `query` hosted at node `node`.
+///
+/// The cover 𝔄(v) (Def. 4) is described by `part_type`: the covers arising
+/// from the placements of §6.1.3 are either the full binding set 𝔈(p)
+/// (single-sink, `part_type == kNoPartition`) or the bindings whose tuple
+/// for the *partitioning input type* `part_type` lies at `node`
+/// (partitioning multi-sink placements / primitive operators). The cover
+/// size is then a simple product (see `VertexCoverCount`).
+struct PlanVertex {
+  int query = 0;        ///< Index of the owning query in the workload.
+  TypeSet proj;         ///< Projection identity (primitive type set).
+  NodeId node = 0;      ///< Hosting node.
+  int part_type = kNoPartition;
+  /// Multi-query sharing (§6.2): this placement was created — and its
+  /// inputs paid for — by an earlier query's plan; it contributes no cost
+  /// and carries no in-graph predecessors here.
+  bool reused = false;
+
+  bool IsPrimitive() const { return proj.size() == 1; }
+
+  /// Identity used for deduplication when graphs are merged.
+  std::tuple<int, uint64_t, NodeId, int, bool> Key() const {
+    return {query, proj.bits(), node, part_type, reused};
+  }
+
+  std::string ToString(const TypeRegistry* reg = nullptr) const;
+
+  friend bool operator==(const PlanVertex& a, const PlanVertex& b) {
+    return a.Key() == b.Key();
+  }
+};
+
+/// |𝔄(v)|: the number of event type bindings covered by `v` (Def. 4).
+double VertexCoverCount(const Network& net, const PlanVertex& v);
+
+/// A MuSE graph G = (V, E, c) (Def. 3). Vertices and edges are
+/// deduplicated on insertion; edge weights are derived on demand by the
+/// cost model (cost.h) rather than stored, so merged graphs stay
+/// consistent. `sinks` tracks the vertices hosting the most recently placed
+/// projection during bottom-up construction (and the query's root
+/// placements in a finished plan).
+class MuseGraph {
+ public:
+  MuseGraph() = default;
+
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+  const PlanVertex& vertex(int idx) const { return vertices_[idx]; }
+  const std::vector<PlanVertex>& vertices() const { return vertices_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+  const std::vector<int>& sinks() const { return sinks_; }
+
+  /// Inserts (or finds) a vertex; returns its index.
+  int AddVertex(const PlanVertex& v);
+  /// Returns the index of `v` or -1.
+  int FindVertex(const PlanVertex& v) const;
+  /// Inserts a (from, to) edge; ignores duplicates and self-loops.
+  void AddEdge(int from, int to);
+
+  void SetSinks(std::vector<int> sinks) { sinks_ = std::move(sinks); }
+
+  /// Unions `other` into this graph (dedup); returns the index mapping from
+  /// `other`'s vertex ids to this graph's.
+  std::vector<int> Merge(const MuseGraph& other);
+
+  std::vector<int> Predecessors(int v) const;
+  std::vector<int> Successors(int v) const;
+
+  /// True if a directed path from `from` to `to` exists.
+  bool HasPath(int from, int to) const;
+
+  /// Vertices with no incoming edge (primitive placements, Def. 3).
+  std::vector<int> SourceVertices() const;
+
+  std::string ToString(const TypeRegistry* reg = nullptr) const;
+
+  /// Canonical dump of vertex/edge sets, independent of insertion order;
+  /// two graphs are structurally identical iff their canonical strings are
+  /// equal (used for the equivalence check of §5.5).
+  std::string CanonicalString() const;
+
+ private:
+  std::vector<PlanVertex> vertices_;
+  std::vector<std::pair<int, int>> edges_;
+  std::map<std::tuple<int, uint64_t, NodeId, int, bool>, int> index_;
+  std::set<std::pair<int, int>> edge_set_;
+  std::vector<int> sinks_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_MUSE_GRAPH_H_

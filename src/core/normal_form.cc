@@ -1,0 +1,74 @@
+#include "src/core/normal_form.h"
+
+#include <vector>
+
+namespace muse {
+
+MuseGraph CollapsedNormalForm(const MuseGraph& g) {
+  // Work on mutable adjacency, then rebuild.
+  int n = g.num_vertices();
+  std::vector<PlanVertex> vertices(g.vertices());
+  std::vector<std::pair<int, int>> edges(g.edges());
+  std::vector<bool> removed(n, false);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int w = 0; w < n; ++w) {
+      if (removed[w] || vertices[w].IsPrimitive()) continue;
+      bool has_network_out = false;
+      std::vector<int> local_successors;
+      for (const auto& [from, to] : edges) {
+        if (from != w || removed[to]) continue;
+        if (vertices[to].node == vertices[w].node) {
+          local_successors.push_back(to);
+        } else {
+          has_network_out = true;
+        }
+      }
+      if (has_network_out || local_successors.empty()) continue;
+      // Remove w; redirect its incoming edges to its same-node successors.
+      std::vector<int> preds;
+      for (const auto& [from, to] : edges) {
+        if (to == w && !removed[from]) preds.push_back(from);
+      }
+      std::vector<std::pair<int, int>> next_edges;
+      for (const auto& e : edges) {
+        if (e.first == w || e.second == w) continue;
+        next_edges.push_back(e);
+      }
+      for (int p : preds) {
+        for (int s : local_successors) {
+          if (p != s) next_edges.emplace_back(p, s);
+        }
+      }
+      edges = std::move(next_edges);
+      removed[w] = true;
+      changed = true;
+    }
+  }
+
+  MuseGraph out;
+  std::vector<int> remap(n, -1);
+  for (int i = 0; i < n; ++i) {
+    if (!removed[i]) remap[i] = out.AddVertex(vertices[i]);
+  }
+  for (const auto& [from, to] : edges) {
+    if (remap[from] >= 0 && remap[to] >= 0) {
+      out.AddEdge(remap[from], remap[to]);
+    }
+  }
+  std::vector<int> sinks;
+  for (int s : g.sinks()) {
+    if (remap[s] >= 0) sinks.push_back(remap[s]);
+  }
+  out.SetSinks(std::move(sinks));
+  return out;
+}
+
+bool EquivalentMuseGraphs(const MuseGraph& a, const MuseGraph& b) {
+  return CollapsedNormalForm(a).CanonicalString() ==
+         CollapsedNormalForm(b).CanonicalString();
+}
+
+}  // namespace muse

@@ -1,0 +1,21 @@
+#ifndef MUSE_CORE_NORMAL_FORM_H_
+#define MUSE_CORE_NORMAL_FORM_H_
+
+#include "src/core/muse_graph.h"
+
+namespace muse {
+
+/// Collapsed normal form (Def. 11): repeatedly removes every non-primitive
+/// vertex w = (o, m) that has a successor v = (p, n) with n == m and no
+/// outgoing network edge (edge to a vertex at a different node); w's
+/// incoming edges are redirected to its same-node successors. The
+/// transformation preserves vertex covers and the represented evaluation
+/// plan's network cost.
+MuseGraph CollapsedNormalForm(const MuseGraph& g);
+
+/// Equivalence of MuSE graphs (Property 5): equal collapsed normal forms.
+bool EquivalentMuseGraphs(const MuseGraph& a, const MuseGraph& b);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_NORMAL_FORM_H_

@@ -1,0 +1,216 @@
+#include "src/core/optimal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/core/combination.h"
+
+namespace muse {
+namespace {
+
+/// A candidate sub-plan for one projection: the graph generating its
+/// matches plus a placement descriptor.
+struct Candidate {
+  MuseGraph graph;
+  double cost = std::numeric_limits<double>::infinity();
+  std::vector<int> sinks;
+  bool multi_sink = false;
+  int part_type = kNoPartition;
+};
+
+class ExhaustivePlanner {
+ public:
+  explicit ExhaustivePlanner(const ProjectionCatalog& catalog)
+      : catalog_(catalog), net_(catalog.network()) {}
+
+  PlanResult Run() {
+    auto started = std::chrono::steady_clock::now();
+    const Query& q = catalog_.query();
+    const TypeSet full = q.PrimitiveTypes();
+    MUSE_CHECK(full.size() <= 6 && net_.num_nodes() <= 8,
+               "ExhaustivePlan is for small instances only");
+    for (int i = 0; i < q.num_ops(); ++i) {
+      if (q.op(i).kind == OpKind::kNseq) {
+        negated_groups_.push_back(q.SubtreeTypes(q.op(i).children[1]));
+      }
+    }
+
+    // Primitive base candidates.
+    for (EventTypeId t : full) {
+      Candidate c;
+      for (NodeId n : net_.Producers(t)) {
+        c.sinks.push_back(c.graph.AddVertex(
+            PlanVertex{0, TypeSet::Of(t), n, static_cast<int>(t), false}));
+      }
+      c.cost = 0;
+      c.multi_sink = true;
+      c.part_type = static_cast<int>(t);
+      options_[TypeSet::Of(t).bits()].push_back(std::move(c));
+    }
+
+    // Bottom-up over every valid projection, smallest first.
+    for (TypeSet target : catalog_.All()) {
+      if (target.size() < 2) continue;
+      BuildCandidates(target);
+    }
+
+    PlanResult result;
+    result.stats.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    if (full.size() == 1) {
+      const Candidate& c = options_[full.bits()].front();
+      result.graph = c.graph;
+      result.graph.SetSinks(c.sinks);
+      result.cost = 0;
+      return result;
+    }
+    const Candidate* best = nullptr;
+    for (const Candidate& c : options_[full.bits()]) {
+      if (best == nullptr || c.cost < best->cost) best = &c;
+    }
+    MUSE_CHECK(best != nullptr, "no plan found");
+    result.graph = best->graph;
+    result.graph.SetSinks(best->sinks);
+    result.cost = best->cost;
+    return result;
+  }
+
+ private:
+  /// Enumerates every placement of `target`: for each correct non-redundant
+  /// combination, every cartesian choice of predecessor candidates, and
+  /// every placement (single-sink at each node; partitioning multi-sink on
+  /// each part). Keeps, per placement descriptor, the cheapest candidate —
+  /// sufficient because a candidate's downstream use depends only on its
+  /// sink set, which the descriptor determines.
+  void BuildCandidates(TypeSet target) {
+    std::vector<TypeSet> parts_pool;
+    for (TypeSet p : catalog_.All()) {
+      if (p.IsProperSubsetOf(target)) parts_pool.push_back(p);
+    }
+    std::vector<Combination> combos =
+        EnumerateCombinations(target, parts_pool, negated_groups_);
+
+    // Best candidate per descriptor: node (single-sink) or ~part (multi).
+    std::map<int, Candidate> best;
+
+    for (const Combination& c : combos) {
+      // Cartesian product over per-part candidate choices.
+      std::vector<const std::vector<Candidate>*> pools;
+      bool ok = true;
+      for (TypeSet part : c.parts) {
+        auto it = options_.find(part.bits());
+        if (it == options_.end() || it->second.empty()) {
+          ok = false;
+          break;
+        }
+        pools.push_back(&it->second);
+      }
+      if (!ok) continue;
+      std::vector<size_t> pick(c.parts.size(), 0);
+      while (true) {
+        TryPlacements(target, c, pools, pick, &best);
+        // Advance the mixed-radix counter.
+        size_t i = 0;
+        for (; i < pick.size(); ++i) {
+          if (++pick[i] < pools[i]->size()) break;
+          pick[i] = 0;
+        }
+        if (i == pick.size()) break;
+      }
+    }
+    std::vector<Candidate>& out = options_[target.bits()];
+    for (auto& [desc, cand] : best) out.push_back(std::move(cand));
+  }
+
+  void TryPlacements(TypeSet target, const Combination& c,
+                     const std::vector<const std::vector<Candidate>*>& pools,
+                     const std::vector<size_t>& pick,
+                     std::map<int, Candidate>* best) {
+    // Single-sink at every node.
+    for (NodeId n = 0; n < static_cast<NodeId>(net_.num_nodes()); ++n) {
+      Candidate cand = Assemble(target, c, pools, pick, kNoPartition, {n});
+      Keep(best, static_cast<int>(n), std::move(cand));
+    }
+    // Partitioning multi-sink on every part that is fully partitioned on
+    // some type with a sink at each producer.
+    for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+      const Candidate& pre = (*pools[ei])[pick[ei]];
+      if (!pre.multi_sink) continue;
+      EventTypeId po = static_cast<EventTypeId>(pre.part_type);
+      std::set<NodeId> sink_nodes;
+      for (int s : pre.sinks) sink_nodes.insert(pre.graph.vertex(s).node);
+      bool covers = true;
+      for (NodeId n : net_.Producers(po)) {
+        if (sink_nodes.count(n) == 0) covers = false;
+      }
+      if (!covers) continue;
+      std::vector<NodeId> nodes(sink_nodes.begin(), sink_nodes.end());
+      Candidate cand =
+          Assemble(target, c, pools, pick, static_cast<int>(po), nodes);
+      Keep(best, 1000 + static_cast<int>(po), std::move(cand));
+    }
+  }
+
+  static void Keep(std::map<int, Candidate>* best, int desc,
+                   Candidate&& cand) {
+    auto it = best->find(desc);
+    if (it == best->end() || cand.cost < it->second.cost) {
+      (*best)[desc] = std::move(cand);
+    }
+  }
+
+  Candidate Assemble(TypeSet target, const Combination& c,
+                     const std::vector<const std::vector<Candidate>*>& pools,
+                     const std::vector<size_t>& pick, int part_type,
+                     const std::vector<NodeId>& nodes) {
+    Candidate cand;
+    cand.multi_sink = part_type != kNoPartition;
+    cand.part_type = part_type;
+    std::map<NodeId, int> sink_at_node;
+    for (NodeId n : nodes) {
+      int idx = cand.graph.AddVertex(
+          PlanVertex{0, target, n, part_type, false});
+      cand.sinks.push_back(idx);
+      sink_at_node[n] = idx;
+    }
+    for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+      const Candidate& pre = (*pools[ei])[pick[ei]];
+      std::vector<int> remap = cand.graph.Merge(pre.graph);
+      const bool is_partitioning_input =
+          cand.multi_sink && pre.multi_sink && pre.part_type == part_type;
+      for (int s : pre.sinks) {
+        int src = remap[s];
+        if (is_partitioning_input) {
+          // Pairwise local edges: partition input stays on its node.
+          auto it = sink_at_node.find(cand.graph.vertex(src).node);
+          if (it != sink_at_node.end()) cand.graph.AddEdge(src, it->second);
+        } else {
+          for (int sink : cand.sinks) cand.graph.AddEdge(src, sink);
+        }
+      }
+    }
+    cand.cost = GraphCost(cand.graph, catalog_);
+    return cand;
+  }
+
+  const ProjectionCatalog& catalog_;
+  const Network& net_;
+  std::vector<TypeSet> negated_groups_;
+  /// Projection bits -> candidate sub-plans (one per descriptor kept).
+  std::map<uint64_t, std::vector<Candidate>> options_;
+};
+
+}  // namespace
+
+PlanResult ExhaustivePlan(const ProjectionCatalog& catalog) {
+  MUSE_CHECK(!catalog.query().ContainsOr(), "split OR queries first");
+  return ExhaustivePlanner(catalog).Run();
+}
+
+}  // namespace muse

@@ -1,0 +1,29 @@
+#ifndef MUSE_CORE_OPTIMAL_H_
+#define MUSE_CORE_OPTIMAL_H_
+
+#include "src/core/amuse.h"
+#include "src/core/projection.h"
+
+namespace muse {
+
+/// Exhaustive MuSE graph search for a single query, used to validate aMuSE
+/// plan quality on small instances (the paper's Alg. 1 analogue; the
+/// unrestricted construction is hyper-exponential and took the authors ~24h
+/// even for 4 nodes / 4 primitive operators, §7.1).
+///
+/// Searched space — the class the paper itself restricts to (§6.1.2,
+/// §6.1.3): G^uni graphs composed of single-sink placements (at *any* node,
+/// not only local ones) and partitioning multi-sink placements (on *any*
+/// part, not only Eq.-6-triggered ones), over *all* valid projections and
+/// all correct non-redundant combinations, with per-part placement options
+/// explored exhaustively (cartesian, not greedily as in Alg. 3). By
+/// construction this space contains every plan aMuSE/aMuSE* can produce,
+/// so ExhaustivePlan(...).cost <= PlanQuery(...).cost always holds.
+///
+/// Complexity is exponential in |O_p| and |N|; intended for |O_p| <= 4 and
+/// |N| <= 5 (tests and micro-studies).
+PlanResult ExhaustivePlan(const ProjectionCatalog& catalog);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_OPTIMAL_H_

@@ -1,0 +1,179 @@
+#include "src/core/placement_oop.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace muse {
+namespace {
+
+class OopPlanner {
+ public:
+  OopPlanner(const ProjectionCatalog& catalog, SharingContext* ctx,
+             int query_index, int forced_root_node)
+      : catalog_(catalog),
+        net_(catalog.network()),
+        ctx_(ctx),
+        query_(query_index),
+        forced_root_node_(forced_root_node) {}
+
+  OopPlan Run() {
+    const Query& q = catalog_.query();
+    const int n = net_.num_nodes();
+
+    if (q.op(q.root()).kind == OpKind::kPrimitive) {
+      // Single-primitive query: events stay at their sources.
+      OopPlan plan;
+      EventTypeId t = q.op(q.root()).type;
+      std::vector<int> sinks;
+      for (NodeId producer : net_.Producers(t)) {
+        sinks.push_back(plan.graph.AddVertex(PlanVertex{
+            query_, TypeSet::Of(t), producer, static_cast<int>(t), false}));
+      }
+      plan.graph.SetSinks(std::move(sinks));
+      plan.cost = 0;
+      return plan;
+    }
+
+    // Bottom-up DP: cost_[op][node] = cheapest cost of evaluating the
+    // subtree at `op` with its root operator placed at `node`.
+    cost_.assign(q.num_ops(), std::vector<double>(n, 0));
+    choice_.assign(q.num_ops(), std::vector<std::vector<NodeId>>(n));
+    Solve(q.root());
+
+    NodeId best_node = 0;
+    double best = std::numeric_limits<double>::infinity();
+    if (forced_root_node_ >= 0) {
+      best_node = static_cast<NodeId>(forced_root_node_);
+      best = cost_[q.root()][best_node];
+    } else {
+      for (NodeId node = 0; node < static_cast<NodeId>(n); ++node) {
+        if (cost_[q.root()][node] < best) {
+          best = cost_[q.root()][node];
+          best_node = node;
+        }
+      }
+    }
+
+    OopPlan plan;
+    plan.op_nodes.assign(q.num_ops(), 0);
+    int root_vertex = Reconstruct(q.root(), best_node, &plan);
+    plan.graph.SetSinks({root_vertex});
+    // Vertices are tagged with this query's workload index; the catalogs
+    // vector must be addressable at that index.
+    std::vector<const ProjectionCatalog*> cats(query_ + 1, &catalog_);
+    plan.cost = GraphCost(plan.graph, cats, ctx_);
+    return plan;
+  }
+
+ private:
+  /// Cost of delivering the subtree at `child` to a parent at `node`.
+  /// For primitive children the producers' streams flow in directly; for
+  /// composite children the child operator is placed at its own best node.
+  double ChildDeliveryCost(int child, NodeId node, NodeId* chosen) {
+    const Query& q = catalog_.query();
+    const QueryOp& op = q.op(child);
+    if (op.kind == OpKind::kPrimitive) {
+      double sum = 0;
+      for (NodeId producer : net_.Producers(op.type)) {
+        if (producer == node) continue;
+        sum += TransferCost(TypeSet::Of(op.type), static_cast<int>(op.type),
+                            producer, node, net_.Rate(op.type));
+      }
+      *chosen = node;  // unused for primitives
+      return sum;
+    }
+    TypeSet child_types = q.SubtreeTypes(child);
+    const double match_rate =
+        catalog_.Rate(child_types) * catalog_.Bindings(child_types);
+    double best = std::numeric_limits<double>::infinity();
+    for (NodeId m = 0; m < static_cast<NodeId>(net_.num_nodes()); ++m) {
+      double transfer =
+          m == node ? 0
+                    : TransferCost(child_types, kNoPartition, m, node,
+                                   match_rate);
+      double total = cost_[child][m] + transfer;
+      if (total < best) {
+        best = total;
+        *chosen = m;
+      }
+    }
+    return best;
+  }
+
+  /// One stream's cost, honoring cross-query sharing.
+  double TransferCost(TypeSet proj, int part, NodeId src, NodeId dst,
+                      double rate) const {
+    if (ctx_ != nullptr &&
+        ctx_->paid_transfers.count(TransferKeyHash(
+            catalog_.SignatureHash(proj), part, src, dst)) != 0) {
+      return 0;
+    }
+    return rate;
+  }
+
+  void Solve(int op_idx) {
+    const Query& q = catalog_.query();
+    const QueryOp& op = q.op(op_idx);
+    if (op.kind == OpKind::kPrimitive) return;
+    for (int child : op.children) Solve(child);
+    for (NodeId node = 0; node < static_cast<NodeId>(net_.num_nodes());
+         ++node) {
+      double total = 0;
+      choice_[op_idx][node].resize(op.children.size());
+      for (size_t ci = 0; ci < op.children.size(); ++ci) {
+        NodeId chosen = node;
+        total += ChildDeliveryCost(op.children[ci], node, &chosen);
+        choice_[op_idx][node][ci] = chosen;
+      }
+      cost_[op_idx][node] = total;
+    }
+  }
+
+  /// Materializes the chosen placement as MuSE-graph vertices/edges;
+  /// returns the vertex index of the subtree's root placement.
+  int Reconstruct(int op_idx, NodeId node, OopPlan* plan) {
+    const Query& q = catalog_.query();
+    const QueryOp& op = q.op(op_idx);
+    MUSE_CHECK(op.kind != OpKind::kPrimitive, "reconstruct composite only");
+    plan->op_nodes[op_idx] = node;
+    int vertex = plan->graph.AddVertex(PlanVertex{
+        query_, q.SubtreeTypes(op_idx), node, kNoPartition, false});
+    for (size_t ci = 0; ci < op.children.size(); ++ci) {
+      int child = op.children[ci];
+      if (q.op(child).kind == OpKind::kPrimitive) {
+        EventTypeId t = q.op(child).type;
+        for (NodeId producer : net_.Producers(t)) {
+          int pv = plan->graph.AddVertex(PlanVertex{
+              query_, TypeSet::Of(t), producer, static_cast<int>(t), false});
+          plan->graph.AddEdge(pv, vertex);
+        }
+      } else {
+        int cv = Reconstruct(child, choice_[op_idx][node][ci], plan);
+        plan->graph.AddEdge(cv, vertex);
+      }
+    }
+    return vertex;
+  }
+
+  const ProjectionCatalog& catalog_;
+  const Network& net_;
+  SharingContext* ctx_;
+  int query_;
+  int forced_root_node_;
+
+  std::vector<std::vector<double>> cost_;
+  /// choice_[op][node][child_pos] = node chosen for that composite child.
+  std::vector<std::vector<std::vector<NodeId>>> choice_;
+};
+
+}  // namespace
+
+OopPlan PlanOperatorPlacement(const ProjectionCatalog& catalog,
+                              SharingContext* ctx, int query_index,
+                              int forced_root_node) {
+  MUSE_CHECK(!catalog.query().ContainsOr(), "split OR queries first");
+  return OopPlanner(catalog, ctx, query_index, forced_root_node).Run();
+}
+
+}  // namespace muse

@@ -1,0 +1,49 @@
+#ifndef MUSE_CORE_PLACEMENT_OOP_H_
+#define MUSE_CORE_PLACEMENT_OOP_H_
+
+#include <vector>
+
+#include "src/core/cost.h"
+#include "src/core/muse_graph.h"
+#include "src/core/projection.h"
+
+namespace muse {
+
+/// The *oOP* baseline (§7.1): traditional optimal operator placement.
+/// Each operator of the query's syntactic hierarchy is placed at exactly
+/// one node (single-sink placements only, no projections beyond the
+/// operator hierarchy). Primitive operators remain at their sources; each
+/// composite operator's node receives its children's outputs.
+///
+/// For operator *trees* the placement minimizing transmission cost is
+/// computed exactly by bottom-up dynamic programming: the best node for a
+/// child subtree is independent of siblings given the parent's node.
+///
+/// The result is expressed as a MuSE graph (all vertices single-sink, with
+/// the hierarchy's subtree projections), so that cost accounting and
+/// distributed execution are shared with MuSE plans.
+struct OopPlan {
+  MuseGraph graph;
+  double cost = 0;
+  /// Chosen node per composite operator index of the query.
+  std::vector<NodeId> op_nodes;
+};
+
+/// Plans one query. `ctx` (optional) reuses transfers already paid for by
+/// earlier queries, exactly as the MuSE multi-query extension does, so the
+/// baseline is not penalized in workload experiments.
+///
+/// `forced_root_node` (>= 0) pins the query's root operator to that node;
+/// internal operators are still placed optimally. Workload planning pins
+/// all roots to one common sink — the traditional model gathers every
+/// query's results at a single designated sink (§1, §7.2), which also
+/// keeps the baseline's cost from degrading when queries would otherwise
+/// scatter their sinks.
+OopPlan PlanOperatorPlacement(const ProjectionCatalog& catalog,
+                              SharingContext* ctx = nullptr,
+                              int query_index = 0,
+                              int forced_root_node = -1);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_PLACEMENT_OOP_H_

@@ -1,0 +1,134 @@
+#include "src/core/plan_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+
+namespace muse {
+namespace {
+
+std::string ProjectionLabel(const ProjectionCatalog& cat, TypeSet proj,
+                            const TypeRegistry* reg) {
+  return cat.Ast(proj).ToString(reg);
+}
+
+std::string FmtWeight(double w) {
+  char buf[32];
+  if (w != 0 && (w < 0.01 || w >= 100000)) {
+    std::snprintf(buf, sizeof(buf), "%.2e", w);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", w);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ToDot(const MuseGraph& g,
+                  const std::vector<const ProjectionCatalog*>& catalogs,
+                  const TypeRegistry* reg) {
+  std::string out = "digraph muse {\n  rankdir=BT;\n  node [fontsize=10];\n";
+  // Group vertices per hosting node.
+  std::map<NodeId, std::vector<int>> per_node;
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    per_node[g.vertex(i).node].push_back(i);
+  }
+  std::set<int> sink_set(g.sinks().begin(), g.sinks().end());
+  for (const auto& [node, vertices] : per_node) {
+    out += "  subgraph cluster_n" + std::to_string(node) + " {\n";
+    out += "    label=\"node " + std::to_string(node) + "\";\n";
+    for (int vi : vertices) {
+      const PlanVertex& v = g.vertex(vi);
+      const ProjectionCatalog& cat = *catalogs[v.query];
+      std::string label = ProjectionLabel(cat, v.proj, reg);
+      if (v.part_type != kNoPartition) {
+        label += "\\npart=" +
+                 (reg != nullptr && v.part_type < reg->size()
+                      ? reg->Name(static_cast<EventTypeId>(v.part_type))
+                      : "E" + std::to_string(v.part_type));
+      }
+      std::string attrs = v.IsPrimitive() ? "shape=ellipse" : "shape=box";
+      if (sink_set.count(vi) != 0) attrs += ", penwidth=2, color=blue";
+      if (v.reused) attrs += ", style=dotted";
+      out += "    v" + std::to_string(vi) + " [label=\"" + label + "\", " +
+             attrs + "];\n";
+    }
+    out += "  }\n";
+  }
+  for (const auto& [from, to] : g.edges()) {
+    const PlanVertex& src = g.vertex(from);
+    const PlanVertex& dst = g.vertex(to);
+    out += "  v" + std::to_string(from) + " -> v" + std::to_string(to);
+    if (src.node == dst.node) {
+      out += " [style=dashed]";  // local edge, weight 0 (§4.4)
+    } else {
+      out += " [label=\"" +
+             FmtWeight(StreamWeight(*catalogs[src.query], src)) + "\"]";
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<StreamCharge> ExplainCharges(
+    const MuseGraph& g,
+    const std::vector<const ProjectionCatalog*>& catalogs,
+    const TypeRegistry* reg) {
+  // Same grouping as GraphCost: one charge per distinct stream/destination.
+  std::map<uint64_t, StreamCharge> charges;
+  for (const auto& [from, to] : g.edges()) {
+    const PlanVertex& src = g.vertex(from);
+    const PlanVertex& dst = g.vertex(to);
+    if (src.node == dst.node) continue;
+    const ProjectionCatalog& cat = *catalogs[src.query];
+    uint64_t key = TransferKeyHash(cat.SignatureHash(src.proj), src.part_type,
+                                   src.node, dst.node);
+    if (charges.count(key) != 0) continue;
+    StreamCharge c;
+    c.projection = ProjectionLabel(cat, src.proj, reg);
+    c.part_type = src.part_type;
+    c.src = src.node;
+    c.dst = dst.node;
+    c.weight = StreamWeight(cat, src);
+    charges.emplace(key, std::move(c));
+  }
+  std::vector<StreamCharge> out;
+  out.reserve(charges.size());
+  for (auto& [key, c] : charges) out.push_back(std::move(c));
+  std::sort(out.begin(), out.end(),
+            [](const StreamCharge& a, const StreamCharge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  return out;
+}
+
+std::string ExplainPlan(const MuseGraph& g,
+                        const std::vector<const ProjectionCatalog*>& catalogs,
+                        const TypeRegistry* reg) {
+  std::vector<StreamCharge> charges = ExplainCharges(g, catalogs, reg);
+  double total = 0;
+  for (const StreamCharge& c : charges) total += c.weight;
+  std::string out = "network streams (heaviest first), total " +
+                    FmtWeight(total) + " events/s:\n";
+  for (const StreamCharge& c : charges) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %10s  n%-3u -> n%-3u  %s%s\n",
+                  FmtWeight(c.weight).c_str(), c.src, c.dst,
+                  c.projection.c_str(),
+                  c.part_type == kNoPartition
+                      ? ""
+                      : (" [part E" + std::to_string(c.part_type) + "]")
+                            .c_str());
+    out += line;
+  }
+  if (charges.empty()) out += "  (no network traffic: fully local plan)\n";
+  return out;
+}
+
+}  // namespace muse

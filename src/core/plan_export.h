@@ -1,0 +1,47 @@
+#ifndef MUSE_CORE_PLAN_EXPORT_H_
+#define MUSE_CORE_PLAN_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cep/type_registry.h"
+#include "src/core/cost.h"
+#include "src/core/muse_graph.h"
+#include "src/core/projection.h"
+
+namespace muse {
+
+/// Graphviz DOT rendering of a MuSE graph: one subgraph cluster per network
+/// node, projection vertices as boxes (primitive placements as ellipses),
+/// network edges labeled with their stream weight (§4.4) and local edges
+/// drawn dashed. `dot -Tsvg plan.dot` visualizes an evaluation plan like
+/// the paper's Fig. 2b.
+std::string ToDot(const MuseGraph& g,
+                  const std::vector<const ProjectionCatalog*>& catalogs,
+                  const TypeRegistry* reg = nullptr);
+
+/// One line of a plan cost breakdown.
+struct StreamCharge {
+  std::string projection;  ///< human-readable projection
+  int part_type;           ///< cover partition (kNoPartition = full)
+  NodeId src;
+  NodeId dst;
+  double weight;           ///< r̂(p) · |𝔄(v)| (§4.4)
+};
+
+/// The plan's network cost decomposed into its distinct charged streams,
+/// heaviest first — "where does the traffic come from?". The sum of the
+/// weights equals GraphCost(g).
+std::vector<StreamCharge> ExplainCharges(
+    const MuseGraph& g,
+    const std::vector<const ProjectionCatalog*>& catalogs,
+    const TypeRegistry* reg = nullptr);
+
+/// Formats ExplainCharges as an aligned text table.
+std::string ExplainPlan(const MuseGraph& g,
+                        const std::vector<const ProjectionCatalog*>& catalogs,
+                        const TypeRegistry* reg = nullptr);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_PLAN_EXPORT_H_

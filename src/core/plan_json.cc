@@ -1,0 +1,238 @@
+#include "src/core/plan_json.h"
+
+#include <cctype>
+#include <cstdint>
+
+namespace muse {
+
+std::string PlanToJson(const MuseGraph& g) {
+  std::string out = "{\n  \"vertices\": [";
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    const PlanVertex& v = g.vertex(i);
+    if (i > 0) out += ",";
+    out += "\n    {\"query\": " + std::to_string(v.query) + ", \"types\": [";
+    bool first = true;
+    for (EventTypeId t : v.proj) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(t);
+    }
+    out += "], \"node\": " + std::to_string(v.node) +
+           ", \"part\": " + std::to_string(v.part_type) +
+           ", \"reused\": " + (v.reused ? "true" : "false") + "}";
+  }
+  out += "\n  ],\n  \"edges\": [";
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    if (i > 0) out += ",";
+    out += "[" + std::to_string(g.edges()[i].first) + "," +
+           std::to_string(g.edges()[i].second) + "]";
+  }
+  out += "],\n  \"sinks\": [";
+  for (size_t i = 0; i < g.sinks().size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(g.sinks()[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for exactly the JSON subset PlanToJson
+/// emits (objects, arrays, integers, booleans, string keys). Hardened
+/// against malformed input: every failure path reports instead of crashing.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool ReadKey(std::string* key) {
+    if (!Consume('"')) return false;
+    key->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      key->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;
+    return true;
+  }
+
+  bool ReadInt(int64_t* value) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("expected integer");
+    }
+    *value = std::stoll(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ReadBool(bool* value) {
+    SkipSpace();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      *value = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      *value = false;
+      pos_ += 5;
+      return true;
+    }
+    return Fail("expected boolean");
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<MuseGraph> PlanFromJson(const std::string& json) {
+  JsonReader r(json);
+  auto fail = [&r]() { return Err("plan JSON: ", r.error()); };
+
+  std::vector<PlanVertex> vertices;
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  std::vector<int64_t> sinks;
+
+  if (!r.Consume('{')) return fail();
+  bool first_section = true;
+  while (!r.Peek('}')) {
+    if (!first_section && !r.Consume(',')) return fail();
+    first_section = false;
+    std::string key;
+    if (!r.ReadKey(&key) || !r.Consume(':')) return fail();
+    if (key != "vertices" && key != "edges" && key != "sinks") {
+      return Err("plan JSON: unknown section '", key, "'");
+    }
+    if (!r.Consume('[')) return fail();
+    bool first = true;
+    while (!r.Peek(']')) {
+      if (!first && !r.Consume(',')) return fail();
+      first = false;
+      if (key == "vertices") {
+        PlanVertex v;
+        if (!r.Consume('{')) return fail();
+        bool first_field = true;
+        while (!r.Peek('}')) {
+          if (!first_field && !r.Consume(',')) return fail();
+          first_field = false;
+          std::string field;
+          if (!r.ReadKey(&field) || !r.Consume(':')) return fail();
+          if (field == "query") {
+            int64_t value = 0;
+            if (!r.ReadInt(&value)) return fail();
+            v.query = static_cast<int>(value);
+          } else if (field == "node") {
+            int64_t value = 0;
+            if (!r.ReadInt(&value)) return fail();
+            if (value < 0) return Err("plan JSON: negative node id");
+            v.node = static_cast<NodeId>(value);
+          } else if (field == "part") {
+            int64_t value = 0;
+            if (!r.ReadInt(&value)) return fail();
+            v.part_type = static_cast<int>(value);
+          } else if (field == "reused") {
+            if (!r.ReadBool(&v.reused)) return fail();
+          } else if (field == "types") {
+            if (!r.Consume('[')) return fail();
+            bool first_type = true;
+            while (!r.Peek(']')) {
+              if (!first_type && !r.Consume(',')) return fail();
+              first_type = false;
+              int64_t t = 0;
+              if (!r.ReadInt(&t)) return fail();
+              if (t < 0 || t >= 64) return Err("plan JSON: type out of range");
+              v.proj.Insert(static_cast<EventTypeId>(t));
+            }
+            if (!r.Consume(']')) return fail();
+          } else {
+            return Err("plan JSON: unknown vertex field '", field, "'");
+          }
+        }
+        if (!r.Consume('}')) return fail();
+        if (v.proj.empty()) return Err("plan JSON: vertex without types");
+        vertices.push_back(v);
+      } else if (key == "edges") {
+        int64_t a = 0;
+        int64_t b = 0;
+        if (!r.Consume('[') || !r.ReadInt(&a) || !r.Consume(',') ||
+            !r.ReadInt(&b) || !r.Consume(']')) {
+          return fail();
+        }
+        edges.emplace_back(a, b);
+      } else if (key == "sinks") {
+        int64_t s = 0;
+        if (!r.ReadInt(&s)) return fail();
+        sinks.push_back(s);
+      } else {
+        return Err("plan JSON: unknown section '", key, "'");
+      }
+    }
+    if (!r.Consume(']')) return fail();
+  }
+  if (!r.Consume('}')) return fail();
+  if (!r.AtEnd()) return Err("plan JSON: trailing content");
+
+  MuseGraph g;
+  std::vector<int> remap;
+  remap.reserve(vertices.size());
+  for (const PlanVertex& v : vertices) remap.push_back(g.AddVertex(v));
+  const int64_t n = static_cast<int64_t>(vertices.size());
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || a >= n || b < 0 || b >= n) {
+      return Err("plan JSON: edge endpoint out of range");
+    }
+    g.AddEdge(remap[a], remap[b]);
+  }
+  std::vector<int> sink_ids;
+  for (int64_t s : sinks) {
+    if (s < 0 || s >= n) return Err("plan JSON: sink out of range");
+    sink_ids.push_back(remap[s]);
+  }
+  g.SetSinks(std::move(sink_ids));
+  return g;
+}
+
+}  // namespace muse

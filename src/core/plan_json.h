@@ -1,0 +1,32 @@
+#ifndef MUSE_CORE_PLAN_JSON_H_
+#define MUSE_CORE_PLAN_JSON_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/core/muse_graph.h"
+
+namespace muse {
+
+/// Serializes a MuSE graph to a self-contained JSON document:
+///
+/// {
+///   "vertices": [{"query":0,"types":[0,2],"node":3,"part":-1,
+///                 "reused":false}, ...],
+///   "edges": [[0,5], ...],
+///   "sinks": [5, ...]
+/// }
+///
+/// Intended for persisting plans across planner/executor process
+/// boundaries (plan once, deploy elsewhere); the consumer re-derives ASTs,
+/// rates, and routing from its own catalogs, so only the plan *structure*
+/// is stored.
+std::string PlanToJson(const MuseGraph& g);
+
+/// Parses a document produced by PlanToJson. Fails with a message on
+/// malformed input (never crashes on untrusted data).
+Result<MuseGraph> PlanFromJson(const std::string& json);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_PLAN_JSON_H_

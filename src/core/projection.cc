@@ -1,0 +1,138 @@
+#include "src/core/projection.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/common/check.h"
+#include "src/core/bindings.h"
+#include "src/core/rates.h"
+
+namespace muse {
+namespace {
+
+/// Rebuilds the subtree at `idx` restricted to `types`; nullopt if nothing
+/// of the subtree survives.
+std::optional<Query> ProjectSubtree(const Query& q, int idx, TypeSet types) {
+  const QueryOp& op = q.op(idx);
+  if (op.kind == OpKind::kPrimitive) {
+    if (!types.Contains(op.type)) return std::nullopt;
+    return Query::Primitive(op.type);
+  }
+  if (op.kind == OpKind::kNseq) {
+    std::optional<Query> first = ProjectSubtree(q, op.children[0], types);
+    std::optional<Query> mid = ProjectSubtree(q, op.children[1], types);
+    std::optional<Query> last = ProjectSubtree(q, op.children[2], types);
+    if (mid.has_value()) {
+      if (first.has_value() && last.has_value()) {
+        // Negation-closed projection: the NSEQ survives intact.
+        return Query::Nseq(std::move(*first), std::move(*mid),
+                           std::move(*last));
+      }
+      // The projection is (part of) the negated pattern itself.
+      MUSE_CHECK(!first.has_value() && !last.has_value(),
+                 "projection set violates negation closure");
+      return mid;
+    }
+    // Middle removed: matches of the NSEQ project to concatenations of the
+    // first and last children's projected matches, i.e. a SEQ.
+    if (first.has_value() && last.has_value()) {
+      std::vector<Query> children;
+      children.push_back(std::move(*first));
+      children.push_back(std::move(*last));
+      return Query::Seq(std::move(children));
+    }
+    if (first.has_value()) return first;
+    if (last.has_value()) return last;
+    return std::nullopt;
+  }
+  // SEQ / AND / OR: project children, drop the ones that vanish; a single
+  // survivor is spliced into the parent (paper's removal algorithm, §4.2).
+  std::vector<Query> kept;
+  for (int child : op.children) {
+    std::optional<Query> sub = ProjectSubtree(q, child, types);
+    if (sub.has_value()) kept.push_back(std::move(*sub));
+  }
+  if (kept.empty()) return std::nullopt;
+  if (kept.size() == 1) return std::move(kept[0]);
+  switch (op.kind) {
+    case OpKind::kSeq:
+      return Query::Seq(std::move(kept));
+    case OpKind::kAnd:
+      return Query::And(std::move(kept));
+    case OpKind::kOr:
+      return Query::Or(std::move(kept));
+    default:
+      MUSE_CHECK(false, "unreachable");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool IsValidProjectionSet(const Query& q, TypeSet types) {
+  if (types.empty()) return false;
+  if (!types.IsSubsetOf(q.PrimitiveTypes())) return false;
+  for (int i = 0; i < q.num_ops(); ++i) {
+    const QueryOp& op = q.op(i);
+    if (op.kind != OpKind::kNseq) continue;
+    TypeSet before = q.SubtreeTypes(op.children[0]);
+    TypeSet mid = q.SubtreeTypes(op.children[1]);
+    TypeSet after = q.SubtreeTypes(op.children[2]);
+    if (!types.Intersects(mid)) continue;
+    if (!types.ContainsAll(mid)) return false;  // partial negated pattern
+    const bool has_context = types.ContainsAll(before.Union(after));
+    const bool is_anti = !types.Intersects(before) && !types.Intersects(after);
+    if (!has_context && !is_anti) return false;
+  }
+  return true;
+}
+
+Query Project(const Query& q, TypeSet types) {
+  MUSE_CHECK(IsValidProjectionSet(q, types), "invalid projection set");
+  std::optional<Query> projected = ProjectSubtree(q, q.root(), types);
+  MUSE_CHECK(projected.has_value(), "projection unexpectedly empty");
+  Query out = std::move(*projected);
+  out.set_window(q.window());
+  for (const Predicate& p : q.predicates()) {
+    if (p.ApplicableTo(types)) out.AddPredicate(p);
+  }
+  return out;
+}
+
+std::vector<TypeSet> AllProjectionSets(const Query& q) {
+  std::vector<TypeSet> out;
+  ForEachNonEmptySubset(q.PrimitiveTypes(), [&](TypeSet s) {
+    if (IsValidProjectionSet(q, s)) out.push_back(s);
+  });
+  std::sort(out.begin(), out.end(), [](TypeSet a, TypeSet b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a.bits() < b.bits();
+  });
+  return out;
+}
+
+ProjectionCatalog::ProjectionCatalog(const Query& q, const Network& net)
+    : query_(q), net_(&net) {
+  all_ = AllProjectionSets(q);
+  for (TypeSet s : all_) {
+    Entry e;
+    e.ast = Project(q, s);
+    e.rate = QueryOutputRate(e.ast, net);
+    e.bindings = CountBindings(net, s);
+    e.signature = e.ast.Signature();
+    // splitmix64 finalizer over std::hash for well-mixed bits.
+    uint64_t h = std::hash<std::string>{}(e.signature) + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    e.sig_hash = h ^ (h >> 31);
+    entries_.emplace(s.bits(), std::move(e));
+  }
+}
+
+const ProjectionCatalog::Entry& ProjectionCatalog::At(TypeSet s) const {
+  auto it = entries_.find(s.bits());
+  MUSE_CHECK(it != entries_.end(), "projection set not in catalog");
+  return it->second;
+}
+
+}  // namespace muse

@@ -1,0 +1,81 @@
+#ifndef MUSE_CORE_PROJECTION_H_
+#define MUSE_CORE_PROJECTION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cep/query.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// True if `types` induces a well-defined projection of `q` (§4.2, Def. 9).
+/// For every NSEQ(o1, o2, o3) in `q` with primitive type sets b/m/a:
+///  * projections not touching m are always fine (the NSEQ degrades to a
+///    SEQ over the retained positive children);
+///  * projections touching m must retain m entirely and either both b and a
+///    entirely (negation-closed, Def. 9 — the absence context is
+///    unambiguous) or neither (the projection is exactly the negated
+///    pattern, used as the anti input of downstream evaluators).
+/// This is slightly stricter than Def. 9 (full subtree retention instead of
+/// operator retention), which keeps distributed NSEQ evaluation
+/// unambiguous; see DESIGN.md.
+bool IsValidProjectionSet(const Query& q, TypeSet types);
+
+/// The projection π(q, types) (Def. 2): the query restricted to the
+/// primitive operators with types in `types`, with the applicable subset of
+/// predicates and the same window. Implements the paper's leaf-removal
+/// algorithm: dropped leaves delete childless operators and splice
+/// single-child operators. `types` must be a non-empty subset of
+/// q.PrimitiveTypes() satisfying `IsValidProjectionSet`.
+Query Project(const Query& q, TypeSet types);
+
+/// All valid projection type sets of `q` — Π(q), §4.2 — including the full
+/// set (the query itself) and the singletons, ordered by ascending size.
+std::vector<TypeSet> AllProjectionSets(const Query& q);
+
+/// Pre-computed per-projection facts for one query in one network; the
+/// planner's working set. Eagerly materializes every valid projection's
+/// AST, output rate r̂ (§4.4), binding count |𝔈| (§4.1) and signature.
+/// With |O_p| ≤ ~10 primitive operators this is at most ~1k entries.
+class ProjectionCatalog {
+ public:
+  ProjectionCatalog(const Query& q, const Network& net);
+
+  const Query& query() const { return query_; }
+  const Network& network() const { return *net_; }
+
+  /// All valid projection sets, ascending by size (singletons first, the
+  /// full query last).
+  const std::vector<TypeSet>& All() const { return all_; }
+
+  bool Valid(TypeSet s) const { return entries_.count(s.bits()) != 0; }
+  const Query& Ast(TypeSet s) const { return At(s).ast; }
+  double Rate(TypeSet s) const { return At(s).rate; }
+  double Bindings(TypeSet s) const { return At(s).bindings; }
+  const std::string& Signature(TypeSet s) const { return At(s).signature; }
+  /// 64-bit hash of the signature, used for fast transfer-key dedup in the
+  /// cost model (collisions are astronomically unlikely; correctness checks
+  /// in tests compare full signatures).
+  uint64_t SignatureHash(TypeSet s) const { return At(s).sig_hash; }
+
+ private:
+  struct Entry {
+    Query ast;
+    double rate;
+    double bindings;
+    std::string signature;
+    uint64_t sig_hash;
+  };
+  const Entry& At(TypeSet s) const;
+
+  Query query_;
+  const Network* net_;
+  std::vector<TypeSet> all_;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_PROJECTION_H_

@@ -1,0 +1,40 @@
+#include "src/core/rates.h"
+
+#include "src/common/check.h"
+
+namespace muse {
+
+double OperatorOutputRate(const Query& q, int op_idx, const Network& net) {
+  const QueryOp& op = q.op(op_idx);
+  switch (op.kind) {
+    case OpKind::kPrimitive:
+      return net.Rate(op.type);
+    case OpKind::kSeq: {
+      double rate = 1.0;
+      for (int child : op.children) {
+        rate *= OperatorOutputRate(q, child, net);
+      }
+      return rate;
+    }
+    case OpKind::kAnd: {
+      double rate = static_cast<double>(op.children.size());
+      for (int child : op.children) {
+        rate *= OperatorOutputRate(q, child, net);
+      }
+      return rate;
+    }
+    case OpKind::kNseq:
+      return OperatorOutputRate(q, op.children[0], net) *
+             OperatorOutputRate(q, op.children[2], net);
+    case OpKind::kOr:
+      // Workloads are OR-free (§2.2); OR queries are split beforehand.
+      MUSE_CHECK(false, "output rate undefined for OR; split the query");
+  }
+  return 0;
+}
+
+double QueryOutputRate(const Query& q, const Network& net) {
+  return q.Selectivity() * OperatorOutputRate(q, q.root(), net);
+}
+
+}  // namespace muse

@@ -1,0 +1,27 @@
+#ifndef MUSE_CORE_RATES_H_
+#define MUSE_CORE_RATES_H_
+
+#include "src/cep/query.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// Output rate r̂ of the operator subtree rooted at `op_idx` (§4.4),
+/// computed recursively from the per-node per-type rates r of `net`:
+///  * primitive o:    r̂(o) = r(o.sem)
+///  * SEQ(o1..ok):    r̂ = Π r̂(oi)
+///  * AND(o1..ok):    r̂ = k · Π r̂(oi)
+///  * NSEQ(o1,o2,o3): r̂ = r̂(o1) · r̂(o3)   (the negated child is ignored)
+///
+/// This is a worst-case bound per event type *binding*: the total rate of a
+/// projection across the network multiplies by the number of its bindings.
+double OperatorOutputRate(const Query& q, int op_idx, const Network& net);
+
+/// Output rate of a query (or projection): r̂(q) = σ(q) · r̂(root(q))
+/// (§4.4), where σ(q) is the product of the applicable predicate
+/// selectivities.
+double QueryOutputRate(const Query& q, const Network& net);
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_RATES_H_

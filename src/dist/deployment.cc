@@ -1,0 +1,139 @@
+#include "src/dist/deployment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+std::string Task::ToString(const TypeRegistry* reg) const {
+  std::string out = "task" + std::to_string(id) + "@n" +
+                    std::to_string(node) + " " +
+                    target.ToString(reg);
+  if (part_type != kNoPartition) out += " part=E" + std::to_string(part_type);
+  if (!sink_for.empty()) {
+    out += " sink_for={";
+    for (size_t i = 0; i < sink_for.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(sink_for[i]);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+Deployment::Deployment(const MuseGraph& plan,
+                       const std::vector<const ProjectionCatalog*>& catalogs) {
+  num_queries_ = static_cast<int>(catalogs.size());
+
+  // 1. Merge equivalent vertices into tasks, keyed by (node, signature,
+  //    partition).
+  std::map<std::tuple<NodeId, std::string, int>, int> task_of_key;
+  std::vector<int> task_of_vertex(plan.num_vertices(), -1);
+  for (int vi = 0; vi < plan.num_vertices(); ++vi) {
+    const PlanVertex& v = plan.vertex(vi);
+    const ProjectionCatalog& cat = *catalogs[v.query];
+    auto key = std::make_tuple(v.node, cat.Signature(v.proj), v.part_type);
+    auto it = task_of_key.find(key);
+    if (it == task_of_key.end()) {
+      Task t;
+      t.id = static_cast<int>(tasks_.size());
+      t.node = v.node;
+      t.proj = v.proj;
+      t.part_type = v.part_type;
+      t.rep_query = v.query;
+      t.target = cat.Ast(v.proj);
+      t.is_primitive = v.IsPrimitive();
+      if (t.is_primitive) t.prim_type = v.proj.First();
+      it = task_of_key.emplace(key, t.id).first;
+      tasks_.push_back(std::move(t));
+    }
+    task_of_vertex[vi] = it->second;
+    // Sink bookkeeping: this vertex hosts the root projection of its query.
+    if (v.proj == cat.query().PrimitiveTypes()) {
+      Task& t = tasks_[it->second];
+      if (std::find(t.sink_for.begin(), t.sink_for.end(), v.query) ==
+          t.sink_for.end()) {
+        t.sink_for.push_back(v.query);
+      }
+    }
+  }
+
+  // 2. Routing: predecessor tasks grouped into evaluator parts by their
+  //    projection type set.
+  std::vector<std::set<int>> preds(tasks_.size());
+  std::vector<std::set<int>> succs(tasks_.size());
+  for (const auto& [from, to] : plan.edges()) {
+    int src = task_of_vertex[from];
+    int dst = task_of_vertex[to];
+    if (src == dst) continue;
+    preds[dst].insert(src);
+    succs[src].insert(dst);
+  }
+  for (Task& t : tasks_) {
+    t.successors.assign(succs[t.id].begin(), succs[t.id].end());
+    if (t.is_primitive) {
+      MUSE_CHECK(preds[t.id].empty(), "primitive task with inputs");
+      continue;
+    }
+    const ProjectionCatalog& cat = *catalogs[t.rep_query];
+    std::map<uint64_t, int> part_of_proj;
+    for (int src : preds[t.id]) {
+      TypeSet p = tasks_[src].proj;
+      auto it = part_of_proj.find(p.bits());
+      if (it == part_of_proj.end()) {
+        int idx = static_cast<int>(t.parts.size());
+        // The part AST comes from the representative query's catalog; a
+        // predecessor owned by another query has an identical signature.
+        MUSE_CHECK(cat.Valid(p), "predecessor projection unknown to catalog");
+        t.parts.push_back(cat.Ast(p));
+        t.part_types.push_back(p);
+        it = part_of_proj.emplace(p.bits(), idx).first;
+      }
+      t.inputs.emplace_back(src, it->second);
+    }
+    MUSE_CHECK(!t.parts.empty(),
+               "non-primitive task without inputs; plan is not well-formed");
+  }
+
+  // 3. Primitive dispatch index.
+  NodeId max_node = 0;
+  EventTypeId max_type = 0;
+  for (const Task& t : tasks_) {
+    max_node = std::max(max_node, t.node);
+    if (t.is_primitive) max_type = std::max(max_type, t.prim_type);
+  }
+  primitive_index_.assign(max_node + 1,
+                          std::vector<std::vector<int>>(max_type + 1));
+  for (const Task& t : tasks_) {
+    if (t.is_primitive) {
+      primitive_index_[t.node][t.prim_type].push_back(t.id);
+    }
+  }
+}
+
+const std::vector<int>& Deployment::PrimitiveTasksFor(NodeId node,
+                                                      EventTypeId type) const {
+  if (node >= primitive_index_.size() ||
+      type >= primitive_index_[node].size()) {
+    return empty_;
+  }
+  return primitive_index_[node][type];
+}
+
+std::string Deployment::ToString(const TypeRegistry* reg) const {
+  std::string out =
+      "deployment: " + std::to_string(tasks_.size()) + " tasks\n";
+  for (const Task& t : tasks_) {
+    out += "  " + t.ToString(reg) + "\n";
+    for (int s : t.successors) {
+      out += "    -> task" + std::to_string(s) + "@n" +
+             std::to_string(tasks_[s].node) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace muse

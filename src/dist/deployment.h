@@ -1,0 +1,78 @@
+#ifndef MUSE_DIST_DEPLOYMENT_H_
+#define MUSE_DIST_DEPLOYMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cep/query.h"
+#include "src/core/muse_graph.h"
+#include "src/core/projection.h"
+
+namespace muse {
+
+/// One deployable unit of work: the evaluation of one projection placement
+/// at one node. Plan vertices that are *equivalent* — same node, same
+/// projection signature, same cover partition — are merged into a single
+/// task (matching the cost model's stream sharing, §4.4/§6.2), with the
+/// union of their successors.
+struct Task {
+  int id = -1;
+  NodeId node = 0;
+  TypeSet proj;
+  int part_type = kNoPartition;
+  /// Representative workload query (for catalog lookups).
+  int rep_query = 0;
+
+  bool is_primitive = false;
+  EventTypeId prim_type = 0;  // if is_primitive
+
+  /// Target projection AST (from the representative catalog).
+  Query target;
+  /// Input parts in evaluator order: the distinct predecessor projections.
+  std::vector<Query> parts;
+  /// parts[i]'s type set, for wiring predecessor tasks to part indices.
+  std::vector<TypeSet> part_types;
+
+  /// Task ids whose output matches feed this task, and the part each one
+  /// feeds.
+  std::vector<std::pair<int, int>> inputs;  // (src task, part index)
+  /// Task ids receiving this task's output matches.
+  std::vector<int> successors;
+
+  /// Queries of the workload for which this task hosts the root projection
+  /// (a sink, Def. 3).
+  std::vector<int> sink_for;
+
+  std::string ToString(const TypeRegistry* reg = nullptr) const;
+};
+
+/// A MuSE graph compiled into tasks and routing for the distributed
+/// runtime. Also executes oOP and centralized plans, which are expressed as
+/// MuSE graphs by their planners.
+class Deployment {
+ public:
+  Deployment(const MuseGraph& plan,
+             const std::vector<const ProjectionCatalog*>& catalogs);
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const Task& task(int id) const { return tasks_[id]; }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_queries() const { return num_queries_; }
+
+  /// Primitive tasks at `node` for events of `type`.
+  const std::vector<int>& PrimitiveTasksFor(NodeId node,
+                                            EventTypeId type) const;
+
+  std::string ToString(const TypeRegistry* reg = nullptr) const;
+
+ private:
+  std::vector<Task> tasks_;
+  int num_queries_ = 0;
+  /// (node, type) -> primitive task ids.
+  std::vector<std::vector<std::vector<int>>> primitive_index_;
+  std::vector<int> empty_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_DIST_DEPLOYMENT_H_

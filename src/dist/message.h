@@ -1,0 +1,24 @@
+#ifndef MUSE_DIST_MESSAGE_H_
+#define MUSE_DIST_MESSAGE_H_
+
+#include <cstdint>
+
+#include "src/cep/match.h"
+
+namespace muse {
+
+/// One unit of inter-task communication in the distributed runtime: a match
+/// of the source task's projection. Channel sequence numbers realize
+/// exactly-once delivery under replay-based recovery (the Ambrosia model
+/// of the case study, §7.1): receivers drop (src, seq) pairs they have
+/// already processed.
+struct SimMessage {
+  int src_task = -1;
+  int dst_task = -1;
+  uint64_t channel_seq = 0;
+  Match payload;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_DIST_MESSAGE_H_

@@ -1,0 +1,55 @@
+#include "src/dist/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace muse {
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double idx = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Distribution Distribution::Of(std::vector<double> samples) {
+  Distribution d;
+  d.count = samples.size();
+  if (samples.empty()) return d;
+  std::sort(samples.begin(), samples.end());
+  d.min = samples.front();
+  d.max = samples.back();
+  d.p25 = Percentile(samples, 0.25);
+  d.p50 = Percentile(samples, 0.50);
+  d.p75 = Percentile(samples, 0.75);
+  return d;
+}
+
+std::string Distribution::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.2f p25=%.2f p50=%.2f p75=%.2f max=%.2f (n=%zu)", min,
+                p25, p50, p75, max, count);
+  return buf;
+}
+
+std::string SimReport::Summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "events=%llu net_msgs=%llu (%.1f/s) latency{%s} "
+                "throughput=%.1f ev/s peak_partial=%llu wall=%.3fs",
+                static_cast<unsigned long long>(source_events),
+                static_cast<unsigned long long>(network_messages),
+                network_message_rate, latency_ms.ToString().c_str(),
+                throughput_events_per_s,
+                static_cast<unsigned long long>(max_peak_partial_matches),
+                wall_seconds);
+  return buf;
+}
+
+}  // namespace muse

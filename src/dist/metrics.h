@@ -1,0 +1,59 @@
+#ifndef MUSE_DIST_METRICS_H_
+#define MUSE_DIST_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cep/match.h"
+
+namespace muse {
+
+/// Distribution summary (min / p25 / p50 / p75 / max — the box-plot
+/// statistics of Fig. 8).
+struct Distribution {
+  double min = 0;
+  double p25 = 0;
+  double p50 = 0;
+  double p75 = 0;
+  double max = 0;
+  size_t count = 0;
+
+  static Distribution Of(std::vector<double> samples);
+  std::string ToString() const;
+};
+
+/// Results of one distributed execution.
+struct SimReport {
+  uint64_t source_events = 0;
+  uint64_t inputs_processed = 0;
+
+  /// Matches that crossed the network (one count per destination node),
+  /// the measured analogue of the cost model's c(G).
+  uint64_t network_messages = 0;
+  /// network_messages per simulated second.
+  double network_message_rate = 0;
+
+  /// Detection latency per query match: virtual time from the last
+  /// constituent event's occurrence to emission at a sink (ms).
+  Distribution latency_ms;
+  /// Source events processed per simulated second of the busiest node —
+  /// the pipeline's sustainable rate (§7.3).
+  double throughput_events_per_s = 0;
+  /// Wall-clock execution time of the whole simulation.
+  double wall_seconds = 0;
+
+  /// Peak partial matches maintained, per node; max over nodes is the
+  /// bottleneck indicator discussed in §7.3.
+  std::vector<uint64_t> peak_partial_matches;
+  uint64_t max_peak_partial_matches = 0;
+
+  /// Deduplicated matches per workload query.
+  std::vector<std::vector<Match>> matches_per_query;
+
+  std::string Summary() const;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_DIST_METRICS_H_

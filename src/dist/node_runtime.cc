@@ -1,0 +1,112 @@
+#include "src/dist/node_runtime.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+namespace {
+
+int64_t PartKey(int task, int src_task) {
+  return (static_cast<int64_t>(task) << 32) ^
+         static_cast<int64_t>(static_cast<uint32_t>(src_task));
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(NodeId node, const Deployment* deployment,
+                         EvaluatorOptions eval_options)
+    : node_(node), deployment_(deployment), eval_options_(eval_options) {
+  RebuildEvaluators();
+}
+
+void NodeRuntime::RebuildEvaluators() {
+  evaluators_.clear();
+  part_index_.clear();
+  for (const Task& t : deployment_->tasks()) {
+    if (t.node != node_ || t.is_primitive) continue;
+    evaluators_[t.id] = std::make_unique<ProjectionEvaluator>(
+        t.target, t.parts, eval_options_);
+    for (const auto& [src, part] : t.inputs) {
+      part_index_[PartKey(t.id, src)] = part;
+    }
+  }
+}
+
+void NodeRuntime::OnInput(int task, int src_task, const Match& m,
+                          std::vector<Output>* out) {
+  if (!replaying_) log_.push_back(LoggedInput{task, src_task, m});
+  Process(task, src_task, m, out);
+}
+
+void NodeRuntime::Process(int task, int src_task, const Match& m,
+                          std::vector<Output>* out) {
+  ++processed_;
+  const Task& t = deployment_->task(task);
+  MUSE_CHECK(t.node == node_, "input routed to wrong node");
+  if (t.is_primitive) {
+    // Primitive tasks forward local events that pass their singleton
+    // projection's predicates.
+    MUSE_CHECK(src_task == -1, "primitive task fed by another task");
+    if (StructurallyMatches(t.target, m)) {
+      out->push_back(Output{task, m});
+    }
+    return;
+  }
+  auto ev = evaluators_.find(task);
+  MUSE_CHECK(ev != evaluators_.end(), "missing evaluator");
+  auto part = part_index_.find(PartKey(task, src_task));
+  MUSE_CHECK(part != part_index_.end(), "unrouted input");
+  std::vector<Match> produced;
+  ev->second->OnMatch(part->second, m, &produced);
+  for (Match& pm : produced) {
+    out->push_back(Output{task, std::move(pm)});
+  }
+  peak_buffered_ = std::max(peak_buffered_, BufferedMatches());
+}
+
+void NodeRuntime::Flush(std::vector<Output>* out) {
+  for (auto& [task, ev] : evaluators_) {
+    std::vector<Match> produced;
+    ev->Flush(&produced);
+    for (Match& pm : produced) {
+      out->push_back(Output{task, std::move(pm)});
+    }
+  }
+}
+
+void NodeRuntime::Crash() {
+  evaluators_.clear();
+  part_index_.clear();
+  // Outgoing channel sequence numbers are part of the volatile state:
+  // deterministic replay regenerates the *same* numbering, so receivers
+  // recognize re-sent messages as duplicates.
+  channel_seq_.clear();
+}
+
+void NodeRuntime::Recover(std::vector<Output>* out) {
+  RebuildEvaluators();
+  replaying_ = true;
+  for (const LoggedInput& in : log_) {
+    Process(in.task, in.src_task, in.payload, out);
+  }
+  replaying_ = false;
+}
+
+uint64_t NodeRuntime::BufferedMatches() const {
+  uint64_t total = 0;
+  for (const auto& [task, ev] : evaluators_) {
+    total += ev->stats().buffered;
+  }
+  return total;
+}
+
+uint64_t NodeRuntime::PeakBufferedMatches() const {
+  uint64_t peak = peak_buffered_;
+  for (const auto& [task, ev] : evaluators_) {
+    peak = std::max(peak, ev->stats().peak_buffered);
+  }
+  return peak;
+}
+
+}  // namespace muse

@@ -1,0 +1,101 @@
+#ifndef MUSE_DIST_NODE_RUNTIME_H_
+#define MUSE_DIST_NODE_RUNTIME_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cep/evaluator.h"
+#include "src/dist/channel.h"
+#include "src/dist/deployment.h"
+#include "src/dist/message.h"
+
+namespace muse {
+
+/// Recovery model of the runtime (the case study's "virtual resiliency",
+/// §7.1): every input consumed by a node is appended to a durable log; on
+/// failure the node's volatile state (evaluator buffers) is discarded and
+/// rebuilt by replaying the log, while downstream duplicates produced
+/// during replay are suppressed by the receivers' exactly-once filters.
+struct LoggedInput {
+  int task = -1;
+  int src_task = -1;  // -1 for source events
+  Match payload;
+};
+
+/// The execution state of one network node: evaluators for the node's
+/// tasks, the input log, and exactly-once receive filters.
+class NodeRuntime {
+ public:
+  /// An output produced by a task on this node.
+  struct Output {
+    int task;
+    Match match;
+  };
+
+  NodeRuntime(NodeId node, const Deployment* deployment,
+              EvaluatorOptions eval_options);
+
+  NodeId node() const { return node_; }
+
+  /// Handles one input: `src_task == -1` denotes a locally generated source
+  /// event delivered to a primitive task. Appends to the log (unless this
+  /// call *is* a replay), runs the evaluator, and reports outputs.
+  void OnInput(int task, int src_task, const Match& m,
+               std::vector<Output>* out);
+
+  /// Exactly-once admission for a network message; returns false for
+  /// duplicates (which must not be processed or logged).
+  bool Admit(const SimMessage& msg) { return filter_.Accept(msg); }
+
+  /// Emits pending NSEQ candidates of all evaluators.
+  void Flush(std::vector<Output>* out);
+
+  /// Crash: drops all volatile evaluator state (the log and the
+  /// exactly-once filter survive, as they are durable in the model).
+  void Crash();
+
+  /// Recovery: rebuilds evaluator state by replaying the input log.
+  /// Outputs regenerated during replay are returned so the caller can
+  /// re-send them (receivers deduplicate).
+  void Recover(std::vector<Output>* out);
+
+  /// Total matches currently buffered across this node's evaluators — the
+  /// partial-match load that drives latency/throughput (§7.3, [26]).
+  uint64_t BufferedMatches() const;
+  uint64_t PeakBufferedMatches() const;
+  uint64_t ProcessedInputs() const { return processed_; }
+
+  /// Next sequence number for the outgoing channel of `task` towards
+  /// `dst_node`. Reset on crash; deterministic replay regenerates identical
+  /// numbering (see Crash()).
+  uint64_t NextChannelSeq(int task, NodeId dst_node) {
+    return channel_seq_[(static_cast<int64_t>(task) << 20) |
+                        static_cast<int64_t>(dst_node)]++;
+  }
+
+ private:
+  void Process(int task, int src_task, const Match& m,
+               std::vector<Output>* out);
+  void RebuildEvaluators();
+
+  NodeId node_;
+  const Deployment* deployment_;
+  EvaluatorOptions eval_options_;
+
+  /// Evaluators for the node's non-primitive tasks.
+  std::unordered_map<int, std::unique_ptr<ProjectionEvaluator>> evaluators_;
+  /// (task, src_task) -> evaluator part index.
+  std::unordered_map<int64_t, int> part_index_;
+
+  std::vector<LoggedInput> log_;
+  bool replaying_ = false;
+  ExactlyOnceFilter filter_;
+  std::unordered_map<int64_t, uint64_t> channel_seq_;
+  uint64_t processed_ = 0;
+  uint64_t peak_buffered_ = 0;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_DIST_NODE_RUNTIME_H_

@@ -1,0 +1,252 @@
+#include "src/dist/simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/check.h"
+#include "src/cep/oracle.h"
+#include "src/dist/node_runtime.h"
+
+namespace muse {
+namespace {
+
+struct QueueItem {
+  uint64_t time_us = 0;
+  uint64_t order = 0;  // FIFO tie-break for determinism
+  enum class Kind { kSource, kMessage, kFailure } kind = Kind::kSource;
+
+  size_t trace_idx = 0;               // kSource
+  int src_task = -1;                  // kMessage
+  NodeId dst_node = 0;                // kMessage / kFailure
+  uint64_t channel_seq = 0;           // kMessage
+  Match payload;                      // kMessage
+
+  friend bool operator>(const QueueItem& a, const QueueItem& b) {
+    if (a.time_us != b.time_us) return a.time_us > b.time_us;
+    return a.order > b.order;
+  }
+};
+
+class SimRun {
+ public:
+  SimRun(const Deployment& dep, const SimOptions& options)
+      : dep_(dep), options_(options) {
+    EvaluatorOptions eval = options_.eval;
+    if (eval.eviction_slack_ms == 0) {
+      // Cover cross-node arrival skew: a few hops of network delay plus
+      // processing jitter.
+      eval.eviction_slack_ms = options_.network_delay_ms * 32 + 100;
+    }
+    NodeId max_node = 0;
+    for (const Task& t : dep_.tasks()) max_node = std::max(max_node, t.node);
+    for (NodeId n = 0; n <= max_node; ++n) {
+      nodes_.emplace_back(n, &dep_, eval);
+    }
+    node_free_us_.assign(nodes_.size(), 0);
+    node_busy_us_.assign(nodes_.size(), 0);
+    seen_match_keys_.resize(dep_.num_queries());
+    report_.matches_per_query.resize(dep_.num_queries());
+  }
+
+  SimReport Run(const std::vector<Event>& trace) {
+    auto wall_start = std::chrono::steady_clock::now();
+    report_.source_events = trace.size();
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+      QueueItem item;
+      item.time_us = trace[i].time * 1000;
+      item.order = next_order_++;
+      item.kind = QueueItem::Kind::kSource;
+      item.trace_idx = i;
+      queue_.push(item);
+    }
+    for (const auto& [node, time_ms] : options_.failures) {
+      QueueItem item;
+      item.time_us = time_ms * 1000;
+      item.order = next_order_++;
+      item.kind = QueueItem::Kind::kFailure;
+      item.dst_node = node;
+      queue_.push(item);
+    }
+
+    Drain(trace);
+
+    // Final flush (pending NSEQ candidates), then drain follow-ups.
+    for (NodeRuntime& rt : nodes_) {
+      std::vector<NodeRuntime::Output> outs;
+      rt.Flush(&outs);
+      RouteOutputs(rt, outs, last_time_us_);
+    }
+    Drain(trace);
+
+    // Metrics.
+    uint64_t max_busy = 1;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      report_.peak_partial_matches.push_back(nodes_[n].PeakBufferedMatches());
+      report_.max_peak_partial_matches =
+          std::max(report_.max_peak_partial_matches,
+                   report_.peak_partial_matches.back());
+      report_.inputs_processed += nodes_[n].ProcessedInputs();
+      max_busy = std::max(max_busy, node_busy_us_[n]);
+    }
+    report_.throughput_events_per_s =
+        static_cast<double>(trace.size()) /
+        (static_cast<double>(max_busy) / 1e6);
+    const double duration_s =
+        std::max(1.0, static_cast<double>(last_time_us_) / 1e6);
+    report_.network_message_rate =
+        static_cast<double>(report_.network_messages) / duration_s;
+    report_.latency_ms = Distribution::Of(std::move(latency_samples_));
+    for (auto& matches : report_.matches_per_query) {
+      matches = CanonicalMatchSet(std::move(matches));
+    }
+    report_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return std::move(report_);
+  }
+
+ private:
+  void Drain(const std::vector<Event>& trace) {
+    while (!queue_.empty()) {
+      QueueItem item = queue_.top();
+      queue_.pop();
+      last_time_us_ = std::max(last_time_us_, item.time_us);
+      switch (item.kind) {
+        case QueueItem::Kind::kSource:
+          HandleSource(trace[item.trace_idx], item.time_us);
+          break;
+        case QueueItem::Kind::kMessage:
+          HandleMessage(item);
+          break;
+        case QueueItem::Kind::kFailure:
+          HandleFailure(item.dst_node, item.time_us);
+          break;
+      }
+    }
+  }
+
+  /// Applies the processing-cost model at `node`; returns completion time.
+  uint64_t Process(NodeId node, uint64_t arrival_us) {
+    NodeRuntime& rt = nodes_[node];
+    const uint64_t start = std::max(arrival_us, node_free_us_[node]);
+    const double cost =
+        options_.proc_base_us +
+        options_.proc_per_partial_us * static_cast<double>(rt.BufferedMatches());
+    const uint64_t cost_us = static_cast<uint64_t>(cost) + 1;
+    node_free_us_[node] = start + cost_us;
+    node_busy_us_[node] += cost_us;
+    return node_free_us_[node];
+  }
+
+  void HandleSource(const Event& e, uint64_t time_us) {
+    if (e.origin >= nodes_.size()) return;
+    const std::vector<int>& tasks = dep_.PrimitiveTasksFor(e.origin, e.type);
+    if (tasks.empty()) return;
+    NodeRuntime& rt = nodes_[e.origin];
+    uint64_t done = Process(e.origin, time_us);
+    std::vector<NodeRuntime::Output> outs;
+    for (int task : tasks) {
+      rt.OnInput(task, -1, Match::Single(e), &outs);
+    }
+    RouteOutputs(rt, outs, done);
+  }
+
+  void HandleMessage(const QueueItem& item) {
+    if (item.dst_node >= nodes_.size()) return;
+    NodeRuntime& rt = nodes_[item.dst_node];
+    SimMessage msg;
+    msg.src_task = item.src_task;
+    msg.channel_seq = item.channel_seq;
+    if (!rt.Admit(msg)) return;  // duplicate from a recovering sender
+    uint64_t done = Process(item.dst_node, item.time_us);
+    std::vector<NodeRuntime::Output> outs;
+    for (int succ : dep_.task(item.src_task).successors) {
+      const Task& t = dep_.task(succ);
+      if (t.node != item.dst_node) continue;
+      rt.OnInput(succ, item.src_task, item.payload, &outs);
+    }
+    RouteOutputs(rt, outs, done);
+  }
+
+  void HandleFailure(NodeId node, uint64_t time_us) {
+    if (node >= nodes_.size()) return;
+    NodeRuntime& rt = nodes_[node];
+    rt.Crash();
+    std::vector<NodeRuntime::Output> outs;
+    rt.Recover(&outs);
+    // Regenerated outputs are re-sent; receivers drop duplicates via the
+    // exactly-once channel filters.
+    RouteOutputs(rt, outs, time_us);
+  }
+
+  void RouteOutputs(NodeRuntime& rt,
+                    const std::vector<NodeRuntime::Output>& outs,
+                    uint64_t time_us) {
+    for (const NodeRuntime::Output& out : outs) {
+      const Task& t = dep_.task(out.task);
+      // Sink accounting.
+      for (int query : t.sink_for) {
+        RecordMatch(query, out.match, time_us);
+      }
+      // One physical message per destination node.
+      std::set<NodeId> dst_nodes;
+      for (int succ : t.successors) dst_nodes.insert(dep_.task(succ).node);
+      for (NodeId dst : dst_nodes) {
+        QueueItem item;
+        item.kind = QueueItem::Kind::kMessage;
+        item.order = next_order_++;
+        item.src_task = t.id;
+        item.dst_node = dst;
+        item.channel_seq = rt.NextChannelSeq(t.id, dst);
+        item.payload = out.match;
+        if (dst == t.node) {
+          item.time_us = time_us;
+        } else {
+          item.time_us = time_us + options_.network_delay_ms * 1000;
+          ++report_.network_messages;
+        }
+        queue_.push(item);
+      }
+    }
+  }
+
+  void RecordMatch(int query, const Match& m, uint64_t time_us) {
+    if (!seen_match_keys_[query].insert(m.Key()).second) return;
+    latency_samples_.push_back(static_cast<double>(time_us) / 1000.0 -
+                               static_cast<double>(m.MaxTime()));
+    if (options_.collect_matches) {
+      report_.matches_per_query[query].push_back(m);
+    }
+  }
+
+  const Deployment& dep_;
+  SimOptions options_;
+  std::vector<NodeRuntime> nodes_;
+  std::vector<uint64_t> node_free_us_;
+  std::vector<uint64_t> node_busy_us_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
+      queue_;
+  uint64_t next_order_ = 0;
+  uint64_t last_time_us_ = 0;
+  std::vector<std::unordered_set<std::string>> seen_match_keys_;
+  std::vector<double> latency_samples_;
+  SimReport report_;
+};
+
+}  // namespace
+
+DistributedSimulator::DistributedSimulator(const Deployment& deployment,
+                                           const SimOptions& options)
+    : deployment_(deployment), options_(options) {}
+
+SimReport DistributedSimulator::Run(const std::vector<Event>& trace) {
+  return SimRun(deployment_, options_).Run(trace);
+}
+
+}  // namespace muse

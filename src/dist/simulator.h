@@ -1,0 +1,59 @@
+#ifndef MUSE_DIST_SIMULATOR_H_
+#define MUSE_DIST_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cep/evaluator.h"
+#include "src/dist/deployment.h"
+#include "src/dist/metrics.h"
+
+namespace muse {
+
+/// Configuration of the distributed execution simulation.
+struct SimOptions {
+  /// One-way network latency between any two nodes (the network is a
+  /// complete graph, §2.1).
+  uint64_t network_delay_ms = 5;
+
+  /// Per-input processing cost model: base cost plus a term proportional to
+  /// the partial matches currently maintained at the node. The linear term
+  /// models the dominant cost of CEP evaluation [26] and is what makes
+  /// single-sink plans congest (§7.3).
+  double proc_base_us = 1.0;
+  double proc_per_partial_us = 0.02;
+
+  /// Evaluator options for every deployed task; if `eviction_slack_ms` is
+  /// zero it is raised to cover cross-node arrival skew.
+  EvaluatorOptions eval;
+
+  /// Collect per-query matches in the report (disable for large runs).
+  bool collect_matches = true;
+
+  /// Injected failures: (node, virtual time ms). At each point the node
+  /// crashes, loses its volatile state, and immediately recovers by
+  /// replaying its durable input log; duplicates are suppressed end-to-end.
+  std::vector<std::pair<NodeId, uint64_t>> failures;
+};
+
+/// Deterministic discrete-event simulation of a deployed MuSE graph (or
+/// oOP / centralized plan) over a global trace: per-node CEP engines,
+/// message channels with latency, processing-time modeling, transmission
+/// accounting, and Ambrosia-style replay recovery. See DESIGN.md for the
+/// substitution rationale (stands in for the paper's C#/Ambrosia testbed).
+class DistributedSimulator {
+ public:
+  DistributedSimulator(const Deployment& deployment, const SimOptions& options);
+
+  /// Runs the full trace to completion (including final flush) and reports
+  /// metrics. Can be called once per simulator instance.
+  SimReport Run(const std::vector<Event>& trace);
+
+ private:
+  const Deployment& deployment_;
+  SimOptions options_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_DIST_SIMULATOR_H_

@@ -1,0 +1,48 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+Network::Network(int num_nodes, int num_types)
+    : num_nodes_(num_nodes),
+      num_types_(num_types),
+      produces_(num_nodes),
+      producers_(num_types),
+      rates_(num_types, 1.0) {
+  MUSE_CHECK(num_nodes > 0, "network needs at least one node");
+  MUSE_CHECK(num_types > 0 && num_types <= 64, "1..64 event types");
+}
+
+void Network::AddProducer(NodeId node, EventTypeId type) {
+  MUSE_CHECK(node < static_cast<NodeId>(num_nodes_), "node out of range");
+  MUSE_CHECK(type < static_cast<EventTypeId>(num_types_),
+             "type out of range");
+  if (produces_[node].Contains(type)) return;
+  produces_[node].Insert(type);
+  producers_[type].push_back(node);
+  std::sort(producers_[type].begin(), producers_[type].end());
+}
+
+void Network::SetRate(EventTypeId type, double rate) {
+  MUSE_CHECK(type < static_cast<EventTypeId>(num_types_),
+             "type out of range");
+  MUSE_CHECK(rate >= 0, "negative rate");
+  rates_[type] = rate;
+}
+
+double Network::GlobalRate(TypeSet types) const {
+  double sum = 0;
+  for (EventTypeId t : types) sum += GlobalRate(t);
+  return sum;
+}
+
+double Network::EventNodeRatio() const {
+  double total = 0;
+  for (const TypeSet& s : produces_) total += s.size();
+  return total / (static_cast<double>(num_nodes_) * num_types_);
+}
+
+}  // namespace muse

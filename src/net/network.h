@@ -1,0 +1,69 @@
+#ifndef MUSE_NET_NETWORK_H_
+#define MUSE_NET_NETWORK_H_
+
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/common/typeset.h"
+
+namespace muse {
+
+/// An event-sourced network Γ = (N, f, r) (§2.1): a set of nodes N, a
+/// function f assigning to each node the event types it can emit, and a
+/// function r assigning to each event type its generation rate.
+///
+/// Rates are *per producing node per time unit* (we use 1 second as the
+/// time unit throughout): a type produced by k nodes has a network-wide
+/// rate of k·r(E). All nodes can exchange events directly (the network is a
+/// complete graph), so transmission cost counts event rates, not hops.
+class Network {
+ public:
+  Network(int num_nodes, int num_types);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_types() const { return num_types_; }
+
+  // -- Construction ----------------------------------------------------------
+  void AddProducer(NodeId node, EventTypeId type);
+  void SetRate(EventTypeId type, double rate);
+
+  // -- f: node -> types ------------------------------------------------------
+  TypeSet produces(NodeId node) const { return produces_[node]; }
+  bool Produces(NodeId node, EventTypeId type) const {
+    return produces_[node].Contains(type);
+  }
+  /// Nodes producing `type`, ascending.
+  const std::vector<NodeId>& Producers(EventTypeId type) const {
+    return producers_[type];
+  }
+  int NumProducers(EventTypeId type) const {
+    return static_cast<int>(producers_[type].size());
+  }
+
+  // -- r: type -> rate -------------------------------------------------------
+  /// Rate of `type` per producing node.
+  double Rate(EventTypeId type) const { return rates_[type]; }
+  /// Network-wide rate of `type`: r(E) times the number of producers.
+  double GlobalRate(EventTypeId type) const {
+    return rates_[type] * NumProducers(type);
+  }
+  /// Sum of network-wide rates over a set of types. This is the cost of
+  /// shipping all events of these types to an external sink — the
+  /// centralized baseline's network cost (§3).
+  double GlobalRate(TypeSet types) const;
+
+  /// Average fraction of event types produced per node (the paper's
+  /// *event node ratio*, §7.1).
+  double EventNodeRatio() const;
+
+ private:
+  int num_nodes_;
+  int num_types_;
+  std::vector<TypeSet> produces_;               // per node
+  std::vector<std::vector<NodeId>> producers_;  // per type
+  std::vector<double> rates_;                   // per type
+};
+
+}  // namespace muse
+
+#endif  // MUSE_NET_NETWORK_H_

@@ -1,0 +1,35 @@
+#include "src/net/network_gen.h"
+
+#include "src/common/check.h"
+#include "src/net/zipf.h"
+
+namespace muse {
+
+Network MakeRandomNetwork(const NetworkGenOptions& options, Rng& rng) {
+  MUSE_CHECK(options.event_node_ratio > 0 && options.event_node_ratio <= 1.0,
+             "event_node_ratio in (0, 1]");
+  Network net(options.num_nodes, options.num_types);
+
+  for (EventTypeId type = 0;
+       type < static_cast<EventTypeId>(options.num_types); ++type) {
+    for (NodeId node = 0; node < static_cast<NodeId>(options.num_nodes);
+         ++node) {
+      if (rng.Chance(options.event_node_ratio)) net.AddProducer(node, type);
+    }
+    // Every type needs at least one source; otherwise queries over it are
+    // trivially empty and the transmission-ratio metric degenerates.
+    if (net.NumProducers(type) == 0) {
+      net.AddProducer(
+          static_cast<NodeId>(rng.UniformInt(0, options.num_nodes - 1)), type);
+    }
+  }
+
+  ZipfSampler zipf(options.rate_skew, options.max_rate);
+  for (EventTypeId type = 0;
+       type < static_cast<EventTypeId>(options.num_types); ++type) {
+    net.SetRate(type, static_cast<double>(zipf.Sample(rng)));
+  }
+  return net;
+}
+
+}  // namespace muse

@@ -1,0 +1,33 @@
+#ifndef MUSE_NET_NETWORK_GEN_H_
+#define MUSE_NET_NETWORK_GEN_H_
+
+#include "src/common/rng.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// Parameters of the synthetic networks used in the simulation study
+/// (§7.1). Defaults match the paper's default configuration: 20 nodes,
+/// 15 event types, event-node ratio 0.5, rate skew 1.5.
+struct NetworkGenOptions {
+  int num_nodes = 20;
+  int num_types = 15;
+
+  /// Probability that a given node produces a given type — the expected
+  /// *event node ratio*. Every type is guaranteed at least one producer.
+  double event_node_ratio = 0.5;
+
+  /// Zipf exponent for per-type rate draws (see ZipfSampler). Smaller
+  /// values produce heavier tails, i.e. more heterogeneous rates.
+  double rate_skew = 1.5;
+
+  /// Upper bound of the Zipf support for rate draws.
+  uint64_t max_rate = 1'000'000;
+};
+
+/// Draws an event-sourced network per `options`. Deterministic given `rng`.
+Network MakeRandomNetwork(const NetworkGenOptions& options, Rng& rng);
+
+}  // namespace muse
+
+#endif  // MUSE_NET_NETWORK_GEN_H_

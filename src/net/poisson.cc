@@ -1,0 +1,22 @@
+#include "src/net/poisson.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+PoissonProcess::PoissonProcess(double rate_per_second, uint64_t start_time_ms)
+    : rate_per_ms_(rate_per_second / 1000.0),
+      time_exact_(static_cast<double>(start_time_ms)),
+      time_ms_(start_time_ms) {
+  MUSE_CHECK(rate_per_second > 0, "Poisson rate must be positive");
+}
+
+uint64_t PoissonProcess::NextArrival(Rng& rng) {
+  time_exact_ += rng.Exponential(rate_per_ms_);
+  time_ms_ = static_cast<uint64_t>(std::llround(time_exact_));
+  return time_ms_;
+}
+
+}  // namespace muse

@@ -1,0 +1,31 @@
+#ifndef MUSE_NET_POISSON_H_
+#define MUSE_NET_POISSON_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace muse {
+
+/// A Poisson arrival process: event generation in the network follows a
+/// Poisson distribution (§7.1). Rates are events per second; emitted
+/// timestamps are milliseconds.
+class PoissonProcess {
+ public:
+  /// `rate_per_second` must be positive.
+  PoissonProcess(double rate_per_second, uint64_t start_time_ms = 0);
+
+  /// Advances to and returns the next arrival timestamp (ms).
+  uint64_t NextArrival(Rng& rng);
+
+  uint64_t current_time_ms() const { return time_ms_; }
+
+ private:
+  double rate_per_ms_;
+  double time_exact_;
+  uint64_t time_ms_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_NET_POISSON_H_

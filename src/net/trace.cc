@@ -1,0 +1,62 @@
+#include "src/net/trace.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/net/poisson.h"
+
+namespace muse {
+
+std::vector<Event> GenerateGlobalTrace(const Network& net,
+                                       const TraceOptions& options, Rng& rng) {
+  std::vector<Event> events;
+  auto capped = [&events, &options]() {
+    return options.max_events != 0 && events.size() >= options.max_events;
+  };
+  for (NodeId node = 0;
+       node < static_cast<NodeId>(net.num_nodes()) && !capped(); ++node) {
+    for (EventTypeId type : net.produces(node)) {
+      if (capped()) break;
+      const double rate = net.Rate(type);
+      if (rate <= 0) continue;
+      PoissonProcess process(rate);
+      while (!capped()) {
+        uint64_t t = process.NextArrival(rng);
+        if (t >= options.duration_ms) break;
+        Event e;
+        e.type = type;
+        e.origin = node;
+        e.time = t;
+        for (int a = 0; a < kNumAttrs; ++a) {
+          e.attrs[a] = rng.UniformInt(0, options.attr_cardinality[a] - 1);
+        }
+        events.push_back(e);
+      }
+    }
+  }
+  FinalizeTraceOrder(&events);
+  return events;
+}
+
+void FinalizeTraceOrder(std::vector<Event>* events) {
+  std::sort(events->begin(), events->end(),
+            [](const Event& a, const Event& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.origin != b.origin) return a.origin < b.origin;
+              if (a.type != b.type) return a.type < b.type;
+              return a.attrs[0] < b.attrs[0];
+            });
+  for (size_t i = 0; i < events->size(); ++i) {
+    (*events)[i].seq = i;
+  }
+}
+
+std::vector<Event> LocalTrace(const std::vector<Event>& trace, NodeId node) {
+  std::vector<Event> out;
+  for (const Event& e : trace) {
+    if (e.origin == node) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace muse

@@ -1,0 +1,46 @@
+#ifndef MUSE_NET_TRACE_H_
+#define MUSE_NET_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/common/rng.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// Options for synthetic trace generation.
+struct TraceOptions {
+  /// Simulated duration in milliseconds.
+  uint64_t duration_ms = 10'000;
+
+  /// Payload attribute cardinalities: attrs[i] is drawn uniformly from
+  /// [0, attr_cardinality[i]). The selectivity of an equality predicate on
+  /// attribute i is then approximately 1/attr_cardinality[i].
+  int64_t attr_cardinality[kNumAttrs] = {10, 10};
+
+  /// Hard cap on the total number of generated events (0 = unlimited);
+  /// protects against accidentally huge rate draws.
+  uint64_t max_events = 5'000'000;
+};
+
+/// Generates the *global trace* of `net` (§2.1): one Poisson process per
+/// (node, producible type) pair with the type's rate, merged and totally
+/// ordered. Ties in timestamps are resolved deterministically by
+/// (time, origin, type); `seq` is the position in the merged trace.
+std::vector<Event> GenerateGlobalTrace(const Network& net,
+                                       const TraceOptions& options, Rng& rng);
+
+/// Sorts `events` into global-trace order and assigns `seq` accordingly.
+/// Used by generators that produce events out of order (e.g. the synthetic
+/// cluster trace).
+void FinalizeTraceOrder(std::vector<Event>* events);
+
+/// The events of `trace` originating at `node`, in order — the local trace
+/// t(node).
+std::vector<Event> LocalTrace(const std::vector<Event>& trace, NodeId node);
+
+}  // namespace muse
+
+#endif  // MUSE_NET_TRACE_H_

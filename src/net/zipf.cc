@@ -1,0 +1,30 @@
+#include "src/net/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+ZipfSampler::ZipfSampler(double exponent, uint64_t max_value)
+    : exponent_(exponent) {
+  MUSE_CHECK(exponent > 0, "Zipf exponent must be positive");
+  MUSE_CHECK(max_value >= 1, "Zipf support must be non-empty");
+  cum_.resize(max_value);
+  double sum = 0;
+  for (uint64_t k = 1; k <= max_value; ++k) {
+    sum += std::pow(static_cast<double>(k), -exponent);
+    cum_[k - 1] = sum;
+  }
+  for (double& c : cum_) c /= sum;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.Uniform(0.0, 1.0);
+  auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  if (it == cum_.end()) --it;
+  return static_cast<uint64_t>(it - cum_.begin()) + 1;
+}
+
+}  // namespace muse

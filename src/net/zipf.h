@@ -1,0 +1,38 @@
+#ifndef MUSE_NET_ZIPF_H_
+#define MUSE_NET_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace muse {
+
+/// Samples from a Zipf distribution: P(X = k) ∝ k^(-s) for k in
+/// [1, max_value].
+///
+/// The paper draws per-type event generation rates from this distribution
+/// (§7.1, "event rate skew"). Note the parameterization's effect on *rate
+/// heterogeneity*: a small exponent (s = 1.1) yields a heavy tail, so a few
+/// sampled rates can be orders of magnitude (up to ~10^6×) larger than the
+/// rest; a large exponent (s = 2.0) concentrates nearly all mass at small
+/// values, making sampled rates nearly equal — exactly the behaviour §7.2
+/// describes for the skew sweep.
+class ZipfSampler {
+ public:
+  ZipfSampler(double exponent, uint64_t max_value = 1'000'000);
+
+  /// Draws one value in [1, max_value].
+  uint64_t Sample(Rng& rng) const;
+
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  /// Normalized cumulative distribution; cum_[k-1] = P(X <= k).
+  std::vector<double> cum_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_NET_ZIPF_H_

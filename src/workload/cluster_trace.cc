@@ -1,0 +1,198 @@
+#include "src/workload/cluster_trace.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/net/trace.h"
+
+namespace muse {
+namespace {
+
+const char* const kTypeNames[] = {
+    "Submit", "Queue",  "Enable", "Schedule",     "Evict",
+    "Fail",   "Finish", "Kill",   "UpdatePending"};
+constexpr int kNumClusterTypes = 9;
+
+/// Estimated selectivity of an equality predicate on an id attribute:
+/// the probability that two random events agree, ~1/#distinct values.
+double IdSelectivity(uint64_t distinct) {
+  return distinct == 0 ? 1.0 : 1.0 / static_cast<double>(distinct);
+}
+
+}  // namespace
+
+EventTypeId ClusterTrace::type(const char* name) const {
+  int id = registry.Find(name);
+  MUSE_CHECK(id >= 0, "unknown cluster event type");
+  return static_cast<EventTypeId>(id);
+}
+
+Query ClusterTrace::MakeQuery1() const {
+  const EventTypeId fail = type("Fail");
+  const EventTypeId evict = type("Evict");
+  const EventTypeId kill = type("Kill");
+  const EventTypeId update = type("UpdatePending");
+  std::vector<Query> children;
+  children.push_back(Query::Primitive(fail));
+  children.push_back(Query::Primitive(evict));
+  children.push_back(Query::Primitive(kill));
+  children.push_back(Query::Primitive(update));
+  Query q = Query::Seq(std::move(children));
+  q.set_window(window_ms);
+  const double sel = IdSelectivity(task_count);
+  q.AddPredicate(Predicate::Equality(fail, 0, evict, 0, sel));
+  q.AddPredicate(Predicate::Equality(evict, 0, kill, 0, sel));
+  q.AddPredicate(Predicate::Equality(kill, 0, update, 0, sel));
+  return q;
+}
+
+Query ClusterTrace::MakeQuery2() const {
+  const EventTypeId finish = type("Finish");
+  const EventTypeId fail = type("Fail");
+  const EventTypeId kill = type("Kill");
+  const EventTypeId update = type("UpdatePending");
+  std::vector<Query> children;
+  children.push_back(Query::Primitive(finish));
+  children.push_back(Query::Primitive(fail));
+  children.push_back(Query::Primitive(kill));
+  children.push_back(Query::Primitive(update));
+  Query q = Query::And(std::move(children));
+  q.set_window(window_ms);
+  const double sel = IdSelectivity(job_count);
+  q.AddPredicate(Predicate::Equality(finish, 1, fail, 1, sel));
+  q.AddPredicate(Predicate::Equality(fail, 1, kill, 1, sel));
+  q.AddPredicate(Predicate::Equality(kill, 1, update, 1, sel));
+  return q;
+}
+
+ClusterTrace GenerateClusterTrace(const ClusterTraceOptions& options,
+                                  Rng& rng) {
+  ClusterTrace out;
+  for (const char* name : kTypeNames) out.registry.Intern(name);
+  out.duration_ms = options.duration_ms;
+  out.window_ms = options.window_ms;
+
+  // Machines partitioned randomly onto nodes (as the paper partitions the
+  // 12.3k machines into 20 sets).
+  std::vector<NodeId> machine_node(options.num_machines);
+  for (int m = 0; m < options.num_machines; ++m) {
+    machine_node[m] =
+        static_cast<NodeId>(rng.UniformInt(0, options.num_nodes - 1));
+  }
+
+  auto type_id = [&](const char* name) {
+    return static_cast<EventTypeId>(out.registry.Find(name));
+  };
+  const EventTypeId kSubmit = type_id("Submit");
+  const EventTypeId kQueue = type_id("Queue");
+  const EventTypeId kEnable = type_id("Enable");
+  const EventTypeId kSchedule = type_id("Schedule");
+  const EventTypeId kEvict = type_id("Evict");
+  const EventTypeId kFail = type_id("Fail");
+  const EventTypeId kFinish = type_id("Finish");
+  const EventTypeId kKill = type_id("Kill");
+  const EventTypeId kUpdate = type_id("UpdatePending");
+
+  int64_t next_job = 1;
+  int64_t next_task = 1;
+
+  auto emit = [&](EventTypeId t, int machine, double time_ms, int64_t uid,
+                  int64_t jid) {
+    if (time_ms >= static_cast<double>(options.duration_ms)) return;
+    Event e;
+    e.type = t;
+    e.origin = machine_node[machine];
+    e.time = static_cast<uint64_t>(time_ms);
+    e.attrs[0] = uid;
+    e.attrs[1] = jid;
+    out.events.push_back(e);
+  };
+
+  // Job arrivals: Poisson; each job spawns 1..max_tasks_per_job tasks on
+  // random machines. Task lifecycles follow the cluster scheduler's state
+  // machine: SUBMIT -> QUEUE -> ENABLE -> SCHEDULE -> terminal, where the
+  // terminal phase is usually FINISH, sometimes FAIL or KILL, and rarely
+  // the troubled path FAIL -> EVICT -> KILL -> UPDATE (rescheduling with
+  // updated constraints) that Query 1 monitors.
+  double t_ms = 0;
+  const double mean_gap_ms = 1000.0 / options.job_rate_per_s;
+  while (true) {
+    t_ms += rng.Exponential(1.0 / mean_gap_ms);
+    if (t_ms >= static_cast<double>(options.duration_ms)) break;
+    const int64_t jid = next_job++;
+    const int tasks =
+        static_cast<int>(rng.UniformInt(1, options.max_tasks_per_job));
+    for (int k = 0; k < tasks; ++k) {
+      const int64_t uid = next_task++;
+      int machine =
+          static_cast<int>(rng.UniformInt(0, options.num_machines - 1));
+      double ts = t_ms + rng.Exponential(1.0 / 200.0);  // submit offset
+      emit(kSubmit, machine, ts, uid, jid);
+      ts += rng.Exponential(1.0 / 300.0);
+      emit(kQueue, machine, ts, uid, jid);
+      ts += rng.Exponential(1.0 / 500.0);
+      emit(kEnable, machine, ts, uid, jid);
+      ts += rng.Exponential(1.0 / 800.0);
+      emit(kSchedule, machine, ts, uid, jid);
+
+      if (rng.Chance(options.troubled_probability)) {
+        // Troubled task: the exact pattern of Query 1 on one task id.
+        ts += rng.Exponential(1.0 / 5000.0);
+        emit(kFail, machine, ts, uid, jid);
+        machine =
+            static_cast<int>(rng.UniformInt(0, options.num_machines - 1));
+        ts += rng.Exponential(1.0 / 8000.0);
+        emit(kEvict, machine, ts, uid, jid);
+        ts += rng.Exponential(1.0 / 8000.0);
+        emit(kKill, machine, ts, uid, jid);
+        ts += rng.Exponential(1.0 / 10000.0);
+        emit(kUpdate, machine, ts, uid, jid);
+        continue;
+      }
+      // Regular terminal phase.
+      ts += rng.Exponential(1.0 / 30000.0);  // run time
+      double outcome = rng.Uniform(0, 1);
+      if (outcome < 0.80) {
+        emit(kFinish, machine, ts, uid, jid);
+      } else if (outcome < 0.90) {
+        emit(kFail, machine, ts, uid, jid);
+        ts += rng.Exponential(1.0 / 2000.0);
+        emit(kSchedule, machine, ts, uid, jid);  // retry
+        ts += rng.Exponential(1.0 / 30000.0);
+        emit(kFinish, machine, ts, uid, jid);
+      } else if (outcome < 0.97) {
+        emit(kKill, machine, ts, uid, jid);
+      } else {
+        emit(kEvict, machine, ts, uid, jid);
+        ts += rng.Exponential(1.0 / 2000.0);
+        emit(kSchedule, machine, ts, uid, jid);
+        ts += rng.Exponential(1.0 / 30000.0);
+        emit(kFinish, machine, ts, uid, jid);
+      }
+    }
+  }
+
+  out.task_count = static_cast<uint64_t>(next_task - 1);
+  out.job_count = static_cast<uint64_t>(next_job - 1);
+  FinalizeTraceOrder(&out.events);
+
+  // Extract the event-sourced network: every node may emit every type
+  // (event-node ratio 1); per-node rates are measured from the trace.
+  out.network = Network(options.num_nodes, kNumClusterTypes);
+  std::vector<uint64_t> counts(kNumClusterTypes, 0);
+  for (const Event& e : out.events) ++counts[e.type];
+  const double duration_s =
+      static_cast<double>(options.duration_ms) / 1000.0;
+  for (int t = 0; t < kNumClusterTypes; ++t) {
+    for (NodeId n = 0; n < static_cast<NodeId>(options.num_nodes); ++n) {
+      out.network.AddProducer(n, static_cast<EventTypeId>(t));
+    }
+    out.network.SetRate(
+        static_cast<EventTypeId>(t),
+        static_cast<double>(counts[t]) /
+            (duration_s * static_cast<double>(options.num_nodes)));
+  }
+  return out;
+}
+
+}  // namespace muse

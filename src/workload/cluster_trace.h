@@ -1,0 +1,69 @@
+#ifndef MUSE_WORKLOAD_CLUSTER_TRACE_H_
+#define MUSE_WORKLOAD_CLUSTER_TRACE_H_
+
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/cep/query.h"
+#include "src/cep/type_registry.h"
+#include "src/common/rng.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// Synthetic substitute for the Google cluster monitoring traces used in
+/// the paper's case study (§7.1, [24]); see DESIGN.md for the substitution
+/// rationale. Generates task-lifecycle event streams with the nine state-
+/// transition event types, partitions "machines" onto network nodes
+/// (event-node ratio 1), and extracts per-type rates — the three properties
+/// the case study's results depend on:
+///  * each node can emit every type, with roughly homogeneous rates;
+///  * the UPDATE types are orders of magnitude rarer than the frequent
+///    lifecycle types (SUBMIT/SCHEDULE/FINISH);
+///  * events correlate on task and job identifiers (attrs: a0 = task uID,
+///    a1 = job jID).
+struct ClusterTraceOptions {
+  int num_nodes = 20;
+  int num_machines = 1230;  ///< partitioned randomly onto the nodes
+  uint64_t duration_ms = 600'000;
+  /// Job arrivals per second, network-wide.
+  double job_rate_per_s = 12.0;
+  /// Tasks per job: uniform in [1, max_tasks_per_job].
+  int max_tasks_per_job = 4;
+  /// Probability that a task takes the "troubled" path
+  /// FAIL -> EVICT -> KILL -> UPDATE (the pattern of Query 1).
+  double troubled_probability = 0.0005;
+  /// Query window (30 min in the paper).
+  uint64_t window_ms = 1'800'000;
+};
+
+/// The generated case-study environment.
+struct ClusterTrace {
+  TypeRegistry registry;  ///< SUBMIT..UPDATE_RUNNING (9 types)
+  Network network;        ///< rates extracted from the generated events
+  std::vector<Event> events;
+  uint64_t duration_ms = 0;
+  uint64_t window_ms = 0;
+  uint64_t task_count = 0;  ///< distinct task ids (a0 cardinality)
+  uint64_t job_count = 0;   ///< distinct job ids (a1 cardinality)
+
+  ClusterTrace() : network(1, 1) {}
+
+  EventTypeId type(const char* name) const;
+
+  /// Query 1 (Listing 1): SEQ(Fail, Evict, Kill, UpdateP) correlated on the
+  /// task id — a task failed, was evicted and killed, then rescheduled with
+  /// updated constraints. Predicate selectivities are estimated from the
+  /// generated trace.
+  Query MakeQuery1() const;
+  /// Query 2 (Listing 1): AND(Finish, Fail, Kill, UpdateP) correlated on
+  /// the job id.
+  Query MakeQuery2() const;
+};
+
+ClusterTrace GenerateClusterTrace(const ClusterTraceOptions& options,
+                                  Rng& rng);
+
+}  // namespace muse
+
+#endif  // MUSE_WORKLOAD_CLUSTER_TRACE_H_

@@ -1,0 +1,162 @@
+#include "src/workload/query_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace muse {
+namespace {
+
+/// Builds a random SEQ/AND (occasionally NSEQ) tree over the given leaf
+/// types. `prefer` alternates the operator kind between levels so that the
+/// validity rule (no same-kind direct nesting) holds by construction.
+Query BuildTree(const std::vector<EventTypeId>& types, size_t lo, size_t hi,
+                OpKind prefer, double nseq_probability, Rng& rng) {
+  MUSE_CHECK(hi > lo, "empty type range");
+  if (hi - lo == 1) return Query::Primitive(types[lo]);
+
+  // NSEQ needs at least 3 leaves: first / negated middle / last.
+  if (hi - lo >= 3 && rng.Chance(nseq_probability)) {
+    size_t third = (hi - lo) / 3;
+    size_t a = lo + std::max<size_t>(1, third);
+    size_t b = hi - std::max<size_t>(1, third);
+    if (a < b) {
+      OpKind child = prefer == OpKind::kSeq ? OpKind::kAnd : OpKind::kSeq;
+      return Query::Nseq(BuildTree(types, lo, a, child, 0, rng),
+                         BuildTree(types, a, b, child, 0, rng),
+                         BuildTree(types, b, hi, child, 0, rng));
+    }
+  }
+
+  // Split the range into 2..4 consecutive groups.
+  size_t leaves = hi - lo;
+  size_t groups = static_cast<size_t>(
+      rng.UniformInt(2, static_cast<int64_t>(std::min<size_t>(4, leaves))));
+  std::vector<size_t> cuts = {lo, hi};
+  while (cuts.size() < groups + 1) {
+    size_t c = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(lo + 1),
+                       static_cast<int64_t>(hi - 1)));
+    if (std::find(cuts.begin(), cuts.end(), c) == cuts.end()) {
+      cuts.push_back(c);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+
+  OpKind child = prefer == OpKind::kSeq ? OpKind::kAnd : OpKind::kSeq;
+  std::vector<Query> children;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    if (cuts[i + 1] - cuts[i] == 1) {
+      children.push_back(Query::Primitive(types[cuts[i]]));
+    } else {
+      children.push_back(BuildTree(types, cuts[i], cuts[i + 1], child,
+                                   nseq_probability, rng));
+    }
+  }
+  if (children.size() == 1) return std::move(children[0]);
+  return prefer == OpKind::kSeq ? Query::Seq(std::move(children))
+                                : Query::And(std::move(children));
+}
+
+/// Adds the equality predicate for every pair of the query's leaf types
+/// (§7.1: "we generate selectivity values for each pair of event types").
+/// The query's modeled selectivity is then the product over all contained
+/// pairs, and every projection inherits exactly the pairs it retains.
+void AddPairPredicates(Query* q, const SelectivityModel& model,
+                       double probability, Rng& rng) {
+  std::vector<EventTypeId> leaves;
+  for (EventTypeId t : q->PrimitiveTypes()) leaves.push_back(t);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    for (size_t j = i + 1; j < leaves.size(); ++j) {
+      if (rng.Chance(probability)) {
+        q->AddPredicate(model.MakePredicate(leaves[i], leaves[j]));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Query GenerateQuery(const std::vector<EventTypeId>& types,
+                    const SelectivityModel& model, uint64_t window_ms,
+                    double nseq_probability, Rng& rng) {
+  MUSE_CHECK(!types.empty(), "query needs types");
+  OpKind top = rng.Chance(0.5) ? OpKind::kSeq : OpKind::kAnd;
+  Query q = BuildTree(types, 0, types.size(), top, nseq_probability, rng);
+  q.set_window(window_ms);
+  AddPairPredicates(&q, model, 1.0, rng);
+  std::string why;
+  MUSE_CHECK(q.Validate(&why), "generated query invalid");
+  return q;
+}
+
+std::vector<Query> GenerateWorkload(const QueryGenOptions& options,
+                                    const SelectivityModel& model, Rng& rng) {
+  MUSE_CHECK(options.num_types >= 3, "need at least 3 types");
+  MUSE_CHECK(options.avg_primitives >= 2, "need at least 2 primitives");
+
+  // Shared fragment: a composite operator over 2 types that related
+  // queries embed (§2.2: queries of a workload share composite operators).
+  std::vector<EventTypeId> pool(options.num_types);
+  std::iota(pool.begin(), pool.end(), 0);
+  std::shuffle(pool.begin(), pool.end(), rng.engine());
+  EventTypeId shared_a = pool[0];
+  EventTypeId shared_b = pool[1];
+  const bool shared_is_and = rng.Chance(0.5);
+
+  std::vector<Query> workload;
+  for (int qi = 0; qi < options.num_queries; ++qi) {
+    int primitives = options.avg_primitives +
+                     static_cast<int>(rng.UniformInt(-1, 1));
+    primitives = std::max(2, std::min(primitives, options.num_types));
+
+    const bool embed_shared =
+        primitives >= 3 && rng.Chance(options.share_probability);
+
+    // Draw the query's leaf types.
+    std::vector<EventTypeId> types;
+    std::shuffle(pool.begin(), pool.end(), rng.engine());
+    for (EventTypeId t : pool) {
+      if (embed_shared && (t == shared_a || t == shared_b)) continue;
+      if (static_cast<int>(types.size()) + (embed_shared ? 2 : 0) >=
+          primitives) {
+        break;
+      }
+      types.push_back(t);
+    }
+
+    Query q = Query();
+    if (embed_shared) {
+      std::vector<Query> fragment_children;
+      fragment_children.push_back(Query::Primitive(shared_a));
+      fragment_children.push_back(Query::Primitive(shared_b));
+      Query fragment = shared_is_and ? Query::And(std::move(fragment_children))
+                                     : Query::Seq(std::move(fragment_children));
+      OpKind top = shared_is_and ? OpKind::kSeq : OpKind::kAnd;
+      std::vector<Query> top_children;
+      top_children.push_back(std::move(fragment));
+      if (!types.empty()) {
+        top_children.push_back(BuildTree(types, 0, types.size(),
+                                         shared_is_and ? OpKind::kAnd
+                                                       : OpKind::kSeq,
+                                         options.nseq_probability, rng));
+      }
+      q = top == OpKind::kSeq ? Query::Seq(std::move(top_children))
+                              : Query::And(std::move(top_children));
+    } else {
+      OpKind top = rng.Chance(0.5) ? OpKind::kSeq : OpKind::kAnd;
+      q = BuildTree(types, 0, types.size(), top, options.nseq_probability,
+                    rng);
+    }
+    q.set_window(options.window_ms);
+    AddPairPredicates(&q, model, options.predicate_probability, rng);
+
+    std::string why;
+    MUSE_CHECK(q.Validate(&why), "generated workload query invalid");
+    workload.push_back(std::move(q));
+  }
+  return workload;
+}
+
+}  // namespace muse

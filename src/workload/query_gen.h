@@ -1,0 +1,50 @@
+#ifndef MUSE_WORKLOAD_QUERY_GEN_H_
+#define MUSE_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "src/cep/query.h"
+#include "src/common/rng.h"
+#include "src/workload/selectivity_model.h"
+
+namespace muse {
+
+/// Parameters of the synthetic query workloads (§7.1). Defaults match the
+/// paper's default setup: 5 queries with 6 primitive operators on average,
+/// SEQ and AND operators with varying hierarchy and nesting depth, pairwise
+/// equality predicates with modeled selectivities, and related queries
+/// (queries share composite operators).
+struct QueryGenOptions {
+  int num_queries = 5;
+  int avg_primitives = 6;   ///< per-query primitive count, +/- 1
+  int num_types = 15;
+  uint64_t window_ms = 30'000;
+
+  /// Probability that a query embeds the workload's shared fragment (a
+  /// common composite operator), making queries "related" (§2.2).
+  double share_probability = 0.7;
+
+  /// Probability of adding the equality predicate for each adjacent leaf
+  /// pair.
+  double predicate_probability = 1.0;
+
+  /// Include NSEQ operators with this probability per query (0 in the
+  /// paper's simulation workloads, which use SEQ and AND).
+  double nseq_probability = 0.0;
+};
+
+/// Generates a related workload of OR-free queries over types
+/// [0, options.num_types). Deterministic given `rng`. All queries share the
+/// same window (§2.2). Predicates carry selectivities from `model`.
+std::vector<Query> GenerateWorkload(const QueryGenOptions& options,
+                                    const SelectivityModel& model, Rng& rng);
+
+/// Generates one random query over exactly the given types (used by tests
+/// and the exhaustive-planner comparisons).
+Query GenerateQuery(const std::vector<EventTypeId>& types,
+                    const SelectivityModel& model, uint64_t window_ms,
+                    double nseq_probability, Rng& rng);
+
+}  // namespace muse
+
+#endif  // MUSE_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,33 @@
+#include "src/workload/selectivity_model.h"
+
+#include "src/common/check.h"
+
+namespace muse {
+
+SelectivityModel::SelectivityModel(int num_types, double min_selectivity,
+                                   double max_selectivity, Rng& rng)
+    : num_types_(num_types),
+      selectivity_(static_cast<size_t>(num_types) * num_types, 1.0) {
+  MUSE_CHECK(min_selectivity > 0 && min_selectivity <= max_selectivity,
+             "selectivity range");
+  for (int a = 0; a < num_types; ++a) {
+    for (int b = a + 1; b < num_types; ++b) {
+      double s = rng.Uniform(min_selectivity, max_selectivity);
+      selectivity_[a * num_types + b] = s;
+      selectivity_[b * num_types + a] = s;
+    }
+  }
+}
+
+double SelectivityModel::Get(EventTypeId a, EventTypeId b) const {
+  MUSE_CHECK(static_cast<int>(a) < num_types_ &&
+                 static_cast<int>(b) < num_types_,
+             "type out of range");
+  return selectivity_[static_cast<size_t>(a) * num_types_ + b];
+}
+
+Predicate SelectivityModel::MakePredicate(EventTypeId a, EventTypeId b) const {
+  return Predicate::Equality(a, 0, b, 0, Get(a, b));
+}
+
+}  // namespace muse

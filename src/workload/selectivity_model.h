@@ -1,0 +1,36 @@
+#ifndef MUSE_WORKLOAD_SELECTIVITY_MODEL_H_
+#define MUSE_WORKLOAD_SELECTIVITY_MODEL_H_
+
+#include <vector>
+
+#include "src/cep/predicate.h"
+#include "src/common/rng.h"
+#include "src/common/typeset.h"
+
+namespace muse {
+
+/// Per-pair predicate selectivities for synthetic workloads (§7.1): "we
+/// generate selectivity values for each pair of event types based on a
+/// uniform distribution over range [0.01, 0.2]". Symmetric; drawn once per
+/// model so that all queries of a workload agree on a pair's selectivity.
+class SelectivityModel {
+ public:
+  SelectivityModel(int num_types, double min_selectivity,
+                   double max_selectivity, Rng& rng);
+
+  double Get(EventTypeId a, EventTypeId b) const;
+
+  /// An equality predicate between `a` and `b` (attribute 0) carrying the
+  /// modeled selectivity.
+  Predicate MakePredicate(EventTypeId a, EventTypeId b) const;
+
+  int num_types() const { return num_types_; }
+
+ private:
+  int num_types_;
+  std::vector<double> selectivity_;  // row-major [a][b]
+};
+
+}  // namespace muse
+
+#endif  // MUSE_WORKLOAD_SELECTIVITY_MODEL_H_

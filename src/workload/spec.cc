@@ -1,0 +1,127 @@
+#include "src/workload/spec.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/cep/parser.h"
+
+namespace muse {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
+  DeploymentSpec spec;
+  int num_nodes = -1;
+
+  // Collected before the network can be built (types may appear in any
+  // order relative to `nodes`).
+  std::map<EventTypeId, double> rates;
+  std::vector<std::pair<NodeId, std::vector<std::string>>> produces;
+  std::map<std::pair<EventTypeId, EventTypeId>, double> selectivities;
+  std::vector<std::string> query_lines;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    auto fail = [&](const std::string& why) {
+      return Err("spec line ", line_no, ": ", why);
+    };
+    if (directive == "nodes") {
+      if (tokens.size() != 2) return fail("usage: nodes <count>");
+      num_nodes = std::stoi(tokens[1]);
+      if (num_nodes <= 0) return fail("node count must be positive");
+    } else if (directive == "rate") {
+      if (tokens.size() != 3) return fail("usage: rate <type> <per-node/s>");
+      EventTypeId t = spec.registry.Intern(tokens[1]);
+      rates[t] = std::stod(tokens[2]);
+      if (rates[t] < 0) return fail("rate must be non-negative");
+    } else if (directive == "produce") {
+      if (tokens.size() < 3) return fail("usage: produce <node> <type>...");
+      int node = std::stoi(tokens[1]);
+      if (node < 0) return fail("node id must be non-negative");
+      produces.emplace_back(static_cast<NodeId>(node),
+                            std::vector<std::string>(tokens.begin() + 2,
+                                                     tokens.end()));
+    } else if (directive == "selectivity") {
+      if (tokens.size() != 4) {
+        return fail("usage: selectivity <type> <type> <value>");
+      }
+      EventTypeId a = spec.registry.Intern(tokens[1]);
+      EventTypeId b = spec.registry.Intern(tokens[2]);
+      double sel = std::stod(tokens[3]);
+      if (sel <= 0 || sel > 1) return fail("selectivity must be in (0, 1]");
+      selectivities[{std::min(a, b), std::max(a, b)}] = sel;
+    } else if (directive == "query") {
+      size_t at = line.find("query");
+      query_lines.push_back(line.substr(at + 5));
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+  }
+
+  if (num_nodes <= 0) return Err("spec: missing 'nodes' directive");
+  if (spec.registry.size() == 0) return Err("spec: no event types declared");
+  if (query_lines.empty()) return Err("spec: no queries");
+
+  spec.network = Network(num_nodes, spec.registry.size());
+  for (const auto& [t, rate] : rates) spec.network.SetRate(t, rate);
+  for (const auto& [node, type_names] : produces) {
+    if (node >= static_cast<NodeId>(num_nodes)) {
+      return Err("spec: produce node ", node, " out of range");
+    }
+    for (const std::string& name : type_names) {
+      int t = spec.registry.Find(name);
+      if (t < 0) return Err("spec: produce references unknown type ", name);
+      spec.network.AddProducer(node, static_cast<EventTypeId>(t));
+    }
+  }
+
+  for (const std::string& q : query_lines) {
+    Result<Query> parsed = ParseQuery(q, &spec.registry);
+    if (!parsed.ok()) return Err("spec query '", q, "': ",
+                                 parsed.error().message);
+    if (spec.registry.size() > spec.network.num_types()) {
+      return Err("spec query '", q,
+                 "' references a type with no rate/producer declaration");
+    }
+    Query query = std::move(parsed).value();
+    // Attach declared selectivities to the parsed predicates.
+    std::vector<Predicate> adjusted;
+    for (Predicate p : query.predicates()) {
+      if (p.kind == Predicate::Kind::kEquality) {
+        auto it = selectivities.find({std::min(p.left_type, p.right_type),
+                                      std::max(p.left_type, p.right_type)});
+        if (it != selectivities.end()) p.selectivity = it->second;
+      }
+      adjusted.push_back(p);
+    }
+    Query rebuilt = Query::FromParts(
+        std::vector<QueryOp>(query.ops()), query.root(), std::move(adjusted),
+        query.window());
+    std::string why;
+    if (!rebuilt.Validate(&why)) {
+      return Err("spec query '", q, "' invalid: ", why);
+    }
+    spec.workload.push_back(std::move(rebuilt));
+  }
+  return spec;
+}
+
+}  // namespace muse

@@ -1,0 +1,46 @@
+#ifndef MUSE_WORKLOAD_SPEC_H_
+#define MUSE_WORKLOAD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cep/query.h"
+#include "src/cep/type_registry.h"
+#include "src/common/result.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// A parsed deployment specification: the event-sourced network and the
+/// query workload to plan for it.
+struct DeploymentSpec {
+  TypeRegistry registry;
+  Network network;
+  std::vector<Query> workload;
+
+  DeploymentSpec() : network(1, 1) {}
+};
+
+/// Parses the line-oriented deployment spec format used by the `muse_plan`
+/// CLI (see tools/muse_plan.cc and examples/specs/):
+///
+///   # comment
+///   nodes 3
+///   rate C 60            # events per producing node per second
+///   rate L 60
+///   rate F 0.4
+///   produce 0 C F        # node 0 emits types C and F
+///   produce 1 C L
+///   produce 2 L F
+///   selectivity C L 0.05 # modeled selectivity for predicates on (C, L)
+///   query SEQ(AND(C c, L l), F f) WHERE c.a0 == l.a0 WITHIN 1s
+///
+/// Order constraints: `nodes` must precede `produce`; types are interned on
+/// first mention. `query` lines use the full parser syntax (parser.h);
+/// WHERE predicates receive the selectivity declared for their type pair
+/// (default 0.1). Unknown directives are errors.
+Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text);
+
+}  // namespace muse
+
+#endif  // MUSE_WORKLOAD_SPEC_H_

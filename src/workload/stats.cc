@@ -1,0 +1,95 @@
+#include "src/workload/stats.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+Network EstimateNetworkFromTrace(const std::vector<Event>& trace,
+                                 uint64_t duration_ms, int num_nodes,
+                                 int num_types) {
+  MUSE_CHECK(duration_ms > 0, "duration must be positive");
+  Network net(num_nodes, num_types);
+  std::vector<uint64_t> counts(num_types, 0);
+  for (const Event& e : trace) {
+    if (e.origin >= static_cast<NodeId>(num_nodes) ||
+        e.type >= static_cast<EventTypeId>(num_types)) {
+      continue;
+    }
+    net.AddProducer(e.origin, e.type);
+    ++counts[e.type];
+  }
+  const double duration_s = static_cast<double>(duration_ms) / 1000.0;
+  for (int t = 0; t < num_types; ++t) {
+    const int producers = net.NumProducers(static_cast<EventTypeId>(t));
+    if (producers == 0) {
+      net.SetRate(static_cast<EventTypeId>(t), 0);
+      continue;
+    }
+    net.SetRate(static_cast<EventTypeId>(t),
+                static_cast<double>(counts[t]) / (duration_s * producers));
+  }
+  return net;
+}
+
+double EstimatePairSelectivity(const std::vector<Event>& trace,
+                               EventTypeId a, EventTypeId b, int attr,
+                               uint64_t window_ms, size_t max_pairs) {
+  MUSE_CHECK(attr >= 0 && attr < kNumAttrs, "attr out of range");
+  // Sliding scan over the time-ordered trace: for each b-event, pair it
+  // with the a-events in the preceding window (and vice versa via the
+  // symmetric role swap below).
+  size_t pairs = 0;
+  size_t agreeing = 0;
+  std::vector<const Event*> recent_a;
+  std::vector<const Event*> recent_b;
+  size_t evict_a = 0;
+  size_t evict_b = 0;
+  for (const Event& e : trace) {
+    if (pairs >= max_pairs) break;
+    if (e.type != a && e.type != b) continue;
+    // Evict expired partners.
+    auto expired = [&](const Event* old) {
+      return old->time + window_ms < e.time;
+    };
+    while (evict_a < recent_a.size() && expired(recent_a[evict_a])) {
+      ++evict_a;
+    }
+    while (evict_b < recent_b.size() && expired(recent_b[evict_b])) {
+      ++evict_b;
+    }
+    const std::vector<const Event*>& partners =
+        e.type == a ? recent_b : recent_a;
+    const size_t evicted = e.type == a ? evict_b : evict_a;
+    for (size_t i = evicted; i < partners.size() && pairs < max_pairs; ++i) {
+      ++pairs;
+      if (partners[i]->attrs[attr] == e.attrs[attr]) ++agreeing;
+    }
+    (e.type == a ? recent_a : recent_b).push_back(&e);
+  }
+  if (pairs == 0) return 1.0;
+  return static_cast<double>(agreeing) / static_cast<double>(pairs);
+}
+
+int CalibrateQuerySelectivities(Query* q, const std::vector<Event>& trace,
+                                uint64_t window_ms) {
+  std::vector<Predicate> updated;
+  int calibrated = 0;
+  for (Predicate p : q->predicates()) {
+    if (p.kind == Predicate::Kind::kEquality &&
+        p.left_attr == p.right_attr) {
+      p.selectivity = EstimatePairSelectivity(trace, p.left_type,
+                                              p.right_type, p.left_attr,
+                                              window_ms);
+      ++calibrated;
+    }
+    updated.push_back(p);
+  }
+  Query rebuilt = Query::FromParts(std::vector<QueryOp>(q->ops()), q->root(),
+                                   std::move(updated), q->window());
+  *q = std::move(rebuilt);
+  return calibrated;
+}
+
+}  // namespace muse

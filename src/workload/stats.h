@@ -1,0 +1,45 @@
+#ifndef MUSE_WORKLOAD_STATS_H_
+#define MUSE_WORKLOAD_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/cep/predicate.h"
+#include "src/cep/query.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// Estimators deriving the planner's inputs — the rate function r and the
+/// predicate selectivities σ (§2) — from observed event data. The paper
+/// assumes both are known (its case study extracts rates "directly from the
+/// dataset", §7.1); these helpers are that extraction step, generalized, so
+/// a deployment can plan from what it has actually seen.
+
+/// Builds an event-sourced network model from an observed trace slice:
+/// node n produces type t iff the slice contains such an event, and
+/// r(t) is the average per-producing-node rate over `duration_ms`.
+/// `num_nodes`/`num_types` bound the model (ids beyond them are ignored).
+Network EstimateNetworkFromTrace(const std::vector<Event>& trace,
+                                 uint64_t duration_ms, int num_nodes,
+                                 int num_types);
+
+/// Estimated selectivity of the equality predicate `a.attr == b.attr`
+/// between types `a` and `b`: the fraction of (a-event, b-event) pairs
+/// within `window_ms` of each other that agree on the attribute. Sampling
+/// caps the pair count at `max_pairs` for long traces. Returns 1.0 when
+/// no pair was observed (no evidence of selectivity).
+double EstimatePairSelectivity(const std::vector<Event>& trace,
+                               EventTypeId a, EventTypeId b, int attr,
+                               uint64_t window_ms,
+                               size_t max_pairs = 200'000);
+
+/// Replaces each equality predicate's modeled selectivity in `q` with the
+/// trace-estimated value; returns the number of predicates updated.
+int CalibrateQuerySelectivities(Query* q, const std::vector<Event>& trace,
+                                uint64_t window_ms);
+
+}  // namespace muse
+
+#endif  // MUSE_WORKLOAD_STATS_H_

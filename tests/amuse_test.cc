@@ -1,0 +1,210 @@
+#include "src/core/amuse.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/core/centralized.h"
+#include "src/core/correctness.h"
+#include "src/net/network_gen.h"
+#include "src/workload/query_gen.h"
+
+namespace muse {
+namespace {
+
+Network Fig2Net(double rc, double rl, double rf) {
+  Network net(4, 3);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 0);
+  net.AddProducer(1, 1);
+  net.AddProducer(2, 1);
+  net.AddProducer(0, 2);
+  net.AddProducer(3, 2);
+  net.SetRate(0, rc);
+  net.SetRate(1, rl);
+  net.SetRate(2, rf);
+  return net;
+}
+
+TEST(AmuseTest, ProducesCorrectPlanOnPaperExample) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.05));
+  Network net = Fig2Net(100, 100, 1);
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+
+  std::string why;
+  EXPECT_TRUE(IsCorrectPlan(r.graph, cat, &why)) << why << "\n"
+                                                 << r.graph.ToString(&reg);
+  EXPECT_GT(r.graph.sinks().size(), 0u);
+  EXPECT_DOUBLE_EQ(r.cost, GraphCost(r.graph, cat));
+}
+
+TEST(AmuseTest, BeatsCentralizedOnSkewedRates) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.01));
+  Network net = Fig2Net(1000, 1000, 0.01);
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+  double centralized = CentralizedCost(net, q.PrimitiveTypes());
+  EXPECT_LT(r.cost, 0.1 * centralized)
+      << "cost " << r.cost << " vs centralized " << centralized;
+}
+
+TEST(AmuseTest, MultiSinkAvoidsShippingDominantType) {
+  // With one type vastly dominant and tiny selectivity, the plan should
+  // never ship the dominant type: cost stays below the dominant type's
+  // single-node rate.
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.0001));
+  q.AddPredicate(Predicate::Equality(1, 0, 2, 0, 0.0001));
+  Network net = Fig2Net(100000, 100, 1);
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+  std::string why;
+  ASSERT_TRUE(IsCorrectPlan(r.graph, cat, &why)) << why;
+  EXPECT_LT(r.cost, 100000.0);
+}
+
+TEST(AmuseTest, StatsPopulated) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Fig2Net(100, 100, 1);
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+  EXPECT_EQ(r.stats.projections_total, 7);
+  EXPECT_GT(r.stats.projections_considered, 0);
+  EXPECT_GT(r.stats.combinations_enumerated, 0);
+  EXPECT_GT(r.stats.graphs_constructed, 0);
+  EXPECT_GE(r.stats.elapsed_seconds, 0.0);
+}
+
+TEST(AmuseTest, StarConsidersFewerProjectionsAndCostsNoLess) {
+  Rng rng(11);
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 8;
+  nopts.num_types = 8;
+  Network net = MakeRandomNetwork(nopts, rng);
+  SelectivityModel model(8, 0.01, 0.2, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 1;
+  qopts.avg_primitives = 5;
+  qopts.num_types = 8;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+    ProjectionCatalog cat(wl[0], net);
+    PlannerOptions amuse;
+    PlannerOptions star;
+    star.star = true;
+    PlanResult a = PlanQuery(cat, amuse);
+    PlanResult s = PlanQuery(cat, star);
+    EXPECT_LE(s.stats.projections_considered,
+              a.stats.projections_considered);
+    // aMuSE explores a superset of aMuSE*'s plan space, but both searches
+    // are greedy/budgeted, so only near-domination holds per seed.
+    EXPECT_LE(a.cost, s.cost * 1.25);
+    std::string why;
+    EXPECT_TRUE(IsCorrectPlan(a.graph, cat, &why)) << why;
+    EXPECT_TRUE(IsCorrectPlan(s.graph, cat, &why)) << why;
+  }
+}
+
+TEST(AmuseTest, SingleTypeQueryHasZeroCost) {
+  TypeRegistry reg;
+  Query q = ParseQuery("C", &reg).value();
+  Network net = Fig2Net(100, 100, 1);
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_EQ(r.graph.sinks().size(), 2u);  // one per producer of C
+}
+
+TEST(AmuseTest, PlanNeverExceedsBestGatherPlan) {
+  // The primitive combination with the best single node is always in the
+  // search space, so the plan cost is bounded by the best gather cost.
+  Rng rng(3);
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 10;
+  nopts.num_types = 6;
+  SelectivityModel model(6, 0.01, 0.2, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 1;
+  qopts.avg_primitives = 4;
+  qopts.num_types = 6;
+  for (int round = 0; round < 10; ++round) {
+    Network net = MakeRandomNetwork(nopts, rng);
+    std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+    ProjectionCatalog cat(wl[0], net);
+    PlanResult r = PlanQuery(cat);
+
+    double best_gather = std::numeric_limits<double>::infinity();
+    for (NodeId n = 0; n < static_cast<NodeId>(net.num_nodes()); ++n) {
+      double cost = 0;
+      for (EventTypeId t : wl[0].PrimitiveTypes()) {
+        cost += net.Rate(t) *
+                (net.NumProducers(t) - (net.Produces(n, t) ? 1 : 0));
+      }
+      best_gather = std::min(best_gather, cost);
+    }
+    EXPECT_LE(r.cost, best_gather * 1.0000001) << "round " << round;
+    std::string why;
+    EXPECT_TRUE(IsCorrectPlan(r.graph, cat, &why))
+        << why << " round " << round;
+  }
+}
+
+TEST(AmuseTest, DisablingMultiSinkStillCorrect) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.01));
+  Network net = Fig2Net(1000, 1000, 1);
+  ProjectionCatalog cat(q, net);
+  PlannerOptions no_ms;
+  no_ms.enable_multi_sink = false;
+  PlanResult r = PlanQuery(cat, no_ms);
+  std::string why;
+  EXPECT_TRUE(IsCorrectPlan(r.graph, cat, &why)) << why;
+  // Every non-primitive vertex is single-sink.
+  for (const PlanVertex& v : r.graph.vertices()) {
+    if (!v.IsPrimitive()) {
+      EXPECT_EQ(v.part_type, kNoPartition);
+    }
+  }
+  PlanResult full = PlanQuery(cat);
+  EXPECT_LE(full.cost, r.cost * 1.0000001);
+}
+
+TEST(AmuseTest, NseqQueryPlansCorrectly) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  Network net = Fig2Net(100, 10, 1);
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+  std::string why;
+  EXPECT_TRUE(IsCorrectPlan(r.graph, cat, &why)) << why;
+  // The sink consumes the anti part {B} as a predecessor projection.
+  bool anti_edge = false;
+  for (const auto& [from, to] : r.graph.edges()) {
+    if (r.graph.vertex(from).proj == TypeSet({1}) &&
+        r.graph.vertex(to).proj == q.PrimitiveTypes()) {
+      anti_edge = true;
+    }
+  }
+  EXPECT_TRUE(anti_edge) << r.graph.ToString(&reg);
+}
+
+TEST(AmuseTest, DeterministicAcrossRuns) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Fig2Net(100, 100, 1);
+  ProjectionCatalog cat(q, net);
+  PlanResult a = PlanQuery(cat);
+  PlanResult b = PlanQuery(cat);
+  EXPECT_EQ(a.graph.CanonicalString(), b.graph.CanonicalString());
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+}  // namespace
+}  // namespace muse

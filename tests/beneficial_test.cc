@@ -1,0 +1,126 @@
+#include "src/core/beneficial.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+
+namespace muse {
+namespace {
+
+struct Ctx {
+  TypeRegistry reg;
+  Query q;
+  Network net;
+  std::unique_ptr<ProjectionCatalog> cat;
+
+  explicit Ctx(double rc, double rl, double rf, double sel_cl = 1.0)
+      : net(4, 3) {
+    q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+    if (sel_cl < 1.0) q.AddPredicate(Predicate::Equality(0, 0, 1, 0, sel_cl));
+    net.AddProducer(0, 0);
+    net.AddProducer(1, 0);
+    net.AddProducer(1, 1);
+    net.AddProducer(2, 1);
+    net.AddProducer(0, 2);
+    net.AddProducer(3, 2);
+    net.SetRate(0, rc);
+    net.SetRate(1, rl);
+    net.SetRate(2, rf);
+    cat = std::make_unique<ProjectionCatalog>(q, net);
+  }
+};
+
+TEST(BeneficialProjectionTest, LowSelectivityMakesProjectionBeneficial) {
+  // r̂(AND(C,L)) = σ*2*rc*rl; beneficial iff <= rc + rl (Def. 13).
+  Ctx cheap(10, 10, 1, /*sel_cl=*/0.05);
+  EXPECT_TRUE(IsBeneficialProjection(*cheap.cat, TypeSet({0, 1})));
+  Ctx expensive(10, 10, 1, /*sel_cl=*/1.0);
+  EXPECT_FALSE(IsBeneficialProjection(*expensive.cat, TypeSet({0, 1})));
+}
+
+TEST(BeneficialProjectionTest, LowRatePairIsBeneficial) {
+  Ctx s(100, 100, 1);
+  // SEQ(C,F): rate 100*1 = 100 <= 100 + 1? 100 <= 101 yes.
+  EXPECT_TRUE(IsBeneficialProjection(*s.cat, TypeSet({0, 2})));
+  // AND(C,L): 2*100*100 = 20000 > 200: not beneficial.
+  EXPECT_FALSE(IsBeneficialProjection(*s.cat, TypeSet({0, 1})));
+}
+
+TEST(BeneficialProjectionTest, SingletonsAlwaysBeneficial) {
+  Ctx s(100, 100, 1);
+  EXPECT_TRUE(IsBeneficialProjection(*s.cat, TypeSet({0})));
+  EXPECT_TRUE(IsBeneficialProjection(*s.cat, TypeSet({1})));
+  EXPECT_TRUE(IsBeneficialProjection(*s.cat, TypeSet({2})));
+}
+
+TEST(StarFilterTest, RequiresDominantPrimitiveInput) {
+  // SEQ(C,F) with rc=100, rf=1: total output = 100*1 * |E| (2*2=4) = 400;
+  // no single input rate (100, 1) >= 400 -> fails the filter.
+  Ctx s(100, 100, 1);
+  EXPECT_FALSE(PassesStarFilter(*s.cat, TypeSet({0, 2})));
+  // With tiny selectivity the projection passes.
+  Ctx t(100, 100, 1, 0.001);
+  // SEQ(C,F) has no C-L predicate applied... use AND(C,L): output =
+  // 0.001*2*100*100*4 = 80 <= 100.
+  EXPECT_TRUE(PassesStarFilter(*t.cat, TypeSet({0, 1})));
+}
+
+TEST(StarFilterTest, SingletonsPass) {
+  Ctx s(100, 100, 1);
+  EXPECT_TRUE(PassesStarFilter(*s.cat, TypeSet({2})));
+}
+
+TEST(StarPredecessorTest, ComparesRates) {
+  Ctx s(100, 100, 1, 0.0001);
+  // target q (rate tiny), predecessor L (rate 100): allowed iff
+  // r̂(L) >= r̂(q)*|E(q)|.
+  TypeSet full({0, 1, 2});
+  double total = s.cat->Rate(full) * s.cat->Bindings(full);
+  EXPECT_EQ(StarAllowsPredecessor(*s.cat, full, TypeSet({1})),
+            s.cat->Rate(TypeSet({1})) >= total);
+}
+
+TEST(PartitioningInputTest, DominantPartFound) {
+  Ctx s(1000, 1000, 1, 0.00001);
+  // Combination q <- {AND(C,L), F}: r̂(AND(C,L)) = σ*2e6 = 20;
+  // other part F: r̂=1 * |E(F)|=2 -> 2. 20 >= 2: partitioning input.
+  Combination c{TypeSet({0, 1, 2}), {TypeSet({0, 1}), TypeSet({2})}};
+  EXPECT_EQ(FindPartitioningInput(*s.cat, c), 0);
+}
+
+TEST(PartitioningInputTest, NoneWhenBalanced) {
+  Ctx s(10, 10, 10);
+  // {C}, {L}, {F} all rate 10 with 2 bindings each: 10 < 40.
+  Combination c{TypeSet({0, 1, 2}),
+                {TypeSet({0}), TypeSet({1}), TypeSet({2})}};
+  EXPECT_EQ(FindPartitioningInput(*s.cat, c), -1);
+}
+
+TEST(PartitioningInputTest, PaperExampleCIsPartitioningInput) {
+  // Example 18: with C dominant, the placement of p3 = AND(C,L) has C as
+  // partitioning input for combination {C, L}.
+  Ctx s(1000, 10, 1);
+  Combination c{TypeSet({0, 1}), {TypeSet({0}), TypeSet({1})}};
+  // r̂(C) = 1000 >= r̂(L)*|E(L)| = 20.
+  EXPECT_EQ(FindPartitioningInput(*s.cat, c), 0);
+}
+
+TEST(BeneficialVertexTest, Example13Inequality) {
+  // Example 13: v1 (hosting p2 = SEQ(L,F), 4 bindings) is beneficial iff
+  // 4*r̂(p2) <= 2*r̂(L) + 2*r̂(F).
+  Ctx s(100, 100, 1);
+  std::vector<std::pair<TypeSet, double>> preds = {{TypeSet({1}), 2.0},
+                                                   {TypeSet({2}), 2.0}};
+  // 4*100 > 2*100 + 2*1: not beneficial at these rates.
+  EXPECT_FALSE(SatisfiesBeneficialVertexInequality(*s.cat, TypeSet({1, 2}),
+                                                   4.0, preds));
+  Ctx t(100, 100, 0.1);
+  // r̂(p2) = 100*0.1 = 10; 40 <= 200.2: beneficial.
+  std::vector<std::pair<TypeSet, double>> preds2 = {{TypeSet({1}), 2.0},
+                                                    {TypeSet({2}), 2.0}};
+  EXPECT_TRUE(SatisfiesBeneficialVertexInequality(*t.cat, TypeSet({1, 2}),
+                                                  4.0, preds2));
+}
+
+}  // namespace
+}  // namespace muse

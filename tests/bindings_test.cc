@@ -1,0 +1,99 @@
+#include "src/core/bindings.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+Network Fig2Net() {
+  // Paper's Fig. 2 network (nodes renumbered 1..4 -> 0..3):
+  // C at {0,1}, L at {1,2}, F at {0,3}.
+  Network net(4, 3);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 0);
+  net.AddProducer(1, 1);
+  net.AddProducer(2, 1);
+  net.AddProducer(0, 2);
+  net.AddProducer(3, 2);
+  return net;
+}
+
+TEST(BindingsTest, CountMatchesProduct) {
+  Network net = Fig2Net();
+  EXPECT_DOUBLE_EQ(CountBindings(net, TypeSet({0})), 2.0);
+  EXPECT_DOUBLE_EQ(CountBindings(net, TypeSet({0, 1})), 4.0);
+  EXPECT_DOUBLE_EQ(CountBindings(net, TypeSet({0, 1, 2})), 8.0);
+}
+
+TEST(BindingsTest, EnumerationMatchesCount) {
+  Network net = Fig2Net();
+  for (uint64_t bits = 1; bits < 8; ++bits) {
+    TypeSet s(bits);
+    std::vector<Binding> bindings = EnumerateBindings(net, s);
+    EXPECT_EQ(static_cast<double>(bindings.size()), CountBindings(net, s));
+    std::set<std::string> unique;
+    for (const Binding& b : bindings) {
+      EXPECT_EQ(b.tuples.size(), static_cast<size_t>(s.size()));
+      EXPECT_TRUE(unique.insert(b.ToString()).second);
+      for (const auto& [type, node] : b.tuples) {
+        EXPECT_TRUE(net.Produces(node, type));
+      }
+    }
+  }
+}
+
+TEST(BindingsTest, PaperExampleBindings) {
+  // Example 3 lists [(F,1),(C,1),(L,2)] among the bindings of q1; with our
+  // renumbering that is F@0, C@0, L@1.
+  Network net = Fig2Net();
+  std::vector<Binding> bindings = EnumerateBindings(net, TypeSet({0, 1, 2}));
+  Binding expect;
+  expect.tuples = {{0, 0}, {1, 1}, {2, 0}};
+  EXPECT_NE(std::find(bindings.begin(), bindings.end(), expect),
+            bindings.end());
+  EXPECT_EQ(bindings.size(), 8u);
+}
+
+TEST(BindingsTest, SubBindingRelation) {
+  Binding big;
+  big.tuples = {{0, 0}, {1, 1}, {2, 0}};
+  Binding small;
+  small.tuples = {{0, 0}, {2, 0}};
+  Binding other;
+  other.tuples = {{0, 1}};
+  EXPECT_TRUE(small.IsSubBindingOf(big));
+  EXPECT_FALSE(big.IsSubBindingOf(small));
+  EXPECT_FALSE(other.IsSubBindingOf(big));
+}
+
+TEST(BindingsTest, ProjectionBindingsAreSubBindings) {
+  // §4.1: bindings of a projection are sub-bags of the query's bindings.
+  Network net = Fig2Net();
+  std::vector<Binding> full = EnumerateBindings(net, TypeSet({0, 1, 2}));
+  std::vector<Binding> proj = EnumerateBindings(net, TypeSet({0, 1}));
+  for (const Binding& q : full) {
+    Binding restricted = q.Restrict(TypeSet({0, 1}));
+    EXPECT_NE(std::find(proj.begin(), proj.end(), restricted), proj.end());
+    EXPECT_TRUE(restricted.IsSubBindingOf(q));
+  }
+}
+
+TEST(BindingsTest, NodeFor) {
+  Binding b;
+  b.tuples = {{0, 3}, {2, 1}};
+  EXPECT_EQ(b.NodeFor(0), 3);
+  EXPECT_EQ(b.NodeFor(2), 1);
+  EXPECT_EQ(b.NodeFor(1), -1);
+}
+
+TEST(BindingsTest, NoProducerMeansNoBindings) {
+  Network net(2, 2);
+  net.AddProducer(0, 0);  // type 1 has no producer
+  EXPECT_TRUE(EnumerateBindings(net, TypeSet({0, 1})).empty());
+  EXPECT_DOUBLE_EQ(CountBindings(net, TypeSet({0, 1})), 0.0);
+}
+
+}  // namespace
+}  // namespace muse

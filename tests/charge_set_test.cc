@@ -1,0 +1,110 @@
+#include "src/core/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace muse {
+namespace {
+
+TEST(ChargeSetTest, EmptyByDefault) {
+  ChargeSet c;
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_DOUBLE_EQ(c.total(), 0.0);
+  EXPECT_FALSE(c.Contains(42));
+}
+
+TEST(ChargeSetTest, AddDeduplicates) {
+  ChargeSet c;
+  EXPECT_TRUE(c.Add(7, 1.5));
+  EXPECT_FALSE(c.Add(7, 99.0));  // same stream: charged once
+  EXPECT_TRUE(c.Add(3, 2.0));
+  EXPECT_DOUBLE_EQ(c.total(), 3.5);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.Contains(7));
+  EXPECT_TRUE(c.Contains(3));
+}
+
+TEST(ChargeSetTest, MergeUnionsAndDedups) {
+  ChargeSet a;
+  a.Add(1, 1.0);
+  a.Add(3, 3.0);
+  ChargeSet b;
+  b.Add(2, 2.0);
+  b.Add(3, 30.0);  // duplicate key
+  a.MergeFrom(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.total(), 6.0);  // 1 + 2 + 3 (kept a's weight)
+}
+
+TEST(ChargeSetTest, MergeWithEmpty) {
+  ChargeSet a;
+  a.Add(5, 5.0);
+  ChargeSet empty;
+  a.MergeFrom(empty);
+  EXPECT_DOUBLE_EQ(a.total(), 5.0);
+  empty.MergeFrom(a);
+  EXPECT_DOUBLE_EQ(empty.total(), 5.0);
+}
+
+TEST(ChargeSetTest, MarginalCountsOnlyNewStreams) {
+  ChargeSet base;
+  base.Add(1, 1.0);
+  base.Add(2, 2.0);
+  ChargeSet incoming;
+  incoming.Add(2, 20.0);  // already charged
+  incoming.Add(4, 4.0);
+  EXPECT_DOUBLE_EQ(base.MarginalCost(incoming, {}), 4.0);
+}
+
+TEST(ChargeSetTest, MarginalDeduplicatesExtras) {
+  ChargeSet base;
+  base.Add(1, 1.0);
+  ChargeSet incoming;
+  incoming.Add(4, 4.0);
+  std::vector<std::pair<uint64_t, double>> extra = {
+      {1, 10.0},  // in base: free
+      {4, 40.0},  // in incoming: free
+      {9, 9.0},   // new
+      {9, 9.0},   // duplicate extra: counted once
+  };
+  EXPECT_DOUBLE_EQ(base.MarginalCost(incoming, extra), 4.0 + 9.0);
+}
+
+TEST(ChargeSetTest, MarginalMatchesMergeTotal) {
+  // Property: total(after merge+adds) == total(before) + marginal.
+  Rng rng(17);
+  for (int round = 0; round < 50; ++round) {
+    ChargeSet a;
+    ChargeSet b;
+    for (int i = 0; i < 30; ++i) {
+      a.Add(static_cast<uint64_t>(rng.UniformInt(0, 40)),
+            rng.Uniform(0.1, 5.0));
+      b.Add(static_cast<uint64_t>(rng.UniformInt(0, 40)),
+            rng.Uniform(0.1, 5.0));
+    }
+    std::vector<std::pair<uint64_t, double>> extra;
+    for (int i = 0; i < 5; ++i) {
+      extra.emplace_back(static_cast<uint64_t>(rng.UniformInt(0, 40)),
+                         rng.Uniform(0.1, 5.0));
+    }
+    double marginal = a.MarginalCost(b, extra);
+    double before = a.total();
+    a.MergeFrom(b);
+    for (const auto& [k, w] : extra) a.Add(k, w);
+    EXPECT_NEAR(a.total(), before + marginal, 1e-9) << "round " << round;
+  }
+}
+
+TEST(TransferKeyHashTest, DistinguishesFields) {
+  uint64_t base = TransferKeyHash(111, kNoPartition, 1, 2);
+  EXPECT_NE(base, TransferKeyHash(112, kNoPartition, 1, 2));  // signature
+  EXPECT_NE(base, TransferKeyHash(111, 0, 1, 2));             // partition
+  EXPECT_NE(base, TransferKeyHash(111, kNoPartition, 2, 1));  // direction
+  EXPECT_NE(base, TransferKeyHash(111, kNoPartition, 1, 3));  // destination
+  // Deterministic.
+  EXPECT_EQ(base, TransferKeyHash(111, kNoPartition, 1, 2));
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,123 @@
+#include "src/workload/cluster_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/engine.h"
+#include "src/cep/oracle.h"
+
+namespace muse {
+namespace {
+
+ClusterTrace SmallTrace(uint64_t seed = 1) {
+  ClusterTraceOptions opts;
+  opts.num_nodes = 5;
+  opts.num_machines = 50;
+  opts.duration_ms = 120'000;
+  opts.job_rate_per_s = 4.0;
+  opts.troubled_probability = 0.05;
+  Rng rng(seed);
+  return GenerateClusterTrace(opts, rng);
+}
+
+TEST(ClusterTraceTest, NineTypesRegistered) {
+  ClusterTrace ct = SmallTrace();
+  EXPECT_EQ(ct.registry.size(), 9);
+  EXPECT_GE(ct.registry.Find("Fail"), 0);
+  EXPECT_GE(ct.registry.Find("UpdatePending"), 0);
+}
+
+TEST(ClusterTraceTest, TraceOrderedAndWithinDuration) {
+  ClusterTrace ct = SmallTrace();
+  ASSERT_FALSE(ct.events.empty());
+  for (size_t i = 0; i < ct.events.size(); ++i) {
+    EXPECT_EQ(ct.events[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(ct.events[i].time, ct.events[i - 1].time);
+    }
+    EXPECT_LT(ct.events[i].time, ct.duration_ms);
+    EXPECT_LT(ct.events[i].origin, 5u);
+  }
+}
+
+TEST(ClusterTraceTest, EventNodeRatioIsOne) {
+  ClusterTrace ct = SmallTrace();
+  EXPECT_DOUBLE_EQ(ct.network.EventNodeRatio(), 1.0);
+}
+
+TEST(ClusterTraceTest, UpdateEventsAreOrdersOfMagnitudeRarer) {
+  ClusterTraceOptions opts;
+  opts.duration_ms = 300'000;
+  opts.troubled_probability = 0.005;  // ensure a measurable update count
+  Rng rng(2);
+  ClusterTrace ct = GenerateClusterTrace(opts, rng);
+  std::vector<uint64_t> counts(9, 0);
+  for (const Event& e : ct.events) ++counts[e.type];
+  uint64_t schedule = counts[ct.type("Schedule")];
+  uint64_t update = counts[ct.type("UpdatePending")];
+  ASSERT_GT(update, 0u);
+  EXPECT_GT(schedule, 50 * update);
+}
+
+TEST(ClusterTraceTest, RatesMatchEmpiricalCounts) {
+  ClusterTrace ct = SmallTrace();
+  std::vector<uint64_t> counts(9, 0);
+  for (const Event& e : ct.events) ++counts[e.type];
+  double duration_s = static_cast<double>(ct.duration_ms) / 1000.0;
+  for (int t = 0; t < 9; ++t) {
+    double expected =
+        static_cast<double>(counts[t]) / (duration_s * 5 /*nodes*/);
+    EXPECT_DOUBLE_EQ(ct.network.Rate(static_cast<EventTypeId>(t)), expected);
+  }
+}
+
+TEST(ClusterTraceTest, QueriesValidAndPredicated) {
+  ClusterTrace ct = SmallTrace();
+  Query q1 = ct.MakeQuery1();
+  Query q2 = ct.MakeQuery2();
+  std::string why;
+  EXPECT_TRUE(q1.Validate(&why)) << why;
+  EXPECT_TRUE(q2.Validate(&why)) << why;
+  EXPECT_EQ(q1.window(), ct.window_ms);
+  EXPECT_EQ(q1.predicates().size(), 3u);
+  EXPECT_EQ(q2.predicates().size(), 3u);
+  EXPECT_EQ(q1.op(q1.root()).kind, OpKind::kSeq);
+  EXPECT_EQ(q2.op(q2.root()).kind, OpKind::kAnd);
+  EXPECT_LT(q1.Selectivity(), 1e-3);
+}
+
+TEST(ClusterTraceTest, TroubledTasksProduceQuery1Matches) {
+  ClusterTrace ct = SmallTrace(7);
+  Query q1 = ct.MakeQuery1();
+  QueryEngine engine(q1);
+  std::vector<Match> out;
+  for (const Event& e : ct.events) engine.OnEvent(e, &out);
+  engine.Flush(&out);
+  // troubled_probability 0.05 over hundreds of tasks: matches must exist.
+  EXPECT_GT(CanonicalMatchSet(out).size(), 0u);
+}
+
+TEST(ClusterTraceTest, AttrsCarryTaskAndJobIds) {
+  ClusterTrace ct = SmallTrace();
+  EXPECT_GT(ct.task_count, 0u);
+  EXPECT_GT(ct.job_count, 0u);
+  for (const Event& e : ct.events) {
+    EXPECT_GE(e.attrs[0], 1);
+    EXPECT_LE(e.attrs[0], static_cast<int64_t>(ct.task_count));
+    EXPECT_GE(e.attrs[1], 1);
+    EXPECT_LE(e.attrs[1], static_cast<int64_t>(ct.job_count));
+  }
+}
+
+TEST(ClusterTraceTest, DeterministicGivenSeed) {
+  ClusterTrace a = SmallTrace(5);
+  ClusterTrace b = SmallTrace(5);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].type, b.events[i].type);
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].origin, b.events[i].origin);
+  }
+}
+
+}  // namespace
+}  // namespace muse

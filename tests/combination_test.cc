@@ -1,0 +1,144 @@
+#include "src/core/combination.h"
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+TEST(CombinationTest, CorrectnessRequiresExactCover) {
+  TypeSet target = {0, 1, 2};
+  EXPECT_TRUE(IsCorrectCombination({target, {{0, 1}, {2}}}));
+  EXPECT_TRUE(IsCorrectCombination({target, {{0, 1}, {1, 2}}}));  // overlap ok
+  EXPECT_FALSE(IsCorrectCombination({target, {{0, 1}}}));     // misses 2
+  EXPECT_FALSE(IsCorrectCombination({target, {}}));           // empty
+  EXPECT_FALSE(IsCorrectCombination({target, {{0, 1, 2}}}));  // not proper
+}
+
+TEST(CombinationTest, Redundancy) {
+  // Def. 15: a part fully covered by the union of the others is redundant.
+  EXPECT_TRUE(
+      IsRedundantCombination({{0, 1, 2}, {{0, 1}, {1, 2}, {1}}}));
+  EXPECT_FALSE(IsRedundantCombination({{0, 1, 2}, {{0, 1}, {1, 2}}}));
+  EXPECT_FALSE(IsRedundantCombination({{0, 1, 2}, {{0, 1}, {2}}}));
+  // Two identical parts are mutually redundant.
+  EXPECT_TRUE(IsRedundantCombination({{0, 1}, {{0, 1}, {0, 1}}}));
+}
+
+std::vector<TypeSet> AllProperSubsets(TypeSet target) {
+  std::vector<TypeSet> out;
+  ForEachNonEmptySubset(target, [&](TypeSet s) {
+    if (s != target) out.push_back(s);
+  });
+  return out;
+}
+
+TEST(EnumerateCombinationsTest, ThreeTypesFullEnumeration) {
+  TypeSet target = {0, 1, 2};
+  std::vector<Combination> combos =
+      EnumerateCombinations(target, AllProperSubsets(target));
+  // Every combination is correct and non-redundant.
+  for (const Combination& c : combos) {
+    EXPECT_TRUE(IsCorrectCombination(c)) << c.ToString();
+    EXPECT_FALSE(IsRedundantCombination(c)) << c.ToString();
+  }
+  // Hand count: partitions {a|b|c} (1), {ab|c} style (3), {ab|ac} style
+  // overlapping pairs (3), {ab|c-singleton pairs}... enumerate by checking
+  // a known member and the total against a brute-force reference.
+  std::set<std::string> seen;
+  for (const Combination& c : combos) seen.insert(c.ToString());
+  Combination expect{target, {TypeSet({0, 1}), TypeSet({2})}};
+  EXPECT_TRUE(seen.count(expect.ToString()) == 1) << expect.ToString();
+
+  // Brute-force reference over all subsets of candidate parts.
+  std::vector<TypeSet> cands = AllProperSubsets(target);
+  int expected = 0;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << cands.size()); ++mask) {
+    Combination c;
+    c.target = target;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (mask & (uint64_t{1} << i)) c.parts.push_back(cands[i]);
+    }
+    if (IsCorrectCombination(c) && !IsRedundantCombination(c)) ++expected;
+  }
+  EXPECT_EQ(static_cast<int>(combos.size()), expected);
+}
+
+TEST(EnumerateCombinationsTest, DuplicateFreeAcrossOrders) {
+  TypeSet target = {0, 1, 2, 3};
+  std::vector<Combination> combos =
+      EnumerateCombinations(target, AllProperSubsets(target));
+  std::set<std::string> seen;
+  for (const Combination& c : combos) {
+    EXPECT_TRUE(seen.insert(c.ToString()).second) << c.ToString();
+  }
+}
+
+TEST(EnumerateCombinationsTest, RestrictedCandidates) {
+  TypeSet target = {0, 1, 2};
+  // Only singletons available: exactly one combination (the primitive one).
+  std::vector<TypeSet> singles = {TypeSet({0}), TypeSet({1}), TypeSet({2})};
+  std::vector<Combination> combos = EnumerateCombinations(target, singles);
+  ASSERT_EQ(combos.size(), 1u);
+  EXPECT_EQ(combos[0].parts.size(), 3u);
+}
+
+TEST(EnumerateCombinationsTest, UncoverableTargetYieldsNothing) {
+  TypeSet target = {0, 1, 2};
+  std::vector<TypeSet> cands = {TypeSet({0}), TypeSet({1})};  // no 2
+  EXPECT_TRUE(EnumerateCombinations(target, cands).empty());
+}
+
+TEST(EnumerateCombinationsTest, NegatedGroupRule) {
+  // Target {A,B,C} with negated group {B}: parts containing B must be
+  // exactly {B}.
+  TypeSet target = {0, 1, 2};
+  std::vector<TypeSet> groups = {TypeSet({1})};
+  std::vector<Combination> combos =
+      EnumerateCombinations(target, AllProperSubsets(target), groups);
+  ASSERT_FALSE(combos.empty());
+  for (const Combination& c : combos) {
+    bool has_anti = false;
+    for (TypeSet part : c.parts) {
+      if (part.Intersects(TypeSet({1}))) {
+        EXPECT_EQ(part, TypeSet({1})) << c.ToString();
+        has_anti = true;
+      }
+    }
+    EXPECT_TRUE(has_anti) << c.ToString();
+  }
+}
+
+TEST(EnumerateCombinationsTest, GroupEqualToTargetUnconstrained) {
+  // When the target *is* the negated pattern, its own composition is free.
+  TypeSet target = {0, 1};
+  std::vector<TypeSet> groups = {target};
+  std::vector<Combination> combos =
+      EnumerateCombinations(target, AllProperSubsets(target), groups);
+  EXPECT_EQ(combos.size(), 1u);  // {0} + {1}
+}
+
+TEST(EnumerateCombinationsTest, MaxCombinationsCap) {
+  TypeSet target = TypeSet::FirstN(6);
+  CombinationEnumOptions opts;
+  opts.max_combinations = 10;
+  std::vector<Combination> combos =
+      EnumerateCombinations(target, AllProperSubsets(target), {}, opts);
+  EXPECT_LE(combos.size(), 10u);
+}
+
+class CombinationSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombinationSizeTest, PartsBoundedByTargetSize) {
+  // Non-redundant combinations have at most |target| parts (§6.1.2).
+  TypeSet target = TypeSet::FirstN(GetParam());
+  for (const Combination& c :
+       EnumerateCombinations(target, AllProperSubsets(target))) {
+    EXPECT_LE(static_cast<int>(c.parts.size()), GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CombinationSizeTest,
+                         ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,162 @@
+#include "src/core/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+
+namespace muse {
+namespace {
+
+/// The paper's running example (Fig. 2), nodes renumbered 1..4 -> 0..3:
+/// C at {0,1}, L at {1,2}, F at {0,3}; r(C) = r(L) = 100 >> r(F) = 1.
+struct Fig2 {
+  TypeRegistry reg;
+  Query q;
+  Network net;
+  std::unique_ptr<ProjectionCatalog> cat;
+
+  Fig2() : net(4, 3) {
+    q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+    net.AddProducer(0, 0);
+    net.AddProducer(1, 0);
+    net.AddProducer(1, 1);
+    net.AddProducer(2, 1);
+    net.AddProducer(0, 2);
+    net.AddProducer(3, 2);
+    net.SetRate(0, 100);
+    net.SetRate(1, 100);
+    net.SetRate(2, 1);
+    cat = std::make_unique<ProjectionCatalog>(q, net);
+  }
+
+  /// Builds the MuSE graph of Fig. 2b.
+  MuseGraph BuildGraph() const {
+    MuseGraph g;
+    auto prim = [&](EventTypeId t, NodeId n) {
+      return g.AddVertex(
+          PlanVertex{0, TypeSet::Of(t), n, static_cast<int>(t), false});
+    };
+    int c0 = prim(0, 0);
+    int c1 = prim(0, 1);
+    int l1 = prim(1, 1);
+    int l2 = prim(1, 2);
+    int f0 = prim(2, 0);
+    int f3 = prim(2, 3);
+    // v1 = (p2 = SEQ(L,F), node 0), single-sink.
+    int v1 = g.AddVertex(PlanVertex{0, TypeSet({1, 2}), 0, kNoPartition,
+                                    false});
+    // v2, v3 = (p3 = AND(C,L)) partitioned on C at nodes 0 and 1.
+    int v2 = g.AddVertex(PlanVertex{0, TypeSet({0, 1}), 0, 0, false});
+    int v3 = g.AddVertex(PlanVertex{0, TypeSet({0, 1}), 1, 0, false});
+    // v4, v5 = (q) partitioned on C at nodes 0 and 1 (the two sinks).
+    int v4 = g.AddVertex(PlanVertex{0, TypeSet({0, 1, 2}), 0, 0, false});
+    int v5 = g.AddVertex(PlanVertex{0, TypeSet({0, 1, 2}), 1, 0, false});
+
+    g.AddEdge(l1, v1);
+    g.AddEdge(l2, v1);
+    g.AddEdge(f0, v1);
+    g.AddEdge(f3, v1);
+    g.AddEdge(c0, v2);
+    g.AddEdge(l1, v2);
+    g.AddEdge(l2, v2);
+    g.AddEdge(c1, v3);
+    g.AddEdge(l1, v3);
+    g.AddEdge(l2, v3);
+    g.AddEdge(v1, v4);
+    g.AddEdge(v1, v5);
+    g.AddEdge(v2, v4);
+    g.AddEdge(v3, v5);
+    g.SetSinks({v4, v5});
+    return g;
+  }
+};
+
+TEST(CostTest, Fig2GraphCost) {
+  Fig2 f;
+  MuseGraph g = f.BuildGraph();
+  // Network charges (streams deduplicated per destination node):
+  //   L@1 -> n0 (feeds v1 and v2, charged once)      = 100
+  //   L@2 -> n0 (feeds v1 and v2, charged once)      = 100
+  //   F@3 -> n0                                      = 1
+  //   L@2 -> n1 (feeds v3)                           = 100
+  //   v1 -> n1: r̂(p2) * |A(v1)| = (100*1) * 4        = 400  (Example 9)
+  // All other edges are local.
+  EXPECT_DOUBLE_EQ(GraphCost(g, *f.cat), 701.0);
+}
+
+TEST(CostTest, CentralizedReference) {
+  Fig2 f;
+  // Sum of global rates: C 2*100 + L 2*100 + F 2*1 = 402.
+  EXPECT_DOUBLE_EQ(CentralizedCost(f.net, f.q.PrimitiveTypes()), 402.0);
+}
+
+TEST(CostTest, LocalEdgesAreFree) {
+  Fig2 f;
+  MuseGraph g;
+  int src = g.AddVertex(PlanVertex{0, TypeSet({1}), 1, 1, false});
+  int dst = g.AddVertex(PlanVertex{0, TypeSet({0, 1}), 1, kNoPartition,
+                                   false});
+  g.AddEdge(src, dst);
+  EXPECT_DOUBLE_EQ(GraphCost(g, *f.cat), 0.0);
+}
+
+TEST(CostTest, SharedStreamChargedOncePerDestination) {
+  Fig2 f;
+  MuseGraph g;
+  int src = g.AddVertex(PlanVertex{0, TypeSet({1}), 1, 1, false});
+  int d1 = g.AddVertex(PlanVertex{0, TypeSet({0, 1}), 0, kNoPartition,
+                                  false});
+  int d2 = g.AddVertex(PlanVertex{0, TypeSet({1, 2}), 0, kNoPartition,
+                                  false});
+  g.AddEdge(src, d1);
+  g.AddEdge(src, d2);  // same node: one transmission (§4.4 sharing term)
+  EXPECT_DOUBLE_EQ(GraphCost(g, *f.cat), 100.0);
+
+  int d3 = g.AddVertex(PlanVertex{0, TypeSet({0, 1}), 3, kNoPartition,
+                                  false});
+  g.AddEdge(src, d3);  // different node: second transmission
+  EXPECT_DOUBLE_EQ(GraphCost(g, *f.cat), 200.0);
+}
+
+TEST(CostTest, PaidTransfersAreFree) {
+  Fig2 f;
+  MuseGraph g;
+  int src = g.AddVertex(PlanVertex{0, TypeSet({1}), 1, 1, false});
+  int dst = g.AddVertex(PlanVertex{0, TypeSet({0, 1}), 0, kNoPartition,
+                                   false});
+  g.AddEdge(src, dst);
+  EXPECT_DOUBLE_EQ(GraphCost(g, *f.cat), 100.0);
+
+  SharingContext ctx;
+  ctx.paid_transfers.insert(
+      TransferKeyHash(f.cat->SignatureHash(TypeSet({1})), 1, 1, 0));
+  EXPECT_DOUBLE_EQ(GraphCost(g, *f.cat, &ctx), 0.0);
+}
+
+TEST(CostTest, RecordPlanInContext) {
+  Fig2 f;
+  MuseGraph g = f.BuildGraph();
+  SharingContext ctx;
+  std::vector<const ProjectionCatalog*> cats = {f.cat.get()};
+  RecordPlanInContext(g, cats, &ctx);
+  // All network transfers are now paid: replanning the same graph is free.
+  EXPECT_DOUBLE_EQ(GraphCost(g, cats, &ctx), 0.0);
+  // Placements were recorded under projection signatures.
+  EXPECT_TRUE(ctx.placed.count(f.cat->Signature(TypeSet({0, 1}))) > 0);
+  EXPECT_TRUE(ctx.placed.count(f.cat->Signature(TypeSet({0, 1, 2}))) > 0);
+}
+
+TEST(CostTest, PartitionedCoverScalesEdgeWeight) {
+  Fig2 f;
+  MuseGraph g;
+  // Partitioned q-vertex at node 0 (cover 4) sending to node 3.
+  int src = g.AddVertex(PlanVertex{0, TypeSet({0, 1}), 0, 0, false});
+  int dst = g.AddVertex(PlanVertex{0, TypeSet({0, 1, 2}), 3, kNoPartition,
+                                   false});
+  g.AddEdge(src, dst);
+  // r̂(AND(C,L)) = 2*100*100 = 20000, cover = |producers(L)| = 2.
+  EXPECT_DOUBLE_EQ(GraphCost(g, *f.cat), 20000.0 * 2);
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,156 @@
+#include "src/dist/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/core/amuse.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/core/placement_oop.h"
+
+namespace muse {
+namespace {
+
+Network Fig2Net() {
+  Network net(4, 3);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 0);
+  net.AddProducer(1, 1);
+  net.AddProducer(2, 1);
+  net.AddProducer(0, 2);
+  net.AddProducer(3, 2);
+  net.SetRate(0, 100);
+  net.SetRate(1, 100);
+  net.SetRate(2, 1);
+  return net;
+}
+
+TEST(DeploymentTest, CompilesAmusePlan) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.05));
+  Network net = Fig2Net();
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+  Deployment dep(r.graph, {&cat});
+
+  EXPECT_GT(dep.num_tasks(), 0);
+  int sinks = 0;
+  int primitives = 0;
+  for (const Task& t : dep.tasks()) {
+    if (!t.sink_for.empty()) ++sinks;
+    if (t.is_primitive) {
+      ++primitives;
+      EXPECT_TRUE(t.inputs.empty());
+      EXPECT_TRUE(net.Produces(t.node, t.prim_type));
+    } else {
+      EXPECT_FALSE(t.parts.empty());
+      // Every input task's projection appears among the parts.
+      for (const auto& [src, part] : t.inputs) {
+        EXPECT_EQ(dep.task(src).proj, t.part_types[part]);
+      }
+    }
+  }
+  EXPECT_GE(sinks, 1);
+  // One primitive task per (type, producer) pair: 2+2+2.
+  EXPECT_EQ(primitives, 6);
+}
+
+TEST(DeploymentTest, PrimitiveDispatchIndex) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Fig2Net();
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+  Deployment dep(r.graph, {&cat});
+
+  for (EventTypeId t = 0; t < 3; ++t) {
+    for (NodeId n = 0; n < 4; ++n) {
+      const std::vector<int>& tasks = dep.PrimitiveTasksFor(n, t);
+      if (net.Produces(n, t)) {
+        ASSERT_EQ(tasks.size(), 1u);
+        EXPECT_EQ(dep.task(tasks[0]).prim_type, t);
+      } else {
+        EXPECT_TRUE(tasks.empty());
+      }
+    }
+  }
+  EXPECT_TRUE(dep.PrimitiveTasksFor(99, 0).empty());
+}
+
+TEST(DeploymentTest, SuccessorsMatchPlanEdges) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Fig2Net();
+  ProjectionCatalog cat(q, net);
+  PlanResult r = PlanQuery(cat);
+  Deployment dep(r.graph, {&cat});
+  // Every task with successors feeds tasks that list it as an input.
+  for (const Task& t : dep.tasks()) {
+    for (int s : t.successors) {
+      const Task& succ = dep.task(s);
+      bool found = false;
+      for (const auto& [src, part] : succ.inputs) {
+        if (src == t.id) found = true;
+      }
+      EXPECT_TRUE(found) << t.ToString() << " -> " << succ.ToString();
+    }
+  }
+}
+
+TEST(DeploymentTest, MergesEquivalentVerticesAcrossQueries) {
+  TypeRegistry reg;
+  Query q1 = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Query q2 = ParseQuery("SEQ(AND(C, L), G)", &reg).value();
+  Network net(4, 4);
+  for (NodeId n = 0; n < 4; ++n) {
+    for (EventTypeId t = 0; t < 4; ++t) net.AddProducer(n, t);
+  }
+  net.SetRate(0, 100);
+  net.SetRate(1, 50);
+  net.SetRate(2, 1);
+  net.SetRate(3, 1);
+  WorkloadCatalogs catalogs({q1, q2}, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  Deployment dep(plan.combined, catalogs.Pointers());
+
+  // No two tasks share (node, projection signature, partition).
+  std::set<std::string> keys;
+  for (const Task& t : dep.tasks()) {
+    std::string key = std::to_string(t.node) + "|" +
+                      catalogs.catalog(t.rep_query).Signature(t.proj) + "|" +
+                      std::to_string(t.part_type);
+    EXPECT_TRUE(keys.insert(key).second) << key;
+  }
+}
+
+TEST(DeploymentTest, CentralizedPlanHasOneEvaluatingNode) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Fig2Net();
+  ProjectionCatalog cat(q, net);
+  MuseGraph plan = BuildCentralizedPlan({&cat}, /*sink=*/2);
+  Deployment dep(plan, {&cat});
+  for (const Task& t : dep.tasks()) {
+    if (!t.is_primitive) {
+      EXPECT_EQ(t.node, 2u);
+    }
+  }
+}
+
+TEST(DeploymentTest, OopPlanCompiles) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Fig2Net();
+  ProjectionCatalog cat(q, net);
+  OopPlan plan = PlanOperatorPlacement(cat);
+  Deployment dep(plan.graph, {&cat});
+  int sink_tasks = 0;
+  for (const Task& t : dep.tasks()) {
+    if (!t.sink_for.empty()) ++sink_tasks;
+  }
+  EXPECT_EQ(sink_tasks, 1);
+}
+
+}  // namespace
+}  // namespace muse

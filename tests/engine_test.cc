@@ -1,0 +1,152 @@
+#include "src/cep/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/oracle.h"
+#include "src/cep/parser.h"
+#include "src/common/rng.h"
+
+namespace muse {
+namespace {
+
+std::vector<Match> RunEngine(QueryEngine& engine,
+                             const std::vector<Event>& trace) {
+  std::vector<Match> out;
+  for (const Event& e : trace) engine.OnEvent(e, &out);
+  engine.Flush(&out);
+  return CanonicalMatchSet(std::move(out));
+}
+
+/// Random trace over `num_types` types with timestamps == seq and small
+/// attribute domains (so predicates sometimes hold).
+std::vector<Event> RandomTrace(int length, int num_types, Rng& rng) {
+  std::vector<Event> trace;
+  for (int i = 0; i < length; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>(rng.UniformInt(0, num_types - 1));
+    e.seq = static_cast<uint64_t>(i);
+    e.time = static_cast<uint64_t>(i);
+    e.origin = static_cast<NodeId>(rng.UniformInt(0, 2));
+    e.attrs = {rng.UniformInt(0, 2), rng.UniformInt(0, 1)};
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+void ExpectEngineMatchesOracle(const Query& q, const std::vector<Event>& trace,
+                               const std::string& context) {
+  QueryEngine engine(q);
+  std::vector<Match> got = RunEngine(engine, trace);
+  std::vector<Match> want = OracleMatches(q, trace);
+  ASSERT_EQ(got.size(), want.size()) << context << " query=" << q.ToString();
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].Key(), want[i].Key()) << context;
+  }
+}
+
+TEST(EngineTest, MatchesOracleOnPaperExample) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    ExpectEngineMatchesOracle(q, RandomTrace(25, 4, rng),
+                              "round " + std::to_string(round));
+  }
+}
+
+/// Property: engine output equals the brute-force semantics on randomized
+/// queries and traces (the core soundness/completeness check).
+struct OracleCase {
+  const char* pattern;
+  int num_types;
+};
+
+class EngineOracleTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(EngineOracleTest, EngineEqualsOracleOnRandomTraces) {
+  TypeRegistry reg;
+  Query q = ParseQuery(GetParam().pattern, &reg).value();
+  Rng rng(7);
+  for (int round = 0; round < 15; ++round) {
+    ExpectEngineMatchesOracle(
+        q, RandomTrace(22, GetParam().num_types, rng),
+        std::string(GetParam().pattern) + " round " + std::to_string(round));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, EngineOracleTest,
+    ::testing::Values(
+        OracleCase{"SEQ(A, B)", 3}, OracleCase{"AND(A, B)", 3},
+        OracleCase{"SEQ(A, B, C)", 4}, OracleCase{"AND(A, B, C)", 4},
+        OracleCase{"SEQ(AND(A, B), C)", 4},
+        OracleCase{"AND(SEQ(A, B), C)", 4},
+        OracleCase{"SEQ(A, AND(B, C), D)", 5},
+        OracleCase{"NSEQ(A, B, C)", 4},
+        OracleCase{"SEQ(NSEQ(A, B, C), D)", 5},
+        OracleCase{"NSEQ(AND(A, D), B, C)", 5},
+        OracleCase{"NSEQ(A, SEQ(B, D), C)", 5}));
+
+TEST(EngineTest, WindowRespectedAgainstOracle) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B, C) WITHIN 8ms", &reg).value();
+  Rng rng(99);
+  for (int round = 0; round < 15; ++round) {
+    ExpectEngineMatchesOracle(q, RandomTrace(25, 3, rng), "windowed");
+  }
+}
+
+TEST(EngineTest, PredicatesRespectedAgainstOracle) {
+  TypeRegistry reg;
+  Query q =
+      ParseQuery("SEQ(A a, B b, C c) WHERE a.a0 == b.a0 AND b.a0 == c.a0",
+                 &reg)
+          .value();
+  Rng rng(5);
+  for (int round = 0; round < 15; ++round) {
+    ExpectEngineMatchesOracle(q, RandomTrace(25, 3, rng), "predicated");
+  }
+}
+
+TEST(EngineTest, CrossPredicateWithoutFullChainAgainstOracle) {
+  TypeRegistry reg;
+  // Only one predicate: no global join key detectable.
+  Query q = ParseQuery("SEQ(A a, B b, C c) WHERE a.a0 == c.a0", &reg).value();
+  Rng rng(6);
+  for (int round = 0; round < 15; ++round) {
+    ExpectEngineMatchesOracle(q, RandomTrace(20, 3, rng), "partial chain");
+  }
+}
+
+TEST(WorkloadEngineTest, EvaluatesMultipleQueries) {
+  TypeRegistry reg;
+  std::vector<Query> workload = {ParseQuery("SEQ(A, B)", &reg).value(),
+                                 ParseQuery("AND(B, C)", &reg).value()};
+  WorkloadEngine engine(workload);
+  Rng rng(3);
+  std::vector<Event> trace = RandomTrace(30, 3, rng);
+  std::vector<std::vector<Match>> out;
+  for (const Event& e : trace) engine.OnEvent(e, &out);
+  engine.Flush(&out);
+  for (int i = 0; i < engine.num_queries(); ++i) {
+    std::vector<Match> got = CanonicalMatchSet(out[i]);
+    std::vector<Match> want = OracleMatches(workload[i], trace);
+    EXPECT_EQ(got.size(), want.size()) << "query " << i;
+  }
+}
+
+TEST(EngineTest, IgnoresUnrelatedTypes) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  QueryEngine engine(q);
+  std::vector<Match> out;
+  Event e;
+  e.type = 9;
+  e.seq = 1;
+  engine.OnEvent(e, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(engine.stats().inputs, 0u);
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,183 @@
+#include "src/cep/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/oracle.h"
+#include "src/cep/parser.h"
+#include "src/core/projection.h"
+
+namespace muse {
+namespace {
+
+Event Ev(EventTypeId type, uint64_t seq, int64_t a0 = 0) {
+  Event e;
+  e.type = type;
+  e.seq = seq;
+  e.time = seq;
+  e.attrs = {a0, 0};
+  return e;
+}
+
+/// Feeds a trace into an evaluator whose parts are primitive singletons.
+std::vector<Match> RunPrimitiveParts(ProjectionEvaluator& eval,
+                                     const std::vector<Event>& trace) {
+  std::vector<Match> out;
+  for (const Event& e : trace) {
+    for (int i = 0; i < eval.num_parts(); ++i) {
+      if (eval.part(i).PrimitiveTypes().Contains(e.type)) {
+        eval.OnEvent(i, e, &out);
+      }
+    }
+  }
+  eval.Flush(&out);
+  return CanonicalMatchSet(std::move(out));
+}
+
+TEST(EvaluatorTest, SeqFromPrimitiveParts) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(1)});
+  std::vector<Event> trace = {Ev(0, 1), Ev(0, 2), Ev(1, 3)};
+  EXPECT_EQ(RunPrimitiveParts(eval, trace).size(), 2u);
+  EXPECT_EQ(eval.stats().matches_emitted, 2u);
+}
+
+TEST(EvaluatorTest, CompositePartsCombineConsistently) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  // Parts {C,L} and {L,F} overlap on L: candidates require the same L.
+  Query p_cl = Project(q, TypeSet({0, 1}));
+  Query p_lf = Project(q, TypeSet({1, 2}));
+  ProjectionEvaluator eval(q, {p_cl, p_lf});
+
+  Event c1 = Ev(0, 1);
+  Event l2 = Ev(1, 2);
+  Event l3 = Ev(1, 3);
+  Event f4 = Ev(2, 4);
+  std::vector<Match> out;
+  Match m_cl;
+  ASSERT_TRUE(MergeIfConsistent(Match::Single(c1), Match::Single(l2), &m_cl));
+  eval.OnMatch(0, m_cl, &out);
+  // Inconsistent pair: L3 in the {L,F} part cannot join with (C1, L2).
+  Match m_lf_other;
+  ASSERT_TRUE(
+      MergeIfConsistent(Match::Single(l3), Match::Single(f4), &m_lf_other));
+  eval.OnMatch(1, m_lf_other, &out);
+  EXPECT_TRUE(out.empty());
+  // Consistent pair completes exactly one match.
+  Match m_lf;
+  ASSERT_TRUE(
+      MergeIfConsistent(Match::Single(l2), Match::Single(f4), &m_lf));
+  eval.OnMatch(1, m_lf, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].events.size(), 3u);
+}
+
+TEST(EvaluatorTest, WindowPrunesJoins) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B) WITHIN 5ms", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(1)});
+  std::vector<Event> trace = {Ev(0, 1), Ev(1, 20)};
+  EXPECT_TRUE(RunPrimitiveParts(eval, trace).empty());
+}
+
+TEST(EvaluatorTest, EvictionDropsExpiredButKeepsLive) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B) WITHIN 10ms", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(1)});
+  std::vector<Match> out;
+  // Many As long before the B: they expire; a late A survives.
+  for (uint64_t s = 0; s < 600; ++s) eval.OnEvent(0, Ev(0, s), &out);
+  eval.OnEvent(0, Ev(0, 1000), &out);
+  eval.OnEvent(1, Ev(1, 1005), &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_LT(eval.stats().buffered, 600u);
+}
+
+TEST(EvaluatorTest, JoinKeyDetectedAndFiltersInserts) {
+  TypeRegistry reg;
+  Query q =
+      ParseQuery("SEQ(A a, B b, C c) WHERE a.a0 == b.a0 AND b.a0 == c.a0",
+                 &reg)
+          .value();
+  ProjectionEvaluator eval(
+      q, {Query::Primitive(0), Query::Primitive(1), Query::Primitive(2)});
+  std::vector<Event> trace = {Ev(0, 1, 7), Ev(1, 2, 7), Ev(1, 3, 8),
+                              Ev(2, 4, 7), Ev(2, 5, 8)};
+  // Only the key-7 chain completes: A1,B2,C4. Key-8 misses an A.
+  EXPECT_EQ(RunPrimitiveParts(eval, trace).size(), 1u);
+}
+
+TEST(EvaluatorTest, NseqCandidatesHeldUntilFlush) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(2),
+                               Query::Primitive(1)});
+  ASSERT_TRUE(eval.part_is_anti(2));
+  std::vector<Match> out;
+  eval.OnEvent(0, Ev(0, 1), &out);
+  eval.OnEvent(1, Ev(2, 3), &out);
+  EXPECT_TRUE(out.empty());  // held: an anti match may still arrive
+  eval.Flush(&out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(EvaluatorTest, NseqAntiArrivingLateStillSuppresses) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(2),
+                               Query::Primitive(1)});
+  std::vector<Match> out;
+  eval.OnEvent(0, Ev(0, 1), &out);
+  eval.OnEvent(1, Ev(2, 3), &out);     // candidate pending
+  eval.OnEvent(2, Ev(1, 2), &out);     // anti B@2 between A@1 and C@3
+  eval.Flush(&out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EvaluatorTest, NseqAntiArrivingEarlySuppressesNewCandidates) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(2),
+                               Query::Primitive(1)});
+  std::vector<Match> out;
+  eval.OnEvent(2, Ev(1, 2), &out);  // anti first
+  eval.OnEvent(0, Ev(0, 1), &out);
+  eval.OnEvent(1, Ev(2, 3), &out);
+  eval.Flush(&out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EvaluatorTest, MaxMatchesGuardStopsEmission) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  EvaluatorOptions opts;
+  opts.max_matches = 3;
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(1)},
+                           opts);
+  std::vector<Event> trace;
+  for (uint64_t s = 0; s < 10; ++s) trace.push_back(Ev(0, s));
+  trace.push_back(Ev(1, 100));
+  EXPECT_EQ(RunPrimitiveParts(eval, trace).size(), 3u);
+}
+
+TEST(EvaluatorTest, StatsTrackInputsAndPeak) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(1)});
+  std::vector<Match> out;
+  for (uint64_t s = 0; s < 5; ++s) eval.OnEvent(0, Ev(0, s), &out);
+  EXPECT_EQ(eval.stats().inputs, 5u);
+  EXPECT_EQ(eval.stats().peak_buffered, 5u);
+}
+
+TEST(EvaluatorTest, RejectsIncompleteCover) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B, C)", &reg).value();
+  EXPECT_DEATH(
+      ProjectionEvaluator(q, {Query::Primitive(0), Query::Primitive(1)}),
+      "cover");
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,129 @@
+#include "src/core/plan_export.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/core/amuse.h"
+#include "src/core/plan_json.h"
+
+namespace muse {
+namespace {
+
+struct Env {
+  TypeRegistry reg;
+  Query q;
+  Network net;
+  std::unique_ptr<ProjectionCatalog> cat;
+  PlanResult plan;
+
+  Env() : net(4, 3) {
+    q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+    q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.05));
+    net.AddProducer(0, 0);
+    net.AddProducer(1, 0);
+    net.AddProducer(1, 1);
+    net.AddProducer(2, 1);
+    net.AddProducer(0, 2);
+    net.AddProducer(3, 2);
+    net.SetRate(0, 100);
+    net.SetRate(1, 100);
+    net.SetRate(2, 1);
+    cat = std::make_unique<ProjectionCatalog>(q, net);
+    plan = PlanQuery(*cat);
+  }
+};
+
+TEST(PlanExportTest, DotContainsClustersVerticesAndEdges) {
+  Env env;
+  std::string dot = ToDot(env.plan.graph, {env.cat.get()}, &env.reg);
+  EXPECT_NE(dot.find("digraph muse"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_n0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Uses registry names, not raw ids.
+  EXPECT_NE(dot.find("C"), std::string::npos);
+  // Balanced braces (quick structural sanity).
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(PlanExportTest, ExplainChargesSumToGraphCost) {
+  Env env;
+  std::vector<StreamCharge> charges =
+      ExplainCharges(env.plan.graph, {env.cat.get()}, &env.reg);
+  double sum = 0;
+  for (const StreamCharge& c : charges) {
+    sum += c.weight;
+    EXPECT_NE(c.src, c.dst);  // local edges are not charges
+    EXPECT_GT(c.weight, 0);
+  }
+  EXPECT_NEAR(sum, GraphCost(env.plan.graph, *env.cat), 1e-9);
+  // Sorted heaviest-first.
+  for (size_t i = 1; i < charges.size(); ++i) {
+    EXPECT_GE(charges[i - 1].weight, charges[i].weight);
+  }
+}
+
+TEST(PlanExportTest, ExplainPlanRendersTotal) {
+  Env env;
+  std::string text = ExplainPlan(env.plan.graph, {env.cat.get()}, &env.reg);
+  EXPECT_NE(text.find("network streams"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+TEST(PlanJsonTest, RoundTripPreservesGraph) {
+  Env env;
+  std::string json = PlanToJson(env.plan.graph);
+  Result<MuseGraph> parsed = PlanFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed->CanonicalString(), env.plan.graph.CanonicalString());
+  EXPECT_EQ(parsed->sinks().size(), env.plan.graph.sinks().size());
+  // Cost computed from the round-tripped plan is identical.
+  EXPECT_DOUBLE_EQ(GraphCost(*parsed, *env.cat),
+                   GraphCost(env.plan.graph, *env.cat));
+}
+
+TEST(PlanJsonTest, EmptyGraphRoundTrips) {
+  MuseGraph g;
+  Result<MuseGraph> parsed = PlanFromJson(PlanToJson(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_vertices(), 0);
+}
+
+TEST(PlanJsonTest, MalformedInputsRejectedGracefully) {
+  for (const char* bad : {
+           "",
+           "{",
+           "nonsense",
+           "{\"vertices\": [{\"query\": 0}]}",        // vertex w/o types
+           "{\"vertices\": [], \"edges\": [[0,1]]}",  // edge out of range
+           "{\"vertices\": [], \"sinks\": [3]}",      // sink out of range
+           "{\"unknown\": []}",
+           "{\"vertices\": [{\"types\": [99], \"node\": 0}]}",  // bad type
+           "{\"vertices\": []} trailing",
+       }) {
+    Result<MuseGraph> parsed = PlanFromJson(bad);
+    EXPECT_FALSE(parsed.ok()) << "input: " << bad;
+  }
+}
+
+TEST(PlanJsonTest, PartitionAndReuseFieldsPreserved) {
+  MuseGraph g;
+  int a = g.AddVertex(PlanVertex{1, TypeSet({2, 5}), 3, 2, true});
+  int b = g.AddVertex(PlanVertex{0, TypeSet({1}), 0, 1, false});
+  g.AddEdge(b, a);
+  g.SetSinks({a});
+  Result<MuseGraph> parsed = PlanFromJson(PlanToJson(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const PlanVertex* found = nullptr;
+  for (const PlanVertex& v : parsed->vertices()) {
+    if (v.proj == TypeSet({2, 5})) found = &v;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->query, 1);
+  EXPECT_EQ(found->node, 3u);
+  EXPECT_EQ(found->part_type, 2);
+  EXPECT_TRUE(found->reused);
+}
+
+}  // namespace
+}  // namespace muse

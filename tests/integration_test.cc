@@ -1,0 +1,187 @@
+// End-to-end reproduction of the paper's running example (Fig. 1 / Fig. 2)
+// and full-pipeline checks: parse -> plan -> deploy -> execute -> verify.
+
+#include <gtest/gtest.h>
+
+#include "src/cep/engine.h"
+#include "src/cep/oracle.h"
+#include "src/cep/or_split.h"
+#include "src/cep/parser.h"
+#include "src/core/centralized.h"
+#include "src/core/correctness.h"
+#include "src/core/multi_query.h"
+#include "src/dist/simulator.h"
+#include "src/net/network_gen.h"
+#include "src/net/trace.h"
+#include "src/workload/query_gen.h"
+
+namespace muse {
+namespace {
+
+/// Fig. 1 setting: three robots; R1 emits {C, F}, R2 emits {C, L},
+/// R3 emits {L, F}; camera and lidar rates are high, floor clearance rare.
+struct RobotEnv {
+  TypeRegistry reg;
+  Query q;
+  Network net;
+
+  RobotEnv() : net(3, 3) {
+    q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+    q.set_window(500);
+    // C=0, L=1, F=2.
+    net.AddProducer(0, 0);
+    net.AddProducer(0, 2);
+    net.AddProducer(1, 0);
+    net.AddProducer(1, 1);
+    net.AddProducer(2, 1);
+    net.AddProducer(2, 2);
+    net.SetRate(0, 50);   // camera: high
+    net.SetRate(1, 50);   // lidar: high
+    net.SetRate(2, 0.01);  // floor clearance: rare
+  }
+};
+
+TEST(IntegrationTest, Fig1NarrativeCostOrdering) {
+  RobotEnv env;
+  env.q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.05));
+  WorkloadCatalogs catalogs({env.q}, env.net);
+
+  double centralized = CentralizedWorkloadCost(env.net, {env.q});
+  WorkloadPlan oop = PlanWorkloadOop(catalogs);
+  WorkloadPlan amuse = PlanWorkloadAmuse(catalogs);
+
+  // Fig. 1: naive > existing optimization (oOP) > MuSE graphs.
+  EXPECT_LT(oop.total_cost, centralized);
+  EXPECT_LT(amuse.total_cost, oop.total_cost);
+  // The MuSE plan avoids shipping the high-rate sensor streams: its cost is
+  // dominated by rare events and partial matches.
+  EXPECT_LT(amuse.total_cost, 0.25 * centralized);
+}
+
+TEST(IntegrationTest, RobotsEndToEndMatchParity) {
+  RobotEnv env;
+  Rng rng(17);
+  TraceOptions topts;
+  topts.duration_ms = 2000;
+  topts.attr_cardinality[0] = 2;
+  std::vector<Event> trace = GenerateGlobalTrace(env.net, topts, rng);
+
+  WorkloadCatalogs catalogs({env.q}, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  std::string why;
+  ASSERT_TRUE(IsCorrectPlan(plan.combined, catalogs.Pointers(), &why)) << why;
+
+  Deployment dep(plan.combined, catalogs.Pointers());
+  DistributedSimulator sim(dep, SimOptions{});
+  SimReport report = sim.Run(trace);
+
+  QueryEngine reference(env.q);
+  std::vector<Match> want;
+  for (const Event& e : trace) reference.OnEvent(e, &want);
+  reference.Flush(&want);
+  want = CanonicalMatchSet(std::move(want));
+
+  ASSERT_EQ(report.matches_per_query[0].size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(report.matches_per_query[0][i].Key(), want[i].Key());
+  }
+}
+
+TEST(IntegrationTest, TransmissionRatioOrderingOnDefaultConfig) {
+  // §7.2 headline ordering on the paper's default configuration:
+  // aMuSE <= aMuSE* << oOP <= centralized.
+  Rng rng(2026);
+  NetworkGenOptions nopts;  // 20 nodes, 15 types, ratio 0.5, skew 1.5
+  Network net = MakeRandomNetwork(nopts, rng);
+  SelectivityModel model(nopts.num_types, 0.01, 0.2, rng);
+  QueryGenOptions qopts;  // 5 queries, ~6 primitives
+  std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+  WorkloadCatalogs catalogs(wl, net);
+
+  WorkloadPlan amuse = PlanWorkloadAmuse(catalogs);
+  PlannerOptions star_opts;
+  star_opts.star = true;
+  WorkloadPlan star = PlanWorkloadAmuse(catalogs, star_opts);
+  WorkloadPlan oop = PlanWorkloadOop(catalogs);
+
+  // Both planners are greedy/budgeted searches of nested plan spaces;
+  // exploration order can let aMuSE* edge out aMuSE slightly on a given
+  // seed, so only near-domination is asserted.
+  EXPECT_LE(amuse.transmission_ratio, star.transmission_ratio * 1.25);
+  EXPECT_LT(star.transmission_ratio, 1.0);
+  EXPECT_LE(oop.transmission_ratio, 1.0);
+  EXPECT_LT(amuse.transmission_ratio, 0.5 * oop.transmission_ratio);
+}
+
+TEST(IntegrationTest, MultiQueryEndToEndWithSharedFragment) {
+  TypeRegistry reg;
+  Query q1 = ParseQuery("SEQ(AND(A, B), D)", &reg).value();
+  q1.set_window(300);
+  Query q2 = ParseQuery("AND(SEQ(A, B), G)", &reg).value();
+  q2.set_window(300);
+
+  Rng rng(23);
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 5;
+  nopts.num_types = 4;
+  nopts.max_rate = 6;
+  Network net = MakeRandomNetwork(nopts, rng);
+  TraceOptions topts;
+  topts.duration_ms = 3000;
+  std::vector<Event> trace = GenerateGlobalTrace(net, topts, rng);
+
+  std::vector<Query> wl = {q1, q2};
+  WorkloadCatalogs catalogs(wl, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  Deployment dep(plan.combined, catalogs.Pointers());
+  DistributedSimulator sim(dep, SimOptions{});
+  SimReport report = sim.Run(trace);
+
+  WorkloadEngine reference(wl);
+  std::vector<std::vector<Match>> want;
+  for (const Event& e : trace) reference.OnEvent(e, &want);
+  reference.Flush(&want);
+  for (int qi = 0; qi < 2; ++qi) {
+    std::vector<Match> w = CanonicalMatchSet(want[qi]);
+    ASSERT_EQ(report.matches_per_query[qi].size(), w.size()) << "q" << qi;
+  }
+}
+
+TEST(IntegrationTest, OrQueryViaSplitEndToEnd) {
+  TypeRegistry reg;
+  Query with_or = ParseQuery("SEQ(OR(A, B), D)", &reg).value();
+  with_or.set_window(400);
+  std::vector<Query> split = SplitDisjunctions(with_or);
+  ASSERT_EQ(split.size(), 2u);
+
+  Rng rng(31);
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 4;
+  nopts.num_types = 3;
+  nopts.max_rate = 6;
+  Network net = MakeRandomNetwork(nopts, rng);
+  TraceOptions topts;
+  topts.duration_ms = 3000;
+  std::vector<Event> trace = GenerateGlobalTrace(net, topts, rng);
+
+  WorkloadCatalogs catalogs(split, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  Deployment dep(plan.combined, catalogs.Pointers());
+  DistributedSimulator sim(dep, SimOptions{});
+  SimReport report = sim.Run(trace);
+
+  // Union of the split queries' distributed matches == OR query's matches.
+  std::vector<Match> merged;
+  for (const auto& matches : report.matches_per_query) {
+    merged.insert(merged.end(), matches.begin(), matches.end());
+  }
+  merged = CanonicalMatchSet(std::move(merged));
+  std::vector<Match> want = OracleMatches(with_or, trace);
+  ASSERT_EQ(merged.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(merged[i].Key(), want[i].Key());
+  }
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,130 @@
+#include "src/cep/match.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+
+namespace muse {
+namespace {
+
+Event Ev(EventTypeId type, uint64_t seq, int64_t a0 = 0) {
+  Event e;
+  e.type = type;
+  e.seq = seq;
+  e.time = seq * 10;
+  e.attrs = {a0, 0};
+  return e;
+}
+
+Match M(std::vector<Event> events) { return Match{std::move(events)}; }
+
+TEST(MatchTest, Basics) {
+  Match m = M({Ev(0, 1), Ev(1, 5)});
+  EXPECT_EQ(m.FirstSeq(), 1u);
+  EXPECT_EQ(m.LastSeq(), 5u);
+  EXPECT_EQ(m.MinTime(), 10u);
+  EXPECT_EQ(m.MaxTime(), 50u);
+  EXPECT_EQ(m.Key(), "1,5,");
+}
+
+TEST(MatchTest, Restrict) {
+  Match m = M({Ev(0, 1), Ev(1, 2), Ev(2, 3)});
+  Match r = m.Restrict(TypeSet({0, 2}));
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.events[0].seq, 1u);
+  EXPECT_EQ(r.events[1].seq, 3u);
+}
+
+TEST(MergeTest, DisjointMergeSortsBySeq) {
+  Match out;
+  ASSERT_TRUE(MergeIfConsistent(M({Ev(0, 5)}), M({Ev(1, 2)}), &out));
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].seq, 2u);
+  EXPECT_EQ(out.events[1].seq, 5u);
+}
+
+TEST(MergeTest, SharedEventDeduplicates) {
+  Event shared = Ev(1, 3);
+  Match out;
+  ASSERT_TRUE(
+      MergeIfConsistent(M({Ev(0, 1), shared}), M({shared, Ev(2, 7)}), &out));
+  EXPECT_EQ(out.events.size(), 3u);
+}
+
+TEST(MergeTest, ConflictingEventsOfSameTypeFail) {
+  Match out;
+  // Two *different* events of type 1.
+  EXPECT_FALSE(MergeIfConsistent(M({Ev(1, 3)}), M({Ev(1, 4)}), &out));
+}
+
+TEST(StructurallyMatchesTest, SeqOrdering) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  EXPECT_TRUE(StructurallyMatches(q, M({Ev(0, 1), Ev(1, 2)})));
+  // B before A violates SEQ.
+  EXPECT_FALSE(StructurallyMatches(q, M({Ev(1, 1), Ev(0, 2)})));
+}
+
+TEST(StructurallyMatchesTest, AndAnyOrder) {
+  TypeRegistry reg;
+  Query q = ParseQuery("AND(A, B)", &reg).value();
+  EXPECT_TRUE(StructurallyMatches(q, M({Ev(0, 1), Ev(1, 2)})));
+  EXPECT_TRUE(StructurallyMatches(q, M({Ev(1, 1), Ev(0, 2)})));
+}
+
+TEST(StructurallyMatchesTest, NestedSpans) {
+  TypeRegistry reg;
+  // SEQ(AND(A,B), C): both A and B must precede C.
+  Query q = ParseQuery("SEQ(AND(A, B), C)", &reg).value();
+  EXPECT_TRUE(StructurallyMatches(q, M({Ev(1, 1), Ev(0, 2), Ev(2, 3)})));
+  EXPECT_FALSE(StructurallyMatches(q, M({Ev(0, 1), Ev(2, 2), Ev(1, 3)})));
+}
+
+TEST(StructurallyMatchesTest, WrongTypeSetRejected) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  EXPECT_FALSE(StructurallyMatches(q, M({Ev(0, 1)})));            // missing B
+  EXPECT_FALSE(StructurallyMatches(q, M({Ev(0, 1), Ev(2, 2)})));  // C not B
+  EXPECT_FALSE(
+      StructurallyMatches(q, M({Ev(0, 1), Ev(1, 2), Ev(2, 3)})));  // extra
+}
+
+TEST(StructurallyMatchesTest, PredicateChecked) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A a, B b) WHERE a.a0 == b.a0", &reg).value();
+  EXPECT_TRUE(StructurallyMatches(q, M({Ev(0, 1, 7), Ev(1, 2, 7)})));
+  EXPECT_FALSE(StructurallyMatches(q, M({Ev(0, 1, 7), Ev(1, 2, 8)})));
+}
+
+TEST(StructurallyMatchesTest, WindowChecked) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B) WITHIN 15ms", &reg).value();
+  EXPECT_TRUE(StructurallyMatches(q, M({Ev(0, 1), Ev(1, 2)})));  // 10ms apart
+  EXPECT_FALSE(StructurallyMatches(q, M({Ev(0, 1), Ev(1, 5)})));  // 40ms
+}
+
+TEST(StructurallyMatchesTest, NseqIgnoresMiddleTypeInCandidate) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  // Candidate has only A and C; B handled via anti matches.
+  EXPECT_TRUE(StructurallyMatches(q, M({Ev(0, 1), Ev(2, 5)})));
+  EXPECT_FALSE(StructurallyMatches(q, M({Ev(2, 1), Ev(0, 5)})));
+}
+
+TEST(AntiMatchTest, InvalidatesStrictlyBetween) {
+  TypeSet before = {0};
+  TypeSet after = {2};
+  Match cand = M({Ev(0, 2), Ev(2, 8)});
+  EXPECT_TRUE(AntiMatchInvalidates(cand, before, after, M({Ev(1, 5)})));
+  EXPECT_FALSE(AntiMatchInvalidates(cand, before, after, M({Ev(1, 1)})));
+  EXPECT_FALSE(AntiMatchInvalidates(cand, before, after, M({Ev(1, 9)})));
+  // Anti spanning outside the gap does not invalidate.
+  EXPECT_FALSE(
+      AntiMatchInvalidates(cand, before, after, M({Ev(1, 5), Ev(3, 9)})));
+  // Anti fully inside the gap does.
+  EXPECT_TRUE(
+      AntiMatchInvalidates(cand, before, after, M({Ev(1, 4), Ev(3, 6)})));
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,136 @@
+#include "src/core/multi_query.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/core/centralized.h"
+#include "src/core/correctness.h"
+#include "src/net/network_gen.h"
+#include "src/workload/query_gen.h"
+
+namespace muse {
+namespace {
+
+Network SkewedNet(Rng& rng, int nodes = 10, int types = 8) {
+  NetworkGenOptions opts;
+  opts.num_nodes = nodes;
+  opts.num_types = types;
+  opts.event_node_ratio = 0.5;
+  opts.rate_skew = 1.3;
+  return MakeRandomNetwork(opts, rng);
+}
+
+TEST(MultiQueryTest, PlansAllQueriesCorrectly) {
+  Rng rng(21);
+  Network net = SkewedNet(rng);
+  SelectivityModel model(8, 0.01, 0.2, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 4;
+  qopts.avg_primitives = 4;
+  qopts.num_types = 8;
+  std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+  WorkloadCatalogs catalogs(wl, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+
+  ASSERT_EQ(plan.per_query.size(), wl.size());
+  std::string why;
+  EXPECT_TRUE(IsCorrectPlan(plan.combined, catalogs.Pointers(), &why)) << why;
+  EXPECT_GT(plan.centralized_cost, 0);
+  EXPECT_LE(plan.transmission_ratio, 1.5);  // sanity
+}
+
+TEST(MultiQueryTest, SharingNeverIncreasesTotalCost) {
+  // Planning the same query twice must cost (almost exactly) the same as
+  // planning it once: the second query reuses everything.
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.05));
+  Rng rng(4);
+  Network net = SkewedNet(rng, 8, 3);
+  WorkloadCatalogs one({q}, net);
+  WorkloadCatalogs two({q, q}, net);
+  WorkloadPlan p1 = PlanWorkloadAmuse(one);
+  WorkloadPlan p2 = PlanWorkloadAmuse(two);
+  EXPECT_NEAR(p1.total_cost, p2.total_cost, 1e-9);
+}
+
+TEST(MultiQueryTest, SecondQueryReusesSharedProjection) {
+  // Two queries sharing AND(C,L): the combined cost should be below the
+  // sum of independently planned costs.
+  TypeRegistry reg;
+  Query q1 = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Query q2 = ParseQuery("SEQ(AND(C, L), G)", &reg).value();
+  Rng rng(9);
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 8;
+  nopts.num_types = 4;
+  nopts.event_node_ratio = 0.6;
+  Network net = MakeRandomNetwork(nopts, rng);
+
+  WorkloadCatalogs both({q1, q2}, net);
+  WorkloadPlan shared = PlanWorkloadAmuse(both);
+
+  WorkloadCatalogs only1({q1}, net);
+  WorkloadCatalogs only2({q2}, net);
+  double independent = PlanWorkloadAmuse(only1).total_cost +
+                       PlanWorkloadAmuse(only2).total_cost;
+  EXPECT_LE(shared.total_cost, independent * 1.0000001);
+}
+
+TEST(MultiQueryTest, OopWorkloadPlansAreCorrect) {
+  Rng rng(33);
+  Network net = SkewedNet(rng);
+  SelectivityModel model(8, 0.01, 0.2, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 3;
+  qopts.avg_primitives = 4;
+  qopts.num_types = 8;
+  std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+  WorkloadCatalogs catalogs(wl, net);
+  WorkloadPlan plan = PlanWorkloadOop(catalogs);
+  std::string why;
+  EXPECT_TRUE(IsCorrectPlan(plan.combined, catalogs.Pointers(), &why)) << why;
+}
+
+TEST(MultiQueryTest, AmuseBeatsOopOnSkewedWorkloads) {
+  Rng rng(55);
+  SelectivityModel model(8, 0.01, 0.2, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 3;
+  qopts.avg_primitives = 5;
+  qopts.num_types = 8;
+  int wins = 0;
+  int rounds = 5;
+  for (int round = 0; round < rounds; ++round) {
+    Network net = SkewedNet(rng);
+    std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+    WorkloadCatalogs catalogs(wl, net);
+    double amuse = PlanWorkloadAmuse(catalogs).total_cost;
+    double oop = PlanWorkloadOop(catalogs).total_cost;
+    // aMuSE's placements are heuristic (local anchoring, greedy per-part
+    // options), so allow a small slack against the exact single-sink DP.
+    EXPECT_LE(amuse, oop * 1.05) << "round " << round;
+    if (amuse < oop * 0.9) ++wins;
+  }
+  // On skewed rates with low selectivities, aMuSE should usually win big.
+  EXPECT_GE(wins, 3);
+}
+
+TEST(MultiQueryTest, TransmissionRatioConsistent) {
+  Rng rng(77);
+  Network net = SkewedNet(rng);
+  SelectivityModel model(8, 0.01, 0.2, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 2;
+  qopts.num_types = 8;
+  std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+  WorkloadCatalogs catalogs(wl, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  EXPECT_DOUBLE_EQ(plan.centralized_cost,
+                   CentralizedWorkloadCost(net, wl));
+  EXPECT_DOUBLE_EQ(plan.transmission_ratio,
+                   plan.total_cost / plan.centralized_cost);
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,120 @@
+#include "src/core/muse_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+PlanVertex V(TypeSet proj, NodeId node, int part = kNoPartition) {
+  return PlanVertex{0, proj, node, part, false};
+}
+
+TEST(PlanVertexTest, IdentityAndPrimitive) {
+  PlanVertex a = V({0}, 1, 0);
+  PlanVertex b = V({0}, 1, 0);
+  PlanVertex c = V({0}, 2, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a.IsPrimitive());
+  EXPECT_FALSE(V({0, 1}, 1).IsPrimitive());
+}
+
+TEST(MuseGraphTest, AddVertexDeduplicates) {
+  MuseGraph g;
+  int a = g.AddVertex(V({0, 1}, 2));
+  int b = g.AddVertex(V({0, 1}, 2));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.num_vertices(), 1);
+  int c = g.AddVertex(V({0, 1}, 3));
+  EXPECT_NE(a, c);
+}
+
+TEST(MuseGraphTest, AddEdgeDeduplicatesAndSkipsSelfLoops) {
+  MuseGraph g;
+  int a = g.AddVertex(V({0}, 0, 0));
+  int b = g.AddVertex(V({0, 1}, 0));
+  g.AddEdge(a, b);
+  g.AddEdge(a, b);
+  g.AddEdge(a, a);
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(MuseGraphTest, MergeRemapsAndDedups) {
+  MuseGraph g1;
+  int a1 = g1.AddVertex(V({0}, 0, 0));
+  int b1 = g1.AddVertex(V({0, 1}, 1));
+  g1.AddEdge(a1, b1);
+
+  MuseGraph g2;
+  int a2 = g2.AddVertex(V({0}, 0, 0));  // same as a1
+  int c2 = g2.AddVertex(V({0, 2}, 2));
+  g2.AddEdge(a2, c2);
+
+  std::vector<int> remap = g1.Merge(g2);
+  EXPECT_EQ(g1.num_vertices(), 3);
+  EXPECT_EQ(remap[a2], a1);
+  EXPECT_EQ(g1.edges().size(), 2u);
+
+  // Merging again changes nothing.
+  g1.Merge(g2);
+  EXPECT_EQ(g1.num_vertices(), 3);
+  EXPECT_EQ(g1.edges().size(), 2u);
+}
+
+TEST(MuseGraphTest, PredecessorsSuccessorsPaths) {
+  MuseGraph g;
+  int a = g.AddVertex(V({0}, 0, 0));
+  int b = g.AddVertex(V({1}, 1, 1));
+  int c = g.AddVertex(V({0, 1}, 0));
+  int d = g.AddVertex(V({0, 1, 2}, 0));
+  g.AddEdge(a, c);
+  g.AddEdge(b, c);
+  g.AddEdge(c, d);
+
+  EXPECT_EQ(g.Predecessors(c), (std::vector<int>{a, b}));
+  EXPECT_EQ(g.Successors(c), (std::vector<int>{d}));
+  EXPECT_TRUE(g.HasPath(a, d));
+  EXPECT_FALSE(g.HasPath(d, a));
+  EXPECT_TRUE(g.HasPath(a, a));
+  EXPECT_EQ(g.SourceVertices(), (std::vector<int>{a, b}));
+}
+
+TEST(MuseGraphTest, CanonicalStringOrderIndependent) {
+  MuseGraph g1;
+  int a = g1.AddVertex(V({0}, 0, 0));
+  int b = g1.AddVertex(V({1}, 1, 1));
+  int c = g1.AddVertex(V({0, 1}, 0));
+  g1.AddEdge(a, c);
+  g1.AddEdge(b, c);
+
+  MuseGraph g2;
+  int c2 = g2.AddVertex(V({0, 1}, 0));
+  int b2 = g2.AddVertex(V({1}, 1, 1));
+  int a2 = g2.AddVertex(V({0}, 0, 0));
+  g2.AddEdge(b2, c2);
+  g2.AddEdge(a2, c2);
+
+  EXPECT_EQ(g1.CanonicalString(), g2.CanonicalString());
+}
+
+TEST(VertexCoverCountTest, FullAndPartitionedCovers) {
+  Network net(4, 3);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 0);
+  net.AddProducer(1, 1);
+  net.AddProducer(2, 1);
+  net.AddProducer(0, 2);
+  net.AddProducer(3, 2);
+
+  // Single-sink vertex covers all bindings: 2*2*2 = 8.
+  EXPECT_DOUBLE_EQ(VertexCoverCount(net, V({0, 1, 2}, 0)), 8.0);
+  // Partitioned on type 0: the type-0 tuple is pinned -> 2*2 = 4.
+  EXPECT_DOUBLE_EQ(VertexCoverCount(net, V({0, 1, 2}, 0, 0)), 4.0);
+  // Primitive vertex: exactly one binding.
+  EXPECT_DOUBLE_EQ(VertexCoverCount(net, V({0}, 0, 0)), 1.0);
+  // Paper Example 6: v2 = (p3, n0) partitioned on C covers 2 bindings.
+  EXPECT_DOUBLE_EQ(VertexCoverCount(net, V({0, 1}, 0, 0)), 2.0);
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,136 @@
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/network_gen.h"
+#include "src/net/zipf.h"
+
+namespace muse {
+namespace {
+
+TEST(NetworkTest, ProducersAndRates) {
+  Network net(3, 2);
+  net.AddProducer(0, 0);
+  net.AddProducer(2, 0);
+  net.AddProducer(1, 1);
+  net.SetRate(0, 10.0);
+  net.SetRate(1, 2.0);
+
+  EXPECT_EQ(net.NumProducers(0), 2);
+  EXPECT_EQ(net.NumProducers(1), 1);
+  EXPECT_TRUE(net.Produces(0, 0));
+  EXPECT_FALSE(net.Produces(1, 0));
+  EXPECT_EQ(net.produces(1), TypeSet({1}));
+  EXPECT_DOUBLE_EQ(net.Rate(0), 10.0);
+  EXPECT_DOUBLE_EQ(net.GlobalRate(EventTypeId{0}), 20.0);
+  EXPECT_DOUBLE_EQ(net.GlobalRate(TypeSet({0, 1})), 22.0);
+}
+
+TEST(NetworkTest, AddProducerIdempotent) {
+  Network net(2, 1);
+  net.AddProducer(0, 0);
+  net.AddProducer(0, 0);
+  EXPECT_EQ(net.NumProducers(0), 1);
+}
+
+TEST(NetworkTest, ProducersSorted) {
+  Network net(5, 1);
+  net.AddProducer(3, 0);
+  net.AddProducer(1, 0);
+  net.AddProducer(4, 0);
+  EXPECT_EQ(net.Producers(0), (std::vector<NodeId>{1, 3, 4}));
+}
+
+TEST(NetworkTest, EventNodeRatio) {
+  Network net(2, 2);
+  net.AddProducer(0, 0);
+  net.AddProducer(0, 1);
+  net.AddProducer(1, 0);
+  EXPECT_DOUBLE_EQ(net.EventNodeRatio(), 0.75);
+}
+
+TEST(NetworkGenTest, RespectsShape) {
+  NetworkGenOptions opts;
+  opts.num_nodes = 20;
+  opts.num_types = 15;
+  opts.event_node_ratio = 0.5;
+  Rng rng(1);
+  Network net = MakeRandomNetwork(opts, rng);
+  EXPECT_EQ(net.num_nodes(), 20);
+  EXPECT_EQ(net.num_types(), 15);
+  for (EventTypeId t = 0; t < 15; ++t) {
+    EXPECT_GE(net.NumProducers(t), 1) << "type " << t;
+    EXPECT_GE(net.Rate(t), 1.0);
+  }
+  // Ratio concentrates near 0.5 for 300 Bernoulli draws.
+  EXPECT_NEAR(net.EventNodeRatio(), 0.5, 0.15);
+}
+
+TEST(NetworkGenTest, DeterministicGivenSeed) {
+  NetworkGenOptions opts;
+  Rng a(9);
+  Rng b(9);
+  Network na = MakeRandomNetwork(opts, a);
+  Network nb = MakeRandomNetwork(opts, b);
+  for (int n = 0; n < opts.num_nodes; ++n) {
+    EXPECT_EQ(na.produces(n), nb.produces(n));
+  }
+  for (int t = 0; t < opts.num_types; ++t) {
+    EXPECT_DOUBLE_EQ(na.Rate(t), nb.Rate(t));
+  }
+}
+
+class NetworkRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NetworkRatioTest, EveryTypeHasAProducer) {
+  NetworkGenOptions opts;
+  opts.event_node_ratio = GetParam();
+  Rng rng(5);
+  Network net = MakeRandomNetwork(opts, rng);
+  for (int t = 0; t < opts.num_types; ++t) {
+    EXPECT_GE(net.NumProducers(t), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, NetworkRatioTest,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.8, 1.0));
+
+TEST(ZipfTest, SamplesWithinSupport) {
+  ZipfSampler zipf(1.5, 1000);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+  }
+}
+
+TEST(ZipfTest, MassConcentratesAtSmallValues) {
+  ZipfSampler zipf(1.5, 1'000'000);
+  Rng rng(3);
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (zipf.Sample(rng) == 1) ++ones;
+  }
+  // P(X=1) = 1/zeta(1.5) ~ 0.38.
+  EXPECT_GT(ones, 500);
+  EXPECT_LT(ones, 1100);
+}
+
+TEST(ZipfTest, SmallerExponentHasHeavierTail) {
+  Rng rng1(3);
+  Rng rng2(3);
+  ZipfSampler heavy(1.1, 1'000'000);
+  ZipfSampler light(2.0, 1'000'000);
+  uint64_t max_heavy = 0;
+  uint64_t max_light = 0;
+  for (int i = 0; i < 5000; ++i) {
+    max_heavy = std::max(max_heavy, heavy.Sample(rng1));
+    max_light = std::max(max_light, light.Sample(rng2));
+  }
+  // s=1.1 routinely produces values orders of magnitude larger (§7.1).
+  EXPECT_GT(max_heavy, 100 * max_light);
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,136 @@
+#include "src/core/normal_form.h"
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+PlanVertex Prim(EventTypeId t, NodeId n) {
+  return PlanVertex{0, TypeSet::Of(t), n, static_cast<int>(t), false};
+}
+
+PlanVertex Comp(TypeSet proj, NodeId n) {
+  return PlanVertex{0, proj, n, kNoPartition, false};
+}
+
+TEST(NormalFormTest, CollapsesLocalIntermediate) {
+  // Fig. 4: (p,n) feeding (q,n) with no network output collapses; its
+  // inputs are redirected to (q,n).
+  MuseGraph g;
+  int x = g.AddVertex(Prim(0, 1));
+  int y = g.AddVertex(Prim(1, 2));
+  int z = g.AddVertex(Prim(2, 3));
+  int p = g.AddVertex(Comp({0, 1}, 0));
+  int q = g.AddVertex(Comp({0, 1, 2}, 0));
+  g.AddEdge(x, p);
+  g.AddEdge(y, p);
+  g.AddEdge(p, q);
+  g.AddEdge(z, q);
+  g.SetSinks({q});
+
+  MuseGraph c = CollapsedNormalForm(g);
+  EXPECT_EQ(c.num_vertices(), 4);  // p removed
+  EXPECT_EQ(c.FindVertex(Comp({0, 1}, 0)), -1);
+  int cq = c.FindVertex(Comp({0, 1, 2}, 0));
+  ASSERT_GE(cq, 0);
+  // x and y redirected to q.
+  EXPECT_EQ(c.Predecessors(cq).size(), 3u);
+  ASSERT_EQ(c.sinks().size(), 1u);
+  EXPECT_EQ(c.sinks()[0], cq);
+}
+
+TEST(NormalFormTest, KeepsIntermediateWithNetworkOutput) {
+  MuseGraph g;
+  int x = g.AddVertex(Prim(0, 1));
+  int p = g.AddVertex(Comp({0}, 0));  // non-primitive? single type...
+  // Use a two-type projection to be unambiguous about "non-primitive".
+  g = MuseGraph();
+  x = g.AddVertex(Prim(0, 1));
+  int y = g.AddVertex(Prim(1, 0));
+  p = g.AddVertex(Comp({0, 1}, 0));
+  int q1 = g.AddVertex(Comp({0, 1, 2}, 0));  // local successor
+  int q2 = g.AddVertex(Comp({0, 1, 2}, 5));  // network successor
+  g.AddEdge(x, p);
+  g.AddEdge(y, p);
+  g.AddEdge(p, q1);
+  g.AddEdge(p, q2);
+
+  MuseGraph c = CollapsedNormalForm(g);
+  EXPECT_GE(c.FindVertex(Comp({0, 1}, 0)), 0);  // kept
+  EXPECT_EQ(c.num_vertices(), 5);
+}
+
+TEST(NormalFormTest, PrimitiveVerticesNeverCollapse) {
+  MuseGraph g;
+  int x = g.AddVertex(Prim(0, 0));
+  int q = g.AddVertex(Comp({0, 1}, 0));
+  int y = g.AddVertex(Prim(1, 1));
+  g.AddEdge(x, q);
+  g.AddEdge(y, q);
+  MuseGraph c = CollapsedNormalForm(g);
+  EXPECT_EQ(c.num_vertices(), 3);
+}
+
+TEST(NormalFormTest, CascadingCollapse) {
+  // Chain a -> b -> c all at node 0: both intermediates collapse into c.
+  MuseGraph g;
+  int x = g.AddVertex(Prim(0, 1));
+  int a = g.AddVertex(Comp({0, 1}, 0));
+  int b = g.AddVertex(Comp({0, 1, 2}, 0));
+  int c = g.AddVertex(Comp({0, 1, 2, 3}, 0));
+  g.AddEdge(x, a);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+
+  MuseGraph out = CollapsedNormalForm(g);
+  EXPECT_EQ(out.num_vertices(), 2);
+  int oc = out.FindVertex(Comp({0, 1, 2, 3}, 0));
+  ASSERT_GE(oc, 0);
+  EXPECT_EQ(out.Predecessors(oc).size(), 1u);
+}
+
+TEST(NormalFormTest, EquivalenceViaCollapsedForm) {
+  // Property 5: graphs with the same collapsed form are equivalent.
+  MuseGraph g1;
+  {
+    int x = g1.AddVertex(Prim(0, 1));
+    int p = g1.AddVertex(Comp({0, 1}, 0));
+    int q = g1.AddVertex(Comp({0, 1, 2}, 0));
+    int y = g1.AddVertex(Prim(1, 2));
+    g1.AddEdge(x, p);
+    g1.AddEdge(y, p);
+    g1.AddEdge(p, q);
+  }
+  MuseGraph g2;
+  {
+    int x = g2.AddVertex(Prim(0, 1));
+    int q = g2.AddVertex(Comp({0, 1, 2}, 0));
+    int y = g2.AddVertex(Prim(1, 2));
+    g2.AddEdge(x, q);
+    g2.AddEdge(y, q);
+  }
+  EXPECT_TRUE(EquivalentMuseGraphs(g1, g2));
+
+  MuseGraph g3;
+  {
+    int x = g3.AddVertex(Prim(0, 1));
+    int q = g3.AddVertex(Comp({0, 1, 2}, 7));  // different node
+    int y = g3.AddVertex(Prim(1, 2));
+    g3.AddEdge(x, q);
+    g3.AddEdge(y, q);
+  }
+  EXPECT_FALSE(EquivalentMuseGraphs(g1, g3));
+}
+
+TEST(NormalFormTest, IdempotentOnCollapsedGraphs) {
+  MuseGraph g;
+  int x = g.AddVertex(Prim(0, 1));
+  int q = g.AddVertex(Comp({0, 1}, 0));
+  g.AddEdge(x, q);
+  MuseGraph once = CollapsedNormalForm(g);
+  MuseGraph twice = CollapsedNormalForm(once);
+  EXPECT_EQ(once.CanonicalString(), twice.CanonicalString());
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,136 @@
+#include "src/core/placement_oop.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/core/centralized.h"
+#include "src/core/correctness.h"
+#include "src/net/network_gen.h"
+
+namespace muse {
+namespace {
+
+Network Fig2Net(double rc, double rl, double rf) {
+  Network net(4, 3);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 0);
+  net.AddProducer(1, 1);
+  net.AddProducer(2, 1);
+  net.AddProducer(0, 2);
+  net.AddProducer(3, 2);
+  net.SetRate(0, rc);
+  net.SetRate(1, rl);
+  net.SetRate(2, rf);
+  return net;
+}
+
+TEST(OopTest, ProducesCorrectSingleSinkPlan) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Fig2Net(100, 100, 1);
+  ProjectionCatalog cat(q, net);
+  OopPlan plan = PlanOperatorPlacement(cat);
+
+  std::string why;
+  EXPECT_TRUE(IsCorrectPlan(plan.graph, cat, &why)) << why;
+  // oOP places every operator at exactly one node: all non-primitive
+  // vertices are single-sink.
+  for (const PlanVertex& v : plan.graph.vertices()) {
+    if (!v.IsPrimitive()) {
+      EXPECT_EQ(v.part_type, kNoPartition);
+    }
+  }
+  ASSERT_EQ(plan.graph.sinks().size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.cost, GraphCost(plan.graph, cat));
+}
+
+TEST(OopTest, UsesOnlyHierarchyProjections) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Fig2Net(100, 100, 1);
+  ProjectionCatalog cat(q, net);
+  OopPlan plan = PlanOperatorPlacement(cat);
+  for (const PlanVertex& v : plan.graph.vertices()) {
+    // Only {C}, {L}, {F}, {C,L} (the AND), and {C,L,F} (the root) appear.
+    EXPECT_TRUE(v.proj.size() == 1 || v.proj == TypeSet({0, 1}) ||
+                v.proj == TypeSet({0, 1, 2}))
+        << v.ToString();
+  }
+}
+
+TEST(OopTest, DpMatchesExhaustiveNodeEnumeration) {
+  // For a flat query the optimal single sink is simply the best node;
+  // verify the DP agrees with brute force over all (and, root) node pairs.
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Rng rng(17);
+  for (int round = 0; round < 10; ++round) {
+    NetworkGenOptions nopts;
+    nopts.num_nodes = 5;
+    nopts.num_types = 3;
+    Network net = MakeRandomNetwork(nopts, rng);
+    ProjectionCatalog cat(q, net);
+    OopPlan plan = PlanOperatorPlacement(cat);
+
+    double best = std::numeric_limits<double>::infinity();
+    for (NodeId and_node = 0; and_node < 5; ++and_node) {
+      for (NodeId root_node = 0; root_node < 5; ++root_node) {
+        double cost = 0;
+        for (EventTypeId t : {0u, 1u}) {  // C, L gather at and_node
+          cost += net.Rate(t) * (net.NumProducers(t) -
+                                 (net.Produces(and_node, t) ? 1 : 0));
+        }
+        cost += net.Rate(2) * (net.NumProducers(2) -
+                               (net.Produces(root_node, 2) ? 1 : 0));
+        if (and_node != root_node) {
+          cost += cat.Rate(TypeSet({0, 1})) * cat.Bindings(TypeSet({0, 1}));
+        }
+        best = std::min(best, cost);
+      }
+    }
+    EXPECT_NEAR(plan.cost, best, 1e-9) << "round " << round;
+  }
+}
+
+TEST(OopTest, BarelyBeatsCentralizedWithHomogeneousRates) {
+  // §7.2/§7.3: with every node producing every type at equal rates, oOP
+  // ends up shipping nearly everything — transmission ratio close to 1.
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(A, B), D)", &reg).value();
+  Network net(10, 3);
+  for (NodeId n = 0; n < 10; ++n) {
+    for (EventTypeId t = 0; t < 3; ++t) net.AddProducer(n, t);
+  }
+  for (EventTypeId t = 0; t < 3; ++t) net.SetRate(t, 10);
+  ProjectionCatalog cat(q, net);
+  OopPlan plan = PlanOperatorPlacement(cat);
+  double centralized = CentralizedCost(net, q.PrimitiveTypes());
+  EXPECT_GT(plan.cost, 0.85 * centralized);
+  EXPECT_LE(plan.cost, centralized);
+}
+
+TEST(OopTest, SinglePrimitiveQuery) {
+  TypeRegistry reg;
+  Query q = ParseQuery("C", &reg).value();
+  Network net = Fig2Net(100, 100, 1);
+  ProjectionCatalog cat(q, net);
+  OopPlan plan = PlanOperatorPlacement(cat);
+  EXPECT_DOUBLE_EQ(plan.cost, 0.0);
+  EXPECT_EQ(plan.graph.sinks().size(), 2u);
+}
+
+TEST(OopTest, SharedTransfersReduceSecondQueryCost) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(C, L)", &reg).value();
+  Network net = Fig2Net(100, 100, 1);
+  ProjectionCatalog cat(q, net);
+  SharingContext ctx;
+  OopPlan first = PlanOperatorPlacement(cat, &ctx);
+  std::vector<const ProjectionCatalog*> cats = {&cat};
+  RecordPlanInContext(first.graph, cats, &ctx);
+  OopPlan second = PlanOperatorPlacement(cat, &ctx);
+  EXPECT_DOUBLE_EQ(second.cost, 0.0);  // identical query rides for free
+}
+
+}  // namespace
+}  // namespace muse

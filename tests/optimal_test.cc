@@ -1,0 +1,111 @@
+#include "src/core/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/core/centralized.h"
+#include "src/core/correctness.h"
+#include "src/net/network_gen.h"
+#include "src/workload/query_gen.h"
+
+namespace muse {
+namespace {
+
+TEST(ExhaustiveTest, CorrectOnPaperExample) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.05));
+  Network net(4, 3);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 0);
+  net.AddProducer(1, 1);
+  net.AddProducer(2, 1);
+  net.AddProducer(0, 2);
+  net.AddProducer(3, 2);
+  net.SetRate(0, 100);
+  net.SetRate(1, 100);
+  net.SetRate(2, 1);
+  ProjectionCatalog cat(q, net);
+  PlanResult r = ExhaustivePlan(cat);
+  std::string why;
+  EXPECT_TRUE(IsCorrectPlan(r.graph, cat, &why)) << why;
+  EXPECT_LE(r.cost, CentralizedCost(net, q.PrimitiveTypes()));
+}
+
+TEST(ExhaustiveTest, NeverWorseThanAmuseOnRandomInstances) {
+  // ExhaustivePlan searches a superset of aMuSE's plan space.
+  Rng rng(13);
+  SelectivityModel model(4, 0.01, 0.2, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 1;
+  qopts.avg_primitives = 3;
+  qopts.num_types = 4;
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 4;
+  nopts.num_types = 4;
+  for (int round = 0; round < 8; ++round) {
+    Network net = MakeRandomNetwork(nopts, rng);
+    std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+    ProjectionCatalog cat(wl[0], net);
+    PlanResult opt = ExhaustivePlan(cat);
+    PlanResult amuse = PlanQuery(cat);
+    PlannerOptions star_opts;
+    star_opts.star = true;
+    PlanResult star = PlanQuery(cat, star_opts);
+
+    std::string why;
+    ASSERT_TRUE(IsCorrectPlan(opt.graph, cat, &why)) << why;
+    EXPECT_LE(opt.cost, amuse.cost * 1.05) << "round " << round;  // per-descriptor DP slack
+    EXPECT_LE(opt.cost, star.cost * 1.05) << "round " << round;
+    EXPECT_LE(opt.cost,
+              CentralizedCost(net, wl[0].PrimitiveTypes()) * 1.0000001);
+  }
+}
+
+TEST(ExhaustiveTest, AmuseCloseToExhaustiveOnSmallInstances) {
+  // aMuSE's pruning should rarely cost much on small instances; record the
+  // gap to guard against regressions in plan quality.
+  Rng rng(29);
+  SelectivityModel model(4, 0.01, 0.2, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 1;
+  qopts.avg_primitives = 3;
+  qopts.num_types = 4;
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 4;
+  nopts.num_types = 4;
+  double worst_gap = 1.0;
+  for (int round = 0; round < 8; ++round) {
+    Network net = MakeRandomNetwork(nopts, rng);
+    std::vector<Query> wl = GenerateWorkload(qopts, model, rng);
+    ProjectionCatalog cat(wl[0], net);
+    double opt = ExhaustivePlan(cat).cost;
+    double amuse = PlanQuery(cat).cost;
+    if (opt > 0) worst_gap = std::max(worst_gap, amuse / opt);
+  }
+  EXPECT_LE(worst_gap, 3.0);
+}
+
+TEST(ExhaustiveTest, SingleTypeQuery) {
+  TypeRegistry reg;
+  Query q = ParseQuery("A", &reg).value();
+  Network net(2, 1);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 0);
+  ProjectionCatalog cat(q, net);
+  EXPECT_DOUBLE_EQ(ExhaustivePlan(cat).cost, 0.0);
+}
+
+TEST(ExhaustiveTest, RejectsLargeInstances) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B, C, D, E, F, G)", &reg).value();
+  Network net(3, 7);
+  for (NodeId n = 0; n < 3; ++n) {
+    for (EventTypeId t = 0; t < 7; ++t) net.AddProducer(n, t);
+  }
+  ProjectionCatalog cat(q, net);
+  EXPECT_DEATH(ExhaustivePlan(cat), "small instances");
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,92 @@
+#include "src/cep/or_split.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+
+namespace muse {
+namespace {
+
+std::set<std::string> Signatures(const std::vector<Query>& qs) {
+  std::set<std::string> out;
+  for (const Query& q : qs) out.insert(q.ToString());
+  return out;
+}
+
+TEST(OrSplitTest, OrFreeQueryPassesThrough) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  std::vector<Query> split = SplitDisjunctions(q);
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_EQ(split[0].ToString(), q.ToString());
+}
+
+TEST(OrSplitTest, TopLevelOr) {
+  TypeRegistry reg;
+  Query q = ParseQuery("OR(A, B)", &reg).value();
+  std::vector<Query> split = SplitDisjunctions(q);
+  EXPECT_EQ(Signatures(split), (std::set<std::string>{"E0", "E1"}));
+}
+
+TEST(OrSplitTest, NestedOrExpandsCartesian) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(OR(A, B), OR(C, D))", &reg).value();
+  std::vector<Query> split = SplitDisjunctions(q);
+  EXPECT_EQ(split.size(), 4u);
+  for (const Query& v : split) {
+    EXPECT_FALSE(v.ContainsOr());
+    EXPECT_EQ(v.NumPrimitives(), 2);
+    EXPECT_TRUE(v.Validate());
+  }
+}
+
+TEST(OrSplitTest, OrInsideAnd) {
+  TypeRegistry reg;
+  Query q = ParseQuery("AND(X, OR(A, B))", &reg).value();
+  std::vector<Query> split = SplitDisjunctions(q);
+  ASSERT_EQ(split.size(), 2u);
+  for (const Query& v : split) {
+    EXPECT_EQ(v.op(v.root()).kind, OpKind::kAnd);
+  }
+}
+
+TEST(OrSplitTest, PredicatesFilteredPerVariant) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(OR(A, B), C)", &reg).value();
+  EventTypeId a = reg.Intern("A");
+  EventTypeId b = reg.Intern("B");
+  EventTypeId c = reg.Intern("C");
+  q.AddPredicate(Predicate::Equality(a, 0, c, 0, 0.1));
+  q.AddPredicate(Predicate::Equality(b, 0, c, 0, 0.2));
+  q.set_window(777);
+
+  std::vector<Query> split = SplitDisjunctions(q);
+  ASSERT_EQ(split.size(), 2u);
+  for (const Query& v : split) {
+    EXPECT_EQ(v.window(), 777u);
+    ASSERT_EQ(v.predicates().size(), 1u);
+    EXPECT_TRUE(v.PrimitiveTypes().ContainsAll(v.predicates()[0].Types()));
+  }
+}
+
+TEST(OrSplitTest, OrUnderNseqMiddle) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, OR(B, C), D)", &reg).value();
+  std::vector<Query> split = SplitDisjunctions(q);
+  ASSERT_EQ(split.size(), 2u);
+  for (const Query& v : split) {
+    EXPECT_TRUE(v.ContainsNegation());
+    EXPECT_EQ(v.NegatedTypes().size(), 1);
+  }
+}
+
+TEST(OrSplitTest, ThreeWayOr) {
+  TypeRegistry reg;
+  Query q = ParseQuery("OR(A, B, C)", &reg).value();
+  EXPECT_EQ(SplitDisjunctions(q).size(), 3u);
+}
+
+}  // namespace
+}  // namespace muse

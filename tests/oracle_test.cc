@@ -1,0 +1,117 @@
+#include "src/cep/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+
+namespace muse {
+namespace {
+
+Event Ev(EventTypeId type, uint64_t seq, int64_t a0 = 0) {
+  Event e;
+  e.type = type;
+  e.seq = seq;
+  e.time = seq;
+  e.attrs = {a0, 0};
+  return e;
+}
+
+TEST(OracleTest, SeqCountsOrderedPairs) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  // A@1, A@2, B@3, B@4 -> 4 ordered pairs.
+  std::vector<Event> trace = {Ev(0, 1), Ev(0, 2), Ev(1, 3), Ev(1, 4)};
+  EXPECT_EQ(OracleMatches(q, trace).size(), 4u);
+  // B before both As -> those pairs don't count.
+  trace = {Ev(1, 1), Ev(0, 2), Ev(0, 3), Ev(1, 4)};
+  EXPECT_EQ(OracleMatches(q, trace).size(), 2u);
+}
+
+TEST(OracleTest, SkipTillAnyMatchSkipsInterleaved) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  // Irrelevant events between A and B do not block the match.
+  std::vector<Event> trace = {Ev(0, 1), Ev(2, 2), Ev(2, 3), Ev(1, 4)};
+  EXPECT_EQ(OracleMatches(q, trace).size(), 1u);
+}
+
+TEST(OracleTest, AndCountsAllPairsRegardlessOfOrder) {
+  TypeRegistry reg;
+  Query q = ParseQuery("AND(A, B)", &reg).value();
+  std::vector<Event> trace = {Ev(1, 1), Ev(0, 2), Ev(1, 3)};
+  // (B@1,A@2), (A@2,B@3) -> 2 matches.
+  EXPECT_EQ(OracleMatches(q, trace).size(), 2u);
+}
+
+TEST(OracleTest, OrUnionsChildMatches) {
+  TypeRegistry reg;
+  Query q = ParseQuery("OR(A, B)", &reg).value();
+  std::vector<Event> trace = {Ev(0, 1), Ev(1, 2), Ev(0, 3)};
+  EXPECT_EQ(OracleMatches(q, trace).size(), 3u);
+}
+
+TEST(OracleTest, NseqSuppressedByMiddle) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  // A@1 .. B@2 .. C@3: suppressed.
+  EXPECT_EQ(OracleMatches(q, {Ev(0, 1), Ev(1, 2), Ev(2, 3)}).size(), 0u);
+  // A@1 .. C@2 (B after): match.
+  EXPECT_EQ(OracleMatches(q, {Ev(0, 1), Ev(2, 2), Ev(1, 3)}).size(), 1u);
+  // B before A: match.
+  EXPECT_EQ(OracleMatches(q, {Ev(1, 1), Ev(0, 2), Ev(2, 3)}).size(), 1u);
+}
+
+TEST(OracleTest, NseqMatchExcludesMiddleEvents) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  std::vector<Match> matches = OracleMatches(q, {Ev(0, 1), Ev(2, 2)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].events.size(), 2u);
+}
+
+TEST(OracleTest, PredicatesFilter) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A a, B b) WHERE a.a0 == b.a0", &reg).value();
+  std::vector<Event> trace = {Ev(0, 1, 7), Ev(1, 2, 7), Ev(1, 3, 8)};
+  EXPECT_EQ(OracleMatches(q, trace).size(), 1u);
+}
+
+TEST(OracleTest, WindowFilters) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B) WITHIN 5ms", &reg).value();
+  std::vector<Event> trace = {Ev(0, 1), Ev(1, 4), Ev(1, 20)};
+  EXPECT_EQ(OracleMatches(q, trace).size(), 1u);
+}
+
+TEST(OracleTest, NestedQueryExampleFromPaper) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  // C@1 L@2 F@3 and L@1' variants.
+  std::vector<Event> trace = {Ev(0, 1), Ev(1, 2), Ev(2, 3), Ev(1, 4)};
+  // AND matches: (C1,L2). L4 is after F3 -> (C1,L4) with F? F@3 not after
+  // L@4 -> only (C1,L2),F3. => 1 match.
+  EXPECT_EQ(OracleMatches(q, trace).size(), 1u);
+}
+
+TEST(OracleTest, MiddlePredicateRestrictsAntiMatches) {
+  TypeRegistry reg;
+  // B only counts as blocking when its a0 equals... unary filter: B.a0%2==0.
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  EventTypeId b = static_cast<EventTypeId>(reg.Find("B"));
+  q.AddPredicate(Predicate::Filter(b, 0, 2));
+  // Odd-attr B does not block.
+  EXPECT_EQ(OracleMatches(q, {Ev(0, 1), Ev(1, 2, 3), Ev(2, 3)}).size(), 1u);
+  // Even-attr B blocks.
+  EXPECT_EQ(OracleMatches(q, {Ev(0, 1), Ev(1, 2, 4), Ev(2, 3)}).size(), 0u);
+}
+
+TEST(CanonicalMatchSetTest, SortsAndDedups) {
+  Match a{{Ev(0, 2)}};
+  Match b{{Ev(0, 1)}};
+  std::vector<Match> set = CanonicalMatchSet({a, b, a});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0].events[0].seq, 1u);
+}
+
+}  // namespace
+}  // namespace muse

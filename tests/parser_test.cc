@@ -1,0 +1,138 @@
+#include "src/cep/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+TEST(ParserTest, BarePattern) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery("SEQ(AND(C, L), F)", &reg);
+  ASSERT_TRUE(q.ok()) << q.ok();
+  EXPECT_EQ(q->ToString(&reg), "SEQ(AND(C,L),F)");
+  EXPECT_EQ(reg.size(), 3);
+}
+
+TEST(ParserTest, PrimitiveOnly) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery("Temperature", &reg);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumPrimitives(), 1);
+}
+
+TEST(ParserTest, NseqPattern) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery("NSEQ(A, B, C)", &reg);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->ContainsNegation());
+  EXPECT_EQ(q->NegatedTypes(), TypeSet::Of(reg.Find("B")));
+}
+
+TEST(ParserTest, NseqWrongArity) {
+  TypeRegistry reg;
+  EXPECT_FALSE(ParseQuery("NSEQ(A, B)", &reg).ok());
+  EXPECT_FALSE(ParseQuery("NSEQ(A, B, C, D)", &reg).ok());
+}
+
+TEST(ParserTest, OrPattern) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery("OR(A, B)", &reg);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->ContainsOr());
+}
+
+TEST(ParserTest, FullSpecWithWhereAndWithin) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery(
+      "PATTERN SEQ(Fail f, Evict e, Kill k, Update u) "
+      "WHERE f.uID == e.uID AND e.uID == k.uID AND k.uID == u.uID "
+      "WITHIN 30min",
+      &reg, 0.05);
+  ASSERT_TRUE(q.ok()) << q.error().message;
+  EXPECT_EQ(q->NumPrimitives(), 4);
+  EXPECT_EQ(q->predicates().size(), 3u);
+  EXPECT_EQ(q->window(), 30u * 60 * 1000);
+  for (const Predicate& p : q->predicates()) {
+    EXPECT_EQ(p.kind, Predicate::Kind::kEquality);
+    EXPECT_EQ(p.left_attr, 0);
+    EXPECT_DOUBLE_EQ(p.selectivity, 0.05);
+  }
+}
+
+TEST(ParserTest, JidAliasMapsToAttr1) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery(
+      "PATTERN AND(Finish fi, Fail fa) WHERE fi.jID = fa.jID WITHIN 5s",
+      &reg);
+  ASSERT_TRUE(q.ok()) << q.error().message;
+  ASSERT_EQ(q->predicates().size(), 1u);
+  EXPECT_EQ(q->predicates()[0].left_attr, 1);
+  EXPECT_EQ(q->window(), 5000u);
+}
+
+TEST(ParserTest, UnboundVariableRejected) {
+  TypeRegistry reg;
+  Result<Query> q =
+      ParseQuery("PATTERN SEQ(A a, B b) WHERE a.a0 == z.a0", &reg);
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.error().message.find("unbound"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  TypeRegistry reg;
+  EXPECT_FALSE(ParseQuery("SEQ(A, B))", &reg).ok());
+}
+
+TEST(ParserTest, MissingParenRejected) {
+  TypeRegistry reg;
+  EXPECT_FALSE(ParseQuery("SEQ(A, B", &reg).ok());
+}
+
+TEST(ParserTest, DuplicateTypeRejectedByValidation) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery("SEQ(A, A)", &reg);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ParserTest, CaseInsensitiveOperators) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery("seq(and(C, L), F)", &reg);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(&reg), "SEQ(AND(C,L),F)");
+}
+
+TEST(ParserTest, ReusesRegistryIds) {
+  TypeRegistry reg;
+  EventTypeId c = reg.Intern("C");
+  Result<Query> q = ParseQuery("SEQ(C, F)", &reg);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->PrimitiveTypes().Contains(c));
+}
+
+struct DurationCase {
+  const char* text;
+  uint64_t expected_ms;
+};
+
+class DurationTest : public ::testing::TestWithParam<DurationCase> {};
+
+TEST_P(DurationTest, Parses) {
+  Result<uint64_t> d = ParseDuration(GetParam().text);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), GetParam().expected_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Durations, DurationTest,
+    ::testing::Values(DurationCase{"100ms", 100}, DurationCase{"5s", 5000},
+                      DurationCase{"2m", 120000},
+                      DurationCase{"30min", 1800000},
+                      DurationCase{"1h", 3600000}));
+
+TEST(DurationTest, RejectsUnknownUnit) {
+  EXPECT_FALSE(ParseDuration("5parsecs").ok());
+  EXPECT_FALSE(ParseDuration("xyz").ok());
+}
+
+}  // namespace
+}  // namespace muse

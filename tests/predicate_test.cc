@@ -1,0 +1,72 @@
+#include "src/cep/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+Event Ev(EventTypeId type, int64_t a0, int64_t a1 = 0) {
+  Event e;
+  e.type = type;
+  e.attrs = {a0, a1};
+  return e;
+}
+
+TEST(PredicateTest, EqualityHoldsAndFails) {
+  Predicate p = Predicate::Equality(0, 0, 1, 0, 0.1);
+  EXPECT_TRUE(p.Eval({Ev(0, 7), Ev(1, 7)}));
+  EXPECT_FALSE(p.Eval({Ev(0, 7), Ev(1, 8)}));
+}
+
+TEST(PredicateTest, EqualityOnDifferentAttrs) {
+  Predicate p = Predicate::Equality(0, 0, 1, 1, 0.1);
+  EXPECT_TRUE(p.Eval({Ev(0, 7, 0), Ev(1, 9, 7)}));
+  EXPECT_FALSE(p.Eval({Ev(0, 7, 0), Ev(1, 7, 9)}));
+}
+
+TEST(PredicateTest, NotApplicableIsVacuouslyTrue) {
+  Predicate p = Predicate::Equality(0, 0, 1, 0, 0.1);
+  EXPECT_TRUE(p.Eval({Ev(0, 7)}));  // right type absent
+  EXPECT_TRUE(p.Eval({Ev(2, 1)}));  // both absent
+}
+
+TEST(PredicateTest, FilterModulus) {
+  Predicate p = Predicate::Filter(3, 0, 4);
+  EXPECT_TRUE(p.Eval({Ev(3, 8)}));
+  EXPECT_FALSE(p.Eval({Ev(3, 9)}));
+  EXPECT_DOUBLE_EQ(p.selectivity, 0.25);
+}
+
+TEST(PredicateTest, TypesAndApplicability) {
+  Predicate eq = Predicate::Equality(0, 0, 5, 0, 0.1);
+  EXPECT_EQ(eq.Types(), TypeSet({0, 5}));
+  EXPECT_TRUE(eq.ApplicableTo(TypeSet({0, 5, 9})));
+  EXPECT_FALSE(eq.ApplicableTo(TypeSet({0, 9})));
+
+  Predicate f = Predicate::Filter(2, 1, 10);
+  EXPECT_EQ(f.Types(), TypeSet({2}));
+  EXPECT_TRUE(f.ApplicableTo(TypeSet({2})));
+  EXPECT_FALSE(f.ApplicableTo(TypeSet({3})));
+}
+
+TEST(PredicateTest, CombinedSelectivityProductOfApplicable) {
+  std::vector<Predicate> preds = {
+      Predicate::Equality(0, 0, 1, 0, 0.5),
+      Predicate::Equality(1, 0, 2, 0, 0.1),
+      Predicate::Filter(3, 0, 10),
+  };
+  EXPECT_DOUBLE_EQ(CombinedSelectivity(preds, TypeSet({0, 1, 2, 3})),
+                   0.5 * 0.1 * 0.1);
+  EXPECT_DOUBLE_EQ(CombinedSelectivity(preds, TypeSet({0, 1})), 0.5);
+  EXPECT_DOUBLE_EQ(CombinedSelectivity(preds, TypeSet({0, 2})), 1.0);
+  EXPECT_DOUBLE_EQ(CombinedSelectivity(preds, TypeSet({3})), 0.1);
+}
+
+TEST(PredicateTest, ToStringStable) {
+  EXPECT_EQ(Predicate::Equality(0, 0, 1, 1, 0.1).ToString(),
+            "E0.a0==E1.a1");
+  EXPECT_EQ(Predicate::Filter(2, 0, 4).ToString(), "E2.a0%4==0");
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,170 @@
+#include "src/core/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/match.h"
+#include "src/cep/parser.h"
+#include "src/core/rates.h"
+
+namespace muse {
+namespace {
+
+Network UniformNet(int nodes, int types) {
+  Network net(nodes, types);
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+    for (EventTypeId t = 0; t < static_cast<EventTypeId>(types); ++t) {
+      net.AddProducer(n, t);
+    }
+  }
+  return net;
+}
+
+TEST(ProjectionTest, PaperExampleProjections) {
+  TypeRegistry reg;
+  // q1 = SEQ(AND(C,L), F): C=0, L=1, F=2 (Fig. 2a).
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  // p1 = π(q, {C,F}) = SEQ(C, F): deleting L removes the AND (Example 5).
+  EXPECT_EQ(Project(q, TypeSet({0, 2})).ToString(&reg), "SEQ(C,F)");
+  // p2 = π(q, {L,F}) = SEQ(L, F).
+  EXPECT_EQ(Project(q, TypeSet({1, 2})).ToString(&reg), "SEQ(L,F)");
+  // p3 = π(q, {C,L}) = AND(C, L): deleting F removes the SEQ root.
+  EXPECT_EQ(Project(q, TypeSet({0, 1})).ToString(&reg), "AND(C,L)");
+  // Full projection is the query.
+  EXPECT_EQ(Project(q, TypeSet({0, 1, 2})).Signature(), q.Signature());
+}
+
+TEST(ProjectionTest, SingletonProjection) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Query p = Project(q, TypeSet({1}));
+  EXPECT_EQ(p.NumPrimitives(), 1);
+  EXPECT_EQ(p.op(p.root()).kind, OpKind::kPrimitive);
+}
+
+TEST(ProjectionTest, PredicatesRestrictedToApplicable) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.5));   // C-L
+  q.AddPredicate(Predicate::Equality(1, 0, 2, 0, 0.1));   // L-F
+  q.set_window(1234);
+
+  Query p = Project(q, TypeSet({0, 1}));
+  EXPECT_EQ(p.window(), 1234u);
+  ASSERT_EQ(p.predicates().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.predicates()[0].selectivity, 0.5);
+}
+
+TEST(ProjectionTest, MatchProjectionProperty) {
+  // The projection of a match of q onto the projection's types is a match
+  // of the projection (§4.2) — structural version.
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Query p = Project(q, TypeSet({1, 2}));
+  Event c{0, 0, 1, 1, {0, 0}};
+  Event l{1, 0, 2, 2, {0, 0}};
+  Event f{2, 0, 3, 3, {0, 0}};
+  Match full{{c, l, f}};
+  ASSERT_TRUE(StructurallyMatches(q, full));
+  EXPECT_TRUE(StructurallyMatches(p, full.Restrict(TypeSet({1, 2}))));
+}
+
+TEST(ProjectionTest, NseqMiddleRemovedBecomesSeq) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  EXPECT_EQ(Project(q, TypeSet({0, 2})).ToString(&reg), "SEQ(A,C)");
+}
+
+TEST(ProjectionTest, NseqClosedProjectionKeepsNseq) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(NSEQ(A, B, C), D)", &reg).value();
+  Query p = Project(q, TypeSet({0, 1, 2}));
+  EXPECT_EQ(p.ToString(&reg), "NSEQ(A,B,C)");
+}
+
+TEST(ProjectionTest, NseqMiddleAloneIsTheAntiPattern) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, SEQ(B, D), C)", &reg).value();
+  TypeSet mid = q.NegatedTypes();
+  EXPECT_EQ(Project(q, mid).ToString(&reg), "SEQ(B,D)");
+}
+
+TEST(ProjectionValiditySetTest, NseqRules) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();  // A=0 B=1 C=2
+  EXPECT_TRUE(IsValidProjectionSet(q, TypeSet({0, 2})));     // mid-free
+  EXPECT_TRUE(IsValidProjectionSet(q, TypeSet({0, 1, 2})));  // closed
+  EXPECT_TRUE(IsValidProjectionSet(q, TypeSet({1})));        // anti pattern
+  EXPECT_FALSE(IsValidProjectionSet(q, TypeSet({0, 1})));    // mid + before
+  EXPECT_FALSE(IsValidProjectionSet(q, TypeSet({1, 2})));    // mid + after
+}
+
+TEST(ProjectionValiditySetTest, PartialMiddleRejected) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, SEQ(B, D), C)", &reg).value();
+  EventTypeId b = static_cast<EventTypeId>(reg.Find("B"));
+  EXPECT_FALSE(IsValidProjectionSet(q, TypeSet::Of(b)));
+  EXPECT_TRUE(IsValidProjectionSet(q, q.NegatedTypes()));
+}
+
+TEST(ProjectionValiditySetTest, BasicRules) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  EXPECT_FALSE(IsValidProjectionSet(q, TypeSet()));          // empty
+  EXPECT_FALSE(IsValidProjectionSet(q, TypeSet({0, 1, 5})));  // foreign type
+  EXPECT_TRUE(IsValidProjectionSet(q, TypeSet({0})));
+}
+
+TEST(AllProjectionSetsTest, CountsForConjunctiveQuery) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(A, B), C)", &reg).value();
+  // All 7 non-empty subsets are valid.
+  EXPECT_EQ(AllProjectionSets(q).size(), 7u);
+}
+
+TEST(AllProjectionSetsTest, SortedBySize) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(A, B), C, D)", &reg).value();
+  std::vector<TypeSet> all = AllProjectionSets(q);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].size(), all[i].size());
+  }
+  EXPECT_EQ(all.back(), q.PrimitiveTypes());
+}
+
+TEST(AllProjectionSetsTest, NseqPruned) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  // Valid: {A},{C},{B},{A,C},{A,B,C} = 5 of the 7 subsets.
+  EXPECT_EQ(AllProjectionSets(q).size(), 5u);
+}
+
+TEST(ProjectionCatalogTest, EntriesConsistent) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.5));
+  Network net = UniformNet(3, 3);
+  net.SetRate(0, 10);
+  net.SetRate(1, 20);
+  net.SetRate(2, 2);
+  ProjectionCatalog cat(q, net);
+
+  EXPECT_EQ(cat.All().size(), 7u);
+  TypeSet cl({0, 1});
+  EXPECT_TRUE(cat.Valid(cl));
+  EXPECT_DOUBLE_EQ(cat.Rate(cl), 0.5 * 2 * 10 * 20);
+  EXPECT_DOUBLE_EQ(cat.Bindings(cl), 9.0);
+  EXPECT_EQ(cat.Ast(cl).ToString(&reg), "AND(C,L)");
+  EXPECT_EQ(cat.Signature(cl), cat.Ast(cl).Signature());
+  EXPECT_FALSE(cat.Valid(TypeSet({5})));
+}
+
+TEST(ProjectionCatalogTest, FullSetRateEqualsQueryRate) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = UniformNet(2, 3);
+  ProjectionCatalog cat(q, net);
+  EXPECT_DOUBLE_EQ(cat.Rate(q.PrimitiveTypes()), QueryOutputRate(q, net));
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,193 @@
+#include "src/cep/query.h"
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+Query Q1() {
+  // SEQ(AND(C=0, L=1), F=2) — the paper's running example (Fig. 1/2).
+  std::vector<Query> inner;
+  inner.push_back(Query::Primitive(0));
+  inner.push_back(Query::Primitive(1));
+  std::vector<Query> outer;
+  outer.push_back(Query::And(std::move(inner)));
+  outer.push_back(Query::Primitive(2));
+  return Query::Seq(std::move(outer));
+}
+
+TEST(QueryTest, PrimitiveBasics) {
+  Query q = Query::Primitive(4);
+  EXPECT_TRUE(q.IsInitialized());
+  EXPECT_EQ(q.num_ops(), 1);
+  EXPECT_EQ(q.op(q.root()).kind, OpKind::kPrimitive);
+  EXPECT_EQ(q.PrimitiveTypes(), TypeSet({4}));
+  EXPECT_TRUE(q.Validate());
+}
+
+TEST(QueryTest, RunningExampleStructure) {
+  Query q = Q1();
+  EXPECT_TRUE(q.Validate());
+  EXPECT_EQ(q.PrimitiveTypes(), TypeSet({0, 1, 2}));
+  EXPECT_EQ(q.op(q.root()).kind, OpKind::kSeq);
+  EXPECT_EQ(q.ToString(), "SEQ(AND(E0,E1),E2)");
+  EXPECT_EQ(q.NumPrimitives(), 3);
+  EXPECT_FALSE(q.ContainsNegation());
+  EXPECT_FALSE(q.ContainsOr());
+}
+
+TEST(QueryTest, SameKindNestingIsFlattened) {
+  std::vector<Query> inner;
+  inner.push_back(Query::Primitive(0));
+  inner.push_back(Query::Primitive(1));
+  std::vector<Query> outer;
+  outer.push_back(Query::Seq(std::move(inner)));
+  outer.push_back(Query::Primitive(2));
+  Query q = Query::Seq(std::move(outer));
+  EXPECT_EQ(q.ToString(), "SEQ(E0,E1,E2)");
+  EXPECT_TRUE(q.Validate());
+}
+
+TEST(QueryTest, AndChildrenCanonicalized) {
+  std::vector<Query> a;
+  a.push_back(Query::Primitive(1));
+  a.push_back(Query::Primitive(0));
+  std::vector<Query> b;
+  b.push_back(Query::Primitive(0));
+  b.push_back(Query::Primitive(1));
+  EXPECT_EQ(Query::And(std::move(a)).Signature(),
+            Query::And(std::move(b)).Signature());
+}
+
+TEST(QueryTest, SeqChildrenOrderPreserved) {
+  std::vector<Query> a;
+  a.push_back(Query::Primitive(1));
+  a.push_back(Query::Primitive(0));
+  std::vector<Query> b;
+  b.push_back(Query::Primitive(0));
+  b.push_back(Query::Primitive(1));
+  EXPECT_NE(Query::Seq(std::move(a)).Signature(),
+            Query::Seq(std::move(b)).Signature());
+}
+
+TEST(QueryTest, SingleChildCollapses) {
+  std::vector<Query> one;
+  one.push_back(Query::Primitive(3));
+  Query q = Query::Seq(std::move(one));
+  EXPECT_EQ(q.num_ops(), 1);
+  EXPECT_EQ(q.op(q.root()).kind, OpKind::kPrimitive);
+}
+
+TEST(QueryTest, NseqStructure) {
+  Query q = Query::Nseq(Query::Primitive(0), Query::Primitive(1),
+                        Query::Primitive(2));
+  EXPECT_TRUE(q.Validate());
+  EXPECT_TRUE(q.ContainsNegation());
+  EXPECT_EQ(q.NegatedTypes(), TypeSet({1}));
+  EXPECT_EQ(q.PositiveTypes(), TypeSet({0, 2}));
+  EXPECT_EQ(q.ToString(), "NSEQ(E0,E1,E2)");
+}
+
+TEST(QueryTest, RepeatedPrimitiveTypeIsInvalid) {
+  std::vector<Query> c;
+  c.push_back(Query::Primitive(0));
+  c.push_back(Query::Primitive(0));
+  Query q = Query::Seq(std::move(c));
+  std::string why;
+  EXPECT_FALSE(q.Validate(&why));
+  EXPECT_NE(why.find("two primitive operators"), std::string::npos);
+}
+
+TEST(QueryTest, PredicateOnForeignTypeIsInvalid) {
+  Query q = Q1();
+  q.AddPredicate(Predicate::Equality(0, 0, 9, 0, 0.5));
+  EXPECT_FALSE(q.Validate());
+}
+
+TEST(QueryTest, WindowAndPredicates) {
+  Query q = std::move(Q1())
+                .WithWindow(5000)
+                .WithPredicate(Predicate::Equality(0, 0, 1, 0, 0.25));
+  EXPECT_EQ(q.window(), 5000u);
+  ASSERT_EQ(q.predicates().size(), 1u);
+  EXPECT_DOUBLE_EQ(q.Selectivity(), 0.25);
+  EXPECT_TRUE(q.Validate());
+}
+
+TEST(QueryTest, SelectivityMultipliesPredicates) {
+  Query q = std::move(Q1())
+                .WithPredicate(Predicate::Equality(0, 0, 1, 0, 0.5))
+                .WithPredicate(Predicate::Equality(1, 0, 2, 0, 0.1));
+  EXPECT_DOUBLE_EQ(q.Selectivity(), 0.05);
+}
+
+TEST(QueryTest, SubtreeTypes) {
+  Query q = Q1();
+  EXPECT_EQ(q.SubtreeTypes(q.root()), TypeSet({0, 1, 2}));
+  // The AND child covers {0,1}.
+  const QueryOp& root = q.op(q.root());
+  bool found_and = false;
+  for (int child : root.children) {
+    if (q.op(child).kind == OpKind::kAnd) {
+      EXPECT_EQ(q.SubtreeTypes(child), TypeSet({0, 1}));
+      found_and = true;
+    }
+  }
+  EXPECT_TRUE(found_and);
+}
+
+TEST(QueryTest, SubqueryExtractsWithApplicablePredicates) {
+  Query q = std::move(Q1())
+                .WithWindow(1000)
+                .WithPredicate(Predicate::Equality(0, 0, 1, 0, 0.5))
+                .WithPredicate(Predicate::Equality(1, 0, 2, 0, 0.1));
+  const QueryOp& root = q.op(q.root());
+  int and_idx = -1;
+  for (int child : root.children) {
+    if (q.op(child).kind == OpKind::kAnd) and_idx = child;
+  }
+  ASSERT_GE(and_idx, 0);
+  Query sub = q.Subquery(and_idx);
+  EXPECT_EQ(sub.ToString(), "AND(E0,E1)");
+  EXPECT_EQ(sub.window(), 1000u);
+  ASSERT_EQ(sub.predicates().size(), 1u);  // only the {0,1} predicate
+  EXPECT_DOUBLE_EQ(sub.predicates()[0].selectivity, 0.5);
+  EXPECT_TRUE(sub.Validate());
+}
+
+TEST(QueryTest, PrimitiveProjectionKeepsUnaryPredicates) {
+  Query q = std::move(Q1()).WithPredicate(Predicate::Filter(2, 0, 4));
+  Query p = q.PrimitiveProjection(2);
+  EXPECT_EQ(p.PrimitiveTypes(), TypeSet({2}));
+  EXPECT_EQ(p.predicates().size(), 1u);
+}
+
+TEST(QueryTest, SignatureCoversWindowAndPredicates) {
+  Query a = std::move(Q1()).WithWindow(1000);
+  Query b = std::move(Q1()).WithWindow(2000);
+  EXPECT_NE(a.Signature(), b.Signature());
+  Query c = std::move(Q1()).WithWindow(1000);
+  EXPECT_EQ(a.Signature(), c.Signature());
+  Query d = std::move(Q1())
+                .WithWindow(1000)
+                .WithPredicate(Predicate::Equality(0, 0, 2, 0, 0.5));
+  EXPECT_NE(a.Signature(), d.Signature());
+}
+
+TEST(QueryTest, OrSplitsDetected) {
+  std::vector<Query> c;
+  c.push_back(Query::Primitive(0));
+  c.push_back(Query::Primitive(1));
+  Query q = Query::Or(std::move(c));
+  EXPECT_TRUE(q.ContainsOr());
+  EXPECT_TRUE(q.Validate());
+}
+
+TEST(QueryTest, EmptyQueryInvalid) {
+  Query q;
+  EXPECT_FALSE(q.IsInitialized());
+  EXPECT_FALSE(q.Validate());
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,81 @@
+#include "src/core/rates.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+
+namespace muse {
+namespace {
+
+Network Net3(double rc, double rl, double rf) {
+  Network net(2, 3);
+  net.AddProducer(0, 0);
+  net.AddProducer(0, 1);
+  net.AddProducer(0, 2);
+  net.SetRate(0, rc);
+  net.SetRate(1, rl);
+  net.SetRate(2, rf);
+  return net;
+}
+
+TEST(RatesTest, PrimitiveRate) {
+  TypeRegistry reg;
+  Query q = ParseQuery("C", &reg).value();
+  Network net = Net3(10, 20, 30);
+  EXPECT_DOUBLE_EQ(QueryOutputRate(q, net), 10.0);
+}
+
+TEST(RatesTest, SeqIsProduct) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(C, L)", &reg).value();
+  Network net = Net3(10, 20, 0);
+  EXPECT_DOUBLE_EQ(QueryOutputRate(q, net), 200.0);
+}
+
+TEST(RatesTest, AndIsKTimesProduct) {
+  TypeRegistry reg;
+  Query q = ParseQuery("AND(C, L)", &reg).value();
+  Network net = Net3(10, 20, 0);
+  EXPECT_DOUBLE_EQ(QueryOutputRate(q, net), 2 * 200.0);
+  Query q3 = ParseQuery("AND(C, L, F)", &reg).value();
+  Network net3 = Net3(10, 20, 5);
+  EXPECT_DOUBLE_EQ(QueryOutputRate(q3, net3), 3 * 10 * 20 * 5);
+}
+
+TEST(RatesTest, NseqIgnoresNegatedChild) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(C, L, F)", &reg).value();
+  Network net = Net3(10, 1000, 5);
+  EXPECT_DOUBLE_EQ(QueryOutputRate(q, net), 50.0);
+}
+
+TEST(RatesTest, NestedHierarchy) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Net3(10, 20, 5);
+  // AND(C,L) = 2*10*20 = 400; SEQ(.., F) = 400*5 = 2000.
+  EXPECT_DOUBLE_EQ(QueryOutputRate(q, net), 2000.0);
+}
+
+TEST(RatesTest, SelectivityScalesOutput) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(C, L)", &reg).value();
+  q.AddPredicate(Predicate::Equality(0, 0, 1, 0, 0.05));
+  Network net = Net3(10, 20, 0);
+  EXPECT_DOUBLE_EQ(QueryOutputRate(q, net), 0.05 * 200.0);
+}
+
+TEST(RatesTest, OperatorRateOfSubtree) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(AND(C, L), F)", &reg).value();
+  Network net = Net3(10, 20, 5);
+  const QueryOp& root = q.op(q.root());
+  for (int child : root.children) {
+    if (q.op(child).kind == OpKind::kAnd) {
+      EXPECT_DOUBLE_EQ(OperatorOutputRate(q, child, net), 400.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "src/cep/engine.h"
+#include "src/cep/oracle.h"
+#include "src/cep/parser.h"
+#include "src/core/multi_query.h"
+#include "src/dist/simulator.h"
+#include "src/net/network_gen.h"
+#include "src/net/trace.h"
+
+namespace muse {
+namespace {
+
+struct Env {
+  TypeRegistry reg;
+  std::vector<Query> workload;
+  Network net;
+  std::vector<Event> trace;
+
+  explicit Env(uint64_t seed) : net(1, 1) {
+    Query q = ParseQuery("SEQ(AND(A, B), D)", &reg).value();
+    q.set_window(300);
+    workload.push_back(std::move(q));
+    Rng rng(seed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = 4;
+    nopts.num_types = 3;
+    nopts.event_node_ratio = 0.7;
+    nopts.max_rate = 8;
+    net = MakeRandomNetwork(nopts, rng);
+    TraceOptions topts;
+    topts.duration_ms = 4000;
+    topts.attr_cardinality[0] = 3;
+    trace = GenerateGlobalTrace(net, topts, rng);
+  }
+
+  std::vector<Match> Reference() const {
+    QueryEngine engine(workload[0]);
+    std::vector<Match> out;
+    for (const Event& e : trace) engine.OnEvent(e, &out);
+    engine.Flush(&out);
+    return CanonicalMatchSet(std::move(out));
+  }
+};
+
+SimReport RunWithFailures(const Env& env,
+                          std::vector<std::pair<NodeId, uint64_t>> failures) {
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  Deployment dep(plan.combined, catalogs.Pointers());
+  SimOptions opts;
+  opts.failures = std::move(failures);
+  DistributedSimulator sim(dep, opts);
+  return sim.Run(env.trace);
+}
+
+TEST(RecoveryTest, NoFailureBaseline) {
+  Env env(60);
+  SimReport report = RunWithFailures(env, {});
+  std::vector<Match> want = env.Reference();
+  ASSERT_EQ(report.matches_per_query[0].size(), want.size());
+}
+
+TEST(RecoveryTest, SingleNodeCrashPreservesExactlyOnceResults) {
+  Env env(61);
+  std::vector<Match> want = env.Reference();
+  for (NodeId victim = 0; victim < 4; ++victim) {
+    SimReport report = RunWithFailures(env, {{victim, 2000}});
+    ASSERT_EQ(report.matches_per_query[0].size(), want.size())
+        << "victim node " << victim;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(report.matches_per_query[0][i].Key(), want[i].Key());
+    }
+  }
+}
+
+TEST(RecoveryTest, RepeatedCrashesOfSameNode) {
+  Env env(62);
+  std::vector<Match> want = env.Reference();
+  SimReport report =
+      RunWithFailures(env, {{1, 1000}, {1, 2000}, {1, 3000}});
+  ASSERT_EQ(report.matches_per_query[0].size(), want.size());
+}
+
+TEST(RecoveryTest, CascadingCrashesAcrossNodes) {
+  Env env(63);
+  std::vector<Match> want = env.Reference();
+  SimReport report =
+      RunWithFailures(env, {{0, 1500}, {1, 1500}, {2, 2500}, {3, 3500}});
+  ASSERT_EQ(report.matches_per_query[0].size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(report.matches_per_query[0][i].Key(), want[i].Key());
+  }
+}
+
+TEST(RecoveryTest, ReplayCausesDuplicateTrafficButNoDuplicateMatches) {
+  Env env(64);
+  SimReport clean = RunWithFailures(env, {});
+  SimReport crashed = RunWithFailures(env, {{0, 2000}, {1, 2500}});
+  // Re-sent messages add traffic...
+  EXPECT_GE(crashed.network_messages, clean.network_messages);
+  // ...but the deduplicated match set is identical.
+  ASSERT_EQ(crashed.matches_per_query[0].size(),
+            clean.matches_per_query[0].size());
+}
+
+}  // namespace
+}  // namespace muse

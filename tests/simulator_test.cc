@@ -1,0 +1,197 @@
+#include "src/dist/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/engine.h"
+#include "src/cep/oracle.h"
+#include "src/cep/parser.h"
+#include "src/core/amuse.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/core/placement_oop.h"
+#include "src/net/network_gen.h"
+#include "src/net/trace.h"
+#include "src/workload/query_gen.h"
+
+namespace muse {
+namespace {
+
+/// Reference: centralized engine over the global trace.
+std::vector<std::vector<Match>> Reference(const std::vector<Query>& workload,
+                                          const std::vector<Event>& trace) {
+  WorkloadEngine engine(workload);
+  std::vector<std::vector<Match>> out;
+  for (const Event& e : trace) engine.OnEvent(e, &out);
+  engine.Flush(&out);
+  for (auto& matches : out) matches = CanonicalMatchSet(std::move(matches));
+  return out;
+}
+
+void ExpectSameMatches(const std::vector<std::vector<Match>>& got,
+                       const std::vector<std::vector<Match>>& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t qi = 0; qi < got.size(); ++qi) {
+    ASSERT_EQ(got[qi].size(), want[qi].size())
+        << context << " query " << qi;
+    for (size_t i = 0; i < got[qi].size(); ++i) {
+      EXPECT_EQ(got[qi][i].Key(), want[qi][i].Key())
+          << context << " query " << qi;
+    }
+  }
+}
+
+struct Env {
+  TypeRegistry reg;
+  std::vector<Query> workload;
+  Network net;
+  std::vector<Event> trace;
+
+  Env(const std::vector<std::string>& patterns, uint64_t window_ms,
+      uint64_t seed, uint64_t duration_ms = 4000, int num_nodes = 4)
+      : net(1, 1) {
+    for (const std::string& p : patterns) {
+      Query q = ParseQuery(p, &reg).value();
+      q.set_window(window_ms);
+      workload.push_back(std::move(q));
+    }
+    Rng rng(seed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = num_nodes;
+    nopts.num_types = reg.size();
+    nopts.event_node_ratio = 0.6;
+    nopts.max_rate = 8;  // keep traces small
+    net = MakeRandomNetwork(nopts, rng);
+    TraceOptions topts;
+    topts.duration_ms = duration_ms;
+    topts.attr_cardinality[0] = 3;
+    topts.attr_cardinality[1] = 2;
+    trace = GenerateGlobalTrace(net, topts, rng);
+  }
+};
+
+SimReport RunPlan(const MuseGraph& plan, const WorkloadCatalogs& catalogs,
+                  const std::vector<Event>& trace) {
+  Deployment dep(plan, catalogs.Pointers());
+  SimOptions opts;
+  DistributedSimulator sim(dep, opts);
+  return sim.Run(trace);
+}
+
+TEST(SimulatorTest, DistributedAmuseMatchesCentralizedReference) {
+  Env env({"SEQ(AND(A, B), D)"}, 300, 42);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace);
+  ExpectSameMatches(report.matches_per_query,
+                    Reference(env.workload, env.trace), "amuse");
+}
+
+TEST(SimulatorTest, DistributedOopMatchesReference) {
+  Env env({"SEQ(AND(A, B), D)"}, 300, 43);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadOop(catalogs);
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace);
+  ExpectSameMatches(report.matches_per_query,
+                    Reference(env.workload, env.trace), "oop");
+}
+
+TEST(SimulatorTest, CentralizedPlanMatchesReference) {
+  Env env({"SEQ(A, B)", "AND(B, D)"}, 300, 44);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  MuseGraph plan = BuildCentralizedPlan(catalogs.Pointers(), 0);
+  SimReport report = RunPlan(plan, catalogs, env.trace);
+  ExpectSameMatches(report.matches_per_query,
+                    Reference(env.workload, env.trace), "centralized");
+}
+
+TEST(SimulatorTest, MultiQueryWorkloadMatchesReference) {
+  Env env({"SEQ(A, B)", "SEQ(AND(A, B), D)", "AND(B, D)"}, 250, 45);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace);
+  ExpectSameMatches(report.matches_per_query,
+                    Reference(env.workload, env.trace), "multi");
+}
+
+class SeedSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweepTest, AmusePlanCorrectUnderRandomConfigs) {
+  Env env({"SEQ(AND(A, B), D)", "SEQ(B, D)"}, 200,
+          static_cast<uint64_t>(GetParam()));
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace);
+  ExpectSameMatches(report.matches_per_query,
+                    Reference(env.workload, env.trace),
+                    "seed " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(SimulatorTest, PredicatedQueryMatchesReference) {
+  TypeRegistry reg;
+  Query q =
+      ParseQuery("SEQ(A a, B b) WHERE a.a0 == b.a0 WITHIN 300ms", &reg)
+          .value();
+  Rng rng(7);
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 3;
+  nopts.num_types = 2;
+  nopts.max_rate = 8;
+  Network net = MakeRandomNetwork(nopts, rng);
+  TraceOptions topts;
+  topts.duration_ms = 3000;
+  topts.attr_cardinality[0] = 3;
+  std::vector<Event> trace = GenerateGlobalTrace(net, topts, rng);
+
+  WorkloadCatalogs catalogs({q}, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimReport report = RunPlan(plan.combined, catalogs, trace);
+  ExpectSameMatches(report.matches_per_query, Reference({q}, trace),
+                    "predicated");
+}
+
+TEST(SimulatorTest, NseqDistributedMatchesReference) {
+  Env env({"NSEQ(A, B, D)"}, 300, 46);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace);
+  ExpectSameMatches(report.matches_per_query,
+                    Reference(env.workload, env.trace), "nseq");
+}
+
+TEST(SimulatorTest, TransmissionOrderingMatchesCostModel) {
+  // The measured network traffic of the aMuSE plan must not exceed the
+  // centralized plan's, mirroring the cost-model ordering.
+  Env env({"SEQ(AND(A, B), D)"}, 200, 47, /*duration_ms=*/6000);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+
+  WorkloadPlan amuse = PlanWorkloadAmuse(catalogs);
+  SimReport amuse_report = RunPlan(amuse.combined, catalogs, env.trace);
+
+  MuseGraph central = BuildCentralizedPlan(catalogs.Pointers(), 0);
+  SimReport central_report = RunPlan(central, catalogs, env.trace);
+
+  EXPECT_LE(amuse_report.network_messages,
+            central_report.network_messages * 1.1 + 50);
+}
+
+TEST(SimulatorTest, ReportMetricsSane) {
+  Env env({"SEQ(A, B)"}, 300, 48);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace);
+  EXPECT_EQ(report.source_events, env.trace.size());
+  EXPECT_GT(report.inputs_processed, 0u);
+  EXPECT_GT(report.throughput_events_per_s, 0.0);
+  EXPECT_GE(report.latency_ms.min, 0.0);
+  EXPECT_LE(report.latency_ms.p25, report.latency_ms.p50);
+  EXPECT_LE(report.latency_ms.p50, report.latency_ms.p75);
+  EXPECT_LE(report.latency_ms.p75, report.latency_ms.max);
+  EXPECT_GE(report.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,114 @@
+#include "src/workload/spec.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+constexpr char kRobots[] = R"(
+# Fig. 1 robots
+nodes 3
+rate C 60
+rate L 60
+rate F 0.1
+produce 0 C F
+produce 1 C L
+produce 2 L F
+selectivity C L 0.05
+query SEQ(AND(C c, L l), F f) WHERE c.a0 == l.a0 WITHIN 1s
+)";
+
+TEST(SpecTest, ParsesRobotsSpec) {
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(kRobots);
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  const DeploymentSpec& d = spec.value();
+  EXPECT_EQ(d.network.num_nodes(), 3);
+  EXPECT_EQ(d.network.num_types(), 3);
+  EXPECT_DOUBLE_EQ(d.network.Rate(d.registry.Find("C")), 60.0);
+  EXPECT_DOUBLE_EQ(d.network.Rate(d.registry.Find("F")), 0.1);
+  EXPECT_TRUE(d.network.Produces(1, d.registry.Find("L")));
+  EXPECT_FALSE(d.network.Produces(0, d.registry.Find("L")));
+  ASSERT_EQ(d.workload.size(), 1u);
+  EXPECT_EQ(d.workload[0].ToString(&d.registry), "SEQ(AND(C,L),F)");
+  EXPECT_EQ(d.workload[0].window(), 1000u);
+}
+
+TEST(SpecTest, SelectivityAppliedToPredicates) {
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(kRobots);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->workload[0].predicates().size(), 1u);
+  EXPECT_DOUBLE_EQ(spec->workload[0].predicates()[0].selectivity, 0.05);
+}
+
+TEST(SpecTest, CommentsAndBlankLinesIgnored) {
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(
+      "# header\n\nnodes 2\nrate A 1 # trailing\nproduce 0 A\n"
+      "produce 1 A\n\nquery A\n");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_EQ(spec->workload.size(), 1u);
+}
+
+TEST(SpecTest, MultipleQueries) {
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(
+      "nodes 2\nrate A 1\nrate B 2\nproduce 0 A B\nproduce 1 A B\n"
+      "query SEQ(A, B)\nquery AND(A, B)\n");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_EQ(spec->workload.size(), 2u);
+}
+
+struct BadSpec {
+  const char* text;
+  const char* why;
+};
+
+class BadSpecTest : public ::testing::TestWithParam<BadSpec> {};
+
+TEST_P(BadSpecTest, Rejected) {
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(GetParam().text);
+  EXPECT_FALSE(spec.ok()) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BadSpecTest,
+    ::testing::Values(
+        BadSpec{"", "empty"},
+        BadSpec{"rate A 1\nproduce 0 A\nquery A\n", "missing nodes"},
+        BadSpec{"nodes 2\nrate A 1\n", "no queries"},
+        BadSpec{"nodes 0\nrate A 1\nquery A\n", "zero nodes"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 5 A\nquery A\n",
+                "producer out of range"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 0 Z\nquery A\n",
+                "unknown produce type"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 0 A\nfrobnicate\nquery A\n",
+                "unknown directive"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 0 A\nquery SEQ(A\n",
+                "unparsable query"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 0 A\nselectivity A B 2\n"
+                "query A\n",
+                "selectivity > 1"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 0 A\nquery SEQ(A, Unknown)\n",
+                "query type without declaration"}));
+
+TEST(SpecTest, ShippedSampleSpecsParse) {
+  // Keep the repository's sample specs working.
+  for (const char* path :
+       {"examples/specs/robots.spec", "examples/specs/cluster.spec",
+        "../examples/specs/robots.spec", "../examples/specs/cluster.spec",
+        "../../examples/specs/robots.spec", "/root/repo/examples/specs/robots.spec"}) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    Result<DeploymentSpec> spec = ParseDeploymentSpec(buf.str());
+    EXPECT_TRUE(spec.ok()) << path << ": "
+                           << (spec.ok() ? "" : spec.error().message);
+    return;  // found and checked at least one location
+  }
+  GTEST_SKIP() << "sample specs not found relative to test cwd";
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,127 @@
+#include "src/workload/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/net/network_gen.h"
+#include "src/net/trace.h"
+#include "src/workload/cluster_trace.h"
+
+namespace muse {
+namespace {
+
+Event Ev(EventTypeId type, NodeId origin, uint64_t time, int64_t a0) {
+  Event e;
+  e.type = type;
+  e.origin = origin;
+  e.time = time;
+  e.attrs = {a0, 0};
+  return e;
+}
+
+TEST(EstimateNetworkTest, RecoversProducersAndRates) {
+  std::vector<Event> trace;
+  // Type 0 at nodes 0 and 1 (10 events each over 10s -> 1/s per node);
+  // type 1 at node 2 (5 events -> 0.5/s).
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(Ev(0, 0, i * 1000, 0));
+    trace.push_back(Ev(0, 1, i * 1000 + 1, 0));
+  }
+  for (int i = 0; i < 5; ++i) trace.push_back(Ev(1, 2, i * 2000, 0));
+  FinalizeTraceOrder(&trace);
+
+  Network net = EstimateNetworkFromTrace(trace, 10'000, 3, 2);
+  EXPECT_EQ(net.NumProducers(0), 2);
+  EXPECT_EQ(net.NumProducers(1), 1);
+  EXPECT_TRUE(net.Produces(2, 1));
+  EXPECT_DOUBLE_EQ(net.Rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(net.Rate(1), 0.5);
+}
+
+TEST(EstimateNetworkTest, UnseenTypeHasZeroRate) {
+  std::vector<Event> trace = {Ev(0, 0, 1, 0)};
+  Network net = EstimateNetworkFromTrace(trace, 1000, 2, 3);
+  EXPECT_EQ(net.NumProducers(2), 0);
+  EXPECT_DOUBLE_EQ(net.Rate(2), 0.0);
+}
+
+TEST(EstimateNetworkTest, OutOfRangeEventsIgnored) {
+  std::vector<Event> trace = {Ev(0, 0, 1, 0), Ev(9, 0, 2, 0), Ev(0, 9, 3, 0)};
+  Network net = EstimateNetworkFromTrace(trace, 1000, 2, 2);
+  EXPECT_EQ(net.NumProducers(0), 1);
+}
+
+TEST(EstimateNetworkTest, MatchesClusterTraceExtraction) {
+  // The cluster trace generator extracts rates the same way; the generic
+  // estimator must agree with it.
+  ClusterTraceOptions opts;
+  opts.num_nodes = 4;
+  opts.num_machines = 40;
+  opts.duration_ms = 60'000;
+  Rng rng(3);
+  ClusterTrace ct = GenerateClusterTrace(opts, rng);
+  Network est = EstimateNetworkFromTrace(ct.events, ct.duration_ms, 4, 9);
+  for (int t = 0; t < 9; ++t) {
+    if (ct.network.NumProducers(t) == est.NumProducers(t) &&
+        est.NumProducers(t) > 0) {
+      EXPECT_NEAR(est.Rate(t), ct.network.Rate(t), ct.network.Rate(t) * 0.01)
+          << "type " << t;
+    }
+  }
+}
+
+TEST(PairSelectivityTest, ExactOnConstructedTrace) {
+  // 4 a-events and 4 b-events interleaved within the window; keys chosen
+  // so exactly 1/4 of pairs agree.
+  std::vector<Event> trace;
+  for (int i = 0; i < 4; ++i) trace.push_back(Ev(0, 0, 10 + i, i));
+  for (int i = 0; i < 4; ++i) trace.push_back(Ev(1, 0, 20 + i, i));
+  FinalizeTraceOrder(&trace);
+  double sel = EstimatePairSelectivity(trace, 0, 1, 0, 1000);
+  EXPECT_NEAR(sel, 0.25, 1e-9);  // 4 agreeing of 16 pairs
+}
+
+TEST(PairSelectivityTest, WindowLimitsPairs) {
+  std::vector<Event> trace = {Ev(0, 0, 0, 7), Ev(1, 0, 5000, 7)};
+  FinalizeTraceOrder(&trace);
+  // Outside the 1s window: no pairs -> no evidence -> 1.0.
+  EXPECT_DOUBLE_EQ(EstimatePairSelectivity(trace, 0, 1, 0, 1000), 1.0);
+  // Inside a 10s window: the single pair agrees.
+  EXPECT_DOUBLE_EQ(EstimatePairSelectivity(trace, 0, 1, 0, 10'000), 1.0);
+}
+
+TEST(PairSelectivityTest, UniformKeysApproachInverseCardinality) {
+  Rng rng(5);
+  Network net(2, 2);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 1);
+  net.SetRate(0, 50);
+  net.SetRate(1, 50);
+  TraceOptions topts;
+  topts.duration_ms = 30'000;
+  topts.attr_cardinality[0] = 10;
+  std::vector<Event> trace = GenerateGlobalTrace(net, topts, rng);
+  double sel = EstimatePairSelectivity(trace, 0, 1, 0, 2000);
+  EXPECT_NEAR(sel, 0.1, 0.02);  // 1/cardinality
+}
+
+TEST(CalibrateTest, UpdatesEqualityPredicates) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A a, B b) WHERE a.a0 == b.a0 WITHIN 5s", &reg)
+                .value();
+  ASSERT_DOUBLE_EQ(q.predicates()[0].selectivity, 0.1);  // parser default
+
+  std::vector<Event> trace;
+  for (int i = 0; i < 20; ++i) trace.push_back(Ev(0, 0, i * 10, i % 2));
+  for (int i = 0; i < 20; ++i) trace.push_back(Ev(1, 0, i * 10 + 5, i % 2));
+  FinalizeTraceOrder(&trace);
+
+  int updated = CalibrateQuerySelectivities(&q, trace, 5000);
+  EXPECT_EQ(updated, 1);
+  // Keys alternate 0/1 uniformly: about half of all pairs agree.
+  EXPECT_NEAR(q.predicates()[0].selectivity, 0.5, 0.05);
+  EXPECT_TRUE(q.Validate());
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,139 @@
+#include "src/net/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/poisson.h"
+
+namespace muse {
+namespace {
+
+Network SmallNet() {
+  Network net(3, 2);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 0);
+  net.AddProducer(1, 1);
+  net.AddProducer(2, 1);
+  net.SetRate(0, 50.0);
+  net.SetRate(1, 10.0);
+  return net;
+}
+
+TEST(PoissonTest, ArrivalsIncrease) {
+  PoissonProcess p(100.0);
+  Rng rng(1);
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t t = p.NextArrival(rng);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonTest, RateRoughlyMatches) {
+  PoissonProcess p(200.0);  // per second
+  Rng rng(2);
+  int count = 0;
+  while (p.NextArrival(rng) < 10'000) ++count;  // 10 simulated seconds
+  EXPECT_NEAR(count, 2000, 200);
+}
+
+TEST(TraceTest, GlobalTraceSortedWithDenseSeq) {
+  Network net = SmallNet();
+  TraceOptions opts;
+  opts.duration_ms = 2000;
+  Rng rng(7);
+  std::vector<Event> trace = GenerateGlobalTrace(net, opts, rng);
+  ASSERT_FALSE(trace.empty());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(trace[i].time, trace[i - 1].time);
+    }
+    EXPECT_LT(trace[i].time, opts.duration_ms);
+  }
+}
+
+TEST(TraceTest, OnlyConfiguredProducersEmit) {
+  Network net = SmallNet();
+  TraceOptions opts;
+  opts.duration_ms = 2000;
+  Rng rng(7);
+  for (const Event& e : GenerateGlobalTrace(net, opts, rng)) {
+    EXPECT_TRUE(net.Produces(e.origin, e.type))
+        << "node " << e.origin << " emitted foreign type " << e.type;
+  }
+}
+
+TEST(TraceTest, VolumeTracksRates) {
+  Network net = SmallNet();
+  TraceOptions opts;
+  opts.duration_ms = 20'000;
+  Rng rng(7);
+  std::vector<Event> trace = GenerateGlobalTrace(net, opts, rng);
+  int count0 = 0;
+  int count1 = 0;
+  for (const Event& e : trace) {
+    (e.type == 0 ? count0 : count1)++;
+  }
+  // Type 0: 2 producers x 50/s x 20s = 2000; type 1: 2 x 10 x 20 = 400.
+  EXPECT_NEAR(count0, 2000, 300);
+  EXPECT_NEAR(count1, 400, 120);
+}
+
+TEST(TraceTest, AttrCardinalityRespected) {
+  Network net = SmallNet();
+  TraceOptions opts;
+  opts.duration_ms = 5000;
+  opts.attr_cardinality[0] = 3;
+  opts.attr_cardinality[1] = 1;
+  Rng rng(7);
+  for (const Event& e : GenerateGlobalTrace(net, opts, rng)) {
+    EXPECT_GE(e.attrs[0], 0);
+    EXPECT_LT(e.attrs[0], 3);
+    EXPECT_EQ(e.attrs[1], 0);
+  }
+}
+
+TEST(TraceTest, MaxEventsCapEnforced) {
+  Network net = SmallNet();
+  TraceOptions opts;
+  opts.duration_ms = 1'000'000;
+  opts.max_events = 500;
+  Rng rng(7);
+  EXPECT_LE(GenerateGlobalTrace(net, opts, rng).size(), 500u);
+}
+
+TEST(TraceTest, LocalTraceFilters) {
+  Network net = SmallNet();
+  TraceOptions opts;
+  opts.duration_ms = 1000;
+  Rng rng(7);
+  std::vector<Event> trace = GenerateGlobalTrace(net, opts, rng);
+  size_t total = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    std::vector<Event> local = LocalTrace(trace, n);
+    total += local.size();
+    for (const Event& e : local) EXPECT_EQ(e.origin, n);
+  }
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST(TraceTest, FinalizeOrderDeterministicOnTies) {
+  std::vector<Event> events;
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>(4 - i);
+    e.origin = static_cast<NodeId>(i % 2);
+    e.time = 100;  // all tied
+    events.push_back(e);
+  }
+  FinalizeTraceOrder(&events);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_TRUE(events[i - 1].origin < events[i].origin ||
+                (events[i - 1].origin == events[i].origin &&
+                 events[i - 1].type <= events[i].type));
+  }
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,110 @@
+#include "src/common/typeset.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace muse {
+namespace {
+
+TEST(TypeSetTest, EmptyByDefault) {
+  TypeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(TypeSetTest, InsertRemoveContains) {
+  TypeSet s;
+  s.Insert(3);
+  s.Insert(17);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(17));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.size(), 1);
+  s.Remove(3);  // idempotent
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(TypeSetTest, InitializerList) {
+  TypeSet s = {1, 5, 9};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(9));
+}
+
+TEST(TypeSetTest, OfAndFirstN) {
+  EXPECT_EQ(TypeSet::Of(7), TypeSet({7}));
+  EXPECT_EQ(TypeSet::FirstN(3), TypeSet({0, 1, 2}));
+  EXPECT_EQ(TypeSet::FirstN(0), TypeSet());
+  EXPECT_EQ(TypeSet::FirstN(64).size(), 64);
+}
+
+TEST(TypeSetTest, SetAlgebra) {
+  TypeSet a = {1, 2, 3};
+  TypeSet b = {3, 4};
+  EXPECT_EQ(a.Union(b), TypeSet({1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), TypeSet({3}));
+  EXPECT_EQ(a.Minus(b), TypeSet({1, 2}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(TypeSet({5})));
+}
+
+TEST(TypeSetTest, SubsetRelations) {
+  TypeSet a = {1, 2};
+  TypeSet b = {1, 2, 3};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(b.ContainsAll(a));
+  EXPECT_FALSE(a.ContainsAll(b));
+}
+
+TEST(TypeSetTest, IterationIsSortedAscending) {
+  TypeSet s = {9, 2, 40, 0};
+  std::vector<EventTypeId> got;
+  for (EventTypeId t : s) got.push_back(t);
+  EXPECT_EQ(got, (std::vector<EventTypeId>{0, 2, 9, 40}));
+}
+
+TEST(TypeSetTest, FirstReturnsLowest) {
+  EXPECT_EQ(TypeSet({5, 3, 60}).First(), 3u);
+}
+
+TEST(TypeSetTest, ToString) {
+  EXPECT_EQ(TypeSet({1, 3}).ToString(), "{1,3}");
+  EXPECT_EQ(TypeSet().ToString(), "{}");
+}
+
+TEST(TypeSetTest, SubsetEnumerationCountsAndUniqueness) {
+  TypeSet s = {0, 2, 5, 7};
+  std::set<uint64_t> seen;
+  ForEachNonEmptySubset(s, [&](TypeSet sub) {
+    EXPECT_TRUE(sub.IsSubsetOf(s));
+    EXPECT_FALSE(sub.empty());
+    EXPECT_TRUE(seen.insert(sub.bits()).second);
+  });
+  EXPECT_EQ(seen.size(), 15u);  // 2^4 - 1
+}
+
+class SubsetCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetCountTest, EnumeratesAllNonEmptySubsets) {
+  int n = GetParam();
+  int count = 0;
+  ForEachNonEmptySubset(TypeSet::FirstN(n), [&](TypeSet) { ++count; });
+  EXPECT_EQ(count, (1 << n) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubsetCountTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 10));
+
+}  // namespace
+}  // namespace muse

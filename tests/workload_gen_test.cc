@@ -1,0 +1,141 @@
+#include "src/workload/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/selectivity_model.h"
+
+namespace muse {
+namespace {
+
+TEST(SelectivityModelTest, SymmetricAndInRange) {
+  Rng rng(1);
+  SelectivityModel model(10, 0.01, 0.2, rng);
+  for (EventTypeId a = 0; a < 10; ++a) {
+    for (EventTypeId b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      double s = model.Get(a, b);
+      EXPECT_GE(s, 0.01);
+      EXPECT_LE(s, 0.2);
+      EXPECT_DOUBLE_EQ(s, model.Get(b, a));
+    }
+  }
+}
+
+TEST(SelectivityModelTest, PredicateCarriesModelSelectivity) {
+  Rng rng(2);
+  SelectivityModel model(5, 0.01, 0.2, rng);
+  Predicate p = model.MakePredicate(1, 3);
+  EXPECT_DOUBLE_EQ(p.selectivity, model.Get(1, 3));
+  EXPECT_EQ(p.kind, Predicate::Kind::kEquality);
+}
+
+TEST(QueryGenTest, WorkloadShape) {
+  Rng rng(3);
+  SelectivityModel model(15, 0.01, 0.2, rng);
+  QueryGenOptions opts;  // paper defaults: 5 queries, ~6 primitives
+  std::vector<Query> wl = GenerateWorkload(opts, model, rng);
+  ASSERT_EQ(wl.size(), 5u);
+  for (const Query& q : wl) {
+    std::string why;
+    EXPECT_TRUE(q.Validate(&why)) << why << " " << q.ToString();
+    EXPECT_GE(q.NumPrimitives(), 2);
+    EXPECT_LE(q.NumPrimitives(), 7);
+    EXPECT_FALSE(q.ContainsOr());
+    EXPECT_FALSE(q.ContainsNegation());
+    EXPECT_EQ(q.window(), opts.window_ms);
+  }
+}
+
+TEST(QueryGenTest, Deterministic) {
+  Rng r1(9);
+  Rng r2(9);
+  SelectivityModel m1(10, 0.01, 0.2, r1);
+  SelectivityModel m2(10, 0.01, 0.2, r2);
+  QueryGenOptions opts;
+  opts.num_types = 10;
+  std::vector<Query> w1 = GenerateWorkload(opts, m1, r1);
+  std::vector<Query> w2 = GenerateWorkload(opts, m2, r2);
+  ASSERT_EQ(w1.size(), w2.size());
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1[i].Signature(), w2[i].Signature());
+  }
+}
+
+TEST(QueryGenTest, RelatedQueriesShareCompositeOperator) {
+  Rng rng(5);
+  SelectivityModel model(12, 0.01, 0.2, rng);
+  QueryGenOptions opts;
+  opts.num_queries = 8;
+  opts.num_types = 12;
+  opts.share_probability = 1.0;
+  std::vector<Query> wl = GenerateWorkload(opts, model, rng);
+  // With share probability 1 every multi-primitive query embeds the shared
+  // fragment; find a common 2-type subexpression across queries.
+  int with_fragment = 0;
+  for (const Query& q : wl) {
+    for (int i = 0; i < q.num_ops(); ++i) {
+      if (q.op(i).kind != OpKind::kPrimitive &&
+          q.SubtreeTypes(i).size() == 2) {
+        ++with_fragment;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(with_fragment, 6);
+}
+
+TEST(QueryGenTest, PredicatesChainLeafTypes) {
+  Rng rng(6);
+  SelectivityModel model(10, 0.01, 0.2, rng);
+  QueryGenOptions opts;
+  opts.num_types = 10;
+  opts.predicate_probability = 1.0;
+  std::vector<Query> wl = GenerateWorkload(opts, model, rng);
+  for (const Query& q : wl) {
+    if (q.NumPrimitives() < 3) continue;
+    EXPECT_GE(q.predicates().size(), 1u) << q.ToString();
+    EXPECT_LT(q.Selectivity(), 1.0);
+  }
+}
+
+TEST(QueryGenTest, NseqGeneration) {
+  Rng rng(7);
+  SelectivityModel model(10, 0.01, 0.2, rng);
+  std::vector<EventTypeId> types = {0, 1, 2, 3, 4};
+  int with_nseq = 0;
+  for (int i = 0; i < 20; ++i) {
+    Query q = GenerateQuery(types, model, 1000, /*nseq_probability=*/0.9,
+                            rng);
+    std::string why;
+    ASSERT_TRUE(q.Validate(&why)) << why;
+    if (q.ContainsNegation()) ++with_nseq;
+  }
+  EXPECT_GT(with_nseq, 5);
+}
+
+TEST(QueryGenTest, GenerateQueryUsesExactlyGivenTypes) {
+  Rng rng(8);
+  SelectivityModel model(10, 0.01, 0.2, rng);
+  std::vector<EventTypeId> types = {2, 5, 7};
+  for (int i = 0; i < 10; ++i) {
+    Query q = GenerateQuery(types, model, 500, 0, rng);
+    EXPECT_EQ(q.PrimitiveTypes(), TypeSet({2, 5, 7}));
+  }
+}
+
+class WorkloadSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadSizeTest, GeneratesRequestedCount) {
+  Rng rng(11);
+  SelectivityModel model(15, 0.01, 0.2, rng);
+  QueryGenOptions opts;
+  opts.num_queries = GetParam();
+  std::vector<Query> wl = GenerateWorkload(opts, model, rng);
+  EXPECT_EQ(static_cast<int>(wl.size()), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorkloadSizeTest,
+                         ::testing::Values(1, 3, 5, 10, 15));
+
+}  // namespace
+}  // namespace muse
