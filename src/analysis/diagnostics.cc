@@ -1,0 +1,112 @@
+#include "src/analysis/diagnostics.h"
+
+#include <utility>
+
+namespace muse {
+
+const char* RuleCode(Rule rule) {
+  switch (rule) {
+    case Rule::kGraphCycle: return "M100";
+    case Rule::kSinkMissing: return "M101";
+    case Rule::kDeadVertex: return "M102";
+    case Rule::kBadIndex: return "M103";
+    case Rule::kInputGap: return "M200";
+    case Rule::kInputNotSubset: return "M201";
+    case Rule::kInputRedundant: return "M202";
+    case Rule::kProjectionInvalid: return "M203";
+    case Rule::kPrimitiveWithInputs: return "M204";
+    case Rule::kReuseUnbacked: return "M205";
+    case Rule::kQueryRange: return "M300";
+    case Rule::kNodeRange: return "M301";
+    case Rule::kPrimitiveMisplaced: return "M302";
+    case Rule::kSourceMissing: return "M303";
+    case Rule::kSinkCoverGap: return "M304";
+    case Rule::kPartitionInvalid: return "M305";
+    case Rule::kRateDivergence: return "M400";
+    case Rule::kWindowMismatch: return "M500";
+    case Rule::kPredicateMismatch: return "M501";
+    case Rule::kChannelMissing: return "M600";
+    case Rule::kPartUnwired: return "M601";
+    case Rule::kTaskRefInvalid: return "M602";
+    case Rule::kOrphanTask: return "M603";
+    case Rule::kTaskSinkMissing: return "M604";
+    case Rule::kPartMismatch: return "M605";
+  }
+  return "M???";
+}
+
+const char* RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kGraphCycle: return "graph-cycle";
+    case Rule::kSinkMissing: return "sink-missing";
+    case Rule::kDeadVertex: return "dead-vertex";
+    case Rule::kBadIndex: return "bad-index";
+    case Rule::kInputGap: return "input-gap";
+    case Rule::kInputNotSubset: return "input-not-subset";
+    case Rule::kInputRedundant: return "input-redundant";
+    case Rule::kProjectionInvalid: return "projection-invalid";
+    case Rule::kPrimitiveWithInputs: return "primitive-with-inputs";
+    case Rule::kReuseUnbacked: return "reuse-unbacked";
+    case Rule::kQueryRange: return "query-range";
+    case Rule::kNodeRange: return "node-range";
+    case Rule::kPrimitiveMisplaced: return "primitive-misplaced";
+    case Rule::kSourceMissing: return "source-missing";
+    case Rule::kSinkCoverGap: return "sink-cover-gap";
+    case Rule::kPartitionInvalid: return "partition-invalid";
+    case Rule::kRateDivergence: return "rate-divergence";
+    case Rule::kWindowMismatch: return "window-mismatch";
+    case Rule::kPredicateMismatch: return "predicate-mismatch";
+    case Rule::kChannelMissing: return "channel-missing";
+    case Rule::kPartUnwired: return "part-unwired";
+    case Rule::kTaskRefInvalid: return "task-ref-invalid";
+    case Rule::kOrphanTask: return "orphan-task";
+    case Rule::kTaskSinkMissing: return "task-sink-missing";
+    case Rule::kPartMismatch: return "part-mismatch";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = severity == Severity::kError ? "error[" : "warning[";
+  out += RuleCode(rule);
+  out += "/";
+  out += RuleName(rule);
+  out += "] ";
+  out += location;
+  out += ": ";
+  out += message;
+  if (!hint.empty()) {
+    out += " (hint: " + hint + ")";
+  }
+  return out;
+}
+
+void VerifyReport::Add(Rule rule, Severity severity, std::string location,
+                       std::string message, std::string hint) {
+  if (severity == Severity::kError) ++errors_;
+  diags_.push_back(Diagnostic{rule, severity, std::move(location),
+                              std::move(message), std::move(hint)});
+}
+
+void VerifyReport::MergeFrom(const VerifyReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  errors_ += other.errors_;
+}
+
+bool VerifyReport::HasRule(Rule rule) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string VerifyReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace muse

@@ -1,0 +1,102 @@
+#ifndef MUSE_ANALYSIS_DIAGNOSTICS_H_
+#define MUSE_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+namespace muse {
+
+/// Diagnostic rules of the static plan verifier (verify.h). Each rule has a
+/// stable code ("M200") and slug ("input-gap") used in CLI output and
+/// tests; the full catalog with remediation guidance lives in DESIGN.md.
+///
+/// Numbering groups rules by subsystem:
+///   M1xx graph structure        M4xx cost-model consistency
+///   M2xx input coverage         M5xx projection-boundary compatibility
+///   M3xx placement feasibility  M6xx deployment wiring
+enum class Rule {
+  // -- M1xx: graph structure --------------------------------------------
+  kGraphCycle,          ///< M100: directed cycle in the MuSE graph
+  kSinkMissing,         ///< M101: query has no root-projection vertex
+  kDeadVertex,          ///< M102: vertex feeds no root of its query
+  kBadIndex,            ///< M103: edge/sink index out of range
+  // -- M2xx: input coverage ---------------------------------------------
+  kInputGap,            ///< M200: predecessors do not cover the projection
+  kInputNotSubset,      ///< M201: predecessor is not a proper subset
+  kInputRedundant,      ///< M202: a predecessor part is redundant (Def. 15)
+  kProjectionInvalid,   ///< M203: type set is not a valid projection (Def. 9)
+  kPrimitiveWithInputs, ///< M204: primitive vertex has predecessors
+  kReuseUnbacked,       ///< M205: reused placement has no providing vertex
+  // -- M3xx: placement feasibility --------------------------------------
+  kQueryRange,          ///< M300: vertex query index outside the workload
+  kNodeRange,           ///< M301: vertex node outside the network
+  kPrimitiveMisplaced,  ///< M302: primitive vertex at a non-producing node
+  kSourceMissing,       ///< M303: no primitive vertex for a (type, producer)
+  kSinkCoverGap,        ///< M304: sinks do not cover all bindings (Def. 8)
+  kPartitionInvalid,    ///< M305: partition type unusable (empty cover)
+  // -- M4xx: cost-model consistency -------------------------------------
+  kRateDivergence,      ///< M400: stored r-hat diverges from recomputation
+  // -- M5xx: projection-boundary compatibility --------------------------
+  kWindowMismatch,      ///< M500: windows disagree across an edge
+  kPredicateMismatch,   ///< M501: predicates/structure disagree across edge
+  // -- M6xx: deployment wiring ------------------------------------------
+  kChannelMissing,      ///< M600: input/successor channel is one-sided
+  kPartUnwired,         ///< M601: evaluator part receives no input
+  kTaskRefInvalid,      ///< M602: task/part reference out of range
+  kOrphanTask,          ///< M603: task output reaches no consumer or sink
+  kTaskSinkMissing,     ///< M604: query has no sink task
+  kPartMismatch,        ///< M605: input feeds a part of a different type set
+};
+
+/// Stable short code, e.g. "M200".
+const char* RuleCode(Rule rule);
+/// Stable slug, e.g. "input-gap".
+const char* RuleName(Rule rule);
+
+enum class Severity {
+  kWarning,  ///< suspicious but not plan-breaking (e.g. redundant input)
+  kError,    ///< violates a correctness condition of §5
+};
+
+/// One finding of the static verifier, in compiler-diagnostic style:
+/// what rule fired, how bad it is, where, and how to fix it.
+struct Diagnostic {
+  Rule rule = Rule::kGraphCycle;
+  Severity severity = Severity::kError;
+  std::string location;  ///< e.g. "vertex 5 (q0:{0,2}@n3)" or "task 7@n2"
+  std::string message;   ///< what is wrong
+  std::string hint;      ///< how to fix it (may be empty)
+
+  /// "error[M200/input-gap] vertex 5 (...): ... (hint: ...)".
+  std::string ToString() const;
+};
+
+/// The result of one verification pass: an ordered list of diagnostics.
+class VerifyReport {
+ public:
+  void Add(Rule rule, Severity severity, std::string location,
+           std::string message, std::string hint = "");
+  void MergeFrom(const VerifyReport& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  int errors() const { return errors_; }
+  int warnings() const { return static_cast<int>(diags_.size()) - errors_; }
+
+  /// True if no *errors* were reported (warnings allowed).
+  bool ok() const { return errors_ == 0; }
+  /// True if nothing at all was reported.
+  bool clean() const { return diags_.empty(); }
+
+  bool HasRule(Rule rule) const;
+
+  /// All diagnostics, one per line; empty string when clean.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int errors_ = 0;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,703 @@
+#include "src/analysis/verify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/core/combination.h"
+#include "src/core/rates.h"
+
+namespace muse {
+namespace {
+
+std::string VertexLoc(const MuseGraph& g, int vi, const TypeRegistry* reg) {
+  return "vertex " + std::to_string(vi) + " " + g.vertex(vi).ToString(reg);
+}
+
+std::string TypeName(EventTypeId t, const TypeRegistry* reg) {
+  if (reg != nullptr && static_cast<int>(t) < reg->size()) {
+    return reg->Name(t);
+  }
+  return "E" + std::to_string(t);
+}
+
+std::string TypesName(TypeSet s, const TypeRegistry* reg) {
+  std::string out = "{";
+  bool first = true;
+  for (EventTypeId t : s) {
+    if (!first) out += ",";
+    first = false;
+    out += TypeName(t, reg);
+  }
+  return out + "}";
+}
+
+/// Shared state of one VerifyPlan pass.
+class PlanVerifier {
+ public:
+  PlanVerifier(const MuseGraph& g,
+               const std::vector<const ProjectionCatalog*>& catalogs,
+               const VerifyOptions& options)
+      : g_(g),
+        catalogs_(catalogs),
+        options_(options),
+        net_(catalogs.front()->network()),
+        vertex_ok_(g.num_vertices(), false) {}
+
+  VerifyReport Run() {
+    CheckVertices();
+    CheckSinkList();
+    const bool acyclic = CheckAcyclic();
+    CollectRoots();
+    CheckSinkRegistration();
+    CheckSinkCover();
+    if (acyclic) CheckReachability();
+    CheckInputCoverage();
+    CheckReuseBacking();
+    CheckSourceCoverage();
+    CheckBoundaries();
+    if (options_.check_rates) CheckRates();
+    return std::move(report_);
+  }
+
+ private:
+  const ProjectionCatalog* CatalogOf(int vi) const {
+    return vertex_ok_[vi] ? catalogs_[g_.vertex(vi).query] : nullptr;
+  }
+
+  std::string Loc(int vi) const {
+    return VertexLoc(g_, vi, options_.registry);
+  }
+
+  /// M300/M301/M203/M305/M302: per-vertex feasibility. A vertex passing the
+  /// query-range and projection-validity gates gets `vertex_ok_` set, which
+  /// later rules require before consulting its catalog.
+  void CheckVertices() {
+    for (int vi = 0; vi < g_.num_vertices(); ++vi) {
+      const PlanVertex& v = g_.vertex(vi);
+      if (v.query < 0 || v.query >= static_cast<int>(catalogs_.size())) {
+        report_.Add(Rule::kQueryRange, Severity::kError, Loc(vi),
+                    "query index " + std::to_string(v.query) +
+                        " outside the workload [0, " +
+                        std::to_string(catalogs_.size()) + ")",
+                    "tag plan vertices with valid workload indices");
+        continue;
+      }
+      const ProjectionCatalog& cat = *catalogs_[v.query];
+      if (v.node >= static_cast<NodeId>(net_.num_nodes())) {
+        report_.Add(Rule::kNodeRange, Severity::kError, Loc(vi),
+                    "node " + std::to_string(v.node) +
+                        " outside the network [0, " +
+                        std::to_string(net_.num_nodes()) + ")",
+                    "place the projection on an existing node");
+        continue;
+      }
+      if (v.proj.empty() ||
+          !v.proj.IsSubsetOf(cat.query().PrimitiveTypes()) ||
+          !cat.Valid(v.proj)) {
+        report_.Add(Rule::kProjectionInvalid, Severity::kError, Loc(vi),
+                    "type set " + TypesName(v.proj, options_.registry) +
+                        " is not a valid projection of query " +
+                        std::to_string(v.query) + " (Def. 9)",
+                    "projections must retain NSEQ groups per the negation "
+                    "closure rules");
+        continue;
+      }
+      vertex_ok_[vi] = true;
+      if (v.part_type != kNoPartition) {
+        const EventTypeId part = static_cast<EventTypeId>(v.part_type);
+        if (!v.proj.Contains(part)) {
+          report_.Add(Rule::kPartitionInvalid, Severity::kError, Loc(vi),
+                      "partition type " + TypeName(part, options_.registry) +
+                          " is not an input type of the projection",
+                      "partition only on a type the projection retains");
+        } else if (net_.NumProducers(part) == 0) {
+          report_.Add(Rule::kPartitionInvalid, Severity::kError, Loc(vi),
+                      "partition type " + TypeName(part, options_.registry) +
+                          " has no producers; the cover is empty",
+                      "partition on a produced type");
+        } else if (!net_.Produces(v.node, part)) {
+          report_.Add(Rule::kPartitionInvalid, Severity::kError, Loc(vi),
+                      "node " + std::to_string(v.node) +
+                          " does not produce partition type " +
+                          TypeName(part, options_.registry) +
+                          "; the vertex covers no bindings",
+                      "partitioned placements live at the partition type's "
+                      "producers");
+        }
+      } else if (v.IsPrimitive() &&
+                 !net_.Produces(v.node, v.proj.First())) {
+        report_.Add(Rule::kPrimitiveMisplaced, Severity::kError, Loc(vi),
+                    "primitive vertex for " +
+                        TypeName(v.proj.First(), options_.registry) +
+                        " placed at node " + std::to_string(v.node) +
+                        ", which does not produce it",
+                    "primitive projections are evaluated at their sources");
+      }
+    }
+  }
+
+  /// M103: sink list indices must reference vertices.
+  void CheckSinkList() {
+    for (int s : g_.sinks()) {
+      if (s < 0 || s >= g_.num_vertices()) {
+        report_.Add(Rule::kBadIndex, Severity::kError,
+                    "sink list entry " + std::to_string(s),
+                    "sink index outside the vertex range [0, " +
+                        std::to_string(g_.num_vertices()) + ")",
+                    "rebuild the sink list from the root placements");
+      }
+    }
+  }
+
+  /// M100: the graph must be a DAG (iterative three-color DFS).
+  bool CheckAcyclic() {
+    const int n = g_.num_vertices();
+    std::vector<std::vector<int>> succs(n);
+    for (const auto& [from, to] : g_.edges()) succs[from].push_back(to);
+    std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+    for (int start = 0; start < n; ++start) {
+      if (color[start] != 0) continue;
+      // Stack of (vertex, next-successor-position).
+      std::vector<std::pair<int, size_t>> stack = {{start, 0}};
+      color[start] = 1;
+      while (!stack.empty()) {
+        auto& [v, pos] = stack.back();
+        if (pos == succs[v].size()) {
+          color[v] = 2;
+          stack.pop_back();
+          continue;
+        }
+        int next = succs[v][pos++];
+        if (color[next] == 1) {
+          report_.Add(Rule::kGraphCycle, Severity::kError, Loc(next),
+                      "the plan contains a directed cycle through this "
+                      "vertex; evaluation order is undefined",
+                      "MuSE graphs are DAGs: matches flow bottom-up from "
+                      "primitives to the query sink");
+          return false;
+        }
+        if (color[next] == 0) {
+          color[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Roots (per query): vertices hosting the query's full projection.
+  void CollectRoots() {
+    roots_.assign(catalogs_.size(), {});
+    for (int vi = 0; vi < g_.num_vertices(); ++vi) {
+      if (!vertex_ok_[vi]) continue;
+      const PlanVertex& v = g_.vertex(vi);
+      if (v.proj == catalogs_[v.query]->query().PrimitiveTypes()) {
+        roots_[v.query].push_back(vi);
+      }
+    }
+  }
+
+  /// M101 (registration form): the explicit sink list must agree with the
+  /// root placements. Sink semantics are derived from projections
+  /// elsewhere, but normal-form collapsing and DOT export consume the
+  /// list, so an imported plan with a stale list silently misbehaves.
+  void CheckSinkRegistration() {
+    const std::set<int> listed(g_.sinks().begin(), g_.sinks().end());
+    for (size_t qi = 0; qi < catalogs_.size(); ++qi) {
+      for (int vi : roots_[qi]) {
+        if (!listed.contains(vi)) {
+          report_.Add(Rule::kSinkMissing, Severity::kError, Loc(vi),
+                      "hosts the query's root projection but is not "
+                      "registered in the sink list",
+                      "register every root placement in the sink list");
+        }
+      }
+    }
+    for (int s : g_.sinks()) {
+      if (s < 0 || s >= g_.num_vertices() || !vertex_ok_[s]) continue;
+      const PlanVertex& v = g_.vertex(s);
+      if (v.proj != catalogs_[v.query]->query().PrimitiveTypes()) {
+        report_.Add(Rule::kSinkMissing, Severity::kError, Loc(s),
+                    "listed as a sink but does not host its query's root "
+                    "projection",
+                    "remove the entry or place the full projection there");
+      }
+    }
+  }
+
+  /// M101/M304: every query needs a sink whose vertices jointly cover all
+  /// of its event type bindings (Def. 8) — a full-cover vertex, or a
+  /// partitioned group spanning every producer of the partitioning type.
+  void CheckSinkCover() {
+    for (size_t qi = 0; qi < catalogs_.size(); ++qi) {
+      const std::string qloc = "query " + std::to_string(qi);
+      if (roots_[qi].empty()) {
+        report_.Add(Rule::kSinkMissing, Severity::kError, qloc,
+                    "no vertex hosts the query's root projection " +
+                        TypesName(catalogs_[qi]->query().PrimitiveTypes(),
+                                  options_.registry),
+                    "place the full projection at one or more nodes");
+        continue;
+      }
+      bool covered = std::any_of(
+          roots_[qi].begin(), roots_[qi].end(), [this](int vi) {
+            return g_.vertex(vi).part_type == kNoPartition;
+          });
+      TypeSet full = catalogs_[qi]->query().PrimitiveTypes();
+      for (EventTypeId t : full) {
+        if (covered) break;
+        std::set<NodeId> nodes;
+        for (int vi : roots_[qi]) {
+          if (g_.vertex(vi).part_type == static_cast<int>(t)) {
+            nodes.insert(g_.vertex(vi).node);
+          }
+        }
+        const std::vector<NodeId>& producers = net_.Producers(t);
+        covered = !producers.empty() &&
+                  std::all_of(producers.begin(), producers.end(),
+                              [&nodes](NodeId n) {
+                                return nodes.contains(n);
+                              });
+      }
+      if (!covered) {
+        report_.Add(Rule::kSinkCoverGap, Severity::kError, qloc,
+                    "the query's sinks do not cover all event type "
+                    "bindings: no full-cover sink and no partitioned group "
+                    "spanning every producer of its partitioning type",
+                    "add the missing partitioned sinks or a single "
+                    "full-cover sink");
+      }
+    }
+  }
+
+  /// M102: every vertex should feed some query's root (matches produced by
+  /// a vertex that reaches no sink are computed and then dropped).
+  void CheckReachability() {
+    const int n = g_.num_vertices();
+    std::vector<std::vector<int>> preds(n);
+    for (const auto& [from, to] : g_.edges()) preds[to].push_back(from);
+    std::vector<bool> alive(n, false);
+    std::vector<int> queue;
+    for (const std::vector<int>& qroots : roots_) {
+      for (int vi : qroots) {
+        if (!alive[vi]) {
+          alive[vi] = true;
+          queue.push_back(vi);
+        }
+      }
+    }
+    while (!queue.empty()) {
+      int v = queue.back();
+      queue.pop_back();
+      for (int p : preds[v]) {
+        if (!alive[p]) {
+          alive[p] = true;
+          queue.push_back(p);
+        }
+      }
+    }
+    for (int vi = 0; vi < n; ++vi) {
+      if (!alive[vi]) {
+        report_.Add(Rule::kDeadVertex, Severity::kWarning, Loc(vi),
+                    "no path to any query sink: the vertex's matches are "
+                    "computed and discarded",
+                    "remove the vertex or wire it into a sink's "
+                    "combination");
+      }
+    }
+  }
+
+  /// M200/M201/M202/M204: the distinct predecessor projections of each
+  /// placed composite vertex must form a correct combination of its
+  /// projection (Def. 6) — no gap, every part a proper subset — and should
+  /// be non-redundant (Def. 15).
+  void CheckInputCoverage() {
+    for (int vi = 0; vi < g_.num_vertices(); ++vi) {
+      if (!vertex_ok_[vi]) continue;
+      const PlanVertex& v = g_.vertex(vi);
+      std::set<uint64_t> seen;
+      std::vector<TypeSet> parts;
+      for (int pi : g_.Predecessors(vi)) {
+        TypeSet p = g_.vertex(pi).proj;
+        if (seen.insert(p.bits()).second) parts.push_back(p);
+      }
+      if (v.IsPrimitive()) {
+        if (!parts.empty()) {
+          report_.Add(Rule::kPrimitiveWithInputs, Severity::kError, Loc(vi),
+                      "primitive vertex has predecessors; primitives "
+                      "consume source events only",
+                      "route match streams to composite vertices");
+        }
+        continue;
+      }
+      if (v.reused) continue;  // inputs were paid for by an earlier query
+      if (parts.empty()) {
+        report_.Add(Rule::kInputGap, Severity::kError, Loc(vi),
+                    "composite vertex has no inputs; none of its matches "
+                    "can be assembled",
+                    "wire a correct combination of sub-projections "
+                    "(Def. 6)");
+        continue;
+      }
+      TypeSet covered;
+      bool parts_ok = true;
+      for (TypeSet p : parts) {
+        if (!p.IsProperSubsetOf(v.proj)) {
+          parts_ok = false;
+          report_.Add(Rule::kInputNotSubset, Severity::kError, Loc(vi),
+                      "input projection " +
+                          TypesName(p, options_.registry) +
+                          " is not a proper subset of the vertex's "
+                          "projection",
+                      "combination parts are proper sub-projections of "
+                      "their target");
+        }
+        covered = covered.Union(p);
+      }
+      TypeSet gap = v.proj.Minus(covered);
+      if (!gap.empty()) {
+        report_.Add(Rule::kInputGap, Severity::kError, Loc(vi),
+                    "input coverage gap: no input delivers " +
+                        TypesName(gap, options_.registry),
+                    "every type of the projection must be covered by some "
+                    "input (Def. 6)");
+      }
+      if (parts_ok && gap.empty() &&
+          IsRedundantCombination(Combination{v.proj, parts})) {
+        report_.Add(Rule::kInputRedundant, Severity::kWarning, Loc(vi),
+                    "an input's types are fully covered by the other "
+                    "inputs (Def. 15): its matches are transferred and "
+                    "merged for nothing",
+                    "optimal MuSE graphs never use redundant combinations "
+                    "(Theorem 5)");
+      }
+    }
+  }
+
+  /// M205: a reused vertex borrows another query's placement (§6.2), so the
+  /// graph must contain a non-reused vertex at the same node with the same
+  /// partition and projection signature that actually computes the stream.
+  /// Without one the deployment compiles a task that never receives input.
+  void CheckReuseBacking() {
+    for (int vi = 0; vi < g_.num_vertices(); ++vi) {
+      if (!vertex_ok_[vi]) continue;
+      const PlanVertex& v = g_.vertex(vi);
+      if (!v.reused || v.IsPrimitive()) continue;
+      const std::string& sig = catalogs_[v.query]->Signature(v.proj);
+      bool backed = false;
+      for (int vj = 0; vj < g_.num_vertices() && !backed; ++vj) {
+        if (!vertex_ok_[vj] || vj == vi) continue;
+        const PlanVertex& w = g_.vertex(vj);
+        backed = !w.reused && w.node == v.node &&
+                 w.part_type == v.part_type &&
+                 catalogs_[w.query]->Signature(w.proj) == sig;
+      }
+      if (!backed) {
+        report_.Add(Rule::kReuseUnbacked, Severity::kError, Loc(vi),
+                    "reused placement has no providing vertex: no other "
+                    "query computes this projection at node " +
+                        std::to_string(v.node),
+                    "reuse only placements another workload query "
+                    "materializes with an identical signature (§6.2)");
+      }
+    }
+  }
+
+  /// M303: for every query, primitive type, and producer of that type, the
+  /// plan must place the corresponding primitive projection there
+  /// (possibly owned by another query with an identical signature, §6.2).
+  void CheckSourceCoverage() {
+    for (size_t qi = 0; qi < catalogs_.size(); ++qi) {
+      const ProjectionCatalog& cat = *catalogs_[qi];
+      for (EventTypeId t : cat.query().PrimitiveTypes()) {
+        const std::string& sig = cat.Signature(TypeSet::Of(t));
+        for (NodeId n : net_.Producers(t)) {
+          bool found = false;
+          for (int vi = 0; vi < g_.num_vertices() && !found; ++vi) {
+            if (!vertex_ok_[vi]) continue;
+            const PlanVertex& v = g_.vertex(vi);
+            found = v.node == n && v.IsPrimitive() &&
+                    v.proj.First() == t &&
+                    catalogs_[v.query]->Signature(v.proj) == sig;
+          }
+          if (!found) {
+            report_.Add(
+                Rule::kSourceMissing, Severity::kError,
+                "query " + std::to_string(qi),
+                "no primitive vertex for type " +
+                    TypeName(t, options_.registry) + " at producer node " +
+                    std::to_string(n) +
+                    "; events generated there are never observed",
+                "well-formed plans place every primitive projection at "
+                "every producer (Def. 7)");
+          }
+        }
+      }
+    }
+  }
+
+  /// M500/M501/M203: across every edge, the match stream the source
+  /// produces must be the stream the target's evaluator expects — same
+  /// window, same predicates. Within one query this holds by construction;
+  /// a (deserialized) plan wiring projections of *different* queries
+  /// together can disagree.
+  void CheckBoundaries() {
+    for (const auto& [from, to] : g_.edges()) {
+      if (!vertex_ok_[from] || !vertex_ok_[to]) continue;
+      const PlanVertex& u = g_.vertex(from);
+      const PlanVertex& v = g_.vertex(to);
+      if (u.query == v.query) continue;
+      const std::string loc = "edge " + Loc(from) + " -> " + Loc(to);
+      const ProjectionCatalog& src_cat = *catalogs_[u.query];
+      const ProjectionCatalog& dst_cat = *catalogs_[v.query];
+      if (!u.proj.IsSubsetOf(dst_cat.query().PrimitiveTypes()) ||
+          !dst_cat.Valid(u.proj)) {
+        report_.Add(Rule::kProjectionInvalid, Severity::kError, loc,
+                    "source projection " +
+                        TypesName(u.proj, options_.registry) +
+                        " is not a valid projection of the target's query",
+                    "cross-query inputs must exist in the target query's "
+                    "projection catalog");
+        continue;
+      }
+      if (src_cat.Signature(u.proj) == dst_cat.Signature(u.proj)) continue;
+      const uint64_t src_window = src_cat.Ast(u.proj).window();
+      const uint64_t dst_window = dst_cat.Ast(u.proj).window();
+      if (src_window != dst_window) {
+        report_.Add(Rule::kWindowMismatch, Severity::kError, loc,
+                    "window mismatch across the projection boundary: "
+                    "source evaluates within " +
+                        std::to_string(src_window) +
+                        "ms, target expects " + std::to_string(dst_window) +
+                        "ms",
+                    "share placements only between queries with identical "
+                    "projection signatures (§6.2)");
+      } else {
+        report_.Add(Rule::kPredicateMismatch, Severity::kError, loc,
+                    "the source's matches are filtered by different "
+                    "predicates (or operator structure) than the target "
+                    "expects",
+                    "share placements only between queries with identical "
+                    "projection signatures (§6.2)");
+      }
+    }
+  }
+
+  /// M400: the catalog's stored projection output rates must agree with a
+  /// fresh bottom-up recomputation from the network's current rates
+  /// (§4.4). Divergence means the plan was costed on stale statistics.
+  void CheckRates() {
+    std::set<std::pair<int, uint64_t>> checked;
+    for (int vi = 0; vi < g_.num_vertices(); ++vi) {
+      if (!vertex_ok_[vi]) continue;
+      const PlanVertex& v = g_.vertex(vi);
+      if (!checked.insert({v.query, v.proj.bits()}).second) continue;
+      const ProjectionCatalog& cat = *catalogs_[v.query];
+      const double stored = cat.Rate(v.proj);
+      const double fresh = QueryOutputRate(cat.Ast(v.proj), net_);
+      const double denom = std::max({1e-12, std::fabs(stored),
+                                     std::fabs(fresh)});
+      if (std::fabs(stored - fresh) > options_.rate_tolerance * denom) {
+        report_.Add(Rule::kRateDivergence, Severity::kWarning, Loc(vi),
+                    "stored output rate r-hat(" +
+                        TypesName(v.proj, options_.registry) + ") = " +
+                        std::to_string(stored) +
+                        " diverges from bottom-up recomputation " +
+                        std::to_string(fresh),
+                    "rebuild the projection catalogs after changing "
+                    "network rates, then replan");
+      }
+    }
+  }
+
+  const MuseGraph& g_;
+  const std::vector<const ProjectionCatalog*>& catalogs_;
+  const VerifyOptions& options_;
+  const Network& net_;
+  std::vector<bool> vertex_ok_;
+  std::vector<std::vector<int>> roots_;  // per query
+  VerifyReport report_;
+};
+
+}  // namespace
+
+VerifyReport VerifyPlan(const MuseGraph& g,
+                        const std::vector<const ProjectionCatalog*>& catalogs,
+                        const VerifyOptions& options) {
+  MUSE_CHECK(!catalogs.empty(), "VerifyPlan needs at least one catalog");
+  return PlanVerifier(g, catalogs, options).Run();
+}
+
+VerifyReport VerifyPlan(const MuseGraph& g, const ProjectionCatalog& catalog,
+                        const VerifyOptions& options) {
+  std::vector<const ProjectionCatalog*> catalogs = {&catalog};
+  return VerifyPlan(g, catalogs, options);
+}
+
+VerifyReport VerifyTasks(const std::vector<Task>& tasks, int num_queries,
+                         const Network& net, const VerifyOptions& options) {
+  VerifyReport report;
+  const int n = static_cast<int>(tasks.size());
+  auto loc = [&tasks, &options](int ti) {
+    return "task " + std::to_string(ti) + " " +
+           tasks[ti].ToString(options.registry);
+  };
+  auto in_range = [n](int id) { return id >= 0 && id < n; };
+
+  for (int ti = 0; ti < n; ++ti) {
+    const Task& t = tasks[ti];
+    if (t.id != ti) {
+      report.Add(Rule::kTaskRefInvalid, Severity::kError, loc(ti),
+                 "task id " + std::to_string(t.id) +
+                     " does not match its position " + std::to_string(ti),
+                 "task ids index the deployment's task vector");
+    }
+    if (t.node >= static_cast<NodeId>(net.num_nodes())) {
+      report.Add(Rule::kNodeRange, Severity::kError, loc(ti),
+                 "node " + std::to_string(t.node) +
+                     " outside the network [0, " +
+                     std::to_string(net.num_nodes()) + ")",
+                 "assign the task to an existing node runtime");
+    } else if (t.is_primitive && !net.Produces(t.node, t.prim_type)) {
+      report.Add(Rule::kPrimitiveMisplaced, Severity::kError, loc(ti),
+                 "primitive task for " +
+                     TypeName(t.prim_type, options.registry) +
+                     " at node " + std::to_string(t.node) +
+                     ", which does not produce it",
+                 "primitive tasks consume locally generated events");
+    }
+
+    // Successor side of every channel.
+    for (int s : t.successors) {
+      if (!in_range(s)) {
+        report.Add(Rule::kTaskRefInvalid, Severity::kError, loc(ti),
+                   "successor " + std::to_string(s) + " is not a task",
+                   "successors reference tasks of the same deployment");
+        continue;
+      }
+      const std::vector<std::pair<int, int>>& dst_in = tasks[s].inputs;
+      const bool wired = std::any_of(
+          dst_in.begin(), dst_in.end(),
+          [ti](const std::pair<int, int>& in) { return in.first == ti; });
+      if (!wired) {
+        report.Add(Rule::kChannelMissing, Severity::kError, loc(ti),
+                   "successor task " + std::to_string(s) +
+                       " has no input channel from this task: its matches "
+                       "are sent but never consumed",
+                   "wire the receiving task's inputs to match the routing");
+      }
+    }
+
+    // Input side.
+    if (t.is_primitive) {
+      if (!t.inputs.empty()) {
+        report.Add(Rule::kPrimitiveWithInputs, Severity::kError, loc(ti),
+                   "primitive task has input channels",
+                   "primitive tasks consume source events only");
+      }
+    } else {
+      if (t.parts.empty() || t.parts.size() != t.part_types.size()) {
+        report.Add(Rule::kTaskRefInvalid, Severity::kError, loc(ti),
+                   "malformed evaluator parts: " +
+                       std::to_string(t.parts.size()) + " ASTs vs " +
+                       std::to_string(t.part_types.size()) + " type sets",
+                   "compile tasks through Deployment");
+      }
+      std::set<int> covered;
+      for (const auto& [src, part] : t.inputs) {
+        if (!in_range(src)) {
+          report.Add(Rule::kTaskRefInvalid, Severity::kError, loc(ti),
+                     "input references non-existent task " +
+                         std::to_string(src),
+                     "inputs reference tasks of the same deployment");
+          continue;
+        }
+        if (part < 0 || part >= static_cast<int>(t.part_types.size())) {
+          report.Add(Rule::kTaskRefInvalid, Severity::kError, loc(ti),
+                     "input from task " + std::to_string(src) +
+                         " feeds non-existent part " + std::to_string(part),
+                     "part indices address the task's evaluator parts");
+          continue;
+        }
+        covered.insert(part);
+        const std::vector<int>& src_succ = tasks[src].successors;
+        if (std::find(src_succ.begin(), src_succ.end(), ti) ==
+            src_succ.end()) {
+          report.Add(Rule::kChannelMissing, Severity::kError, loc(ti),
+                     "input expects matches from task " +
+                         std::to_string(src) +
+                         ", but that task does not route here: the part "
+                         "starves",
+                     "add the missing successor channel on the sending "
+                     "task");
+        }
+        if (tasks[src].proj != t.part_types[part]) {
+          report.Add(Rule::kPartMismatch, Severity::kError, loc(ti),
+                     "input from task " + std::to_string(src) +
+                         " carries " +
+                         TypesName(tasks[src].proj, options.registry) +
+                         " matches into part " + std::to_string(part) +
+                         " which expects " +
+                         TypesName(t.part_types[part], options.registry),
+                     "feed each evaluator part exactly its projection's "
+                     "match stream");
+        }
+      }
+      for (int p = 0; p < static_cast<int>(t.part_types.size()); ++p) {
+        if (!covered.contains(p)) {
+          report.Add(Rule::kPartUnwired, Severity::kError, loc(ti),
+                     "evaluator part " + std::to_string(p) + " (" +
+                         TypesName(t.part_types[p], options.registry) +
+                         ") receives no input: the task can never emit a "
+                         "match",
+                     "wire at least one input channel per part");
+        }
+      }
+    }
+
+    // Orphans: output that neither feeds a consumer nor is a query sink.
+    if (t.successors.empty() && t.sink_for.empty()) {
+      report.Add(Rule::kOrphanTask, Severity::kError, loc(ti),
+                 "task output feeds no successor and serves no query sink",
+                 "remove the orphan task or route its matches");
+    }
+    for (int q : t.sink_for) {
+      if (q < 0 || q >= num_queries) {
+        report.Add(Rule::kTaskRefInvalid, Severity::kError, loc(ti),
+                   "sink_for references non-existent query " +
+                       std::to_string(q),
+                   "queries are indexed by workload position");
+      }
+    }
+  }
+
+  // M604: every query must have at least one sink task.
+  for (int q = 0; q < num_queries; ++q) {
+    const bool found = std::any_of(
+        tasks.begin(), tasks.end(), [q](const Task& t) {
+          return std::find(t.sink_for.begin(), t.sink_for.end(), q) !=
+                 t.sink_for.end();
+        });
+    if (!found) {
+      report.Add(Rule::kTaskSinkMissing, Severity::kError,
+                 "query " + std::to_string(q),
+                 "no task hosts the query's root projection; it can never "
+                 "report a match",
+                 "compile a complete plan (Def. 8) into the deployment");
+    }
+  }
+  return report;
+}
+
+VerifyReport VerifyDeployment(const Deployment& deployment,
+                              const Network& net,
+                              const VerifyOptions& options) {
+  return VerifyTasks(deployment.tasks(), deployment.num_queries(), net,
+                     options);
+}
+
+}  // namespace muse

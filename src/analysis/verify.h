@@ -1,0 +1,64 @@
+#ifndef MUSE_ANALYSIS_VERIFY_H_
+#define MUSE_ANALYSIS_VERIFY_H_
+
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/core/muse_graph.h"
+#include "src/core/projection.h"
+#include "src/dist/deployment.h"
+
+namespace muse {
+
+/// Static verification of MuSE graph plans and compiled deployments:
+/// checks the paper's correctness conditions (§5) and the runtime's wiring
+/// invariants *without executing a single event*, reporting structured,
+/// compiler-style diagnostics (diagnostics.h) instead of aborting.
+///
+/// Relationship to correctness.h: `IsCorrectPlan` is the planner-facing
+/// boolean predicate (well-formedness + completeness); `VerifyPlan` covers
+/// those conditions *and* structural, cost-model, and cross-boundary rules,
+/// is total on arbitrary (e.g. deserialized, corrupted) plans, and explains
+/// every violation. Use it to vet plans that cross a trust boundary — the
+/// JSON import path, hand-edited plans, new planner strategies.
+struct VerifyOptions {
+  /// Relative tolerance for the M400 rate-consistency rule: a stored
+  /// projection output rate r-hat diverging from its bottom-up
+  /// recomputation by more than this fraction is flagged.
+  double rate_tolerance = 1e-6;
+
+  /// Disables the M400 recomputation pass (it is O(vertices * AST size)).
+  bool check_rates = true;
+
+  /// Optional type registry for human-readable type names in locations.
+  const TypeRegistry* registry = nullptr;
+};
+
+/// Verifies `g` as an evaluation plan for the workload described by
+/// `catalogs` (catalog i belongs to workload query i; all catalogs share
+/// one network). Covers rules M1xx-M5xx; never crashes on malformed input.
+VerifyReport VerifyPlan(const MuseGraph& g,
+                        const std::vector<const ProjectionCatalog*>& catalogs,
+                        const VerifyOptions& options = {});
+
+/// Single-query convenience overload.
+VerifyReport VerifyPlan(const MuseGraph& g, const ProjectionCatalog& catalog,
+                        const VerifyOptions& options = {});
+
+/// Verifies task wiring (rules M6xx plus the placement rules that apply at
+/// task granularity) of a compiled deployment: channel symmetry, evaluator
+/// part coverage, orphan tasks, per-query sink tasks. Exposed over a raw
+/// task vector so corrupted wirings can be examined without constructing a
+/// `Deployment` (whose constructor asserts).
+VerifyReport VerifyTasks(const std::vector<Task>& tasks, int num_queries,
+                         const Network& net,
+                         const VerifyOptions& options = {});
+
+/// Convenience wrapper over a compiled deployment.
+VerifyReport VerifyDeployment(const Deployment& deployment,
+                              const Network& net,
+                              const VerifyOptions& options = {});
+
+}  // namespace muse
+
+#endif  // MUSE_ANALYSIS_VERIFY_H_

@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/numbers.h"
+
 namespace muse {
 namespace {
 
@@ -142,6 +144,10 @@ class Parser {
       }
     }
     // Primitive type, optionally followed by a variable binding.
+    if (reg_->Full() && reg_->Find(*ident) < 0) {
+      return Err("too many event types (max ",
+                 TypeRegistry::kMaxTypes, "): '", *ident, "'");
+    }
     EventTypeId type = reg_->Intern(*ident);
     if (allow_vars) {
       SkipSpace();
@@ -224,7 +230,12 @@ Result<uint64_t> ParseDuration(const std::string& text) {
   size_t i = 0;
   while (i < text.size() && std::isdigit(text[i])) ++i;
   if (i == 0) return Err("expected number in duration '", text, "'");
-  uint64_t value = std::stoull(text.substr(0, i));
+  std::optional<uint64_t> parsed = ParseUint64(text.substr(0, i));
+  // 2^63 - 1 ms headroom: the unit multipliers below cannot overflow.
+  if (!parsed || *parsed > (UINT64_MAX >> 1) / 3600000) {
+    return Err("duration '", text, "' out of range");
+  }
+  uint64_t value = *parsed;
   std::string unit;
   for (size_t j = i; j < text.size(); ++j) {
     unit += static_cast<char>(std::tolower(text[j]));

@@ -7,7 +7,7 @@ namespace muse {
 EventTypeId TypeRegistry::Intern(const std::string& name) {
   auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
-  MUSE_CHECK(names_.size() < 64, "TypeRegistry supports at most 64 types");
+  MUSE_CHECK(!Full(), "TypeRegistry supports at most 64 types");
   EventTypeId id = static_cast<EventTypeId>(names_.size());
   names_.push_back(name);
   ids_.emplace(name, id);

@@ -17,10 +17,17 @@ namespace muse {
 /// registered (the `TypeSet` width).
 class TypeRegistry {
  public:
+  /// The TypeSet width: ids above this cannot be represented.
+  static constexpr int kMaxTypes = 64;
+
   TypeRegistry() = default;
 
-  /// Returns the id of `name`, interning it if new.
+  /// Returns the id of `name`, interning it if new. Asserts on overflow;
+  /// code driven by untrusted input must check `Full()` (or `Find`) first.
   EventTypeId Intern(const std::string& name);
+
+  /// True when no *new* name can be interned (existing names still can).
+  bool Full() const { return size() >= kMaxTypes; }
 
   /// Returns the id of `name`, or -1 if unknown.
   int Find(const std::string& name) const;

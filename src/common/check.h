@@ -25,6 +25,18 @@ namespace muse {
     if (!(expr)) ::muse::CheckFailed(#expr, msg, __FILE__, __LINE__); \
   } while (0)
 
+/// Debug-build-only invariant check for hooks whose evaluation is too
+/// expensive for release builds (e.g. re-verifying a whole plan at planner
+/// mutation points). In release builds the expression is not evaluated.
+#ifndef NDEBUG
+#define MUSE_DCHECK(expr, msg) MUSE_CHECK(expr, msg)
+#else
+#define MUSE_DCHECK(expr, msg) \
+  do {                         \
+    (void)sizeof(!(expr));     \
+  } while (0)
+#endif
+
 }  // namespace muse
 
 #endif  // MUSE_COMMON_CHECK_H_

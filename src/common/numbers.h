@@ -1,0 +1,54 @@
+#ifndef MUSE_COMMON_NUMBERS_H_
+#define MUSE_COMMON_NUMBERS_H_
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace muse {
+
+/// Non-throwing number parsing for the fallible input edges (spec files,
+/// query strings, plan JSON). The std::sto* family throws on malformed or
+/// out-of-range text, which turns a bad byte in user input into process
+/// death; these helpers return std::nullopt instead. All require the whole
+/// string to parse (no trailing junk).
+
+inline std::optional<int64_t> ParseInt64(std::string_view text) {
+  int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+inline std::optional<uint64_t> ParseUint64(std::string_view text) {
+  uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Parses a finite double. Uses strtod (not std::from_chars) so the header
+/// stays portable to standard libraries without floating-point from_chars.
+inline std::optional<double> ParseDouble(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  const char* begin = text.c_str();
+  char* parse_end = nullptr;
+  double value = std::strtod(begin, &parse_end);
+  if (parse_end != begin + text.size()) return std::nullopt;
+  if (value != value || value == HUGE_VAL || value == -HUGE_VAL) {
+    return std::nullopt;  // NaN or overflow
+  }
+  return value;
+}
+
+}  // namespace muse
+
+#endif  // MUSE_COMMON_NUMBERS_H_

@@ -9,6 +9,8 @@
 
 #include "src/common/check.h"
 #include "src/core/beneficial.h"
+#include "src/core/combination.h"
+#include "src/core/correctness.h"
 
 namespace muse {
 namespace {
@@ -109,6 +111,12 @@ class AmusePlanner {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started)
             .count();
+    // Postcondition: without cross-query sharing the emitted plan must be
+    // correct (Def. 7/8) on its own. Under a SharingContext the borrowed
+    // placements live in other queries' graphs; the combined workload
+    // graph is checked in multi_query.cc instead.
+    MUSE_DCHECK(ctx_ != nullptr || IsCorrectPlan(result.graph, catalogs_),
+                "aMuSE emitted an incorrect plan");
     return result;
   }
 
@@ -525,9 +533,27 @@ class AmusePlanner {
         for (int sink : pg.sinks) pg.graph.AddEdge(remap[s2], sink);
       }
     }
+    MUSE_DCHECK(SinksCorrectlyCombined(pg, target),
+                "materialized candidate wires an incorrect combination");
     pg.charges = std::move(charges);
     pg.cost = cost;
     table_[TableKey{target.bits(), po}] = std::move(pg);
+    return true;
+  }
+
+  /// Debug-build postcondition of candidate materialization: every sink's
+  /// distinct predecessor projections form a correct combination of the
+  /// target (Def. 6).
+  bool SinksCorrectlyCombined(const PlacedGraph& pg, TypeSet target) const {
+    for (int s : pg.sinks) {
+      std::set<uint64_t> seen;
+      std::vector<TypeSet> parts;
+      for (int pi : pg.graph.Predecessors(s)) {
+        TypeSet p = pg.graph.vertex(pi).proj;
+        if (seen.insert(p.bits()).second) parts.push_back(p);
+      }
+      if (!IsCorrectCombination(Combination{target, parts})) return false;
+    }
     return true;
   }
 

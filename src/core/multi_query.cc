@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/core/centralized.h"
+#include "src/core/correctness.h"
 
 namespace muse {
 
@@ -167,6 +168,10 @@ WorkloadPlan PlanWorkloadAmuse(const WorkloadCatalogs& catalogs,
     for (int s : r.graph.sinks()) all_sinks.push_back(remap[s]);
   }
   plan.combined.SetSinks(std::move(all_sinks));
+  // Postcondition: the merged workload graph — where reused placements
+  // meet their providers — must be correct for every query (Def. 7/8).
+  MUSE_DCHECK(IsCorrectPlan(plan.combined, cats),
+              "combined aMuSE workload plan is incorrect");
   FinalizeWorkloadPlan(catalogs, &plan);
   return plan;
 }
@@ -207,6 +212,8 @@ WorkloadPlan PlanWorkloadOop(const WorkloadCatalogs& catalogs) {
     plan.per_query.push_back(std::move(r));
   }
   plan.combined.SetSinks(std::move(all_sinks));
+  MUSE_DCHECK(IsCorrectPlan(plan.combined, cats),
+              "combined oOP workload plan is incorrect");
   FinalizeWorkloadPlan(catalogs, &plan);
   return plan;
 }

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/core/correctness.h"
 
 namespace muse {
 namespace {
@@ -63,6 +64,11 @@ class OopPlanner {
     // vector must be addressable at that index.
     std::vector<const ProjectionCatalog*> cats(query_ + 1, &catalog_);
     plan.cost = GraphCost(plan.graph, cats, ctx_);
+    // Postcondition: without stream sharing the reconstructed plan must be
+    // correct on its own (with a context, borrowed streams live in other
+    // queries' graphs; multi_query.cc checks the combined graph).
+    MUSE_DCHECK(ctx_ != nullptr || IsCorrectPlan(plan.graph, cats),
+                "oOP emitted an incorrect plan");
     return plan;
   }
 

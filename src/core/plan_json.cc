@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdint>
 
+#include "src/common/numbers.h"
+
 namespace muse {
 
 std::string PlanToJson(const MuseGraph& g) {
@@ -96,7 +98,10 @@ class JsonReader {
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
       return Fail("expected integer");
     }
-    *value = std::stoll(text_.substr(start, pos_ - start));
+    std::optional<int64_t> parsed = ParseInt64(
+        std::string_view(text_).substr(start, pos_ - start));
+    if (!parsed) return Fail("integer out of range");
+    *value = *parsed;
     return true;
   }
 
@@ -163,15 +168,23 @@ Result<MuseGraph> PlanFromJson(const std::string& json) {
           if (field == "query") {
             int64_t value = 0;
             if (!r.ReadInt(&value)) return fail();
+            if (value < 0 || value > INT32_MAX) {
+              return Err("plan JSON: query index out of range");
+            }
             v.query = static_cast<int>(value);
           } else if (field == "node") {
             int64_t value = 0;
             if (!r.ReadInt(&value)) return fail();
-            if (value < 0) return Err("plan JSON: negative node id");
+            if (value < 0 || value > INT32_MAX) {
+              return Err("plan JSON: node id out of range");
+            }
             v.node = static_cast<NodeId>(value);
           } else if (field == "part") {
             int64_t value = 0;
             if (!r.ReadInt(&value)) return fail();
+            if (value < kNoPartition || value >= 64) {
+              return Err("plan JSON: partition type out of range");
+            }
             v.part_type = static_cast<int>(value);
           } else if (field == "reused") {
             if (!r.ReadBool(&v.reused)) return fail();

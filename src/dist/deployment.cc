@@ -24,6 +24,45 @@ std::string Task::ToString(const TypeRegistry* reg) const {
   return out;
 }
 
+namespace {
+
+/// Debug-build postcondition of task compilation (see MUSE_DCHECK below):
+/// channels are symmetric — every successor edge has a matching input
+/// channel and vice versa, inputs feed existing parts of the right type
+/// set — and every evaluator part of a non-primitive task is fed.
+/// muse_lint's M6xx rules re-check the same invariants with diagnostics.
+[[maybe_unused]] bool WiringConsistent(const std::vector<Task>& tasks) {
+  for (const Task& t : tasks) {
+    for (int s : t.successors) {
+      const std::vector<std::pair<int, int>>& in = tasks[s].inputs;
+      if (std::none_of(in.begin(), in.end(),
+                       [&t](const std::pair<int, int>& i) {
+                         return i.first == t.id;
+                       })) {
+        return false;
+      }
+    }
+    std::set<int> covered;
+    for (const auto& [src, part] : t.inputs) {
+      const std::vector<int>& succ = tasks[src].successors;
+      if (std::find(succ.begin(), succ.end(), t.id) == succ.end()) {
+        return false;
+      }
+      if (part < 0 || part >= static_cast<int>(t.part_types.size())) {
+        return false;
+      }
+      if (tasks[src].proj != t.part_types[part]) return false;
+      covered.insert(part);
+    }
+    if (!t.is_primitive && covered.size() != t.part_types.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Deployment::Deployment(const MuseGraph& plan,
                        const std::vector<const ProjectionCatalog*>& catalogs) {
   num_queries_ = static_cast<int>(catalogs.size());
@@ -97,6 +136,7 @@ Deployment::Deployment(const MuseGraph& plan,
     MUSE_CHECK(!t.parts.empty(),
                "non-primitive task without inputs; plan is not well-formed");
   }
+  MUSE_DCHECK(WiringConsistent(tasks_), "compiled task wiring inconsistent");
 
   // 3. Primitive dispatch index.
   NodeId max_node = 0;

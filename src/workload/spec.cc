@@ -1,9 +1,11 @@
 #include "src/workload/spec.h"
 
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "src/cep/parser.h"
+#include "src/common/numbers.h"
 
 namespace muse {
 namespace {
@@ -43,31 +45,45 @@ Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
     auto fail = [&](const std::string& why) {
       return Err("spec line ", line_no, ": ", why);
     };
+    auto intern = [&](const std::string& name) -> std::optional<EventTypeId> {
+      if (spec.registry.Full() && spec.registry.Find(name) < 0) {
+        return std::nullopt;
+      }
+      return spec.registry.Intern(name);
+    };
     if (directive == "nodes") {
       if (tokens.size() != 2) return fail("usage: nodes <count>");
-      num_nodes = std::stoi(tokens[1]);
-      if (num_nodes <= 0) return fail("node count must be positive");
+      std::optional<int64_t> count = ParseInt64(tokens[1]);
+      if (!count || *count <= 0 || *count > 1'000'000) {
+        return fail("node count must be a positive integer");
+      }
+      num_nodes = static_cast<int>(*count);
     } else if (directive == "rate") {
       if (tokens.size() != 3) return fail("usage: rate <type> <per-node/s>");
-      EventTypeId t = spec.registry.Intern(tokens[1]);
-      rates[t] = std::stod(tokens[2]);
-      if (rates[t] < 0) return fail("rate must be non-negative");
+      std::optional<EventTypeId> t = intern(tokens[1]);
+      if (!t) return fail("too many event types (max 64)");
+      std::optional<double> rate = ParseDouble(tokens[2]);
+      if (!rate || *rate < 0) return fail("rate must be non-negative");
+      rates[*t] = *rate;
     } else if (directive == "produce") {
       if (tokens.size() < 3) return fail("usage: produce <node> <type>...");
-      int node = std::stoi(tokens[1]);
-      if (node < 0) return fail("node id must be non-negative");
-      produces.emplace_back(static_cast<NodeId>(node),
+      std::optional<int64_t> node = ParseInt64(tokens[1]);
+      if (!node || *node < 0) return fail("node id must be non-negative");
+      produces.emplace_back(static_cast<NodeId>(*node),
                             std::vector<std::string>(tokens.begin() + 2,
                                                      tokens.end()));
     } else if (directive == "selectivity") {
       if (tokens.size() != 4) {
         return fail("usage: selectivity <type> <type> <value>");
       }
-      EventTypeId a = spec.registry.Intern(tokens[1]);
-      EventTypeId b = spec.registry.Intern(tokens[2]);
-      double sel = std::stod(tokens[3]);
-      if (sel <= 0 || sel > 1) return fail("selectivity must be in (0, 1]");
-      selectivities[{std::min(a, b), std::max(a, b)}] = sel;
+      std::optional<EventTypeId> a = intern(tokens[1]);
+      std::optional<EventTypeId> b = intern(tokens[2]);
+      if (!a || !b) return fail("too many event types (max 64)");
+      std::optional<double> sel = ParseDouble(tokens[3]);
+      if (!sel || *sel <= 0 || *sel > 1) {
+        return fail("selectivity must be in (0, 1]");
+      }
+      selectivities[{std::min(*a, *b), std::max(*a, *b)}] = *sel;
     } else if (directive == "query") {
       size_t at = line.find("query");
       query_lines.push_back(line.substr(at + 5));

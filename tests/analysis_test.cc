@@ -1,0 +1,170 @@
+// The static verifier (src/analysis) on *valid* inputs: every plan the
+// planners emit — across algorithms, random instances, and the shipped
+// example specs — must verify clean, including after a JSON round-trip and
+// after compilation to tasks. Diagnostics plumbing is unit-tested here too;
+// corrupted plans are exercised in lint_mutation_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/verify.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/core/plan_json.h"
+#include "src/net/network_gen.h"
+#include "src/workload/query_gen.h"
+#include "src/workload/spec.h"
+
+namespace muse {
+namespace {
+
+TEST(DiagnosticsTest, RuleCodesAndNamesAreStable) {
+  // These codes are contractual: muse_lint output and DESIGN.md's rule
+  // catalog reference them.
+  EXPECT_STREQ(RuleCode(Rule::kGraphCycle), "M100");
+  EXPECT_STREQ(RuleCode(Rule::kInputGap), "M200");
+  EXPECT_STREQ(RuleCode(Rule::kReuseUnbacked), "M205");
+  EXPECT_STREQ(RuleCode(Rule::kSourceMissing), "M303");
+  EXPECT_STREQ(RuleCode(Rule::kRateDivergence), "M400");
+  EXPECT_STREQ(RuleCode(Rule::kWindowMismatch), "M500");
+  EXPECT_STREQ(RuleCode(Rule::kPartMismatch), "M605");
+  EXPECT_STREQ(RuleName(Rule::kInputGap), "input-gap");
+  EXPECT_STREQ(RuleName(Rule::kSinkCoverGap), "sink-cover-gap");
+  EXPECT_STREQ(RuleName(Rule::kChannelMissing), "channel-missing");
+}
+
+TEST(DiagnosticsTest, ToStringIsCompilerStyle) {
+  Diagnostic d{Rule::kInputGap, Severity::kError, "vertex 5 (q0:{A}@n3)",
+               "no input delivers {B}", "wire a correct combination"};
+  EXPECT_EQ(d.ToString(),
+            "error[M200/input-gap] vertex 5 (q0:{A}@n3): no input delivers "
+            "{B} (hint: wire a correct combination)");
+  Diagnostic w{Rule::kDeadVertex, Severity::kWarning, "vertex 2", "dead",
+               ""};
+  EXPECT_EQ(w.ToString(), "warning[M102/dead-vertex] vertex 2: dead");
+}
+
+TEST(DiagnosticsTest, ReportCountsAndMerges) {
+  VerifyReport a;
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(a.clean());
+  a.Add(Rule::kDeadVertex, Severity::kWarning, "vertex 1", "dead");
+  EXPECT_TRUE(a.ok());  // warnings do not fail verification
+  EXPECT_FALSE(a.clean());
+  a.Add(Rule::kInputGap, Severity::kError, "vertex 2", "gap");
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.errors(), 1);
+  EXPECT_EQ(a.warnings(), 1);
+  EXPECT_TRUE(a.HasRule(Rule::kInputGap));
+  EXPECT_FALSE(a.HasRule(Rule::kGraphCycle));
+
+  VerifyReport b;
+  b.Add(Rule::kGraphCycle, Severity::kError, "vertex 3", "cycle");
+  a.MergeFrom(b);
+  EXPECT_EQ(a.errors(), 2);
+  EXPECT_TRUE(a.HasRule(Rule::kGraphCycle));
+  EXPECT_NE(a.ToString().find("error[M100/graph-cycle]"), std::string::npos);
+}
+
+struct Instance {
+  Network net;
+  std::vector<Query> workload;
+
+  Instance(uint64_t seed, int nodes, int types, int queries, int prims)
+      : net(1, 1) {
+    Rng rng(seed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = nodes;
+    nopts.num_types = types;
+    net = MakeRandomNetwork(nopts, rng);
+    SelectivityModel model(types, 0.01, 0.2, rng);
+    QueryGenOptions qopts;
+    qopts.num_queries = queries;
+    qopts.avg_primitives = prims;
+    qopts.num_types = types;
+    workload = GenerateWorkload(qopts, model, rng);
+  }
+};
+
+class CleanPlansTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CleanPlansTest, SingleQueryPlansVerifyClean) {
+  Instance inst(static_cast<uint64_t>(GetParam()), 10, 8, 1, 5);
+  ProjectionCatalog cat(inst.workload[0], inst.net);
+  for (bool star : {false, true}) {
+    PlannerOptions opts;
+    opts.star = star;
+    PlanResult r = PlanQuery(cat, opts);
+    VerifyReport report = VerifyPlan(r.graph, cat);
+    EXPECT_TRUE(report.clean()) << "star=" << star << "\n"
+                                << report.ToString();
+  }
+}
+
+TEST_P(CleanPlansTest, WorkloadPlansVerifyCleanAcrossAlgorithms) {
+  Instance inst(static_cast<uint64_t>(GetParam()) + 50, 9, 7, 3, 4);
+  WorkloadCatalogs catalogs(inst.workload, inst.net);
+  MuseGraph plans[] = {PlanWorkloadAmuse(catalogs).combined,
+                       PlanWorkloadOop(catalogs).combined,
+                       BuildCentralizedPlan(catalogs.Pointers(), 0)};
+  for (const MuseGraph& plan : plans) {
+    VerifyReport report = VerifyPlan(plan, catalogs.Pointers());
+    EXPECT_TRUE(report.clean()) << report.ToString();
+
+    Deployment deployment(plan, catalogs.Pointers());
+    VerifyReport wiring = VerifyDeployment(deployment, inst.net);
+    EXPECT_TRUE(wiring.clean()) << wiring.ToString();
+  }
+}
+
+TEST_P(CleanPlansTest, JsonRoundTripPreservesVerification) {
+  Instance inst(static_cast<uint64_t>(GetParam()) + 100, 8, 6, 2, 4);
+  WorkloadCatalogs catalogs(inst.workload, inst.net);
+  MuseGraph plan = PlanWorkloadAmuse(catalogs).combined;
+  Result<MuseGraph> round = PlanFromJson(PlanToJson(plan));
+  ASSERT_TRUE(round.ok()) << round.error().message;
+  EXPECT_EQ(round.value().CanonicalString(), plan.CanonicalString());
+  VerifyReport report = VerifyPlan(round.value(), catalogs.Pointers());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanPlansTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+#ifdef MUSE_SOURCE_DIR
+TEST(ExampleSpecsTest, ShippedSpecsVerifyCleanUnderEveryAlgorithm) {
+  for (const char* name : {"robots.spec", "cluster.spec"}) {
+    std::ifstream in(std::string(MUSE_SOURCE_DIR) + "/examples/specs/" +
+                     name);
+    ASSERT_TRUE(in) << name;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<DeploymentSpec> spec = ParseDeploymentSpec(buffer.str());
+    ASSERT_TRUE(spec.ok()) << name << ": " << spec.error().message;
+    const DeploymentSpec& dep = spec.value();
+    WorkloadCatalogs catalogs(dep.workload, dep.network);
+    VerifyOptions options;
+    options.registry = &dep.registry;
+
+    PlannerOptions star;
+    star.star = true;
+    MuseGraph plans[] = {PlanWorkloadAmuse(catalogs).combined,
+                         PlanWorkloadAmuse(catalogs, star).combined,
+                         PlanWorkloadOop(catalogs).combined,
+                         BuildCentralizedPlan(catalogs.Pointers(), 0)};
+    for (const MuseGraph& plan : plans) {
+      VerifyReport report = VerifyPlan(plan, catalogs.Pointers(), options);
+      EXPECT_TRUE(report.clean()) << name << "\n" << report.ToString();
+      Deployment deployment(plan, catalogs.Pointers());
+      VerifyReport wiring =
+          VerifyDeployment(deployment, dep.network, options);
+      EXPECT_TRUE(wiring.clean()) << name << "\n" << wiring.ToString();
+    }
+  }
+}
+#endif  // MUSE_SOURCE_DIR
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,403 @@
+// Mutation coverage for the static verifier: start from a known-valid plan
+// (or task wiring), apply one targeted corruption, and assert that
+// VerifyPlan/VerifyTasks flags it with the *expected* rule id. Each test is
+// one corruption class of ISSUE's catalog; analysis_test.cc covers the
+// complementary direction (valid plans verify clean).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/verify.h"
+#include "src/core/multi_query.h"
+#include "src/workload/spec.h"
+
+namespace muse {
+namespace {
+
+// Four nodes, three types; A has two producers so partitioned covers and
+// source coverage have something to get wrong. Type ids: A=0, B=1, C=2.
+constexpr char kSpec[] = R"(
+nodes 4
+rate A 10
+rate B 5
+rate C 2
+produce 0 A
+produce 1 A
+produce 2 B
+produce 3 C
+query SEQ(A, B, C) WITHIN 10s
+)";
+
+constexpr EventTypeId kA = 0;
+constexpr EventTypeId kB = 1;
+constexpr EventTypeId kC = 2;
+
+/// An editable copy of a MuseGraph. Tests tweak vertices/edges/sinks and
+/// re-assemble with Compose(); a vertex whose projection is emptied is
+/// dropped (with its edges and sink entries).
+struct GraphParts {
+  std::vector<PlanVertex> vertices;
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> sinks;
+
+  explicit GraphParts(const MuseGraph& g)
+      : vertices(g.vertices()), edges(g.edges()), sinks(g.sinks()) {}
+
+  MuseGraph Compose() const {
+    MuseGraph g;
+    std::vector<int> remap(vertices.size(), -1);
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      if (!vertices[i].proj.empty()) remap[i] = g.AddVertex(vertices[i]);
+    }
+    for (const auto& [from, to] : edges) {
+      if (remap[from] >= 0 && remap[to] >= 0) {
+        g.AddEdge(remap[from], remap[to]);
+      }
+    }
+    std::vector<int> sink_ids;
+    for (int s : sinks) {
+      if (remap[s] >= 0) sink_ids.push_back(remap[s]);
+    }
+    g.SetSinks(std::move(sink_ids));
+    return g;
+  }
+};
+
+class MutationTest : public ::testing::Test {
+ protected:
+  MutationTest() {
+    Result<DeploymentSpec> parsed = ParseDeploymentSpec(kSpec);
+    EXPECT_TRUE(parsed.ok()) << parsed.error().message;
+    spec_ = std::move(parsed).value();
+    catalogs_ =
+        std::make_unique<WorkloadCatalogs>(spec_.workload, spec_.network);
+
+    // Hand-built valid plan with a fixed, known shape:
+    //   A@0, A@1, B@2 --> {A,B}@2 --> {A,B,C}@3 (sink) <-- C@3
+    a0_ = graph_.AddVertex({0, TypeSet::Of(kA), 0, kA, false});
+    a1_ = graph_.AddVertex({0, TypeSet::Of(kA), 1, kA, false});
+    b2_ = graph_.AddVertex({0, TypeSet::Of(kB), 2, kB, false});
+    c3_ = graph_.AddVertex({0, TypeSet::Of(kC), 3, kC, false});
+    TypeSet ab = TypeSet::Of(kA).Union(TypeSet::Of(kB));
+    ab_ = graph_.AddVertex({0, ab, 2, kNoPartition, false});
+    TypeSet abc = ab.Union(TypeSet::Of(kC));
+    root_ = graph_.AddVertex({0, abc, 3, kNoPartition, false});
+    graph_.AddEdge(a0_, ab_);
+    graph_.AddEdge(a1_, ab_);
+    graph_.AddEdge(b2_, ab_);
+    graph_.AddEdge(ab_, root_);
+    graph_.AddEdge(c3_, root_);
+    graph_.SetSinks({root_});
+  }
+
+  VerifyReport Verify(const MuseGraph& g) {
+    VerifyOptions options;
+    options.registry = &spec_.registry;
+    return VerifyPlan(g, catalogs_->Pointers(), options);
+  }
+
+  DeploymentSpec spec_;
+  std::unique_ptr<WorkloadCatalogs> catalogs_;
+  MuseGraph graph_;
+  int a0_ = 0, a1_ = 0, b2_ = 0, c3_ = 0, ab_ = 0, root_ = 0;
+};
+
+TEST_F(MutationTest, BaselineIsClean) {
+  VerifyReport report = Verify(graph_);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+// Corruption class 1: drop an input type (Def. 6 coverage gap).
+TEST_F(MutationTest, DroppedInputEdgeIsInputGap) {
+  GraphParts parts(graph_);
+  std::erase(parts.edges, std::pair<int, int>(c3_, root_));
+  VerifyReport report = Verify(parts.Compose());
+  EXPECT_TRUE(report.HasRule(Rule::kInputGap)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 2: introduce a directed cycle.
+TEST_F(MutationTest, BackEdgeIsGraphCycle) {
+  MuseGraph g = graph_;
+  g.AddEdge(root_, ab_);
+  VerifyReport report = Verify(g);
+  EXPECT_TRUE(report.HasRule(Rule::kGraphCycle)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 3: unplace the projection hosting the query root.
+TEST_F(MutationTest, RemovedRootIsSinkMissing) {
+  GraphParts parts(graph_);
+  parts.vertices[root_].proj = TypeSet();  // tombstone
+  VerifyReport report = Verify(parts.Compose());
+  EXPECT_TRUE(report.HasRule(Rule::kSinkMissing)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 4: a partitioned sink group that misses a producer
+// (Def. 8 completeness violation).
+TEST_F(MutationTest, PartitionedRootMissingProducerIsSinkCoverGap) {
+  GraphParts parts(graph_);
+  // Root partitioned on A at node 0 only; A is also produced at node 1.
+  parts.vertices[root_].node = 0;
+  parts.vertices[root_].part_type = kA;
+  VerifyReport report = Verify(parts.Compose());
+  EXPECT_TRUE(report.HasRule(Rule::kSinkCoverGap)) << report.ToString();
+  EXPECT_FALSE(report.HasRule(Rule::kPartitionInvalid))
+      << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 5: stale cost statistics — the catalog's stored r-hat
+// no longer matches a bottom-up recomputation from the network.
+TEST_F(MutationTest, SkewedRateIsRateDivergence) {
+  spec_.network.SetRate(kA, 1000.0);  // catalogs were built against 10.0
+  VerifyReport report = Verify(graph_);
+  EXPECT_TRUE(report.HasRule(Rule::kRateDivergence)) << report.ToString();
+  EXPECT_TRUE(report.ok());  // a warning: structure is still correct
+}
+
+// Corruption class 6: primitive placed away from its producer.
+TEST_F(MutationTest, MisplacedPrimitiveIsFlaggedWithSourceGap) {
+  GraphParts parts(graph_);
+  parts.vertices[b2_].node = 3;  // node 3 does not produce B
+  parts.vertices[b2_].part_type = kNoPartition;
+  VerifyReport report = Verify(parts.Compose());
+  EXPECT_TRUE(report.HasRule(Rule::kPrimitiveMisplaced))
+      << report.ToString();
+  EXPECT_TRUE(report.HasRule(Rule::kSourceMissing)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 7: vertex indices escape the workload / network.
+TEST_F(MutationTest, OutOfRangeIndicesAreFlagged) {
+  GraphParts parts(graph_);
+  parts.vertices[ab_].query = 7;
+  VerifyReport report = Verify(parts.Compose());
+  EXPECT_TRUE(report.HasRule(Rule::kQueryRange)) << report.ToString();
+
+  GraphParts parts2(graph_);
+  parts2.vertices[ab_].node = 77;
+  report = Verify(parts2.Compose());
+  EXPECT_TRUE(report.HasRule(Rule::kNodeRange)) << report.ToString();
+}
+
+// Corruption class 8: projection that is not part of the query (here: a
+// type the query never mentions).
+TEST_F(MutationTest, ForeignTypeIsProjectionInvalid) {
+  GraphParts parts(graph_);
+  parts.vertices[ab_].proj.Insert(static_cast<EventTypeId>(5));
+  VerifyReport report = Verify(parts.Compose());
+  EXPECT_TRUE(report.HasRule(Rule::kProjectionInvalid))
+      << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 9: redundant combination input (Def. 15).
+TEST_F(MutationTest, RedundantInputIsWarned) {
+  MuseGraph g = graph_;
+  g.AddEdge(a0_, root_);  // {A} is covered by {A,B} already
+  VerifyReport report = Verify(g);
+  EXPECT_TRUE(report.HasRule(Rule::kInputRedundant)) << report.ToString();
+  EXPECT_TRUE(report.ok());  // warning only
+}
+
+// Corruption class 10: input that is not a proper sub-projection.
+TEST_F(MutationTest, FullProjectionInputIsNotSubset) {
+  MuseGraph g = graph_;
+  TypeSet abc = catalogs_->catalog(0).query().PrimitiveTypes();
+  int clone = g.AddVertex({0, abc, 2, kNoPartition, false});
+  g.AddEdge(ab_, clone);
+  g.AddEdge(c3_, clone);
+  g.AddEdge(clone, root_);  // {A,B,C} feeding {A,B,C}: not a proper subset
+  VerifyReport report = Verify(g);
+  EXPECT_TRUE(report.HasRule(Rule::kInputNotSubset)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 11: reused placement nobody provides (§6.2).
+TEST_F(MutationTest, UnbackedReuseIsFlagged) {
+  GraphParts parts(graph_);
+  parts.vertices[ab_].reused = true;
+  VerifyReport report = Verify(parts.Compose());
+  EXPECT_TRUE(report.HasRule(Rule::kReuseUnbacked)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 12: a vertex that feeds no sink.
+TEST_F(MutationTest, DisconnectedVertexIsDeadVertex) {
+  MuseGraph g = graph_;
+  TypeSet bc = TypeSet::Of(kB).Union(TypeSet::Of(kC));
+  int stray = g.AddVertex({0, bc, 1, kNoPartition, false});
+  g.AddEdge(b2_, stray);
+  g.AddEdge(c3_, stray);
+  VerifyReport report = Verify(g);
+  EXPECT_TRUE(report.HasRule(Rule::kDeadVertex)) << report.ToString();
+  EXPECT_TRUE(report.ok());  // warning only
+}
+
+// Corruption class 13: the explicit sink list disagrees with the root
+// placements (e.g. a hand-edited plan JSON with a stale list). Sink
+// semantics are recomputed from projections elsewhere, but normal-form
+// collapsing and DOT export trust the list.
+TEST_F(MutationTest, StaleSinkListIsSinkMissing) {
+  MuseGraph dropped = graph_;
+  dropped.SetSinks({});
+  VerifyReport report = Verify(dropped);
+  EXPECT_TRUE(report.HasRule(Rule::kSinkMissing)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+
+  MuseGraph extra = graph_;
+  extra.SetSinks({root_, ab_});  // ab_ is no root projection
+  report = Verify(extra);
+  EXPECT_TRUE(report.HasRule(Rule::kSinkMissing)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// --- Projection-boundary corruption needs two queries. -------------------
+
+constexpr char kTwoQuerySpec[] = R"(
+nodes 4
+rate A 10
+rate B 5
+rate C 2
+produce 0 A
+produce 1 A
+produce 2 B
+produce 3 C
+query SEQ(A, B, C) WITHIN 10s
+query SEQ(A, B, C) WITHIN 20s
+)";
+
+// Corruption class 14: cross-query edge between projections evaluated
+// under different windows.
+TEST(BoundaryMutationTest, CrossQueryWindowMismatch) {
+  Result<DeploymentSpec> parsed = ParseDeploymentSpec(kTwoQuerySpec);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  DeploymentSpec spec = std::move(parsed).value();
+  WorkloadCatalogs catalogs(spec.workload, spec.network);
+  MuseGraph plan = PlanWorkloadAmuse(catalogs).combined;
+  VerifyOptions options;
+  options.registry = &spec.registry;
+  ASSERT_TRUE(VerifyPlan(plan, catalogs.Pointers(), options).clean());
+
+  // Rewire: a q1 vertex feeds a q0 composite vertex. The queries differ
+  // only in their window, so any such edge is a boundary violation.
+  const TypeSet full = catalogs.catalog(0).query().PrimitiveTypes();
+  int from = -1;
+  int to = -1;
+  for (int vi = 0; vi < plan.num_vertices(); ++vi) {
+    const PlanVertex& v = plan.vertex(vi);
+    if (v.reused) continue;
+    if (v.query == 1 && v.proj == TypeSet::Of(kA)) from = vi;
+    if (v.query == 0 && v.proj == full) to = vi;
+  }
+  ASSERT_GE(from, 0);
+  ASSERT_GE(to, 0);
+  plan.AddEdge(from, to);
+  VerifyReport report = VerifyPlan(plan, catalogs.Pointers(), options);
+  EXPECT_TRUE(report.HasRule(Rule::kWindowMismatch)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// --- Deployment wiring corruptions (VerifyTasks). ------------------------
+
+class TaskMutationTest : public MutationTest {
+ protected:
+  TaskMutationTest()
+      : deployment_(graph_, catalogs_->Pointers()),
+        tasks_(deployment_.tasks()) {}
+
+  VerifyReport Verify() {
+    VerifyOptions options;
+    options.registry = &spec_.registry;
+    return VerifyTasks(tasks_, 1, spec_.network, options);
+  }
+
+  Task& RootTask() {
+    for (Task& t : tasks_) {
+      if (!t.sink_for.empty()) return t;
+    }
+    ADD_FAILURE() << "no sink task";
+    return tasks_.front();
+  }
+
+  Deployment deployment_;
+  std::vector<Task> tasks_;
+};
+
+TEST_F(TaskMutationTest, CompiledWiringIsClean) {
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+// Corruption class 15: delete an input channel; the sender still routes
+// here, so the channel is one-sided.
+TEST_F(TaskMutationTest, DeletedInputChannelIsChannelMissing) {
+  Task& root = RootTask();
+  ASSERT_FALSE(root.inputs.empty());
+  root.inputs.erase(root.inputs.begin());
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule(Rule::kChannelMissing)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 16: an evaluator part with no feeding channel.
+TEST_F(TaskMutationTest, StarvedPartIsPartUnwired) {
+  Task& root = RootTask();
+  // Starve the part expecting {C} by dropping every input that feeds it.
+  int c_part = -1;
+  for (size_t p = 0; p < root.part_types.size(); ++p) {
+    if (root.part_types[p] == TypeSet::Of(kC)) c_part = static_cast<int>(p);
+  }
+  ASSERT_GE(c_part, 0);
+  std::erase_if(root.inputs, [c_part](const std::pair<int, int>& in) {
+    return in.second == c_part;
+  });
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule(Rule::kPartUnwired)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 17: rewire an input into a part of the wrong type set.
+TEST_F(TaskMutationTest, RewiredInputIsPartMismatch) {
+  Task& root = RootTask();
+  int c_part = -1;
+  int other = -1;
+  for (size_t p = 0; p < root.part_types.size(); ++p) {
+    if (root.part_types[p] == TypeSet::Of(kC)) {
+      c_part = static_cast<int>(p);
+    } else {
+      other = static_cast<int>(p);
+    }
+  }
+  ASSERT_GE(c_part, 0);
+  ASSERT_GE(other, 0);
+  for (auto& [src, part] : root.inputs) {
+    if (part == c_part) part = other;
+  }
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule(Rule::kPartMismatch)) << report.ToString();
+  EXPECT_TRUE(report.HasRule(Rule::kPartUnwired)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 18: orphan output / no sink task for the query.
+TEST_F(TaskMutationTest, DroppedSinkRegistrationIsOrphanAndSinkMissing) {
+  Task& root = RootTask();
+  root.sink_for.clear();
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule(Rule::kOrphanTask)) << report.ToString();
+  EXPECT_TRUE(report.HasRule(Rule::kTaskSinkMissing)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+// Corruption class 19: dangling task references.
+TEST_F(TaskMutationTest, DanglingReferencesAreTaskRefInvalid) {
+  RootTask().inputs.emplace_back(99, 0);
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule(Rule::kTaskRefInvalid)) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace muse

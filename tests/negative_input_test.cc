@@ -1,0 +1,151 @@
+// Malformed input must surface as Result errors, never as exceptions or
+// CHECK aborts: the spec parser, the query parser, and the plan-JSON
+// importer all sit on trust boundaries (files, stdin). Each case here
+// previously had (or guards against) a crash path — std::sto* throwing on
+// garbage or overflow, TypeRegistry asserting past 64 types.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/cep/parser.h"
+#include "src/common/numbers.h"
+#include "src/core/plan_json.h"
+#include "src/workload/spec.h"
+
+namespace muse {
+namespace {
+
+// --- numbers.h helpers ---------------------------------------------------
+
+TEST(NumbersTest, ParsesAndRejects) {
+  EXPECT_EQ(ParseInt64("-42"), -42);
+  EXPECT_EQ(ParseUint64("42"), 42u);
+  EXPECT_EQ(ParseDouble("2.5"), 2.5);
+  for (const char* bad : {"", "abc", "12x", "1 2", "--3", "0x10"}) {
+    EXPECT_FALSE(ParseInt64(bad).has_value()) << bad;
+    EXPECT_FALSE(ParseUint64(bad).has_value()) << bad;
+  }
+  // Overflow is rejection, not UB or modular wrap.
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+  EXPECT_FALSE(ParseUint64("99999999999999999999999").has_value());
+  EXPECT_FALSE(ParseDouble("1e999999").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("zzz").has_value());
+}
+
+// --- spec parser ---------------------------------------------------------
+
+std::string SpecWith(const std::string& line) {
+  return "nodes 2\nrate A 1\nproduce 0 A\nproduce 1 A\n" + line +
+         "\nquery SEQ(A, A) WITHIN 1s\n";
+}
+
+TEST(SpecNegativeTest, MalformedNumbersAreErrorsNotCrashes) {
+  for (const std::string& spec : {
+           std::string("nodes zero\nrate A 1\nproduce 0 A\nquery A\n"),
+           std::string("nodes 99999999999999999999\nrate A 1\n"
+                       "produce 0 A\nquery A\n"),
+           std::string("nodes -3\nrate A 1\nproduce 0 A\nquery A\n"),
+           SpecWith("rate B notanumber"),
+           SpecWith("rate B 1e999999"),
+           SpecWith("produce x A"),
+           SpecWith("produce 99999999999999999999 A"),
+           SpecWith("selectivity A A huge"),
+       }) {
+    Result<DeploymentSpec> parsed = ParseDeploymentSpec(spec);
+    EXPECT_FALSE(parsed.ok()) << spec;
+  }
+}
+
+TEST(SpecNegativeTest, TooManyTypesIsAnError) {
+  std::string spec = "nodes 2\n";
+  for (int i = 0; i < TypeRegistry::kMaxTypes + 3; ++i) {
+    spec += "rate T" + std::to_string(i) + " 1\n";
+  }
+  spec += "produce 0 T0\nquery SEQ(T0, T1) WITHIN 1s\n";
+  Result<DeploymentSpec> parsed = ParseDeploymentSpec(spec);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("too many"), std::string::npos);
+}
+
+// --- query parser --------------------------------------------------------
+
+TEST(ParserNegativeTest, TooManyTypesInQueryIsAnError) {
+  TypeRegistry reg;
+  std::string q = "SEQ(";
+  for (int i = 0; i < TypeRegistry::kMaxTypes + 2; ++i) {
+    if (i > 0) q += ", ";
+    q += "T" + std::to_string(i);
+  }
+  q += ")";
+  Result<Query> parsed = ParseQuery(q, &reg);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("too many"), std::string::npos);
+}
+
+TEST(ParserNegativeTest, DurationOverflowIsAnError) {
+  EXPECT_FALSE(ParseDuration("99999999999999999999999ms").ok());
+  EXPECT_FALSE(ParseDuration("9999999999999999999h").ok());
+  EXPECT_FALSE(ParseDuration("12parsecs").ok());
+  ASSERT_TRUE(ParseDuration("2h").ok());
+  EXPECT_EQ(ParseDuration("2h").value(), 2u * 60 * 60 * 1000);
+}
+
+// --- plan JSON importer --------------------------------------------------
+
+TEST(PlanJsonNegativeTest, MalformedDocumentsAreErrorsNotCrashes) {
+  for (const char* json : {
+           "",
+           "{",
+           "{\"bogus",
+           "{\"vertices\": [], \"edges\": [], \"sinks\": []",
+           "{\"surprise\": []}",
+           // Integer overflow in a field.
+           "{\"vertices\": [{\"query\": 123456789012345678901234567890, "
+           "\"types\": [0], \"node\": 0, \"part\": -1, \"reused\": false}],"
+           " \"edges\": [], \"sinks\": []}",
+           // Negative query index.
+           "{\"vertices\": [{\"query\": -1, \"types\": [0], \"node\": 0, "
+           "\"part\": -1, \"reused\": false}], \"edges\": [], "
+           "\"sinks\": []}",
+           // Node id beyond 32 bits.
+           "{\"vertices\": [{\"query\": 0, \"types\": [0], "
+           "\"node\": 99999999999, \"part\": -1, \"reused\": false}], "
+           "\"edges\": [], \"sinks\": []}",
+           // Partition type outside the TypeSet width.
+           "{\"vertices\": [{\"query\": 0, \"types\": [0], \"node\": 0, "
+           "\"part\": 64, \"reused\": false}], \"edges\": [], "
+           "\"sinks\": []}",
+           "{\"vertices\": [{\"query\": 0, \"types\": [0], \"node\": 0, "
+           "\"part\": -9, \"reused\": false}], \"edges\": [], "
+           "\"sinks\": []}",
+           // Type id outside the TypeSet width.
+           "{\"vertices\": [{\"query\": 0, \"types\": [64], \"node\": 0, "
+           "\"part\": -1, \"reused\": false}], \"edges\": [], "
+           "\"sinks\": []}",
+           // Dangling edge / sink references.
+           "{\"vertices\": [{\"query\": 0, \"types\": [0], \"node\": 0, "
+           "\"part\": -1, \"reused\": false}], \"edges\": [[0, 3]], "
+           "\"sinks\": []}",
+           "{\"vertices\": [{\"query\": 0, \"types\": [0], \"node\": 0, "
+           "\"part\": -1, \"reused\": false}], \"edges\": [], "
+           "\"sinks\": [5]}",
+           // Trailing content after the document.
+           "{\"vertices\": [], \"edges\": [], \"sinks\": []} extra",
+       }) {
+    Result<MuseGraph> parsed = PlanFromJson(json);
+    EXPECT_FALSE(parsed.ok()) << json;
+  }
+}
+
+TEST(PlanJsonNegativeTest, MinimalValidDocumentStillParses) {
+  Result<MuseGraph> parsed = PlanFromJson(
+      "{\"vertices\": [{\"query\": 0, \"types\": [0], \"node\": 0, "
+      "\"part\": 0, \"reused\": false}], \"edges\": [], \"sinks\": [0]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().num_vertices(), 1);
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,170 @@
+// muse_lint — static verifier for MuSE graph plans and their deployments.
+//
+// Usage:
+//   muse_lint <spec-file> [plan.json | -]
+//             [--algorithm amuse|amuse-star|oop|centralized]
+//             [--no-rates] [--rate-tolerance <frac>] [--no-deploy]
+//             [--strict]
+//
+// With a plan argument, the JSON plan (see src/core/plan_json.h; "-" reads
+// stdin) is verified against the spec's workload; this is the path for
+// vetting persisted or hand-edited plans, e.g.
+//
+//   muse_plan examples/specs/fraud.spec --json - | muse_lint examples/specs/fraud.spec -
+//
+// Without one, the workload is planned with the chosen algorithm and the
+// fresh plan is verified — a self-check for planner changes.
+//
+// After the plan rules (M1xx-M5xx) pass without errors, the plan is
+// compiled to tasks and the deployment wiring rules (M6xx) run as well;
+// --no-deploy skips that stage. Diagnostics go to stdout, one per line, in
+// compiler style:
+//
+//   error[M200/input-gap] vertex 5 (q0:{A,C}@n3): input coverage gap: ...
+//
+// Exit status: 0 clean (or warnings only, unless --strict), 1 diagnostics
+// reported, 2 usage or input errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/analysis/verify.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/core/plan_json.h"
+#include "src/workload/spec.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: muse_lint <spec-file> [plan.json | -]\n"
+      "                 [--algorithm amuse|amuse-star|oop|centralized]\n"
+      "                 [--no-rates] [--rate-tolerance <frac>] "
+      "[--no-deploy]\n"
+      "                 [--strict]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace muse;
+  if (argc < 2) return Usage();
+  std::string spec_path = argv[1];
+  std::string plan_path;
+  std::string algorithm = "amuse";
+  VerifyOptions options;
+  bool deploy = true;
+  bool strict = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
+      algorithm = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-rates") == 0) {
+      options.check_rates = false;
+    } else if (std::strcmp(argv[i], "--rate-tolerance") == 0 &&
+               i + 1 < argc) {
+      char* end = nullptr;
+      options.rate_tolerance = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || options.rate_tolerance < 0) {
+        std::fprintf(stderr, "error: bad --rate-tolerance '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-deploy") == 0) {
+      deploy = false;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) {
+      if (!plan_path.empty()) return Usage();
+      plan_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", spec_path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(buffer.str());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", spec_path.c_str(),
+                 spec.error().message.c_str());
+    return 2;
+  }
+  const DeploymentSpec& dep = spec.value();
+  WorkloadCatalogs catalogs(dep.workload, dep.network);
+  options.registry = &dep.registry;
+
+  MuseGraph plan;
+  std::string plan_name;
+  if (!plan_path.empty()) {
+    plan_name = plan_path == "-" ? "<stdin>" : plan_path;
+    std::string json;
+    if (plan_path == "-") {
+      std::stringstream all;
+      all << std::cin.rdbuf();
+      json = all.str();
+    } else {
+      std::ifstream pin(plan_path);
+      if (!pin) {
+        std::fprintf(stderr, "error: cannot read %s\n", plan_path.c_str());
+        return 2;
+      }
+      std::stringstream all;
+      all << pin.rdbuf();
+      json = all.str();
+    }
+    Result<MuseGraph> parsed = PlanFromJson(json);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", plan_name.c_str(),
+                   parsed.error().message.c_str());
+      return 2;
+    }
+    plan = std::move(parsed.value());
+  } else {
+    plan_name = "plan(" + algorithm + ")";
+    if (algorithm == "amuse" || algorithm == "amuse-star") {
+      PlannerOptions opts;
+      opts.star = algorithm == "amuse-star";
+      plan = PlanWorkloadAmuse(catalogs, opts).combined;
+    } else if (algorithm == "oop") {
+      plan = PlanWorkloadOop(catalogs).combined;
+    } else if (algorithm == "centralized") {
+      plan = BuildCentralizedPlan(catalogs.Pointers(), 0);
+    } else {
+      return Usage();
+    }
+  }
+
+  VerifyReport report = VerifyPlan(plan, catalogs.Pointers(), options);
+  int num_tasks = -1;
+  if (report.ok() && deploy) {
+    Deployment deployment(plan, catalogs.Pointers());
+    num_tasks = deployment.num_tasks();
+    report.MergeFrom(VerifyDeployment(deployment, dep.network, options));
+  }
+
+  for (const Diagnostic& d : report.diagnostics()) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  if (report.clean()) {
+    std::printf("%s: clean: %d vertices, %zu edges", plan_name.c_str(),
+                plan.num_vertices(), plan.edges().size());
+    if (num_tasks >= 0) std::printf(", %d tasks", num_tasks);
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("muse_lint: %d error(s), %d warning(s) in %s\n",
+              report.errors(), report.warnings(), plan_name.c_str());
+  if (report.errors() > 0 || strict) return 1;
+  return 0;
+}

@@ -8,7 +8,9 @@
 // The spec format is documented in src/workload/spec.h; samples live in
 // examples/specs/. Prints the plan, its network cost, and the transmission
 // ratio against centralized evaluation; optionally writes a Graphviz DOT
-// rendering and/or a JSON serialization of the plan.
+// rendering and/or a JSON serialization of the plan. `--json -` writes the
+// JSON to stdout (and the report to stderr) so plans can be piped straight
+// into muse_lint.
 
 #include <cstdio>
 #include <cstring>
@@ -80,11 +82,13 @@ int main(int argc, char** argv) {
   }
 
   const DeploymentSpec& dep = spec.value();
-  std::printf("network: %d nodes, %d event types\n", dep.network.num_nodes(),
-              dep.network.num_types());
+  // With --json -, stdout carries only the JSON document.
+  std::FILE* out = json_path == "-" ? stderr : stdout;
+  std::fprintf(out, "network: %d nodes, %d event types\n",
+               dep.network.num_nodes(), dep.network.num_types());
   for (size_t i = 0; i < dep.workload.size(); ++i) {
-    std::printf("query %zu: %s\n", i,
-                dep.workload[i].ToString(&dep.registry).c_str());
+    std::fprintf(out, "query %zu: %s\n", i,
+                 dep.workload[i].ToString(&dep.registry).c_str());
   }
 
   WorkloadCatalogs catalogs(dep.workload, dep.network);
@@ -109,20 +113,25 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  std::printf("\nalgorithm: %s\n", algorithm.c_str());
-  std::printf("network cost: %.3f events/s (centralized: %.3f, ratio %.4f)\n",
-              cost, centralized,
-              centralized > 0 ? cost / centralized : 0.0);
-  std::printf("\n%s", plan.ToString(&dep.registry).c_str());
+  std::fprintf(out, "\nalgorithm: %s\n", algorithm.c_str());
+  std::fprintf(out,
+               "network cost: %.3f events/s (centralized: %.3f, "
+               "ratio %.4f)\n",
+               cost, centralized,
+               centralized > 0 ? cost / centralized : 0.0);
+  std::fprintf(out, "\n%s", plan.ToString(&dep.registry).c_str());
   if (explain) {
-    std::printf("\n%s",
-                ExplainPlan(plan, catalogs.Pointers(), &dep.registry).c_str());
+    std::fprintf(
+        out, "\n%s",
+        ExplainPlan(plan, catalogs.Pointers(), &dep.registry).c_str());
   }
   if (!dot_path.empty() &&
       !WriteFile(dot_path, ToDot(plan, catalogs.Pointers(), &dep.registry))) {
     return 1;
   }
-  if (!json_path.empty() && !WriteFile(json_path, PlanToJson(plan))) {
+  if (json_path == "-") {
+    std::printf("%s", PlanToJson(plan).c_str());
+  } else if (!json_path.empty() && !WriteFile(json_path, PlanToJson(plan))) {
     return 1;
   }
   return 0;
