@@ -1,8 +1,17 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/obs/export.h"
 
 namespace muse::bench {
+
+obs::MetricsRegistry& BenchRegistry() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
 
 PlannerOptions BenchPlannerOptions(bool star) {
   PlannerOptions opts;
@@ -12,7 +21,33 @@ PlannerOptions BenchPlannerOptions(bool star) {
   // roughly halving sweep wall time (see EXPERIMENTS.md).
   opts.combo.max_combinations = 6000;
   opts.max_graphs = 150'000;
+  opts.metrics = &BenchRegistry();
   return opts;
+}
+
+int FinishBench(int argc, char** argv) {
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics-out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (metrics_out.empty()) return 0;
+  const std::string json = obs::RegistryToJson(BenchRegistry());
+  if (metrics_out == "-") {
+    std::printf("%s", json.c_str());
+    return 0;
+  }
+  std::ofstream out(metrics_out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+    return 1;
+  }
+  out << json;
+  return 0;
 }
 
 RatioPoint RunRatioPoint(const SweepConfig& config, uint64_t base_seed) {
@@ -47,7 +82,7 @@ RatioPoint RunRatioPoint(const SweepConfig& config, uint64_t base_seed) {
     star_opts.refine_passes = 0;
     WorkloadPlan amuse = PlanWorkloadAmuse(catalogs, amuse_opts);
     WorkloadPlan star = PlanWorkloadAmuse(catalogs, star_opts);
-    WorkloadPlan oop = PlanWorkloadOop(catalogs);
+    WorkloadPlan oop = PlanWorkloadOop(catalogs, &BenchRegistry());
 
     amuse_ratios.push_back(amuse.transmission_ratio);
     star_ratios.push_back(star.transmission_ratio);

@@ -7,6 +7,7 @@
 #include "src/core/multi_query.h"
 #include "src/dist/metrics.h"
 #include "src/net/network_gen.h"
+#include "src/obs/metrics.h"
 #include "src/workload/query_gen.h"
 
 namespace muse::bench {
@@ -57,7 +58,18 @@ struct RatioPoint {
 RatioPoint RunRatioPoint(const SweepConfig& config, uint64_t base_seed);
 
 /// Planner options used by all benches (guarded combination enumeration).
+/// Wires the process-global BenchRegistry() as the metrics sink, so every
+/// planner run of the bench contributes to the --metrics-out dump.
 PlannerOptions BenchPlannerOptions(bool star);
+
+/// Process-global metrics registry of this bench binary.
+obs::MetricsRegistry& BenchRegistry();
+
+/// Common bench epilogue: handles `--metrics-out <path>` by dumping
+/// BenchRegistry() as JSON ("-" writes to stdout). Every bench main ends
+/// with `return FinishBench(argc, argv);` — returns 0 when the flag is
+/// absent or the dump succeeded, 1/2 on write/usage errors.
+int FinishBench(int argc, char** argv);
 
 /// Prints a Markdown-ish table header / row; `columns` are right-aligned.
 void PrintTitle(const std::string& title);

@@ -21,12 +21,12 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 }  // namespace
 }  // namespace muse::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace muse::bench;
   SweepConfig base;
   RunSweep("Fig 5a: transmission ratio vs event node ratio (default)", base,
            501);
   RunSweep("Fig 5b: transmission ratio vs event node ratio (large)",
            base.Large(), 502);
-  return 0;
+  return muse::bench::FinishBench(argc, argv);
 }

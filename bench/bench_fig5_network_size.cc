@@ -22,7 +22,7 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 }  // namespace
 }  // namespace muse::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace muse::bench;
   SweepConfig base;
   RunSweep("Fig 5c: transmission ratio vs network size (default workload)",
@@ -30,5 +30,5 @@ int main() {
   SweepConfig large = base.Large();
   RunSweep("Fig 5d: transmission ratio vs network size (large workload)",
            large, 504);
-  return 0;
+  return muse::bench::FinishBench(argc, argv);
 }

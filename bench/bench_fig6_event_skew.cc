@@ -22,11 +22,11 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 }  // namespace
 }  // namespace muse::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace muse::bench;
   SweepConfig base;
   RunSweep("Fig 6a: transmission ratio vs event skew (default)", base, 601);
   RunSweep("Fig 6b: transmission ratio vs event skew (large)", base.Large(),
            602);
-  return 0;
+  return muse::bench::FinishBench(argc, argv);
 }

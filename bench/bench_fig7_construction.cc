@@ -17,7 +17,7 @@ void Point(const char* label, const SweepConfig& cfg, uint64_t seed) {
 }  // namespace
 }  // namespace muse::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace muse::bench;
   PrintTitle("Fig 7d: construction time (s) and projections considered");
   PrintHeader({"config", "aMuSE time", "aMuSE* time", "aMuSE #proj",
@@ -48,5 +48,5 @@ int main() {
   Point("sel>=0.2", sel, 756);
 
   Point("large", base.Large(), 757);
-  return 0;
+  return muse::bench::FinishBench(argc, argv);
 }

@@ -26,12 +26,12 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 }  // namespace
 }  // namespace muse::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace muse::bench;
   SweepConfig base;
   RunSweep("Fig 7a: transmission ratio vs min selectivity (default)", base,
            701);
   RunSweep("Fig 7b: transmission ratio vs min selectivity (large)",
            base.Large(), 702);
-  return 0;
+  return muse::bench::FinishBench(argc, argv);
 }

@@ -23,9 +23,9 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 }  // namespace
 }  // namespace muse::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace muse::bench;
   SweepConfig base;
   RunSweep("Fig 7c: transmission ratio vs workload size", base, 703);
-  return 0;
+  return muse::bench::FinishBench(argc, argv);
 }

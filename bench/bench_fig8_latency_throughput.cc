@@ -61,7 +61,7 @@ void Run() {
 }  // namespace
 }  // namespace muse::bench
 
-int main() {
+int main(int argc, char** argv) {
   muse::bench::Run();
-  return 0;
+  return muse::bench::FinishBench(argc, argv);
 }

@@ -31,6 +31,9 @@ const char* RuleCode(Rule rule) {
     case Rule::kOrphanTask: return "M603";
     case Rule::kTaskSinkMissing: return "M604";
     case Rule::kPartMismatch: return "M605";
+    case Rule::kObsUnboundedLabels: return "M700";
+    case Rule::kObsSnapshotFlood: return "M701";
+    case Rule::kObsTraceUncapped: return "M702";
   }
   return "M???";
 }
@@ -62,6 +65,9 @@ const char* RuleName(Rule rule) {
     case Rule::kOrphanTask: return "orphan-task";
     case Rule::kTaskSinkMissing: return "task-sink-missing";
     case Rule::kPartMismatch: return "part-mismatch";
+    case Rule::kObsUnboundedLabels: return "obs-unbounded-labels";
+    case Rule::kObsSnapshotFlood: return "obs-snapshot-flood";
+    case Rule::kObsTraceUncapped: return "obs-trace-uncapped";
   }
   return "unknown";
 }

@@ -14,6 +14,7 @@ namespace muse {
 ///   M1xx graph structure        M4xx cost-model consistency
 ///   M2xx input coverage         M5xx projection-boundary compatibility
 ///   M3xx placement feasibility  M6xx deployment wiring
+///   M7xx observability configuration
 enum class Rule {
   // -- M1xx: graph structure --------------------------------------------
   kGraphCycle,          ///< M100: directed cycle in the MuSE graph
@@ -46,6 +47,10 @@ enum class Rule {
   kOrphanTask,          ///< M603: task output reaches no consumer or sink
   kTaskSinkMissing,     ///< M604: query has no sink task
   kPartMismatch,        ///< M605: input feeds a part of a different type set
+  // -- M7xx: observability configuration ---------------------------------
+  kObsUnboundedLabels,  ///< M700: data-valued labels (unbounded cardinality)
+  kObsSnapshotFlood,    ///< M701: snapshot series exceed cardinality budget
+  kObsTraceUncapped,    ///< M702: flow tracing enabled without a span cap
 };
 
 /// Stable short code, e.g. "M200".

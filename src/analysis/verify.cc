@@ -700,4 +700,59 @@ VerifyReport VerifyDeployment(const Deployment& deployment,
                      options);
 }
 
+VerifyReport VerifyObsConfig(const obs::ObsOptions& obs, int num_nodes,
+                             int num_tasks, int num_queries) {
+  VerifyReport report;
+
+  // M700: labels drawn from the data domain (match keys) grow without
+  // bound with trace length — every new key mints a new metric instance.
+  if (obs.label_per_match) {
+    report.Add(Rule::kObsUnboundedLabels, Severity::kWarning,
+               "obs.label_per_match",
+               "per-match counter labels are keyed by match content, an "
+               "unbounded domain: registry memory grows with the trace, not "
+               "the deployment",
+               "label by query/node/task (finite, deployment-sized domains) "
+               "and keep per-match data in sampled flow spans");
+  }
+
+  // M701: estimated instrument cardinality against the configured budget.
+  // Mirrors what SimRun registers: per-node families (6), per-task
+  // counters (4 across node x task), per-query families (2), and — with
+  // per-link series — up to nodes^2 link label sets in both the registry
+  // and the snapshot series.
+  const size_t nodes = num_nodes < 0 ? 0 : static_cast<size_t>(num_nodes);
+  const size_t tasks = num_tasks < 0 ? 0 : static_cast<size_t>(num_tasks);
+  const size_t queries =
+      num_queries < 0 ? 0 : static_cast<size_t>(num_queries);
+  size_t estimated = nodes * 6 + tasks * 4 + queries * 2;
+  if (obs.per_link_series) estimated += 2 * nodes * nodes;
+  if (obs.max_label_cardinality != 0 &&
+      estimated > obs.max_label_cardinality) {
+    report.Add(
+        Rule::kObsSnapshotFlood, Severity::kWarning, "obs.snapshot config",
+        "estimated metric cardinality " + std::to_string(estimated) +
+            " exceeds max_label_cardinality " +
+            std::to_string(obs.max_label_cardinality) +
+            (obs.per_link_series
+                 ? " (per-link series contribute O(nodes^2) label sets)"
+                 : ""),
+        obs.per_link_series
+            ? "disable per_link_series or raise max_label_cardinality"
+            : "raise max_label_cardinality or shrink the deployment");
+  }
+
+  // M702: sampling without a span cap makes trace memory proportional to
+  // the sampled event count instead of a fixed budget.
+  if (obs.trace_sample_rate > 0 && obs.max_flows == 0) {
+    report.Add(Rule::kObsTraceUncapped, Severity::kWarning,
+               "obs.trace_sample_rate=" +
+                   std::to_string(obs.trace_sample_rate),
+               "flow tracing is enabled with max_flows=0 (unlimited): span "
+               "memory grows linearly with the trace",
+               "set max_flows to a fixed budget (default 4096)");
+  }
+  return report;
+}
+
 }  // namespace muse

@@ -7,6 +7,7 @@
 #include "src/core/muse_graph.h"
 #include "src/core/projection.h"
 #include "src/dist/deployment.h"
+#include "src/obs/telemetry.h"
 
 namespace muse {
 
@@ -58,6 +59,17 @@ VerifyReport VerifyTasks(const std::vector<Task>& tasks, int num_queries,
 VerifyReport VerifyDeployment(const Deployment& deployment,
                               const Network& net,
                               const VerifyOptions& options = {});
+
+/// Static verification of a telemetry configuration (rules M70x) against
+/// the size of the deployment it will instrument: estimates the label-set
+/// cardinality the simulator registers for `num_nodes` nodes, `num_tasks`
+/// tasks, and `num_queries` queries and flags configurations whose metric
+/// or series cardinality is unbounded (data-valued labels) or exceeds
+/// `obs.max_label_cardinality`. All findings are warnings — a noisy
+/// telemetry config degrades the monitoring pipeline, not plan
+/// correctness.
+VerifyReport VerifyObsConfig(const obs::ObsOptions& obs, int num_nodes,
+                             int num_tasks, int num_queries);
 
 }  // namespace muse
 

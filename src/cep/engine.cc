@@ -58,6 +58,35 @@ void QueryEngine::OnEvent(const Event& e, std::vector<Match>* out) {
 
 void QueryEngine::Flush(std::vector<Match>* out) { main_->Flush(out); }
 
+namespace {
+
+void ExportEvaluatorStats(obs::MetricsRegistry* registry,
+                          const obs::LabelSet& labels,
+                          const EvaluatorStats& stats) {
+  registry->GetCounter("engine_inputs_total", labels)->Add(stats.inputs);
+  registry->GetCounter("engine_candidates_checked_total", labels)
+      ->Add(stats.candidates_checked);
+  registry->GetCounter("engine_matches_emitted_total", labels)
+      ->Add(stats.matches_emitted);
+  registry->GetGauge("engine_buffered", labels)
+      ->Set(static_cast<double>(stats.buffered));
+  registry->GetGauge("engine_peak_buffered", labels)
+      ->Set(static_cast<double>(stats.peak_buffered));
+}
+
+}  // namespace
+
+void QueryEngine::ExportMetrics(obs::MetricsRegistry* registry,
+                                const std::string& query_label) const {
+  if (registry == nullptr) return;
+  ExportEvaluatorStats(registry, obs::LabelSet{{"query", query_label}},
+                       main_->stats());
+  for (const MiddleEngine& me : middles_) {
+    me.engine->ExportMetrics(registry, query_label + ".anti" +
+                                           std::to_string(me.anti_part));
+  }
+}
+
 WorkloadEngine::WorkloadEngine(const std::vector<Query>& workload,
                                EvaluatorOptions options) {
   engines_.reserve(workload.size());
@@ -76,6 +105,13 @@ void WorkloadEngine::Flush(std::vector<std::vector<Match>>* out) {
   out->resize(engines_.size());
   for (size_t i = 0; i < engines_.size(); ++i) {
     engines_[i].Flush(&(*out)[i]);
+  }
+}
+
+void WorkloadEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    engines_[i].ExportMetrics(registry, std::to_string(i));
   }
 }
 

@@ -2,11 +2,13 @@
 #define MUSE_CEP_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cep/evaluator.h"
 #include "src/cep/match.h"
 #include "src/cep/query.h"
+#include "src/obs/metrics.h"
 
 namespace muse {
 
@@ -32,6 +34,12 @@ class QueryEngine {
   void Flush(std::vector<Match>* out);
 
   const EvaluatorStats& stats() const { return main_->stats(); }
+
+  /// Exports the engine's evaluator statistics (main evaluator plus NSEQ
+  /// middle sub-engines) into `registry` as engine_*{query=<query_label>}
+  /// counters/gauges; middle sub-engines use query_label + ".anti<part>".
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& query_label) const;
 
  private:
   Query query_;
@@ -61,6 +69,9 @@ class WorkloadEngine {
 
   int num_queries() const { return static_cast<int>(engines_.size()); }
   const QueryEngine& engine(int i) const { return engines_[i]; }
+
+  /// ExportMetrics of every engine, labeled query=<index>.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   std::vector<QueryEngine> engines_;

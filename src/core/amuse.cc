@@ -15,6 +15,24 @@
 namespace muse {
 namespace {
 
+/// Adds the elapsed time since construction to `*sink` on destruction.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink)
+      : sink_(sink), started_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            started_)
+                  .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point started_;
+};
+
 /// One entry of the dynamic-programming table G[p][PO] (Alg. 3): the
 /// cheapest MuSE graph found so far that generates matches of projection
 /// `proj` with sinks determined by placement option `PO`.
@@ -117,6 +135,8 @@ class AmusePlanner {
     // graph is checked in multi_query.cc instead.
     MUSE_DCHECK(ctx_ != nullptr || IsCorrectPlan(result.graph, catalogs_),
                 "aMuSE emitted an incorrect plan");
+    result.stats.ExportTo(options_.metrics,
+                          options_.star ? "amuse-star" : "amuse");
     return result;
   }
 
@@ -139,6 +159,7 @@ class AmusePlanner {
   /// non-trivial projections pass the beneficial (and, for aMuSE*, the
   /// star) filter.
   void SelectCandidateProjections() {
+    PhaseTimer timer(&stats_.select_seconds);
     const TypeSet full = catalog_.query().PrimitiveTypes();
     stats_.projections_total = static_cast<int>(catalog_.All().size());
     for (TypeSet p : catalog_.All()) {
@@ -148,9 +169,13 @@ class AmusePlanner {
         continue;
       }
       if (options_.prune_beneficial && !IsBeneficialProjection(catalog_, p)) {
+        ++stats_.pruned_beneficial;
         continue;
       }
-      if (options_.star && !PassesStarFilter(catalog_, p)) continue;
+      if (options_.star && !PassesStarFilter(catalog_, p)) {
+        ++stats_.pruned_star;
+        continue;
+      }
       candidates_.push_back(p);
     }
     stats_.projections_considered = static_cast<int>(candidates_.size());
@@ -272,9 +297,14 @@ class AmusePlanner {
     for (TypeSet p : candidates_) {
       if (p.IsProperSubsetOf(target)) parts_pool.push_back(p);
     }
-    std::vector<Combination> combos = EnumerateCombinations(
-        target, parts_pool, negated_groups_, options_.combo);
+    std::vector<Combination> combos;
+    {
+      PhaseTimer timer(&stats_.enumerate_seconds);
+      combos = EnumerateCombinations(target, parts_pool, negated_groups_,
+                                     options_.combo);
+    }
     stats_.combinations_enumerated += static_cast<int>(combos.size());
+    PhaseTimer timer(&stats_.construct_seconds);
 
     // Explore promising combinations first (small total input volume), so
     // the lower-bound rejection in ConstructCandidate prunes the tail.
@@ -449,7 +479,10 @@ class AmusePlanner {
       if (static_cast<int>(ei) == anchor) continue;
       lb = std::max(lb, MinEntryCost(c.parts[ei]));
     }
-    if (bucket_cost <= lb) return false;
+    if (bucket_cost <= lb) {
+      ++stats_.lb_rejections;
+      return false;
+    }
     // Only real charge-set assemblies count toward budgets; lower-bound
     // rejections above are nearly free.
     ++stats_.graphs_constructed;
@@ -491,17 +524,26 @@ class AmusePlanner {
           chosen[ei] = static_cast<int>(po2);
         }
       }
-      if (best_pre == nullptr) return false;  // part unplaceable
+      if (best_pre == nullptr) {
+        ++stats_.graphs_discarded;  // part unplaceable
+        return false;
+      }
       charges.MergeFrom(best_pre->charges);
       for (const auto& [key, weight] :
            ConnectionCharges(*best_pre, sink_nodes)) {
         charges.Add(key, weight);
       }
-      if (charges.total() >= bucket_cost) return false;  // already beaten
+      if (charges.total() >= bucket_cost) {
+        ++stats_.graphs_discarded;  // already beaten
+        return false;
+      }
     }
 
     const double cost = charges.total();
-    if (cost >= bucket_cost) return false;
+    if (cost >= bucket_cost) {
+      ++stats_.graphs_discarded;
+      return false;
+    }
 
     // Phase 2: materialize the winning candidate.
     PlacedGraph pg;
@@ -594,6 +636,46 @@ class AmusePlanner {
 };
 
 }  // namespace
+
+void PlannerStats::AddTo(PlannerStats* total) const {
+  total->projections_total += projections_total;
+  total->projections_considered += projections_considered;
+  total->pruned_beneficial += pruned_beneficial;
+  total->pruned_star += pruned_star;
+  total->combinations_enumerated += combinations_enumerated;
+  total->graphs_constructed += graphs_constructed;
+  total->graphs_discarded += graphs_discarded;
+  total->lb_rejections += lb_rejections;
+  total->select_seconds += select_seconds;
+  total->enumerate_seconds += enumerate_seconds;
+  total->construct_seconds += construct_seconds;
+  total->elapsed_seconds += elapsed_seconds;
+}
+
+void PlannerStats::ExportTo(obs::MetricsRegistry* registry,
+                            const std::string& algorithm) const {
+  if (registry == nullptr) return;
+  const obs::LabelSet labels{{"algorithm", algorithm}};
+  auto count = [&](const char* name, int v) {
+    registry->GetCounter(name, labels)->Add(static_cast<uint64_t>(v));
+  };
+  count("planner_projections_total", projections_total);
+  count("planner_projections_considered_total", projections_considered);
+  count("planner_pruned_beneficial_total", pruned_beneficial);
+  count("planner_pruned_star_total", pruned_star);
+  count("planner_combinations_enumerated_total", combinations_enumerated);
+  count("planner_graphs_constructed_total", graphs_constructed);
+  count("planner_graphs_discarded_total", graphs_discarded);
+  count("planner_lb_rejections_total", lb_rejections);
+  count("planner_queries_planned_total", 1);
+  // Phase wall times accumulate across queries as gauges (Add).
+  registry->GetGauge("planner_select_seconds", labels)->Add(select_seconds);
+  registry->GetGauge("planner_enumerate_seconds", labels)
+      ->Add(enumerate_seconds);
+  registry->GetGauge("planner_construct_seconds", labels)
+      ->Add(construct_seconds);
+  registry->GetGauge("planner_elapsed_seconds", labels)->Add(elapsed_seconds);
+}
 
 PlanResult PlanQuery(const ProjectionCatalog& catalog,
                      const PlannerOptions& options, SharingContext* ctx,

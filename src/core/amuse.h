@@ -2,11 +2,13 @@
 #define MUSE_CORE_AMUSE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/core/combination.h"
 #include "src/core/cost.h"
 #include "src/core/muse_graph.h"
 #include "src/core/projection.h"
+#include "src/obs/metrics.h"
 
 namespace muse {
 
@@ -46,16 +48,42 @@ struct PlannerOptions {
   /// all other queries; improvements are kept. Makes the §6.2 reuse
   /// symmetric (early queries can also adopt later queries' placements).
   int refine_passes = 1;
+
+  /// Optional metrics sink: when set, every PlanQuery call exports its
+  /// PlannerStats as registry counters labeled by algorithm
+  /// ({algorithm="amuse"|"amuse-star"}; oOP/centralized planners use their
+  /// own labels). Not owned; must outlive planning.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Planner observability (Fig. 7d reports projections considered and
-/// construction time).
+/// construction time). Counters split the search-space walk by outcome and
+/// the wall time by phase; AddTo accumulates across a workload's queries.
 struct PlannerStats {
   int projections_total = 0;       ///< |Π(q)| (valid projection sets)
   int projections_considered = 0;  ///< after beneficial/star pruning
+  int pruned_beneficial = 0;       ///< rejected by Def. 13 / Theorem 3
+  int pruned_star = 0;             ///< rejected by the aMuSE* filter
   int combinations_enumerated = 0;
-  int graphs_constructed = 0;
+  int graphs_constructed = 0;  ///< candidates whose charge set was assembled
+  int graphs_discarded = 0;    ///< assembled but beaten by their table bucket
+  int lb_rejections = 0;       ///< skipped by the lower-bound test (no assembly)
+
+  /// Per-phase wall time. select: candidate filtering; enumerate:
+  /// combination enumeration; construct: candidate costing/materialization.
+  /// elapsed_seconds covers the whole PlanQuery call.
+  double select_seconds = 0;
+  double enumerate_seconds = 0;
+  double construct_seconds = 0;
   double elapsed_seconds = 0;
+
+  /// Field-wise accumulation (workload aggregation).
+  void AddTo(PlannerStats* total) const;
+
+  /// Exports the counters into `registry` under
+  /// planner_*{algorithm=<algorithm>} families (no-op when null).
+  void ExportTo(obs::MetricsRegistry* registry,
+                const std::string& algorithm) const;
 };
 
 /// A finished evaluation plan: the MuSE graph, its network cost c(G), and

@@ -1,6 +1,7 @@
 #include "src/core/multi_query.h"
 
 #include "src/common/check.h"
+#include <chrono>
 #include <limits>
 #include <set>
 
@@ -93,13 +94,7 @@ WorkloadPlan PlanWorkloadAmuse(const WorkloadCatalogs& catalogs,
   for (int i = 0; i < catalogs.size(); ++i) {
     PlanResult r = PlanQuery(catalogs.catalog(i), options, &ctx, i);
     RecordPlanInContext(r.graph, cats, &ctx);
-    plan.aggregate_stats.projections_total += r.stats.projections_total;
-    plan.aggregate_stats.projections_considered +=
-        r.stats.projections_considered;
-    plan.aggregate_stats.combinations_enumerated +=
-        r.stats.combinations_enumerated;
-    plan.aggregate_stats.graphs_constructed += r.stats.graphs_constructed;
-    plan.aggregate_stats.elapsed_seconds += r.stats.elapsed_seconds;
+    r.stats.AddTo(&plan.aggregate_stats);
     plan.per_query.push_back(std::move(r));
   }
 
@@ -176,7 +171,9 @@ WorkloadPlan PlanWorkloadAmuse(const WorkloadCatalogs& catalogs,
   return plan;
 }
 
-WorkloadPlan PlanWorkloadOop(const WorkloadCatalogs& catalogs) {
+WorkloadPlan PlanWorkloadOop(const WorkloadCatalogs& catalogs,
+                             obs::MetricsRegistry* metrics) {
+  auto started = std::chrono::steady_clock::now();
   WorkloadPlan plan;
   SharingContext ctx;
   std::vector<const ProjectionCatalog*> cats = catalogs.Pointers();
@@ -215,6 +212,16 @@ WorkloadPlan PlanWorkloadOop(const WorkloadCatalogs& catalogs) {
   MUSE_DCHECK(IsCorrectPlan(plan.combined, cats),
               "combined oOP workload plan is incorrect");
   FinalizeWorkloadPlan(catalogs, &plan);
+  plan.aggregate_stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (metrics != nullptr) {
+    const obs::LabelSet labels{{"algorithm", "oop"}};
+    metrics->GetCounter("planner_queries_planned_total", labels)
+        ->Add(static_cast<uint64_t>(catalogs.size()));
+    metrics->GetGauge("planner_elapsed_seconds", labels)
+        ->Add(plan.aggregate_stats.elapsed_seconds);
+  }
   return plan;
 }
 

@@ -47,8 +47,11 @@ class WorkloadCatalogs {
 WorkloadPlan PlanWorkloadAmuse(const WorkloadCatalogs& catalogs,
                                const PlannerOptions& options = {});
 
-/// Multi-query oOP baseline with the same transfer sharing.
-WorkloadPlan PlanWorkloadOop(const WorkloadCatalogs& catalogs);
+/// Multi-query oOP baseline with the same transfer sharing. When `metrics`
+/// is non-null, planning wall time and query count are exported under
+/// planner_*{algorithm="oop"}.
+WorkloadPlan PlanWorkloadOop(const WorkloadCatalogs& catalogs,
+                             obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace muse
 

@@ -19,17 +19,25 @@ class ExactlyOnceFilter {
   /// a duplicate of an already-accepted message.
   bool Accept(const SimMessage& msg) {
     uint64_t& next = next_seq_[msg.src_task];
-    if (msg.channel_seq < next) return false;
+    if (msg.channel_seq < next) {
+      ++dropped_;
+      return false;
+    }
     // Messages on a channel arrive in order in this runtime; a gap would be
     // a routing bug rather than loss.
     next = msg.channel_seq + 1;
     return true;
   }
 
+  /// Duplicates rejected so far — replay amplification, surfaced as the
+  /// node_dup_dropped_total telemetry counter.
+  uint64_t dropped() const { return dropped_; }
+
   void Clear() { next_seq_.clear(); }
 
  private:
   std::unordered_map<int, uint64_t> next_seq_;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace muse

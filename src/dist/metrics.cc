@@ -8,6 +8,7 @@ namespace {
 
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
+  // size == 1 degenerates safely: idx == 0, lo == hi == 0.
   double idx = p * static_cast<double>(sorted.size() - 1);
   size_t lo = static_cast<size_t>(idx);
   size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -24,9 +25,25 @@ Distribution Distribution::Of(std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());
   d.min = samples.front();
   d.max = samples.back();
+  if (samples.size() == 1) {
+    d.p25 = d.p50 = d.p75 = samples.front();
+    return d;
+  }
   d.p25 = Percentile(samples, 0.25);
   d.p50 = Percentile(samples, 0.50);
   d.p75 = Percentile(samples, 0.75);
+  return d;
+}
+
+Distribution Distribution::FromHistogram(const obs::Histogram& h) {
+  Distribution d;
+  d.count = h.Count();
+  if (d.count == 0) return d;
+  d.min = h.Min();
+  d.max = h.Max();
+  d.p25 = h.Quantile(0.25);
+  d.p50 = h.Quantile(0.50);
+  d.p75 = h.Quantile(0.75);
   return d;
 }
 

@@ -2,15 +2,18 @@
 #define MUSE_DIST_METRICS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cep/match.h"
+#include "src/obs/telemetry.h"
 
 namespace muse {
 
 /// Distribution summary (min / p25 / p50 / p75 / max — the box-plot
-/// statistics of Fig. 8).
+/// statistics of Fig. 8). Total on any input: empty and single-sample
+/// vectors yield well-defined (zero / degenerate) summaries.
 struct Distribution {
   double min = 0;
   double p25 = 0;
@@ -20,10 +23,19 @@ struct Distribution {
   size_t count = 0;
 
   static Distribution Of(std::vector<double> samples);
+
+  /// Box-plot view of an HDR histogram (obs/metrics.h): quantiles are
+  /// bucket midpoints clamped into the histogram's exact [min, max], so
+  /// min <= p25 <= p50 <= p75 <= max always holds.
+  static Distribution FromHistogram(const obs::Histogram& h);
+
   std::string ToString() const;
 };
 
-/// Results of one distributed execution.
+/// Results of one distributed execution. The aggregate fields below are
+/// rebuilt from the run's metrics registry (`telemetry`), which holds the
+/// full-resolution data: per-node/per-link/per-task counters, HDR latency
+/// histograms, time-bucketed series, and sampled flow spans.
 struct SimReport {
   uint64_t source_events = 0;
   uint64_t inputs_processed = 0;
@@ -31,11 +43,15 @@ struct SimReport {
   /// Matches that crossed the network (one count per destination node),
   /// the measured analogue of the cost model's c(G).
   uint64_t network_messages = 0;
-  /// network_messages per simulated second.
+  /// network_messages per simulated second; 0 (never NaN/inf) on an empty
+  /// trace.
   double network_message_rate = 0;
 
   /// Detection latency per query match: virtual time from the last
-  /// constituent event's occurrence to emission at a sink (ms).
+  /// constituent event's occurrence to emission at a sink (ms). Derived
+  /// from the registry's `latency_ms` HDR histograms (merged over
+  /// queries); arbitrary other quantiles can be recovered from
+  /// `telemetry`.
   Distribution latency_ms;
   /// Source events processed per simulated second of the busiest node —
   /// the pipeline's sustainable rate (§7.3).
@@ -50,6 +66,11 @@ struct SimReport {
 
   /// Deduplicated matches per workload query.
   std::vector<std::vector<Match>> matches_per_query;
+
+  /// Full telemetry of the run: registry, time series, flow spans. Always
+  /// present after DistributedSimulator::Run; shared so reports stay
+  /// cheaply copyable.
+  std::shared_ptr<obs::RunTelemetry> telemetry;
 
   std::string Summary() const;
 };

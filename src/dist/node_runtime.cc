@@ -42,6 +42,8 @@ void NodeRuntime::OnInput(int task, int src_task, const Match& m,
 void NodeRuntime::Process(int task, int src_task, const Match& m,
                           std::vector<Output>* out) {
   ++processed_;
+  TaskCounters& counters = task_counters_[task];
+  ++counters.inputs;
   const Task& t = deployment_->task(task);
   MUSE_CHECK(t.node == node_, "input routed to wrong node");
   if (t.is_primitive) {
@@ -50,6 +52,7 @@ void NodeRuntime::Process(int task, int src_task, const Match& m,
     MUSE_CHECK(src_task == -1, "primitive task fed by another task");
     if (StructurallyMatches(t.target, m)) {
       out->push_back(Output{task, m});
+      ++counters.outputs;
     }
     return;
   }
@@ -59,6 +62,7 @@ void NodeRuntime::Process(int task, int src_task, const Match& m,
   MUSE_CHECK(part != part_index_.end(), "unrouted input");
   std::vector<Match> produced;
   ev->second->OnMatch(part->second, m, &produced);
+  counters.outputs += produced.size();
   for (Match& pm : produced) {
     out->push_back(Output{task, std::move(pm)});
   }
@@ -107,6 +111,18 @@ uint64_t NodeRuntime::PeakBufferedMatches() const {
     peak = std::max(peak, ev->stats().peak_buffered);
   }
   return peak;
+}
+
+std::vector<std::pair<int, EvaluatorStats>> NodeRuntime::EvaluatorStatsByTask()
+    const {
+  std::vector<std::pair<int, EvaluatorStats>> out;
+  out.reserve(evaluators_.size());
+  for (const auto& [task, ev] : evaluators_) {
+    out.emplace_back(task, ev->stats());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 }  // namespace muse

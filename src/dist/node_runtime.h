@@ -66,6 +66,24 @@ class NodeRuntime {
   uint64_t PeakBufferedMatches() const;
   uint64_t ProcessedInputs() const { return processed_; }
 
+  /// Per-task processing effort at this node (telemetry). Counts every
+  /// processed input and emitted output, *including* recovery replay work —
+  /// these measure effort spent, not logical stream sizes.
+  struct TaskCounters {
+    uint64_t inputs = 0;
+    uint64_t outputs = 0;
+  };
+  const std::unordered_map<int, TaskCounters>& task_counters() const {
+    return task_counters_;
+  }
+
+  /// Duplicates dropped by the exactly-once receive filter.
+  uint64_t DuplicatesDropped() const { return filter_.dropped(); }
+
+  /// Evaluator statistics of this node's live composite tasks, in task-id
+  /// order (telemetry export).
+  std::vector<std::pair<int, EvaluatorStats>> EvaluatorStatsByTask() const;
+
   /// Next sequence number for the outgoing channel of `task` towards
   /// `dst_node`. Reset on crash; deterministic replay regenerates identical
   /// numbering (see Crash()).
@@ -94,6 +112,7 @@ class NodeRuntime {
   std::unordered_map<int64_t, uint64_t> channel_seq_;
   uint64_t processed_ = 0;
   uint64_t peak_buffered_ = 0;
+  std::unordered_map<int, TaskCounters> task_counters_;
 };
 
 }  // namespace muse

@@ -14,6 +14,16 @@
 namespace muse {
 namespace {
 
+/// Deterministic wire-size model of one message: a fixed header plus a
+/// fixed encoding per constituent primitive event. Keeps the per-link
+/// byte series proportional to real payloads without modeling encodings.
+constexpr uint64_t kMessageHeaderBytes = 16;
+constexpr uint64_t kEventWireBytes = 32;
+
+uint64_t WireBytes(const Match& m) {
+  return kMessageHeaderBytes + kEventWireBytes * m.events.size();
+}
+
 struct QueueItem {
   uint64_t time_us = 0;
   uint64_t order = 0;  // FIFO tie-break for determinism
@@ -34,7 +44,9 @@ struct QueueItem {
 class SimRun {
  public:
   SimRun(const Deployment& dep, const SimOptions& options)
-      : dep_(dep), options_(options) {
+      : dep_(dep),
+        options_(options),
+        telemetry_(std::make_shared<obs::RunTelemetry>()) {
     EvaluatorOptions eval = options_.eval;
     if (eval.eviction_slack_ms == 0) {
       // Cover cross-node arrival skew: a few hops of network delay plus
@@ -50,11 +62,43 @@ class SimRun {
     node_busy_us_.assign(nodes_.size(), 0);
     seen_match_keys_.resize(dep_.num_queries());
     report_.matches_per_query.resize(dep_.num_queries());
+
+    // Registry families, resolved once: all hot-path updates below are
+    // plain pointer dereferences + relaxed atomics.
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      const obs::LabelSet node_labels{{"node", std::to_string(n)}};
+      node_inputs_.push_back(reg.GetCounter("node_inputs_total", node_labels));
+      node_busy_ctr_.push_back(
+          reg.GetCounter("node_busy_us_total", node_labels));
+      node_net_msgs_.push_back(
+          reg.GetCounter("node_net_out_messages_total", node_labels));
+      node_net_bytes_.push_back(
+          reg.GetCounter("node_net_out_bytes_total", node_labels));
+      node_partials_.push_back(
+          reg.GetGauge("node_partial_matches", node_labels));
+      // Queue-wait histograms in integer microseconds.
+      node_queue_wait_.push_back(
+          reg.GetHistogram("node_queue_wait_us", node_labels, 1.0));
+    }
+    for (int q = 0; q < dep_.num_queries(); ++q) {
+      const obs::LabelSet query_labels{{"query", std::to_string(q)}};
+      latency_hist_.push_back(
+          reg.GetHistogram("latency_ms", query_labels, 1e-3));
+      match_counters_.push_back(
+          reg.GetCounter("matches_total", query_labels));
+    }
+    tracer_ = obs::FlowTracer(options_.obs.trace_sample_rate,
+                              options_.obs.max_flows);
+    bucket_us_ = options_.obs.snapshot_bucket_ms * 1000;
+    next_snapshot_us_ = bucket_us_;
+    prev_snapshot_inputs_.assign(nodes_.size(), 0);
   }
 
   SimReport Run(const std::vector<Event>& trace) {
     auto wall_start = std::chrono::steady_clock::now();
     report_.source_events = trace.size();
+    telemetry_->registry.GetCounter("sim_source_events")->Add(trace.size());
 
     for (size_t i = 0; i < trace.size(); ++i) {
       QueueItem item;
@@ -79,11 +123,18 @@ class SimRun {
     for (NodeRuntime& rt : nodes_) {
       std::vector<NodeRuntime::Output> outs;
       rt.Flush(&outs);
-      RouteOutputs(rt, outs, last_time_us_);
+      RouteOutputs(rt, outs, last_time_us_, /*queue_us=*/0, /*proc_us=*/0);
     }
     Drain(trace);
 
-    // Metrics.
+    // Closing snapshot so the series always cover the whole run.
+    if (bucket_us_ != 0 && last_time_us_ != 0) {
+      EmitSnapshot(std::max(next_snapshot_us_, last_time_us_));
+    }
+
+    FinishTelemetry();
+
+    // Aggregates, rebuilt from the registry where it is the authority.
     uint64_t max_busy = 1;
     for (size_t n = 0; n < nodes_.size(); ++n) {
       report_.peak_partial_matches.push_back(nodes_[n].PeakBufferedMatches());
@@ -91,16 +142,22 @@ class SimRun {
           std::max(report_.max_peak_partial_matches,
                    report_.peak_partial_matches.back());
       report_.inputs_processed += nodes_[n].ProcessedInputs();
-      max_busy = std::max(max_busy, node_busy_us_[n]);
+      report_.network_messages += node_net_msgs_[n]->Value();
+      max_busy = std::max(max_busy, node_busy_ctr_[n]->Value());
     }
     report_.throughput_events_per_s =
         static_cast<double>(trace.size()) /
         (static_cast<double>(max_busy) / 1e6);
-    const double duration_s =
-        std::max(1.0, static_cast<double>(last_time_us_) / 1e6);
+    // Rate over the simulated duration; an empty trace has no duration and
+    // reports 0, never NaN/inf.
     report_.network_message_rate =
-        static_cast<double>(report_.network_messages) / duration_s;
-    report_.latency_ms = Distribution::Of(std::move(latency_samples_));
+        last_time_us_ == 0
+            ? 0
+            : static_cast<double>(report_.network_messages) /
+                  std::max(1.0, static_cast<double>(last_time_us_) / 1e6);
+    obs::Histogram merged_latency(1e-3);
+    for (const obs::Histogram* h : latency_hist_) merged_latency.MergeFrom(*h);
+    report_.latency_ms = Distribution::FromHistogram(merged_latency);
     for (auto& matches : report_.matches_per_query) {
       matches = CanonicalMatchSet(std::move(matches));
     }
@@ -108,6 +165,9 @@ class SimRun {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
+    telemetry_->registry.GetGauge("sim_wall_seconds")
+        ->Set(report_.wall_seconds);
+    report_.telemetry = telemetry_;
     return std::move(report_);
   }
 
@@ -116,6 +176,10 @@ class SimRun {
     while (!queue_.empty()) {
       QueueItem item = queue_.top();
       queue_.pop();
+      while (bucket_us_ != 0 && item.time_us >= next_snapshot_us_) {
+        EmitSnapshot(next_snapshot_us_);
+        next_snapshot_us_ += bucket_us_;
+      }
       last_time_us_ = std::max(last_time_us_, item.time_us);
       switch (item.kind) {
         case QueueItem::Kind::kSource:
@@ -131,8 +195,44 @@ class SimRun {
     }
   }
 
-  /// Applies the processing-cost model at `node`; returns completion time.
-  uint64_t Process(NodeId node, uint64_t arrival_us) {
+  /// One per-node/per-link sample row per configured series at bucket edge
+  /// `t_us`. Cumulative (*_total) series re-publish registry counters, so
+  /// they are monotone by construction.
+  void EmitSnapshot(uint64_t t_us) {
+    const uint64_t t_ms = t_us / 1000;
+    obs::TimeSeries& ts = telemetry_->series;
+    const double bucket_s =
+        static_cast<double>(std::max<uint64_t>(1, bucket_us_)) / 1e6;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      const obs::LabelSet labels{{"node", std::to_string(n)}};
+      const uint64_t inputs = node_inputs_[n]->Value();
+      ts.Append("node_inputs_total", labels, t_ms,
+                static_cast<double>(inputs));
+      ts.Append("node_input_rate", labels, t_ms,
+                static_cast<double>(inputs - prev_snapshot_inputs_[n]) /
+                    bucket_s);
+      prev_snapshot_inputs_[n] = inputs;
+      ts.Append("node_partial_matches", labels, t_ms,
+                static_cast<double>(nodes_[n].BufferedMatches()));
+      ts.Append("node_queue_depth_us", labels, t_ms,
+                node_free_us_[n] > t_us
+                    ? static_cast<double>(node_free_us_[n] - t_us)
+                    : 0.0);
+      ts.Append("node_net_out_bytes_total", labels, t_ms,
+                static_cast<double>(node_net_bytes_[n]->Value()));
+    }
+    if (options_.obs.per_link_series) {
+      for (const auto& [key, link] : links_) {
+        ts.Append("link_bytes_total", link.labels, t_ms,
+                  static_cast<double>(link.bytes->Value()));
+      }
+    }
+  }
+
+  /// Applies the processing-cost model at `node`; returns completion time
+  /// and reports the queue-wait and service-time split for flow tracing.
+  uint64_t Process(NodeId node, uint64_t arrival_us, uint64_t* queue_us,
+                   uint64_t* proc_us) {
     NodeRuntime& rt = nodes_[node];
     const uint64_t start = std::max(arrival_us, node_free_us_[node]);
     const double cost =
@@ -141,20 +241,30 @@ class SimRun {
     const uint64_t cost_us = static_cast<uint64_t>(cost) + 1;
     node_free_us_[node] = start + cost_us;
     node_busy_us_[node] += cost_us;
+    *queue_us = start - arrival_us;
+    *proc_us = cost_us;
+    node_inputs_[node]->Add(1);
+    node_busy_ctr_[node]->Add(cost_us);
+    node_queue_wait_[node]->Record(static_cast<double>(*queue_us));
     return node_free_us_[node];
   }
 
   void HandleSource(const Event& e, uint64_t time_us) {
     if (e.origin >= nodes_.size()) return;
+    tracer_.SampleSource(e.seq, static_cast<int>(e.type), e.origin, time_us);
     const std::vector<int>& tasks = dep_.PrimitiveTasksFor(e.origin, e.type);
     if (tasks.empty()) return;
     NodeRuntime& rt = nodes_[e.origin];
-    uint64_t done = Process(e.origin, time_us);
+    uint64_t queue_us = 0;
+    uint64_t proc_us = 0;
+    uint64_t done = Process(e.origin, time_us, &queue_us, &proc_us);
     std::vector<NodeRuntime::Output> outs;
     for (int task : tasks) {
       rt.OnInput(task, -1, Match::Single(e), &outs);
     }
-    RouteOutputs(rt, outs, done);
+    node_partials_[e.origin]->Set(
+        static_cast<double>(rt.BufferedMatches()));
+    RouteOutputs(rt, outs, done, queue_us, proc_us);
   }
 
   void HandleMessage(const QueueItem& item) {
@@ -164,30 +274,76 @@ class SimRun {
     msg.src_task = item.src_task;
     msg.channel_seq = item.channel_seq;
     if (!rt.Admit(msg)) return;  // duplicate from a recovering sender
-    uint64_t done = Process(item.dst_node, item.time_us);
+    uint64_t queue_us = 0;
+    uint64_t proc_us = 0;
+    uint64_t done = Process(item.dst_node, item.time_us, &queue_us, &proc_us);
     std::vector<NodeRuntime::Output> outs;
     for (int succ : dep_.task(item.src_task).successors) {
       const Task& t = dep_.task(succ);
       if (t.node != item.dst_node) continue;
       rt.OnInput(succ, item.src_task, item.payload, &outs);
     }
-    RouteOutputs(rt, outs, done);
+    node_partials_[item.dst_node]->Set(
+        static_cast<double>(rt.BufferedMatches()));
+    RouteOutputs(rt, outs, done, queue_us, proc_us);
   }
 
   void HandleFailure(NodeId node, uint64_t time_us) {
     if (node >= nodes_.size()) return;
+    telemetry_->registry
+        .GetCounter("node_failures_total",
+                    obs::LabelSet{{"node", std::to_string(node)}})
+        ->Add(1);
     NodeRuntime& rt = nodes_[node];
     rt.Crash();
     std::vector<NodeRuntime::Output> outs;
     rt.Recover(&outs);
     // Regenerated outputs are re-sent; receivers drop duplicates via the
     // exactly-once channel filters.
-    RouteOutputs(rt, outs, time_us);
+    RouteOutputs(rt, outs, time_us, /*queue_us=*/0, /*proc_us=*/0);
+  }
+
+  struct LinkCounters {
+    obs::LabelSet labels;
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+
+  LinkCounters& Link(NodeId src, NodeId dst) {
+    const uint64_t key = (static_cast<uint64_t>(src) << 32) | dst;
+    auto it = links_.find(key);
+    if (it != links_.end()) return it->second;
+    LinkCounters link;
+    link.labels = obs::LabelSet{{"src", std::to_string(src)},
+                                {"dst", std::to_string(dst)}};
+    link.messages =
+        telemetry_->registry.GetCounter("link_messages_total", link.labels);
+    link.bytes =
+        telemetry_->registry.GetCounter("link_bytes_total", link.labels);
+    return links_.emplace(key, std::move(link)).first->second;
+  }
+
+  /// Appends flow hops for every traced source event carried by `m`.
+  void TraceHops(const Match& m, int task, NodeId src, NodeId dst,
+                 uint64_t depart_us, uint64_t queue_us, uint64_t proc_us,
+                 uint64_t network_us) {
+    for (const Event& e : m.events) {
+      if (!tracer_.IsTraced(e.seq)) continue;
+      obs::FlowHop hop;
+      hop.task = task;
+      hop.src_node = src;
+      hop.dst_node = dst;
+      hop.depart_us = depart_us;
+      hop.queue_us = queue_us;
+      hop.proc_us = proc_us;
+      hop.network_us = network_us;
+      tracer_.AddHop(e.seq, hop);
+    }
   }
 
   void RouteOutputs(NodeRuntime& rt,
                     const std::vector<NodeRuntime::Output>& outs,
-                    uint64_t time_us) {
+                    uint64_t time_us, uint64_t queue_us, uint64_t proc_us) {
     for (const NodeRuntime::Output& out : outs) {
       const Task& t = dep_.task(out.task);
       // Sink accounting.
@@ -205,11 +361,21 @@ class SimRun {
         item.dst_node = dst;
         item.channel_seq = rt.NextChannelSeq(t.id, dst);
         item.payload = out.match;
+        uint64_t network_us = 0;
         if (dst == t.node) {
           item.time_us = time_us;
         } else {
-          item.time_us = time_us + options_.network_delay_ms * 1000;
-          ++report_.network_messages;
+          network_us = options_.network_delay_ms * 1000;
+          item.time_us = time_us + network_us;
+          node_net_msgs_[t.node]->Add(1);
+          node_net_bytes_[t.node]->Add(WireBytes(out.match));
+          LinkCounters& link = Link(t.node, dst);
+          link.messages->Add(1);
+          link.bytes->Add(WireBytes(out.match));
+        }
+        if (tracer_.enabled()) {
+          TraceHops(out.match, t.id, t.node, dst, time_us, queue_us, proc_us,
+                    network_us);
         }
         queue_.push(item);
       }
@@ -218,15 +384,66 @@ class SimRun {
 
   void RecordMatch(int query, const Match& m, uint64_t time_us) {
     if (!seen_match_keys_[query].insert(m.Key()).second) return;
-    latency_samples_.push_back(static_cast<double>(time_us) / 1000.0 -
-                               static_cast<double>(m.MaxTime()));
+    const double latency_ms = static_cast<double>(time_us) / 1000.0 -
+                              static_cast<double>(m.MaxTime());
+    latency_hist_[query]->Record(latency_ms);
+    match_counters_[query]->Add(1);
+    if (options_.obs.keep_exact_latency) {
+      telemetry_->exact_latency_ms.push_back(latency_ms);
+    }
+    if (options_.obs.label_per_match) {
+      // Deliberately unbounded cardinality; muse_lint's M700 flags configs
+      // that enable this outside debugging sessions.
+      telemetry_->registry
+          .GetCounter("match_emitted_total",
+                      obs::LabelSet{{"match", m.Key()}})
+          ->Add(1);
+    }
+    if (tracer_.enabled()) {
+      for (const Event& e : m.events) {
+        tracer_.Complete(e.seq, time_us, query);
+      }
+    }
     if (options_.collect_matches) {
       report_.matches_per_query[query].push_back(m);
     }
   }
 
+  /// End-of-run export of state that lives in the runtimes rather than the
+  /// registry: per-task effort counters, evaluator statistics, duplicate
+  /// drops, and the flow tracer itself.
+  void FinishTelemetry() {
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      const std::string node_str = std::to_string(n);
+      for (const auto& [task, counters] : nodes_[n].task_counters()) {
+        const obs::LabelSet labels{{"node", node_str},
+                                   {"task", std::to_string(task)}};
+        reg.GetCounter("task_inputs_total", labels)->Add(counters.inputs);
+        reg.GetCounter("task_outputs_total", labels)->Add(counters.outputs);
+      }
+      for (const auto& [task, stats] : nodes_[n].EvaluatorStatsByTask()) {
+        const obs::LabelSet labels{{"node", node_str},
+                                   {"task", std::to_string(task)}};
+        reg.GetCounter("task_candidates_checked_total", labels)
+            ->Add(stats.candidates_checked);
+        reg.GetGauge("task_peak_buffered", labels)
+            ->Set(static_cast<double>(stats.peak_buffered));
+      }
+      reg.GetCounter("node_dup_dropped_total",
+                     obs::LabelSet{{"node", node_str}})
+          ->Add(nodes_[n].DuplicatesDropped());
+    }
+    if (tracer_.enabled()) {
+      reg.GetCounter("flows_sampled_total")->Add(tracer_.sampled());
+      reg.GetCounter("flows_dropped_total")->Add(tracer_.dropped());
+    }
+    telemetry_->flows = std::move(tracer_);
+  }
+
   const Deployment& dep_;
   SimOptions options_;
+  std::shared_ptr<obs::RunTelemetry> telemetry_;
   std::vector<NodeRuntime> nodes_;
   std::vector<uint64_t> node_free_us_;
   std::vector<uint64_t> node_busy_us_;
@@ -235,8 +452,22 @@ class SimRun {
   uint64_t next_order_ = 0;
   uint64_t last_time_us_ = 0;
   std::vector<std::unordered_set<std::string>> seen_match_keys_;
-  std::vector<double> latency_samples_;
   SimReport report_;
+
+  // Telemetry hot-path pointers (owned by telemetry_->registry).
+  std::vector<obs::Counter*> node_inputs_;
+  std::vector<obs::Counter*> node_busy_ctr_;
+  std::vector<obs::Counter*> node_net_msgs_;
+  std::vector<obs::Counter*> node_net_bytes_;
+  std::vector<obs::Gauge*> node_partials_;
+  std::vector<obs::Histogram*> node_queue_wait_;
+  std::vector<obs::Histogram*> latency_hist_;
+  std::vector<obs::Counter*> match_counters_;
+  std::map<uint64_t, LinkCounters> links_;
+  obs::FlowTracer tracer_;
+  uint64_t bucket_us_ = 0;
+  uint64_t next_snapshot_us_ = 0;
+  std::vector<uint64_t> prev_snapshot_inputs_;
 };
 
 }  // namespace

@@ -34,6 +34,11 @@ struct SimOptions {
   /// crashes, loses its volatile state, and immediately recovers by
   /// replaying its durable input log; duplicates are suppressed end-to-end.
   std::vector<std::pair<NodeId, uint64_t>> failures;
+
+  /// Telemetry configuration: snapshot cadence, flow-trace sampling, label
+  /// policies (obs/telemetry.h). The produced registry/series/spans are
+  /// attached to the SimReport.
+  obs::ObsOptions obs;
 };
 
 /// Deterministic discrete-event simulation of a deployed MuSE graph (or

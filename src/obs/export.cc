@@ -1,0 +1,178 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+namespace muse::obs {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  // Round-trippable without drowning the file in digits; integral values
+  // print without a fraction.
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 &&
+      v > -1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string LabelsJson(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels.labels()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(k) + "\": \"" + EscapeJson(v) + "\"";
+  }
+  return out + "}";
+}
+
+void AppendMetricsJson(const MetricsRegistry& registry, std::string* out) {
+  *out += "  \"metrics\": [";
+  bool first = true;
+  for (const MetricsRegistry::Entry& e : registry.Entries()) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\n    {\"name\": \"" + EscapeJson(e.name) +
+            "\", \"labels\": " + LabelsJson(e.labels) + ", ";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        *out += "\"kind\": \"counter\", \"value\": " +
+                std::to_string(e.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        *out += "\"kind\": \"gauge\", \"value\": " + Num(e.gauge->Value()) +
+                ", \"max\": " + Num(e.gauge->Max());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        *out += "\"kind\": \"histogram\", \"count\": " +
+                std::to_string(h.Count()) + ", \"sum\": " + Num(h.Sum()) +
+                ", \"min\": " + Num(h.Min()) + ", \"max\": " + Num(h.Max()) +
+                ", \"mean\": " + Num(h.Mean()) + ", \"quantiles\": {";
+        static constexpr struct { const char* name; double q; } kQs[] = {
+            {"p25", 0.25}, {"p50", 0.5}, {"p75", 0.75},
+            {"p90", 0.9},  {"p99", 0.99}};
+        bool qfirst = true;
+        for (const auto& [name, q] : kQs) {
+          if (!qfirst) *out += ", ";
+          qfirst = false;
+          *out += std::string("\"") + name + "\": " + Num(h.Quantile(q));
+        }
+        *out += "}, \"buckets\": [";
+        bool bfirst = true;
+        for (const auto& [index, count] : h.NonEmptyBuckets()) {
+          if (!bfirst) *out += ", ";
+          bfirst = false;
+          *out += "[" + std::to_string(index) + ", " +
+                  Num(h.BucketUpperBound(index)) + ", " +
+                  std::to_string(count) + "]";
+        }
+        *out += "]";
+        break;
+      }
+    }
+    *out += "}";
+  }
+  *out += "\n  ]";
+}
+
+void AppendSeriesJson(const TimeSeries& series, std::string* out) {
+  *out += "  \"series\": [";
+  bool first = true;
+  for (const auto& [key, points] : series.series()) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\n    {\"name\": \"" + EscapeJson(key.first) +
+            "\", \"labels\": " + LabelsJson(key.second) + ", \"points\": [";
+    bool pfirst = true;
+    for (const SeriesPoint& p : points) {
+      if (!pfirst) *out += ", ";
+      pfirst = false;
+      *out += "[" + std::to_string(p.t_ms) + ", " + Num(p.value) + "]";
+    }
+    *out += "]}";
+  }
+  *out += "\n  ]";
+}
+
+void AppendFlowsJson(const FlowTracer& flows, std::string* out) {
+  *out += "  \"flows\": [";
+  bool first = true;
+  for (const FlowSpan& span : flows.spans()) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\n    {\"id\": " + std::to_string(span.flow_id) +
+            ", \"type\": " + std::to_string(span.event_type) +
+            ", \"origin\": " + std::to_string(span.origin) +
+            ", \"start_us\": " + std::to_string(span.start_us) +
+            ", \"completed\": " + (span.completed ? "true" : "false") +
+            ", \"sink_query\": " + std::to_string(span.sink_query) +
+            ", \"sink_us\": " + std::to_string(span.sink_us) + ", \"hops\": [";
+    bool hfirst = true;
+    for (const FlowHop& hop : span.hops) {
+      if (!hfirst) *out += ", ";
+      hfirst = false;
+      *out += "{\"task\": " + std::to_string(hop.task) + ", \"src\": " +
+              std::to_string(hop.src_node) + ", \"dst\": " +
+              std::to_string(hop.dst_node) + ", \"depart_us\": " +
+              std::to_string(hop.depart_us) + ", \"queue_us\": " +
+              std::to_string(hop.queue_us) + ", \"proc_us\": " +
+              std::to_string(hop.proc_us) + ", \"network_us\": " +
+              std::to_string(hop.network_us) + "}";
+    }
+    *out += "]}";
+  }
+  *out += "\n  ]";
+}
+
+}  // namespace
+
+std::string TelemetryToJson(const RunTelemetry& telemetry) {
+  std::string out = "{\n";
+  AppendMetricsJson(telemetry.registry, &out);
+  out += ",\n";
+  AppendSeriesJson(telemetry.series, &out);
+  out += ",\n";
+  AppendFlowsJson(telemetry.flows, &out);
+  out += "\n}\n";
+  return out;
+}
+
+std::string RegistryToJson(const MetricsRegistry& registry) {
+  std::string out = "{\n";
+  AppendMetricsJson(registry, &out);
+  out += ",\n  \"series\": [],\n  \"flows\": []\n}\n";
+  return out;
+}
+
+std::string SeriesToCsv(const TimeSeries& series) {
+  std::string out = "name,labels,t_ms,value\n";
+  for (const auto& [key, points] : series.series()) {
+    const std::string prefix =
+        key.first + ",\"" + key.second.ToString() + "\",";
+    for (const SeriesPoint& p : points) {
+      out += prefix + std::to_string(p.t_ms) + "," + Num(p.value) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace muse::obs

@@ -1,0 +1,44 @@
+#ifndef MUSE_OBS_EXPORT_H_
+#define MUSE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/telemetry.h"
+
+namespace muse::obs {
+
+/// JSON export of a full run's telemetry, the document muse_metrics dumps
+/// and CI validates against tools/metrics_schema.json:
+///
+/// {
+///   "metrics": [
+///     {"name": "...", "labels": {"node": "0"}, "kind": "counter",
+///      "value": 12},
+///     {"name": "...", "labels": {}, "kind": "histogram", "count": 9,
+///      "sum": 1.5, "min": 0.1, "max": 0.9, "mean": 0.17,
+///      "quantiles": {"p25": …, "p50": …, "p75": …, "p90": …, "p99": …},
+///      "buckets": [[index, upper_bound, count], …]}, …
+///   ],
+///   "series": [
+///     {"name": "...", "labels": {…}, "points": [[t_ms, value], …]}, …
+///   ],
+///   "flows": [
+///     {"id": 7, "type": 2, "origin": 1, "start_us": 1000,
+///      "completed": true, "sink_query": 0, "sink_us": 12000,
+///      "hops": [{"task": 3, "src": 1, "dst": 0, "depart_us": …,
+///                "queue_us": …, "proc_us": …, "network_us": …}, …]}, …
+///   ]
+/// }
+std::string TelemetryToJson(const RunTelemetry& telemetry);
+
+/// JSON export of just a registry (bench --metrics-out uses this for
+/// planner counters, with "series" and "flows" empty).
+std::string RegistryToJson(const MetricsRegistry& registry);
+
+/// Flat CSV of the time series: name,labels,t_ms,value (one row per point;
+/// labels canonically rendered, see LabelSet::ToString).
+std::string SeriesToCsv(const TimeSeries& series);
+
+}  // namespace muse::obs
+
+#endif  // MUSE_OBS_EXPORT_H_

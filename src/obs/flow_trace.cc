@@ -1,0 +1,41 @@
+#include "src/obs/flow_trace.h"
+
+namespace muse::obs {
+
+bool FlowTracer::SampleSource(uint64_t seq, int event_type, uint32_t origin,
+                              uint64_t time_us) {
+  if (sample_rate_ <= 0) return false;
+  credit_ += sample_rate_;
+  if (credit_ < 1) return false;
+  credit_ -= 1;
+  if (max_flows_ != 0 && spans_.size() >= max_flows_) {
+    ++dropped_;
+    return false;
+  }
+  FlowSpan span;
+  span.flow_id = seq;
+  span.event_type = event_type;
+  span.origin = origin;
+  span.start_us = time_us;
+  index_[seq] = spans_.size();
+  spans_.push_back(std::move(span));
+  return true;
+}
+
+void FlowTracer::AddHop(uint64_t seq, const FlowHop& hop) {
+  auto it = index_.find(seq);
+  if (it == index_.end()) return;
+  spans_[it->second].hops.push_back(hop);
+}
+
+void FlowTracer::Complete(uint64_t seq, uint64_t sink_us, int query) {
+  auto it = index_.find(seq);
+  if (it == index_.end()) return;
+  FlowSpan& span = spans_[it->second];
+  if (span.completed) return;  // keep the first sink emission
+  span.completed = true;
+  span.sink_us = sink_us;
+  span.sink_query = query;
+}
+
+}  // namespace muse::obs

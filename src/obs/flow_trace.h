@@ -1,0 +1,84 @@
+#ifndef MUSE_OBS_FLOW_TRACE_H_
+#define MUSE_OBS_FLOW_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace muse::obs {
+
+/// One step of a traced flow: a task's output carrying the flow's source
+/// event either hopping to another node or being consumed locally.
+/// Times are simulated microseconds.
+struct FlowHop {
+  int task = -1;          ///< producing task
+  uint32_t src_node = 0;  ///< node of `task`
+  uint32_t dst_node = 0;  ///< receiving node (== src_node for local edges)
+  uint64_t depart_us = 0;  ///< when the output left the producing task
+  uint64_t queue_us = 0;   ///< waiting for the producing node's CPU
+  uint64_t proc_us = 0;    ///< processing time at the producing node
+  uint64_t network_us = 0; ///< transfer latency (0 for local edges)
+};
+
+/// The provenance of one sampled primitive event: every forwarding /
+/// aggregation hop it took through the deployment, and — if it ended up in
+/// at least one query match — the sink emission that completed it.
+struct FlowSpan {
+  uint64_t flow_id = 0;   ///< `seq` of the sampled source event
+  int event_type = 0;
+  uint32_t origin = 0;    ///< producing node
+  uint64_t start_us = 0;  ///< occurrence time of the source event
+  std::vector<FlowHop> hops;
+  bool completed = false;   ///< reached a sink inside a match
+  uint64_t sink_us = 0;     ///< first sink emission time
+  int sink_query = -1;      ///< query of that first emission
+};
+
+/// Samples primitive events at a configurable rate and accumulates their
+/// spans. Sampling is deterministic (credit pacing: every source event adds
+/// `sample_rate` of credit; a full credit selects the event), so repeated
+/// simulations trace identical flows. Not thread-safe; owned by one
+/// simulation loop.
+class FlowTracer {
+ public:
+  FlowTracer() = default;
+  FlowTracer(double sample_rate, size_t max_flows)
+      : sample_rate_(sample_rate < 0 ? 0 : sample_rate),
+        max_flows_(max_flows) {}
+
+  bool enabled() const { return sample_rate_ > 0; }
+  double sample_rate() const { return sample_rate_; }
+
+  /// Decides whether to trace this source event; if selected, opens its
+  /// span and returns true. `max_flows` caps memory: past it, no new flows
+  /// are opened (existing ones still accumulate hops).
+  bool SampleSource(uint64_t seq, int event_type, uint32_t origin,
+                    uint64_t time_us);
+
+  /// True if `seq` identifies an open span.
+  bool IsTraced(uint64_t seq) const {
+    return index_.find(seq) != index_.end();
+  }
+
+  void AddHop(uint64_t seq, const FlowHop& hop);
+
+  /// Marks the flow completed at its first sink emission.
+  void Complete(uint64_t seq, uint64_t sink_us, int query);
+
+  const std::vector<FlowSpan>& spans() const { return spans_; }
+  uint64_t sampled() const { return static_cast<uint64_t>(spans_.size()); }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  double sample_rate_ = 0;
+  size_t max_flows_ = 0;
+  double credit_ = 0;
+  uint64_t dropped_ = 0;  ///< selected by pacing but over max_flows
+  std::vector<FlowSpan> spans_;
+  std::unordered_map<uint64_t, size_t> index_;  ///< seq -> spans_ index
+};
+
+}  // namespace muse::obs
+
+#endif  // MUSE_OBS_FLOW_TRACE_H_

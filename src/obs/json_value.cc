@@ -1,0 +1,269 @@
+#include "src/obs/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace muse::obs {
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+const char* JsonValue::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "boolean";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!Value(out, 0)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing content");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool String(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          default: return Fail("unsupported escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number(double* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      bool exp_digits = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) return Fail("malformed exponent");
+    }
+    if (!digits) return Fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    return true;
+  }
+
+  bool Value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      bool first = true;
+      while (!Peek('}')) {
+        if (!first && !Consume(',')) return false;
+        first = false;
+        std::string key;
+        if (!String(&key) || !Consume(':')) return false;
+        JsonValue member;
+        if (!Value(&member, depth + 1)) return false;
+        out->object[key] = std::move(member);
+      }
+      return Consume('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      bool first = true;
+      while (!Peek(']')) {
+        if (!first && !Consume(',')) return false;
+        first = false;
+        JsonValue item;
+        if (!Value(&item, depth + 1)) return false;
+        out->array.push_back(std::move(item));
+      }
+      return Consume(']');
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return Number(&out->number);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+void Validate(const JsonValue& value, const JsonValue& schema,
+              const std::string& path, std::vector<std::string>* out) {
+  const JsonValue* type = schema.Get("type");
+  if (type != nullptr && type->kind == JsonValue::Kind::kString) {
+    const std::string& want = type->string;
+    const char* got = JsonValue::KindName(value.kind);
+    if (want != got) {
+      out->push_back(path + ": expected " + want + ", got " + got);
+      return;  // member checks below would only cascade
+    }
+  }
+  if (value.kind == JsonValue::Kind::kObject) {
+    const JsonValue* required = schema.Get("required");
+    if (required != nullptr && required->is_array()) {
+      for (const JsonValue& name : required->array) {
+        if (name.kind == JsonValue::Kind::kString &&
+            value.Get(name.string) == nullptr) {
+          out->push_back(path + ": missing required member '" + name.string +
+                         "'");
+        }
+      }
+    }
+    const JsonValue* props = schema.Get("properties");
+    if (props != nullptr && props->is_object()) {
+      for (const auto& [name, subschema] : props->object) {
+        const JsonValue* member = value.Get(name);
+        if (member != nullptr) {
+          Validate(*member, subschema, path + "." + name, out);
+        }
+      }
+    }
+  }
+  if (value.kind == JsonValue::Kind::kArray) {
+    const JsonValue* min_items = schema.Get("minItems");
+    if (min_items != nullptr && min_items->kind == JsonValue::Kind::kNumber &&
+        static_cast<double>(value.array.size()) < min_items->number) {
+      out->push_back(path + ": fewer than " +
+                     std::to_string(static_cast<long long>(min_items->number)) +
+                     " items");
+    }
+    const JsonValue* items = schema.Get("items");
+    if (items != nullptr) {
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        Validate(value.array[i], *items,
+                 path + "[" + std::to_string(i) + "]", out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  Parser p(text);
+  JsonValue out;
+  if (!p.Parse(&out)) return Err("JSON: ", p.error());
+  return out;
+}
+
+std::vector<std::string> ValidateJsonSchema(const JsonValue& value,
+                                            const JsonValue& schema) {
+  std::vector<std::string> out;
+  Validate(value, schema, "$", &out);
+  return out;
+}
+
+}  // namespace muse::obs

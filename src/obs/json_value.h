@@ -1,0 +1,57 @@
+#ifndef MUSE_OBS_JSON_VALUE_H_
+#define MUSE_OBS_JSON_VALUE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace muse::obs {
+
+/// A parsed JSON document — the generic counterpart of the purpose-built
+/// reader in core/plan_json.cc, grown string/number/null support so the
+/// telemetry exporter's output (and its schema) can be re-read and
+/// validated. Hardened like plan_json: every malformed input reports
+/// instead of crashing.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion order is irrelevant for validation; a map keeps lookups
+  /// simple and deterministic.
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const;
+
+  static const char* KindName(Kind kind);
+};
+
+/// Parses a complete JSON document (objects, arrays, strings with the
+/// escapes the exporter emits, numbers, booleans, null).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Validates `value` against `schema`, a subset of JSON Schema sufficient
+/// for the checked-in telemetry schema (tools/metrics_schema.json):
+///   * "type": "object" | "array" | "string" | "number" | "boolean"
+///   * "required": [member names]           (objects)
+///   * "properties": {name: subschema}      (objects; extra members allowed)
+///   * "items": subschema                   (arrays; applied to every item)
+///   * "minItems": n                        (arrays)
+/// Returns human-readable violations ("$.metrics[3].name: expected string"),
+/// empty when the document conforms.
+std::vector<std::string> ValidateJsonSchema(const JsonValue& value,
+                                            const JsonValue& schema);
+
+}  // namespace muse::obs
+
+#endif  // MUSE_OBS_JSON_VALUE_H_

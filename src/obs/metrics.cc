@@ -1,0 +1,263 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace muse::obs {
+
+LabelSet::LabelSet(
+    std::initializer_list<std::pair<std::string, std::string>> labels) {
+  for (const auto& [k, v] : labels) Set(k, v);
+}
+
+void LabelSet::Set(std::string key, std::string value) {
+  auto it = std::lower_bound(
+      labels_.begin(), labels_.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it != labels_.end() && it->first == key) {
+    it->second = std::move(value);
+    return;
+  }
+  labels_.insert(it, {std::move(key), std::move(value)});
+}
+
+std::string LabelSet::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : labels_) {
+    if (!out.empty()) out += ",";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+void Gauge::Set(double v) {
+  value_.store(v, std::memory_order_relaxed);
+  RaiseMax(v);
+}
+
+void Gauge::Add(double delta) {
+  // CAS loop rather than fetch_add so the paired max update sees the value
+  // this thread produced (and to avoid relying on atomic<double>::fetch_add
+  // support across standard libraries).
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+  RaiseMax(cur + delta);
+}
+
+void Gauge::RaiseMax(double v) {
+  double cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketIndex(uint64_t units) {
+  constexpr uint64_t kSubCount = 1ULL << kSubBits;
+  if (units < kSubCount) return static_cast<int>(units);
+  const int msb = 63 - std::countl_zero(units);
+  const int shift = msb - kSubBits;
+  const uint64_t sub = (units >> shift) - kSubCount;  // in [0, kSubCount)
+  return static_cast<int>(kSubCount + static_cast<uint64_t>(shift) * kSubCount +
+                          sub);
+}
+
+namespace {
+
+/// Lower bound (inclusive) of bucket `index` in integer units.
+uint64_t BucketLowerUnits(int index) {
+  constexpr uint64_t kSubCount = 1ULL << Histogram::kSubBits;
+  const uint64_t i = static_cast<uint64_t>(index);
+  if (i < kSubCount) return i;
+  const uint64_t shift = i / kSubCount - 1;
+  const uint64_t sub = i % kSubCount;
+  return (kSubCount + sub) << shift;
+}
+
+uint64_t BucketWidthUnits(int index) {
+  constexpr uint64_t kSubCount = 1ULL << Histogram::kSubBits;
+  const uint64_t i = static_cast<uint64_t>(index);
+  if (i < kSubCount) return 1;
+  return 1ULL << (i / kSubCount - 1);
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  uint64_t units = 0;
+  if (value > 0) {
+    const double scaled = value / resolution_ + 0.5;
+    // Clamp astronomically large observations into the top bucket instead
+    // of overflowing the unit conversion.
+    units = scaled >= 1.8e19 ? UINT64_MAX : static_cast<uint64_t>(scaled);
+  }
+  buckets_[static_cast<size_t>(BucketIndex(units))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t mn = min_units_.load(std::memory_order_relaxed);
+  while (units < mn && !min_units_.compare_exchange_weak(
+                           mn, units, std::memory_order_relaxed)) {
+  }
+  uint64_t mx = max_units_.load(std::memory_order_relaxed);
+  while (units > mx && !max_units_.compare_exchange_weak(
+                           mx, units, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Min() const {
+  if (Count() == 0) return 0;
+  return static_cast<double>(min_units_.load(std::memory_order_relaxed)) *
+         resolution_;
+}
+
+double Histogram::Max() const {
+  if (Count() == 0) return 0;
+  return static_cast<double>(max_units_.load(std::memory_order_relaxed)) *
+         resolution_;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::BucketUpperBound(int index) const {
+  return static_cast<double>(BucketLowerUnits(index) +
+                             BucketWidthUnits(index)) *
+         resolution_;
+}
+
+double Histogram::BucketWidth(int index) const {
+  return static_cast<double>(BucketWidthUnits(index)) * resolution_;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based rank of the order statistic at quantile q.
+  const uint64_t rank = static_cast<uint64_t>(
+      q * static_cast<double>(n - 1) + 0.5);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    seen += c;
+    if (seen > rank) {
+      // Bucket midpoint, clamped into the observed [min, max] so quantiles
+      // of a histogram never fall outside its exact extrema.
+      const double mid = (static_cast<double>(BucketLowerUnits(i)) +
+                          static_cast<double>(BucketWidthUnits(i)) * 0.5) *
+                         resolution_;
+      return std::clamp(mid, Min(), Max());
+    }
+  }
+  return Max();
+}
+
+std::vector<std::pair<int, uint64_t>> Histogram::NonEmptyBuckets() const {
+  std::vector<std::pair<int, uint64_t>> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (c != 0) out.emplace_back(i, c);
+  }
+  return out;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = other.buckets_[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (c != 0) {
+      buckets_[static_cast<size_t>(i)].fetch_add(c,
+                                                 std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  const double add = other.Sum();
+  while (!sum_.compare_exchange_weak(sum, sum + add,
+                                     std::memory_order_relaxed)) {
+  }
+  const uint64_t omn = other.min_units_.load(std::memory_order_relaxed);
+  uint64_t mn = min_units_.load(std::memory_order_relaxed);
+  while (omn < mn && !min_units_.compare_exchange_weak(
+                         mn, omn, std::memory_order_relaxed)) {
+  }
+  const uint64_t omx = other.max_units_.load(std::memory_order_relaxed);
+  uint64_t mx = max_units_.load(std::memory_order_relaxed);
+  while (omx > mx && !max_units_.compare_exchange_weak(
+                         mx, omx, std::memory_order_relaxed)) {
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instance& inst = instances_[{name, labels}];
+  if (inst.counter == nullptr) {
+    inst.kind = MetricKind::kCounter;
+    inst.counter = std::make_unique<Counter>();
+  }
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instance& inst = instances_[{name, labels}];
+  if (inst.gauge == nullptr) {
+    inst.kind = MetricKind::kGauge;
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return inst.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         double resolution) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instance& inst = instances_[{name, labels}];
+  if (inst.histogram == nullptr) {
+    inst.kind = MetricKind::kHistogram;
+    inst.histogram = std::make_unique<Histogram>(resolution);
+  }
+  return inst.histogram.get();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(instances_.size());
+  for (const auto& [key, inst] : instances_) {
+    Entry e;
+    e.name = key.first;
+    e.labels = key.second;
+    e.kind = inst.kind;
+    e.counter = inst.counter.get();
+    e.gauge = inst.gauge.get();
+    e.histogram = inst.histogram.get();
+    out.push_back(std::move(e));
+  }
+  return out;  // map order is already (name, labels)
+}
+
+size_t MetricsRegistry::FamilySize(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (auto it = instances_.lower_bound({name, LabelSet{}});
+       it != instances_.end() && it->first.first == name; ++it) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace muse::obs

@@ -1,0 +1,182 @@
+#ifndef MUSE_OBS_METRICS_H_
+#define MUSE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace muse::obs {
+
+/// Label set of one metric instance within a family, e.g.
+/// {{"node","3"},{"proj","C,L"}}. Kept sorted by key so equal label sets
+/// compare equal regardless of construction order.
+class LabelSet {
+ public:
+  LabelSet() = default;
+  LabelSet(
+      std::initializer_list<std::pair<std::string, std::string>> labels);
+
+  void Set(std::string key, std::string value);
+  const std::vector<std::pair<std::string, std::string>>& labels() const {
+    return labels_;
+  }
+  bool empty() const { return labels_.empty(); }
+
+  /// Canonical "k1=v1,k2=v2" rendering (stable across runs).
+  std::string ToString() const;
+
+  friend bool operator<(const LabelSet& a, const LabelSet& b) {
+    return a.labels_ < b.labels_;
+  }
+  friend bool operator==(const LabelSet& a, const LabelSet& b) {
+    return a.labels_ == b.labels_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> labels_;  // sorted by key
+};
+
+/// Monotonically increasing counter. Increments are lock-free
+/// (relaxed atomics): concurrent writers only need the total to be exact,
+/// not ordered against other memory.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, buffered matches). Tracks the maximum
+/// ever set so peaks survive snapshotting.
+class Gauge {
+ public:
+  void Set(double v);
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void RaiseMax(double v);
+
+  std::atomic<double> value_{0};
+  std::atomic<double> max_{0};
+};
+
+/// Log-bucketed HDR-style histogram: values are scaled to integer units of
+/// `resolution`, then bucketed log-linearly — exact below 2^kSubBits units,
+/// and 2^kSubBits linear sub-buckets per octave above, bounding the
+/// relative quantization error by 2^-kSubBits (6.25%). Recording is a
+/// single relaxed atomic increment; quantile queries scan ~1000 buckets.
+///
+/// Replaces the lossy 5-point `Distribution` summary for latency and queue
+/// depths: arbitrary quantiles can be recovered after the fact, and two
+/// histograms can be merged exactly (bucket-wise sums).
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;  ///< 16 sub-buckets per octave
+  static constexpr int kNumBuckets =
+      ((64 - kSubBits) << kSubBits) + (1 << kSubBits);
+
+  explicit Histogram(double resolution = 1e-3) : resolution_(resolution) {}
+
+  /// Records one observation (negative values clamp to 0).
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Min() const;  ///< 0 when empty
+  double Max() const;  ///< 0 when empty
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1]: the midpoint of the bucket containing
+  /// the rank-q observation — within half a bucket width of the exact
+  /// order statistic.
+  double Quantile(double q) const;
+
+  double resolution() const { return resolution_; }
+
+  /// Upper bound (exclusive) of bucket `index`, in value units.
+  double BucketUpperBound(int index) const;
+  /// Width of bucket `index` in value units (the quantization step at that
+  /// magnitude) — the tolerance unit of the acceptance tests.
+  double BucketWidth(int index) const;
+  uint64_t BucketCount(int index) const {
+    return buckets_[static_cast<size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
+  static int BucketIndex(uint64_t units);
+
+  /// Non-empty (index, count) pairs, ascending.
+  std::vector<std::pair<int, uint64_t>> NonEmptyBuckets() const;
+
+  /// Adds all of `other`'s recorded observations (resolutions must match).
+  void MergeFrom(const Histogram& other);
+
+ private:
+  double resolution_;
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<uint64_t> min_units_{UINT64_MAX};
+  std::atomic<uint64_t> max_units_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Registry of labeled metric families. Metric lookup/creation takes a
+/// mutex; the returned pointers are stable for the registry's lifetime and
+/// all updates through them are lock-free. Families group instances of one
+/// name; instances are distinguished by label sets.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels = {});
+  Histogram* GetHistogram(const std::string& name,
+                          const LabelSet& labels = {},
+                          double resolution = 1e-3);
+
+  /// One registered metric instance, for export iteration.
+  struct Entry {
+    std::string name;
+    LabelSet labels;
+    MetricKind kind;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Stable-ordered (by name, then labels) view of all instances.
+  std::vector<Entry> Entries() const;
+
+  /// Number of label sets registered under `name` (its cardinality).
+  size_t FamilySize(const std::string& name) const;
+
+ private:
+  struct Instance {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, LabelSet>, Instance> instances_;
+};
+
+}  // namespace muse::obs
+
+#endif  // MUSE_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+#ifndef MUSE_OBS_TELEMETRY_H_
+#define MUSE_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/flow_trace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+
+namespace muse::obs {
+
+/// Telemetry configuration of one distributed execution. Defaults are
+/// cheap: cumulative registry metrics and coarse per-node snapshots, no
+/// flow tracing, no per-link or per-match label explosion.
+///
+/// Label cardinality rules (enforced statically by muse_lint's M70x
+/// rules, see analysis/verify.h):
+///   * registry label values must come from finite deployment-sized
+///     domains (node, task, link, query) — never from data (match keys,
+///     flow ids, payload attributes);
+///   * per-link series are opt-in because their cardinality is O(nodes²);
+///   * flow tracing is sampled and capped (`max_flows`) so span memory is
+///     bounded regardless of trace length.
+struct ObsOptions {
+  /// Snapshot cadence of the time series in simulated milliseconds;
+  /// 0 disables periodic snapshots entirely.
+  uint64_t snapshot_bucket_ms = 250;
+
+  /// Fraction of primitive source events whose flow is traced end-to-end
+  /// (0 disables tracing, 1 traces everything).
+  double trace_sample_rate = 0;
+
+  /// Cap on concurrently tracked flow spans (0 = unlimited — flagged by
+  /// muse_lint when combined with a positive sample rate).
+  size_t max_flows = 4096;
+
+  /// Also emit per-(src,dst)-link series, not just per-node aggregates.
+  bool per_link_series = false;
+
+  /// Pathological knob kept for the M700 lint demonstration and tests:
+  /// labels emitted match counters by match key — unbounded cardinality.
+  bool label_per_match = false;
+
+  /// Registry growth guard used by the static M70x cardinality estimate.
+  size_t max_label_cardinality = 10'000;
+
+  /// Keep the exact per-match latency samples next to the HDR histogram
+  /// (test/diagnostic mode; memory is O(matches)).
+  bool keep_exact_latency = false;
+};
+
+/// Everything one instrumented run produced: cumulative metrics, the
+/// time-bucketed series, and sampled flow spans. Attached to SimReport so
+/// existing call sites keep their aggregate view while exporters get the
+/// full data.
+struct RunTelemetry {
+  MetricsRegistry registry;
+  TimeSeries series;
+  FlowTracer flows;
+  /// Only populated with ObsOptions::keep_exact_latency.
+  std::vector<double> exact_latency_ms;
+};
+
+}  // namespace muse::obs
+
+#endif  // MUSE_OBS_TELEMETRY_H_

@@ -1,0 +1,54 @@
+#ifndef MUSE_OBS_TIMESERIES_H_
+#define MUSE_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace muse::obs {
+
+/// One sample of a time series: (bucket timestamp, value). Timestamps are
+/// simulated milliseconds (bucket upper edges).
+struct SeriesPoint {
+  uint64_t t_ms = 0;
+  double value = 0;
+};
+
+/// Time-bucketed series of labeled metrics — the over-time view the
+/// snapshotter (dist/simulator) appends to at every bucket boundary.
+/// Cumulative series (…_total) are monotone non-decreasing by construction
+/// at the recording sites; snapshot_monotone tests rely on that.
+class TimeSeries {
+ public:
+  using Key = std::pair<std::string, LabelSet>;
+
+  void Append(const std::string& name, const LabelSet& labels, uint64_t t_ms,
+              double value) {
+    series_[{name, labels}].push_back({t_ms, value});
+  }
+
+  /// Stable-ordered (name, labels) -> points.
+  const std::map<Key, std::vector<SeriesPoint>>& series() const {
+    return series_;
+  }
+
+  const std::vector<SeriesPoint>* Find(const std::string& name,
+                                       const LabelSet& labels) const {
+    auto it = series_.find({name, labels});
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const { return series_.empty(); }
+  size_t num_series() const { return series_.size(); }
+
+ private:
+  std::map<Key, std::vector<SeriesPoint>> series_;
+};
+
+}  // namespace muse::obs
+
+#endif  // MUSE_OBS_TIMESERIES_H_

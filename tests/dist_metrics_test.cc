@@ -1,0 +1,109 @@
+#include "src/dist/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/cep/parser.h"
+#include "src/core/amuse.h"
+#include "src/core/multi_query.h"
+#include "src/dist/simulator.h"
+#include "src/net/network.h"
+
+namespace muse {
+namespace {
+
+TEST(DistributionTest, EmptyIsAllZero) {
+  Distribution d = Distribution::Of({});
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.min, 0.0);
+  EXPECT_EQ(d.p25, 0.0);
+  EXPECT_EQ(d.p50, 0.0);
+  EXPECT_EQ(d.p75, 0.0);
+  EXPECT_EQ(d.max, 0.0);
+}
+
+TEST(DistributionTest, SingleSampleIsDegenerate) {
+  Distribution d = Distribution::Of({7.5});
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.min, 7.5);
+  EXPECT_EQ(d.p25, 7.5);
+  EXPECT_EQ(d.p50, 7.5);
+  EXPECT_EQ(d.p75, 7.5);
+  EXPECT_EQ(d.max, 7.5);
+}
+
+TEST(DistributionTest, TwoSamplesInterpolate) {
+  Distribution d = Distribution::Of({10.0, 0.0});
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.min, 0.0);
+  EXPECT_EQ(d.max, 10.0);
+  EXPECT_DOUBLE_EQ(d.p25, 2.5);
+  EXPECT_DOUBLE_EQ(d.p50, 5.0);
+  EXPECT_DOUBLE_EQ(d.p75, 7.5);
+}
+
+TEST(DistributionTest, QuantilesAreOrdered) {
+  std::vector<double> samples;
+  uint64_t state = 99;
+  for (int i = 0; i < 257; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    samples.push_back(static_cast<double>(state >> 40));
+  }
+  Distribution d = Distribution::Of(samples);
+  EXPECT_EQ(d.count, samples.size());
+  EXPECT_LE(d.min, d.p25);
+  EXPECT_LE(d.p25, d.p50);
+  EXPECT_LE(d.p50, d.p75);
+  EXPECT_LE(d.p75, d.max);
+}
+
+TEST(DistributionTest, FromHistogramEmptyAndOrdering) {
+  obs::Histogram empty(1e-3);
+  Distribution zero = Distribution::FromHistogram(empty);
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_EQ(zero.max, 0.0);
+
+  obs::Histogram h(1e-3);
+  for (int i = 1; i <= 500; ++i) h.Record(i * 0.37);
+  Distribution d = Distribution::FromHistogram(h);
+  EXPECT_EQ(d.count, 500u);
+  EXPECT_LE(d.min, d.p25);
+  EXPECT_LE(d.p25, d.p50);
+  EXPECT_LE(d.p50, d.p75);
+  EXPECT_LE(d.p75, d.max);
+  EXPECT_NEAR(d.min, 0.37, 1e-3);
+  EXPECT_NEAR(d.max, 185.0, 1e-3);
+}
+
+TEST(DistMetricsTest, EmptyTraceReportHasNoNansOrInfs) {
+  // Regression for the satellite fix: an empty trace must produce a
+  // finite, all-zero report (no division by the zero duration).
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  q.set_window(200);
+  Network net(2, 2);
+  net.AddProducer(0, 0);
+  net.AddProducer(1, 1);
+  net.SetRate(0, 5);
+  net.SetRate(1, 5);
+  WorkloadCatalogs catalogs({q}, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  Deployment dep(plan.combined, catalogs.Pointers());
+  DistributedSimulator sim(dep, SimOptions{});
+  SimReport report = sim.Run({});
+
+  EXPECT_EQ(report.source_events, 0u);
+  EXPECT_EQ(report.network_messages, 0u);
+  EXPECT_EQ(report.network_message_rate, 0.0);
+  EXPECT_TRUE(std::isfinite(report.network_message_rate));
+  EXPECT_TRUE(std::isfinite(report.throughput_events_per_s));
+  EXPECT_EQ(report.latency_ms.count, 0u);
+  EXPECT_TRUE(std::isfinite(report.latency_ms.p50));
+  EXPECT_EQ(report.max_peak_partial_matches, 0u);
+  ASSERT_NE(report.telemetry, nullptr);
+}
+
+}  // namespace
+}  // namespace muse

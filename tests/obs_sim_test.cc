@@ -1,0 +1,316 @@
+#include "src/dist/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/cep/parser.h"
+#include "src/core/amuse.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/net/network_gen.h"
+#include "src/net/trace.h"
+#include "src/workload/spec.h"
+
+namespace muse {
+namespace {
+
+/// Random-config environment, same shape as simulator_test.cc.
+struct Env {
+  TypeRegistry reg;
+  std::vector<Query> workload;
+  Network net;
+  std::vector<Event> trace;
+
+  Env(const std::vector<std::string>& patterns, uint64_t window_ms,
+      uint64_t seed, uint64_t duration_ms = 4000, int num_nodes = 4)
+      : net(1, 1) {
+    for (const std::string& p : patterns) {
+      Query q = ParseQuery(p, &reg).value();
+      q.set_window(window_ms);
+      workload.push_back(std::move(q));
+    }
+    Rng rng(seed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = num_nodes;
+    nopts.num_types = reg.size();
+    nopts.event_node_ratio = 0.6;
+    nopts.max_rate = 8;
+    net = MakeRandomNetwork(nopts, rng);
+    TraceOptions topts;
+    topts.duration_ms = duration_ms;
+    topts.attr_cardinality[0] = 3;
+    topts.attr_cardinality[1] = 2;
+    trace = GenerateGlobalTrace(net, topts, rng);
+  }
+};
+
+SimReport RunPlan(const MuseGraph& plan, const WorkloadCatalogs& catalogs,
+                  const std::vector<Event>& trace, const SimOptions& opts) {
+  Deployment dep(plan, catalogs.Pointers());
+  DistributedSimulator sim(dep, opts);
+  return sim.Run(trace);
+}
+
+TEST(ObsSimTest, SpanCompletenessOnThreeNodeSeqDeployment) {
+  // Hand-built 3-node deployment: A produced at node 0, B at node 2, so
+  // every match requires at least one network hop. With sample_rate = 1
+  // every source event gets a span, and a span is completed iff its event
+  // ended up in a match.
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  q.set_window(300);
+  Network net(3, 2);
+  net.AddProducer(0, 0);
+  net.AddProducer(2, 1);
+  net.SetRate(0, 5);
+  net.SetRate(1, 5);
+  Rng rng(11);
+  TraceOptions topts;
+  topts.duration_ms = 3000;
+  std::vector<Event> trace = GenerateGlobalTrace(net, topts, rng);
+  ASSERT_FALSE(trace.empty());
+
+  WorkloadCatalogs catalogs({q}, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimOptions opts;
+  opts.obs.trace_sample_rate = 1.0;
+  opts.obs.max_flows = 1 << 20;
+  SimReport report = RunPlan(plan.combined, catalogs, trace, opts);
+  ASSERT_NE(report.telemetry, nullptr);
+  const obs::FlowTracer& flows = report.telemetry->flows;
+  ASSERT_EQ(flows.sampled(), trace.size());
+  EXPECT_EQ(flows.dropped(), 0u);
+
+  std::set<uint64_t> in_match;
+  ASSERT_EQ(report.matches_per_query.size(), 1u);
+  ASSERT_FALSE(report.matches_per_query[0].empty());
+  for (const Match& m : report.matches_per_query[0]) {
+    for (const Event& e : m.events) in_match.insert(e.seq);
+  }
+
+  size_t completed = 0;
+  bool saw_cross_node_hop = false;
+  for (const obs::FlowSpan& span : flows.spans()) {
+    EXPECT_EQ(span.completed, in_match.count(span.flow_id) > 0)
+        << "flow " << span.flow_id;
+    if (span.completed) {
+      ++completed;
+      EXPECT_EQ(span.sink_query, 0);
+      EXPECT_GE(span.sink_us, span.start_us);
+    }
+    uint64_t prev_depart = span.start_us;
+    for (const obs::FlowHop& hop : span.hops) {
+      EXPECT_LT(hop.src_node, 3u);
+      EXPECT_LT(hop.dst_node, 3u);
+      EXPECT_GE(hop.depart_us, prev_depart);
+      prev_depart = hop.depart_us;
+      if (hop.src_node != hop.dst_node) saw_cross_node_hop = true;
+    }
+  }
+  EXPECT_EQ(completed, in_match.size());
+  EXPECT_TRUE(saw_cross_node_hop);
+}
+
+TEST(ObsSimTest, SnapshotCumulativeSeriesAreMonotone) {
+  Env env({"SEQ(AND(A, B), D)"}, 300, 42);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimOptions opts;
+  opts.obs.snapshot_bucket_ms = 200;
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace, opts);
+  ASSERT_NE(report.telemetry, nullptr);
+  const obs::TimeSeries& ts = report.telemetry->series;
+  ASSERT_FALSE(ts.empty());
+
+  size_t total_series = 0;
+  for (const auto& [key, points] : ts.series()) {
+    const auto& [name, labels] = key;
+    ASSERT_FALSE(points.empty()) << name;
+    for (size_t i = 1; i < points.size(); ++i) {
+      EXPECT_GT(points[i].t_ms, points[i - 1].t_ms)
+          << name << "{" << labels.ToString() << "}";
+    }
+    const bool cumulative =
+        name.size() > 6 && name.compare(name.size() - 6, 6, "_total") == 0;
+    if (!cumulative) continue;
+    ++total_series;
+    for (size_t i = 1; i < points.size(); ++i) {
+      EXPECT_GE(points[i].value, points[i - 1].value)
+          << name << "{" << labels.ToString() << "}";
+    }
+  }
+  EXPECT_GT(total_series, 0u);
+
+  // The closing snapshot re-publishes the final counter values, so the
+  // last point of every node_inputs_total series equals its registry
+  // counter.
+  obs::MetricsRegistry& reg = report.telemetry->registry;
+  for (int n = 0; n < env.net.num_nodes(); ++n) {
+    obs::LabelSet labels{{"node", std::to_string(n)}};
+    const std::vector<obs::SeriesPoint>* points =
+        ts.Find("node_inputs_total", labels);
+    ASSERT_NE(points, nullptr) << "node " << n;
+    EXPECT_EQ(points->back().value,
+              static_cast<double>(
+                  reg.GetCounter("node_inputs_total", labels)->Value()))
+        << "node " << n;
+  }
+}
+
+TEST(ObsSimTest, HdrLatencyQuantilesMatchExactSamples) {
+  // The acceptance criterion end-to-end: the report's histogram-derived
+  // latency quantiles must agree with the exact per-match samples
+  // (keep_exact_latency) to within one bucket width.
+  Env env({"SEQ(A, B)"}, 300, 48);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimOptions opts;
+  opts.obs.keep_exact_latency = true;
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace, opts);
+  ASSERT_NE(report.telemetry, nullptr);
+
+  std::vector<double> exact = report.telemetry->exact_latency_ms;
+  ASSERT_FALSE(exact.empty());
+  std::sort(exact.begin(), exact.end());
+  ASSERT_EQ(report.latency_ms.count, exact.size());
+
+  obs::Histogram* hist = report.telemetry->registry.GetHistogram(
+      "latency_ms", {{"query", "0"}}, 1e-3);
+  EXPECT_EQ(hist->Count(), exact.size());
+
+  auto width_at = [&](double value) {
+    uint64_t units =
+        static_cast<uint64_t>(std::llround(value / hist->resolution()));
+    return hist->BucketWidth(obs::Histogram::BucketIndex(units));
+  };
+  auto expect_close = [&](double got, double q, const char* which) {
+    double idx = q * static_cast<double>(exact.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, exact.size() - 1);
+    double tol = width_at(exact[hi]) + hist->resolution();
+    EXPECT_GE(got, exact[lo] - tol) << which;
+    EXPECT_LE(got, exact[hi] + tol) << which;
+  };
+  expect_close(report.latency_ms.p25, 0.25, "p25");
+  expect_close(report.latency_ms.p50, 0.50, "p50");
+  expect_close(report.latency_ms.p75, 0.75, "p75");
+  EXPECT_NEAR(report.latency_ms.min, exact.front(),
+              2 * hist->resolution());
+  EXPECT_NEAR(report.latency_ms.max, exact.back(), 2 * hist->resolution());
+}
+
+TEST(ObsSimTest, CentralizedCongestionExceedsMuseOnRobotsSpec) {
+  // §7.3: on the robots case study, the single-sink plan's busiest node
+  // accumulates visibly more partial matches than the MuSE plan's.
+  std::ifstream in(std::string(MUSE_SOURCE_DIR) +
+                   "/examples/specs/robots.spec");
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(buf.str());
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  const DeploymentSpec& dep = spec.value();
+
+  Rng rng(1);
+  TraceOptions topts;
+  topts.duration_ms = 3000;
+  std::vector<Event> trace = GenerateGlobalTrace(dep.network, topts, rng);
+  ASSERT_FALSE(trace.empty());
+
+  WorkloadCatalogs catalogs(dep.workload, dep.network);
+  SimOptions opts;
+  opts.collect_matches = false;
+
+  WorkloadPlan muse_plan = PlanWorkloadAmuse(catalogs);
+  SimReport muse_report =
+      RunPlan(muse_plan.combined, catalogs, trace, opts);
+
+  MuseGraph central = BuildCentralizedPlan(catalogs.Pointers(), 0);
+  SimReport central_report = RunPlan(central, catalogs, trace, opts);
+
+  EXPECT_GT(central_report.max_peak_partial_matches,
+            muse_report.max_peak_partial_matches);
+
+  // The same gap must be visible in the snapshot series of each plan's
+  // busiest node.
+  auto busiest_curve_peak = [](const SimReport& report) {
+    size_t busiest = 0;
+    for (size_t n = 1; n < report.peak_partial_matches.size(); ++n) {
+      if (report.peak_partial_matches[n] >
+          report.peak_partial_matches[busiest]) {
+        busiest = n;
+      }
+    }
+    const std::vector<obs::SeriesPoint>* points =
+        report.telemetry->series.Find(
+            "node_partial_matches",
+            {{"node", std::to_string(busiest)}});
+    double peak = 0;
+    if (points != nullptr) {
+      for (const obs::SeriesPoint& p : *points) {
+        peak = std::max(peak, p.value);
+      }
+    }
+    return peak;
+  };
+  EXPECT_GT(busiest_curve_peak(central_report),
+            busiest_curve_peak(muse_report));
+}
+
+TEST(ObsSimTest, NetworkMessagesEqualLinkCounterSum) {
+  Env env({"SEQ(AND(A, B), D)"}, 300, 47, /*duration_ms=*/4000);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimOptions opts;
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace, opts);
+  ASSERT_NE(report.telemetry, nullptr);
+  ASSERT_GT(report.network_messages, 0u);
+
+  uint64_t link_sum = 0;
+  uint64_t link_bytes = 0;
+  for (const obs::MetricsRegistry::Entry& e :
+       report.telemetry->registry.Entries()) {
+    if (e.name == "link_messages_total") link_sum += e.counter->Value();
+    if (e.name == "link_bytes_total") link_bytes += e.counter->Value();
+  }
+  EXPECT_EQ(link_sum, report.network_messages);
+  EXPECT_GT(link_bytes, 0u);
+}
+
+TEST(ObsSimTest, FailureIncrementsCounterWithoutBreakingRun) {
+  Env env({"SEQ(A, B)"}, 300, 49);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimOptions opts;
+  opts.failures = {{1, 2000}};
+  SimReport report = RunPlan(plan.combined, catalogs, env.trace, opts);
+  ASSERT_NE(report.telemetry, nullptr);
+  EXPECT_EQ(report.telemetry->registry
+                .GetCounter("node_failures_total", {{"node", "1"}})
+                ->Value(),
+            1u);
+}
+
+TEST(ObsSimTest, DefaultOptionsProduceTelemetryWithoutTracing) {
+  Env env({"SEQ(A, B)"}, 300, 50);
+  WorkloadCatalogs catalogs(env.workload, env.net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  SimReport report =
+      RunPlan(plan.combined, catalogs, env.trace, SimOptions{});
+  ASSERT_NE(report.telemetry, nullptr);
+  EXPECT_EQ(report.telemetry->flows.sampled(), 0u);
+  EXPECT_FALSE(report.telemetry->series.empty());
+  EXPECT_EQ(report.telemetry->registry.GetCounter("sim_source_events")
+                ->Value(),
+            env.trace.size());
+  EXPECT_TRUE(report.telemetry->exact_latency_ms.empty());
+}
+
+}  // namespace
+}  // namespace muse

@@ -1,0 +1,406 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/flow_trace.h"
+#include "src/obs/json_value.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/timeseries.h"
+
+namespace muse::obs {
+namespace {
+
+/// Deterministic pseudo-random stream (no <random> to keep values stable
+/// across standard libraries).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Quantization step of `h` at `value` — the tolerance unit of the
+/// histogram-vs-exact comparisons.
+double WidthAt(const Histogram& h, double value) {
+  uint64_t units =
+      static_cast<uint64_t>(std::llround(value / h.resolution()));
+  return h.BucketWidth(Histogram::BucketIndex(units));
+}
+
+/// Exact order statistic at quantile q of sorted samples, as the closed
+/// interval [floor-rank, ceil-rank] so rank-convention differences do not
+/// flip the test.
+std::pair<double, double> ExactRange(const std::vector<double>& sorted,
+                                     double q) {
+  double idx = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return {sorted[lo], sorted[hi]};
+}
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h(1e-3);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_TRUE(h.NonEmptyBuckets().empty());
+}
+
+TEST(HistogramTest, QuantilesWithinOneBucketWidthOfExact) {
+  // The acceptance criterion: HDR quantiles must agree with an exact
+  // oracle over the raw samples to within one bucket width at that
+  // magnitude.
+  Histogram h(1e-3);
+  Lcg rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    // Latency-like mixture: a dense low mode plus a long sparse tail
+    // spanning several octaves.
+    double v = static_cast<double>(rng.Next() % 10000) * 0.01;
+    if (rng.Next() % 16 == 0) {
+      v += static_cast<double>(rng.Next() % 100000) * 0.05;
+    }
+    samples.push_back(v);
+    h.Record(v);
+  }
+  ASSERT_EQ(h.Count(), samples.size());
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    auto [lo, hi] = ExactRange(samples, q);
+    double got = h.Quantile(q);
+    double tol = WidthAt(h, hi) + h.resolution();
+    EXPECT_GE(got, lo - tol) << "q=" << q;
+    EXPECT_LE(got, hi + tol) << "q=" << q;
+  }
+  // Min/max are stored in exact units, so they only lose the resolution
+  // rounding, never a bucket width.
+  EXPECT_NEAR(h.Min(), samples.front(), h.resolution());
+  EXPECT_NEAR(h.Max(), samples.back(), h.resolution());
+  EXPECT_NEAR(h.Mean(), h.Sum() / static_cast<double>(h.Count()), 1e-9);
+}
+
+TEST(HistogramTest, QuantilesMonotoneInQ) {
+  Histogram h(1.0);
+  Lcg rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(static_cast<double>(rng.Next() % 1000000));
+  }
+  double prev = h.Quantile(0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    double cur = h.Quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(HistogramTest, BucketBoundariesAreConsistent) {
+  // BucketIndex and BucketUpperBound must agree: every value strictly
+  // below a bucket's upper bound maps to that bucket or an earlier one,
+  // and upper bounds are strictly increasing with positive widths.
+  Histogram h(1.0);
+  double prev_bound = 0;
+  for (int i = 0; i < 200; ++i) {
+    double bound = h.BucketUpperBound(i);
+    EXPECT_GT(bound, prev_bound) << "bucket " << i;
+    EXPECT_GT(h.BucketWidth(i), 0.0) << "bucket " << i;
+    prev_bound = bound;
+  }
+  for (uint64_t units : {0ULL, 1ULL, 15ULL, 16ULL, 17ULL, 31ULL, 32ULL,
+                         1000ULL, 123456789ULL}) {
+    int idx = Histogram::BucketIndex(units);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_LT(static_cast<double>(units), h.BucketUpperBound(idx))
+        << "units=" << units;
+    if (idx > 0) {
+      EXPECT_GE(static_cast<double>(units), h.BucketUpperBound(idx - 1))
+          << "units=" << units;
+    }
+  }
+}
+
+TEST(HistogramTest, MergeAddsObservations) {
+  Histogram a(1e-3);
+  Histogram b(1e-3);
+  for (int i = 1; i <= 100; ++i) a.Record(i * 0.5);
+  for (int i = 1; i <= 50; ++i) b.Record(i * 3.0);
+  Histogram merged(1e-3);
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.Count(), a.Count() + b.Count());
+  EXPECT_NEAR(merged.Sum(), a.Sum() + b.Sum(), 1e-6);
+  EXPECT_NEAR(merged.Min(), std::min(a.Min(), b.Min()), 1e-3);
+  EXPECT_NEAR(merged.Max(), std::max(a.Max(), b.Max()), 1e-3);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram h(1.0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>((t * kPerThread + i) % 977));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (const auto& [idx, count] : h.NonEmptyBuckets()) bucket_total += count;
+  EXPECT_EQ(bucket_total, h.Count());
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(GaugeTest, TracksCurrentAndMax) {
+  Gauge g;
+  g.Set(5);
+  g.Set(12);
+  g.Set(3);
+  EXPECT_EQ(g.Value(), 3.0);
+  EXPECT_EQ(g.Max(), 12.0);
+  g.Add(20);
+  EXPECT_EQ(g.Value(), 23.0);
+  EXPECT_EQ(g.Max(), 23.0);
+}
+
+TEST(LabelSetTest, CanonicalRegardlessOfInsertionOrder) {
+  LabelSet a{{"node", "3"}, {"query", "0"}};
+  LabelSet b;
+  b.Set("query", "0");
+  b.Set("node", "3");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "node=3,query=0");
+  LabelSet c{{"node", "4"}, {"query", "0"}};
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c);
+}
+
+TEST(RegistryTest, InstancePointersAreStableAndDistinct) {
+  MetricsRegistry reg;
+  Counter* c0 = reg.GetCounter("node_inputs_total", {{"node", "0"}});
+  Counter* c1 = reg.GetCounter("node_inputs_total", {{"node", "1"}});
+  EXPECT_NE(c0, c1);
+  EXPECT_EQ(c0, reg.GetCounter("node_inputs_total", {{"node", "0"}}));
+  c0->Add(7);
+  EXPECT_EQ(reg.GetCounter("node_inputs_total", {{"node", "0"}})->Value(),
+            7u);
+  EXPECT_EQ(reg.FamilySize("node_inputs_total"), 2u);
+  EXPECT_EQ(reg.FamilySize("missing"), 0u);
+
+  reg.GetGauge("depth");
+  reg.GetHistogram("lat", {}, 1e-3)->Record(1.5);
+  std::vector<MetricsRegistry::Entry> entries = reg.Entries();
+  ASSERT_EQ(entries.size(), 4u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i - 1].name, entries[i].name);
+    if (entries[i - 1].name == entries[i].name) {
+      EXPECT_TRUE(entries[i - 1].labels < entries[i].labels);
+    }
+  }
+}
+
+TEST(FlowTracerTest, CreditPacingIsDeterministic) {
+  FlowTracer a(0.25, 0);
+  FlowTracer b(0.25, 0);
+  for (uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_EQ(a.SampleSource(seq, 0, 0, seq * 10),
+              b.SampleSource(seq, 0, 0, seq * 10));
+  }
+  EXPECT_EQ(a.sampled(), 25u);
+  EXPECT_EQ(a.dropped(), 0u);
+  ASSERT_EQ(a.spans().size(), b.spans().size());
+  for (size_t i = 0; i < a.spans().size(); ++i) {
+    EXPECT_EQ(a.spans()[i].flow_id, b.spans()[i].flow_id);
+  }
+}
+
+TEST(FlowTracerTest, MaxFlowsCapsSpansAndCountsDrops) {
+  FlowTracer t(1.0, 10);
+  for (uint64_t seq = 0; seq < 25; ++seq) {
+    t.SampleSource(seq, 0, 0, seq);
+  }
+  EXPECT_EQ(t.sampled(), 10u);
+  EXPECT_EQ(t.dropped(), 15u);
+  EXPECT_TRUE(t.IsTraced(9));
+  EXPECT_FALSE(t.IsTraced(10));
+}
+
+TEST(FlowTracerTest, HopsAccumulateAndFirstSinkWins) {
+  FlowTracer t(1.0, 0);
+  ASSERT_TRUE(t.SampleSource(42, 3, 1, 1000));
+  FlowHop hop;
+  hop.task = 5;
+  hop.src_node = 1;
+  hop.dst_node = 2;
+  hop.depart_us = 2000;
+  hop.network_us = 5000;
+  t.AddHop(42, hop);
+  t.AddHop(99, hop);  // untraced seq: ignored
+  t.Complete(42, 9000, 0);
+  t.Complete(42, 12000, 1);  // later sink must not overwrite the first
+  ASSERT_EQ(t.spans().size(), 1u);
+  const FlowSpan& span = t.spans()[0];
+  EXPECT_EQ(span.flow_id, 42u);
+  EXPECT_EQ(span.origin, 1u);
+  ASSERT_EQ(span.hops.size(), 1u);
+  EXPECT_EQ(span.hops[0].dst_node, 2u);
+  EXPECT_TRUE(span.completed);
+  EXPECT_EQ(span.sink_us, 9000u);
+  EXPECT_EQ(span.sink_query, 0);
+}
+
+TEST(FlowTracerTest, ZeroRateSamplesNothing) {
+  FlowTracer t(0, 100);
+  EXPECT_FALSE(t.enabled());
+  for (uint64_t seq = 0; seq < 50; ++seq) {
+    EXPECT_FALSE(t.SampleSource(seq, 0, 0, seq));
+  }
+  EXPECT_EQ(t.sampled(), 0u);
+}
+
+TEST(TimeSeriesTest, AppendAndFind) {
+  TimeSeries ts;
+  LabelSet n0{{"node", "0"}};
+  ts.Append("node_input_rate", n0, 250, 12.5);
+  ts.Append("node_input_rate", n0, 500, 13.0);
+  ts.Append("node_input_rate", {{"node", "1"}}, 250, 2.0);
+  EXPECT_EQ(ts.num_series(), 2u);
+  const std::vector<SeriesPoint>* points = ts.Find("node_input_rate", n0);
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->size(), 2u);
+  EXPECT_EQ((*points)[0].t_ms, 250u);
+  EXPECT_EQ((*points)[1].value, 13.0);
+  EXPECT_EQ(ts.Find("node_input_rate", {{"node", "9"}}), nullptr);
+}
+
+TEST(JsonTest, ParsesDocumentsAndRejectsMalformed) {
+  Result<JsonValue> doc = ParseJson(
+      R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}, "e": -3})");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const JsonValue& v = doc.value();
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].string, "x");
+  EXPECT_TRUE(v.Get("b")->Get("c")->boolean);
+  EXPECT_EQ(v.Get("b")->Get("d")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.Get("e")->number, -3.0);
+
+  EXPECT_FALSE(ParseJson(R"({"a": })").ok());
+  EXPECT_FALSE(ParseJson(R"([1, 2)").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(JsonTest, SchemaValidationReportsViolations) {
+  JsonValue schema = ParseJson(R"({
+    "type": "object",
+    "required": ["metrics"],
+    "properties": {
+      "metrics": {"type": "array", "minItems": 1,
+                  "items": {"type": "object", "required": ["name"]}}
+    }
+  })")
+                         .value();
+
+  EXPECT_TRUE(
+      ValidateJsonSchema(
+          ParseJson(R"({"metrics": [{"name": "x"}]})").value(), schema)
+          .empty());
+
+  std::vector<std::string> missing =
+      ValidateJsonSchema(ParseJson(R"({})").value(), schema);
+  ASSERT_FALSE(missing.empty());
+  EXPECT_NE(missing[0].find("metrics"), std::string::npos);
+
+  EXPECT_FALSE(
+      ValidateJsonSchema(ParseJson(R"({"metrics": []})").value(), schema)
+          .empty());
+  EXPECT_FALSE(
+      ValidateJsonSchema(ParseJson(R"({"metrics": [{"x": 1}]})").value(),
+                         schema)
+          .empty());
+}
+
+TEST(ExportTest, TelemetryJsonConformsToCheckedInSchema) {
+  RunTelemetry telemetry;
+  telemetry.registry.GetCounter("node_inputs_total", {{"node", "0"}})
+      ->Add(3);
+  telemetry.registry.GetGauge("node_partial_matches", {{"node", "0"}})
+      ->Set(2);
+  telemetry.registry.GetHistogram("latency_ms", {{"query", "0"}}, 1e-3)
+      ->Record(7.25);
+  telemetry.series.Append("node_input_rate", {{"node", "0"}}, 250, 4.0);
+  FlowTracer tracer(1.0, 16);
+  tracer.SampleSource(0, 1, 2, 1000);
+  FlowHop hop;
+  hop.task = 3;
+  hop.src_node = 2;
+  hop.dst_node = 0;
+  hop.depart_us = 1500;
+  tracer.AddHop(0, hop);
+  tracer.Complete(0, 5000, 0);
+  telemetry.flows = std::move(tracer);
+
+  Result<JsonValue> doc = ParseJson(TelemetryToJson(telemetry));
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+
+  std::ifstream in(std::string(MUSE_SOURCE_DIR) +
+                   "/tools/metrics_schema.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<JsonValue> schema = ParseJson(buf.str());
+  ASSERT_TRUE(schema.ok()) << schema.error().message;
+
+  std::vector<std::string> violations =
+      ValidateJsonSchema(doc.value(), schema.value());
+  for (const std::string& v : violations) ADD_FAILURE() << v;
+}
+
+TEST(ExportTest, SeriesCsvHasOneRowPerPoint) {
+  TimeSeries ts;
+  ts.Append("node_input_rate", {{"node", "0"}}, 250, 4.0);
+  ts.Append("node_input_rate", {{"node", "0"}}, 500, 5.0);
+  std::string csv = SeriesToCsv(ts);
+  EXPECT_NE(csv.find("node_input_rate"), std::string::npos);
+  EXPECT_NE(csv.find("node=0"), std::string::npos);
+  size_t rows = static_cast<size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, 3u);  // header + 2 points
+}
+
+}  // namespace
+}  // namespace muse::obs

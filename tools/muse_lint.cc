@@ -5,6 +5,9 @@
 //             [--algorithm amuse|amuse-star|oop|centralized]
 //             [--no-rates] [--rate-tolerance <frac>] [--no-deploy]
 //             [--strict]
+//             [--obs-sample-rate <r>] [--obs-max-flows <n>]
+//             [--obs-per-link] [--obs-per-match-labels]
+//             [--obs-max-cardinality <n>]
 //
 // With a plan argument, the JSON plan (see src/core/plan_json.h; "-" reads
 // stdin) is verified against the spec's workload; this is the path for
@@ -17,8 +20,12 @@
 //
 // After the plan rules (M1xx-M5xx) pass without errors, the plan is
 // compiled to tasks and the deployment wiring rules (M6xx) run as well;
-// --no-deploy skips that stage. Diagnostics go to stdout, one per line, in
-// compiler style:
+// --no-deploy skips that stage. The --obs-* flags describe the telemetry
+// configuration a run of this deployment would use (obs/telemetry.h);
+// passing any of them additionally runs the M70x observability rules,
+// which estimate metric/series label cardinality against the deployment's
+// size and flag unbounded label domains. Diagnostics go to stdout, one per
+// line, in compiler style:
 //
 //   error[M200/input-gap] vertex 5 (q0:{A,C}@n3): input coverage gap: ...
 //
@@ -47,7 +54,10 @@ int Usage() {
       "                 [--algorithm amuse|amuse-star|oop|centralized]\n"
       "                 [--no-rates] [--rate-tolerance <frac>] "
       "[--no-deploy]\n"
-      "                 [--strict]\n");
+      "                 [--strict]\n"
+      "                 [--obs-sample-rate <r>] [--obs-max-flows <n>]\n"
+      "                 [--obs-per-link] [--obs-per-match-labels]\n"
+      "                 [--obs-max-cardinality <n>]\n");
   return 2;
 }
 
@@ -62,6 +72,8 @@ int main(int argc, char** argv) {
   VerifyOptions options;
   bool deploy = true;
   bool strict = false;
+  obs::ObsOptions obs;
+  bool check_obs = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
       algorithm = argv[++i];
@@ -79,6 +91,25 @@ int main(int argc, char** argv) {
       deploy = false;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--obs-sample-rate") == 0 &&
+               i + 1 < argc) {
+      obs.trace_sample_rate = std::strtod(argv[++i], nullptr);
+      check_obs = true;
+    } else if (std::strcmp(argv[i], "--obs-max-flows") == 0 && i + 1 < argc) {
+      obs.max_flows =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      check_obs = true;
+    } else if (std::strcmp(argv[i], "--obs-per-link") == 0) {
+      obs.per_link_series = true;
+      check_obs = true;
+    } else if (std::strcmp(argv[i], "--obs-per-match-labels") == 0) {
+      obs.label_per_match = true;
+      check_obs = true;
+    } else if (std::strcmp(argv[i], "--obs-max-cardinality") == 0 &&
+               i + 1 < argc) {
+      obs.max_label_cardinality =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      check_obs = true;
     } else if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) {
       if (!plan_path.empty()) return Usage();
       plan_path = argv[i];
@@ -151,6 +182,12 @@ int main(int argc, char** argv) {
     Deployment deployment(plan, catalogs.Pointers());
     num_tasks = deployment.num_tasks();
     report.MergeFrom(VerifyDeployment(deployment, dep.network, options));
+  }
+  if (check_obs) {
+    report.MergeFrom(VerifyObsConfig(
+        obs, dep.network.num_nodes(),
+        num_tasks >= 0 ? num_tasks : plan.num_vertices(),
+        static_cast<int>(dep.workload.size())));
   }
 
   for (const Diagnostic& d : report.diagnostics()) {

@@ -1,0 +1,417 @@
+// muse_metrics — run a spec end-to-end (plan, deploy, simulate) and report
+// the run's telemetry: per-node and per-projection tables, latency
+// quantiles, flow-trace summary, and the full time series.
+//
+// Usage:
+//   muse_metrics <spec-file>
+//     [--algorithm amuse|amuse-star|oop|centralized]  planner (default amuse)
+//     [--duration-ms <n>]   simulated trace length (default 10000)
+//     [--seed <n>]          trace RNG seed (default 1)
+//     [--bucket-ms <n>]     snapshot cadence (default 250)
+//     [--sample-rate <r>]   flow-trace sampling (default 0.01)
+//     [--per-link]          also emit per-(src,dst) link series
+//     [--compare]           also run the centralized plan and print the
+//                           busiest-node partial-match curves side by side
+//     [--json <file|->]     dump telemetry JSON (obs/export.h shape)
+//     [--csv <file|->]      dump the time series as CSV
+//     [--schema <file>]     validate the JSON dump against this schema;
+//                           exits 1 when the document does not conform
+//
+// The spec format is documented in src/workload/spec.h; samples live in
+// examples/specs/. With --json - the JSON goes to stdout and the report to
+// stderr (mirrors muse_plan).
+//
+// Exit status: 0 success, 1 schema violations or write failures, 2 usage,
+// unreadable/unparseable spec, or unreadable/unparseable schema.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/dist/simulator.h"
+#include "src/net/trace.h"
+#include "src/obs/export.h"
+#include "src/obs/json_value.h"
+#include "src/workload/spec.h"
+
+namespace {
+
+using namespace muse;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: muse_metrics <spec-file> [--algorithm amuse|amuse-star"
+               "|oop|centralized]\n"
+               "  [--duration-ms <n>] [--seed <n>] [--bucket-ms <n>] "
+               "[--sample-rate <r>]\n"
+               "  [--per-link] [--compare] [--json <file|->] "
+               "[--csv <file|->] [--schema <file>]\n");
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* content) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+struct Args {
+  std::string spec_path;
+  std::string algorithm = "amuse";
+  uint64_t duration_ms = 10'000;
+  uint64_t seed = 1;
+  uint64_t bucket_ms = 250;
+  double sample_rate = 0.01;
+  bool per_link = false;
+  bool compare = false;
+  std::string json_path;
+  std::string csv_path;
+  std::string schema_path;
+};
+
+/// Plans the workload with `algorithm` and executes the trace, exporting
+/// the planner's statistics into the run's registry.
+SimReport PlanAndRun(const std::string& algorithm,
+                     const WorkloadCatalogs& catalogs,
+                     const std::vector<Event>& trace, const Args& args,
+                     MuseGraph* plan_out) {
+  MuseGraph plan;
+  PlannerStats stats;
+  if (algorithm == "amuse" || algorithm == "amuse-star") {
+    PlannerOptions opts;
+    opts.star = algorithm == "amuse-star";
+    WorkloadPlan wp = PlanWorkloadAmuse(catalogs, opts);
+    plan = std::move(wp.combined);
+    stats = wp.aggregate_stats;
+  } else if (algorithm == "oop") {
+    WorkloadPlan wp = PlanWorkloadOop(catalogs);
+    plan = std::move(wp.combined);
+    stats = wp.aggregate_stats;
+  } else {
+    plan = BuildCentralizedPlan(catalogs.Pointers(), 0);
+  }
+
+  Deployment dep(plan, catalogs.Pointers());
+  SimOptions sim_opts;
+  sim_opts.collect_matches = false;
+  sim_opts.obs.snapshot_bucket_ms = args.bucket_ms;
+  sim_opts.obs.trace_sample_rate = args.sample_rate;
+  sim_opts.obs.per_link_series = args.per_link;
+  DistributedSimulator sim(dep, sim_opts);
+  SimReport report = sim.Run(trace);
+  stats.ExportTo(&report.telemetry->registry, algorithm);
+  if (plan_out != nullptr) *plan_out = std::move(plan);
+  return report;
+}
+
+uint64_t CounterValue(const obs::MetricsRegistry& registry,
+                      const std::string& name, const obs::LabelSet& labels) {
+  // Entries() iteration keeps this read-only (GetCounter would create).
+  for (const obs::MetricsRegistry::Entry& e : registry.Entries()) {
+    if (e.name == name && e.labels == labels &&
+        e.kind == obs::MetricKind::kCounter) {
+      return e.counter->Value();
+    }
+  }
+  return 0;
+}
+
+void PrintNodeTable(std::FILE* out, const SimReport& report,
+                    size_t num_nodes) {
+  const obs::MetricsRegistry& reg = report.telemetry->registry;
+  std::fprintf(out, "\nper-node:\n");
+  std::fprintf(out, "  %-5s %10s %10s %12s %10s %12s %8s\n", "node", "inputs",
+               "busy_ms", "peak_partial", "net_msgs", "net_bytes", "dup");
+  for (size_t n = 0; n < num_nodes; ++n) {
+    const obs::LabelSet labels{{"node", std::to_string(n)}};
+    std::fprintf(
+        out, "  %-5zu %10llu %10.1f %12llu %10llu %12llu %8llu\n", n,
+        static_cast<unsigned long long>(
+            CounterValue(reg, "node_inputs_total", labels)),
+        static_cast<double>(CounterValue(reg, "node_busy_us_total", labels)) /
+            1000.0,
+        static_cast<unsigned long long>(
+            n < report.peak_partial_matches.size()
+                ? report.peak_partial_matches[n]
+                : 0),
+        static_cast<unsigned long long>(
+            CounterValue(reg, "node_net_out_messages_total", labels)),
+        static_cast<unsigned long long>(
+            CounterValue(reg, "node_net_out_bytes_total", labels)),
+        static_cast<unsigned long long>(
+            CounterValue(reg, "node_dup_dropped_total", labels)));
+  }
+}
+
+void PrintTaskTable(std::FILE* out, const SimReport& report,
+                    const Deployment& dep, const TypeRegistry* type_reg) {
+  const obs::MetricsRegistry& reg = report.telemetry->registry;
+  std::fprintf(out, "\nper-projection:\n");
+  std::fprintf(out, "  %10s %10s  %s\n", "inputs", "outputs", "task");
+  for (const Task& t : dep.tasks()) {
+    const obs::LabelSet labels{{"node", std::to_string(t.node)},
+                               {"task", std::to_string(t.id)}};
+    std::fprintf(out, "  %10llu %10llu  %s\n",
+                 static_cast<unsigned long long>(
+                     CounterValue(reg, "task_inputs_total", labels)),
+                 static_cast<unsigned long long>(
+                     CounterValue(reg, "task_outputs_total", labels)),
+                 t.ToString(type_reg).c_str());
+  }
+}
+
+void PrintLatency(std::FILE* out, const SimReport& report) {
+  std::fprintf(out, "\nlatency (ms): %s\n",
+               report.latency_ms.ToString().c_str());
+  for (const obs::MetricsRegistry::Entry& e :
+       report.telemetry->registry.Entries()) {
+    if (e.name != "latency_ms" || e.histogram == nullptr ||
+        e.histogram->Count() == 0) {
+      continue;
+    }
+    std::fprintf(out,
+                 "  %s: n=%llu p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+                 e.labels.ToString().c_str(),
+                 static_cast<unsigned long long>(e.histogram->Count()),
+                 e.histogram->Quantile(0.50), e.histogram->Quantile(0.90),
+                 e.histogram->Quantile(0.99), e.histogram->Max());
+  }
+}
+
+void PrintFlows(std::FILE* out, const SimReport& report) {
+  const obs::FlowTracer& flows = report.telemetry->flows;
+  if (!flows.enabled()) return;
+  uint64_t completed = 0;
+  size_t hops = 0;
+  for (const obs::FlowSpan& s : flows.spans()) {
+    completed += s.completed ? 1 : 0;
+    hops += s.hops.size();
+  }
+  std::fprintf(out,
+               "\nflows: sampled=%llu completed=%llu dropped=%llu "
+               "avg_hops=%.1f\n",
+               static_cast<unsigned long long>(flows.sampled()),
+               static_cast<unsigned long long>(completed),
+               static_cast<unsigned long long>(flows.dropped()),
+               flows.sampled() > 0
+                   ? static_cast<double>(hops) /
+                         static_cast<double>(flows.sampled())
+                   : 0.0);
+}
+
+/// The node with the highest peak partial-match load.
+size_t BusiestNode(const SimReport& report) {
+  size_t busiest = 0;
+  for (size_t n = 1; n < report.peak_partial_matches.size(); ++n) {
+    if (report.peak_partial_matches[n] >
+        report.peak_partial_matches[busiest]) {
+      busiest = n;
+    }
+  }
+  return busiest;
+}
+
+/// §7.3 congestion view: the partial-match curve of each plan's busiest
+/// node, one row per snapshot bucket. Single-sink (centralized/oOP) plans
+/// funnel all partial matches through one node; the MuSE plan's busiest
+/// node should stay visibly below.
+void PrintComparison(std::FILE* out, const std::string& algorithm,
+                     const SimReport& plan_report,
+                     const SimReport& central_report) {
+  const size_t plan_busy = BusiestNode(plan_report);
+  const size_t central_busy = BusiestNode(central_report);
+  const std::vector<obs::SeriesPoint>* plan_curve =
+      plan_report.telemetry->series.Find(
+          "node_partial_matches",
+          obs::LabelSet{{"node", std::to_string(plan_busy)}});
+  const std::vector<obs::SeriesPoint>* central_curve =
+      central_report.telemetry->series.Find(
+          "node_partial_matches",
+          obs::LabelSet{{"node", std::to_string(central_busy)}});
+  std::fprintf(out,
+               "\nbusiest-node partial-match curve (%s node %zu vs "
+               "centralized node %zu):\n",
+               algorithm.c_str(), plan_busy, central_busy);
+  std::fprintf(out, "  %10s %12s %12s\n", "t_ms", algorithm.c_str(),
+               "centralized");
+  const size_t rows =
+      std::max(plan_curve != nullptr ? plan_curve->size() : 0,
+               central_curve != nullptr ? central_curve->size() : 0);
+  for (size_t i = 0; i < rows; ++i) {
+    const obs::SeriesPoint* p =
+        plan_curve != nullptr && i < plan_curve->size() ? &(*plan_curve)[i]
+                                                        : nullptr;
+    const obs::SeriesPoint* c =
+        central_curve != nullptr && i < central_curve->size()
+            ? &(*central_curve)[i]
+            : nullptr;
+    std::fprintf(out, "  %10llu %12.0f %12.0f\n",
+                 static_cast<unsigned long long>(p != nullptr   ? p->t_ms
+                                                 : c != nullptr ? c->t_ms
+                                                                : 0),
+                 p != nullptr ? p->value : 0.0, c != nullptr ? c->value : 0.0);
+  }
+  std::fprintf(out, "  peak: %s=%llu centralized=%llu\n", algorithm.c_str(),
+               static_cast<unsigned long long>(
+                   plan_report.max_peak_partial_matches),
+               static_cast<unsigned long long>(
+                   central_report.max_peak_partial_matches));
+}
+
+int ValidateAgainstSchema(const std::string& json,
+                          const std::string& schema_path) {
+  std::string schema_text;
+  if (!ReadFile(schema_path, &schema_text)) return 2;
+  Result<obs::JsonValue> schema = obs::ParseJson(schema_text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "error: schema %s: %s\n", schema_path.c_str(),
+                 schema.error().message.c_str());
+    return 2;
+  }
+  Result<obs::JsonValue> doc = obs::ParseJson(json);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: exported JSON does not re-parse: %s\n",
+                 doc.error().message.c_str());
+    return 1;
+  }
+  std::vector<std::string> violations =
+      obs::ValidateJsonSchema(doc.value(), schema.value());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "schema violation: %s\n", v.c_str());
+  }
+  if (!violations.empty()) return 1;
+  std::fprintf(stderr, "schema: telemetry JSON conforms to %s\n",
+               schema_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.spec_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](uint64_t* v) {
+      if (i + 1 >= argc) return false;
+      *v = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
+      args.algorithm = argv[++i];
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0) {
+      if (!next(&args.duration_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!next(&args.seed)) return Usage();
+    } else if (std::strcmp(argv[i], "--bucket-ms") == 0) {
+      if (!next(&args.bucket_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--sample-rate") == 0 && i + 1 < argc) {
+      args.sample_rate = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--per-link") == 0) {
+      args.per_link = true;
+    } else if (std::strcmp(argv[i], "--compare") == 0) {
+      args.compare = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      args.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
+      args.schema_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  const bool known_algorithm =
+      args.algorithm == "amuse" || args.algorithm == "amuse-star" ||
+      args.algorithm == "oop" || args.algorithm == "centralized";
+  if (!known_algorithm) return Usage();
+
+  std::string spec_text;
+  if (!ReadFile(args.spec_path, &spec_text)) return 2;
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(spec_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.error().message.c_str());
+    return 2;
+  }
+  const DeploymentSpec& dep_spec = spec.value();
+
+  std::FILE* out = args.json_path == "-" ? stderr : stdout;
+  std::fprintf(out, "network: %d nodes, %d event types; %zu queries\n",
+               dep_spec.network.num_nodes(), dep_spec.network.num_types(),
+               dep_spec.workload.size());
+
+  WorkloadCatalogs catalogs(dep_spec.workload, dep_spec.network);
+  Rng rng(args.seed);
+  TraceOptions trace_opts;
+  trace_opts.duration_ms = args.duration_ms;
+  std::vector<Event> trace =
+      GenerateGlobalTrace(dep_spec.network, trace_opts, rng);
+  std::fprintf(out, "trace: %zu events over %llu ms (seed %llu)\n",
+               trace.size(),
+               static_cast<unsigned long long>(args.duration_ms),
+               static_cast<unsigned long long>(args.seed));
+
+  MuseGraph plan;
+  SimReport report =
+      PlanAndRun(args.algorithm, catalogs, trace, args, &plan);
+  Deployment dep(plan, catalogs.Pointers());
+
+  std::fprintf(out, "\nalgorithm: %s\n%s\n", args.algorithm.c_str(),
+               report.Summary().c_str());
+  PrintNodeTable(out, report,
+                 static_cast<size_t>(dep_spec.network.num_nodes()));
+  PrintTaskTable(out, report, dep, &dep_spec.registry);
+  PrintLatency(out, report);
+  PrintFlows(out, report);
+
+  if (args.compare) {
+    SimReport central =
+        PlanAndRun("centralized", catalogs, trace, args, nullptr);
+    PrintComparison(out, args.algorithm, report, central);
+  }
+
+  int rc = 0;
+  if (!args.json_path.empty() || !args.schema_path.empty()) {
+    const std::string json = obs::TelemetryToJson(*report.telemetry);
+    if (args.json_path == "-") {
+      std::printf("%s", json.c_str());
+    } else if (!args.json_path.empty() && !WriteFile(args.json_path, json)) {
+      rc = 1;
+    }
+    if (!args.schema_path.empty() && rc == 0) {
+      rc = ValidateAgainstSchema(json, args.schema_path);
+    }
+  }
+  if (!args.csv_path.empty()) {
+    const std::string csv = obs::SeriesToCsv(report.telemetry->series);
+    if (args.csv_path == "-") {
+      std::printf("%s", csv.c_str());
+    } else if (!WriteFile(args.csv_path, csv)) {
+      rc = 1;
+    }
+  }
+  return rc;
+}
