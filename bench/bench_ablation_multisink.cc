@@ -50,6 +50,7 @@ void Run() {
 }  // namespace muse::bench
 
 int main(int argc, char** argv) {
+  muse::bench::InitBench(argc, argv);
   muse::bench::Run();
   return muse::bench::FinishBench(argc, argv);
 }

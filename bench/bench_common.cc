@@ -1,17 +1,51 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "src/obs/export.h"
 
 namespace muse::bench {
+namespace {
+
+int g_bench_threads = 0;  // 0 = hardware concurrency (PlannerOptions default)
+
+/// Consumes a `--threads <n>` / `--threads=<n>` occurrence at argv[i];
+/// returns the number of argv slots it spans (0 if argv[i] is not the
+/// flag).
+int MatchThreadsFlag(int argc, char** argv, int i, int* out) {
+  if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+    *out = std::atoi(argv[i] + 10);
+    return 1;
+  }
+  if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+    *out = std::atoi(argv[i + 1]);
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
 
 obs::MetricsRegistry& BenchRegistry() {
   static obs::MetricsRegistry registry;
   return registry;
 }
+
+void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    int threads = 0;
+    const int span = MatchThreadsFlag(argc, argv, i, &threads);
+    if (span > 0) {
+      g_bench_threads = threads;
+      i += span - 1;
+    }
+  }
+}
+
+int BenchThreads() { return g_bench_threads; }
 
 PlannerOptions BenchPlannerOptions(bool star) {
   PlannerOptions opts;
@@ -22,16 +56,23 @@ PlannerOptions BenchPlannerOptions(bool star) {
   opts.combo.max_combinations = 6000;
   opts.max_graphs = 150'000;
   opts.metrics = &BenchRegistry();
+  opts.num_threads = g_bench_threads;
   return opts;
 }
 
 int FinishBench(int argc, char** argv) {
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+    int threads = 0;
+    const int span = MatchThreadsFlag(argc, argv, i, &threads);
+    if (span > 0) {
+      i += span - 1;  // consumed by InitBench
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--metrics-out <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads <n>] [--metrics-out <path>]\n",
+                   argv[0]);
       return 2;
     }
   }

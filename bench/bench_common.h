@@ -59,8 +59,19 @@ RatioPoint RunRatioPoint(const SweepConfig& config, uint64_t base_seed);
 
 /// Planner options used by all benches (guarded combination enumeration).
 /// Wires the process-global BenchRegistry() as the metrics sink, so every
-/// planner run of the bench contributes to the --metrics-out dump.
+/// planner run of the bench contributes to the --metrics-out dump, and the
+/// `--threads` count captured by InitBench as num_threads.
 PlannerOptions BenchPlannerOptions(bool star);
+
+/// Common bench prologue: captures `--threads <n>` / `--threads=<n>`
+/// (planner parallelism for every subsequent BenchPlannerOptions; 0 =
+/// hardware concurrency, 1 = serial). Every bench main starts with
+/// `InitBench(argc, argv);`. Unknown flags are left for FinishBench to
+/// reject.
+void InitBench(int argc, char** argv);
+
+/// Thread count captured by InitBench (0 until seen).
+int BenchThreads();
 
 /// Process-global metrics registry of this bench binary.
 obs::MetricsRegistry& BenchRegistry();

@@ -23,6 +23,7 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace muse::bench;
+  InitBench(argc, argv);
   SweepConfig base;
   RunSweep("Fig 5a: transmission ratio vs event node ratio (default)", base,
            501);

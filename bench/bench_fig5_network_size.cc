@@ -24,6 +24,7 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace muse::bench;
+  InitBench(argc, argv);
   SweepConfig base;
   RunSweep("Fig 5c: transmission ratio vs network size (default workload)",
            base, 503);

@@ -24,6 +24,7 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace muse::bench;
+  InitBench(argc, argv);
   SweepConfig base;
   RunSweep("Fig 6a: transmission ratio vs event skew (default)", base, 601);
   RunSweep("Fig 6b: transmission ratio vs event skew (large)", base.Large(),

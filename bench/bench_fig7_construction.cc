@@ -19,6 +19,7 @@ void Point(const char* label, const SweepConfig& cfg, uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace muse::bench;
+  InitBench(argc, argv);
   PrintTitle("Fig 7d: construction time (s) and projections considered");
   PrintHeader({"config", "aMuSE time", "aMuSE* time", "aMuSE #proj",
                "aMuSE* #proj"});

@@ -28,6 +28,7 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace muse::bench;
+  InitBench(argc, argv);
   SweepConfig base;
   RunSweep("Fig 7a: transmission ratio vs min selectivity (default)", base,
            701);

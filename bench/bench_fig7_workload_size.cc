@@ -25,6 +25,7 @@ void RunSweep(const char* title, const SweepConfig& base, uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace muse::bench;
+  InitBench(argc, argv);
   SweepConfig base;
   RunSweep("Fig 7c: transmission ratio vs workload size", base, 703);
   return muse::bench::FinishBench(argc, argv);

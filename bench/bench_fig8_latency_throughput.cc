@@ -62,6 +62,7 @@ void Run() {
 }  // namespace muse::bench
 
 int main(int argc, char** argv) {
+  muse::bench::InitBench(argc, argv);
   muse::bench::Run();
   return muse::bench::FinishBench(argc, argv);
 }

@@ -1,12 +1,29 @@
 // Google-benchmark microbenchmarks of the planner building blocks:
 // catalog construction (projection enumeration), combination enumeration,
 // and full aMuSE / aMuSE* / oOP planning on the default configuration.
+//
+// `--scaling` switches to the muse-par thread-scaling mode instead: it
+// plans the Fig. 7 workload-size configuration (10 queries, seed 703) at
+// num_threads ∈ {1, 2, 4, 8} (plus the `--threads` value, if any), checks
+// the plan JSON is byte-identical across thread counts, and writes the
+// measurements to BENCH_planner.json (`--out <path>` overrides, "-" =
+// stdout) — the first datapoint of the bench trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
 #include "bench/bench_common.h"
+#include "src/common/thread_pool.h"
 #include "src/core/combination.h"
 #include "src/core/placement_oop.h"
+#include "src/core/plan_json.h"
 
 namespace muse::bench {
 namespace {
@@ -79,5 +96,138 @@ void BM_PlanOop(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanOop);
 
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+int RunPlannerScaling(const std::string& out_path, int reps) {
+  // The Fig. 7 workload-size configuration at its 10-query point, seed 703
+  // (matching bench_fig7_workload_size's sweep). Instance generation and
+  // catalog construction run once, outside the timed region.
+  SweepConfig cfg;
+  cfg.num_queries = 10;
+  Rng rng(703);
+  NetworkGenOptions nopts;
+  nopts.num_nodes = cfg.num_nodes;
+  nopts.num_types = cfg.num_types;
+  nopts.event_node_ratio = cfg.event_node_ratio;
+  nopts.rate_skew = cfg.rate_skew;
+  Network net = MakeRandomNetwork(nopts, rng);
+  SelectivityModel model(cfg.num_types, cfg.min_selectivity,
+                         cfg.max_selectivity, rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = cfg.num_queries;
+  qopts.avg_primitives = cfg.avg_primitives;
+  qopts.num_types = cfg.num_types;
+  std::vector<Query> workload = GenerateWorkload(qopts, model, rng);
+  WorkloadCatalogs catalogs(workload, net);
+
+  std::set<int> counts{1, 2, 4, 8};
+  if (BenchThreads() > 0) counts.insert(BenchThreads());
+
+  struct Point {
+    int threads;
+    double seconds;
+    double cost;
+    bool identical;
+  };
+  std::vector<Point> points;
+  std::string baseline_json;
+  bool all_identical = true;
+  for (int threads : counts) {
+    PlannerOptions opts = BenchPlannerOptions(false);
+    opts.refine_passes = 0;
+    opts.num_threads = threads;
+    double best = 0;
+    double cost = 0;
+    std::string plan_json;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      WorkloadPlan wp = PlanWorkloadAmuse(catalogs, opts);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (r == 0 || secs < best) best = secs;
+      cost = wp.total_cost;
+      plan_json = PlanToJson(wp.combined);
+    }
+    if (threads == 1) baseline_json = plan_json;
+    const bool identical = plan_json == baseline_json;
+    all_identical &= identical;
+    points.push_back(Point{threads, best, cost, identical});
+    std::printf("threads=%d  %.3fs  cost=%.3f  plan %s\n", threads, best,
+                cost, identical ? "identical" : "DIVERGED");
+  }
+
+  const double baseline = points.front().seconds;
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"planner_scaling\",\n";
+  json << "  \"config\": {\"num_nodes\": " << cfg.num_nodes
+       << ", \"num_types\": " << cfg.num_types
+       << ", \"num_queries\": " << cfg.num_queries
+       << ", \"avg_primitives\": " << cfg.avg_primitives
+       << ", \"seed\": 703},\n";
+  json << "  \"hardware_executors\": " << ThreadPool::HardwareExecutors()
+       << ",\n";
+  json << "  \"reps\": " << reps << ",\n";
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(baseline_json)));
+  json << "  \"plan_hash\": \"" << hash << "\",\n";
+  json << "  \"plan_bytes\": " << baseline_json.size() << ",\n";
+  json << "  \"plans_identical\": " << (all_identical ? "true" : "false")
+       << ",\n";
+  json << "  \"results\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json << "    {\"threads\": " << p.threads << ", \"seconds\": "
+         << p.seconds << ", \"speedup\": "
+         << (p.seconds > 0 ? baseline / p.seconds : 0.0) << ", \"cost\": "
+         << p.cost << ", \"plan_identical\": "
+         << (p.identical ? "true" : "false") << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (out_path == "-") {
+    std::printf("%s", json.str().c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace muse::bench
+
+int main(int argc, char** argv) {
+  muse::bench::InitBench(argc, argv);
+  bool scaling = false;
+  int reps = 3;
+  std::string out_path = "BENCH_planner.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling") == 0) {
+      scaling = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    }
+  }
+  if (scaling) return muse::bench::RunPlannerScaling(out_path, reps);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

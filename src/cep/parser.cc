@@ -20,12 +20,16 @@ class Parser {
 
   Result<Query> Parse() {
     SkipSpace();
-    Result<Query> pattern = Error{"unparsed"};
+    const size_t before_keyword = pos_;
     if (ConsumeKeyword("PATTERN")) {
-      pattern = ParseExpr(/*allow_vars=*/true);
-    } else {
-      pattern = ParseExpr(/*allow_vars=*/true);
+      // The keyword must introduce an expression. A lone "PATTERN" is a
+      // pattern *named* PATTERN (an event type can carry that name), so
+      // backtrack and parse it as the expression itself — otherwise
+      // ToString -> ParseQuery round trips fail on such queries.
+      SkipSpace();
+      if (AtEnd()) pos_ = before_keyword;
     }
+    Result<Query> pattern = ParseExpr(/*allow_vars=*/true);
     if (!pattern.ok()) return pattern;
     Query q = std::move(pattern).value();
 

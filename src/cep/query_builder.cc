@@ -40,30 +40,46 @@ struct QueryCombinator {
     for (const Query& c : children) {
       MUSE_CHECK(c.IsInitialized(), "uninitialized child query");
     }
-    // Canonical child order for commutative operators.
+    // Flatten same-kind nesting (not for NSEQ, whose children are
+    // positionally meaningful) into a list of subtree references first.
+    struct Unit {
+      const Query* src;
+      int idx;
+    };
+    std::vector<Unit> units;
+    for (const Query& c : children) {
+      const bool flatten =
+          kind != OpKind::kNseq && c.ops_[c.root_].kind == kind;
+      if (flatten) {
+        for (int grandchild : c.ops_[c.root_].children) {
+          units.push_back(Unit{&c, grandchild});
+        }
+      } else {
+        units.push_back(Unit{&c, c.root_});
+      }
+    }
+    // Canonical child order for commutative operators — over the
+    // *flattened* list: sorting the children before flattening would leave
+    // a nested same-kind child's grandchildren spliced in as one unsorted
+    // block, so OR(OR(b,d),a,c) and OR(a,b,c,d) would disagree on
+    // signature despite being the same query.
     if (kind == OpKind::kAnd || kind == OpKind::kOr) {
-      std::stable_sort(children.begin(), children.end(),
-                       [](const Query& a, const Query& b) {
-                         return a.Signature() < b.Signature();
+      std::stable_sort(units.begin(), units.end(),
+                       [](const Unit& a, const Unit& b) {
+                         return a.src->SubtreeSignature(a.idx) <
+                                b.src->SubtreeSignature(b.idx);
                        });
     }
 
     std::vector<QueryOp> ops;
     std::vector<int> child_roots;
+    child_roots.reserve(units.size());
+    for (const Unit& u : units) {
+      child_roots.push_back(CopySubtree(*u.src, u.idx, &ops));
+    }
     std::vector<Predicate> preds;
     uint64_t window = kNoWindow;
     for (Query& c : children) {
-      // Flatten same-kind nesting (not for NSEQ, whose children are
-      // positionally meaningful).
-      const bool flatten =
-          kind != OpKind::kNseq && c.ops_[c.root_].kind == kind;
-      if (flatten) {
-        for (int grandchild : c.ops_[c.root_].children) {
-          child_roots.push_back(CopySubtree(c, grandchild, &ops));
-        }
-      } else {
-        child_roots.push_back(CopySubtree(c, c.root_, &ops));
-      }
       for (Predicate& p : c.predicates_) preds.push_back(std::move(p));
       if (c.window_ != kNoWindow) {
         window = window == kNoWindow ? c.window_ : std::min(window, c.window_);

@@ -1,0 +1,221 @@
+#ifndef MUSE_COMMON_THREAD_POOL_H_
+#define MUSE_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace muse {
+
+/// A small work-stealing thread pool (muse-par). Each worker owns a deque;
+/// submitted tasks are distributed round-robin, a worker pops its own deque
+/// from the front and steals from the back of a victim's deque when its own
+/// runs dry. One pool-wide mutex guards the deques — the planner's tasks are
+/// coarse (whole candidate-costing batches), so queue contention is noise
+/// compared to the work itself, and a single lock keeps the pool trivially
+/// TSan-clean.
+///
+/// `ParallelFor` is the only primitive the planner uses: it fans an index
+/// range out over the pool *and the calling thread*. The caller always
+/// participates and claims chunks until the range is exhausted, so a loop
+/// completes even with zero pool workers and nested `ParallelFor` calls from
+/// inside a worker can never deadlock (every waiter first drains its own
+/// loop). Determinism is the caller's contract: callbacks must write only to
+/// their own index `i` (and their own `worker` slot), never accumulate into
+/// shared state in claim order.
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Creates `num_workers` worker threads (0 is allowed: every ParallelFor
+  /// then runs inline on the caller).
+  explicit ThreadPool(int num_workers) {
+    queues_.resize(static_cast<size_t>(std::max(0, num_workers)));
+    workers_.reserve(queues_.size());
+    for (size_t w = 0; w < queues_.size(); ++w) {
+      workers_.emplace_back([this, w] { WorkerMain(static_cast<int>(w)); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Worker-slot id reported to ParallelFor callbacks when the executing
+  /// thread is not a pool worker (the orchestrating caller): one past the
+  /// worker ids, so per-slot scratch arrays have num_workers() + 1 entries.
+  int caller_slot() const { return num_workers(); }
+
+  /// Number of slots a ParallelFor callback may observe.
+  int num_slots() const { return num_workers() + 1; }
+
+  /// Enqueues a task (round-robin over worker deques). Runs inline when the
+  /// pool has no workers.
+  void Submit(Task task) {
+    if (queues_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queues_[next_queue_++ % queues_.size()].push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Runs `fn(worker, i)` for every i in [0, n), distributing index chunks
+  /// over the pool workers and the calling thread; blocks until all
+  /// invocations completed. `worker` is a stable slot id in
+  /// [0, num_slots()): two concurrent invocations never share a slot, so
+  /// per-slot accumulators need no locks. `chunk` indices are claimed at a
+  /// time (0 = automatic). Index-to-slot assignment is scheduling-dependent;
+  /// only per-index outputs are deterministic.
+  void ParallelFor(int n, const std::function<void(int worker, int i)>& fn,
+                   int chunk = 0) {
+    if (n <= 0) return;
+    const int self = tls_slot_ >= 0 ? tls_slot_ : caller_slot();
+    if (workers_.empty() || n == 1) {
+      for (int i = 0; i < n; ++i) fn(self, i);
+      return;
+    }
+    auto loop = std::make_shared<Loop>();
+    loop->n = n;
+    loop->chunk =
+        chunk > 0 ? chunk : std::max(1, n / (8 * (num_workers() + 1)));
+    loop->fn = &fn;
+    const int chunks = (n + loop->chunk - 1) / loop->chunk;
+    const int runners = std::min(num_workers(), chunks - 1);
+    for (int r = 0; r < runners; ++r) {
+      Submit([this, loop] { RunLoop(*loop); });
+    }
+    RunLoop(*loop);
+    std::unique_lock<std::mutex> lock(loop->mu);
+    loop->cv.wait(lock, [&] { return loop->done.load() >= loop->n; });
+    // Stale runner tasks that wake up later observe next >= n and exit
+    // without touching `fn` (whose referent dies with this frame); the Loop
+    // itself stays alive through their shared_ptr.
+  }
+
+  /// Process-wide pool providing `executors` concurrent executors
+  /// (executors - 1 workers plus the calling thread). Pools are created on
+  /// first use, cached per size, and joined at process exit.
+  static ThreadPool& For(int executors) {
+    static std::mutex registry_mu;
+    static std::map<int, std::unique_ptr<ThreadPool>> registry;
+    const int workers = std::max(0, executors - 1);
+    std::lock_guard<std::mutex> lock(registry_mu);
+    std::unique_ptr<ThreadPool>& pool = registry[workers];
+    if (pool == nullptr) pool = std::make_unique<ThreadPool>(workers);
+    return *pool;
+  }
+
+  /// std::thread::hardware_concurrency with the zero ("unknown") case mapped
+  /// to 1.
+  static int HardwareExecutors() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }
+
+ private:
+  /// Shared state of one ParallelFor: an atomic claim cursor plus a
+  /// completion count. Kept alive by shared_ptr until the last runner task
+  /// observed exhaustion.
+  struct Loop {
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    int n = 0;
+    int chunk = 1;
+    const std::function<void(int, int)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void RunLoop(Loop& loop) {
+    const int slot = tls_slot_ >= 0 ? tls_slot_ : caller_slot();
+    for (;;) {
+      const int start = loop.next.fetch_add(loop.chunk);
+      if (start >= loop.n) return;
+      const int end = std::min(loop.n, start + loop.chunk);
+      for (int i = start; i < end; ++i) (*loop.fn)(slot, i);
+      if (loop.done.fetch_add(end - start) + (end - start) >= loop.n) {
+        std::lock_guard<std::mutex> lock(loop.mu);
+        loop.cv.notify_all();
+      }
+    }
+  }
+
+  void WorkerMain(int id) {
+    tls_slot_ = id;
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || AnyQueued(); });
+        if (!PopTask(id, &task)) {
+          if (stop_) return;
+          continue;
+        }
+      }
+      task();
+    }
+  }
+
+  bool AnyQueued() const {
+    for (const std::deque<Task>& q : queues_) {
+      if (!q.empty()) return true;
+    }
+    return false;
+  }
+
+  /// Pops from the worker's own deque front, else steals from the back of
+  /// the first non-empty victim. Caller holds mu_.
+  bool PopTask(int id, Task* out) {
+    std::deque<Task>& own = queues_[static_cast<size_t>(id)];
+    if (!own.empty()) {
+      *out = std::move(own.front());
+      own.pop_front();
+      return true;
+    }
+    for (size_t v = 0; v < queues_.size(); ++v) {
+      std::deque<Task>& victim = queues_[v];
+      if (!victim.empty()) {
+        *out = std::move(victim.back());
+        victim.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static thread_local int tls_slot_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Task>> queues_;
+  std::vector<std::thread> workers_;
+  size_t next_queue_ = 0;
+  bool stop_ = false;
+};
+
+inline thread_local int ThreadPool::tls_slot_ = -1;
+
+}  // namespace muse
+
+#endif  // MUSE_COMMON_THREAD_POOL_H_

@@ -6,8 +6,11 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/core/beneficial.h"
 #include "src/core/combination.h"
 #include "src/core/correctness.h"
@@ -53,6 +56,12 @@ struct PlacedGraph {
 
 using TableKey = std::pair<uint64_t, int>;  // (proj bits, placement option)
 
+/// Resolved PlannerOptions::num_threads: 0 means hardware concurrency.
+int ResolveExecutors(const PlannerOptions& options) {
+  return options.num_threads <= 0 ? ThreadPool::HardwareExecutors()
+                                  : options.num_threads;
+}
+
 class AmusePlanner {
  public:
   AmusePlanner(const ProjectionCatalog& catalog, const PlannerOptions& options,
@@ -69,8 +78,19 @@ class AmusePlanner {
     const Query& q = catalog_.query();
     const TypeSet full = q.PrimitiveTypes();
 
+    // muse-par: >1 executors switches to the deterministic parallel path
+    // (batched evaluation + ordered replay); 1 keeps the original serial
+    // code verbatim. Both produce bit-identical plans, costs, sinks and
+    // search counters (see DESIGN.md "Parallel planning").
+    const int executors = ResolveExecutors(options_);
+    ThreadPool* pool = executors > 1 ? &ThreadPool::For(executors) : nullptr;
+
     CollectNegatedGroups();
-    SelectCandidateProjections();
+    if (pool != nullptr && catalog_.All().size() >= 16) {
+      SelectCandidateProjectionsParallel(*pool);
+    } else {
+      SelectCandidateProjections();
+    }
     InitPrimitiveEntries();
     if (ctx_ != nullptr) RegisterReusedPlacements();
 
@@ -91,7 +111,11 @@ class AmusePlanner {
             ? 0
             : std::max<int>(2000, options_.max_graphs /
                                       std::max<size_t>(1, targets.size()));
-    for (TypeSet target : targets) PlaceProjection(target);
+    if (pool == nullptr) {
+      for (TypeSet target : targets) PlaceProjection(target);
+    } else {
+      PlaceTargetsParallel(targets, *pool);
+    }
 
     PlanResult result;
     result.stats = stats_;
@@ -177,6 +201,55 @@ class AmusePlanner {
         continue;
       }
       candidates_.push_back(p);
+    }
+    stats_.projections_considered = static_cast<int>(candidates_.size());
+  }
+
+  /// Parallel variant of SelectCandidateProjections: classifying one
+  /// projection is a pure function of the catalog, so projections classify
+  /// concurrently and fold serially in catalog order — candidate order and
+  /// pruning counters are identical to the serial pass.
+  void SelectCandidateProjectionsParallel(ThreadPool& pool) {
+    PhaseTimer timer(&stats_.select_seconds);
+    const TypeSet full = catalog_.query().PrimitiveTypes();
+    const std::vector<TypeSet>& all = catalog_.All();
+    stats_.projections_total = static_cast<int>(all.size());
+    enum class Verdict : uint8_t {
+      kSkip,
+      kKeep,
+      kPrunedBeneficial,
+      kPrunedStar,
+    };
+    std::vector<Verdict> verdicts(all.size());
+    pool.ParallelFor(static_cast<int>(all.size()), [&](int, int i) {
+      const TypeSet p = all[static_cast<size_t>(i)];
+      Verdict v = Verdict::kKeep;
+      if (p == full) {
+        v = Verdict::kSkip;
+      } else if (p.size() == 1 || IsNegatedGroup(p)) {
+        v = Verdict::kKeep;
+      } else if (options_.prune_beneficial &&
+                 !IsBeneficialProjection(catalog_, p)) {
+        v = Verdict::kPrunedBeneficial;
+      } else if (options_.star && !PassesStarFilter(catalog_, p)) {
+        v = Verdict::kPrunedStar;
+      }
+      verdicts[static_cast<size_t>(i)] = v;
+    });
+    for (size_t i = 0; i < all.size(); ++i) {
+      switch (verdicts[i]) {
+        case Verdict::kSkip:
+          break;
+        case Verdict::kKeep:
+          candidates_.push_back(all[i]);
+          break;
+        case Verdict::kPrunedBeneficial:
+          ++stats_.pruned_beneficial;
+          break;
+        case Verdict::kPrunedStar:
+          ++stats_.pruned_star;
+          break;
+      }
     }
     stats_.projections_considered = static_cast<int>(candidates_.size());
   }
@@ -291,23 +364,27 @@ class AmusePlanner {
     return prim;
   }
 
-  /// Alg. 3 lines 3-16 for one target projection.
-  void PlaceProjection(TypeSet target) {
+  /// Enumerates the combinations considered for `target` (Alg. 2 lines
+  /// 5-9); pure in the settled candidate set, so targets can enumerate
+  /// concurrently on the parallel path.
+  std::vector<Combination> EnumerateForTarget(TypeSet target) const {
     std::vector<TypeSet> parts_pool;
     for (TypeSet p : candidates_) {
       if (p.IsProperSubsetOf(target)) parts_pool.push_back(p);
     }
-    std::vector<Combination> combos;
-    {
-      PhaseTimer timer(&stats_.enumerate_seconds);
-      combos = EnumerateCombinations(target, parts_pool, negated_groups_,
-                                     options_.combo);
-    }
-    stats_.combinations_enumerated += static_cast<int>(combos.size());
-    PhaseTimer timer(&stats_.construct_seconds);
+    return EnumerateCombinations(target, parts_pool, negated_groups_,
+                                 options_.combo);
+  }
 
-    // Explore promising combinations first (small total input volume), so
-    // the lower-bound rejection in ConstructCandidate prunes the tail.
+  /// Visitation order shared by the serial and parallel paths: the
+  /// primitive combination first and unconditionally — it keeps the gather
+  /// plan in the search space even if the enumeration cap truncated it
+  /// (Π_ben always contains the primitive projections) — then ascending
+  /// total input volume (stable on enumeration order), so the lower-bound
+  /// rejection in ConstructCandidate prunes the tail.
+  std::vector<const Combination*> OrderCombinations(
+      const std::vector<Combination>& combos,
+      const std::optional<Combination>& prim) const {
     std::vector<double> volumes;
     volumes.reserve(combos.size());
     for (const Combination& c : combos) {
@@ -322,14 +399,25 @@ class AmusePlanner {
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       return volumes[a] < volumes[b];
     });
-
-    // The primitive combination is processed first and unconditionally: it
-    // keeps the gather plan in the search space even if the enumeration
-    // cap truncated it (Π_ben always contains the primitive projections).
     std::vector<const Combination*> ordered;
-    std::optional<Combination> prim = PrimitiveCombination(target);
+    ordered.reserve(combos.size() + 1);
     if (prim.has_value()) ordered.push_back(&*prim);
     for (size_t i : order) ordered.push_back(&combos[i]);
+    return ordered;
+  }
+
+  /// Alg. 3 lines 3-16 for one target projection.
+  void PlaceProjection(TypeSet target) {
+    std::vector<Combination> combos;
+    {
+      PhaseTimer timer(&stats_.enumerate_seconds);
+      combos = EnumerateForTarget(target);
+    }
+    stats_.combinations_enumerated += static_cast<int>(combos.size());
+    PhaseTimer timer(&stats_.construct_seconds);
+
+    std::optional<Combination> prim = PrimitiveCombination(target);
+    std::vector<const Combination*> ordered = OrderCombinations(combos, prim);
 
     int stagnation = 0;
     int constructed = 0;
@@ -383,6 +471,300 @@ class AmusePlanner {
       }
       stagnation = improved ? 0 : stagnation + 1;
     }
+  }
+
+  // -- muse-par: deterministic parallel search -------------------------------
+  //
+  // The serial planner interleaves candidate *evaluation* (phase-1 charge
+  // costing) with table mutation. Evaluation, however, reads only table
+  // entries of proper subsets of the current target — entries that are
+  // settled before the target is processed — while mutation touches only
+  // the target's own (target, PO) buckets. That makes evaluation a pure
+  // function of the settled state: batches of candidates are costed
+  // concurrently, then *replayed* strictly in the serial visitation order,
+  // reproducing every table write, tie-break and counter of the serial
+  // planner bit for bit. The bucket-dependent decisions the serial code
+  // takes mid-evaluation are equivalent to their replay forms:
+  //  * the lower-bound early exit rejects iff bucket_cost <= full lb
+  //    (a partial max only stops growing once it already exceeds the
+  //    bucket);
+  //  * the mid-phase-1 "already beaten" discard fires iff the *final*
+  //    cost >= bucket_cost, because charge totals grow monotonically
+  //    under nonnegative Add/MergeFrom.
+  // Speculation is bounded to one batch: evaluations past an early
+  // stagnation/budget break are discarded and counted (par_wasted_evals).
+
+  /// One candidate of a combination, in serial visitation order.
+  struct CandRef {
+    const Combination* combo;
+    int anchor;  // index into combo->parts
+    int po;      // placement option of the anchor
+    bool multi_sink;
+  };
+
+  /// Worker-computed, bucket-independent half of a candidate's
+  /// construction.
+  struct CandEval {
+    double lb = 0;  // full lower bound over the parts' cheapest entries
+    double cost = std::numeric_limits<double>::infinity();
+    bool feasible = false;  // every non-anchor part had a placed entry
+    std::vector<int> chosen;
+    std::vector<NodeId> sink_nodes;
+    ChargeSet charges;
+  };
+
+  /// Appends `c`'s candidates in exactly the order the serial loop invokes
+  /// ConstructCandidate. All filters (partitioning input, full partitioned
+  /// cover, star predecessor, placed-entry lookups) read settled state
+  /// only, so refs built for a whole batch stay valid across the batch's
+  /// replay.
+  void AppendCandidateRefs(const Combination& c,
+                           std::vector<CandRef>* out) const {
+    int part_input = options_.enable_multi_sink
+                         ? FindPartitioningInput(catalog_, c)
+                         : -1;
+    if (part_input >= 0) {
+      TypeSet estar = c.parts[part_input];
+      for (EventTypeId po : estar) {
+        const PlacedGraph* pre = Lookup(estar, static_cast<int>(po));
+        if (pre == nullptr || !IsFullPartitionedCover(*pre, po)) continue;
+        out->push_back(
+            CandRef{&c, part_input, static_cast<int>(po), /*multi_sink=*/true});
+      }
+    }
+    for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+      if (options_.star &&
+          !StarAllowsPredecessor(catalog_, c.target, c.parts[ei])) {
+        continue;
+      }
+      for (EventTypeId po : c.parts[ei]) {
+        if (Lookup(c.parts[ei], static_cast<int>(po)) == nullptr) continue;
+        out->push_back(CandRef{&c, static_cast<int>(ei), static_cast<int>(po),
+                               /*multi_sink=*/false});
+      }
+    }
+  }
+
+  /// Worker-side half of ConstructCandidate: everything that neither reads
+  /// nor writes the target's table bucket. The arithmetic sequence
+  /// (charge-set copies, Add/MergeFrom order, marginal-cost scans with
+  /// strict-< tie-breaking over ascending placement options) is identical
+  /// to the serial phase 1, so an accepted candidate's charges and cost
+  /// are bit-identical to what the serial planner would have computed.
+  CandEval EvaluateCandidate(TypeSet target, const CandRef& ref) const {
+    const Combination& c = *ref.combo;
+    const PlacedGraph* pre = Lookup(c.parts[ref.anchor], ref.po);
+    MUSE_CHECK(pre != nullptr, "anchor entry missing");
+    CandEval e;
+    e.lb = pre->cost;
+    for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+      if (static_cast<int>(ei) == ref.anchor) continue;
+      e.lb = std::max(e.lb, MinEntryCost(c.parts[ei]));
+    }
+    if (ref.multi_sink) {
+      std::set<NodeId> nodes;
+      for (int s : pre->sinks) nodes.insert(pre->graph.vertex(s).node);
+      e.sink_nodes.assign(nodes.begin(), nodes.end());
+    } else {
+      e.sink_nodes.push_back(ChooseSinkNode(*pre, target));
+    }
+    ChargeSet charges = pre->charges;
+    if (!ref.multi_sink) {
+      for (const auto& [key, weight] : ConnectionCharges(*pre, e.sink_nodes)) {
+        charges.Add(key, weight);
+      }
+    }
+    e.chosen.assign(c.parts.size(), -1);
+    for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+      if (static_cast<int>(ei) == ref.anchor) continue;
+      TypeSet part = c.parts[ei];
+      double best_marginal = std::numeric_limits<double>::infinity();
+      const PlacedGraph* best_pre = nullptr;
+      for (EventTypeId po2 : part) {
+        const PlacedGraph* pre2 = Lookup(part, static_cast<int>(po2));
+        if (pre2 == nullptr) continue;
+        double marginal = charges.MarginalCost(
+            pre2->charges, ConnectionCharges(*pre2, e.sink_nodes));
+        if (marginal < best_marginal) {
+          best_marginal = marginal;
+          best_pre = pre2;
+          e.chosen[ei] = static_cast<int>(po2);
+        }
+      }
+      if (best_pre == nullptr) return e;  // part unplaceable
+      charges.MergeFrom(best_pre->charges);
+      for (const auto& [key, weight] :
+           ConnectionCharges(*best_pre, e.sink_nodes)) {
+        charges.Add(key, weight);
+      }
+    }
+    e.feasible = true;
+    e.cost = charges.total();
+    e.charges = std::move(charges);
+    return e;
+  }
+
+  /// Orchestrator-side half of ConstructCandidate: the bucket-dependent
+  /// accept/reject decisions and the phase-2 materialization, executed in
+  /// serial visitation order. Counter increments mirror ConstructCandidate
+  /// exactly (one lb_rejection, or graphs_constructed followed by either
+  /// one graphs_discarded or a table write).
+  bool ApplyCandidate(TypeSet target, const CandRef& ref, CandEval&& e,
+                      int* constructed) {
+    auto bucket = table_.find(TableKey{target.bits(), ref.po});
+    const double bucket_cost = bucket == table_.end()
+                                   ? std::numeric_limits<double>::infinity()
+                                   : bucket->second.cost;
+    if (bucket_cost <= e.lb) {
+      ++stats_.lb_rejections;
+      return false;
+    }
+    ++stats_.graphs_constructed;
+    ++*constructed;
+    if (!e.feasible || e.cost >= bucket_cost) {
+      ++stats_.graphs_discarded;
+      return false;
+    }
+
+    const Combination& c = *ref.combo;
+    const PlacedGraph* pre = Lookup(c.parts[ref.anchor], ref.po);
+    PlacedGraph pg;
+    pg.graph = pre->graph;
+    pg.multi_sink = ref.multi_sink;
+    pg.part_type = ref.multi_sink ? ref.po : kNoPartition;
+    std::map<NodeId, int> sink_at_node;
+    for (NodeId n : e.sink_nodes) {
+      int idx = pg.graph.AddVertex(PlanVertex{
+          query_, target, n, ref.multi_sink ? ref.po : kNoPartition, false});
+      pg.sinks.push_back(idx);
+      sink_at_node[n] = idx;
+    }
+    for (int s : pre->sinks) {
+      if (ref.multi_sink) {
+        auto it = sink_at_node.find(pre->graph.vertex(s).node);
+        MUSE_CHECK(it != sink_at_node.end(), "partition sink missing");
+        pg.graph.AddEdge(s, it->second);  // local edge
+      } else {
+        pg.graph.AddEdge(s, pg.sinks[0]);
+      }
+    }
+    for (size_t ei = 0; ei < c.parts.size(); ++ei) {
+      if (static_cast<int>(ei) == ref.anchor) continue;
+      const PlacedGraph* pre2 = Lookup(c.parts[ei], e.chosen[ei]);
+      MUSE_CHECK(pre2 != nullptr, "chosen option disappeared");
+      std::vector<int> remap = pg.graph.Merge(pre2->graph);
+      for (int s2 : pre2->sinks) {
+        for (int sink : pg.sinks) pg.graph.AddEdge(remap[s2], sink);
+      }
+    }
+    MUSE_DCHECK(SinksCorrectlyCombined(pg, target),
+                "materialized candidate wires an incorrect combination");
+    pg.charges = std::move(e.charges);
+    pg.cost = e.cost;
+    table_[TableKey{target.bits(), ref.po}] = std::move(pg);
+    return true;
+  }
+
+  /// Parallel planning path: pre-enumerates every target's combinations
+  /// concurrently (enumeration is pure in the settled candidate set), then
+  /// processes targets in the serial order with batched parallel costing.
+  void PlaceTargetsParallel(const std::vector<TypeSet>& targets,
+                            ThreadPool& pool) {
+    std::vector<std::vector<Combination>> combos(targets.size());
+    {
+      PhaseTimer timer(&stats_.enumerate_seconds);
+      pool.ParallelFor(
+          static_cast<int>(targets.size()),
+          [&](int, int i) {
+            combos[static_cast<size_t>(i)] =
+                EnumerateForTarget(targets[static_cast<size_t>(i)]);
+          },
+          /*chunk=*/1);
+    }
+    for (size_t i = 0; i < targets.size(); ++i) {
+      stats_.combinations_enumerated += static_cast<int>(combos[i].size());
+      PlaceProjectionParallel(targets[i], combos[i], pool);
+    }
+  }
+
+  /// Alg. 3 lines 3-16 for one target, parallel edition: batches of
+  /// combinations are costed concurrently, then replayed serially with the
+  /// exact budget/stagnation semantics of PlaceProjection.
+  void PlaceProjectionParallel(TypeSet target,
+                               const std::vector<Combination>& combos,
+                               ThreadPool& pool) {
+    PhaseTimer timer(&stats_.construct_seconds);
+    std::optional<Combination> prim = PrimitiveCombination(target);
+    std::vector<const Combination*> ordered = OrderCombinations(combos, prim);
+
+    // Candidates per evaluation batch; large enough to feed every executor
+    // several heavy costing units, small enough to bound wasted
+    // speculation past an early break.
+    const size_t batch_target = 16 * static_cast<size_t>(pool.num_slots());
+    std::vector<PlannerStats> worker_stats(
+        static_cast<size_t>(pool.num_slots()));
+
+    int stagnation = 0;
+    int constructed = 0;
+    bool first = true;
+    bool stopped = false;
+    size_t next = 0;
+    while (next < ordered.size() && !stopped) {
+      std::vector<CandRef> refs;
+      // Candidate index range in `refs` per combination of the batch.
+      std::vector<std::pair<size_t, size_t>> spans;
+      size_t batch_end = next;
+      while (batch_end < ordered.size() &&
+             (spans.empty() || refs.size() < batch_target)) {
+        const size_t begin = refs.size();
+        AppendCandidateRefs(*ordered[batch_end], &refs);
+        spans.emplace_back(begin, refs.size());
+        ++batch_end;
+      }
+      std::vector<CandEval> evals(refs.size());
+      if (!refs.empty()) {
+        ++stats_.par_batches;
+        pool.ParallelFor(
+            static_cast<int>(refs.size()),
+            [&](int worker, int i) {
+              const auto eval_started = std::chrono::steady_clock::now();
+              evals[static_cast<size_t>(i)] =
+                  EvaluateCandidate(target, refs[static_cast<size_t>(i)]);
+              PlannerStats& ws = worker_stats[static_cast<size_t>(worker)];
+              ++ws.par_tasks;
+              ws.par_eval_seconds +=
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - eval_started)
+                      .count();
+            },
+            /*chunk=*/1);
+      }
+      for (size_t k = next; k < batch_end; ++k) {
+        // The first (primitive) combination is always processed; search
+        // budgets only bound the exploration beyond it.
+        if (!first && (TargetBudgetExhausted(constructed) ||
+                       (options_.stagnation_limit != 0 &&
+                        stagnation > options_.stagnation_limit))) {
+          stopped = true;
+          stats_.par_wasted_evals +=
+              static_cast<int>(refs.size() - spans[k - next].first);
+          break;
+        }
+        first = false;
+        bool improved = false;
+        const auto [begin, end] = spans[k - next];
+        for (size_t r = begin; r < end; ++r) {
+          improved |=
+              ApplyCandidate(target, refs[r], std::move(evals[r]),
+                             &constructed);
+        }
+        stagnation = improved ? 0 : stagnation + 1;
+      }
+      next = batch_end;
+    }
+    // Worker-side stats carry counters and CPU time only; the wall-clock
+    // phase fields stay with the orchestrator's PhaseTimer above.
+    for (const PlannerStats& ws : worker_stats) ws.MergeWorker(&stats_);
   }
 
   /// True if `pre` is partitioned on `po` with a sink at *every* producer
@@ -638,6 +1020,14 @@ class AmusePlanner {
 }  // namespace
 
 void PlannerStats::AddTo(PlannerStats* total) const {
+  MergeWorker(total);
+  total->select_seconds += select_seconds;
+  total->enumerate_seconds += enumerate_seconds;
+  total->construct_seconds += construct_seconds;
+  total->elapsed_seconds += elapsed_seconds;
+}
+
+void PlannerStats::MergeWorker(PlannerStats* total) const {
   total->projections_total += projections_total;
   total->projections_considered += projections_considered;
   total->pruned_beneficial += pruned_beneficial;
@@ -646,10 +1036,14 @@ void PlannerStats::AddTo(PlannerStats* total) const {
   total->graphs_constructed += graphs_constructed;
   total->graphs_discarded += graphs_discarded;
   total->lb_rejections += lb_rejections;
-  total->select_seconds += select_seconds;
-  total->enumerate_seconds += enumerate_seconds;
-  total->construct_seconds += construct_seconds;
-  total->elapsed_seconds += elapsed_seconds;
+  total->par_tasks += par_tasks;
+  total->par_batches += par_batches;
+  total->par_wasted_evals += par_wasted_evals;
+  total->par_eval_seconds += par_eval_seconds;
+  // Deliberately NOT summed: select/enumerate/construct/elapsed_seconds.
+  // A worker's view of the parallel region covers the same wall-clock
+  // interval the orchestrator's PhaseTimer already measured; summing would
+  // multiply the phase times by the worker count.
 }
 
 void PlannerStats::ExportTo(obs::MetricsRegistry* registry,
@@ -667,6 +1061,9 @@ void PlannerStats::ExportTo(obs::MetricsRegistry* registry,
   count("planner_graphs_constructed_total", graphs_constructed);
   count("planner_graphs_discarded_total", graphs_discarded);
   count("planner_lb_rejections_total", lb_rejections);
+  count("planner_par_tasks_total", par_tasks);
+  count("planner_par_batches_total", par_batches);
+  count("planner_par_wasted_evals_total", par_wasted_evals);
   count("planner_queries_planned_total", 1);
   // Phase wall times accumulate across queries as gauges (Add).
   registry->GetGauge("planner_select_seconds", labels)->Add(select_seconds);
@@ -675,6 +1072,8 @@ void PlannerStats::ExportTo(obs::MetricsRegistry* registry,
   registry->GetGauge("planner_construct_seconds", labels)
       ->Add(construct_seconds);
   registry->GetGauge("planner_elapsed_seconds", labels)->Add(elapsed_seconds);
+  registry->GetGauge("planner_par_eval_seconds", labels)
+      ->Add(par_eval_seconds);
 }
 
 PlanResult PlanQuery(const ProjectionCatalog& catalog,

@@ -43,6 +43,16 @@ struct PlannerOptions {
   /// volume order, so the tail rarely helps). 0 = unlimited.
   int stagnation_limit = 2000;
 
+  /// Planner parallelism (muse-par): number of concurrent executors used
+  /// for candidate costing and (in PlanWorkloadAmuse) for planning
+  /// independent queries. 0 = hardware concurrency; 1 = the original
+  /// serial code path, preserved verbatim; >1 = parallel search with
+  /// results **bit-identical** to num_threads=1 (deterministic batched
+  /// evaluation + ordered serial replay; see DESIGN.md "Parallel
+  /// planning"). Wall-clock stats fields and par_* counters do vary with
+  /// the thread count; plans, costs, sinks and search counters do not.
+  int num_threads = 0;
+
   /// Multi-query refinement sweeps (PlanWorkloadAmuse): after the
   /// sequential pass, each query is replanned against the placements of
   /// all other queries; improvements are kept. Makes the §6.2 reuse
@@ -69,16 +79,43 @@ struct PlannerStats {
   int graphs_discarded = 0;    ///< assembled but beaten by their table bucket
   int lb_rejections = 0;       ///< skipped by the lower-bound test (no assembly)
 
-  /// Per-phase wall time. select: candidate filtering; enumerate:
-  /// combination enumeration; construct: candidate costing/materialization.
-  /// elapsed_seconds covers the whole PlanQuery call.
+  /// Parallel-search telemetry (muse-par). Zero on the serial path. These
+  /// are the only counters allowed to differ across num_threads settings:
+  /// par_tasks/par_batches are deterministic per thread count, while
+  /// par_wasted_evals (evaluations discarded because the serial replay
+  /// terminated a target early) depends on batch boundaries only, not on
+  /// scheduling.
+  int par_tasks = 0;    ///< candidate evaluations dispatched to the pool
+  int par_batches = 0;  ///< batched ParallelFor rounds
+  int par_wasted_evals = 0;
+
+  /// Per-phase wall time, measured on the orchestrating thread with a
+  /// monotonic clock (std::chrono::steady_clock — wall-clock adjustments
+  /// must never produce negative phase times). select: candidate
+  /// filtering; enumerate: combination enumeration; construct: candidate
+  /// costing/materialization. elapsed_seconds covers the whole PlanQuery
+  /// call.
   double select_seconds = 0;
   double enumerate_seconds = 0;
   double construct_seconds = 0;
   double elapsed_seconds = 0;
 
-  /// Field-wise accumulation (workload aggregation).
+  /// Cumulative CPU seconds spent inside worker-side candidate
+  /// evaluations, summed across workers (so it can exceed elapsed_seconds
+  /// on multi-core runs). Zero on the serial path.
+  double par_eval_seconds = 0;
+
+  /// Field-wise accumulation (workload aggregation): sums every field,
+  /// including the wall-clock phase timers — correct when the addends
+  /// cover disjoint wall-time intervals (sequentially planned queries).
   void AddTo(PlannerStats* total) const;
+
+  /// Merges a worker's stats into `total` WITHOUT the wall-clock phase
+  /// fields (select/enumerate/construct/elapsed_seconds): the orchestrator
+  /// already times the parallel region once, so adding each worker's view
+  /// of the same interval would count it num_threads times. Worker-side
+  /// CPU time (par_eval_seconds) and all counters are summed.
+  void MergeWorker(PlannerStats* total) const;
 
   /// Exports the counters into `registry` under
   /// planner_*{algorithm=<algorithm>} families (no-op when null).

@@ -1,10 +1,15 @@
 #include "src/core/multi_query.h"
 
 #include "src/common/check.h"
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <set>
+#include <unordered_map>
 
+#include "src/common/thread_pool.h"
 #include "src/core/centralized.h"
 #include "src/core/correctness.h"
 
@@ -58,6 +63,38 @@ double CombinedCost(const std::vector<PlanResult>& plans,
   return GraphCost(combined, cats);
 }
 
+/// Connected components of the workload under shared primitive event
+/// types: queries land in the same component iff they are linked by a
+/// chain of type-sharing queries. Queries in different components cannot
+/// interact through a SharingContext — projection signatures embed their
+/// primitive type ids, so neither placement reuse nor transfer-key sharing
+/// crosses a component boundary. Returns a dense component id per query
+/// (ids ordered by first appearance).
+std::vector<int> QueryComponents(const WorkloadCatalogs& catalogs) {
+  std::array<int, 64> parent;
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Query& q : catalogs.workload()) {
+    TypeSet types = q.PrimitiveTypes();
+    const int root = find(static_cast<int>(types.First()));
+    for (EventTypeId t : types) parent[find(static_cast<int>(t))] = root;
+  }
+  std::vector<int> comp(catalogs.size());
+  std::unordered_map<int, int> dense;
+  for (int i = 0; i < catalogs.size(); ++i) {
+    const int root =
+        find(static_cast<int>(catalogs.workload()[i].PrimitiveTypes().First()));
+    comp[i] = dense.emplace(root, static_cast<int>(dense.size())).first->second;
+  }
+  return comp;
+}
+
 std::string PlacementKey(const std::vector<const ProjectionCatalog*>& cats,
                          const PlanVertex& v) {
   return cats[v.query]->Signature(v.proj) + "|" + std::to_string(v.node) +
@@ -89,11 +126,51 @@ std::set<std::string> ConsumedPlacements(
 WorkloadPlan PlanWorkloadAmuse(const WorkloadCatalogs& catalogs,
                                const PlannerOptions& options) {
   WorkloadPlan plan;
-  SharingContext ctx;
   std::vector<const ProjectionCatalog*> cats = catalogs.Pointers();
-  for (int i = 0; i < catalogs.size(); ++i) {
-    PlanResult r = PlanQuery(catalogs.catalog(i), options, &ctx, i);
-    RecordPlanInContext(r.graph, cats, &ctx);
+
+  // Initial sequential-reuse pass (§6.2). With num_threads > 1, queries in
+  // *disjoint* type components are planned concurrently, one component per
+  // task with its own SharingContext: since no signature or transfer key
+  // crosses a component boundary (see QueryComponents), the per-component
+  // sequential passes observe exactly the context state the global
+  // sequential pass would have shown them — results are bit-identical to
+  // num_threads = 1, independent of scheduling.
+  const int executors = options.num_threads <= 0
+                            ? ThreadPool::HardwareExecutors()
+                            : options.num_threads;
+  const std::vector<int> comp = QueryComponents(catalogs);
+  const int num_components =
+      comp.empty() ? 0 : *std::max_element(comp.begin(), comp.end()) + 1;
+  std::vector<PlanResult> results(static_cast<size_t>(catalogs.size()));
+  if (executors > 1 && num_components > 1) {
+    std::vector<std::vector<int>> groups(static_cast<size_t>(num_components));
+    for (int i = 0; i < catalogs.size(); ++i) {
+      groups[static_cast<size_t>(comp[i])].push_back(i);
+    }
+    ThreadPool& pool = ThreadPool::For(executors);
+    pool.ParallelFor(
+        num_components,
+        [&](int, int g) {
+          SharingContext component_ctx;
+          for (int i : groups[static_cast<size_t>(g)]) {
+            results[static_cast<size_t>(i)] =
+                PlanQuery(catalogs.catalog(i), options, &component_ctx, i);
+            RecordPlanInContext(results[static_cast<size_t>(i)].graph, cats,
+                                &component_ctx);
+          }
+        },
+        /*chunk=*/1);
+  } else {
+    SharingContext ctx;
+    for (int i = 0; i < catalogs.size(); ++i) {
+      results[static_cast<size_t>(i)] =
+          PlanQuery(catalogs.catalog(i), options, &ctx, i);
+      RecordPlanInContext(results[static_cast<size_t>(i)].graph, cats, &ctx);
+    }
+  }
+  // Fold back in query order: the aggregate's floating-point sums are
+  // independent of which path produced the per-query results.
+  for (PlanResult& r : results) {
     r.stats.AddTo(&plan.aggregate_stats);
     plan.per_query.push_back(std::move(r));
   }

@@ -1,0 +1,78 @@
+#include "src/core/rate_cache.h"
+
+#include <bit>
+
+#include "src/core/rates.h"
+
+namespace muse {
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+RateCache& RateCache::Global() {
+  static RateCache cache;
+  return cache;
+}
+
+uint64_t RateCache::Key(uint64_t sig_hash, double selectivity,
+                        uint64_t net_fingerprint) {
+  uint64_t h = sig_hash;
+  h = Mix(h, std::bit_cast<uint64_t>(selectivity));
+  h = Mix(h, net_fingerprint);
+  return h;
+}
+
+double RateCache::OutputRate(uint64_t key, const Query& ast,
+                             const Network& net) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      ++shard.hits;
+      return it->second;
+    }
+    ++shard.misses;
+  }
+  // Compute outside the lock: rate recursion can be deep, and a racing
+  // same-key miss computes the identical value.
+  const double rate = QueryOutputRate(ast, net);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.entries.size() >= kMaxShardEntries) {
+    shard.evictions += shard.entries.size();
+    shard.entries.clear();
+  }
+  shard.entries.emplace(key, rate);
+  return rate;
+}
+
+RateCache::Stats RateCache::GetStats() const {
+  Stats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.size += shard.entries.size();
+  }
+  return out;
+}
+
+void RateCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.evictions = 0;
+  }
+}
+
+}  // namespace muse

@@ -1,0 +1,82 @@
+#ifndef MUSE_CORE_RATE_CACHE_H_
+#define MUSE_CORE_RATE_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/cep/query.h"
+#include "src/net/network.h"
+
+namespace muse {
+
+/// Process-wide memoization of projection output rates r̂ (muse-par).
+///
+/// Catalog construction recomputes `QueryOutputRate` for every valid
+/// projection of every query; across a workload (and across the repeated
+/// catalog constructions of bench sweeps) the same projection ASTs recur
+/// constantly. The cache keys on a 64-bit mix of the projection's
+/// *signature* hash, its predicate-selectivity product, and the network
+/// fingerprint — see `Key` for why all three components are required.
+///
+/// Sharded 16 ways by key so concurrent planners (component-parallel
+/// `PlanWorkloadAmuse`, parallel candidate costing) rarely contend on one
+/// mutex. Values are pure functions of their key's preimage, so a cache hit
+/// returns bit-identical doubles to recomputation and races between two
+/// same-key misses are benign (both compute the same value). Shards that
+/// grow past `kMaxShardEntries` are dropped wholesale — eviction never
+/// affects results, only hit rates.
+class RateCache {
+ public:
+  static constexpr int kShards = 16;
+  static constexpr size_t kMaxShardEntries = 1 << 14;
+
+  /// The process-wide instance used by ProjectionCatalog.
+  static RateCache& Global();
+
+  /// Cache key for `QueryOutputRate(ast, net)`. The signature alone is NOT
+  /// a sufficient key: `Query::Signature()` serializes predicates without
+  /// their selectivities, so two structurally identical projections can
+  /// differ in `Selectivity()` and hence in rate. Folding in the
+  /// selectivity product (bit pattern) and the network fingerprint makes
+  /// the key cover every input the rate computation reads. 64-bit
+  /// collisions are astronomically unlikely (same assumption as the cost
+  /// model's transfer keys); the differential test cross-checks cached
+  /// against uncached rates.
+  static uint64_t Key(uint64_t sig_hash, double selectivity,
+                      uint64_t net_fingerprint);
+
+  /// Returns the memoized rate for `key`, computing
+  /// `QueryOutputRate(ast, net)` on a miss.
+  double OutputRate(uint64_t key, const Query& ast, const Network& net);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;  ///< entries dropped by shard resets
+    uint64_t size = 0;       ///< currently cached entries
+  };
+  /// Aggregated over all shards.
+  Stats GetStats() const;
+
+  /// Drops all entries and resets statistics (tests).
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, double> entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) { return shards_[key % kShards]; }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CORE_RATE_CACHE_H_

@@ -1,6 +1,8 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "src/common/check.h"
 
@@ -37,6 +39,28 @@ double Network::GlobalRate(TypeSet types) const {
   double sum = 0;
   for (EventTypeId t : types) sum += GlobalRate(t);
   return sum;
+}
+
+uint64_t Network::Fingerprint() const {
+  // FNV-1a over the state that rate computations read, with a final
+  // splitmix64 finalizer for well-mixed high bits.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(num_nodes_));
+  mix(static_cast<uint64_t>(num_types_));
+  for (int t = 0; t < num_types_; ++t) {
+    mix(std::bit_cast<uint64_t>(rates_[t]));
+    mix(static_cast<uint64_t>(producers_[t].size()));
+    for (NodeId n : producers_[t]) mix(static_cast<uint64_t>(n));
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
 }
 
 double Network::EventNodeRatio() const {

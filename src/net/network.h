@@ -56,6 +56,13 @@ class Network {
   /// *event node ratio*, §7.1).
   double EventNodeRatio() const;
 
+  /// 64-bit hash of the full network state (node/type counts, producer
+  /// assignment, rate bit patterns). Two networks with equal fingerprints
+  /// yield identical rate computations, which makes the fingerprint a valid
+  /// component of memoization keys (RateCache). Recomputed on each call —
+  /// use once per catalog construction, not per lookup.
+  uint64_t Fingerprint() const;
+
  private:
   int num_nodes_;
   int num_types_;

@@ -1,0 +1,221 @@
+// Differential property tests (muse-par):
+//
+//  1. Engine vs. oracle: the incremental QueryEngine and the brute-force
+//     OracleMatches (src/cep/oracle.cc) must produce the same canonical
+//     match set on randomized OR-free queries and traces. Failures shrink
+//     the trace to a minimal reproduction and print it as a paste-able
+//     repro string.
+//  2. Cached vs. uncached rates: RateCache must return values within
+//     1e-12 relative tolerance of the direct QueryOutputRate computation,
+//     including for structurally identical queries that differ only in
+//     predicate selectivity (the cache-key trap: Query::Signature() omits
+//     selectivities).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cep/engine.h"
+#include "src/cep/oracle.h"
+#include "src/common/rng.h"
+#include "src/core/rate_cache.h"
+#include "src/core/rates.h"
+#include "src/net/network_gen.h"
+#include "src/workload/query_gen.h"
+
+namespace muse {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine vs. oracle
+// ---------------------------------------------------------------------------
+
+/// A match as the sorted-unique comparison key used throughout: the seqs of
+/// its events (seq is unique within a trace).
+std::vector<std::vector<uint64_t>> Keys(std::vector<Match> matches) {
+  std::vector<std::vector<uint64_t>> keys;
+  for (const Match& m : CanonicalMatchSet(std::move(matches))) {
+    std::vector<uint64_t> key;
+    for (const Event& e : m.events) key.push_back(e.seq);
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+std::vector<std::vector<uint64_t>> EngineKeys(const Query& q,
+                                              const std::vector<Event>& trace) {
+  QueryEngine engine(q);
+  std::vector<Match> out;
+  for (const Event& e : trace) engine.OnEvent(e, &out);
+  engine.Flush(&out);
+  return Keys(std::move(out));
+}
+
+std::vector<std::vector<uint64_t>> OracleKeys(const Query& q,
+                                              const std::vector<Event>& trace) {
+  return Keys(OracleMatches(q, trace));
+}
+
+bool Agrees(const Query& q, const std::vector<Event>& trace) {
+  return EngineKeys(q, trace) == OracleKeys(q, trace);
+}
+
+/// Greedy delta-debugging: repeatedly drop any single event whose removal
+/// preserves the disagreement, until no single removal does. The result is
+/// a (locally) minimal repro trace.
+std::vector<Event> ShrinkTrace(const Query& q, std::vector<Event> trace) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      std::vector<Event> candidate = trace;
+      candidate.erase(candidate.begin() + static_cast<long>(i));
+      if (!Agrees(q, candidate)) {
+        trace = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+std::string ReproString(const Query& q, const std::vector<Event>& trace) {
+  std::string out = "query: " + q.ToString();
+  out += "\nwindow: " + std::to_string(q.window());
+  out += "\ntrace (" + std::to_string(trace.size()) + " events):";
+  for (const Event& e : trace) {
+    out += "\n  {type=E" + std::to_string(e.type);
+    out += " seq=" + std::to_string(e.seq);
+    out += " time=" + std::to_string(e.time);
+    out += " a0=" + std::to_string(e.attrs[0]);
+    out += " a1=" + std::to_string(e.attrs[1]) + "}";
+  }
+  return out;
+}
+
+std::vector<Event> RandomTrace(int num_types, int length, Rng& rng) {
+  std::vector<Event> trace;
+  uint64_t time = 0;
+  for (int i = 0; i < length; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>(rng.UniformInt(0, num_types - 1));
+    e.seq = static_cast<uint64_t>(i);
+    time += static_cast<uint64_t>(rng.UniformInt(0, 30));
+    e.time = time;
+    e.attrs = {rng.UniformInt(0, 2), rng.UniformInt(0, 2)};
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+TEST(DifferentialPropertyTest, EngineMatchesOracleOnRandomInputs) {
+  constexpr int kIterations = 60;
+  constexpr int kNumTypes = 5;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    Rng rng(7100 + static_cast<uint64_t>(iter) * 97);
+    SelectivityModel model(kNumTypes, 0.05, 0.5, rng);
+
+    // 2-4 distinct primitive types; finite window comparable to the trace
+    // span so expiry paths are exercised; NSEQ in a third of the queries.
+    const int arity = static_cast<int>(rng.UniformInt(2, 4));
+    std::vector<EventTypeId> types;
+    for (int t = 0; t < kNumTypes && static_cast<int>(types.size()) < arity;
+         ++t) {
+      if (rng.UniformInt(0, 1) == 1 || kNumTypes - t <= arity - static_cast<int>(types.size())) {
+        types.push_back(static_cast<EventTypeId>(t));
+      }
+    }
+    const uint64_t window = static_cast<uint64_t>(rng.UniformInt(40, 300));
+    Query q = GenerateQuery(types, model, window, /*nseq_probability=*/0.33,
+                            rng);
+
+    std::vector<Event> trace =
+        RandomTrace(kNumTypes, static_cast<int>(rng.UniformInt(8, 22)), rng);
+    if (Agrees(q, trace)) continue;
+
+    std::vector<Event> minimal = ShrinkTrace(q, trace);
+    FAIL() << "engine/oracle disagreement (iteration " << iter
+           << ", seed " << 7100 + iter * 97 << "); minimal repro:\n"
+           << ReproString(q, minimal) << "\nengine matches: "
+           << EngineKeys(q, minimal).size() << ", oracle matches: "
+           << OracleKeys(q, minimal).size();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cached vs. uncached rates
+// ---------------------------------------------------------------------------
+
+uint64_t SigHash(const Query& q) {
+  return std::hash<std::string>{}(q.Signature());
+}
+
+void ExpectClose(double cached, double direct) {
+  const double denom = std::max(std::abs(direct), 1e-300);
+  EXPECT_LE(std::abs(cached - direct) / denom, 1e-12)
+      << "cached=" << cached << " direct=" << direct;
+}
+
+TEST(DifferentialPropertyTest, CachedRatesMatchDirectComputation) {
+  constexpr int kIterations = 30;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    Rng rng(8800 + static_cast<uint64_t>(iter) * 61);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = static_cast<int>(rng.UniformInt(4, 12));
+    nopts.num_types = 8;
+    Network net = MakeRandomNetwork(nopts, rng);
+    SelectivityModel model(nopts.num_types, 0.01, 0.3, rng);
+    QueryGenOptions qopts;
+    qopts.num_queries = 3;
+    qopts.avg_primitives = 4;
+    qopts.num_types = nopts.num_types;
+    std::vector<Query> workload = GenerateWorkload(qopts, model, rng);
+
+    const uint64_t net_fp = net.Fingerprint();
+    for (const Query& q : workload) {
+      const double direct = QueryOutputRate(q, net);
+      const uint64_t key =
+          RateCache::Key(SigHash(q), q.Selectivity(), net_fp);
+      // First call computes (miss), second serves the stored value (hit);
+      // both must agree with the direct computation.
+      ExpectClose(RateCache::Global().OutputRate(key, q, net), direct);
+      ExpectClose(RateCache::Global().OutputRate(key, q, net), direct);
+    }
+  }
+}
+
+TEST(DifferentialPropertyTest, CacheKeySeparatesEqualSignatures) {
+  // Query::Signature() omits predicate selectivities: two structurally
+  // identical queries with different selectivities share a signature but
+  // must not share a cache entry (the key folds in Selectivity()).
+  Rng rng(1);
+  NetworkGenOptions nopts;
+  nopts.num_nodes = 6;
+  nopts.num_types = 4;
+  Network net = MakeRandomNetwork(nopts, rng);
+
+  Query lo = Query::Seq({Query::Primitive(0), Query::Primitive(1)});
+  Query hi = Query::Seq({Query::Primitive(0), Query::Primitive(1)});
+  lo.AddPredicate(Predicate::Equality(0, 0, 1, 0, /*selectivity=*/0.01));
+  hi.AddPredicate(Predicate::Equality(0, 0, 1, 0, /*selectivity=*/0.5));
+  ASSERT_EQ(lo.Signature(), hi.Signature());
+  ASSERT_NE(lo.Selectivity(), hi.Selectivity());
+
+  const uint64_t net_fp = net.Fingerprint();
+  const uint64_t key_lo = RateCache::Key(SigHash(lo), lo.Selectivity(), net_fp);
+  const uint64_t key_hi = RateCache::Key(SigHash(hi), hi.Selectivity(), net_fp);
+  EXPECT_NE(key_lo, key_hi);
+  ExpectClose(RateCache::Global().OutputRate(key_lo, lo, net),
+              QueryOutputRate(lo, net));
+  ExpectClose(RateCache::Global().OutputRate(key_hi, hi, net),
+              QueryOutputRate(hi, net));
+
+  RateCache::Stats stats = RateCache::Global().GetStats();
+  EXPECT_GT(stats.misses, 0);
+}
+
+}  // namespace
+}  // namespace muse

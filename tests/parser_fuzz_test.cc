@@ -1,0 +1,176 @@
+// Parser round-trip fuzz (muse-par): random valid query ASTs, printed with
+// Query::ToString and re-parsed with ParseQuery, must come back structurally
+// identical (equal signatures — structure, window, predicates). Type names
+// deliberately include keyword lookalikes ("PATTERN", "Where", "AND", ...)
+// to stress the tokenizer's keyword/identifier disambiguation.
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/cep/query.h"
+#include "src/common/rng.h"
+
+namespace muse {
+namespace {
+
+/// Tricky-but-legal event type names; interned in this order so ids are
+/// stable across print and re-parse.
+const char* kNames[] = {
+    "A",   "B",     "C",       "PATTERN", "Where", "Within", "AND",
+    "OR",  "seq_1", "NSEQx",   "E7",      "x",     "_u",     "T13",
+    "and", "Kill",
+};
+constexpr int kNumNames = static_cast<int>(std::size(kNames));
+
+TypeRegistry MakeRegistry() {
+  TypeRegistry reg;
+  for (const char* name : kNames) reg.Intern(name);
+  return reg;
+}
+
+/// Builds a random operator tree over exactly `types` (distinct, per the
+/// §6 single-primitive-per-type rule): composites split the list into 2-4
+/// contiguous parts (NSEQ exactly 3) and recurse. `forbid_nseq_root`
+/// avoids NSEQ directly under NSEQ, which Validate rejects (same-kind
+/// nesting that no combinator can flatten).
+Query RandomAst(const std::vector<EventTypeId>& types, Rng& rng,
+                bool forbid_nseq_root = false) {
+  if (types.size() == 1) return Query::Primitive(types[0]);
+  const int n = static_cast<int>(types.size());
+  int kind = static_cast<int>(
+      rng.UniformInt(0, n >= 3 && !forbid_nseq_root ? 3 : 2));
+  const int arity = kind == 3
+                        ? 3
+                        : static_cast<int>(rng.UniformInt(
+                              2, std::min<int64_t>(4, n)));
+  // Random contiguous partition of `types` into `arity` non-empty parts.
+  std::vector<int> sizes(static_cast<size_t>(arity), 1);
+  for (int extra = n - arity; extra > 0; --extra) {
+    ++sizes[static_cast<size_t>(rng.UniformInt(0, arity - 1))];
+  }
+  std::vector<Query> children;
+  int offset = 0;
+  for (int part = 0; part < arity; ++part) {
+    std::vector<EventTypeId> sub(types.begin() + offset,
+                                 types.begin() + offset + sizes[part]);
+    offset += sizes[part];
+    children.push_back(RandomAst(sub, rng, /*forbid_nseq_root=*/kind == 3));
+  }
+  switch (kind) {
+    case 0:
+      return Query::Seq(std::move(children));
+    case 1:
+      return Query::And(std::move(children));
+    case 2:
+      return Query::Or(std::move(children));
+    default: {
+      Query last = std::move(children[2]);
+      Query mid = std::move(children[1]);
+      Query first = std::move(children[0]);
+      return Query::Nseq(std::move(first), std::move(mid), std::move(last));
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RoundTripRandomAsts) {
+  TypeRegistry reg = MakeRegistry();
+  constexpr int kIterations = 400;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    Rng rng(5200 + static_cast<uint64_t>(iter) * 41);
+    // 1-6 distinct types in random order.
+    std::vector<EventTypeId> pool;
+    for (int t = 0; t < kNumNames; ++t) {
+      pool.push_back(static_cast<EventTypeId>(t));
+    }
+    for (size_t i = pool.size() - 1; i > 0; --i) {
+      std::swap(pool[i],
+                pool[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i)))]);
+    }
+    pool.resize(static_cast<size_t>(rng.UniformInt(1, 6)));
+    Query q = RandomAst(pool, rng);
+    ASSERT_TRUE(q.Validate()) << q.ToString(&reg);
+
+    const std::string text = q.ToString(&reg);
+    Result<Query> round = ParseQuery(text, &reg);
+    ASSERT_TRUE(round.ok()) << "text: " << text << "\nerror: "
+                            << round.error().message;
+    EXPECT_EQ(round.value().Signature(), q.Signature())
+        << "text: " << text << "\nreparsed: " << round.value().ToString(&reg);
+  }
+}
+
+TEST(ParserFuzzTest, RoundTripWithWindow) {
+  // ToString omits the window, so round-trip it via an explicit WITHIN
+  // clause and compare full signatures (which cover the window).
+  TypeRegistry reg = MakeRegistry();
+  for (int iter = 0; iter < 50; ++iter) {
+    Rng rng(6400 + static_cast<uint64_t>(iter) * 13);
+    std::vector<EventTypeId> types;
+    for (int t = 0; t < 4; ++t) types.push_back(static_cast<EventTypeId>(t));
+    const uint64_t window_s = static_cast<uint64_t>(rng.UniformInt(1, 3600));
+    Query q = RandomAst(types, rng);
+    q.set_window(window_s * 1000);
+
+    const std::string text =
+        q.ToString(&reg) + " WITHIN " + std::to_string(window_s) + "s";
+    Result<Query> round = ParseQuery(text, &reg);
+    ASSERT_TRUE(round.ok()) << "text: " << text << "\nerror: "
+                            << round.error().message;
+    EXPECT_EQ(round.value().window(), q.window());
+    EXPECT_EQ(round.value().Signature(), q.Signature()) << "text: " << text;
+  }
+}
+
+TEST(ParserFuzzTest, PatternAsTypeNameRoundTrips) {
+  // Regression (found by RoundTripRandomAsts): a sole primitive whose event
+  // type is literally named PATTERN used to be swallowed by the keyword
+  // consumer, leaving nothing to parse as the expression.
+  TypeRegistry reg = MakeRegistry();
+  Query q = Query::Primitive(static_cast<EventTypeId>(reg.Find("PATTERN")));
+  const std::string text = q.ToString(&reg);
+  ASSERT_EQ(text, "PATTERN");
+  Result<Query> round = ParseQuery(text, &reg);
+  ASSERT_TRUE(round.ok()) << round.error().message;
+  EXPECT_EQ(round.value().Signature(), q.Signature());
+}
+
+TEST(ParserFuzzTest, NestedCommutativeFlattenCanonicalizes) {
+  // Regression (found by RoundTripRandomAsts): the combinators sorted
+  // AND/OR children *before* flattening same-kind nesting, so a nested
+  // child's grandchildren were spliced in as one unsorted block and
+  // OR(OR(b,d),a,c) != OR(a,b,c,d) by signature — breaking both the
+  // print/parse round trip and §6.2 plan sharing.
+  Query nested = Query::Or(
+      {Query::Or({Query::Primitive(1), Query::Primitive(3)}),
+       Query::Primitive(0), Query::Primitive(2)});
+  Query flat = Query::Or({Query::Primitive(0), Query::Primitive(1),
+                          Query::Primitive(2), Query::Primitive(3)});
+  EXPECT_EQ(nested.Signature(), flat.Signature());
+
+  Query nested_and = Query::And(
+      {Query::Primitive(2),
+       Query::And({Query::Primitive(3), Query::Primitive(0)})});
+  Query flat_and = Query::And(
+      {Query::Primitive(0), Query::Primitive(2), Query::Primitive(3)});
+  EXPECT_EQ(nested_and.Signature(), flat_and.Signature());
+}
+
+TEST(ParserFuzzTest, PatternKeywordStillIntroducesQueries) {
+  // The fix must not regress the SASE-style form of Listing 1.
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery(
+      "PATTERN SEQ(Fail f, Kill k) WHERE f.a0 == k.a0 WITHIN 30min", &reg);
+  ASSERT_TRUE(q.ok()) << q.error().message;
+  EXPECT_EQ(q.value().NumPrimitives(), 2);
+  EXPECT_EQ(q.value().predicates().size(), 1u);
+  EXPECT_EQ(q.value().window(), 30u * 60 * 1000);
+}
+
+}  // namespace
+}  // namespace muse

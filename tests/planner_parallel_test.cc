@@ -1,0 +1,190 @@
+// muse-par determinism contract (DESIGN.md "Parallel planning"): for any
+// workload, the parallel planner (num_threads > 1) must produce plans,
+// costs, sinks, and search counters bit-identical to the serial planner
+// (num_threads = 1, the original code path preserved verbatim). The suite
+// sweeps randomized workloads across thread counts {1, 2, 8} and
+// additionally vets every parallel plan with the static verifier.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/verify.h"
+#include "src/core/multi_query.h"
+#include "src/core/plan_json.h"
+#include "src/core/rate_cache.h"
+#include "src/net/network_gen.h"
+#include "src/workload/query_gen.h"
+
+namespace muse {
+namespace {
+
+struct Instance {
+  Network net;
+  std::vector<Query> workload;
+
+  Instance(uint64_t seed, int num_nodes, int num_types, int num_queries,
+           int avg_primitives)
+      : net(1, 1) {
+    Rng rng(seed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = num_nodes;
+    nopts.num_types = num_types;
+    net = MakeRandomNetwork(nopts, rng);
+    SelectivityModel model(num_types, 0.01, 0.2, rng);
+    QueryGenOptions qopts;
+    qopts.num_queries = num_queries;
+    qopts.avg_primitives = avg_primitives;
+    qopts.num_types = num_types;
+    workload = GenerateWorkload(qopts, model, rng);
+  }
+};
+
+PlannerOptions Opts(bool star, int threads) {
+  PlannerOptions opts;
+  opts.star = star;
+  opts.num_threads = threads;
+  return opts;
+}
+
+/// Everything of a WorkloadPlan that the determinism contract covers, as a
+/// comparable string: the combined plan's JSON plus per-query costs, plan
+/// JSON, and search counters. Deliberately excludes wall-clock fields and
+/// the par_* telemetry, which legitimately vary with the thread count.
+std::string Fingerprint(const WorkloadPlan& wp) {
+  std::string out = PlanToJson(wp.combined);
+  out += "\ntotal_cost=" + std::to_string(wp.total_cost);
+  out += " ratio=" + std::to_string(wp.transmission_ratio);
+  for (const PlanResult& r : wp.per_query) {
+    out += "\ncost=" + std::to_string(r.cost);
+    out += " proj=" + std::to_string(r.stats.projections_considered);
+    out += "/" + std::to_string(r.stats.projections_total);
+    out += " pruned=" + std::to_string(r.stats.pruned_beneficial);
+    out += "+" + std::to_string(r.stats.pruned_star);
+    out += " combos=" + std::to_string(r.stats.combinations_enumerated);
+    out += " built=" + std::to_string(r.stats.graphs_constructed);
+    out += " disc=" + std::to_string(r.stats.graphs_discarded);
+    out += " lb=" + std::to_string(r.stats.lb_rejections);
+    out += "\n" + PlanToJson(r.graph);
+  }
+  return out;
+}
+
+TEST(PlannerParallelTest, RandomWorkloadsIdenticalAcrossThreadCounts) {
+  constexpr int kWorkloads = 20;
+  for (int w = 0; w < kWorkloads; ++w) {
+    SCOPED_TRACE("workload " + std::to_string(w));
+    const uint64_t seed = 4200 + static_cast<uint64_t>(w) * 131;
+    Instance inst(seed, /*num_nodes=*/6 + w % 5, /*num_types=*/6 + w % 3,
+                  /*num_queries=*/2 + w % 3, /*avg_primitives=*/4 + w % 2);
+    WorkloadCatalogs catalogs(inst.workload, inst.net);
+    const bool star = w % 2 == 1;
+
+    // Shared rate cache warm/cold state must not affect results either;
+    // clear between instances so every workload starts cold at threads=1.
+    RateCache::Global().Clear();
+    WorkloadPlan serial = PlanWorkloadAmuse(catalogs, Opts(star, 1));
+    const std::string expected = Fingerprint(serial);
+
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      WorkloadPlan parallel = PlanWorkloadAmuse(catalogs, Opts(star, threads));
+      EXPECT_EQ(Fingerprint(parallel), expected);
+
+      VerifyReport report = VerifyPlan(parallel.combined, catalogs.Pointers());
+      EXPECT_TRUE(report.clean()) << report.ToString();
+    }
+  }
+}
+
+TEST(PlannerParallelTest, SingleQueryPlanQueryIdentical) {
+  // PlanQuery directly (no workload machinery): the per-target parallel
+  // search alone must reproduce the serial result.
+  Instance inst(977, /*num_nodes=*/10, /*num_types=*/8, /*num_queries=*/1,
+                /*avg_primitives=*/5);
+  WorkloadCatalogs catalogs(inst.workload, inst.net);
+  for (bool star : {false, true}) {
+    SCOPED_TRACE(star ? "amuse-star" : "amuse");
+    PlanResult serial = PlanQuery(catalogs.catalog(0), Opts(star, 1));
+    for (int threads : {2, 8}) {
+      PlanResult parallel = PlanQuery(catalogs.catalog(0), Opts(star, threads));
+      EXPECT_EQ(PlanToJson(parallel.graph), PlanToJson(serial.graph));
+      EXPECT_EQ(parallel.cost, serial.cost);
+      EXPECT_EQ(parallel.stats.graphs_constructed,
+                serial.stats.graphs_constructed);
+      EXPECT_EQ(parallel.stats.graphs_discarded,
+                serial.stats.graphs_discarded);
+      EXPECT_EQ(parallel.stats.lb_rejections, serial.stats.lb_rejections);
+      EXPECT_EQ(parallel.stats.combinations_enumerated,
+                serial.stats.combinations_enumerated);
+    }
+  }
+}
+
+TEST(PlannerParallelTest, HardwareDefaultMatchesSerial) {
+  // num_threads = 0 resolves to hardware concurrency — whatever that is on
+  // the host, the plan must match the serial one.
+  Instance inst(31337, /*num_nodes=*/8, /*num_types=*/7, /*num_queries=*/3,
+                /*avg_primitives=*/4);
+  WorkloadCatalogs catalogs(inst.workload, inst.net);
+  WorkloadPlan serial = PlanWorkloadAmuse(catalogs, Opts(false, 1));
+  WorkloadPlan dflt = PlanWorkloadAmuse(catalogs, Opts(false, 0));
+  EXPECT_EQ(Fingerprint(dflt), Fingerprint(serial));
+}
+
+TEST(PlannerParallelTest, TightBudgetsStayDeterministic) {
+  // Early termination (max_graphs / stagnation) interacts with batching:
+  // the replay must stop at exactly the same candidate regardless of how
+  // many evaluations were speculatively computed.
+  Instance inst(555, /*num_nodes=*/10, /*num_types=*/8, /*num_queries=*/2,
+                /*avg_primitives=*/5);
+  WorkloadCatalogs catalogs(inst.workload, inst.net);
+  for (int budget : {1, 10, 100}) {
+    SCOPED_TRACE("max_graphs " + std::to_string(budget));
+    PlannerOptions serial_opts = Opts(false, 1);
+    serial_opts.max_graphs = budget;
+    serial_opts.stagnation_limit = 7;
+    WorkloadPlan serial = PlanWorkloadAmuse(catalogs, serial_opts);
+    for (int threads : {2, 8}) {
+      PlannerOptions par_opts = serial_opts;
+      par_opts.num_threads = threads;
+      WorkloadPlan parallel = PlanWorkloadAmuse(catalogs, par_opts);
+      EXPECT_EQ(Fingerprint(parallel), Fingerprint(serial))
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(PlannerParallelTest, StatsMergeDoesNotDoubleCountTimers) {
+  // Worker merges must not inflate the orchestrator's wall-clock phases:
+  // the parallel run's phase timers stay within the same order as the
+  // serial run's (they time the same loop once), never ~num_threads times.
+  Instance inst(808, /*num_nodes=*/10, /*num_types=*/8, /*num_queries=*/1,
+                /*avg_primitives=*/5);
+  WorkloadCatalogs catalogs(inst.workload, inst.net);
+  PlanResult parallel = PlanQuery(catalogs.catalog(0), Opts(false, 8));
+  const PlannerStats& s = parallel.stats;
+  EXPECT_GE(s.elapsed_seconds, 0);
+  // Phases are sub-intervals of the whole call (small tolerance for timer
+  // granularity); 8 workers reporting the same interval would break this.
+  EXPECT_LE(s.select_seconds + s.enumerate_seconds + s.construct_seconds,
+            s.elapsed_seconds * 1.5 + 0.1);
+  EXPECT_GT(s.par_batches, 0);
+  EXPECT_GT(s.par_tasks, 0);
+
+  // AddTo and MergeWorker agree on counters; only AddTo moves the clocks.
+  PlannerStats sum;
+  s.AddTo(&sum);
+  EXPECT_EQ(sum.graphs_constructed, s.graphs_constructed);
+  EXPECT_EQ(sum.elapsed_seconds, s.elapsed_seconds);
+  PlannerStats merged;
+  s.MergeWorker(&merged);
+  EXPECT_EQ(merged.graphs_constructed, s.graphs_constructed);
+  EXPECT_EQ(merged.par_tasks, s.par_tasks);
+  EXPECT_EQ(merged.elapsed_seconds, 0);
+  EXPECT_EQ(merged.select_seconds, 0);
+}
+
+}  // namespace
+}  // namespace muse

@@ -3,7 +3,7 @@
 //
 // Usage:
 //   muse_plan <spec-file> [--algorithm amuse|amuse-star|oop|centralized]
-//             [--explain] [--dot <file>] [--json <file>]
+//             [--threads <n>] [--explain] [--dot <file>] [--json <file>]
 //
 // The spec format is documented in src/workload/spec.h; samples live in
 // examples/specs/. Prints the plan, its network cost, and the transmission
@@ -13,6 +13,7 @@
 // into muse_lint.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -29,8 +30,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: muse_plan <spec-file> [--algorithm amuse|amuse-star|oop|"
-      "centralized]\n                [--explain] [--dot <file>] "
-      "[--json <file>]\n");
+      "centralized]\n                [--threads <n>] [--explain] "
+      "[--dot <file>] [--json <file>]\n");
   return 2;
 }
 
@@ -54,9 +55,12 @@ int main(int argc, char** argv) {
   std::string dot_path;
   std::string json_path;
   bool explain = false;
+  int threads = 0;  // 0 = hardware concurrency, 1 = serial planner
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
       algorithm = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
       dot_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -99,6 +103,7 @@ int main(int argc, char** argv) {
   if (algorithm == "amuse" || algorithm == "amuse-star") {
     PlannerOptions opts;
     opts.star = algorithm == "amuse-star";
+    opts.num_threads = threads;
     WorkloadPlan wp = PlanWorkloadAmuse(catalogs, opts);
     plan = std::move(wp.combined);
     cost = wp.total_cost;
