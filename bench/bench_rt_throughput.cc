@@ -1,0 +1,245 @@
+// Wall-clock throughput and latency of the muse-rt execution runtime
+// (src/rt): the first measurements in this repo taken on real threads
+// instead of the virtual clock of the discrete-event simulator.
+//
+// `--scaling` (the primary mode) runs a fixed random workload under the
+// aMuSE multi-sink plan and the single-sink centralized plan at worker
+// thread counts {1, 2, hardware}, injecting the trace unpaced (the source
+// pushes as fast as credit-based backpressure admits) and writes
+// BENCH_rt.json (`--out <path>` overrides, "-" = stdout) with sustained
+// events/sec and wall-clock detection latency p50/p99 per point. Each
+// point is best-of-`--reps` for throughput; the latency quantiles come
+// from that best rep's merged per-query HDR histograms.
+//
+// Without --scaling it prints the same table for a single quick pass
+// (reps=1) and writes no file.
+//
+// Comparing the two plans is the paper's load-distribution claim (§7)
+// restated in wall-clock terms: the centralized plan funnels every event
+// through one evaluator node, so multiplexing its deployment over more
+// worker threads cannot buy what the aMuSE plan's spread-out operator
+// graph can.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/thread_pool.h"
+#include "src/core/centralized.h"
+#include "src/net/trace.h"
+#include "src/rt/runtime.h"
+#include "src/workload/selectivity_model.h"
+
+namespace muse::bench {
+namespace {
+
+constexpr uint64_t kSeed = 808;
+
+struct Instance {
+  Network net;
+  std::vector<Query> workload;
+  std::vector<Event> trace;
+
+  explicit Instance(uint64_t duration_ms) : net(1, 1) {
+    Rng rng(kSeed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = 8;
+    nopts.num_types = 6;
+    nopts.max_rate = 10;
+    net = MakeRandomNetwork(nopts, rng);
+    SelectivityModel model(nopts.num_types, 0.05, 0.3, rng);
+    QueryGenOptions qopts;
+    qopts.num_queries = 3;
+    qopts.avg_primitives = 4;
+    qopts.num_types = nopts.num_types;
+    workload = GenerateWorkload(qopts, model, rng);
+    TraceOptions topts;
+    topts.duration_ms = duration_ms;
+    trace = GenerateGlobalTrace(net, topts, rng);
+  }
+};
+
+struct Point {
+  std::string plan;
+  int threads;
+  double events_per_sec = 0;
+  double wall_seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t matches = 0;
+  uint64_t net_frames = 0;
+  uint64_t stalls = 0;
+};
+
+/// Merges every per-query rt_latency_ms histogram of the run and reads the
+/// wall-clock quantiles off the merged distribution.
+void LatencyQuantiles(const rt::RtReport& report, Point* p) {
+  obs::Histogram merged(1e-3);
+  for (const obs::MetricsRegistry::Entry& e :
+       report.telemetry->registry.Entries()) {
+    if (e.name == "rt_latency_ms" && e.histogram != nullptr) {
+      merged.MergeFrom(*e.histogram);
+    }
+  }
+  if (merged.Count() == 0) return;
+  p->p50_ms = merged.Quantile(0.50);
+  p->p99_ms = merged.Quantile(0.99);
+}
+
+uint64_t MatchCount(const rt::RtReport& report) {
+  uint64_t total = 0;
+  for (const obs::MetricsRegistry::Entry& e :
+       report.telemetry->registry.Entries()) {
+    if (e.name == "rt_matches_total" &&
+        e.kind == obs::MetricKind::kCounter) {
+      total += e.counter->Value();
+    }
+  }
+  return total;
+}
+
+Point RunPoint(const Deployment& dep, const Instance& inst,
+               const std::string& plan_name, int threads, int reps) {
+  Point p;
+  p.plan = plan_name;
+  p.threads = threads;
+  for (int r = 0; r < reps; ++r) {
+    rt::RtOptions opts;
+    opts.num_threads = threads;
+    opts.collect_matches = false;  // saturation mode; counts stay in metrics
+    opts.source_seed = kSeed + static_cast<uint64_t>(r);
+    rt::RtRuntime runtime(dep, opts);
+    rt::RtReport report = runtime.Run(inst.trace);
+    if (r == 0 || report.events_per_sec > p.events_per_sec) {
+      p.events_per_sec = report.events_per_sec;
+      p.wall_seconds = report.wall_seconds;
+      p.matches = MatchCount(report);
+      p.net_frames = report.network_frames;
+      p.stalls = report.backpressure_stalls;
+      LatencyQuantiles(report, &p);
+    }
+  }
+  return p;
+}
+
+int RunThroughput(const std::string& out_path, int reps,
+                  uint64_t duration_ms, bool write_json) {
+  Instance inst(duration_ms);
+  WorkloadCatalogs catalogs(inst.workload, inst.net);
+
+  struct PlanCase {
+    std::string name;
+    MuseGraph graph;
+  };
+  std::vector<PlanCase> plans;
+  plans.push_back({"amuse", PlanWorkloadAmuse(catalogs,
+                                              BenchPlannerOptions(false))
+                                .combined});
+  plans.push_back({"centralized",
+                   BuildCentralizedPlan(catalogs.Pointers(), 0)});
+
+  std::set<int> counts{1, 2};
+  counts.insert(std::max(1, ThreadPool::HardwareExecutors()));
+
+  PrintTitle("muse-rt throughput (trace: " +
+             std::to_string(inst.trace.size()) + " events, " +
+             std::to_string(duration_ms) + " virtual ms, reps=" +
+             std::to_string(reps) + ")");
+  PrintHeader({"plan", "threads", "events/s", "wall_s", "p50_ms", "p99_ms",
+               "matches", "net_frames", "stalls"});
+
+  std::vector<Point> points;
+  uint64_t baseline_matches = 0;
+  bool matches_consistent = true;
+  for (const PlanCase& pc : plans) {
+    Deployment dep(pc.graph, catalogs.Pointers());
+    for (int threads : counts) {
+      Point p = RunPoint(dep, inst, pc.name, threads, reps);
+      // Every (plan, threads) point must detect the same complete match
+      // set — the runtime's determinism contract makes the bench a
+      // correctness check for free.
+      if (points.empty()) baseline_matches = p.matches;
+      matches_consistent &= p.matches == baseline_matches;
+      points.push_back(p);
+      PrintRow({p.plan, std::to_string(p.threads), Fmt(p.events_per_sec),
+                Fmt(p.wall_seconds), Fmt(p.p50_ms), Fmt(p.p99_ms),
+                std::to_string(p.matches), std::to_string(p.net_frames),
+                std::to_string(p.stalls)});
+    }
+  }
+  if (!matches_consistent) {
+    std::fprintf(stderr,
+                 "error: match counts diverged across points — the runtime "
+                 "broke its determinism contract\n");
+  }
+  if (!write_json) return matches_consistent ? 0 : 1;
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"rt_throughput\",\n";
+  json << "  \"config\": {\"num_nodes\": 8, \"num_types\": 6, "
+       << "\"num_queries\": 3, \"avg_primitives\": 4, \"seed\": " << kSeed
+       << ", \"duration_ms\": " << duration_ms << ", \"trace_events\": "
+       << inst.trace.size() << "},\n";
+  json << "  \"hardware_executors\": " << ThreadPool::HardwareExecutors()
+       << ",\n";
+  json << "  \"reps\": " << reps << ",\n";
+  json << "  \"matches_consistent\": "
+       << (matches_consistent ? "true" : "false") << ",\n";
+  json << "  \"results\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json << "    {\"plan\": \"" << p.plan << "\", \"threads\": " << p.threads
+         << ", \"events_per_sec\": " << p.events_per_sec
+         << ", \"wall_seconds\": " << p.wall_seconds
+         << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+         << ", \"matches\": " << p.matches
+         << ", \"net_frames\": " << p.net_frames
+         << ", \"backpressure_stalls\": " << p.stalls << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (out_path == "-") {
+    std::printf("%s", json.str().c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return matches_consistent ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace muse::bench
+
+int main(int argc, char** argv) {
+  muse::bench::InitBench(argc, argv);
+  bool scaling = false;
+  int reps = 3;
+  uint64_t duration_ms = 8000;
+  std::string out_path = "BENCH_rt.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling") == 0) {
+      scaling = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      duration_ms = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (!scaling) reps = 1;
+  return muse::bench::RunThroughput(out_path, reps, duration_ms, scaling);
+}

@@ -34,6 +34,9 @@ const char* RuleCode(Rule rule) {
     case Rule::kObsUnboundedLabels: return "M700";
     case Rule::kObsSnapshotFlood: return "M701";
     case Rule::kObsTraceUncapped: return "M702";
+    case Rule::kRtInboxUnbounded: return "M800";
+    case Rule::kRtBatchExceedsInbox: return "M801";
+    case Rule::kRtEvictionUnbounded: return "M802";
   }
   return "M???";
 }
@@ -68,6 +71,9 @@ const char* RuleName(Rule rule) {
     case Rule::kObsUnboundedLabels: return "obs-unbounded-labels";
     case Rule::kObsSnapshotFlood: return "obs-snapshot-flood";
     case Rule::kObsTraceUncapped: return "obs-trace-uncapped";
+    case Rule::kRtInboxUnbounded: return "rt-inbox-unbounded";
+    case Rule::kRtBatchExceedsInbox: return "rt-batch-exceeds-inbox";
+    case Rule::kRtEvictionUnbounded: return "rt-eviction-unbounded";
   }
   return "unknown";
 }

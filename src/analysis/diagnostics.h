@@ -15,6 +15,7 @@ namespace muse {
 ///   M2xx input coverage         M5xx projection-boundary compatibility
 ///   M3xx placement feasibility  M6xx deployment wiring
 ///   M7xx observability configuration
+///   M8xx runtime (muse-rt) configuration
 enum class Rule {
   // -- M1xx: graph structure --------------------------------------------
   kGraphCycle,          ///< M100: directed cycle in the MuSE graph
@@ -51,6 +52,10 @@ enum class Rule {
   kObsUnboundedLabels,  ///< M700: data-valued labels (unbounded cardinality)
   kObsSnapshotFlood,    ///< M701: snapshot series exceed cardinality budget
   kObsTraceUncapped,    ///< M702: flow tracing enabled without a span cap
+  // -- M8xx: runtime (muse-rt) configuration ------------------------------
+  kRtInboxUnbounded,    ///< M800: inbox capacity 0 disables backpressure
+  kRtBatchExceedsInbox, ///< M801: batch larger than the credit window
+  kRtEvictionUnbounded, ///< M802: unbounded eviction horizon in production
 };
 
 /// Stable short code, e.g. "M200".

@@ -755,4 +755,51 @@ VerifyReport VerifyObsConfig(const obs::ObsOptions& obs, int num_nodes,
   return report;
 }
 
+VerifyReport VerifyRtConfig(const rt::RtOptions& options) {
+  VerifyReport report;
+  const rt::RtTransportOptions& t = options.transport;
+
+  // M800: capacity 0 disables the credit window entirely — nothing then
+  // bounds inbox memory against a producer outrunning a consumer.
+  if (t.inbox_capacity == 0) {
+    report.Add(Rule::kRtInboxUnbounded, Severity::kError,
+               "rt.transport.inbox_capacity=0",
+               "inbox capacity 0 means unbounded: backpressure never "
+               "engages, so a fast producer grows the receiver's inbox "
+               "without limit",
+               "set a finite per-node credit window (default 1024 frames)");
+  }
+
+  // M801: a batch needing more credits than the whole window can never be
+  // delivered — the link wedges permanently once such a batch forms.
+  if (t.inbox_capacity != 0 &&
+      (t.batch_max_frames <= 0 ||
+       static_cast<size_t>(t.batch_max_frames) > t.inbox_capacity)) {
+    report.Add(Rule::kRtBatchExceedsInbox, Severity::kError,
+               "rt.transport.batch_max_frames=" +
+                   std::to_string(t.batch_max_frames),
+               "a packet of up to " + std::to_string(t.batch_max_frames) +
+                   " frames can never acquire " +
+                   std::to_string(t.inbox_capacity) +
+                   " inbox credits: the link stalls forever once the batch "
+                   "fills",
+               "keep batch_max_frames in [1, inbox_capacity]");
+  }
+
+  // M802: the runtime maps slack 0 to an effectively unbounded eviction
+  // horizon (the differential-determinism default); long-running
+  // deployments then never reclaim stale partial matches.
+  if (options.eval.eviction_slack_ms == 0) {
+    report.Add(Rule::kRtEvictionUnbounded, Severity::kWarning,
+               "rt.eval.eviction_slack_ms=0",
+               "slack 0 selects an unbounded eviction horizon: partial "
+               "matches are only reclaimed at the final flush, so memory "
+               "grows with the stream on long-running deployments",
+               "set a finite slack covering the expected cross-node arrival "
+               "skew (e.g. a few delivery delays)");
+  }
+
+  return report;
+}
+
 }  // namespace muse

@@ -8,6 +8,7 @@
 #include "src/core/projection.h"
 #include "src/dist/deployment.h"
 #include "src/obs/telemetry.h"
+#include "src/rt/runtime.h"
 
 namespace muse {
 
@@ -70,6 +71,15 @@ VerifyReport VerifyDeployment(const Deployment& deployment,
 /// correctness.
 VerifyReport VerifyObsConfig(const obs::ObsOptions& obs, int num_nodes,
                              int num_tasks, int num_queries);
+
+/// Static verification of a muse-rt runtime configuration (rules M80x):
+/// flow-control soundness of the transport (bounded inboxes, deliverable
+/// batch sizes) and the eviction policy of long-running deployments.
+/// M800/M801 are errors — such configs can exhaust memory or wedge a link
+/// permanently; M802 is a warning because the unbounded horizon is exactly
+/// what the differential harness needs, but a production run with it never
+/// reclaims partial matches.
+VerifyReport VerifyRtConfig(const rt::RtOptions& options);
 
 }  // namespace muse
 

@@ -1,31 +1,55 @@
 #ifndef MUSE_DIST_CHANNEL_H_
 #define MUSE_DIST_CHANNEL_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "src/dist/message.h"
 
 namespace muse {
 
-/// Receiver-side exactly-once filter: tracks, per source task, the highest
-/// contiguously delivered channel sequence number. Re-sent messages (e.g.
+/// Receiver-side exactly-once filter: per source task, a high watermark of
+/// contiguously accepted channel sequence numbers plus a compact set of
+/// accepted out-of-order sequences above it. Re-sent messages (e.g.
 /// replayed by a recovering sender) are recognized and dropped, giving the
 /// exactly-once semantics the case study's resilience framework provides
 /// (§7.1). Senders emit per-channel sequence numbers monotonically.
+///
+/// Memory is bounded by the reorder window, not the stream length: every
+/// contiguous run starting at the watermark is compacted away immediately,
+/// so `pending` only ever holds sequences whose predecessors are still in
+/// flight. On the in-order channels of the simulator and the FIFO links of
+/// the rt transport, `pending` stays empty and Accept is one hash lookup.
 class ExactlyOnceFilter {
  public:
   /// Returns true if the message is fresh (first delivery), false if it is
   /// a duplicate of an already-accepted message.
   bool Accept(const SimMessage& msg) {
-    uint64_t& next = next_seq_[msg.src_task];
-    if (msg.channel_seq < next) {
+    Channel& ch = channels_[msg.src_task];
+    if (msg.channel_seq < ch.next) {
       ++dropped_;
       return false;
     }
-    // Messages on a channel arrive in order in this runtime; a gap would be
-    // a routing bug rather than loss.
-    next = msg.channel_seq + 1;
+    if (msg.channel_seq == ch.next) {
+      // Compact: advance the watermark over any pending run it now joins.
+      ++ch.next;
+      auto it = ch.pending.begin();
+      while (it != ch.pending.end() && *it == ch.next) {
+        ++ch.next;
+        it = ch.pending.erase(it);
+      }
+      return true;
+    }
+    // Out-of-order arrival above the watermark: remember it so a later
+    // duplicate is still recognized.
+    if (!ch.pending.insert(msg.channel_seq).second) {
+      ++dropped_;
+      return false;
+    }
+    peak_pending_ = std::max(peak_pending_, PendingAboveWatermark());
     return true;
   }
 
@@ -33,11 +57,44 @@ class ExactlyOnceFilter {
   /// node_dup_dropped_total telemetry counter.
   uint64_t dropped() const { return dropped_; }
 
-  void Clear() { next_seq_.clear(); }
+  /// High watermark of `src_task`'s channel: all sequences below it have
+  /// been accepted. 0 for unknown channels.
+  uint64_t Watermark(int src_task) const {
+    auto it = channels_.find(src_task);
+    return it == channels_.end() ? 0 : it->second.next;
+  }
+
+  /// (src task, watermark) of every channel this filter has seen.
+  std::vector<std::pair<int, uint64_t>> Watermarks() const {
+    std::vector<std::pair<int, uint64_t>> out;
+    out.reserve(channels_.size());
+    for (const auto& [src, ch] : channels_) out.emplace_back(src, ch.next);
+    return out;
+  }
+
+  /// Currently retained out-of-order sequences across all channels — the
+  /// filter's only stream-length-independent memory beyond one watermark
+  /// per channel.
+  uint64_t PendingAboveWatermark() const {
+    uint64_t total = 0;
+    for (const auto& [src, ch] : channels_) total += ch.pending.size();
+    return total;
+  }
+
+  /// Largest PendingAboveWatermark() ever reached (reorder-window peak).
+  uint64_t PeakPendingAboveWatermark() const { return peak_pending_; }
+
+  void Clear() { channels_.clear(); }
 
  private:
-  std::unordered_map<int, uint64_t> next_seq_;
+  struct Channel {
+    uint64_t next = 0;             ///< watermark: all seq < next accepted
+    std::set<uint64_t> pending;    ///< accepted seqs > watermark (sorted)
+  };
+
+  std::unordered_map<int, Channel> channels_;
   uint64_t dropped_ = 0;
+  uint64_t peak_pending_ = 0;
 };
 
 }  // namespace muse

@@ -84,12 +84,20 @@ class NodeRuntime {
   /// order (telemetry export).
   std::vector<std::pair<int, EvaluatorStats>> EvaluatorStatsByTask() const;
 
+  /// The exactly-once receive filter (telemetry: watermark and pending-set
+  /// gauges).
+  const ExactlyOnceFilter& filter() const { return filter_; }
+
   /// Next sequence number for the outgoing channel of `task` towards
   /// `dst_node`. Reset on crash; deterministic replay regenerates identical
-  /// numbering (see Crash()).
+  /// numbering (see Crash()). The key gives each half a full 32 bits —
+  /// task ids and node ids must never alias (a 20-bit shift would collide
+  /// e.g. (task 1, node 0) with (task 0, node 2^20)).
   uint64_t NextChannelSeq(int task, NodeId dst_node) {
-    return channel_seq_[(static_cast<int64_t>(task) << 20) |
-                        static_cast<int64_t>(dst_node)]++;
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(task)) << 32) |
+        static_cast<uint64_t>(dst_node);
+    return channel_seq_[key]++;
   }
 
  private:
@@ -109,7 +117,7 @@ class NodeRuntime {
   std::vector<LoggedInput> log_;
   bool replaying_ = false;
   ExactlyOnceFilter filter_;
-  std::unordered_map<int64_t, uint64_t> channel_seq_;
+  std::unordered_map<uint64_t, uint64_t> channel_seq_;
   uint64_t processed_ = 0;
   uint64_t peak_buffered_ = 0;
   std::unordered_map<int, TaskCounters> task_counters_;

@@ -1,0 +1,521 @@
+#include "src/rt/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_set>
+
+#include "src/cep/oracle.h"
+#include "src/common/rng.h"
+#include "src/dist/node_runtime.h"
+#include "src/rt/wire.h"
+
+namespace muse::rt {
+namespace {
+
+/// Eviction horizon used when the caller leaves `eval.eviction_slack_ms`
+/// at 0: large enough that no partial match is ever evicted before the
+/// final flush (see RtOptions::eval for why finite slacks break the
+/// determinism contract under real threading).
+constexpr uint64_t kUnboundedSlackMs = 1ULL << 60;
+
+/// Per-link batch of encoded frames owned by one sending thread. Frames
+/// accumulate until `batch_max_frames`, then flush as one packet; the
+/// owner also force-flushes after each unit of work so batching never
+/// holds a frame across an idle period.
+///
+/// Worker threads flush packets with TryDeliver and keep rejected packets
+/// in a per-link FIFO spill (credit order is preserved per link); the
+/// source driver flushes blocking. See Transport for the deadlock-freedom
+/// argument.
+class LinkBatcher {
+ public:
+  LinkBatcher(NodeId src, Transport* transport,
+              const RtTransportOptions& options, bool blocking)
+      : src_(src),
+        transport_(transport),
+        options_(options),
+        blocking_(blocking) {}
+
+  void Add(NodeId dst, const char* frame, size_t frame_bytes) {
+    Batch& batch = batches_[dst];
+    batch.bytes.append(frame, frame_bytes);
+    ++batch.frames;
+    if (batch.frames >= static_cast<uint32_t>(
+                            std::max(1, options_.batch_max_frames))) {
+      FlushLink(dst);
+    }
+  }
+
+  void FlushAll() {
+    for (auto& [dst, batch] : batches_) {
+      if (batch.frames > 0) FlushLink(dst);
+    }
+  }
+
+  /// One pass over the spill queues; returns true when all are empty.
+  bool FlushSpill() {
+    for (auto it = spill_.begin(); it != spill_.end();) {
+      std::deque<Packet>& q = it->second;
+      while (!q.empty() && transport_->TryDeliver(std::move(q.front()))) {
+        q.pop_front();
+      }
+      it = q.empty() ? spill_.erase(it) : ++it;
+    }
+    return spill_.empty();
+  }
+
+  bool spill_empty() const { return spill_.empty(); }
+
+ private:
+  struct Batch {
+    std::string bytes;
+    uint32_t frames = 0;
+  };
+
+  void FlushLink(NodeId dst) {
+    Batch& batch = batches_[dst];
+    Packet packet;
+    packet.src = src_;
+    packet.dst = dst;
+    // The blocking batcher is the source driver, which logically injects
+    // *at* the origin node — no network hop, immediate delivery.
+    packet.deliver_at_us =
+        blocking_ ? transport_->NowUs() : transport_->DeliverAt(src_, dst);
+    packet.frames = batch.frames;
+    packet.bytes = std::move(batch.bytes);
+    batch.bytes.clear();
+    batch.frames = 0;
+    if (blocking_) {
+      transport_->DeliverBlocking(std::move(packet));
+      return;
+    }
+    // FIFO per link: never overtake an already-spilled packet.
+    std::deque<Packet>& q = spill_[dst];
+    if (q.empty() && transport_->TryDeliver(std::move(packet))) {
+      spill_.erase(dst);
+      return;
+    }
+    q.push_back(std::move(packet));
+  }
+
+  NodeId src_;
+  Transport* transport_;
+  RtTransportOptions options_;
+  bool blocking_;
+  std::map<NodeId, Batch> batches_;
+  std::map<NodeId, std::deque<Packet>> spill_;
+};
+
+class RtRun {
+ public:
+  RtRun(const Deployment& dep, const RtOptions& options)
+      : dep_(dep),
+        options_(options),
+        telemetry_(std::make_shared<obs::RunTelemetry>()) {
+    EvaluatorOptions eval = options_.eval;
+    if (eval.eviction_slack_ms == 0) eval.eviction_slack_ms = kUnboundedSlackMs;
+
+    NodeId max_node = 0;
+    for (const Task& t : dep_.tasks()) max_node = std::max(max_node, t.node);
+    const size_t num_nodes = static_cast<size_t>(max_node) + 1;
+    for (NodeId n = 0; n < num_nodes; ++n) nodes_.emplace_back(n, &dep_, eval);
+
+    num_shards_ = options_.num_threads <= 0
+                      ? static_cast<int>(num_nodes)
+                      : std::min<int>(options_.num_threads,
+                                      static_cast<int>(num_nodes));
+
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    transport_ = std::make_unique<Transport>(num_nodes, num_shards_,
+                                             options_.transport, &reg);
+    for (size_t n = 0; n < num_nodes; ++n) {
+      const obs::LabelSet labels{{"node", std::to_string(n)}};
+      node_inputs_.push_back(reg.GetCounter("rt_node_inputs_total", labels));
+      node_net_frames_.push_back(
+          reg.GetCounter("rt_net_out_frames_total", labels));
+      node_net_bytes_.push_back(
+          reg.GetCounter("rt_net_out_bytes_total", labels));
+      node_crashes_.push_back(reg.GetCounter("rt_crashes_total", labels));
+    }
+    for (int q = 0; q < dep_.num_queries(); ++q) {
+      auto col = std::make_unique<QueryCollector>();
+      const obs::LabelSet labels{{"query", std::to_string(q)}};
+      col->latency = reg.GetHistogram("rt_latency_ms", labels, 1e-3);
+      col->total = reg.GetCounter("rt_matches_total", labels);
+      collectors_.push_back(std::move(col));
+    }
+    wire_rejects_ = reg.GetCounter("rt_wire_rejected_frames_total");
+    source_skipped_ = reg.GetCounter("rt_source_skipped_events_total");
+    flush_stash_.resize(num_nodes);
+  }
+
+  RtReport Run(const std::vector<Event>& trace) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    report_.source_events = trace.size();
+    report_.matches_per_query.resize(
+        static_cast<size_t>(dep_.num_queries()));
+    inject_us_.assign(trace.size(), 0);
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_shards_));
+    for (int s = 0; s < num_shards_; ++s) {
+      workers.emplace_back([this, s] { WorkerMain(s); });
+    }
+    std::thread driver([this, &trace] { DriverMain(trace); });
+
+    driver.join();
+    WaitQuiesce();
+
+    // Final flush, two-phase to mirror the simulator exactly: every node
+    // stashes its pending NSEQ candidates *before* any of them is routed,
+    // so late flush outputs delivered to an already-flushed evaluator
+    // never gain a second flush.
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      transport_->PushControl(n, ControlKind::kFlushCollect);
+    }
+    WaitAcks(&flush_acks_);
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      transport_->PushControl(n, ControlKind::kFlushEmit);
+    }
+    WaitAcks(&emit_acks_);
+    WaitQuiesce();
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      transport_->PushControl(n, ControlKind::kStop);
+    }
+    for (std::thread& t : workers) t.join();
+
+    FinishTelemetry();
+    report_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    BuildReport();
+    return std::move(report_);
+  }
+
+ private:
+  struct QueryCollector {
+    std::mutex mu;
+    std::unordered_set<std::string> seen;
+    std::vector<Match> matches;
+    obs::Histogram* latency = nullptr;
+    obs::Counter* total = nullptr;
+  };
+
+  void WaitQuiesce() const {
+    while (transport_->InFlight() > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  void WaitAcks(const std::atomic<size_t>* acks) const {
+    while (acks->load(std::memory_order_acquire) < nodes_.size()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  // --- worker side -----------------------------------------------------
+
+  void WorkerMain(int shard) {
+    // One batcher per worker: it only ever sends on behalf of this shard's
+    // nodes, and `src` is stamped per flush from the routing node.
+    std::map<NodeId, std::unique_ptr<LinkBatcher>> batchers;
+    for (size_t n = static_cast<size_t>(shard); n < nodes_.size();
+         n += static_cast<size_t>(num_shards_)) {
+      batchers[static_cast<NodeId>(n)] = std::make_unique<LinkBatcher>(
+          static_cast<NodeId>(n), transport_.get(), options_.transport,
+          /*blocking=*/false);
+    }
+    auto spill_empty = [&] {
+      for (auto& [n, b] : batchers) {
+        if (!b->spill_empty()) return false;
+      }
+      return true;
+    };
+
+    for (;;) {
+      for (auto& [n, b] : batchers) b->FlushSpill();
+      const bool idle = spill_empty();
+      Transport::Popped popped =
+          transport_->PopReady(shard, idle ? 5000 : 100);
+      for (const auto& [node, control] : popped.controls) {
+        LinkBatcher* batcher = batchers[node].get();
+        switch (control) {
+          case ControlKind::kCrash:
+            HandleCrash(node, batcher);
+            transport_->NoteFramesDone(1);
+            break;
+          case ControlKind::kFlushCollect:
+            nodes_[node].Flush(&flush_stash_[node]);
+            flush_acks_.fetch_add(1, std::memory_order_release);
+            break;
+          case ControlKind::kFlushEmit:
+            RouteOutputs(node, flush_stash_[node], batcher);
+            flush_stash_[node].clear();
+            batcher->FlushAll();
+            emit_acks_.fetch_add(1, std::memory_order_release);
+            break;
+          case ControlKind::kStop:
+            return;
+        }
+      }
+      for (Packet& packet : popped.packets) {
+        LinkBatcher* batcher = batchers[packet.dst].get();
+        Result<std::vector<DecodedFrame>> frames = DecodePacket(packet.bytes);
+        if (!frames.ok()) {
+          // A malformed packet is a transport bug, not a data condition;
+          // account and drop rather than poison the node.
+          wire_rejects_->Add(packet.frames);
+        } else {
+          for (const DecodedFrame& frame : frames.value()) {
+            HandleFrame(packet.dst, frame, batcher);
+          }
+        }
+        batcher->FlushAll();
+        transport_->Release(packet.dst, packet.frames);
+        transport_->NoteFramesDone(packet.frames);
+      }
+    }
+  }
+
+  void HandleFrame(NodeId node, const DecodedFrame& frame,
+                   LinkBatcher* batcher) {
+    NodeRuntime& rt = nodes_[node];
+    node_inputs_[node]->Add(1);
+    std::vector<NodeRuntime::Output> outs;
+    if (frame.kind == FrameKind::kEvent) {
+      const Event& e = frame.event;
+      for (int task : dep_.PrimitiveTasksFor(node, e.type)) {
+        rt.OnInput(task, -1, Match::Single(e), &outs);
+      }
+    } else {
+      const SimMessage& msg = frame.message;
+      if (msg.src_task < 0 || msg.src_task >= dep_.num_tasks()) {
+        wire_rejects_->Add(1);
+        return;
+      }
+      if (!rt.Admit(msg)) return;  // duplicate from a recovering sender
+      for (int succ : dep_.task(msg.src_task).successors) {
+        if (dep_.task(succ).node != node) continue;
+        rt.OnInput(succ, msg.src_task, msg.payload, &outs);
+      }
+    }
+    RouteOutputs(node, outs, batcher);
+  }
+
+  void HandleCrash(NodeId node, LinkBatcher* batcher) {
+    node_crashes_[node]->Add(1);
+    NodeRuntime& rt = nodes_[node];
+    rt.Crash();
+    std::vector<NodeRuntime::Output> outs;
+    rt.Recover(&outs);
+    // Replay regenerates the original outputs with identical channel
+    // sequence numbers; receivers drop them as duplicates.
+    RouteOutputs(node, outs, batcher);
+    batcher->FlushAll();
+  }
+
+  void RouteOutputs(NodeId node, const std::vector<NodeRuntime::Output>& outs,
+                    LinkBatcher* batcher) {
+    NodeRuntime& rt = nodes_[node];
+    std::string frame;
+    for (const NodeRuntime::Output& out : outs) {
+      const Task& t = dep_.task(out.task);
+      for (int query : t.sink_for) RecordMatch(query, out.match);
+      std::set<NodeId> dst_nodes;
+      for (int succ : t.successors) dst_nodes.insert(dep_.task(succ).node);
+      for (NodeId dst : dst_nodes) {
+        SimMessage msg;
+        msg.src_task = t.id;
+        msg.dst_task = -1;
+        msg.channel_seq = rt.NextChannelSeq(t.id, dst);
+        msg.payload = out.match;
+        frame.clear();
+        AppendMessageFrame(msg, &frame);
+        if (dst != node) {
+          node_net_frames_[node]->Add(1);
+          node_net_bytes_[node]->Add(frame.size());
+        }
+        transport_->NoteFramesQueued(1);
+        batcher->Add(dst, frame.data(), frame.size());
+      }
+    }
+  }
+
+  void RecordMatch(int query, const Match& m) {
+    QueryCollector& col = *collectors_[static_cast<size_t>(query)];
+    uint64_t injected = 0;
+    for (const Event& e : m.events) {
+      if (e.seq < inject_us_.size()) {
+        injected = std::max(injected, inject_us_[e.seq]);
+      }
+    }
+    const uint64_t now = transport_->NowUs();
+    std::lock_guard<std::mutex> lock(col.mu);
+    if (!col.seen.insert(m.Key()).second) return;
+    col.total->Add(1);
+    col.latency->Record(
+        now > injected ? static_cast<double>(now - injected) / 1000.0 : 0.0);
+    if (options_.collect_matches) col.matches.push_back(m);
+  }
+
+  // --- source driver ---------------------------------------------------
+
+  void DriverMain(const std::vector<Event>& trace) {
+    LinkBatcher batcher(0, transport_.get(), options_.transport,
+                        /*blocking=*/true);
+    std::vector<std::pair<NodeId, uint64_t>> failures = options_.failures;
+    std::sort(failures.begin(), failures.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    size_t next_failure = 0;
+    auto inject_failures_until = [&](uint64_t trace_time_ms) {
+      while (next_failure < failures.size() &&
+             failures[next_failure].second <= trace_time_ms) {
+        const NodeId victim = failures[next_failure].first;
+        ++next_failure;
+        if (victim >= nodes_.size()) continue;
+        batcher.FlushAll();  // keep the crash ordered after sent events
+        transport_->NoteFramesQueued(1);
+        transport_->PushControl(victim, ControlKind::kCrash);
+      }
+    };
+
+    Rng rng(options_.source_seed);
+    const auto start = std::chrono::steady_clock::now();
+    double next_arrival_s = 0;
+    std::string frame;
+    for (const Event& e : trace) {
+      inject_failures_until(e.time);
+      if (e.origin >= nodes_.size() ||
+          dep_.PrimitiveTasksFor(e.origin, e.type).empty()) {
+        source_skipped_->Add(1);
+        continue;
+      }
+      if (options_.source_rate_eps > 0) {
+        next_arrival_s += rng.Exponential(options_.source_rate_eps);
+        batcher.FlushAll();  // don't hold frames across the pacing sleep
+        std::this_thread::sleep_until(
+            start + std::chrono::duration<double>(next_arrival_s));
+      }
+      if (e.seq < inject_us_.size()) inject_us_[e.seq] = transport_->NowUs();
+      frame.clear();
+      AppendEventFrame(e, &frame);
+      transport_->NoteFramesQueued(1);
+      ++injected_;
+      batcher.Add(e.origin, frame.data(), frame.size());
+    }
+    inject_failures_until(UINT64_MAX);
+    batcher.FlushAll();
+  }
+
+  // --- end of run ------------------------------------------------------
+
+  void FinishTelemetry() {
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      const std::string node_str = std::to_string(n);
+      const obs::LabelSet node_labels{{"node", node_str}};
+      reg.GetCounter("rt_node_dup_dropped_total", node_labels)
+          ->Add(nodes_[n].DuplicatesDropped());
+      const ExactlyOnceFilter& filter = nodes_[n].filter();
+      reg.GetGauge("rt_filter_pending_peak", node_labels)
+          ->Set(static_cast<double>(filter.PeakPendingAboveWatermark()));
+      for (const auto& [src_task, watermark] : filter.Watermarks()) {
+        reg.GetGauge("rt_filter_watermark",
+                     obs::LabelSet{{"node", node_str},
+                                   {"src", std::to_string(src_task)}})
+            ->Set(static_cast<double>(watermark));
+      }
+      for (const auto& [task, counters] : nodes_[n].task_counters()) {
+        const obs::LabelSet labels{{"node", node_str},
+                                   {"task", std::to_string(task)}};
+        reg.GetCounter("rt_task_inputs_total", labels)->Add(counters.inputs);
+        reg.GetCounter("rt_task_outputs_total", labels)->Add(counters.outputs);
+      }
+    }
+  }
+
+  void BuildReport() {
+    report_.injected_events = injected_;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      report_.inputs_processed += node_inputs_[n]->Value();
+      report_.network_frames += node_net_frames_[n]->Value();
+      report_.network_bytes += node_net_bytes_[n]->Value();
+      report_.duplicates_dropped += nodes_[n].DuplicatesDropped();
+      report_.crashes += node_crashes_[n]->Value();
+    }
+    report_.backpressure_stalls = transport_->Stalls();
+    report_.events_per_sec =
+        report_.wall_seconds > 0
+            ? static_cast<double>(injected_) / report_.wall_seconds
+            : 0;
+    obs::Histogram merged(1e-3);
+    for (size_t q = 0; q < collectors_.size(); ++q) {
+      merged.MergeFrom(*collectors_[q]->latency);
+      report_.matches_per_query[q] =
+          CanonicalMatchSet(std::move(collectors_[q]->matches));
+    }
+    report_.latency_ms = Distribution::FromHistogram(merged);
+    telemetry_->registry.GetGauge("rt_wall_seconds")
+        ->Set(report_.wall_seconds);
+    report_.telemetry = telemetry_;
+  }
+
+  const Deployment& dep_;
+  RtOptions options_;
+  std::shared_ptr<obs::RunTelemetry> telemetry_;
+  std::vector<NodeRuntime> nodes_;
+  int num_shards_ = 1;
+  std::unique_ptr<Transport> transport_;
+
+  std::vector<obs::Counter*> node_inputs_;
+  std::vector<obs::Counter*> node_net_frames_;
+  std::vector<obs::Counter*> node_net_bytes_;
+  std::vector<obs::Counter*> node_crashes_;
+  obs::Counter* wire_rejects_ = nullptr;
+  obs::Counter* source_skipped_ = nullptr;
+
+  std::vector<std::unique_ptr<QueryCollector>> collectors_;
+  std::vector<std::vector<NodeRuntime::Output>> flush_stash_;
+  std::vector<uint64_t> inject_us_;
+  std::atomic<size_t> flush_acks_{0};
+  std::atomic<size_t> emit_acks_{0};
+  uint64_t injected_ = 0;
+
+  RtReport report_;
+};
+
+}  // namespace
+
+std::string RtReport::Summary() const {
+  std::string s;
+  s += "events: " + std::to_string(source_events) + " (injected " +
+       std::to_string(injected_events) + "), inputs processed: " +
+       std::to_string(inputs_processed) + "\n";
+  s += "network: " + std::to_string(network_frames) + " frames, " +
+       std::to_string(network_bytes) + " bytes\n";
+  s += "backpressure stalls: " + std::to_string(backpressure_stalls) +
+       ", duplicates dropped: " + std::to_string(duplicates_dropped) +
+       ", crashes: " + std::to_string(crashes) + "\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "throughput: %.0f events/s, wall %.3fs\n",
+                events_per_sec, wall_seconds);
+  s += buf;
+  s += "latency (wall ms): " + latency_ms.ToString();
+  return s;
+}
+
+RtRuntime::RtRuntime(const Deployment& deployment, const RtOptions& options)
+    : deployment_(deployment), options_(options) {}
+
+RtReport RtRuntime::Run(const std::vector<Event>& trace) {
+  return RtRun(deployment_, options_).Run(trace);
+}
+
+}  // namespace muse::rt

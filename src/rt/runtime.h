@@ -1,0 +1,116 @@
+#ifndef MUSE_RT_RUNTIME_H_
+#define MUSE_RT_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/cep/evaluator.h"
+#include "src/dist/deployment.h"
+#include "src/dist/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/rt/transport.h"
+
+namespace muse::rt {
+
+/// Configuration of the multi-threaded execution runtime.
+struct RtOptions {
+  /// Worker threads servicing the node inboxes. 0 = one thread per network
+  /// node (the paper's testbed model, §7.1); k > 0 multiplexes the nodes
+  /// onto min(k, nodes) shard threads round-robin, which is what the
+  /// throughput bench scales over.
+  int num_threads = 0;
+
+  /// Channel model: inbox credit windows, per-link batching, delivery
+  /// delay (transport.h).
+  RtTransportOptions transport;
+
+  /// Target aggregate injection rate of the Poisson source driver in
+  /// events/second; 0 injects as fast as backpressure admits (the
+  /// saturation-throughput mode of bench_rt_throughput).
+  double source_rate_eps = 0;
+
+  /// Seed of the driver's Poisson inter-arrival draws.
+  uint64_t source_seed = 1;
+
+  /// Evaluator options for every deployed task. An `eviction_slack_ms` of
+  /// 0 selects an effectively unbounded eviction horizon: under real
+  /// threading the cross-part event-time skew is bounded by queueing, not
+  /// by a virtual clock, and any finite slack could drop partial matches a
+  /// delayed input still needs — breaking the determinism contract that
+  /// the final match set is a pure function of the trace. Long-running
+  /// production configs should set a finite slack (muse_lint M802 flags
+  /// the unbounded default).
+  EvaluatorOptions eval;
+
+  /// Collect per-query matches in the report (the differential harness
+  /// needs them; saturation benches turn them off).
+  bool collect_matches = true;
+
+  /// Injected failures as (node, trace-time ms): the source driver crashes
+  /// the node when the trace reaches that virtual time; the node recovers
+  /// by replaying its durable input log and re-sending outputs, which
+  /// receivers deduplicate (the same exactly-once model the simulator
+  /// pins down).
+  std::vector<std::pair<NodeId, uint64_t>> failures;
+};
+
+/// Results of one runtime execution. Latency here is *wall-clock* time
+/// from the injection of a match's last constituent event to its emission
+/// at a sink — the number the simulator cannot produce.
+struct RtReport {
+  uint64_t source_events = 0;    ///< trace length
+  uint64_t injected_events = 0;  ///< events actually delivered to sources
+  uint64_t inputs_processed = 0; ///< frames processed across all nodes
+  uint64_t network_frames = 0;   ///< frames that crossed a node boundary
+  uint64_t network_bytes = 0;    ///< encoded bytes of those frames
+  uint64_t backpressure_stalls = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t crashes = 0;
+
+  /// Injected events per wall-clock second of the whole run (injection
+  /// through final flush) — the sustained pipeline rate.
+  double events_per_sec = 0;
+  double wall_seconds = 0;
+
+  /// Wall-clock end-to-end detection latency over all queries (ms);
+  /// per-query HDR histograms live in `telemetry` as rt_latency_ms.
+  Distribution latency_ms;
+
+  /// Deduplicated, canonicalized matches per workload query; identical to
+  /// the DistributedSimulator's for the same (deployment, trace) — pinned
+  /// by tests/rt_differential_test.
+  std::vector<std::vector<Match>> matches_per_query;
+
+  /// Full metrics registry of the run (rt_* families).
+  std::shared_ptr<obs::RunTelemetry> telemetry;
+
+  std::string Summary() const;
+};
+
+/// A shared-nothing multi-threaded executor for a deployed MuSE graph:
+/// every network node's state (evaluators, input log, exactly-once
+/// filters) is owned by exactly one worker thread; nodes exchange
+/// binary-serialized wire frames (wire.h) through bounded, credit-flow-
+/// controlled inboxes (transport.h); a driver thread injects the trace as
+/// a Poisson source process. Reuses NodeRuntime unchanged, so task
+/// evaluation, crash/recovery, and exactly-once admission are the exact
+/// semantics the discrete-event simulator executes — the differential
+/// harness holds the two implementations to identical final match sets.
+class RtRuntime {
+ public:
+  RtRuntime(const Deployment& deployment, const RtOptions& options);
+
+  /// Runs the full trace to completion (including the final flush barrier)
+  /// and reports. Call once per instance.
+  RtReport Run(const std::vector<Event>& trace);
+
+ private:
+  const Deployment& deployment_;
+  RtOptions options_;
+};
+
+}  // namespace muse::rt
+
+#endif  // MUSE_RT_RUNTIME_H_

@@ -1,0 +1,155 @@
+#include "src/rt/transport.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse::rt {
+
+Transport::Transport(size_t num_nodes, int num_shards,
+                     const RtTransportOptions& options,
+                     obs::MetricsRegistry* registry)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  MUSE_CHECK(num_nodes > 0, "transport needs at least one node");
+  MUSE_CHECK(num_shards > 0, "transport needs at least one shard");
+  inboxes_.resize(num_nodes);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (size_t n = 0; n < num_nodes; ++n) {
+    Inbox& inbox = inboxes_[n];
+    inbox.credits = options_.inbox_capacity;
+    const obs::LabelSet labels{{"node", std::to_string(n)}};
+    inbox.depth = registry->GetGauge("rt_inbox_depth", labels);
+    inbox.stalls =
+        registry->GetCounter("rt_backpressure_stalls_total", labels);
+  }
+  source_stall_us_ = registry->GetCounter("rt_source_stall_us_total");
+}
+
+uint64_t Transport::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint64_t Transport::DeliverAt(NodeId src, NodeId dst) const {
+  // Loopback is immediate, mirroring the simulator's zero-delay local
+  // channels.
+  if (src == dst || options_.delivery_delay_us == 0) return NowUs();
+  return NowUs() + options_.delivery_delay_us;
+}
+
+bool Transport::TryDeliver(Packet&& packet) {
+  MUSE_CHECK(packet.dst < inboxes_.size(), "transport: bad dst node");
+  Inbox& inbox = inboxes_[packet.dst];
+  Shard& shard = *shards_[static_cast<size_t>(shard_of(packet.dst))];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!HasCredits(inbox, packet.frames)) {
+      inbox.stalls->Add(1);
+      return false;
+    }
+    if (options_.inbox_capacity != 0) inbox.credits -= packet.frames;
+    inbox.depth_frames += packet.frames;
+    inbox.depth->Set(static_cast<double>(inbox.depth_frames));
+    inbox.packets.push_back(std::move(packet));
+  }
+  shard.cv.notify_all();
+  return true;
+}
+
+void Transport::DeliverBlocking(Packet packet) {
+  MUSE_CHECK(packet.dst < inboxes_.size(), "transport: bad dst node");
+  Inbox& inbox = inboxes_[packet.dst];
+  Shard& shard = *shards_[static_cast<size_t>(shard_of(packet.dst))];
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (!HasCredits(inbox, packet.frames)) {
+      inbox.stalls->Add(1);
+      const uint64_t stall_start = NowUs();
+      shard.cv.wait(lock, [&] { return HasCredits(inbox, packet.frames); });
+      source_stall_us_->Add(NowUs() - stall_start);
+    }
+    if (options_.inbox_capacity != 0) inbox.credits -= packet.frames;
+    inbox.depth_frames += packet.frames;
+    inbox.depth->Set(static_cast<double>(inbox.depth_frames));
+    inbox.packets.push_back(std::move(packet));
+  }
+  shard.cv.notify_all();
+}
+
+void Transport::PushControl(NodeId dst, ControlKind kind) {
+  MUSE_CHECK(dst < inboxes_.size(), "transport: bad control dst");
+  Shard& shard = *shards_[static_cast<size_t>(shard_of(dst))];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    inboxes_[dst].controls.push_back(kind);
+  }
+  shard.cv.notify_all();
+}
+
+Transport::Popped Transport::PopReady(int shard_idx, uint64_t max_wait_us) {
+  Popped out;
+  Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
+  std::unique_lock<std::mutex> lock(shard.mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(max_wait_us);
+  for (;;) {
+    const uint64_t now = NowUs();
+    uint64_t earliest_due = UINT64_MAX;
+    for (size_t n = static_cast<size_t>(shard_idx); n < inboxes_.size();
+         n += shards_.size()) {
+      Inbox& inbox = inboxes_[n];
+      while (!inbox.controls.empty()) {
+        out.controls.emplace_back(static_cast<NodeId>(n),
+                                  inbox.controls.front());
+        inbox.controls.pop_front();
+      }
+      while (!inbox.packets.empty()) {
+        if (inbox.packets.front().deliver_at_us > now) {
+          earliest_due =
+              std::min(earliest_due, inbox.packets.front().deliver_at_us);
+          break;
+        }
+        out.packets.push_back(std::move(inbox.packets.front()));
+        inbox.packets.pop_front();
+      }
+    }
+    if (!out.empty()) return out;
+    // Nothing due: sleep until the earliest in-flight packet matures, the
+    // caller's wait budget runs out, or a push wakes the shard.
+    auto wake = deadline;
+    if (earliest_due != UINT64_MAX) {
+      const auto due_tp =
+          epoch_ + std::chrono::microseconds(earliest_due);
+      if (due_tp < wake) wake = due_tp;
+    }
+    if (shard.cv.wait_until(lock, wake) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return out;
+    }
+  }
+}
+
+void Transport::Release(NodeId node, uint32_t frames) {
+  Inbox& inbox = inboxes_[node];
+  Shard& shard = *shards_[static_cast<size_t>(shard_of(node))];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (options_.inbox_capacity != 0) inbox.credits += frames;
+    inbox.depth_frames -= std::min<size_t>(inbox.depth_frames, frames);
+    inbox.depth->Set(static_cast<double>(inbox.depth_frames));
+  }
+  shard.cv.notify_all();
+}
+
+uint64_t Transport::Stalls() const {
+  uint64_t total = 0;
+  for (const Inbox& inbox : inboxes_) total += inbox.stalls->Value();
+  return total;
+}
+
+}  // namespace muse::rt

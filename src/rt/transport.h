@@ -1,0 +1,170 @@
+#ifndef MUSE_RT_TRANSPORT_H_
+#define MUSE_RT_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/obs/metrics.h"
+
+namespace muse::rt {
+
+/// Channel model of the in-process transport (runtime.h ties it to the
+/// worker threads). Every network node owns one bounded MPSC inbox;
+/// senders coalesce frames into per-link packets (batching), consume inbox
+/// credits per frame (credit-based backpressure), and packets become
+/// visible to the receiver only after a configurable delivery delay.
+struct RtTransportOptions {
+  /// Inbox capacity in *frames* (not packets): the credit window granted
+  /// to the senders of one node. 0 means unbounded — muse_lint's M800 rule
+  /// rejects such configs, since nothing then stops a fast producer from
+  /// exhausting memory.
+  size_t inbox_capacity = 1024;
+
+  /// Max frames coalesced into one packet per link before it is flushed.
+  /// Batching amortizes per-packet queue and wake-up costs; latency is
+  /// bounded because workers flush all open batches after every processed
+  /// packet. Must not exceed `inbox_capacity` (muse_lint M801): a packet
+  /// larger than the credit window could never be delivered.
+  int batch_max_frames = 32;
+
+  /// One-way delivery delay applied to cross-node packets, in wall-clock
+  /// microseconds (the rt analogue of SimOptions::network_delay_ms).
+  /// Same-node loopback packets are delivered immediately.
+  uint64_t delivery_delay_us = 0;
+};
+
+/// Out-of-band signals delivered through the inbox alongside packets.
+/// Control delivery ignores credits (rare, coordinator- or driver-paced).
+enum class ControlKind : uint8_t {
+  kCrash,         ///< fail the node: drop volatile state, replay the log
+  kFlushCollect,  ///< stage 1 of the final flush barrier: stash outputs
+  kFlushEmit,     ///< stage 2: route the stashed outputs
+  kStop,          ///< terminate the worker loop
+};
+
+/// One batch of encoded frames in flight on a (src, dst) link.
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint64_t deliver_at_us = 0;  ///< transport-clock due time
+  uint32_t frames = 0;         ///< credit cost (frame count)
+  std::string bytes;           ///< concatenated wire frames (wire.h)
+};
+
+/// The in-process network: per-node bounded inboxes grouped into shards
+/// (one worker thread services one shard; runtime.cc assigns nodes
+/// round-robin). Push/pop of one shard's inboxes share a shard mutex; all
+/// telemetry updates are lock-free registry pointers.
+///
+/// Flow control contract (deadlock freedom): `TryDeliver` never blocks —
+/// worker threads that fail to acquire credits keep the packet in a local
+/// spill queue and continue draining their own inbox, so every full inbox
+/// always has a consumer making progress. Only the source driver (which
+/// consumes nothing) uses the blocking `DeliverBlocking`, making end-to-end
+/// backpressure land on event admission, as in credit-based streaming
+/// systems.
+class Transport {
+ public:
+  Transport(size_t num_nodes, int num_shards, const RtTransportOptions& options,
+            obs::MetricsRegistry* registry);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  size_t num_nodes() const { return inboxes_.size(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int shard_of(NodeId node) const {
+    return static_cast<int>(node % shards_.size());
+  }
+
+  /// Microseconds since transport construction (the rt wall clock).
+  uint64_t NowUs() const;
+
+  /// Computes the due time of a packet flushed now on src -> dst.
+  uint64_t DeliverAt(NodeId src, NodeId dst) const;
+
+  /// Non-blocking delivery: false when the destination inbox lacks
+  /// `packet.frames` credits (a backpressure stall, counted per dst node).
+  /// Consumes `packet` only on success — on failure the caller's packet is
+  /// untouched and can be retried (the spill queues depend on this).
+  bool TryDeliver(Packet&& packet);
+
+  /// Blocking delivery for the source driver: waits for credits, counting
+  /// the stalled wall time in rt_source_stall_us_total.
+  void DeliverBlocking(Packet packet);
+
+  /// Delivers a control signal (credit-exempt, wakes the shard).
+  void PushControl(NodeId dst, ControlKind kind);
+
+  /// Everything a shard worker drained in one wait cycle. Controls are
+  /// surfaced before packets; the runtime's phase protocol guarantees no
+  /// packet/control ordering hazard (barriers run only at quiescence).
+  struct Popped {
+    std::vector<std::pair<NodeId, ControlKind>> controls;
+    std::vector<Packet> packets;
+    bool empty() const { return controls.empty() && packets.empty(); }
+  };
+
+  /// Pops all due packets and controls of `shard`'s inboxes, waiting up to
+  /// `max_wait_us` for something to become due (delivery delays wake the
+  /// shard exactly when the earliest packet matures).
+  Popped PopReady(int shard, uint64_t max_wait_us);
+
+  /// Returns `frames` credits to `node`'s inbox once the receiver finished
+  /// processing them; wakes blocked senders.
+  void Release(NodeId node, uint32_t frames);
+
+  /// In-flight frame accounting for quiescence detection: queued when a
+  /// frame enters a link batch, done after the receiver processed it (and
+  /// enqueued any outputs, keeping the counter conservative).
+  void NoteFramesQueued(int64_t n) {
+    in_flight_.fetch_add(n, std::memory_order_seq_cst);
+  }
+  void NoteFramesDone(int64_t n) {
+    in_flight_.fetch_sub(n, std::memory_order_seq_cst);
+  }
+  int64_t InFlight() const { return in_flight_.load(std::memory_order_seq_cst); }
+
+  /// Total backpressure stalls (failed credit acquisitions) so far.
+  uint64_t Stalls() const;
+
+ private:
+  /// Push/pop synchronization of one shard's inboxes.
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  struct Inbox {
+    std::deque<Packet> packets;
+    std::deque<ControlKind> controls;
+    size_t credits = 0;        ///< remaining frame credits (if bounded)
+    size_t depth_frames = 0;   ///< undelivered + unreleased frames
+    obs::Gauge* depth = nullptr;
+    obs::Counter* stalls = nullptr;
+  };
+
+  bool HasCredits(const Inbox& inbox, uint32_t frames) const {
+    return options_.inbox_capacity == 0 || inbox.credits >= frames;
+  }
+
+  RtTransportOptions options_;
+  std::vector<Inbox> inboxes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<int64_t> in_flight_{0};
+  obs::Counter* source_stall_us_ = nullptr;
+};
+
+}  // namespace muse::rt
+
+#endif  // MUSE_RT_TRANSPORT_H_

@@ -1,0 +1,211 @@
+#include "src/rt/wire.h"
+
+#include <cstring>
+
+namespace muse::rt {
+namespace {
+
+constexpr size_t kEventBodyBytes = 4 + 4 + 8 + 8 + 8 * kNumAttrs;
+constexpr size_t kMessageHeaderBytes = 4 + 4 + 8 + 4;
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutI64(int64_t v, std::string* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+/// Bounds-checked little-endian reads over `data[0, size)` at a moving
+/// cursor; every getter fails (returns false) instead of reading past the
+/// end.
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool GetU32(uint32_t* v) {
+    if (size - pos < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)])
+            << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (size - pos < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)])
+            << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+
+  bool GetI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!GetU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!GetU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+};
+
+void PutEventBody(const Event& e, std::string* out) {
+  PutU32(e.type, out);
+  PutU32(e.origin, out);
+  PutU64(e.seq, out);
+  PutU64(e.time, out);
+  for (int i = 0; i < kNumAttrs; ++i) PutI64(e.attrs[static_cast<size_t>(i)], out);
+}
+
+bool GetEventBody(Reader* r, Event* e) {
+  if (!r->GetU32(&e->type)) return false;
+  if (!r->GetU32(&e->origin)) return false;
+  if (!r->GetU64(&e->seq)) return false;
+  if (!r->GetU64(&e->time)) return false;
+  for (int i = 0; i < kNumAttrs; ++i) {
+    if (!r->GetI64(&e->attrs[static_cast<size_t>(i)])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t EventFrameBytes() { return 4 + 1 + kEventBodyBytes; }
+
+size_t MessageFrameBytes(const Match& payload) {
+  return 4 + 1 + kMessageHeaderBytes + kEventBodyBytes * payload.events.size();
+}
+
+void AppendEventFrame(const Event& e, std::string* out) {
+  PutU32(static_cast<uint32_t>(1 + kEventBodyBytes), out);
+  out->push_back(static_cast<char>(FrameKind::kEvent));
+  PutEventBody(e, out);
+}
+
+void AppendMessageFrame(const SimMessage& m, std::string* out) {
+  const size_t body =
+      kMessageHeaderBytes + kEventBodyBytes * m.payload.events.size();
+  PutU32(static_cast<uint32_t>(1 + body), out);
+  out->push_back(static_cast<char>(FrameKind::kMessage));
+  PutI32(m.src_task, out);
+  PutI32(m.dst_task, out);
+  PutU64(m.channel_seq, out);
+  PutU32(static_cast<uint32_t>(m.payload.events.size()), out);
+  for (const Event& e : m.payload.events) PutEventBody(e, out);
+}
+
+Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size,
+                                 size_t* consumed) {
+  *consumed = 0;
+  Reader r{data, size};
+  uint32_t payload_len = 0;
+  if (!r.GetU32(&payload_len)) {
+    return Err("wire: truncated frame (missing length prefix, ",
+               std::to_string(size), " bytes)");
+  }
+  if (payload_len == 0) return Err("wire: empty frame (payload_len 0)");
+  if (payload_len > kMaxFramePayloadBytes) {
+    return Err("wire: oversized frame (payload_len ",
+               std::to_string(payload_len), " > cap ",
+               std::to_string(kMaxFramePayloadBytes), ")");
+  }
+  if (size - r.pos < payload_len) {
+    return Err("wire: truncated frame (need ", std::to_string(payload_len),
+               " payload bytes, have ", std::to_string(size - r.pos), ")");
+  }
+  // Clamp the reader to this frame so a malformed body can never consume
+  // bytes of the next frame.
+  r.size = r.pos + payload_len;
+  const size_t frame_end = r.size;
+  const uint8_t kind_byte = data[r.pos++];
+
+  DecodedFrame frame;
+  switch (kind_byte) {
+    case static_cast<uint8_t>(FrameKind::kEvent): {
+      frame.kind = FrameKind::kEvent;
+      if (payload_len != 1 + kEventBodyBytes) {
+        return Err("wire: event frame body size ",
+                   std::to_string(payload_len - 1), " != ",
+                   std::to_string(kEventBodyBytes));
+      }
+      if (!GetEventBody(&r, &frame.event)) {
+        return Err("wire: truncated event body");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kMessage): {
+      frame.kind = FrameKind::kMessage;
+      if (!r.GetI32(&frame.message.src_task) ||
+          !r.GetI32(&frame.message.dst_task) ||
+          !r.GetU64(&frame.message.channel_seq)) {
+        return Err("wire: truncated message header");
+      }
+      uint32_t num_events = 0;
+      if (!r.GetU32(&num_events)) return Err("wire: truncated message header");
+      // Cheap consistency check before any allocation: the declared event
+      // count must exactly fill the remaining payload.
+      if (static_cast<uint64_t>(num_events) * kEventBodyBytes !=
+          frame_end - r.pos) {
+        return Err("wire: message declares ", std::to_string(num_events),
+                   " events but carries ", std::to_string(frame_end - r.pos),
+                   " body bytes");
+      }
+      frame.message.payload.events.resize(num_events);
+      for (uint32_t i = 0; i < num_events; ++i) {
+        if (!GetEventBody(&r, &frame.message.payload.events[i])) {
+          return Err("wire: truncated message event ", std::to_string(i));
+        }
+      }
+      break;
+    }
+    default:
+      return Err("wire: unknown frame kind ", std::to_string(kind_byte));
+  }
+  if (r.pos != frame_end) {
+    return Err("wire: ", std::to_string(frame_end - r.pos),
+               " trailing bytes inside frame");
+  }
+  *consumed = frame_end;
+  return frame;
+}
+
+Result<std::vector<DecodedFrame>> DecodePacket(const std::string& bytes) {
+  std::vector<DecodedFrame> frames;
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    size_t consumed = 0;
+    Result<DecodedFrame> frame =
+        DecodeFrame(data + pos, bytes.size() - pos, &consumed);
+    if (!frame.ok()) return frame.error();
+    frames.push_back(std::move(frame).value());
+    pos += consumed;
+  }
+  return frames;
+}
+
+}  // namespace muse::rt

@@ -1,0 +1,72 @@
+#ifndef MUSE_RT_WIRE_H_
+#define MUSE_RT_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dist/message.h"
+
+namespace muse::rt {
+
+/// Binary wire format of the muse-rt runtime: a packet is a concatenation
+/// of length-prefixed frames, each carrying either one source event or one
+/// inter-task message (SimMessage). All integers are little-endian and
+/// fixed width, so an encoded frame round-trips bit-exactly across
+/// encode/decode and its size is a pure function of the payload.
+///
+/// Frame layout:
+///   u32  payload_len            bytes that follow (kind byte + body)
+///   u8   kind                   FrameKind
+///   body
+///
+/// Event body (kEvent, 40 bytes):
+///   u32 type, u32 origin, u64 seq, u64 time, i64 attrs[kNumAttrs]
+///
+/// Message body (kMessage, 20 + 40*n bytes):
+///   i32 src_task, i32 dst_task, u64 channel_seq, u32 num_events,
+///   followed by num_events event bodies (the payload match, seq-sorted)
+///
+/// The decoder is total: truncated buffers, oversized length prefixes,
+/// unknown kinds, and inconsistent body sizes are reported as errors —
+/// never reads out of bounds, never crashes (fuzzed by rt_wire_test).
+
+/// Hard cap on one frame's payload length; anything larger is rejected
+/// before allocation, so a hostile length prefix cannot balloon memory.
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 20;
+
+enum class FrameKind : uint8_t {
+  kEvent = 1,    ///< a source event injected at its origin node
+  kMessage = 2,  ///< an inter-task match message (SimMessage)
+};
+
+/// One decoded frame; exactly the member named by `kind` is meaningful.
+struct DecodedFrame {
+  FrameKind kind = FrameKind::kEvent;
+  Event event;
+  SimMessage message;
+};
+
+/// Appends the encoded frame to `out`.
+void AppendEventFrame(const Event& e, std::string* out);
+void AppendMessageFrame(const SimMessage& m, std::string* out);
+
+/// Encoded sizes including the length prefix (the runtime's byte
+/// accounting and the link batcher's flush thresholds use these).
+size_t EventFrameBytes();
+size_t MessageFrameBytes(const Match& payload);
+
+/// Decodes the first frame of `data[0, size)`. On success, `*consumed` is
+/// the total frame size (prefix included) so callers can iterate a packet.
+Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size,
+                                 size_t* consumed);
+
+/// Decodes a whole packet buffer into frames; errors if any frame is
+/// malformed or trailing bytes remain.
+Result<std::vector<DecodedFrame>> DecodePacket(const std::string& bytes);
+
+}  // namespace muse::rt
+
+#endif  // MUSE_RT_WIRE_H_

@@ -30,9 +30,51 @@ TEST(DiagnosticsTest, RuleCodesAndNamesAreStable) {
   EXPECT_STREQ(RuleCode(Rule::kRateDivergence), "M400");
   EXPECT_STREQ(RuleCode(Rule::kWindowMismatch), "M500");
   EXPECT_STREQ(RuleCode(Rule::kPartMismatch), "M605");
+  EXPECT_STREQ(RuleCode(Rule::kRtInboxUnbounded), "M800");
+  EXPECT_STREQ(RuleCode(Rule::kRtBatchExceedsInbox), "M801");
+  EXPECT_STREQ(RuleCode(Rule::kRtEvictionUnbounded), "M802");
   EXPECT_STREQ(RuleName(Rule::kInputGap), "input-gap");
   EXPECT_STREQ(RuleName(Rule::kSinkCoverGap), "sink-cover-gap");
   EXPECT_STREQ(RuleName(Rule::kChannelMissing), "channel-missing");
+  EXPECT_STREQ(RuleName(Rule::kRtInboxUnbounded), "rt-inbox-unbounded");
+}
+
+TEST(RtConfigVerifyTest, DefaultTransportOnlyWarnsAboutEviction) {
+  rt::RtOptions options;  // inbox 1024, batch 32, slack 0
+  VerifyReport report = VerifyRtConfig(options);
+  EXPECT_TRUE(report.ok());  // no errors
+  EXPECT_TRUE(report.HasRule(Rule::kRtEvictionUnbounded));
+  EXPECT_EQ(report.warnings(), 1);
+}
+
+TEST(RtConfigVerifyTest, FiniteSlackIsClean) {
+  rt::RtOptions options;
+  options.eval.eviction_slack_ms = 5000;
+  EXPECT_TRUE(VerifyRtConfig(options).clean());
+}
+
+TEST(RtConfigVerifyTest, UnboundedInboxIsError) {
+  rt::RtOptions options;
+  options.transport.inbox_capacity = 0;
+  options.eval.eviction_slack_ms = 5000;
+  VerifyReport report = VerifyRtConfig(options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasRule(Rule::kRtInboxUnbounded));
+  EXPECT_EQ(report.errors(), 1);
+}
+
+TEST(RtConfigVerifyTest, BatchLargerThanInboxIsError) {
+  rt::RtOptions options;
+  options.transport.inbox_capacity = 16;
+  options.transport.batch_max_frames = 17;
+  options.eval.eviction_slack_ms = 5000;
+  VerifyReport report = VerifyRtConfig(options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasRule(Rule::kRtBatchExceedsInbox));
+  // Non-positive batches are equally undeliverable.
+  options.transport.batch_max_frames = 0;
+  EXPECT_TRUE(
+      VerifyRtConfig(options).HasRule(Rule::kRtBatchExceedsInbox));
 }
 
 TEST(DiagnosticsTest, ToStringIsCompilerStyle) {

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "src/cep/parser.h"
+#include "src/core/multi_query.h"
+#include "src/dist/channel.h"
+#include "src/dist/node_runtime.h"
+#include "src/net/network_gen.h"
+
+namespace muse {
+namespace {
+
+SimMessage Msg(int src_task, uint64_t seq) {
+  SimMessage m;
+  m.src_task = src_task;
+  m.channel_seq = seq;
+  return m;
+}
+
+TEST(ExactlyOnceFilterTest, InOrderStreamKeepsNoPending) {
+  ExactlyOnceFilter filter;
+  for (uint64_t seq = 0; seq < 1000; ++seq) {
+    EXPECT_TRUE(filter.Accept(Msg(7, seq)));
+  }
+  EXPECT_EQ(filter.Watermark(7), 1000u);
+  EXPECT_EQ(filter.PendingAboveWatermark(), 0u);
+  EXPECT_EQ(filter.PeakPendingAboveWatermark(), 0u);
+  EXPECT_EQ(filter.dropped(), 0u);
+}
+
+TEST(ExactlyOnceFilterTest, DuplicateBelowWatermarkDropped) {
+  ExactlyOnceFilter filter;
+  EXPECT_TRUE(filter.Accept(Msg(1, 0)));
+  EXPECT_TRUE(filter.Accept(Msg(1, 1)));
+  EXPECT_FALSE(filter.Accept(Msg(1, 0)));
+  EXPECT_FALSE(filter.Accept(Msg(1, 1)));
+  EXPECT_EQ(filter.dropped(), 2u);
+}
+
+TEST(ExactlyOnceFilterTest, OutOfOrderCompactsOnGapFill) {
+  ExactlyOnceFilter filter;
+  EXPECT_TRUE(filter.Accept(Msg(3, 0)));
+  // Gap: 2 and 3 arrive before 1. They are accepted (fresh) but retained
+  // above the watermark.
+  EXPECT_TRUE(filter.Accept(Msg(3, 2)));
+  EXPECT_TRUE(filter.Accept(Msg(3, 3)));
+  EXPECT_EQ(filter.Watermark(3), 1u);
+  EXPECT_EQ(filter.PendingAboveWatermark(), 2u);
+  // Filling the gap compacts the whole run into the watermark.
+  EXPECT_TRUE(filter.Accept(Msg(3, 1)));
+  EXPECT_EQ(filter.Watermark(3), 4u);
+  EXPECT_EQ(filter.PendingAboveWatermark(), 0u);
+  EXPECT_EQ(filter.PeakPendingAboveWatermark(), 2u);
+}
+
+// The old watermark-jump filter wrongly dropped a late gap-filler; the
+// pending-set design must accept it exactly once.
+TEST(ExactlyOnceFilterTest, LateGapFillerIsFreshNotDuplicate) {
+  ExactlyOnceFilter filter;
+  EXPECT_TRUE(filter.Accept(Msg(5, 1)));   // seq 0 still in flight
+  EXPECT_TRUE(filter.Accept(Msg(5, 0)));   // late arrival: fresh
+  EXPECT_FALSE(filter.Accept(Msg(5, 0)));  // resend: duplicate
+  EXPECT_EQ(filter.Watermark(5), 2u);
+}
+
+TEST(ExactlyOnceFilterTest, DuplicateOfPendingDropped) {
+  ExactlyOnceFilter filter;
+  EXPECT_TRUE(filter.Accept(Msg(2, 5)));
+  EXPECT_FALSE(filter.Accept(Msg(2, 5)));
+  EXPECT_EQ(filter.dropped(), 1u);
+  EXPECT_EQ(filter.PendingAboveWatermark(), 1u);
+}
+
+TEST(ExactlyOnceFilterTest, ChannelsAreIndependent) {
+  ExactlyOnceFilter filter;
+  EXPECT_TRUE(filter.Accept(Msg(1, 0)));
+  EXPECT_TRUE(filter.Accept(Msg(2, 0)));
+  EXPECT_FALSE(filter.Accept(Msg(1, 0)));
+  auto watermarks = filter.Watermarks();
+  ASSERT_EQ(watermarks.size(), 2u);
+  EXPECT_EQ(filter.Watermark(1), 1u);
+  EXPECT_EQ(filter.Watermark(2), 1u);
+  EXPECT_EQ(filter.Watermark(99), 0u);
+}
+
+// Memory boundedness: a long in-order stream after a transient reorder
+// leaves only the watermark behind — pending never grows with stream
+// length.
+TEST(ExactlyOnceFilterTest, PendingBoundedByReorderWindow) {
+  ExactlyOnceFilter filter;
+  uint64_t peak = 0;
+  for (uint64_t base = 0; base < 10000; base += 2) {
+    EXPECT_TRUE(filter.Accept(Msg(0, base + 1)));  // one-deep reorder
+    peak = std::max(peak, filter.PendingAboveWatermark());
+    EXPECT_TRUE(filter.Accept(Msg(0, base)));      // gap-filler compacts
+  }
+  EXPECT_EQ(filter.Watermark(0), 10000u);
+  EXPECT_EQ(filter.PendingAboveWatermark(), 0u);
+  EXPECT_EQ(peak, 1u);
+  EXPECT_EQ(filter.PeakPendingAboveWatermark(), 1u);
+}
+
+class ChannelSeqTest : public ::testing::Test {
+ protected:
+  ChannelSeqTest() {
+    TypeRegistry reg;
+    Query q = ParseQuery("AND(A, B)", &reg).value();
+    q.set_window(100);
+    std::vector<Query> workload{std::move(q)};
+    Rng rng(1);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = 2;
+    nopts.num_types = 2;
+    nopts.max_rate = 4;
+    net_ = MakeRandomNetwork(nopts, rng);
+    catalogs_ = std::make_unique<WorkloadCatalogs>(workload, net_);
+    plan_ = PlanWorkloadAmuse(*catalogs_);
+    dep_ = std::make_unique<Deployment>(plan_.combined, catalogs_->Pointers());
+  }
+
+  Network net_{1, 1};
+  std::unique_ptr<WorkloadCatalogs> catalogs_;
+  WorkloadPlan plan_;
+  std::unique_ptr<Deployment> dep_;
+};
+
+// Regression: the channel-seq map key used to pack the task id with a
+// 20-bit shift, so (task 1, dst 0) and (task 0, dst 2^20) shared one
+// counter. With 32/32 packing every (task, dst) pair is independent.
+TEST_F(ChannelSeqTest, KeyPackingDoesNotAliasLargeNodeIds) {
+  NodeRuntime rt(0, dep_.get(), EvaluatorOptions{});
+  const NodeId big = 1u << 20;
+  EXPECT_EQ(rt.NextChannelSeq(1, 0), 0u);
+  EXPECT_EQ(rt.NextChannelSeq(0, big), 0u);  // aliased to 1 before the fix
+  EXPECT_EQ(rt.NextChannelSeq(1, 0), 1u);
+  EXPECT_EQ(rt.NextChannelSeq(0, big), 1u);
+  // And the same across a wide sweep of colliding pairs under the old
+  // packing: (t, d) vs (t - 1, d + 2^20).
+  for (int t = 1; t <= 8; ++t) {
+    const NodeId d = static_cast<NodeId>(t);
+    EXPECT_EQ(rt.NextChannelSeq(t, d), 0u);
+    EXPECT_EQ(rt.NextChannelSeq(t - 1, d + (1u << 20)), 0u);
+  }
+}
+
+TEST_F(ChannelSeqTest, CrashResetsNumberingDeterministically) {
+  NodeRuntime rt(0, dep_.get(), EvaluatorOptions{});
+  EXPECT_EQ(rt.NextChannelSeq(0, 1), 0u);
+  EXPECT_EQ(rt.NextChannelSeq(0, 1), 1u);
+  rt.Crash();
+  std::vector<NodeRuntime::Output> outs;
+  rt.Recover(&outs);
+  // An empty log regenerates nothing; fresh sends restart at 0 and the
+  // receiver-side filter treats the replayed prefix as duplicates.
+  EXPECT_EQ(rt.NextChannelSeq(0, 1), 0u);
+}
+
+}  // namespace
+}  // namespace muse

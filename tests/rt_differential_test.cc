@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/dist/simulator.h"
+#include "src/net/network_gen.h"
+#include "src/net/trace.h"
+#include "src/rt/runtime.h"
+#include "src/workload/query_gen.h"
+
+namespace muse {
+namespace {
+
+/// Both sides of the differential must evaluate with the same effectively
+/// unbounded eviction horizon: the final match set is a pure function of
+/// the trace only when no partial match is ever evicted before the final
+/// flush (neither by the simulator's virtual clock nor by the runtime's
+/// arrival order).
+constexpr uint64_t kHugeSlackMs = 1ULL << 40;
+
+/// One randomized (workload, plan, trace) triple. Sizes are deliberately
+/// small: the differential runs 12 triples, several plans and crash
+/// schedules, all under TSan in CI.
+struct Triple {
+  TypeRegistry reg;
+  std::vector<Query> workload;
+  Network net;
+  std::vector<Event> trace;
+  std::unique_ptr<WorkloadCatalogs> catalogs;
+  std::unique_ptr<Deployment> dep;
+
+  Triple(uint64_t seed, const std::string& plan_kind) : net(1, 1) {
+    Rng rng(seed);
+    QueryGenOptions qopts;
+    qopts.num_queries = 2;
+    qopts.avg_primitives = 3;
+    qopts.num_types = 4;
+    qopts.window_ms = 400;
+    SelectivityModel model(qopts.num_types, 0.05, 0.3, rng);
+    workload = GenerateWorkload(qopts, model, rng);
+
+    NetworkGenOptions nopts;
+    nopts.num_nodes = 4;
+    nopts.num_types = qopts.num_types;
+    nopts.event_node_ratio = 0.7;
+    nopts.max_rate = 6;
+    net = MakeRandomNetwork(nopts, rng);
+
+    TraceOptions topts;
+    topts.duration_ms = 2500;
+    topts.attr_cardinality[0] = 3;
+    trace = GenerateGlobalTrace(net, topts, rng);
+
+    catalogs = std::make_unique<WorkloadCatalogs>(workload, net);
+    MuseGraph plan;
+    if (plan_kind == "amuse") {
+      plan = PlanWorkloadAmuse(*catalogs).combined;
+    } else if (plan_kind == "oop") {
+      plan = PlanWorkloadOop(*catalogs).combined;
+    } else {
+      plan = BuildCentralizedPlan(catalogs->Pointers(), /*sink=*/0);
+    }
+    dep = std::make_unique<Deployment>(plan, catalogs->Pointers());
+  }
+};
+
+std::vector<std::vector<std::string>> KeySets(
+    const std::vector<std::vector<Match>>& matches_per_query) {
+  std::vector<std::vector<std::string>> keys(matches_per_query.size());
+  for (size_t q = 0; q < matches_per_query.size(); ++q) {
+    for (const Match& m : matches_per_query[q]) {
+      keys[q].push_back(m.Key());
+    }
+  }
+  return keys;
+}
+
+/// Runs the discrete-event simulator and the threaded runtime on the same
+/// triple and requires identical per-query canonical match sets.
+void ExpectDifferentialEqual(
+    const Triple& t, const std::vector<std::pair<NodeId, uint64_t>>& failures,
+    int num_threads) {
+  SimOptions sim_options;
+  sim_options.eval.eviction_slack_ms = kHugeSlackMs;
+  sim_options.failures = failures;
+  SimReport sim = DistributedSimulator(*t.dep, sim_options).Run(t.trace);
+
+  rt::RtOptions rt_options;
+  rt_options.num_threads = num_threads;
+  rt_options.eval.eviction_slack_ms = kHugeSlackMs;
+  rt_options.failures = failures;
+  rt::RtReport run = rt::RtRuntime(*t.dep, rt_options).Run(t.trace);
+
+  ASSERT_EQ(run.matches_per_query.size(), sim.matches_per_query.size());
+  const auto want = KeySets(sim.matches_per_query);
+  const auto got = KeySets(run.matches_per_query);
+  for (size_t q = 0; q < want.size(); ++q) {
+    EXPECT_EQ(got[q], want[q]) << "query " << q;
+  }
+}
+
+// Twelve randomized triples cycling through the three plan shapes; every
+// third triple also injects node crashes into both executions.
+TEST(RtDifferentialTest, RandomTriplesAgreeWithSimulator) {
+  const char* kPlans[] = {"amuse", "centralized", "oop"};
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    const std::string plan_kind = kPlans[seed % 3];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan " + plan_kind);
+    Triple t(1000 + seed, plan_kind);
+    std::vector<std::pair<NodeId, uint64_t>> failures;
+    if (seed % 3 == 0) {
+      failures = {{static_cast<NodeId>(seed % 4), 1200},
+                  {static_cast<NodeId>((seed + 1) % 4), 1800}};
+    }
+    ExpectDifferentialEqual(t, failures, /*num_threads=*/0);
+  }
+}
+
+// The shard count must not be observable in the final match sets.
+TEST(RtDifferentialTest, ThreadMultiplexingAgreesWithSimulator) {
+  Triple t(2000, "amuse");
+  for (int threads : {1, 2}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExpectDifferentialEqual(t, {}, threads);
+  }
+}
+
+// Crashes under multiplexed shards: recovery replay + receiver-side
+// dedup must still land on the simulator's exact match sets.
+TEST(RtDifferentialTest, CrashesUnderMultiplexedShards) {
+  Triple t(3000, "amuse");
+  ExpectDifferentialEqual(t, {{0, 900}, {2, 1600}}, /*num_threads=*/2);
+}
+
+}  // namespace
+}  // namespace muse

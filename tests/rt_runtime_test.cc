@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cep/engine.h"
+#include "src/cep/oracle.h"
+#include "src/cep/parser.h"
+#include "src/core/multi_query.h"
+#include "src/net/network_gen.h"
+#include "src/net/trace.h"
+#include "src/rt/runtime.h"
+
+namespace muse {
+namespace {
+
+/// Shared fixture: a small random network with a two-operator query, its
+/// aMuSE deployment, and the single-node engine reference of the trace.
+struct Env {
+  TypeRegistry reg;
+  std::vector<Query> workload;
+  Network net;
+  std::vector<Event> trace;
+  std::unique_ptr<WorkloadCatalogs> catalogs;
+  WorkloadPlan plan;
+  std::unique_ptr<Deployment> dep;
+
+  explicit Env(uint64_t seed) : net(1, 1) {
+    Query q = ParseQuery("SEQ(AND(A, B), D)", &reg).value();
+    q.set_window(300);
+    workload.push_back(std::move(q));
+    Rng rng(seed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = 4;
+    nopts.num_types = 3;
+    nopts.event_node_ratio = 0.7;
+    nopts.max_rate = 8;
+    net = MakeRandomNetwork(nopts, rng);
+    TraceOptions topts;
+    topts.duration_ms = 4000;
+    topts.attr_cardinality[0] = 3;
+    trace = GenerateGlobalTrace(net, topts, rng);
+    catalogs = std::make_unique<WorkloadCatalogs>(workload, net);
+    plan = PlanWorkloadAmuse(*catalogs);
+    dep = std::make_unique<Deployment>(plan.combined, catalogs->Pointers());
+  }
+
+  std::vector<std::string> ReferenceKeys() const {
+    QueryEngine engine(workload[0]);
+    std::vector<Match> out;
+    for (const Event& e : trace) engine.OnEvent(e, &out);
+    engine.Flush(&out);
+    std::vector<std::string> keys;
+    for (const Match& m : CanonicalMatchSet(std::move(out))) {
+      keys.push_back(m.Key());
+    }
+    return keys;
+  }
+};
+
+std::vector<std::string> Keys(const std::vector<Match>& matches) {
+  std::vector<std::string> keys;
+  for (const Match& m : matches) keys.push_back(m.Key());
+  return keys;
+}
+
+TEST(RtRuntimeTest, MatchesEngineReference) {
+  Env env(70);
+  rt::RtReport report = rt::RtRuntime(*env.dep, {}).Run(env.trace);
+  EXPECT_EQ(Keys(report.matches_per_query[0]), env.ReferenceKeys());
+  EXPECT_EQ(report.source_events, env.trace.size());
+  EXPECT_GT(report.injected_events, 0u);
+  EXPECT_GT(report.inputs_processed, 0u);
+  EXPECT_GT(report.events_per_sec, 0.0);
+  ASSERT_NE(report.telemetry, nullptr);
+  EXPECT_GE(report.telemetry->registry.FamilySize("rt_inbox_depth"), 4u);
+}
+
+// A near-minimal credit window forces backpressure onto the source driver;
+// flow control must slow injection down, never corrupt results.
+TEST(RtRuntimeTest, TinyInboxBackpressureStillCorrect) {
+  Env env(71);
+  rt::RtOptions options;
+  options.transport.inbox_capacity = 2;
+  options.transport.batch_max_frames = 1;
+  rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
+  EXPECT_EQ(Keys(report.matches_per_query[0]), env.ReferenceKeys());
+  EXPECT_GT(report.backpressure_stalls, 0u);
+}
+
+TEST(RtRuntimeTest, DeliveryDelayDoesNotChangeMatches) {
+  Env env(72);
+  rt::RtOptions options;
+  options.transport.delivery_delay_us = 200;
+  rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
+  EXPECT_EQ(Keys(report.matches_per_query[0]), env.ReferenceKeys());
+}
+
+TEST(RtRuntimeTest, ThreadCountSweepIsDeterministic) {
+  Env env(73);
+  const std::vector<std::string> want = env.ReferenceKeys();
+  for (int threads : {1, 2, 3, 0}) {  // 0 = one thread per node
+    rt::RtOptions options;
+    options.num_threads = threads;
+    rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
+    EXPECT_EQ(Keys(report.matches_per_query[0]), want)
+        << "num_threads=" << threads;
+  }
+}
+
+TEST(RtRuntimeTest, CrashRecoveryPreservesExactlyOnceResults) {
+  Env env(74);
+  const std::vector<std::string> want = env.ReferenceKeys();
+  for (NodeId victim = 0; victim < 4; ++victim) {
+    rt::RtOptions options;
+    options.failures = {{victim, 2000}};
+    rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
+    EXPECT_EQ(Keys(report.matches_per_query[0]), want)
+        << "victim node " << victim;
+    EXPECT_EQ(report.crashes, 1u);
+  }
+}
+
+TEST(RtRuntimeTest, RepeatedAndCascadingCrashes) {
+  Env env(75);
+  rt::RtOptions options;
+  options.failures = {{1, 1000}, {1, 2000}, {0, 2500}, {2, 3000}};
+  rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
+  EXPECT_EQ(Keys(report.matches_per_query[0]), env.ReferenceKeys());
+  EXPECT_EQ(report.crashes, 4u);
+}
+
+TEST(RtRuntimeTest, PoissonPacedSourceStillCorrect) {
+  Env env(76);
+  rt::RtOptions options;
+  // Fast enough to keep the test short, slow enough that pacing actually
+  // sleeps between arrivals.
+  options.source_rate_eps = 50'000;
+  options.source_seed = 42;
+  rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
+  EXPECT_EQ(Keys(report.matches_per_query[0]), env.ReferenceKeys());
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(RtRuntimeTest, CollectMatchesOffKeepsCountsInTelemetry) {
+  Env env(77);
+  rt::RtOptions options;
+  options.collect_matches = false;
+  rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
+  EXPECT_TRUE(report.matches_per_query[0].empty());
+  const obs::Counter* total = report.telemetry->registry.GetCounter(
+      "rt_matches_total", obs::LabelSet{{"query", "0"}});
+  EXPECT_EQ(total->Value(), env.ReferenceKeys().size());
+}
+
+}  // namespace
+}  // namespace muse

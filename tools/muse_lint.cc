@@ -8,6 +8,8 @@
 //             [--obs-sample-rate <r>] [--obs-max-flows <n>]
 //             [--obs-per-link] [--obs-per-match-labels]
 //             [--obs-max-cardinality <n>]
+//             [--rt-inbox <frames>] [--rt-batch <frames>]
+//             [--rt-delay-us <us>] [--rt-slack-ms <ms>]
 //
 // With a plan argument, the JSON plan (see src/core/plan_json.h; "-" reads
 // stdin) is verified against the spec's workload; this is the path for
@@ -24,8 +26,11 @@
 // configuration a run of this deployment would use (obs/telemetry.h);
 // passing any of them additionally runs the M70x observability rules,
 // which estimate metric/series label cardinality against the deployment's
-// size and flag unbounded label domains. Diagnostics go to stdout, one per
-// line, in compiler style:
+// size and flag unbounded label domains. The --rt-* flags likewise
+// describe a muse-rt execution config (rt/runtime.h) and enable the M80x
+// runtime rules: unbounded inboxes (M800) and undeliverable batches
+// (M801) are errors, an unbounded eviction horizon (M802) a warning.
+// Diagnostics go to stdout, one per line, in compiler style:
 //
 //   error[M200/input-gap] vertex 5 (q0:{A,C}@n3): input coverage gap: ...
 //
@@ -57,7 +62,9 @@ int Usage() {
       "                 [--strict]\n"
       "                 [--obs-sample-rate <r>] [--obs-max-flows <n>]\n"
       "                 [--obs-per-link] [--obs-per-match-labels]\n"
-      "                 [--obs-max-cardinality <n>]\n");
+      "                 [--obs-max-cardinality <n>]\n"
+      "                 [--rt-inbox <frames>] [--rt-batch <frames>]\n"
+      "                 [--rt-delay-us <us>] [--rt-slack-ms <ms>]\n");
   return 2;
 }
 
@@ -74,6 +81,8 @@ int main(int argc, char** argv) {
   bool strict = false;
   obs::ObsOptions obs;
   bool check_obs = false;
+  rt::RtOptions rt_options;
+  bool check_rt = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
       algorithm = argv[++i];
@@ -110,6 +119,22 @@ int main(int argc, char** argv) {
       obs.max_label_cardinality =
           static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
       check_obs = true;
+    } else if (std::strcmp(argv[i], "--rt-inbox") == 0 && i + 1 < argc) {
+      rt_options.transport.inbox_capacity =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      check_rt = true;
+    } else if (std::strcmp(argv[i], "--rt-batch") == 0 && i + 1 < argc) {
+      rt_options.transport.batch_max_frames =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      check_rt = true;
+    } else if (std::strcmp(argv[i], "--rt-delay-us") == 0 && i + 1 < argc) {
+      rt_options.transport.delivery_delay_us =
+          std::strtoull(argv[++i], nullptr, 10);
+      check_rt = true;
+    } else if (std::strcmp(argv[i], "--rt-slack-ms") == 0 && i + 1 < argc) {
+      rt_options.eval.eviction_slack_ms =
+          std::strtoull(argv[++i], nullptr, 10);
+      check_rt = true;
     } else if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) {
       if (!plan_path.empty()) return Usage();
       plan_path = argv[i];
@@ -188,6 +213,9 @@ int main(int argc, char** argv) {
         obs, dep.network.num_nodes(),
         num_tasks >= 0 ? num_tasks : plan.num_vertices(),
         static_cast<int>(dep.workload.size())));
+  }
+  if (check_rt) {
+    report.MergeFrom(VerifyRtConfig(rt_options));
   }
 
   for (const Diagnostic& d : report.diagnostics()) {

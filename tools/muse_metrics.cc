@@ -1,4 +1,4 @@
-// muse_metrics — run a spec end-to-end (plan, deploy, simulate) and report
+// muse_metrics — run a spec end-to-end (plan, deploy, execute) and report
 // the run's telemetry: per-node and per-projection tables, latency
 // quantiles, flow-trace summary, and the full time series.
 //
@@ -16,6 +16,21 @@
 //     [--csv <file|->]      dump the time series as CSV
 //     [--schema <file>]     validate the JSON dump against this schema;
 //                           exits 1 when the document does not conform
+//     [--runtime]           execute on the muse-rt multi-threaded runtime
+//                           (src/rt) instead of the discrete-event
+//                           simulator: real worker threads, wire frames,
+//                           credit backpressure, and *wall-clock* latency
+//     [--rt-threads <n>]    runtime worker threads (0 = one per node)
+//     [--rt-inbox <frames>] per-node inbox credit window (default 1024)
+//     [--rt-batch <frames>] per-link batch size (default 32)
+//     [--rt-delay-us <us>]  injected per-hop delivery delay (default 0)
+//     [--rt-rate <eps>]     Poisson source rate, events/sec (0 = unpaced)
+//
+// In --runtime mode the simulator-only flags (--bucket-ms, --sample-rate,
+// --per-link, --compare, --csv) are ignored: the runtime reports counters,
+// gauges, and latency histograms (rt_* families) but no time series or
+// flow traces. --json/--schema export the rt telemetry in the same
+// obs/export.h shape.
 //
 // The spec format is documented in src/workload/spec.h; samples live in
 // examples/specs/. With --json - the JSON goes to stdout and the report to
@@ -39,6 +54,7 @@
 #include "src/net/trace.h"
 #include "src/obs/export.h"
 #include "src/obs/json_value.h"
+#include "src/rt/runtime.h"
 #include "src/workload/spec.h"
 
 namespace {
@@ -52,7 +68,10 @@ int Usage() {
                "  [--duration-ms <n>] [--seed <n>] [--bucket-ms <n>] "
                "[--sample-rate <r>]\n"
                "  [--per-link] [--compare] [--json <file|->] "
-               "[--csv <file|->] [--schema <file>]\n");
+               "[--csv <file|->] [--schema <file>]\n"
+               "  [--runtime] [--rt-threads <n>] [--rt-inbox <frames>] "
+               "[--rt-batch <frames>]\n"
+               "  [--rt-delay-us <us>] [--rt-rate <eps>]\n");
   return 2;
 }
 
@@ -90,7 +109,27 @@ struct Args {
   std::string json_path;
   std::string csv_path;
   std::string schema_path;
+  bool runtime = false;
+  rt::RtOptions rt;
 };
+
+/// Plans the workload with `algorithm`; planner statistics go to `stats`.
+MuseGraph BuildPlan(const std::string& algorithm,
+                    const WorkloadCatalogs& catalogs, PlannerStats* stats) {
+  if (algorithm == "amuse" || algorithm == "amuse-star") {
+    PlannerOptions opts;
+    opts.star = algorithm == "amuse-star";
+    WorkloadPlan wp = PlanWorkloadAmuse(catalogs, opts);
+    *stats = wp.aggregate_stats;
+    return std::move(wp.combined);
+  }
+  if (algorithm == "oop") {
+    WorkloadPlan wp = PlanWorkloadOop(catalogs);
+    *stats = wp.aggregate_stats;
+    return std::move(wp.combined);
+  }
+  return BuildCentralizedPlan(catalogs.Pointers(), 0);
+}
 
 /// Plans the workload with `algorithm` and executes the trace, exporting
 /// the planner's statistics into the run's registry.
@@ -98,21 +137,8 @@ SimReport PlanAndRun(const std::string& algorithm,
                      const WorkloadCatalogs& catalogs,
                      const std::vector<Event>& trace, const Args& args,
                      MuseGraph* plan_out) {
-  MuseGraph plan;
   PlannerStats stats;
-  if (algorithm == "amuse" || algorithm == "amuse-star") {
-    PlannerOptions opts;
-    opts.star = algorithm == "amuse-star";
-    WorkloadPlan wp = PlanWorkloadAmuse(catalogs, opts);
-    plan = std::move(wp.combined);
-    stats = wp.aggregate_stats;
-  } else if (algorithm == "oop") {
-    WorkloadPlan wp = PlanWorkloadOop(catalogs);
-    plan = std::move(wp.combined);
-    stats = wp.aggregate_stats;
-  } else {
-    plan = BuildCentralizedPlan(catalogs.Pointers(), 0);
-  }
+  MuseGraph plan = BuildPlan(algorithm, catalogs, &stats);
 
   Deployment dep(plan, catalogs.Pointers());
   SimOptions sim_opts;
@@ -220,6 +246,63 @@ void PrintFlows(std::FILE* out, const SimReport& report) {
                    ? static_cast<double>(hops) /
                          static_cast<double>(flows.sampled())
                    : 0.0);
+}
+
+void PrintRtNodeTable(std::FILE* out, const rt::RtReport& report,
+                      size_t num_nodes) {
+  const obs::MetricsRegistry& reg = report.telemetry->registry;
+  std::fprintf(out, "\nper-node:\n");
+  std::fprintf(out, "  %-5s %10s %10s %12s %8s %8s\n", "node", "inputs",
+               "net_frms", "net_bytes", "dup", "crashes");
+  for (size_t n = 0; n < num_nodes; ++n) {
+    const obs::LabelSet labels{{"node", std::to_string(n)}};
+    std::fprintf(
+        out, "  %-5zu %10llu %10llu %12llu %8llu %8llu\n", n,
+        static_cast<unsigned long long>(
+            CounterValue(reg, "rt_node_inputs_total", labels)),
+        static_cast<unsigned long long>(
+            CounterValue(reg, "rt_net_out_frames_total", labels)),
+        static_cast<unsigned long long>(
+            CounterValue(reg, "rt_net_out_bytes_total", labels)),
+        static_cast<unsigned long long>(
+            CounterValue(reg, "rt_node_dup_dropped_total", labels)),
+        static_cast<unsigned long long>(
+            CounterValue(reg, "rt_crashes_total", labels)));
+  }
+}
+
+void PrintRtTaskTable(std::FILE* out, const rt::RtReport& report,
+                      const Deployment& dep, const TypeRegistry* type_reg) {
+  const obs::MetricsRegistry& reg = report.telemetry->registry;
+  std::fprintf(out, "\nper-projection:\n");
+  std::fprintf(out, "  %10s %10s  %s\n", "inputs", "outputs", "task");
+  for (const Task& t : dep.tasks()) {
+    const obs::LabelSet labels{{"node", std::to_string(t.node)},
+                               {"task", std::to_string(t.id)}};
+    std::fprintf(out, "  %10llu %10llu  %s\n",
+                 static_cast<unsigned long long>(
+                     CounterValue(reg, "rt_task_inputs_total", labels)),
+                 static_cast<unsigned long long>(
+                     CounterValue(reg, "rt_task_outputs_total", labels)),
+                 t.ToString(type_reg).c_str());
+  }
+}
+
+void PrintRtLatency(std::FILE* out, const rt::RtReport& report) {
+  std::fprintf(out, "\nwall-clock latency (ms): %s\n",
+               report.latency_ms.ToString().c_str());
+  for (const obs::MetricsRegistry::Entry& e :
+       report.telemetry->registry.Entries()) {
+    if (e.name != "rt_latency_ms" || e.histogram == nullptr ||
+        e.histogram->Count() == 0) {
+      continue;
+    }
+    std::fprintf(out, "  %s: n=%llu p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+                 e.labels.ToString().c_str(),
+                 static_cast<unsigned long long>(e.histogram->Count()),
+                 e.histogram->Quantile(0.50), e.histogram->Quantile(0.90),
+                 e.histogram->Quantile(0.99), e.histogram->Max());
+  }
 }
 
 /// The node with the highest peak partial-match load.
@@ -340,6 +423,21 @@ int main(int argc, char** argv) {
       args.csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
       args.schema_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--runtime") == 0) {
+      args.runtime = true;
+    } else if (std::strcmp(argv[i], "--rt-threads") == 0 && i + 1 < argc) {
+      args.rt.num_threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rt-inbox") == 0) {
+      uint64_t v = 0;
+      if (!next(&v)) return Usage();
+      args.rt.transport.inbox_capacity = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--rt-batch") == 0 && i + 1 < argc) {
+      args.rt.transport.batch_max_frames =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rt-delay-us") == 0) {
+      if (!next(&args.rt.transport.delivery_delay_us)) return Usage();
+    } else if (std::strcmp(argv[i], "--rt-rate") == 0 && i + 1 < argc) {
+      args.rt.source_rate_eps = std::strtod(argv[++i], nullptr);
     } else {
       return Usage();
     }
@@ -373,6 +471,41 @@ int main(int argc, char** argv) {
                trace.size(),
                static_cast<unsigned long long>(args.duration_ms),
                static_cast<unsigned long long>(args.seed));
+
+  if (args.runtime) {
+    PlannerStats stats;
+    MuseGraph plan = BuildPlan(args.algorithm, catalogs, &stats);
+    Deployment dep(plan, catalogs.Pointers());
+    rt::RtOptions rt_opts = args.rt;
+    rt_opts.source_seed = args.seed;
+    rt_opts.collect_matches = false;  // counts live on in rt_matches_total
+    rt::RtRuntime runtime(dep, rt_opts);
+    rt::RtReport report = runtime.Run(trace);
+    stats.ExportTo(&report.telemetry->registry, args.algorithm);
+
+    std::fprintf(out, "\nalgorithm: %s (muse-rt, %d thread(s))\n%s\n",
+                 args.algorithm.c_str(), rt_opts.num_threads,
+                 report.Summary().c_str());
+    PrintRtNodeTable(out, report,
+                     static_cast<size_t>(dep_spec.network.num_nodes()));
+    PrintRtTaskTable(out, report, dep, &dep_spec.registry);
+    PrintRtLatency(out, report);
+
+    int rc = 0;
+    if (!args.json_path.empty() || !args.schema_path.empty()) {
+      const std::string json = obs::TelemetryToJson(*report.telemetry);
+      if (args.json_path == "-") {
+        std::printf("%s", json.c_str());
+      } else if (!args.json_path.empty() &&
+                 !WriteFile(args.json_path, json)) {
+        rc = 1;
+      }
+      if (!args.schema_path.empty() && rc == 0) {
+        rc = ValidateAgainstSchema(json, args.schema_path);
+      }
+    }
+    return rc;
+  }
 
   MuseGraph plan;
   SimReport report =
