@@ -1,8 +1,25 @@
 // Google-benchmark microbenchmarks of the CEP engine: event throughput of
 // centralized evaluation for SEQ/AND patterns, with and without equality
 // join keys, measured in events/second.
+//
+// `--scaling` switches to the evaluator-throughput mode instead: it runs
+// each scenario `--reps` times over a fixed 20s trace (seed 5), keeps the
+// best wall time, checks the total match count is identical across reps
+// (evaluation is deterministic; any divergence fails the run), and writes
+// the measurements to BENCH_engine.json (`--out <path>` overrides, "-" =
+// stdout). CI diffs this file against the committed baseline in
+// EXPERIMENTS.md.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/cep/engine.h"
@@ -18,7 +35,7 @@ struct EngineInstance {
   std::vector<Event> trace;
 
   EngineInstance(const std::string& pattern, uint64_t window_ms,
-                 int64_t key_cardinality) {
+                 int64_t key_cardinality, double rate_per_type = 25.0) {
     Query q = ParseQuery(pattern, &reg).value();
     q.set_window(window_ms);
     query = q;
@@ -29,7 +46,7 @@ struct EngineInstance {
       }
     }
     for (int t = 0; t < reg.size(); ++t) {
-      net.SetRate(static_cast<EventTypeId>(t), 25.0);
+      net.SetRate(static_cast<EventTypeId>(t), rate_per_type);
     }
     TraceOptions topts;
     topts.duration_ms = 20'000;
@@ -37,20 +54,27 @@ struct EngineInstance {
     Rng rng(5);
     trace = GenerateGlobalTrace(net, topts, rng);
   }
-};
 
-void RunEngine(benchmark::State& state, EngineInstance& inst) {
-  uint64_t matches = 0;
-  for (auto _ : state) {
-    QueryEngine engine(inst.query);
+  /// One full pass: feed the trace, flush, return the match count.
+  uint64_t RunOnce() const {
+    QueryEngine engine(query);
     std::vector<Match> out;
-    for (const Event& e : inst.trace) {
+    uint64_t matches = 0;
+    for (const Event& e : trace) {
       engine.OnEvent(e, &out);
       matches += out.size();
       out.clear();
     }
     engine.Flush(&out);
     matches += out.size();
+    return matches;
+  }
+};
+
+void RunEngine(benchmark::State& state, EngineInstance& inst) {
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    matches += inst.RunOnce();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(inst.trace.size()));
@@ -83,5 +107,121 @@ void BM_NseqKeyedWindow(benchmark::State& state) {
 }
 BENCHMARK(BM_NseqKeyedWindow);
 
+struct Scenario {
+  const char* name;
+  const char* pattern;
+  uint64_t window_ms;
+  int64_t key_cardinality;
+  double rate_per_type;
+};
+
+/// The keyed scenarios run the hot-key regime (a couple of heavy keys, a
+/// window much shorter than the buffer retention) instead of the BM_
+/// variants' 1000 spread keys: long per-key buffers where most entries are
+/// outside the window is where buffered-join cost concentrates, and the
+/// regime the evaluator's MaxTime-ordered buffers are built for.
+constexpr Scenario kScenarios[] = {
+    {"seq_keyed", "SEQ(A a, B b, D d) WHERE a.a0 == b.a0 AND b.a0 == d.a0",
+     25, 2, 25.0},
+    {"and_keyed", "AND(A a, B b, D d) WHERE a.a0 == b.a0 AND b.a0 == d.a0",
+     25, 2, 25.0},
+    {"seq_unkeyed_small_window", "SEQ(A, B)", 100, 4, 25.0},
+    {"nseq_keyed_window", "NSEQ(A, B, D)", 200, 8, 25.0},
+};
+
+int RunEngineScaling(const std::string& out_path, int reps) {
+  struct Point {
+    std::string name;
+    size_t events;
+    double seconds;
+    uint64_t matches;
+    bool consistent;
+  };
+  std::vector<Point> points;
+  bool all_consistent = true;
+  for (const Scenario& sc : kScenarios) {
+    EngineInstance inst(sc.pattern, sc.window_ms, sc.key_cardinality,
+                        sc.rate_per_type);
+    double best = 0;
+    uint64_t matches = 0;
+    bool consistent = true;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const uint64_t m = inst.RunOnce();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (r == 0 || secs < best) best = secs;
+      if (r == 0) matches = m;
+      consistent &= (m == matches);
+    }
+    all_consistent &= consistent;
+    points.push_back(
+        Point{sc.name, inst.trace.size(), best, matches, consistent});
+    std::printf("%-26s %zu events  %.3fs  %.0f events/s  matches=%llu %s\n",
+                sc.name, inst.trace.size(), best,
+                best > 0 ? static_cast<double>(inst.trace.size()) / best : 0.0,
+                static_cast<unsigned long long>(matches),
+                consistent ? "" : "DIVERGED");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"engine_scaling\",\n";
+  json << "  \"config\": {\"num_nodes\": 4, \"duration_ms\": 20000, "
+       << "\"seed\": 5},\n";
+  json << "  \"reps\": " << reps << ",\n";
+  json << "  \"matches_consistent\": " << (all_consistent ? "true" : "false")
+       << ",\n";
+  json << "  \"results\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const Scenario& sc = kScenarios[i];
+    json << "    {\"name\": \"" << p.name << "\", \"window_ms\": "
+         << sc.window_ms << ", \"keys\": " << sc.key_cardinality
+         << ", \"rate_per_type\": " << sc.rate_per_type
+         << ", \"events\": " << p.events
+         << ", \"seconds\": " << p.seconds << ", \"events_per_s\": "
+         << (p.seconds > 0 ? static_cast<double>(p.events) / p.seconds : 0.0)
+         << ", \"matches\": " << p.matches << ", \"matches_consistent\": "
+         << (p.consistent ? "true" : "false") << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (out_path == "-") {
+    std::printf("%s", json.str().c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return all_consistent ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace muse::bench
+
+int main(int argc, char** argv) {
+  muse::bench::InitBench(argc, argv);
+  bool scaling = false;
+  int reps = 3;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling") == 0) {
+      scaling = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    }
+  }
+  if (scaling) return muse::bench::RunEngineScaling(out_path, reps);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -72,6 +72,16 @@ void ExportEvaluatorStats(obs::MetricsRegistry* registry,
       ->Set(static_cast<double>(stats.buffered));
   registry->GetGauge("engine_peak_buffered", labels)
       ->Set(static_cast<double>(stats.peak_buffered));
+  registry->GetCounter("evaluator_evictions_total", labels)
+      ->Add(stats.evictions);
+  registry->GetCounter("evaluator_pending_released_total", labels)
+      ->Add(stats.pending_released);
+  registry->GetCounter("evaluator_pending_invalidated_total", labels)
+      ->Add(stats.pending_invalidated);
+  registry->GetGauge("evaluator_pending", labels)
+      ->Set(static_cast<double>(stats.pending));
+  registry->GetGauge("evaluator_peak_pending", labels)
+      ->Set(static_cast<double>(stats.peak_pending));
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 namespace muse {
 namespace {
 
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
 /// Union-find over event type ids, used to detect a join attribute chaining
 /// all positive types.
 class TypeUnionFind {
@@ -127,7 +131,20 @@ bool ProjectionEvaluator::SharesJoinKey(const Match& m) const {
 
 void ProjectionEvaluator::Insert(int part_idx, const Match& m) {
   Buffer& buf = buffers_[part_idx];
-  buf.by_key[KeyOf(m)].push_back(m);
+  KeyBuffer& kb = buf.by_key[KeyOf(m)];
+  std::vector<Match>& vec = kb.matches;
+  // Keep the per-key buffer ordered by MaxTime. The watermark mostly
+  // advances, so this is an append except for skewed arrivals, which
+  // displace at most the skew-window suffix (never the evicted prefix:
+  // anything older than the evicted entries is beyond the horizon too).
+  if (vec.empty() || vec.back().MaxTime() <= m.MaxTime()) {
+    vec.push_back(m);
+  } else {
+    auto pos = std::upper_bound(
+        vec.begin() + static_cast<ptrdiff_t>(kb.head), vec.end(), m.MaxTime(),
+        [](uint64_t t, const Match& x) { return t < x.MaxTime(); });
+    vec.insert(pos, m);
+  }
   ++buf.size;
   ++stats_.buffered;
   stats_.peak_buffered = std::max(stats_.peak_buffered, stats_.buffered);
@@ -137,22 +154,41 @@ void ProjectionEvaluator::Insert(int part_idx, const Match& m) {
 void ProjectionEvaluator::EvictExpired() {
   inserts_since_eviction_ = 0;
   if (target_.window() == kNoWindow) return;
-  const uint64_t horizon = target_.window() + options_.eviction_slack_ms;
+  const uint64_t horizon = SatAdd(target_.window(), options_.eviction_slack_ms);
+  // Re-arm the watermark trigger: the next eviction runs once the watermark
+  // has advanced by half the horizon, which caps any buffer at ~1.5x its
+  // window-bounded size while amortizing the per-key sweep.
+  next_eviction_watermark_ =
+      SatAdd(watermark_time_, std::max<uint64_t>(1, horizon / 2));
   if (watermark_time_ <= horizon) return;
   const uint64_t cutoff = watermark_time_ - horizon;
   for (Buffer& buf : buffers_) {
     for (auto it = buf.by_key.begin(); it != buf.by_key.end();) {
-      std::vector<Match>& matches = it->second;
-      auto keep_end = std::remove_if(
-          matches.begin(), matches.end(),
-          [cutoff](const Match& m) { return m.MaxTime() < cutoff; });
-      uint64_t removed = static_cast<uint64_t>(matches.end() - keep_end);
-      matches.erase(keep_end, matches.end());
-      buf.size -= removed;
-      stats_.buffered -= removed;
-      if (matches.empty()) {
+      KeyBuffer& kb = it->second;
+      std::vector<Match>& matches = kb.matches;
+      // Ordered by MaxTime: the expired matches form a prefix. Advance the
+      // head past it; physical compaction is deferred until the dead
+      // prefix dominates the vector.
+      auto first_live = std::lower_bound(
+          matches.begin() + static_cast<ptrdiff_t>(kb.head), matches.end(),
+          cutoff, [](const Match& m, uint64_t c) { return m.MaxTime() < c; });
+      const size_t new_head =
+          static_cast<size_t>(first_live - matches.begin());
+      const uint64_t removed = static_cast<uint64_t>(new_head - kb.head);
+      if (removed != 0) {
+        kb.head = new_head;
+        buf.size -= removed;
+        stats_.buffered -= removed;
+        stats_.evictions += removed;
+      }
+      if (kb.head == matches.size()) {
         it = buf.by_key.erase(it);
       } else {
+        if (kb.head > 16 && kb.head * 2 >= matches.size()) {
+          matches.erase(matches.begin(),
+                        matches.begin() + static_cast<ptrdiff_t>(kb.head));
+          kb.head = 0;
+        }
         ++it;
       }
     }
@@ -165,6 +201,7 @@ void ProjectionEvaluator::OnMatch(int part_idx, const Match& m,
   MUSE_CHECK(!m.empty(), "empty match");
   ++stats_.inputs;
   watermark_time_ = std::max(watermark_time_, m.MaxTime());
+  if (watermark_time_ >= next_eviction_watermark_) EvictExpired();
 
   if (part_anti_[part_idx]) {
     // New anti match: store it and prune pending candidates it invalidates.
@@ -172,17 +209,43 @@ void ProjectionEvaluator::OnMatch(int part_idx, const Match& m,
     for (const NseqInfo& info : nseqs_) {
       if (info.anti_part != part_idx) continue;
       auto keep_end = std::remove_if(
-          pending_.begin(), pending_.end(), [&](const Match& cand) {
-            return AntiMatchInvalidates(cand, info.before, info.after, m);
+          pending_.begin(), pending_.end(), [&](const PendingCandidate& pc) {
+            return AntiMatchInvalidates(pc.match, info.before, info.after, m);
           });
+      const uint64_t removed =
+          static_cast<uint64_t>(pending_.end() - keep_end);
       pending_.erase(keep_end, pending_.end());
+      stats_.pending -= removed;
+      stats_.pending_invalidated += removed;
     }
+    ReleasePending(out);
     return;
   }
 
   if (!SharesJoinKey(m)) return;  // can never satisfy the equality chain
   Insert(part_idx, m);
   JoinFrom(part_idx, m, out);
+  ReleasePending(out);
+}
+
+void ProjectionEvaluator::ReleasePending(std::vector<Match>* out) {
+  // A pending candidate is clear once the watermark strictly passes its
+  // release point: any anti match able to invalidate it lies between its
+  // spans in the trace, so the anti's own span ends at or before the
+  // candidate's max time, and the skew contract (eviction_slack_ms) says
+  // such an input would have arrived before the watermark passed max time
+  // + slack.
+  while (!pending_.empty() && pending_.front().release_at < watermark_time_) {
+    PendingCandidate& pc = pending_.front();
+    if (options_.max_matches == 0 ||
+        stats_.matches_emitted < options_.max_matches) {
+      ++stats_.matches_emitted;
+      ++stats_.pending_released;
+      out->push_back(std::move(pc.match));
+    }
+    pending_.pop_front();
+    --stats_.pending;
+  }
 }
 
 void ProjectionEvaluator::JoinFrom(int arrival_part, const Match& m,
@@ -209,12 +272,31 @@ void ProjectionEvaluator::JoinRecursive(const std::vector<int>& order,
   const Buffer& buf = buffers_[order[depth]];
   auto it = buf.by_key.find(key);
   if (it == buf.by_key.end()) return;
+  const KeyBuffer& kb = it->second;
   const uint64_t window = target_.window();
-  for (const Match& other : it->second) {
+  const Match* cur = kb.begin();
+  const Match* end = kb.end();
+  uint64_t hi_cut = UINT64_MAX;
+  if (window != kNoWindow) {
+    // Window range scan over the MaxTime-ordered buffer: a partner must
+    // satisfy MaxTime >= partial.MaxTime() - window (else the combined
+    // span already exceeds the window) and MaxTime <= partial.MinTime() +
+    // window (else likewise) — a binary-searched start plus an early
+    // break. Composite partners may still fail on MinTime and are checked
+    // exactly below.
+    const uint64_t lo_cut =
+        partial.MaxTime() > window ? partial.MaxTime() - window : 0;
+    hi_cut = SatAdd(partial.MinTime(), window);
+    cur = std::lower_bound(
+        cur, end, lo_cut,
+        [](const Match& m, uint64_t c) { return m.MaxTime() < c; });
+  }
+  for (; cur != end; ++cur) {
+    const Match& other = *cur;
     if (window != kNoWindow) {
-      // Early window prune: the combined span must fit the window.
-      uint64_t lo = std::min(partial.MinTime(), other.MinTime());
-      uint64_t hi = std::max(partial.MaxTime(), other.MaxTime());
+      if (other.MaxTime() > hi_cut) break;  // sorted: all later fail too
+      const uint64_t lo = std::min(partial.MinTime(), other.MinTime());
+      const uint64_t hi = std::max(partial.MaxTime(), other.MaxTime());
       if (hi - lo > window) continue;
     }
     Match merged;
@@ -233,16 +315,30 @@ void ProjectionEvaluator::EmitCandidate(const Match& candidate,
     return;
   }
   if (InvalidatedByAnti(candidate)) return;
-  // Hold until Flush: a later-arriving anti match may still invalidate it.
-  pending_.push_back(candidate);
+  // Hold until the watermark passes the last instant an invalidating anti
+  // could still arrive; ReleasePending pops cleared candidates from the
+  // front, terminal Flush drains the rest.
+  const uint64_t release_at =
+      SatAdd(candidate.MaxTime(), options_.eviction_slack_ms);
+  PendingCandidate pc{candidate, release_at};
+  if (pending_.empty() || pending_.back().release_at <= release_at) {
+    pending_.push_back(std::move(pc));
+  } else {
+    auto pos = std::upper_bound(
+        pending_.begin(), pending_.end(), release_at,
+        [](uint64_t t, const PendingCandidate& x) { return t < x.release_at; });
+    pending_.insert(pos, std::move(pc));
+  }
+  ++stats_.pending;
+  stats_.peak_pending = std::max(stats_.peak_pending, stats_.pending);
 }
 
 bool ProjectionEvaluator::InvalidatedByAnti(const Match& candidate) const {
   for (const NseqInfo& info : nseqs_) {
     const Buffer& buf = buffers_[info.anti_part];
-    for (const auto& [key, matches] : buf.by_key) {
-      for (const Match& anti : matches) {
-        if (AntiMatchInvalidates(candidate, info.before, info.after, anti)) {
+    for (const auto& [key, kb] : buf.by_key) {
+      for (const Match* anti = kb.begin(); anti != kb.end(); ++anti) {
+        if (AntiMatchInvalidates(candidate, info.before, info.after, *anti)) {
           return true;
         }
       }
@@ -252,15 +348,16 @@ bool ProjectionEvaluator::InvalidatedByAnti(const Match& candidate) const {
 }
 
 void ProjectionEvaluator::Flush(std::vector<Match>* out) {
-  for (Match& m : pending_) {
+  for (PendingCandidate& pc : pending_) {
     if (options_.max_matches != 0 &&
         stats_.matches_emitted >= options_.max_matches) {
       break;
     }
     ++stats_.matches_emitted;
-    out->push_back(std::move(m));
+    out->push_back(std::move(pc.match));
   }
   pending_.clear();
+  stats_.pending = 0;
 }
 
 }  // namespace muse

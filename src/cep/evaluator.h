@@ -2,6 +2,7 @@
 #define MUSE_CEP_EVALUATOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,12 @@ struct EvaluatorOptions {
   /// delay in the distributed runtime): a match is evicted only once no
   /// in-flight input could still join with it. Callers must set this to at
   /// least the maximum cross-part arrival skew.
+  ///
+  /// The same contract bounds NSEQ candidate release: once the watermark
+  /// has passed a candidate's max time by this slack, no anti match that
+  /// could still invalidate it is in flight (an invalidating anti lies
+  /// between the candidate's spans in the trace, so its own span ends at
+  /// or before the candidate's), and the candidate is emitted eagerly.
   uint64_t eviction_slack_ms = 0;
 
   /// Hard cap on emitted matches; 0 means unlimited. Guards tests and
@@ -34,6 +41,17 @@ struct EvaluatorStats {
   uint64_t matches_emitted = 0;
   uint64_t buffered = 0;
   uint64_t peak_buffered = 0;
+  /// Buffered matches dropped because the watermark passed their window +
+  /// slack horizon.
+  uint64_t evictions = 0;
+  /// NSEQ candidates currently held / the peak ever held — bounded by the
+  /// window horizon, not the stream length, thanks to watermark release.
+  uint64_t pending = 0;
+  uint64_t peak_pending = 0;
+  /// NSEQ candidates emitted eagerly by watermark release (before Flush).
+  uint64_t pending_released = 0;
+  /// NSEQ candidates pruned from pending by a later-arriving anti match.
+  uint64_t pending_invalidated = 0;
 };
 
 /// Evaluates one query projection from streams of matches of its
@@ -53,7 +71,11 @@ struct EvaluatorStats {
 ///    matches of the negated middle child; candidates invalidated by an
 ///    anti match lying between the first and last child's spans are
 ///    suppressed (§2.2). Because anti matches may arrive after a candidate
-///    was assembled, candidates of NSEQ targets are emitted on `Flush()`.
+///    was assembled, candidates of NSEQ targets are held back — but only
+///    until the watermark passes the last instant an invalidating anti
+///    could still arrive (candidate max time + eviction slack), at which
+///    point they are emitted *eagerly*; `Flush()` only drains the
+///    window-bounded remainder.
 ///
 /// A plain event stream is fed as singleton matches of a primitive part.
 class ProjectionEvaluator {
@@ -70,7 +92,8 @@ class ProjectionEvaluator {
   bool part_is_anti(int i) const { return part_anti_[i]; }
 
   /// Feeds one match of part `part_idx`; newly completed matches of the
-  /// target are appended to `out` (for NSEQ targets, only on `Flush`).
+  /// target are appended to `out`. For NSEQ targets, candidates surface
+  /// once the watermark clears them (or on `Flush` for the tail).
   void OnMatch(int part_idx, const Match& m, std::vector<Match>* out);
 
   /// Convenience for primitive parts: wraps the event in a singleton match.
@@ -78,23 +101,51 @@ class ProjectionEvaluator {
     OnMatch(part_idx, Match::Single(e), out);
   }
 
-  /// Emits pending candidates (NSEQ targets). Idempotent.
+  /// Emits the NSEQ candidates still pending (those the watermark has not
+  /// cleared yet). Idempotent: candidates already released by the
+  /// watermark — or by a previous Flush — are never re-emitted, and the
+  /// `max_matches` cap spans both paths.
   void Flush(std::vector<Match>* out);
 
   const EvaluatorStats& stats() const { return stats_; }
 
  private:
+  /// One key's matches, ordered by cached MaxTime (ties in arrival order):
+  /// inserts are amortized appends under a mostly-advancing watermark, the
+  /// window check in JoinRecursive becomes a binary-searched range scan,
+  /// and eviction pops from the front. The pop is a head index, not an
+  /// erase — the dead prefix is physically compacted only once it reaches
+  /// half the vector, so each element is moved O(1) amortized times and
+  /// frequent eviction sweeps never memmove the live suffix.
+  struct KeyBuffer {
+    std::vector<Match> matches;
+    size_t head = 0;  // matches[0, head) are evicted
+
+    size_t live() const { return matches.size() - head; }
+    const Match* begin() const { return matches.data() + head; }
+    const Match* end() const { return matches.data() + matches.size(); }
+  };
+
   /// Per-part buffer of live matches, optionally hash-partitioned by the
   /// value of the join attribute (see `join_attr_`).
   struct Buffer {
-    std::unordered_map<int64_t, std::vector<Match>> by_key;
+    std::unordered_map<int64_t, KeyBuffer> by_key;
     uint64_t size = 0;
+  };
+
+  /// An NSEQ candidate awaiting clearance. `release_at` is the last
+  /// watermark value at which an invalidating anti match could still
+  /// arrive: the candidate's max time plus the eviction slack.
+  struct PendingCandidate {
+    Match match;
+    uint64_t release_at;
   };
 
   int64_t KeyOf(const Match& m) const;
   bool SharesJoinKey(const Match& m) const;
   void Insert(int part_idx, const Match& m);
   void EvictExpired();
+  void ReleasePending(std::vector<Match>* out);
   void JoinFrom(int arrival_part, const Match& m, std::vector<Match>* out);
   void JoinRecursive(const std::vector<int>& order, size_t depth,
                      const Match& partial, int64_t key,
@@ -125,9 +176,16 @@ class ProjectionEvaluator {
   std::vector<NseqInfo> nseqs_;
 
   std::vector<Buffer> buffers_;
-  std::vector<Match> pending_;  // NSEQ candidates awaiting Flush
+  /// NSEQ candidates awaiting watermark clearance, ordered by `release_at`
+  /// (ties in formation order); released from the front as the watermark
+  /// advances, so its size is bounded by the window + slack horizon.
+  std::deque<PendingCandidate> pending_;
   uint64_t watermark_time_ = 0;
+  /// Eviction triggers: an insert-count fallback plus a watermark
+  /// threshold, so buffers of parts that went quiet are still freed while
+  /// the watermark advances through other parts.
   uint64_t inserts_since_eviction_ = 0;
+  uint64_t next_eviction_watermark_ = 0;
   EvaluatorStats stats_;
 };
 

@@ -6,16 +6,16 @@
 
 namespace muse {
 
-uint64_t Match::MinTime() const {
-  uint64_t t = events.front().time;
-  for (const Event& e : events) t = std::min(t, e.time);
-  return t;
-}
-
-uint64_t Match::MaxTime() const {
-  uint64_t t = events.front().time;
-  for (const Event& e : events) t = std::max(t, e.time);
-  return t;
+void Match::RecomputeSpan() {
+  min_time = 0;
+  max_time = 0;
+  if (events.empty()) return;
+  min_time = events.front().time;
+  max_time = events.front().time;
+  for (const Event& e : events) {
+    min_time = std::min(min_time, e.time);
+    max_time = std::max(max_time, e.time);
+  }
 }
 
 Match Match::Restrict(TypeSet types) const {
@@ -23,6 +23,7 @@ Match Match::Restrict(TypeSet types) const {
   for (const Event& e : events) {
     if (types.Contains(e.type)) out.events.push_back(e);
   }
+  out.RecomputeSpan();
   return out;
 }
 
@@ -33,6 +34,21 @@ std::string Match::Key() const {
     key += ",";
   }
   return key;
+}
+
+uint64_t Match::Fingerprint() const {
+  // splitmix64 finalizer per seq, order-dependently combined; events are
+  // seq-sorted, so the combination is canonical for the event set.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Event& e : events) {
+    uint64_t x = e.seq + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    h = (h ^ x) * 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  }
+  return h;
 }
 
 std::string Match::ToString() const {
@@ -55,6 +71,14 @@ bool operator==(const Match& a, const Match& b) {
 bool MergeIfConsistent(const Match& a, const Match& b, Match* out) {
   out->events.clear();
   out->events.reserve(a.events.size() + b.events.size());
+  // The merged span is the union of the input spans; maintaining it here
+  // keeps MinTime/MaxTime O(1) along the evaluator's join recursion.
+  out->min_time = std::min(a.min_time, b.min_time);
+  out->max_time = std::max(a.max_time, b.max_time);
+  if (a.empty() || b.empty()) {
+    out->min_time = a.empty() ? b.min_time : a.min_time;
+    out->max_time = a.empty() ? b.max_time : a.max_time;
+  }
   size_t i = 0;
   size_t j = 0;
   TypeSet seen;

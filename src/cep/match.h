@@ -15,21 +15,46 @@ namespace muse {
 struct Match {
   std::vector<Event> events;
 
-  static Match Single(const Event& e) { return Match{{e}}; }
+  /// Cached time span over `events` (min/max of Event::time). Maintained by
+  /// Single/MergeIfConsistent/Restrict so the evaluator's window checks are
+  /// O(1) instead of O(k) scans per buffered candidate per join level; code
+  /// that fills `events` directly (e.g. the wire decoder) must call
+  /// RecomputeSpan() afterwards. Both 0 for an empty match.
+  uint64_t min_time = 0;
+  uint64_t max_time = 0;
+
+  static Match Single(const Event& e) {
+    Match m;
+    m.events.push_back(e);
+    m.min_time = e.time;
+    m.max_time = e.time;
+    return m;
+  }
 
   bool empty() const { return events.empty(); }
   uint64_t FirstSeq() const { return events.front().seq; }
   uint64_t LastSeq() const { return events.back().seq; }
 
-  uint64_t MinTime() const;
-  uint64_t MaxTime() const;
+  uint64_t MinTime() const { return min_time; }
+  uint64_t MaxTime() const { return max_time; }
+
+  /// Restores the cached span after direct mutation of `events`.
+  void RecomputeSpan();
 
   /// The events of the given types, as a (seq-sorted) sub-match.
   Match Restrict(TypeSet types) const;
 
   /// Stable identity of a match (the sorted seq list); used for
-  /// deduplication and for comparing match sets in tests.
+  /// comparing match sets in tests and for debug labels.
   std::string Key() const;
+
+  /// 64-bit identity of a match: a seeded mix of the sorted seq list.
+  /// Replaces Key() in the hot duplicate-suppression paths (simulator and
+  /// rt sinks), where a string key per match dominates allocation. Equal
+  /// matches always collide; distinct matches collide with probability
+  /// ~n²/2⁶⁵ (birthday bound), far below anything a trace-scale dedup set
+  /// can observe.
+  uint64_t Fingerprint() const;
 
   std::string ToString() const;
 

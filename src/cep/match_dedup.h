@@ -1,0 +1,80 @@
+#ifndef MUSE_CEP_MATCH_DEDUP_H_
+#define MUSE_CEP_MATCH_DEDUP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/cep/match.h"
+
+namespace muse {
+
+/// Watermark-compacted duplicate suppressor for sink match streams.
+///
+/// Replaces the unbounded `std::set<std::string>` of Match::Key() strings at
+/// the simulator and rt sinks: identity is the 64-bit seq-list fingerprint
+/// (no allocation per match), and entries are dropped once the observed
+/// max-time watermark passes them by `horizon` — by then no live evaluator
+/// state can regenerate the match, mirroring the eviction-slack contract of
+/// `ExactlyOnceFilter`'s channel watermarks. With `kNoHorizon` the set never
+/// compacts (the deterministic-replay configurations, where duplicates of
+/// arbitrary age must still be recognized).
+class MatchDedupSet {
+ public:
+  static constexpr uint64_t kNoHorizon = UINT64_MAX;
+
+  explicit MatchDedupSet(uint64_t horizon_ms = kNoHorizon)
+      : horizon_ms_(horizon_ms) {}
+
+  /// Returns true if `m` is fresh (first sighting), false for a duplicate.
+  bool Accept(const Match& m) {
+    const uint64_t t = m.MaxTime();
+    watermark_ = std::max(watermark_, t);
+    auto [it, inserted] = seen_.try_emplace(m.Fingerprint(), t);
+    if (!inserted) {
+      it->second = std::max(it->second, t);
+      ++duplicates_;
+      return false;
+    }
+    peak_live_ = std::max(peak_live_, static_cast<uint64_t>(seen_.size()));
+    MaybeCompact();
+    return true;
+  }
+
+  uint64_t live() const { return seen_.size(); }
+  uint64_t peak_live() const { return peak_live_; }
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t compacted() const { return compacted_; }
+
+ private:
+  void MaybeCompact() {
+    if (horizon_ms_ == kNoHorizon) return;
+    if (watermark_ <= horizon_ms_) return;
+    if (watermark_ < next_compaction_) return;
+    // Re-arm so each entry is scanned O(1) amortized times per horizon.
+    next_compaction_ = watermark_ + std::max<uint64_t>(1, horizon_ms_ / 8);
+    const uint64_t cutoff = watermark_ - horizon_ms_;
+    for (auto it = seen_.begin(); it != seen_.end();) {
+      if (it->second < cutoff) {
+        it = seen_.erase(it);
+        ++compacted_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  uint64_t horizon_ms_;
+  /// fingerprint -> max time of the match; compaction drops entries whose
+  /// match time fell behind the watermark by more than the horizon.
+  std::unordered_map<uint64_t, uint64_t> seen_;
+  uint64_t watermark_ = 0;
+  uint64_t next_compaction_ = 0;
+  uint64_t peak_live_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t compacted_ = 0;
+};
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_MATCH_DEDUP_H_

@@ -80,7 +80,14 @@ bool IsValidProjectionSet(const Query& q, TypeSet types) {
     TypeSet mid = q.SubtreeTypes(op.children[1]);
     TypeSet after = q.SubtreeTypes(op.children[2]);
     if (!types.Intersects(mid)) continue;
-    if (!types.ContainsAll(mid)) return false;  // partial negated pattern
+    // A set lying fully inside the negated pattern is a valid sub-pattern
+    // projection: it can never serve a positive context (EnumerateCombinations'
+    // grouping rule bars it from negation-closed targets) but it is required
+    // to assemble the anti stream of a middle spanning several types.
+    if (types.IsSubsetOf(mid)) continue;
+    // Mixing part of a negated pattern with context types breaks negation
+    // closure: such a set has no well-defined projected pattern.
+    if (!types.ContainsAll(mid)) return false;
     const bool has_context = types.ContainsAll(before.Union(after));
     const bool is_anti = !types.Intersects(before) && !types.Intersects(after);
     if (!has_context && !is_anti) return false;

@@ -64,6 +64,14 @@ struct SimReport {
   std::vector<uint64_t> peak_partial_matches;
   uint64_t max_peak_partial_matches = 0;
 
+  /// Peak live entries over the per-query sink dedup sets. Under watermark
+  /// compaction this is bounded by the window + slack horizon (times the
+  /// match rate), not by the stream length.
+  uint64_t sink_dedup_peak = 0;
+  /// Max over tasks of the evaluators' peak pending NSEQ candidates —
+  /// bounded by the same horizon under eager watermark release.
+  uint64_t max_peak_pending = 0;
+
   /// Deduplicated matches per workload query.
   std::vector<std::vector<Match>> matches_per_query;
 

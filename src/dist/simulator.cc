@@ -5,9 +5,9 @@
 #include <map>
 #include <queue>
 #include <set>
-#include <unordered_set>
 
 #include "src/common/check.h"
+#include "src/cep/match_dedup.h"
 #include "src/cep/oracle.h"
 #include "src/dist/node_runtime.h"
 
@@ -60,7 +60,26 @@ class SimRun {
     }
     node_free_us_.assign(nodes_.size(), 0);
     node_busy_us_.assign(nodes_.size(), 0);
-    seen_match_keys_.resize(dep_.num_queries());
+    // Sink dedup sets: fingerprint-based, compacted once the match-time
+    // watermark passes window + 4*slack — beyond that horizon no live
+    // evaluator state (buffers, pending candidates, in-flight messages)
+    // can regenerate a match, so forgetting it is safe. Unwindowed queries
+    // never compact. Replay outputs bypass the sets entirely (see
+    // HandleFailure), so arbitrarily old replayed duplicates stay
+    // suppressed regardless of the horizon.
+    std::vector<uint64_t> horizon(static_cast<size_t>(dep_.num_queries()),
+                                  MatchDedupSet::kNoHorizon);
+    for (const Task& t : dep_.tasks()) {
+      for (int q : t.sink_for) {
+        if (t.target.window() != kNoWindow) {
+          horizon[static_cast<size_t>(q)] =
+              t.target.window() + 4 * eval.eviction_slack_ms;
+        }
+      }
+    }
+    for (int q = 0; q < dep_.num_queries(); ++q) {
+      sink_dedup_.emplace_back(horizon[static_cast<size_t>(q)]);
+    }
     report_.matches_per_query.resize(dep_.num_queries());
 
     // Registry families, resolved once: all hot-path updates below are
@@ -299,8 +318,12 @@ class SimRun {
     std::vector<NodeRuntime::Output> outs;
     rt.Recover(&outs);
     // Regenerated outputs are re-sent; receivers drop duplicates via the
-    // exactly-once channel filters.
-    RouteOutputs(rt, outs, time_us, /*queue_us=*/0, /*proc_us=*/0);
+    // exactly-once channel filters. Replay is deterministic, so every
+    // regenerated sink output was already recorded before the crash —
+    // sinks skip them (replay=true) instead of consulting dedup sets that
+    // may have compacted entries older than the horizon.
+    RouteOutputs(rt, outs, time_us, /*queue_us=*/0, /*proc_us=*/0,
+                 /*replay=*/true);
   }
 
   struct LinkCounters {
@@ -343,12 +366,16 @@ class SimRun {
 
   void RouteOutputs(NodeRuntime& rt,
                     const std::vector<NodeRuntime::Output>& outs,
-                    uint64_t time_us, uint64_t queue_us, uint64_t proc_us) {
+                    uint64_t time_us, uint64_t queue_us, uint64_t proc_us,
+                    bool replay = false) {
     for (const NodeRuntime::Output& out : outs) {
       const Task& t = dep_.task(out.task);
-      // Sink accounting.
-      for (int query : t.sink_for) {
-        RecordMatch(query, out.match, time_us);
+      // Sink accounting; recovery replay regenerates only already-recorded
+      // matches (see HandleFailure).
+      if (!replay) {
+        for (int query : t.sink_for) {
+          RecordMatch(query, out.match, time_us);
+        }
       }
       // One physical message per destination node.
       std::set<NodeId> dst_nodes;
@@ -383,7 +410,7 @@ class SimRun {
   }
 
   void RecordMatch(int query, const Match& m, uint64_t time_us) {
-    if (!seen_match_keys_[query].insert(m.Key()).second) return;
+    if (!sink_dedup_[static_cast<size_t>(query)].Accept(m)) return;
     const double latency_ms = static_cast<double>(time_us) / 1000.0 -
                               static_cast<double>(m.MaxTime());
     latency_hist_[query]->Record(latency_ms);
@@ -429,10 +456,34 @@ class SimRun {
             ->Add(stats.candidates_checked);
         reg.GetGauge("task_peak_buffered", labels)
             ->Set(static_cast<double>(stats.peak_buffered));
+        reg.GetCounter("evaluator_evictions_total", labels)
+            ->Add(stats.evictions);
+        reg.GetCounter("evaluator_pending_released_total", labels)
+            ->Add(stats.pending_released);
+        reg.GetCounter("evaluator_pending_invalidated_total", labels)
+            ->Add(stats.pending_invalidated);
+        reg.GetGauge("task_peak_pending", labels)
+            ->Set(static_cast<double>(stats.peak_pending));
+        report_.max_peak_pending =
+            std::max(report_.max_peak_pending, stats.peak_pending);
       }
       reg.GetCounter("node_dup_dropped_total",
                      obs::LabelSet{{"node", node_str}})
           ->Add(nodes_[n].DuplicatesDropped());
+    }
+    for (int q = 0; q < dep_.num_queries(); ++q) {
+      const MatchDedupSet& dedup = sink_dedup_[static_cast<size_t>(q)];
+      const obs::LabelSet labels{{"query", std::to_string(q)}};
+      reg.GetGauge("sink_dedup_live", labels)
+          ->Set(static_cast<double>(dedup.live()));
+      reg.GetGauge("sink_dedup_peak", labels)
+          ->Set(static_cast<double>(dedup.peak_live()));
+      reg.GetCounter("sink_dup_matches_total", labels)
+          ->Add(dedup.duplicates());
+      reg.GetCounter("sink_dedup_compacted_total", labels)
+          ->Add(dedup.compacted());
+      report_.sink_dedup_peak =
+          std::max(report_.sink_dedup_peak, dedup.peak_live());
     }
     if (tracer_.enabled()) {
       reg.GetCounter("flows_sampled_total")->Add(tracer_.sampled());
@@ -451,7 +502,7 @@ class SimRun {
       queue_;
   uint64_t next_order_ = 0;
   uint64_t last_time_us_ = 0;
-  std::vector<std::unordered_set<std::string>> seen_match_keys_;
+  std::vector<MatchDedupSet> sink_dedup_;
   SimReport report_;
 
   // Telemetry hot-path pointers (owned by telemetry_->registry).

@@ -8,8 +8,8 @@
 #include <mutex>
 #include <set>
 #include <thread>
-#include <unordered_set>
 
+#include "src/cep/match_dedup.h"
 #include "src/cep/oracle.h"
 #include "src/common/rng.h"
 #include "src/dist/node_runtime.h"
@@ -143,8 +143,24 @@ class RtRun {
           reg.GetCounter("rt_net_out_bytes_total", labels));
       node_crashes_.push_back(reg.GetCounter("rt_crashes_total", labels));
     }
+    // Sink dedup horizons mirror the simulator's: window + 4*slack of
+    // match time, past which no live state can regenerate a match. With
+    // the default unbounded slack the horizon is never reached, so the
+    // sets degenerate to the old remember-everything behavior and the
+    // determinism contract is untouched.
+    std::vector<uint64_t> horizon(static_cast<size_t>(dep_.num_queries()),
+                                  MatchDedupSet::kNoHorizon);
+    for (const Task& t : dep_.tasks()) {
+      for (int q : t.sink_for) {
+        if (t.target.window() != kNoWindow) {
+          horizon[static_cast<size_t>(q)] =
+              t.target.window() + 4 * eval.eviction_slack_ms;
+        }
+      }
+    }
     for (int q = 0; q < dep_.num_queries(); ++q) {
       auto col = std::make_unique<QueryCollector>();
+      col->seen = MatchDedupSet(horizon[static_cast<size_t>(q)]);
       const obs::LabelSet labels{{"query", std::to_string(q)}};
       col->latency = reg.GetHistogram("rt_latency_ms", labels, 1e-3);
       col->total = reg.GetCounter("rt_matches_total", labels);
@@ -202,7 +218,7 @@ class RtRun {
  private:
   struct QueryCollector {
     std::mutex mu;
-    std::unordered_set<std::string> seen;
+    MatchDedupSet seen;
     std::vector<Match> matches;
     obs::Histogram* latency = nullptr;
     obs::Counter* total = nullptr;
@@ -316,18 +332,23 @@ class RtRun {
     std::vector<NodeRuntime::Output> outs;
     rt.Recover(&outs);
     // Replay regenerates the original outputs with identical channel
-    // sequence numbers; receivers drop them as duplicates.
-    RouteOutputs(node, outs, batcher);
+    // sequence numbers; receivers drop them as duplicates. Sinks skip
+    // them outright (replay=true): deterministic replay only re-derives
+    // already-recorded matches, which a horizon-compacted dedup set might
+    // no longer recognize.
+    RouteOutputs(node, outs, batcher, /*replay=*/true);
     batcher->FlushAll();
   }
 
   void RouteOutputs(NodeId node, const std::vector<NodeRuntime::Output>& outs,
-                    LinkBatcher* batcher) {
+                    LinkBatcher* batcher, bool replay = false) {
     NodeRuntime& rt = nodes_[node];
     std::string frame;
     for (const NodeRuntime::Output& out : outs) {
       const Task& t = dep_.task(out.task);
-      for (int query : t.sink_for) RecordMatch(query, out.match);
+      if (!replay) {
+        for (int query : t.sink_for) RecordMatch(query, out.match);
+      }
       std::set<NodeId> dst_nodes;
       for (int succ : t.successors) dst_nodes.insert(dep_.task(succ).node);
       for (NodeId dst : dst_nodes) {
@@ -358,7 +379,7 @@ class RtRun {
     }
     const uint64_t now = transport_->NowUs();
     std::lock_guard<std::mutex> lock(col.mu);
-    if (!col.seen.insert(m.Key()).second) return;
+    if (!col.seen.Accept(m)) return;
     col.total->Add(1);
     col.latency->Record(
         now > injected ? static_cast<double>(now - injected) / 1000.0 : 0.0);
@@ -438,6 +459,29 @@ class RtRun {
         reg.GetCounter("rt_task_inputs_total", labels)->Add(counters.inputs);
         reg.GetCounter("rt_task_outputs_total", labels)->Add(counters.outputs);
       }
+      for (const auto& [task, stats] : nodes_[n].EvaluatorStatsByTask()) {
+        const obs::LabelSet labels{{"node", node_str},
+                                   {"task", std::to_string(task)}};
+        reg.GetCounter("rt_evaluator_evictions_total", labels)
+            ->Add(stats.evictions);
+        reg.GetCounter("rt_evaluator_pending_released_total", labels)
+            ->Add(stats.pending_released);
+        reg.GetGauge("rt_task_peak_pending", labels)
+            ->Set(static_cast<double>(stats.peak_pending));
+      }
+    }
+    for (size_t q = 0; q < collectors_.size(); ++q) {
+      QueryCollector& col = *collectors_[q];
+      std::lock_guard<std::mutex> lock(col.mu);
+      const obs::LabelSet labels{{"query", std::to_string(q)}};
+      reg.GetGauge("rt_sink_dedup_live", labels)
+          ->Set(static_cast<double>(col.seen.live()));
+      reg.GetGauge("rt_sink_dedup_peak", labels)
+          ->Set(static_cast<double>(col.seen.peak_live()));
+      reg.GetCounter("rt_sink_dup_matches_total", labels)
+          ->Add(col.seen.duplicates());
+      reg.GetCounter("rt_sink_dedup_compacted_total", labels)
+          ->Add(col.seen.compacted());
     }
   }
 

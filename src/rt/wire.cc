@@ -180,6 +180,9 @@ Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size,
           return Err("wire: truncated message event ", std::to_string(i));
         }
       }
+      // The wire format carries only the events; restore the cached span
+      // invariant the evaluator's window checks rely on.
+      frame.message.payload.RecomputeSpan();
       break;
     }
     default:

@@ -11,6 +11,7 @@
 //     predicate selectivity (the cache-key trap: Query::Signature() omits
 //     selectivities).
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -143,6 +144,71 @@ TEST(DifferentialPropertyTest, EngineMatchesOracleOnRandomInputs) {
            << EngineKeys(q, minimal).size() << ", oracle matches: "
            << OracleKeys(q, minimal).size();
   }
+}
+
+TEST(DifferentialPropertyTest, StreamingNseqReleasesBeforeFlush) {
+  // With a finite eviction slack, every NSEQ candidate whose release point
+  // (max time + slack) lies behind the watermark must be emitted *during*
+  // streaming, not at Flush — and eager release must not change the final
+  // match set vs. the oracle.
+  constexpr int kIterations = 40;
+  constexpr int kNumTypes = 5;
+  constexpr uint64_t kSlack = 20;
+  int streamed_iterations = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    Rng rng(9300 + static_cast<uint64_t>(iter) * 131);
+    SelectivityModel model(kNumTypes, 0.05, 0.5, rng);
+    const int arity = static_cast<int>(rng.UniformInt(3, 4));
+    std::vector<EventTypeId> types;
+    for (int t = 0; t < kNumTypes && static_cast<int>(types.size()) < arity;
+         ++t) {
+      if (rng.UniformInt(0, 1) == 1 ||
+          kNumTypes - t <= arity - static_cast<int>(types.size())) {
+        types.push_back(static_cast<EventTypeId>(t));
+      }
+    }
+    const uint64_t window = static_cast<uint64_t>(rng.UniformInt(40, 300));
+    Query q =
+        GenerateQuery(types, model, window, /*nseq_probability=*/1.0, rng);
+    if (q.NegatedTypes().empty()) continue;  // no pending path to exercise
+
+    std::vector<Event> trace =
+        RandomTrace(kNumTypes, static_cast<int>(rng.UniformInt(10, 24)), rng);
+    // A sentinel event of a positive type, far past every candidate's
+    // release point: once it is processed, the watermark must have eagerly
+    // released every candidate formed from the original trace (the sentinel
+    // itself is outside the window of all of them, so it joins nothing).
+    Event sentinel;
+    sentinel.type = q.PositiveTypes().First();
+    sentinel.seq = trace.size();
+    sentinel.time = trace.back().time + window + kSlack + 10;
+    sentinel.attrs = {0, 0};
+    trace.push_back(sentinel);
+
+    EvaluatorOptions opts;
+    opts.eviction_slack_ms = kSlack;
+    QueryEngine engine(q, opts);
+    std::vector<Match> matches;
+    for (const Event& e : trace) engine.OnEvent(e, &matches);
+    const auto pre_flush = Keys(matches);
+    engine.Flush(&matches);
+    EXPECT_EQ(Keys(matches), OracleKeys(q, trace))
+        << "streaming NSEQ diverged from oracle (iteration " << iter << "):\n"
+        << ReproString(q, trace);
+
+    for (const auto& key : OracleKeys(q, trace)) {
+      const bool has_sentinel =
+          std::find(key.begin(), key.end(), sentinel.seq) != key.end();
+      ASSERT_FALSE(has_sentinel);  // sentinel is outside every window
+      EXPECT_NE(std::find(pre_flush.begin(), pre_flush.end(), key),
+                pre_flush.end())
+          << "match not released before Flush (iteration " << iter << "):\n"
+          << ReproString(q, trace);
+    }
+    if (!pre_flush.empty()) ++streamed_iterations;
+  }
+  // The property must not hold vacuously.
+  EXPECT_GT(streamed_iterations, 0);
 }
 
 // ---------------------------------------------------------------------------

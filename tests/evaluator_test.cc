@@ -148,6 +148,100 @@ TEST(EvaluatorTest, NseqAntiArrivingEarlySuppressesNewCandidates) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST(EvaluatorTest, NseqStreamingReleaseBeforeFlush) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  EvaluatorOptions opts;
+  opts.eviction_slack_ms = 10;
+  ProjectionEvaluator eval(
+      q, {Query::Primitive(0), Query::Primitive(2), Query::Primitive(1)},
+      opts);
+  std::vector<Match> out;
+  eval.OnEvent(0, Ev(0, 1), &out);
+  eval.OnEvent(1, Ev(2, 3), &out);  // candidate, release_at = 3 + 10
+  EXPECT_TRUE(out.empty());
+  eval.OnEvent(0, Ev(0, 20), &out);  // watermark 20 > 13: release eagerly
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(eval.stats().pending_released, 1u);
+  EXPECT_EQ(eval.stats().pending, 0u);
+  out.clear();
+  eval.Flush(&out);  // nothing left; the release must not double-emit
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EvaluatorTest, NseqWatermarkReleaseRespectsLateAnti) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  EvaluatorOptions opts;
+  opts.eviction_slack_ms = 10;
+  ProjectionEvaluator eval(
+      q, {Query::Primitive(0), Query::Primitive(2), Query::Primitive(1)},
+      opts);
+  std::vector<Match> out;
+  eval.OnEvent(0, Ev(0, 1), &out);
+  eval.OnEvent(1, Ev(2, 3), &out);  // candidate pending until watermark > 13
+  eval.OnEvent(0, Ev(0, 10), &out);  // watermark 10: within the slack
+  EXPECT_TRUE(out.empty());
+  eval.OnEvent(2, Ev(1, 2), &out);  // anti B@2 arrives late, within contract
+  eval.OnEvent(0, Ev(0, 30), &out);  // watermark clears the release point
+  eval.Flush(&out);
+  EXPECT_TRUE(out.empty());  // candidate was invalidated, never released
+  EXPECT_EQ(eval.stats().pending_invalidated, 1u);
+  EXPECT_EQ(eval.stats().pending_released, 0u);
+}
+
+TEST(EvaluatorTest, FlushTwiceEmitsOnce) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(2),
+                               Query::Primitive(1)});
+  std::vector<Match> out;
+  eval.OnEvent(0, Ev(0, 1), &out);
+  eval.OnEvent(1, Ev(2, 3), &out);
+  eval.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  eval.Flush(&out);
+  EXPECT_EQ(out.size(), 1u);  // second flush is a no-op
+  EXPECT_EQ(eval.stats().matches_emitted, 1u);
+}
+
+TEST(EvaluatorTest, FlushRespectsMaxMatchesAfterRelease) {
+  TypeRegistry reg;
+  Query q = ParseQuery("NSEQ(A, B, C)", &reg).value();
+  EvaluatorOptions opts;
+  opts.eviction_slack_ms = 5;
+  opts.max_matches = 2;
+  ProjectionEvaluator eval(
+      q, {Query::Primitive(0), Query::Primitive(2), Query::Primitive(1)},
+      opts);
+  std::vector<Match> out;
+  // Three candidates: (A1,C3), (A1,C4), and a late pair still pending at
+  // flush time.
+  eval.OnEvent(0, Ev(0, 1), &out);
+  eval.OnEvent(1, Ev(2, 3), &out);
+  eval.OnEvent(1, Ev(2, 4), &out);
+  eval.OnEvent(0, Ev(0, 50), &out);  // releases both early candidates
+  EXPECT_EQ(out.size(), 2u);
+  eval.OnEvent(1, Ev(2, 51), &out);  // two more candidates, pending
+  eval.Flush(&out);
+  EXPECT_EQ(out.size(), 2u);  // cap spans released + flushed
+  EXPECT_EQ(eval.stats().matches_emitted, 2u);
+}
+
+TEST(EvaluatorTest, WatermarkDrivenEvictionFreesQuietParts) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B) WITHIN 200ms", &reg).value();
+  ProjectionEvaluator eval(q, {Query::Primitive(0), Query::Primitive(1)});
+  std::vector<Match> out;
+  // Part A goes quiet after 100 inserts — far below the 256-insert
+  // fallback, so only watermark advancement (driven by part B) can evict.
+  for (uint64_t s = 0; s < 100; ++s) eval.OnEvent(0, Ev(0, s), &out);
+  EXPECT_EQ(eval.stats().buffered, 100u);
+  eval.OnEvent(1, Ev(1, 1000), &out);
+  EXPECT_GE(eval.stats().evictions, 100u);
+  EXPECT_LE(eval.stats().buffered, 1u);
+}
+
 TEST(EvaluatorTest, MaxMatchesGuardStopsEmission) {
   TypeRegistry reg;
   Query q = ParseQuery("SEQ(A, B)", &reg).value();

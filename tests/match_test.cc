@@ -16,7 +16,12 @@ Event Ev(EventTypeId type, uint64_t seq, int64_t a0 = 0) {
   return e;
 }
 
-Match M(std::vector<Event> events) { return Match{std::move(events)}; }
+Match M(std::vector<Event> events) {
+  Match m;
+  m.events = std::move(events);
+  m.RecomputeSpan();
+  return m;
+}
 
 TEST(MatchTest, Basics) {
   Match m = M({Ev(0, 1), Ev(1, 5)});
@@ -25,6 +30,37 @@ TEST(MatchTest, Basics) {
   EXPECT_EQ(m.MinTime(), 10u);
   EXPECT_EQ(m.MaxTime(), 50u);
   EXPECT_EQ(m.Key(), "1,5,");
+}
+
+TEST(MatchTest, SpanMaintainedBySingleMergeRestrict) {
+  Match s = Match::Single(Ev(0, 4));
+  EXPECT_EQ(s.MinTime(), 40u);
+  EXPECT_EQ(s.MaxTime(), 40u);
+
+  Match merged;
+  ASSERT_TRUE(MergeIfConsistent(M({Ev(0, 2)}), M({Ev(1, 9)}), &merged));
+  EXPECT_EQ(merged.MinTime(), 20u);
+  EXPECT_EQ(merged.MaxTime(), 90u);
+
+  Match r = M({Ev(0, 1), Ev(1, 5), Ev(2, 3)}).Restrict(TypeSet({0, 2}));
+  EXPECT_EQ(r.MinTime(), 10u);
+  EXPECT_EQ(r.MaxTime(), 30u);
+
+  Match direct;
+  direct.events = {Ev(0, 7)};
+  EXPECT_EQ(direct.MaxTime(), 0u);  // direct fill leaves the cache stale
+  direct.RecomputeSpan();
+  EXPECT_EQ(direct.MinTime(), 70u);
+  EXPECT_EQ(direct.MaxTime(), 70u);
+}
+
+TEST(MatchTest, FingerprintIdentityTracksSeqList) {
+  Match a = M({Ev(0, 1), Ev(1, 5)});
+  Match b = M({Ev(2, 1), Ev(0, 5)});  // same seqs, different types
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), M({Ev(0, 1), Ev(1, 6)}).Fingerprint());
+  EXPECT_NE(a.Fingerprint(), M({Ev(0, 1)}).Fingerprint());
+  EXPECT_NE(M({Ev(0, 0)}).Fingerprint(), M({}).Fingerprint());
 }
 
 TEST(MatchTest, Restrict) {

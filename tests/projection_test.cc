@@ -98,12 +98,20 @@ TEST(ProjectionValiditySetTest, NseqRules) {
   EXPECT_FALSE(IsValidProjectionSet(q, TypeSet({1, 2})));    // mid + after
 }
 
-TEST(ProjectionValiditySetTest, PartialMiddleRejected) {
+TEST(ProjectionValiditySetTest, MiddleSubPatternsValidButNotMixed) {
   TypeRegistry reg;
   Query q = ParseQuery("NSEQ(A, SEQ(B, D), C)", &reg).value();
+  EventTypeId a = static_cast<EventTypeId>(reg.Find("A"));
   EventTypeId b = static_cast<EventTypeId>(reg.Find("B"));
-  EXPECT_FALSE(IsValidProjectionSet(q, TypeSet::Of(b)));
+  // Sub-patterns of the negated middle are valid projections: the anti
+  // stream SEQ(B,D) is assembled from them when the middle spans several
+  // types (they never appear in positive contexts — EnumerateCombinations'
+  // grouping rule bars that).
+  EXPECT_TRUE(IsValidProjectionSet(q, TypeSet::Of(b)));
+  EXPECT_EQ(Project(q, TypeSet::Of(b)).ToString(&reg), "B");
   EXPECT_TRUE(IsValidProjectionSet(q, q.NegatedTypes()));
+  // Mixing part of the middle with context types still breaks closure.
+  EXPECT_FALSE(IsValidProjectionSet(q, TypeSet({a, b})));
 }
 
 TEST(ProjectionValiditySetTest, BasicRules) {

@@ -33,13 +33,16 @@ struct Triple {
   std::unique_ptr<WorkloadCatalogs> catalogs;
   std::unique_ptr<Deployment> dep;
 
-  Triple(uint64_t seed, const std::string& plan_kind) : net(1, 1) {
+  Triple(uint64_t seed, const std::string& plan_kind,
+         double nseq_probability = 0.35)
+      : net(1, 1) {
     Rng rng(seed);
     QueryGenOptions qopts;
     qopts.num_queries = 2;
     qopts.avg_primitives = 3;
     qopts.num_types = 4;
     qopts.window_ms = 400;
+    qopts.nseq_probability = nseq_probability;
     SelectivityModel model(qopts.num_types, 0.05, 0.3, rng);
     workload = GenerateWorkload(qopts, model, rng);
 
@@ -134,6 +137,21 @@ TEST(RtDifferentialTest, ThreadMultiplexingAgreesWithSimulator) {
 TEST(RtDifferentialTest, CrashesUnderMultiplexedShards) {
   Triple t(3000, "amuse");
   ExpectDifferentialEqual(t, {{0, 900}, {2, 1600}}, /*num_threads=*/2);
+}
+
+// NSEQ-heavy workloads: every query carries a negation, so the pending-
+// candidate path (hold, watermark bookkeeping, flush ordering) is on the
+// differential's critical path, including across a crash + replay.
+TEST(RtDifferentialTest, NseqWorkloadsAgreeWithSimulator) {
+  const char* kPlans[] = {"amuse", "centralized", "oop"};
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const std::string plan_kind = kPlans[seed % 3];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan " + plan_kind);
+    Triple t(4000 + seed, plan_kind, /*nseq_probability=*/1.0);
+    std::vector<std::pair<NodeId, uint64_t>> failures;
+    if (seed % 2 == 0) failures = {{static_cast<NodeId>(seed % 4), 1100}};
+    ExpectDifferentialEqual(t, failures, /*num_threads=*/seed % 2 ? 2 : 0);
+  }
 }
 
 }  // namespace

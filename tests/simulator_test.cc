@@ -1,5 +1,6 @@
 #include "src/dist/simulator.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "src/cep/engine.h"
@@ -176,6 +177,44 @@ TEST(SimulatorTest, TransmissionOrderingMatchesCostModel) {
 
   EXPECT_LE(amuse_report.network_messages,
             central_report.network_messages * 1.1 + 50);
+}
+
+TEST(SimulatorTest, SinkStateBoundedByWindowOnLongTraces) {
+  // Regression for unbounded sink state: dedup sets are compacted and NSEQ
+  // candidates released as the watermark advances, so a 4x longer trace
+  // must not grow their peaks in proportion — live state is bounded by the
+  // window + slack horizon, not the trace length.
+  auto run = [](uint64_t duration_ms, uint64_t* matches_total) {
+    Env env({"SEQ(A, B)", "NSEQ(A, B, D)"}, 150, 46, duration_ms);
+    WorkloadCatalogs catalogs(env.workload, env.net);
+    WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+    Deployment dep(plan.combined, catalogs.Pointers());
+    SimReport report = DistributedSimulator(dep, SimOptions{}).Run(env.trace);
+    ExpectSameMatches(report.matches_per_query,
+                      Reference(env.workload, env.trace),
+                      "duration " + std::to_string(duration_ms));
+    *matches_total = 0;
+    for (const auto& m : report.matches_per_query) {
+      *matches_total += m.size();
+    }
+    return report;
+  };
+  uint64_t matches_short = 0;
+  uint64_t matches_long = 0;
+  SimReport short_run = run(5000, &matches_short);
+  SimReport long_run = run(20000, &matches_long);
+  // The workload itself grows with the trace.
+  EXPECT_GE(matches_long, 2 * matches_short);
+  EXPECT_GT(short_run.sink_dedup_peak, 0u);
+  // Without compaction a dedup set only ever grows, so its peak would equal
+  // the total distinct matches; watermark compaction keeps the live set a
+  // small horizon-sized fraction of that.
+  EXPECT_LE(long_run.sink_dedup_peak, matches_long / 3);
+  // Same shape for held NSEQ candidates: without watermark release all of
+  // the NSEQ query's matches would sit in pending_ until the final flush.
+  const uint64_t nseq_matches = long_run.matches_per_query[1].size();
+  EXPECT_GT(nseq_matches, 100u);
+  EXPECT_LE(long_run.max_peak_pending, nseq_matches / 4);
 }
 
 TEST(SimulatorTest, ReportMetricsSane) {
