@@ -37,6 +37,11 @@ const char* RuleCode(Rule rule) {
     case Rule::kRtInboxUnbounded: return "M800";
     case Rule::kRtBatchExceedsInbox: return "M801";
     case Rule::kRtEvictionUnbounded: return "M802";
+    case Rule::kRtCreditDeadlock: return "M900";
+    case Rule::kStateUnbounded: return "M901";
+    case Rule::kStateBudgetExceeded: return "M902";
+    case Rule::kWatermarkStall: return "M903";
+    case Rule::kCapacityInfeasible: return "M904";
   }
   return "M???";
 }
@@ -74,6 +79,11 @@ const char* RuleName(Rule rule) {
     case Rule::kRtInboxUnbounded: return "rt-inbox-unbounded";
     case Rule::kRtBatchExceedsInbox: return "rt-batch-exceeds-inbox";
     case Rule::kRtEvictionUnbounded: return "rt-eviction-unbounded";
+    case Rule::kRtCreditDeadlock: return "credit-deadlock";
+    case Rule::kStateUnbounded: return "state-unbounded";
+    case Rule::kStateBudgetExceeded: return "state-budget-exceeded";
+    case Rule::kWatermarkStall: return "watermark-stall";
+    case Rule::kCapacityInfeasible: return "capacity-infeasible";
   }
   return "unknown";
 }

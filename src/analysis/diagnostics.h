@@ -16,6 +16,7 @@ namespace muse {
 ///   M3xx placement feasibility  M6xx deployment wiring
 ///   M7xx observability configuration
 ///   M8xx runtime (muse-rt) configuration
+///   M9xx whole-deployment safety proofs (muse-prove, prove.h)
 enum class Rule {
   // -- M1xx: graph structure --------------------------------------------
   kGraphCycle,          ///< M100: directed cycle in the MuSE graph
@@ -56,6 +57,12 @@ enum class Rule {
   kRtInboxUnbounded,    ///< M800: inbox capacity 0 disables backpressure
   kRtBatchExceedsInbox, ///< M801: batch larger than the credit window
   kRtEvictionUnbounded, ///< M802: unbounded eviction horizon in production
+  // -- M9xx: whole-deployment safety proofs (muse-prove) ------------------
+  kRtCreditDeadlock,    ///< M900: a deployed link can wedge its credit cycle
+  kStateUnbounded,      ///< M901: no finite bound on a node's volatile state
+  kStateBudgetExceeded, ///< M902: proven state bound exceeds the budget
+  kWatermarkStall,      ///< M903: quiet input can stall eviction progress
+  kCapacityInfeasible,  ///< M904: node load under r-hat exceeds capacity
 };
 
 /// Stable short code, e.g. "M200".

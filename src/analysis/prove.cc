@@ -1,0 +1,509 @@
+#include "src/analysis/prove.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace muse {
+namespace {
+
+constexpr uint64_t kSatMax = UINT64_MAX;
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > kSatMax - b ? kSatMax : a + b;
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string TypeName(EventTypeId t, const TypeRegistry* reg) {
+  if (reg != nullptr && static_cast<int>(t) < reg->size()) {
+    return reg->Name(t);
+  }
+  return "E" + std::to_string(t);
+}
+
+std::string TypesName(TypeSet s, const TypeRegistry* reg) {
+  std::string out = "{";
+  bool first = true;
+  for (EventTypeId t : s) {
+    if (!first) out += ",";
+    first = false;
+    out += TypeName(t, reg);
+  }
+  return out + "}";
+}
+
+std::string TaskLoc(const Task& t, const TypeRegistry* reg) {
+  return "task " + std::to_string(t.id) + " (" + TypesName(t.proj, reg) +
+         "@n" + std::to_string(t.node) + ")";
+}
+
+/// Abstracted per-task facts: modeled output rate and per-part arrival
+/// rates, all in events (frames) per second under the cost model.
+struct TaskInfo {
+  bool valid = false;  ///< catalog-backed; invalid tasks contribute nothing
+  double out_rate = 0;
+  double arr_total = 0;
+  std::vector<double> part_arr;
+};
+
+/// Effective credit window of `node` under `t` (0 = unbounded).
+size_t WindowOf(const rt::RtTransportOptions& t, NodeId node) {
+  if (node < t.node_inbox_capacity.size() &&
+      t.node_inbox_capacity[node] != 0) {
+    return t.node_inbox_capacity[node];
+  }
+  return t.inbox_capacity;
+}
+
+/// Strongly connected components of the node routing graph (iterative
+/// Tarjan: the graph can have up to a network's worth of nodes, so no
+/// recursion). Returns the component id of every node; nodes whose
+/// component has more than one member — or a self-loop — sit on a
+/// blocking cycle.
+std::vector<int> SccIds(size_t n, const std::vector<std::set<NodeId>>& adj) {
+  std::vector<int> comp(n, -1), index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  int next_index = 0, next_comp = 0;
+
+  struct Frame {
+    NodeId v;
+    std::set<NodeId>::const_iterator it;
+  };
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, adj[root].begin()}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.it != adj[f.v].end()) {
+        const NodeId w = *f.it++;
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, adj[w].begin()});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = next_comp;
+            if (w == f.v) break;
+          }
+          ++next_comp;
+        }
+        const NodeId v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+}  // namespace
+
+ProveReport ProveDeployment(
+    const Deployment& dep, const std::vector<const ProjectionCatalog*>& cats,
+    const Network& net, const ProveOptions& options) {
+  ProveReport report;
+  const rt::RtTransportOptions& transport = options.rt.transport;
+  const TypeRegistry* reg = options.registry;
+  const uint64_t slack = options.rt.eval.eviction_slack_ms;  // 0 = unbounded
+  const size_t num_nodes = static_cast<size_t>(net.num_nodes());
+  const size_t batch = static_cast<size_t>(
+      std::max(1, transport.batch_max_frames));
+
+  report.nodes.resize(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    report.nodes[n].node = n;
+    report.nodes[n].credit_window = WindowOf(transport, n);
+    report.nodes[n].capacity_eps = net.Capacity(n);
+  }
+  auto node_ok = [&](NodeId n) { return static_cast<size_t>(n) < num_nodes; };
+
+  // ---- abstract the streams: per-task output and arrival rates ----------
+  const std::vector<Task>& tasks = dep.tasks();
+  std::vector<TaskInfo> info(tasks.size());
+
+  // Partitioned placements split one projection's stream across the cover:
+  // group size divides the modeled per-task rate.
+  std::map<std::pair<uint64_t, int>, int> group_size;
+  for (const Task& t : tasks) {
+    if (t.is_primitive || t.part_type == kNoPartition) continue;
+    if (t.rep_query < 0 || t.rep_query >= static_cast<int>(cats.size())) {
+      continue;
+    }
+    const ProjectionCatalog& cat = *cats[t.rep_query];
+    if (!cat.Valid(t.proj)) continue;
+    ++group_size[{cat.SignatureHash(t.proj), t.part_type}];
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    TaskInfo& ti = info[i];
+    if (t.is_primitive) {
+      if (!node_ok(t.node) ||
+          t.prim_type >= static_cast<EventTypeId>(net.num_types())) {
+        continue;
+      }
+      ti.valid = true;
+      // A primitive task forwards its own node's raw events.
+      ti.out_rate = ti.arr_total = net.Rate(t.prim_type);
+      continue;
+    }
+    if (t.rep_query < 0 || t.rep_query >= static_cast<int>(cats.size())) {
+      continue;
+    }
+    const ProjectionCatalog& cat = *cats[t.rep_query];
+    if (!cat.Valid(t.proj)) continue;
+    ti.valid = true;
+    ti.out_rate = cat.Rate(t.proj);
+    if (t.part_type != kNoPartition) {
+      const int group = group_size[{cat.SignatureHash(t.proj), t.part_type}];
+      if (group > 1) ti.out_rate /= group;
+    }
+    ti.part_arr.assign(t.parts.size(), 0.0);
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    if (t.is_primitive || !info[i].valid) continue;
+    for (const auto& [src, part] : t.inputs) {
+      if (src < 0 || src >= static_cast<int>(tasks.size())) continue;
+      if (part < 0 || part >= static_cast<int>(info[i].part_arr.size())) {
+        continue;
+      }
+      info[i].part_arr[static_cast<size_t>(part)] += info[src].out_rate;
+      info[i].arr_total += info[src].out_rate;
+    }
+  }
+
+  // ---- M900: credit-deadlock over the deployed link graph ---------------
+  // Credits are acquired all-or-nothing per packet, and only the source
+  // driver blocks (workers spill), so the one packet that can wedge the
+  // graph is a packet larger than its destination's whole credit window:
+  // it never delivers, its spill queue never drains, and every sender in
+  // its blocking cycle eventually stalls behind it. The check is therefore
+  // per-link sufficiency — and stays sound for transports that acquire
+  // credits partially, because the cycle context is reported alongside.
+  std::vector<std::set<NodeId>> adj(num_nodes);
+  std::vector<bool> injected(num_nodes, false);
+  for (const Task& t : tasks) {
+    if (!node_ok(t.node)) continue;
+    for (int succ : t.successors) {
+      if (succ < 0 || succ >= static_cast<int>(tasks.size())) continue;
+      const NodeId dst = tasks[static_cast<size_t>(succ)].node;
+      if (node_ok(dst)) adj[t.node].insert(dst);
+    }
+    if (t.is_primitive &&
+        t.prim_type < static_cast<EventTypeId>(net.num_types()) &&
+        net.Produces(t.node, t.prim_type)) {
+      injected[t.node] = true;  // source-driver injection link
+    }
+  }
+  std::vector<std::set<NodeId>> in_links(num_nodes);
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    for (NodeId dst : adj[src]) in_links[dst].insert(src);
+  }
+  const std::vector<int> comp = SccIds(num_nodes, adj);
+  std::vector<std::vector<NodeId>> comp_members(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    comp_members[static_cast<size_t>(comp[n])].push_back(n);
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    NodeCertificate& cert = report.nodes[n];
+    if (!in_links[n].empty() || injected[n]) cert.min_credit = batch;
+    const size_t window = cert.credit_window;
+    if (window == 0 || cert.min_credit == 0 || batch <= window) continue;
+    // Undeliverable link(s) into node n.
+    std::string senders;
+    for (NodeId src : in_links[n]) {
+      if (!senders.empty()) senders += ",";
+      senders += "n" + std::to_string(src);
+    }
+    if (injected[n]) {
+      if (!senders.empty()) senders += ",";
+      senders += "driver";
+    }
+    std::string msg = "a packet of up to " + std::to_string(batch) +
+                      " frames from {" + senders +
+                      "} can never acquire the node's " +
+                      std::to_string(window) +
+                      " credits: the link wedges permanently once such a "
+                      "batch forms";
+    const std::vector<NodeId>& members =
+        comp_members[static_cast<size_t>(comp[n])];
+    const bool self_loop = adj[n].count(n) != 0;
+    if (members.size() > 1 || self_loop) {
+      size_t aggregate = 0;
+      bool cycle_bounded = true;
+      std::string cycle;
+      for (NodeId m : members) {
+        if (!cycle.empty()) cycle += "->";
+        cycle += "n" + std::to_string(m);
+        const size_t w = WindowOf(transport, m);
+        if (w == 0) cycle_bounded = false;
+        aggregate += w;
+      }
+      msg += "; it wedges the blocking cycle {" + cycle + "}";
+      if (cycle_bounded) {
+        msg += " (aggregate credit " + std::to_string(aggregate) + ")";
+      }
+    }
+    report.findings.Add(
+        Rule::kRtCreditDeadlock, Severity::kError,
+        "node " + std::to_string(n) + " (inbox=" + std::to_string(window) +
+            ")",
+        msg,
+        "raise node " + std::to_string(n) + "'s credit window to at least " +
+            std::to_string(cert.min_credit) +
+            " frames or shrink batch_max_frames");
+  }
+
+  // ---- M901/M902: memory-bound certification per node -------------------
+  // Volatile state only: the durable input log grows with the stream by
+  // design (it is the recovery source of truth, modeled as durable
+  // storage), so it is excluded from certification. Symbolic bounds per
+  // component, with H = window + slack and stride S = max(1, H/2):
+  //   ordered buffers   sum_p arr_p * (H + S) / 1000   (evictions run every
+  //                     S ms of watermark advance, so live matches span at
+  //                     most H + S ms of arrivals)
+  //   NSEQ pending      pos_rate * H / 1000            (candidates release
+  //                     at MaxTime + slack <= H behind the watermark)
+  //   sink dedup        rhat_q * (window_q + 4*slack) / 1000 per sunk query
+  //   inbox             the credit window, in frames
+  //   channels          one exactly-once watermark entry per input channel
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    NodeCertificate& cert = report.nodes[n];
+    double bound = 0;
+    std::vector<std::string> unbounded;
+    std::string formula;
+    auto add_part = [&](const std::string& label, double entries) {
+      bound += entries;
+      if (!formula.empty()) formula += " + ";
+      formula += label + " " + Fmt(entries);
+    };
+
+    double buffers = 0, pending = 0, dedup = 0, channels = 0;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const Task& t = tasks[i];
+      if (t.node != n || !info[i].valid) continue;
+      channels += static_cast<double>(t.inputs.size());
+      cert.load_eps += info[i].arr_total;
+      if (t.is_primitive) continue;
+      const uint64_t window = t.target.window();
+      if (window == kNoWindow) {
+        unbounded.push_back(TaskLoc(t, reg) + " is windowless");
+        continue;
+      }
+      if (slack == 0) {
+        unbounded.push_back(TaskLoc(t, reg) +
+                            " runs with slack 0 (unbounded eviction "
+                            "horizon)");
+        continue;
+      }
+      const uint64_t horizon = SatAdd(window, slack);
+      const uint64_t stride = std::max<uint64_t>(1, horizon / 2);
+      for (double arr : info[i].part_arr) {
+        buffers += std::ceil(
+            arr * static_cast<double>(SatAdd(horizon, stride)) / 1000.0);
+      }
+      if (t.target.ContainsNegation()) {
+        const TypeSet pos = t.target.PositiveTypes();
+        const ProjectionCatalog& cat = *cats[t.rep_query];
+        const double pos_rate =
+            !pos.empty() && cat.Valid(pos) ? cat.Rate(pos) : info[i].out_rate;
+        pending +=
+            std::ceil(pos_rate * static_cast<double>(horizon) / 1000.0);
+      }
+      for (int q : t.sink_for) {
+        if (q < 0 || q >= static_cast<int>(cats.size())) continue;
+        const ProjectionCatalog& qcat = *cats[q];
+        const uint64_t qwindow = qcat.query().window();
+        if (qwindow == kNoWindow) {
+          unbounded.push_back("sink of query " + std::to_string(q) + " at " +
+                              TaskLoc(t, reg) + " is windowless");
+          continue;
+        }
+        const uint64_t dedup_h =
+            SatAdd(qwindow, slack > kSatMax / 4 ? kSatMax : 4 * slack);
+        dedup += std::ceil(qcat.Rate(qcat.query().PrimitiveTypes()) *
+                           static_cast<double>(dedup_h) / 1000.0);
+      }
+    }
+    if (buffers > 0) add_part("buffers", buffers);
+    if (pending > 0) add_part("pending", pending);
+    if (dedup > 0) add_part("dedup", dedup);
+    if (cert.credit_window == 0) {
+      if (cert.min_credit > 0 || channels > 0) {
+        unbounded.push_back("node " + std::to_string(n) +
+                            "'s inbox is unbounded (capacity 0)");
+      }
+    } else if (cert.min_credit > 0 || channels > 0) {
+      add_part("inbox", static_cast<double>(cert.credit_window));
+    }
+    if (channels > 0) add_part("channels", channels);
+
+    cert.state_bounded = unbounded.empty();
+    cert.state_bound = bound;
+    cert.bound_formula = formula;
+    if (!cert.state_bounded) {
+      std::string why;
+      for (const std::string& u : unbounded) {
+        if (!why.empty()) why += "; ";
+        why += u;
+      }
+      cert.bound_formula = "unbounded: " + why;
+      report.findings.Add(
+          Rule::kStateUnbounded, Severity::kWarning,
+          "node " + std::to_string(n),
+          "no finite bound on volatile state: " + why,
+          "set a finite eviction slack and windows on every deployed "
+          "projection (slack 0 is only safe for bounded differential runs)");
+      if (options.state_budget > 0) {
+        report.findings.Add(
+            Rule::kStateBudgetExceeded, Severity::kError,
+            "node " + std::to_string(n),
+            "the state budget of " + std::to_string(options.state_budget) +
+                " entries cannot be certified: the bound is unbounded",
+            "bound the state first (see the state-unbounded warning)");
+      }
+    } else if (options.state_budget > 0 &&
+               bound > static_cast<double>(options.state_budget)) {
+      report.findings.Add(
+          Rule::kStateBudgetExceeded, Severity::kError,
+          "node " + std::to_string(n),
+          "proven state bound " + Fmt(bound) + " entries (" + formula +
+              ") exceeds the budget of " +
+              std::to_string(options.state_budget),
+          "shrink windows/slack, repartition load off this node, or raise "
+          "the budget");
+    }
+  }
+
+  // ---- M903: watermark liveness -----------------------------------------
+  // The evaluator's watermark advances only on arrivals; eviction runs
+  // every stride S of watermark advance. Starved tasks never evict at all
+  // (error); a task whose expected inter-arrival gap exceeds its stride
+  // holds state well past the horizon (warning), as does a task with a
+  // modeled-quiet part whose partners keep buffering against it.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    if (t.is_primitive || !info[i].valid) continue;
+    const bool consumed = !t.successors.empty() || !t.sink_for.empty();
+    if (!consumed) continue;
+    if (info[i].arr_total <= 0) {
+      report.findings.Add(
+          Rule::kWatermarkStall, Severity::kError, TaskLoc(t, reg),
+          "no modeled input ever arrives: the task's watermark never "
+          "advances, so nothing it buffers is ever evicted and its outputs "
+          "never exist",
+          "check the producing rates and the partition assignment feeding "
+          "this placement");
+      continue;
+    }
+    for (size_t p = 0; p < info[i].part_arr.size(); ++p) {
+      if (info[i].part_arr[p] > 0) continue;
+      const std::string part_types =
+          p < t.part_types.size() ? TypesName(t.part_types[p], reg)
+                                  : "#" + std::to_string(p);
+      report.findings.Add(
+          Rule::kWatermarkStall, Severity::kWarning, TaskLoc(t, reg),
+          "input part " + part_types +
+              " receives no modeled arrivals: partner parts buffer matches "
+              "against a join that can never complete",
+          "wire a live producer into the part or drop the placement");
+    }
+    const uint64_t window = t.target.window();
+    if (slack == 0 || window == kNoWindow) continue;  // M901 already covers
+    const uint64_t horizon = SatAdd(window, slack);
+    const uint64_t stride = std::max<uint64_t>(1, horizon / 2);
+    const double gap_ms = 1000.0 / info[i].arr_total;
+    if (gap_ms > static_cast<double>(stride)) {
+      report.findings.Add(
+          Rule::kWatermarkStall, Severity::kWarning, TaskLoc(t, reg),
+          "expected inter-arrival gap " + Fmt(gap_ms) +
+              "ms exceeds the eviction stride " + std::to_string(stride) +
+              "ms: a quiet spell stalls the watermark and state is "
+              "reclaimed late",
+          "widen the eviction slack or route a denser input through the "
+          "task");
+    }
+  }
+
+  // ---- M904: capacity feasibility ---------------------------------------
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    NodeCertificate& cert = report.nodes[n];
+    if (cert.capacity_eps <= 0) continue;  // undeclared
+    if (cert.load_eps > cert.capacity_eps) {
+      report.findings.Add(
+          Rule::kCapacityInfeasible, Severity::kError,
+          "node " + std::to_string(n),
+          "modeled processing load " + Fmt(cert.load_eps) +
+              " inputs/s exceeds the declared capacity of " +
+              Fmt(cert.capacity_eps) + " events/s",
+          "move placements off the node or declare a higher capacity");
+    }
+  }
+
+  return report;
+}
+
+std::string ProveReport::ToString() const {
+  return findings.ToString() + CertificateTable();
+}
+
+std::string ProveReport::CertificateTable() const {
+  std::string out = "node  load/s      capacity    inbox  min  state bound\n";
+  for (const NodeCertificate& c : nodes) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "n%-4u %-11.6g %-11.6g %-6zu %-4zu ",
+                  static_cast<unsigned>(c.node), c.load_eps, c.capacity_eps,
+                  c.credit_window, c.min_credit);
+    out += line;
+    if (c.state_bounded) {
+      out += Fmt(c.state_bound);
+      if (!c.bound_formula.empty()) out += " = " + c.bound_formula;
+    } else {
+      out += c.bound_formula;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void ExportProveBounds(const ProveReport& report,
+                       obs::MetricsRegistry* registry) {
+  for (const NodeCertificate& c : report.nodes) {
+    const obs::LabelSet labels{{"node", std::to_string(c.node)}};
+    registry->GetGauge("prove_state_bounded", labels)
+        ->Set(c.state_bounded ? 1.0 : 0.0);
+    if (c.state_bounded) {
+      registry->GetGauge("prove_state_bound", labels)->Set(c.state_bound);
+    }
+    registry->GetGauge("prove_min_credit", labels)
+        ->Set(static_cast<double>(c.min_credit));
+    registry->GetGauge("prove_load_eps", labels)->Set(c.load_eps);
+  }
+}
+
+}  // namespace muse

@@ -1,0 +1,120 @@
+#ifndef MUSE_ANALYSIS_PROVE_H_
+#define MUSE_ANALYSIS_PROVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/core/projection.h"
+#include "src/dist/deployment.h"
+#include "src/obs/metrics.h"
+#include "src/rt/runtime.h"
+
+namespace muse {
+
+/// muse-prove: whole-deployment static safety analysis (rules M90x).
+///
+/// The local verifier rules (verify.h, M1xx-M8xx) check each plan vertex,
+/// task, or config scalar in isolation. The prove pass interprets the
+/// *deployed graph as a whole* against a concrete runtime configuration
+/// and certifies the global safety properties a run depends on:
+///
+///   M900 credit-deadlock    every deployed link's largest packet fits the
+///                           destination's credit window; a link that
+///                           cannot drain wedges its whole blocking cycle
+///   M901 state-unbounded    each node's volatile state (ordered buffers,
+///                           NSEQ pending sets, sink dedup sets, inbox)
+///                           has a finite symbolic bound
+///   M902 state-budget       the proven bound also fits a caller budget
+///   M903 watermark-stall    eviction progress cannot stall behind a quiet
+///                           or starved input
+///   M904 capacity           per-node load under the cost model's r-hat
+///                           fits the node's declared capacity
+///
+/// The analysis is abstract interpretation over rates and windows: event
+/// streams are abstracted to their modeled rates (Network / catalog r-hat),
+/// time to the eviction horizon H = window + slack and stride S = max(1,
+/// H/2), and queues to their credit windows. All bounds are *suprema* of
+/// the runtime's actual behavior — `rt_node_peak_buffered` from a real run
+/// never exceeds the exported `prove_state_bound` of its node.
+struct ProveOptions {
+  /// Runtime configuration under which the deployment would run. The
+  /// transport fields drive M900 (credit windows, batch sizes) and the
+  /// eval fields drive M901-M903 (eviction slack).
+  rt::RtOptions rt;
+
+  /// Volatile-state budget per node in buffered entries (matches + pending
+  /// candidates + dedup entries + inbox frames). 0 disables M902; M901
+  /// still rejects nodes with no finite bound at all.
+  uint64_t state_budget = 0;
+
+  /// Optional registry for readable type names in locations.
+  const TypeRegistry* registry = nullptr;
+};
+
+/// Per-node result of the memory/capacity analysis: what was proven, not
+/// just whether it passed.
+struct NodeCertificate {
+  NodeId node = 0;
+
+  /// Expected processing load in inputs/s (sum of the arrival rates of
+  /// every task hosted on the node, under the cost model's rates).
+  double load_eps = 0;
+  /// Declared capacity (Network::Capacity); 0 = undeclared.
+  double capacity_eps = 0;
+
+  /// Effective inbox credit window in frames (0 = unbounded).
+  size_t credit_window = 0;
+  /// Minimum credit window that admits every incoming link's largest
+  /// packet (the M900 hint); 0 when no link targets this node.
+  size_t min_credit = 0;
+
+  /// Proven supremum of volatile state in buffered entries, valid only
+  /// when `state_bounded`.
+  double state_bound = 0;
+  bool state_bounded = false;
+
+  /// Human-readable derivation of `state_bound`, e.g.
+  /// "buffers 840 + pending 120 + dedup 96 + inbox 64 + channels 3".
+  std::string bound_formula;
+};
+
+/// The proof outcome: M90x findings through the standard diagnostics
+/// engine plus the per-node certificates behind them.
+struct ProveReport {
+  VerifyReport findings;
+  std::vector<NodeCertificate> nodes;
+
+  /// True when no M90x *error* was found (warnings allowed) — the
+  /// deployment is certified safe to run under the given config.
+  bool certified() const { return findings.ok(); }
+
+  /// The per-node certificate table alone (one line per node).
+  std::string CertificateTable() const;
+
+  /// Findings followed by the certificate table.
+  std::string ToString() const;
+};
+
+/// Runs the full prove pass over a compiled deployment. Total on malformed
+/// input (out-of-range query indices, invalid projections): tasks the plan
+/// rules would reject are skipped, never dereferenced.
+ProveReport ProveDeployment(
+    const Deployment& deployment,
+    const std::vector<const ProjectionCatalog*>& catalogs, const Network& net,
+    const ProveOptions& options = {});
+
+/// Exports the proven bounds as static-expectation gauges so dashboards
+/// and tests can compare runtime peaks against them:
+///   prove_state_bound{node}    proven volatile-state supremum (entries;
+///                              only exported for bounded nodes)
+///   prove_state_bounded{node}  1 when a finite bound exists, else 0
+///   prove_min_credit{node}     minimum viable credit window (frames)
+///   prove_load_eps{node}       expected processing load (inputs/s)
+void ExportProveBounds(const ProveReport& report,
+                       obs::MetricsRegistry* registry);
+
+}  // namespace muse
+
+#endif  // MUSE_ANALYSIS_PROVE_H_

@@ -1,0 +1,116 @@
+#include "src/analysis/sarif.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace muse {
+namespace {
+
+/// JSON string escaping per RFC 8259 (control chars, quote, backslash).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+const char* LevelOf(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+}  // namespace
+
+std::string SarifReport(const VerifyReport& report,
+                        const std::string& artifact_uri) {
+  const std::string uri = Escape(artifact_uri);
+
+  // Rule metadata, one entry per distinct rule that fired, in first-seen
+  // order (SARIF requires result.ruleIndex to match this array).
+  std::vector<Rule> rules;
+  std::set<std::string> seen;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (seen.insert(RuleCode(d.rule)).second) rules.push_back(d.rule);
+  }
+  auto rule_index = [&](Rule r) {
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i] == r) return i;
+    }
+    return static_cast<size_t>(0);
+  };
+
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [{\n";
+  out += "    \"tool\": {\"driver\": {\n";
+  out += "      \"name\": \"muse_lint\",\n";
+  out += "      \"informationUri\": "
+         "\"https://github.com/muse-graphs/muse\",\n";
+  out += "      \"rules\": [";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n        {\"id\": \"";
+    out += RuleCode(rules[i]);
+    out += "\", \"name\": \"";
+    out += Escape(RuleName(rules[i]));
+    out += "\", \"shortDescription\": {\"text\": \"";
+    out += Escape(RuleName(rules[i]));
+    out += "\"}}";
+  }
+  if (!rules.empty()) out += "\n      ";
+  out += "]\n";
+  out += "    }},\n";
+  out += "    \"results\": [";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!first) out += ",";
+    first = false;
+    std::string text = d.message;
+    if (!d.hint.empty()) text += " (hint: " + d.hint + ")";
+    out += "\n      {\n";
+    out += "        \"ruleId\": \"";
+    out += RuleCode(d.rule);
+    out += "\",\n";
+    out += "        \"ruleIndex\": " + std::to_string(rule_index(d.rule)) +
+           ",\n";
+    out += "        \"level\": \"";
+    out += LevelOf(d.severity);
+    out += "\",\n";
+    out += "        \"message\": {\"text\": \"" + Escape(text) + "\"},\n";
+    out += "        \"locations\": [{\n";
+    out += "          \"physicalLocation\": {\n";
+    out += "            \"artifactLocation\": {\"uri\": \"" + uri + "\"},\n";
+    out += "            \"region\": {\"startLine\": 1, \"startColumn\": 1}\n";
+    out += "          },\n";
+    out += "          \"logicalLocations\": [{\"fullyQualifiedName\": \"" +
+           Escape(d.location) + "\"}]\n";
+    out += "        }]\n";
+    out += "      }";
+  }
+  if (!first) out += "\n    ";
+  out += "]\n";
+  out += "  }]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace muse

@@ -1,0 +1,26 @@
+#ifndef MUSE_ANALYSIS_SARIF_H_
+#define MUSE_ANALYSIS_SARIF_H_
+
+#include <string>
+
+#include "src/analysis/diagnostics.h"
+
+namespace muse {
+
+/// Renders a verification report as a SARIF 2.1.0 log (the Static Analysis
+/// Results Interchange Format GitHub code scanning ingests), so muse_lint
+/// findings annotate pull requests like any other analyzer's.
+///
+/// `artifact_uri` names the analyzed artifact (the spec or plan file,
+/// repo-relative); every result anchors there, with the diagnostic's
+/// structured location ("task 7@n2") carried as a logical location —
+/// findings are about graph elements, not source lines. Returns a complete
+/// JSON document (one run, one result per diagnostic, rule metadata for
+/// every rule that fired); an empty report yields a valid log with zero
+/// results, which code scanning treats as "all clear".
+std::string SarifReport(const VerifyReport& report,
+                        const std::string& artifact_uri);
+
+}  // namespace muse
+
+#endif  // MUSE_ANALYSIS_SARIF_H_

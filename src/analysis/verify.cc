@@ -786,6 +786,26 @@ VerifyReport VerifyRtConfig(const rt::RtOptions& options) {
                "keep batch_max_frames in [1, inbox_capacity]");
   }
 
+  // M801 again for per-node overrides: a node-specific window below the
+  // batch size wedges every link into that node. (ProveDeployment's M900
+  // re-derives this per deployed link with routing context; this check
+  // needs no deployment.)
+  for (size_t n = 0; n < t.node_inbox_capacity.size(); ++n) {
+    const size_t window = t.node_inbox_capacity[n];
+    if (window == 0 || t.batch_max_frames <= 0) continue;  // inherits global
+    if (static_cast<size_t>(t.batch_max_frames) <= window) continue;
+    report.Add(Rule::kRtBatchExceedsInbox, Severity::kError,
+               "rt.transport.node_inbox_capacity[" + std::to_string(n) +
+                   "]=" + std::to_string(window),
+               "a packet of up to " + std::to_string(t.batch_max_frames) +
+                   " frames can never acquire node " + std::to_string(n) +
+                   "'s " + std::to_string(window) +
+                   " inbox credits: every link into the node stalls forever "
+                   "once such a batch fills",
+               "raise the override to at least batch_max_frames or shrink "
+               "batch_max_frames");
+  }
+
   // M802: the runtime maps slack 0 to an effectively unbounded eviction
   // horizon (the differential-determinism default); long-running
   // deployments then never reclaim stale partial matches.

@@ -13,7 +13,8 @@ Network::Network(int num_nodes, int num_types)
       num_types_(num_types),
       produces_(num_nodes),
       producers_(num_types),
-      rates_(num_types, 1.0) {
+      rates_(num_types, 1.0),
+      capacities_(num_nodes, 0.0) {
   MUSE_CHECK(num_nodes > 0, "network needs at least one node");
   MUSE_CHECK(num_types > 0 && num_types <= 64, "1..64 event types");
 }
@@ -33,6 +34,17 @@ void Network::SetRate(EventTypeId type, double rate) {
              "type out of range");
   MUSE_CHECK(rate >= 0, "negative rate");
   rates_[type] = rate;
+}
+
+void Network::SetCapacity(NodeId node, double events_per_sec) {
+  MUSE_CHECK(node < static_cast<NodeId>(num_nodes_), "node out of range");
+  MUSE_CHECK(events_per_sec >= 0, "negative capacity");
+  capacities_[node] = events_per_sec;
+}
+
+bool Network::HasCapacities() const {
+  return std::any_of(capacities_.begin(), capacities_.end(),
+                     [](double c) { return c > 0; });
 }
 
 double Network::GlobalRate(TypeSet types) const {

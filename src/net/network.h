@@ -26,6 +26,11 @@ class Network {
   // -- Construction ----------------------------------------------------------
   void AddProducer(NodeId node, EventTypeId type);
   void SetRate(EventTypeId type, double rate);
+  /// Declares the processing capacity of `node` in events per second
+  /// (inputs a node's tasks can evaluate per time unit). 0 — the default —
+  /// means undeclared/unlimited; the static capacity-feasibility rule
+  /// (M904) only fires against declared capacities.
+  void SetCapacity(NodeId node, double events_per_sec);
 
   // -- f: node -> types ------------------------------------------------------
   TypeSet produces(NodeId node) const { return produces_[node]; }
@@ -52,6 +57,12 @@ class Network {
   /// centralized baseline's network cost (§3).
   double GlobalRate(TypeSet types) const;
 
+  // -- capacity: node -> events/s --------------------------------------------
+  /// Declared processing capacity of `node`; 0 means undeclared/unlimited.
+  double Capacity(NodeId node) const { return capacities_[node]; }
+  /// True if any node declares a finite capacity.
+  bool HasCapacities() const;
+
   /// Average fraction of event types produced per node (the paper's
   /// *event node ratio*, §7.1).
   double EventNodeRatio() const;
@@ -69,6 +80,7 @@ class Network {
   std::vector<TypeSet> produces_;               // per node
   std::vector<std::vector<NodeId>> producers_;  // per type
   std::vector<double> rates_;                   // per type
+  std::vector<double> capacities_;              // per node (0 = unlimited)
 };
 
 }  // namespace muse

@@ -188,23 +188,26 @@ class RtRun {
     driver.join();
     WaitQuiesce();
 
-    // Final flush, two-phase to mirror the simulator exactly: every node
-    // stashes its pending NSEQ candidates *before* any of them is routed,
-    // so late flush outputs delivered to an already-flushed evaluator
-    // never gain a second flush.
-    for (NodeId n = 0; n < nodes_.size(); ++n) {
-      transport_->PushControl(n, ControlKind::kFlushCollect);
+    if (!transport_->wedged()) {
+      // Final flush, two-phase to mirror the simulator exactly: every node
+      // stashes its pending NSEQ candidates *before* any of them is routed,
+      // so late flush outputs delivered to an already-flushed evaluator
+      // never gain a second flush.
+      for (NodeId n = 0; n < nodes_.size(); ++n) {
+        transport_->PushControl(n, ControlKind::kFlushCollect);
+      }
+      WaitAcks(&flush_acks_);
+      for (NodeId n = 0; n < nodes_.size(); ++n) {
+        transport_->PushControl(n, ControlKind::kFlushEmit);
+      }
+      WaitAcks(&emit_acks_);
+      WaitQuiesce();
     }
-    WaitAcks(&flush_acks_);
-    for (NodeId n = 0; n < nodes_.size(); ++n) {
-      transport_->PushControl(n, ControlKind::kFlushEmit);
-    }
-    WaitAcks(&emit_acks_);
-    WaitQuiesce();
     for (NodeId n = 0; n < nodes_.size(); ++n) {
       transport_->PushControl(n, ControlKind::kStop);
     }
     for (std::thread& t : workers) t.join();
+    report_.wedged = transport_->wedged();
 
     FinishTelemetry();
     report_.wall_seconds =
@@ -225,8 +228,25 @@ class RtRun {
   };
 
   void WaitQuiesce() const {
+    // The wedge watchdog: in-flight work that makes no progress for the
+    // whole timeout means some packet can never acquire credits (worker
+    // spill queues retry continuously, so a stuck counter is a stuck
+    // packet, not a slow one).
+    const uint64_t timeout_us = options_.transport.wedge_timeout_ms * 1000;
+    int64_t last = transport_->InFlight();
+    uint64_t stagnant_us = 0;
     while (transport_->InFlight() > 0) {
+      if (transport_->wedged()) return;
       std::this_thread::sleep_for(std::chrono::microseconds(100));
+      if (timeout_us == 0) continue;
+      const int64_t now = transport_->InFlight();
+      if (now != last) {
+        last = now;
+        stagnant_us = 0;
+      } else if ((stagnant_us += 100) >= timeout_us) {
+        transport_->MarkWedged();
+        return;
+      }
     }
   }
 
@@ -412,6 +432,7 @@ class RtRun {
     double next_arrival_s = 0;
     std::string frame;
     for (const Event& e : trace) {
+      if (transport_->wedged()) break;  // watchdog fired: stop injecting
       inject_failures_until(e.time);
       if (e.origin >= nodes_.size() ||
           dep_.PrimitiveTasksFor(e.origin, e.type).empty()) {
@@ -444,6 +465,10 @@ class RtRun {
       const obs::LabelSet node_labels{{"node", node_str}};
       reg.GetCounter("rt_node_dup_dropped_total", node_labels)
           ->Add(nodes_[n].DuplicatesDropped());
+      // Observed volatile-state peak, directly comparable against the
+      // prove_state_bound gauge the static analyzer exports for this node.
+      reg.GetGauge("rt_node_peak_buffered", node_labels)
+          ->Set(static_cast<double>(nodes_[n].PeakBufferedMatches()));
       const ExactlyOnceFilter& filter = nodes_[n].filter();
       reg.GetGauge("rt_filter_pending_peak", node_labels)
           ->Set(static_cast<double>(filter.PeakPendingAboveWatermark()));
@@ -539,6 +564,7 @@ class RtRun {
 
 std::string RtReport::Summary() const {
   std::string s;
+  if (wedged) s += "RUN WEDGED (credit deadlock watchdog fired)\n";
   s += "events: " + std::to_string(source_events) + " (injected " +
        std::to_string(injected_events) + "), inputs processed: " +
        std::to_string(inputs_processed) + "\n";

@@ -69,6 +69,12 @@ struct RtReport {
   uint64_t duplicates_dropped = 0;
   uint64_t crashes = 0;
 
+  /// True when the wedge watchdog (RtTransportOptions::wedge_timeout_ms)
+  /// aborted the run: a packet could not be delivered within the timeout,
+  /// i.e. the config deadlocked exactly as a prove-time M900 predicts.
+  /// Matches and counters below reflect a truncated run.
+  bool wedged = false;
+
   /// Injected events per wall-clock second of the whole run (injection
   /// through final flush) — the sustained pipeline rate.
   double events_per_sec = 0;

@@ -19,7 +19,12 @@ Transport::Transport(size_t num_nodes, int num_shards,
   }
   for (size_t n = 0; n < num_nodes; ++n) {
     Inbox& inbox = inboxes_[n];
-    inbox.credits = options_.inbox_capacity;
+    inbox.capacity = options_.inbox_capacity;
+    if (n < options_.node_inbox_capacity.size() &&
+        options_.node_inbox_capacity[n] != 0) {
+      inbox.capacity = options_.node_inbox_capacity[n];
+    }
+    inbox.credits = inbox.capacity;
     const obs::LabelSet labels{{"node", std::to_string(n)}};
     inbox.depth = registry->GetGauge("rt_inbox_depth", labels);
     inbox.stalls =
@@ -52,7 +57,7 @@ bool Transport::TryDeliver(Packet&& packet) {
       inbox.stalls->Add(1);
       return false;
     }
-    if (options_.inbox_capacity != 0) inbox.credits -= packet.frames;
+    if (inbox.capacity != 0) inbox.credits -= packet.frames;
     inbox.depth_frames += packet.frames;
     inbox.depth->Set(static_cast<double>(inbox.depth_frames));
     inbox.packets.push_back(std::move(packet));
@@ -70,10 +75,31 @@ void Transport::DeliverBlocking(Packet packet) {
     if (!HasCredits(inbox, packet.frames)) {
       inbox.stalls->Add(1);
       const uint64_t stall_start = NowUs();
-      shard.cv.wait(lock, [&] { return HasCredits(inbox, packet.frames); });
+      auto ready = [&] { return HasCredits(inbox, packet.frames) || wedged(); };
+      if (options_.wedge_timeout_ms == 0) {
+        shard.cv.wait(lock, ready);
+      } else if (!shard.cv.wait_for(
+                     lock, std::chrono::milliseconds(options_.wedge_timeout_ms),
+                     ready)) {
+        // Credits never came: the packet is undeliverable (e.g. its frame
+        // count exceeds the destination's whole credit window — exactly
+        // what the M900 prove rule rejects statically). Declare the wedge,
+        // drop the packet, and settle its in-flight accounting so the
+        // runtime can unwind.
+        source_stall_us_->Add(NowUs() - stall_start);
+        lock.unlock();
+        MarkWedged();
+        NoteFramesDone(packet.frames);
+        return;
+      }
       source_stall_us_->Add(NowUs() - stall_start);
+      if (wedged() && !HasCredits(inbox, packet.frames)) {
+        lock.unlock();
+        NoteFramesDone(packet.frames);
+        return;
+      }
     }
-    if (options_.inbox_capacity != 0) inbox.credits -= packet.frames;
+    if (inbox.capacity != 0) inbox.credits -= packet.frames;
     inbox.depth_frames += packet.frames;
     inbox.depth->Set(static_cast<double>(inbox.depth_frames));
     inbox.packets.push_back(std::move(packet));
@@ -139,7 +165,7 @@ void Transport::Release(NodeId node, uint32_t frames) {
   Shard& shard = *shards_[static_cast<size_t>(shard_of(node))];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (options_.inbox_capacity != 0) inbox.credits += frames;
+    if (inbox.capacity != 0) inbox.credits += frames;
     inbox.depth_frames -= std::min<size_t>(inbox.depth_frames, frames);
     inbox.depth->Set(static_cast<double>(inbox.depth_frames));
   }
@@ -150,6 +176,19 @@ uint64_t Transport::Stalls() const {
   uint64_t total = 0;
   for (const Inbox& inbox : inboxes_) total += inbox.stalls->Value();
   return total;
+}
+
+size_t Transport::CapacityOf(NodeId node) const {
+  MUSE_CHECK(node < inboxes_.size(), "transport: bad node");
+  return inboxes_[node].capacity;
+}
+
+void Transport::MarkWedged() {
+  wedged_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+  }
+  for (auto& shard : shards_) shard->cv.notify_all();
 }
 
 }  // namespace muse::rt

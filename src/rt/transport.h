@@ -29,6 +29,15 @@ struct RtTransportOptions {
   /// exhausting memory.
   size_t inbox_capacity = 1024;
 
+  /// Per-node overrides of `inbox_capacity` for heterogeneous deployments
+  /// (e.g. a constrained edge node next to beefy aggregators). Entry n, if
+  /// present and nonzero, replaces `inbox_capacity` for node n; missing or
+  /// zero entries inherit the global value. The static analyzer's M900 rule
+  /// checks every deployed link's max batch against the *destination's*
+  /// effective window, since a single undersized node wedges the whole
+  /// graph.
+  std::vector<size_t> node_inbox_capacity;
+
   /// Max frames coalesced into one packet per link before it is flushed.
   /// Batching amortizes per-packet queue and wake-up costs; latency is
   /// bounded because workers flush all open batches after every processed
@@ -40,6 +49,14 @@ struct RtTransportOptions {
   /// microseconds (the rt analogue of SimOptions::network_delay_ms).
   /// Same-node loopback packets are delivered immediately.
   uint64_t delivery_delay_us = 0;
+
+  /// Wedge watchdog: if a blocking send waits longer than this for credits
+  /// (or quiescence sees no in-flight progress for this long), the
+  /// transport declares itself wedged and the run aborts instead of
+  /// hanging. 0 — the default — waits forever, which is correct for every
+  /// config muse_lint --prove certifies; tests use a small timeout to turn
+  /// a would-be deadlock into a checkable RtReport::wedged.
+  uint64_t wedge_timeout_ms = 0;
 };
 
 /// Out-of-band signals delivered through the inbox alongside packets.
@@ -137,6 +154,16 @@ class Transport {
   /// Total backpressure stalls (failed credit acquisitions) so far.
   uint64_t Stalls() const;
 
+  /// Effective credit window of `node`'s inbox in frames (0 = unbounded):
+  /// the per-node override when set, else the global `inbox_capacity`.
+  size_t CapacityOf(NodeId node) const;
+
+  /// Declares the transport permanently stuck (an undeliverable packet was
+  /// detected by the wedge watchdog). Wakes every blocked sender so the run
+  /// can unwind instead of hanging.
+  void MarkWedged();
+  bool wedged() const { return wedged_.load(std::memory_order_acquire); }
+
  private:
   /// Push/pop synchronization of one shard's inboxes.
   struct Shard {
@@ -147,14 +174,15 @@ class Transport {
   struct Inbox {
     std::deque<Packet> packets;
     std::deque<ControlKind> controls;
+    size_t capacity = 0;       ///< effective credit window (0 = unbounded)
     size_t credits = 0;        ///< remaining frame credits (if bounded)
     size_t depth_frames = 0;   ///< undelivered + unreleased frames
     obs::Gauge* depth = nullptr;
     obs::Counter* stalls = nullptr;
   };
 
-  bool HasCredits(const Inbox& inbox, uint32_t frames) const {
-    return options_.inbox_capacity == 0 || inbox.credits >= frames;
+  static bool HasCredits(const Inbox& inbox, uint32_t frames) {
+    return inbox.capacity == 0 || inbox.credits >= frames;
   }
 
   RtTransportOptions options_;
@@ -162,6 +190,7 @@ class Transport {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<int64_t> in_flight_{0};
+  std::atomic<bool> wedged_{false};
   obs::Counter* source_stall_us_ = nullptr;
 };
 

@@ -30,6 +30,7 @@ Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
   // Collected before the network can be built (types may appear in any
   // order relative to `nodes`).
   std::map<EventTypeId, double> rates;
+  std::vector<std::pair<NodeId, double>> capacities;
   std::vector<std::pair<NodeId, std::vector<std::string>>> produces;
   std::map<std::pair<EventTypeId, EventTypeId>, double> selectivities;
   std::vector<std::string> query_lines;
@@ -72,6 +73,13 @@ Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
       produces.emplace_back(static_cast<NodeId>(*node),
                             std::vector<std::string>(tokens.begin() + 2,
                                                      tokens.end()));
+    } else if (directive == "capacity") {
+      if (tokens.size() != 3) return fail("usage: capacity <node> <events/s>");
+      std::optional<int64_t> node = ParseInt64(tokens[1]);
+      if (!node || *node < 0) return fail("node id must be non-negative");
+      std::optional<double> cap = ParseDouble(tokens[2]);
+      if (!cap || *cap < 0) return fail("capacity must be non-negative");
+      capacities.emplace_back(static_cast<NodeId>(*node), *cap);
     } else if (directive == "selectivity") {
       if (tokens.size() != 4) {
         return fail("usage: selectivity <type> <type> <value>");
@@ -98,6 +106,12 @@ Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
 
   spec.network = Network(num_nodes, spec.registry.size());
   for (const auto& [t, rate] : rates) spec.network.SetRate(t, rate);
+  for (const auto& [node, cap] : capacities) {
+    if (node >= static_cast<NodeId>(num_nodes)) {
+      return Err("spec: capacity node ", node, " out of range");
+    }
+    spec.network.SetCapacity(node, cap);
+  }
   for (const auto& [node, type_names] : produces) {
     if (node >= static_cast<NodeId>(num_nodes)) {
       return Err("spec: produce node ", node, " out of range");

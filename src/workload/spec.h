@@ -32,6 +32,7 @@ struct DeploymentSpec {
 ///   produce 0 C F        # node 0 emits types C and F
 ///   produce 1 C L
 ///   produce 2 L F
+///   capacity 1 5000      # node 1 can evaluate 5000 inputs/s (optional)
 ///   selectivity C L 0.05 # modeled selectivity for predicates on (C, L)
 ///   query SEQ(AND(C c, L l), F f) WHERE c.a0 == l.a0 WITHIN 1s
 ///

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/analysis/prove.h"
 #include "src/analysis/verify.h"
 #include "src/core/multi_query.h"
 #include "src/workload/spec.h"
@@ -397,6 +398,116 @@ TEST_F(TaskMutationTest, DanglingReferencesAreTaskRefInvalid) {
   VerifyReport report = Verify();
   EXPECT_TRUE(report.HasRule(Rule::kTaskRefInvalid)) << report.ToString();
   EXPECT_FALSE(report.ok());
+}
+
+// --- Runtime-safety corruptions (ProveDeployment, M90x). -----------------
+//
+// Same discipline as above, but the corruption lives in the runtime config
+// (or the network's declared rates/capacities) rather than the plan: start
+// from a config the analyzer certifies, break exactly one safety property,
+// and assert that exactly the matching M90x rule fires and no other.
+
+class ProveMutationTest : public MutationTest {
+ protected:
+  ProveMutationTest() : deployment_(graph_, catalogs_->Pointers()) {}
+
+  /// A production-shaped baseline: finite credit windows comfortably above
+  /// the batch size, finite eviction slack, no declared capacities.
+  ProveOptions Baseline() const {
+    ProveOptions options;
+    options.rt.transport.inbox_capacity = 64;
+    options.rt.transport.batch_max_frames = 8;
+    options.rt.eval.eviction_slack_ms = 2000;
+    options.registry = &spec_.registry;
+    return options;
+  }
+
+  ProveReport Prove(const ProveOptions& options) {
+    return ProveDeployment(deployment_, catalogs_->Pointers(), spec_.network,
+                           options);
+  }
+
+  /// Asserts `rule` fired and that the other four M90x rules did not, so a
+  /// mutation cannot pass by tripping a neighbouring check.
+  static void ExpectExactlyRule(const ProveReport& proof, Rule rule) {
+    static constexpr Rule kFamily[] = {
+        Rule::kRtCreditDeadlock, Rule::kStateUnbounded,
+        Rule::kStateBudgetExceeded, Rule::kWatermarkStall,
+        Rule::kCapacityInfeasible};
+    for (Rule member : kFamily) {
+      if (member == rule) {
+        EXPECT_TRUE(proof.findings.HasRule(member))
+            << RuleCode(member) << " expected:\n" << proof.ToString();
+      } else {
+        EXPECT_FALSE(proof.findings.HasRule(member))
+            << RuleCode(member) << " unexpected:\n" << proof.ToString();
+      }
+    }
+  }
+
+  Deployment deployment_;
+};
+
+TEST_F(ProveMutationTest, BaselineConfigCertifies) {
+  ProveReport proof = Prove(Baseline());
+  EXPECT_TRUE(proof.certified()) << proof.ToString();
+  EXPECT_TRUE(proof.findings.clean()) << proof.ToString();
+}
+
+// Corruption class 20: one node's credit window shrunk below the batch
+// size — a sender's all-or-nothing acquisition can never succeed (M900).
+TEST_F(ProveMutationTest, UndersizedNodeInboxIsCreditDeadlock) {
+  ProveOptions options = Baseline();
+  // Node 2 hosts {A,B} and receives remote A events; window 4 < batch 8.
+  options.rt.transport.node_inbox_capacity = {0, 0, 4, 0};
+  ProveReport proof = Prove(options);
+  EXPECT_FALSE(proof.certified());
+  ExpectExactlyRule(proof, Rule::kRtCreditDeadlock);
+  EXPECT_EQ(proof.nodes[2].credit_window, 4u);
+  EXPECT_EQ(proof.nodes[2].min_credit, 8u);
+}
+
+// Corruption class 21: eviction slack dropped to "never evict" — pending
+// NSEQ state and sink dedup horizons lose their finite bound (M901).
+TEST_F(ProveMutationTest, UnboundedSlackIsStateUnbounded) {
+  ProveOptions options = Baseline();
+  options.rt.eval.eviction_slack_ms = 0;
+  ProveReport proof = Prove(options);
+  EXPECT_TRUE(proof.certified()) << proof.ToString();  // warning only
+  ExpectExactlyRule(proof, Rule::kStateUnbounded);
+}
+
+// Corruption class 22: a declared per-node state budget smaller than the
+// certified bound (M902; M901 must stay silent — bounds are finite).
+TEST_F(ProveMutationTest, TinyStateBudgetIsBudgetExceeded) {
+  ProveOptions options = Baseline();
+  options.state_budget = 1;
+  ProveReport proof = Prove(options);
+  EXPECT_FALSE(proof.certified());
+  ExpectExactlyRule(proof, Rule::kStateBudgetExceeded);
+}
+
+// Corruption class 23: a primitive input that never arrives — composite
+// watermarks upstream of it stall forever (M903).
+TEST_F(ProveMutationTest, StarvedInputTypeIsWatermarkStall) {
+  spec_.network.SetRate(kC, 0.0);  // catalogs were built against 2.0
+  ProveReport proof = Prove(Baseline());
+  ExpectExactlyRule(proof, Rule::kWatermarkStall);
+}
+
+// Corruption class 24: a node whose declared evaluation capacity is below
+// the load the deployment routes to it (M904).
+TEST_F(ProveMutationTest, OverloadedNodeIsCapacityInfeasible) {
+  ProveReport base = Prove(Baseline());
+  NodeId loaded = 0;
+  for (const NodeCertificate& c : base.nodes) {
+    if (c.load_eps > base.nodes[loaded].load_eps) loaded = c.node;
+  }
+  ASSERT_GT(base.nodes[loaded].load_eps, 0.0);
+  spec_.network.SetCapacity(loaded, base.nodes[loaded].load_eps / 2);
+  ProveReport proof = Prove(Baseline());
+  EXPECT_FALSE(proof.certified());
+  ExpectExactlyRule(proof, Rule::kCapacityInfeasible);
 }
 
 }  // namespace

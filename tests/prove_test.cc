@@ -1,0 +1,229 @@
+#include "src/analysis/prove.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/verify.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/workload/spec.h"
+
+namespace muse {
+namespace {
+
+/// A small hand-authored deployment: three types across four nodes with a
+/// two-operator windowed query, planned with aMuSE. All rates are finite
+/// and positive, so a production-grade runtime config proves clean.
+struct Env {
+  DeploymentSpec spec;
+  std::unique_ptr<WorkloadCatalogs> catalogs;
+  MuseGraph plan;
+  std::unique_ptr<Deployment> dep;
+
+  Env() {
+    const char* text = R"(
+nodes 4
+rate A 10
+rate B 5
+rate C 2
+produce 0 A
+produce 1 A B
+produce 2 B C
+produce 3 C
+query SEQ(AND(A a, B b), C c) WITHIN 2s
+)";
+    Result<DeploymentSpec> parsed = ParseDeploymentSpec(text);
+    spec = std::move(parsed.value());
+    catalogs = std::make_unique<WorkloadCatalogs>(spec.workload, spec.network);
+    plan = PlanWorkloadAmuse(*catalogs).combined;
+    dep = std::make_unique<Deployment>(plan, catalogs->Pointers());
+  }
+
+  ProveOptions ProductionOptions() const {
+    ProveOptions options;
+    options.rt.transport.inbox_capacity = 64;
+    options.rt.transport.batch_max_frames = 8;
+    options.rt.eval.eviction_slack_ms = 2000;
+    options.registry = &spec.registry;
+    return options;
+  }
+};
+
+TEST(ProveTest, ProductionConfigCertifiesClean) {
+  Env env;
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.spec.network,
+                                      env.ProductionOptions());
+  EXPECT_TRUE(proof.certified()) << proof.ToString();
+  EXPECT_TRUE(proof.findings.clean()) << proof.ToString();
+  ASSERT_EQ(proof.nodes.size(), 4u);
+  for (const NodeCertificate& c : proof.nodes) {
+    EXPECT_TRUE(c.state_bounded) << "node " << c.node;
+    EXPECT_EQ(c.credit_window, 64u);
+  }
+  // Somewhere state is actually held, so the bound is positive and its
+  // derivation non-empty.
+  double total = 0;
+  for (const NodeCertificate& c : proof.nodes) total += c.state_bound;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(ProveTest, UnboundedSlackIsWarnedNotRejected) {
+  Env env;
+  ProveOptions options = env.ProductionOptions();
+  options.rt.eval.eviction_slack_ms = 0;  // the differential default
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.spec.network, options);
+  EXPECT_TRUE(proof.certified()) << proof.ToString();
+  EXPECT_TRUE(proof.findings.HasRule(Rule::kStateUnbounded));
+  for (const NodeCertificate& c : proof.nodes) {
+    if (!c.state_bounded) {
+      EXPECT_NE(c.bound_formula.find("unbounded"), std::string::npos);
+    }
+  }
+}
+
+TEST(ProveTest, BudgetTurnsBoundIntoError) {
+  Env env;
+  ProveOptions options = env.ProductionOptions();
+  options.state_budget = 1;  // nothing real fits in one entry
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.spec.network, options);
+  EXPECT_FALSE(proof.certified());
+  EXPECT_TRUE(proof.findings.HasRule(Rule::kStateBudgetExceeded));
+  EXPECT_FALSE(proof.findings.HasRule(Rule::kStateUnbounded));
+
+  // A generous budget admits the same deployment.
+  options.state_budget = 100'000'000;
+  ProveReport ok = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                   env.spec.network, options);
+  EXPECT_TRUE(ok.certified()) << ok.ToString();
+}
+
+TEST(ProveTest, PerNodeInboxOverrideBelowBatchIsDeadlock) {
+  Env env;
+  ProveOptions options = env.ProductionOptions();
+  options.rt.transport.node_inbox_capacity = {0, 4, 0, 0};  // 4 < batch 8
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.spec.network, options);
+  EXPECT_FALSE(proof.certified());
+  EXPECT_TRUE(proof.findings.HasRule(Rule::kRtCreditDeadlock));
+  EXPECT_EQ(proof.nodes[1].credit_window, 4u);
+  EXPECT_EQ(proof.nodes[1].min_credit, 8u);
+}
+
+TEST(ProveTest, CapacityFeasibility) {
+  Env env;
+  // Find a node that actually hosts load, then declare a capacity below it.
+  ProveReport base = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                     env.spec.network,
+                                     env.ProductionOptions());
+  NodeId loaded = 0;
+  for (const NodeCertificate& c : base.nodes) {
+    if (c.load_eps > base.nodes[loaded].load_eps) loaded = c.node;
+  }
+  ASSERT_GT(base.nodes[loaded].load_eps, 0.0);
+
+  Network& net = env.spec.network;
+  net.SetCapacity(loaded, base.nodes[loaded].load_eps / 2);
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(), net,
+                                      env.ProductionOptions());
+  EXPECT_FALSE(proof.certified());
+  EXPECT_TRUE(proof.findings.HasRule(Rule::kCapacityInfeasible));
+
+  // Capacity above the load certifies.
+  net.SetCapacity(loaded, base.nodes[loaded].load_eps * 2);
+  ProveReport ok = ProveDeployment(*env.dep, env.catalogs->Pointers(), net,
+                                   env.ProductionOptions());
+  EXPECT_TRUE(ok.certified()) << ok.ToString();
+}
+
+TEST(ProveTest, ExportedGaugesMatchCertificates) {
+  Env env;
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.spec.network,
+                                      env.ProductionOptions());
+  obs::MetricsRegistry registry;
+  ExportProveBounds(proof, &registry);
+  for (const NodeCertificate& c : proof.nodes) {
+    const obs::LabelSet labels{{"node", std::to_string(c.node)}};
+    EXPECT_EQ(registry.GetGauge("prove_state_bounded", labels)->Value(),
+              c.state_bounded ? 1.0 : 0.0);
+    if (c.state_bounded) {
+      EXPECT_EQ(registry.GetGauge("prove_state_bound", labels)->Value(),
+                c.state_bound);
+    }
+    EXPECT_EQ(registry.GetGauge("prove_min_credit", labels)->Value(),
+              static_cast<double>(c.min_credit));
+    EXPECT_EQ(registry.GetGauge("prove_load_eps", labels)->Value(),
+              c.load_eps);
+  }
+}
+
+TEST(ProveTest, ToStringListsEveryNode) {
+  Env env;
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.spec.network,
+                                      env.ProductionOptions());
+  const std::string s = proof.ToString();
+  for (const NodeCertificate& c : proof.nodes) {
+    EXPECT_NE(s.find("n" + std::to_string(c.node)), std::string::npos) << s;
+  }
+}
+
+TEST(ProveTest, CentralizedPlanProvesTooAndLoadsOneNode) {
+  Env env;
+  MuseGraph central = BuildCentralizedPlan(env.catalogs->Pointers(), 2);
+  Deployment dep(central, env.catalogs->Pointers());
+  ProveReport proof = ProveDeployment(dep, env.catalogs->Pointers(),
+                                      env.spec.network,
+                                      env.ProductionOptions());
+  EXPECT_TRUE(proof.certified()) << proof.ToString();
+  // The sink node carries the whole composite load.
+  EXPECT_GT(proof.nodes[2].load_eps, 0.0);
+}
+
+#ifdef MUSE_SOURCE_DIR
+TEST(ProveTest, ShippedSpecsProveCleanUnderProductionConfig) {
+  for (const char* name : {"robots.spec", "cluster.spec"}) {
+    std::ifstream in(std::string(MUSE_SOURCE_DIR) + "/examples/specs/" +
+                     name);
+    ASSERT_TRUE(in) << name;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<DeploymentSpec> spec = ParseDeploymentSpec(buffer.str());
+    ASSERT_TRUE(spec.ok()) << name << ": " << spec.error().message;
+    const DeploymentSpec& dep_spec = spec.value();
+    WorkloadCatalogs catalogs(dep_spec.workload, dep_spec.network);
+
+    PlannerOptions star;
+    star.star = true;
+    MuseGraph plans[] = {PlanWorkloadAmuse(catalogs).combined,
+                         PlanWorkloadAmuse(catalogs, star).combined,
+                         PlanWorkloadOop(catalogs).combined,
+                         BuildCentralizedPlan(catalogs.Pointers(), 0)};
+    for (const MuseGraph& plan : plans) {
+      Deployment dep(plan, catalogs.Pointers());
+      ProveOptions options;
+      options.rt.transport.inbox_capacity = 1024;
+      options.rt.transport.batch_max_frames = 32;
+      options.rt.eval.eviction_slack_ms = 5000;
+      options.registry = &dep_spec.registry;
+      ProveReport proof = ProveDeployment(dep, catalogs.Pointers(),
+                                          dep_spec.network, options);
+      EXPECT_TRUE(proof.certified()) << name << ":\n" << proof.ToString();
+      for (const NodeCertificate& c : proof.nodes) {
+        EXPECT_TRUE(c.state_bounded)
+            << name << " node " << c.node << ": " << c.bound_formula;
+      }
+    }
+  }
+}
+#endif  // MUSE_SOURCE_DIR
+
+}  // namespace
+}  // namespace muse

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "src/analysis/prove.h"
 #include "src/cep/engine.h"
 #include "src/cep/oracle.h"
 #include "src/cep/parser.h"
@@ -139,6 +141,51 @@ TEST(RtRuntimeTest, PoissonPacedSourceStillCorrect) {
   rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
   EXPECT_EQ(Keys(report.matches_per_query[0]), env.ReferenceKeys());
   EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+// Closes the loop between the static analyzer and the live runtime: a
+// config muse-prove rejects with M900 (per-node credit windows below the
+// batch size) really does wedge — the watchdog fires and the run aborts —
+// while the analyzer's suggested minimum credit makes the identical trace
+// run to completion with the reference matches.
+TEST(RtRuntimeTest, ProvedCreditDeadlockWedgesAndMinCreditClearsIt) {
+  Env env(78);
+  rt::RtOptions options;
+  options.transport.inbox_capacity = 64;
+  options.transport.batch_max_frames = 8;
+  options.transport.node_inbox_capacity = {2, 2, 2, 2};  // < batch: M900
+
+  ProveOptions prove;
+  prove.rt = options;
+  prove.registry = &env.reg;
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.net, prove);
+  ASSERT_TRUE(proof.findings.HasRule(Rule::kRtCreditDeadlock))
+      << proof.ToString();
+  size_t min_credit = 0;
+  for (const NodeCertificate& c : proof.nodes) {
+    min_credit = std::max(min_credit, c.min_credit);
+  }
+  ASSERT_EQ(min_credit, 8u);
+
+  // Without the fix, the first full batch can never acquire credits; the
+  // watchdog is the only reason this terminates.
+  options.transport.wedge_timeout_ms = 400;
+  rt::RtReport bad = rt::RtRuntime(*env.dep, options).Run(env.trace);
+  EXPECT_TRUE(bad.wedged) << bad.Summary();
+
+  // Raising every window to the suggested minimum clears M900 statically
+  // and the run dynamically: same trace, full reference result, no wedge.
+  options.transport.node_inbox_capacity.assign(4, min_credit);
+  options.transport.wedge_timeout_ms = 5000;
+  prove.rt = options;
+  ProveReport fixed = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.net, prove);
+  EXPECT_FALSE(fixed.findings.HasRule(Rule::kRtCreditDeadlock))
+      << fixed.ToString();
+  rt::RtReport good = rt::RtRuntime(*env.dep, options).Run(env.trace);
+  EXPECT_FALSE(good.wedged) << good.Summary();
+  EXPECT_EQ(Keys(good.matches_per_query[0]), env.ReferenceKeys());
 }
 
 TEST(RtRuntimeTest, CollectMatchesOffKeepsCountsInTelemetry) {

@@ -59,6 +59,22 @@ TEST(SpecTest, MultipleQueries) {
   EXPECT_EQ(spec->workload.size(), 2u);
 }
 
+TEST(SpecTest, CapacityDirectiveSetsNodeCapacity) {
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(
+      "nodes 3\nrate A 1\nproduce 0 A\nproduce 1 A\n"
+      "capacity 1 5000\ncapacity 2 0.5\nquery A\n");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_DOUBLE_EQ(spec->network.Capacity(0), 0.0);  // undeclared
+  EXPECT_DOUBLE_EQ(spec->network.Capacity(1), 5000.0);
+  EXPECT_DOUBLE_EQ(spec->network.Capacity(2), 0.5);
+  EXPECT_TRUE(spec->network.HasCapacities());
+
+  Result<DeploymentSpec> none = ParseDeploymentSpec(
+      "nodes 2\nrate A 1\nproduce 0 A\nquery A\n");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->network.HasCapacities());
+}
+
 struct BadSpec {
   const char* text;
   const char* why;
@@ -90,7 +106,13 @@ INSTANTIATE_TEST_SUITE_P(
                 "query A\n",
                 "selectivity > 1"},
         BadSpec{"nodes 2\nrate A 1\nproduce 0 A\nquery SEQ(A, Unknown)\n",
-                "query type without declaration"}));
+                "query type without declaration"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 0 A\ncapacity 5 100\nquery A\n",
+                "capacity node out of range"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 0 A\ncapacity 0 -3\nquery A\n",
+                "negative capacity"},
+        BadSpec{"nodes 2\nrate A 1\nproduce 0 A\ncapacity 0\nquery A\n",
+                "capacity missing value"}));
 
 TEST(SpecTest, ShippedSampleSpecsParse) {
   // Keep the repository's sample specs working.

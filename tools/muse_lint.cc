@@ -10,6 +10,9 @@
 //             [--obs-max-cardinality <n>]
 //             [--rt-inbox <frames>] [--rt-batch <frames>]
 //             [--rt-delay-us <us>] [--rt-slack-ms <ms>]
+//             [--rt-node-inbox <node>=<frames>]...
+//             [--prove] [--prove-budget <entries>]
+//             [--werror] [--sarif <file>]
 //
 // With a plan argument, the JSON plan (see src/core/plan_json.h; "-" reads
 // stdin) is verified against the spec's workload; this is the path for
@@ -30,20 +33,35 @@
 // describe a muse-rt execution config (rt/runtime.h) and enable the M80x
 // runtime rules: unbounded inboxes (M800) and undeliverable batches
 // (M801) are errors, an unbounded eviction horizon (M802) a warning.
+//
+// --prove runs the muse-prove whole-deployment safety analysis (M90x,
+// analysis/prove.h) after the plan and deployment rules pass: credit-
+// deadlock detection over the deployed link graph, per-node memory-bound
+// certification (against --prove-budget when given), watermark liveness,
+// and capacity feasibility. The --rt-* flags describe the config being
+// proven; --rt-node-inbox overrides one node's credit window (repeatable).
+// The per-node certificate table is printed after the diagnostics.
+//
 // Diagnostics go to stdout, one per line, in compiler style:
 //
 //   error[M200/input-gap] vertex 5 (q0:{A,C}@n3): input coverage gap: ...
 //
-// Exit status: 0 clean (or warnings only, unless --strict), 1 diagnostics
-// reported, 2 usage or input errors.
+// --sarif additionally writes the report as a SARIF 2.1.0 log (written
+// even when clean, so CI upload steps never miss a file). Exit status: 0
+// clean (or warnings only, unless --werror / its alias --strict), 1
+// diagnostics reported, 2 usage or input errors.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "src/analysis/prove.h"
+#include "src/analysis/sarif.h"
 #include "src/analysis/verify.h"
 #include "src/core/centralized.h"
 #include "src/core/multi_query.h"
@@ -64,7 +82,10 @@ int Usage() {
       "                 [--obs-per-link] [--obs-per-match-labels]\n"
       "                 [--obs-max-cardinality <n>]\n"
       "                 [--rt-inbox <frames>] [--rt-batch <frames>]\n"
-      "                 [--rt-delay-us <us>] [--rt-slack-ms <ms>]\n");
+      "                 [--rt-delay-us <us>] [--rt-slack-ms <ms>]\n"
+      "                 [--rt-node-inbox <node>=<frames>]...\n"
+      "                 [--prove] [--prove-budget <entries>]\n"
+      "                 [--werror] [--sarif <file>]\n");
   return 2;
 }
 
@@ -78,11 +99,14 @@ int main(int argc, char** argv) {
   std::string algorithm = "amuse";
   VerifyOptions options;
   bool deploy = true;
-  bool strict = false;
+  bool werror = false;
   obs::ObsOptions obs;
   bool check_obs = false;
   rt::RtOptions rt_options;
   bool check_rt = false;
+  bool prove = false;
+  uint64_t prove_budget = 0;
+  std::string sarif_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
       algorithm = argv[++i];
@@ -98,8 +122,22 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--no-deploy") == 0) {
       deploy = false;
-    } else if (std::strcmp(argv[i], "--strict") == 0) {
-      strict = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0 ||
+               std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(argv[i], "--prove") == 0) {
+      prove = true;
+    } else if (std::strcmp(argv[i], "--prove-budget") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      prove_budget = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || prove_budget == 0) {
+        std::fprintf(stderr, "error: bad --prove-budget '%s' "
+                     "(want a positive entry count)\n", argv[i]);
+        return 2;
+      }
+      prove = true;
+    } else if (std::strcmp(argv[i], "--sarif") == 0 && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-sample-rate") == 0 &&
                i + 1 < argc) {
       obs.trace_sample_rate = std::strtod(argv[++i], nullptr);
@@ -134,6 +172,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rt-slack-ms") == 0 && i + 1 < argc) {
       rt_options.eval.eviction_slack_ms =
           std::strtoull(argv[++i], nullptr, 10);
+      check_rt = true;
+    } else if (std::strcmp(argv[i], "--rt-node-inbox") == 0 && i + 1 < argc) {
+      const char* arg = argv[++i];
+      const char* eq = std::strchr(arg, '=');
+      char* end = nullptr;
+      const unsigned long long node =
+          eq != nullptr ? std::strtoull(arg, &end, 10) : 0;
+      char* frames_end = nullptr;
+      const unsigned long long frames =
+          eq != nullptr ? std::strtoull(eq + 1, &frames_end, 10) : 0;
+      if (eq == nullptr || end == arg || end != eq || frames_end == eq + 1 ||
+          *frames_end != '\0') {
+        std::fprintf(stderr, "error: bad --rt-node-inbox '%s' "
+                     "(want <node>=<frames>)\n", arg);
+        return 2;
+      }
+      auto& per_node = rt_options.transport.node_inbox_capacity;
+      if (per_node.size() <= node) per_node.resize(node + 1, 0);
+      per_node[node] = static_cast<size_t>(frames);
       check_rt = true;
     } else if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) {
       if (!plan_path.empty()) return Usage();
@@ -203,10 +260,11 @@ int main(int argc, char** argv) {
 
   VerifyReport report = VerifyPlan(plan, catalogs.Pointers(), options);
   int num_tasks = -1;
-  if (report.ok() && deploy) {
-    Deployment deployment(plan, catalogs.Pointers());
-    num_tasks = deployment.num_tasks();
-    report.MergeFrom(VerifyDeployment(deployment, dep.network, options));
+  std::unique_ptr<Deployment> deployment;
+  if (report.ok() && (deploy || prove)) {
+    deployment = std::make_unique<Deployment>(plan, catalogs.Pointers());
+    num_tasks = deployment->num_tasks();
+    report.MergeFrom(VerifyDeployment(*deployment, dep.network, options));
   }
   if (check_obs) {
     report.MergeFrom(VerifyObsConfig(
@@ -214,12 +272,34 @@ int main(int argc, char** argv) {
         num_tasks >= 0 ? num_tasks : plan.num_vertices(),
         static_cast<int>(dep.workload.size())));
   }
-  if (check_rt) {
+  if (check_rt || prove) {
     report.MergeFrom(VerifyRtConfig(rt_options));
+  }
+  std::string certificate_table;
+  if (prove && report.ok() && deployment != nullptr) {
+    ProveOptions prove_options;
+    prove_options.rt = rt_options;
+    prove_options.state_budget = prove_budget;
+    prove_options.registry = &dep.registry;
+    ProveReport proof = ProveDeployment(*deployment, catalogs.Pointers(),
+                                        dep.network, prove_options);
+    report.MergeFrom(proof.findings);
+    certificate_table = proof.CertificateTable();
   }
 
   for (const Diagnostic& d : report.diagnostics()) {
     std::printf("%s\n", d.ToString().c_str());
+  }
+  if (!certificate_table.empty()) {
+    std::printf("%s", certificate_table.c_str());
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream sarif_out(sarif_path);
+    if (!sarif_out) {
+      std::fprintf(stderr, "error: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    sarif_out << SarifReport(report, spec_path);
   }
   if (report.clean()) {
     std::printf("%s: clean: %d vertices, %zu edges", plan_name.c_str(),
@@ -230,6 +310,6 @@ int main(int argc, char** argv) {
   }
   std::printf("muse_lint: %d error(s), %d warning(s) in %s\n",
               report.errors(), report.warnings(), plan_name.c_str());
-  if (report.errors() > 0 || strict) return 1;
+  if (report.errors() > 0 || werror) return 1;
   return 0;
 }

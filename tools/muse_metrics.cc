@@ -25,6 +25,10 @@
 //     [--rt-batch <frames>] per-link batch size (default 32)
 //     [--rt-delay-us <us>]  injected per-hop delivery delay (default 0)
 //     [--rt-rate <eps>]     Poisson source rate, events/sec (0 = unpaced)
+//     [--prove]             (with --runtime) run the muse-prove static
+//                           analysis before executing and print a per-node
+//                           comparison of proven bounds vs observed peaks;
+//                           the prove_* gauges land in the telemetry/JSON
 //
 // In --runtime mode the simulator-only flags (--bucket-ms, --sample-rate,
 // --per-link, --compare, --csv) are ignored: the runtime reports counters,
@@ -47,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/prove.h"
 #include "src/common/rng.h"
 #include "src/core/centralized.h"
 #include "src/core/multi_query.h"
@@ -71,7 +76,7 @@ int Usage() {
                "[--csv <file|->] [--schema <file>]\n"
                "  [--runtime] [--rt-threads <n>] [--rt-inbox <frames>] "
                "[--rt-batch <frames>]\n"
-               "  [--rt-delay-us <us>] [--rt-rate <eps>]\n");
+               "  [--rt-delay-us <us>] [--rt-rate <eps>] [--prove]\n");
   return 2;
 }
 
@@ -110,6 +115,7 @@ struct Args {
   std::string csv_path;
   std::string schema_path;
   bool runtime = false;
+  bool prove = false;
   rt::RtOptions rt;
 };
 
@@ -305,6 +311,42 @@ void PrintRtLatency(std::FILE* out, const rt::RtReport& report) {
   }
 }
 
+double GaugeValue(const obs::MetricsRegistry& registry,
+                  const std::string& name, const obs::LabelSet& labels) {
+  for (const obs::MetricsRegistry::Entry& e : registry.Entries()) {
+    if (e.name == name && e.labels == labels &&
+        e.kind == obs::MetricKind::kGauge) {
+      return e.gauge->Value();
+    }
+  }
+  return 0;
+}
+
+/// Proven static bounds next to what the run actually did: the observed
+/// peak must sit under the bound (the bound is a supremum), and the credit
+/// window must sit at or above the minimum the deadlock rule demands.
+void PrintProveComparison(std::FILE* out, const ProveReport& proof,
+                          const rt::RtReport& report) {
+  const obs::MetricsRegistry& reg = report.telemetry->registry;
+  std::fprintf(out, "\nproven vs observed:\n");
+  std::fprintf(out, "  %-5s %14s %14s %10s %10s %12s\n", "node",
+               "state_bound", "peak_buffered", "inbox", "min_credit",
+               "load_eps");
+  for (const NodeCertificate& c : proof.nodes) {
+    const obs::LabelSet labels{{"node", std::to_string(c.node)}};
+    char bound[32];
+    if (c.state_bounded) {
+      std::snprintf(bound, sizeof(bound), "%.6g", c.state_bound);
+    } else {
+      std::snprintf(bound, sizeof(bound), "unbounded");
+    }
+    std::fprintf(out, "  %-5u %14s %14.0f %10zu %10zu %12.6g\n",
+                 static_cast<unsigned>(c.node), bound,
+                 GaugeValue(reg, "rt_node_peak_buffered", labels),
+                 c.credit_window, c.min_credit, c.load_eps);
+  }
+}
+
 /// The node with the highest peak partial-match load.
 size_t BusiestNode(const SimReport& report) {
   size_t busiest = 0;
@@ -425,6 +467,8 @@ int main(int argc, char** argv) {
       args.schema_path = argv[++i];
     } else if (std::strcmp(argv[i], "--runtime") == 0) {
       args.runtime = true;
+    } else if (std::strcmp(argv[i], "--prove") == 0) {
+      args.prove = true;
     } else if (std::strcmp(argv[i], "--rt-threads") == 0 && i + 1 < argc) {
       args.rt.num_threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--rt-inbox") == 0) {
@@ -479,9 +523,25 @@ int main(int argc, char** argv) {
     rt::RtOptions rt_opts = args.rt;
     rt_opts.source_seed = args.seed;
     rt_opts.collect_matches = false;  // counts live on in rt_matches_total
+
+    ProveReport proof;
+    if (args.prove) {
+      ProveOptions prove_opts;
+      prove_opts.rt = rt_opts;
+      prove_opts.registry = &dep_spec.registry;
+      proof = ProveDeployment(dep, catalogs.Pointers(), dep_spec.network,
+                              prove_opts);
+      std::fprintf(out, "\nmuse-prove: %s\n%s",
+                   proof.certified() ? "certified" : "NOT certified",
+                   proof.ToString().c_str());
+    }
+
     rt::RtRuntime runtime(dep, rt_opts);
     rt::RtReport report = runtime.Run(trace);
     stats.ExportTo(&report.telemetry->registry, args.algorithm);
+    if (args.prove) {
+      ExportProveBounds(proof, &report.telemetry->registry);
+    }
 
     std::fprintf(out, "\nalgorithm: %s (muse-rt, %d thread(s))\n%s\n",
                  args.algorithm.c_str(), rt_opts.num_threads,
@@ -490,6 +550,7 @@ int main(int argc, char** argv) {
                      static_cast<size_t>(dep_spec.network.num_nodes()));
     PrintRtTaskTable(out, report, dep, &dep_spec.registry);
     PrintRtLatency(out, report);
+    if (args.prove) PrintProveComparison(out, proof, report);
 
     int rc = 0;
     if (!args.json_path.empty() || !args.schema_path.empty()) {
