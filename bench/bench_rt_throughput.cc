@@ -14,6 +14,10 @@
 // Without --scaling it prints the same table for a single quick pass
 // (reps=1) and writes no file.
 //
+// `--trace-sample <N>` additionally reruns the aMuSE plan at the highest
+// thread count with 1-in-N sampled causal tracing enabled and records the
+// events/s cost versus the untraced point as "trace_overhead" in the JSON.
+//
 // Comparing the two plans is the paper's load-distribution claim (§7)
 // restated in wall-clock terms: the centralized plan funnels every event
 // through one evaluator node, so multiplexing its deployment over more
@@ -106,7 +110,8 @@ uint64_t MatchCount(const rt::RtReport& report) {
 }
 
 Point RunPoint(const Deployment& dep, const Instance& inst,
-               const std::string& plan_name, int threads, int reps) {
+               const std::string& plan_name, int threads, int reps,
+               uint64_t trace_sample_every = 0) {
   Point p;
   p.plan = plan_name;
   p.threads = threads;
@@ -115,6 +120,7 @@ Point RunPoint(const Deployment& dep, const Instance& inst,
     opts.num_threads = threads;
     opts.collect_matches = false;  // saturation mode; counts stay in metrics
     opts.source_seed = kSeed + static_cast<uint64_t>(r);
+    opts.trace_sample_every = trace_sample_every;
     rt::RtRuntime runtime(dep, opts);
     rt::RtReport report = runtime.Run(inst.trace);
     if (r == 0 || report.events_per_sec > p.events_per_sec) {
@@ -130,7 +136,8 @@ Point RunPoint(const Deployment& dep, const Instance& inst,
 }
 
 int RunThroughput(const std::string& out_path, int reps,
-                  uint64_t duration_ms, bool write_json) {
+                  uint64_t duration_ms, bool write_json,
+                  uint64_t trace_sample_every) {
   Instance inst(duration_ms);
   WorkloadCatalogs catalogs(inst.workload, inst.net);
 
@@ -179,6 +186,40 @@ int RunThroughput(const std::string& out_path, int reps,
                  "error: match counts diverged across points — the runtime "
                  "broke its determinism contract\n");
   }
+
+  // --trace-sample: rerun the aMuSE plan at the highest thread count with
+  // sampled causal tracing on and report the events/s cost against the
+  // untraced point measured above. The acceptance bar is <5% at 1/1024.
+  double trace_overhead_pct = 0;
+  double trace_base_eps = 0;
+  Point traced;
+  bool have_traced = false;
+  if (trace_sample_every > 0) {
+    int max_threads = *counts.rbegin();
+    Deployment dep(plans.front().graph, catalogs.Pointers());
+    traced = RunPoint(dep, inst, "amuse+trace", max_threads, reps,
+                      trace_sample_every);
+    have_traced = true;
+    for (const Point& p : points) {
+      if (p.plan == "amuse" && p.threads == max_threads) {
+        trace_base_eps = p.events_per_sec;
+      }
+    }
+    if (trace_base_eps > 0) {
+      trace_overhead_pct =
+          (trace_base_eps - traced.events_per_sec) / trace_base_eps * 100.0;
+    }
+    matches_consistent &= traced.matches == baseline_matches;
+    PrintRow({traced.plan, std::to_string(traced.threads),
+              Fmt(traced.events_per_sec), Fmt(traced.wall_seconds),
+              Fmt(traced.p50_ms), Fmt(traced.p99_ms),
+              std::to_string(traced.matches),
+              std::to_string(traced.net_frames),
+              std::to_string(traced.stalls)});
+    std::printf("trace overhead at 1/%llu sampling: %.2f%%\n",
+                static_cast<unsigned long long>(trace_sample_every),
+                trace_overhead_pct);
+  }
   if (!write_json) return matches_consistent ? 0 : 1;
 
   std::ostringstream json;
@@ -204,7 +245,16 @@ int RunThroughput(const std::string& out_path, int reps,
          << ", \"backpressure_stalls\": " << p.stalls << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ]";
+  if (have_traced) {
+    json << ",\n  \"trace_overhead\": {\"sample_every\": "
+         << trace_sample_every
+         << ", \"threads\": " << traced.threads
+         << ", \"baseline_events_per_sec\": " << trace_base_eps
+         << ", \"traced_events_per_sec\": " << traced.events_per_sec
+         << ", \"overhead_pct\": " << trace_overhead_pct << "}";
+  }
+  json << "\n}\n";
 
   if (out_path == "-") {
     std::printf("%s", json.str().c_str());
@@ -228,6 +278,7 @@ int main(int argc, char** argv) {
   bool scaling = false;
   int reps = 3;
   uint64_t duration_ms = 8000;
+  uint64_t trace_sample_every = 0;
   std::string out_path = "BENCH_rt.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling") == 0) {
@@ -238,8 +289,11 @@ int main(int argc, char** argv) {
       reps = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
       duration_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+      trace_sample_every = std::strtoull(argv[++i], nullptr, 10);
     }
   }
   if (!scaling) reps = 1;
-  return muse::bench::RunThroughput(out_path, reps, duration_ms, scaling);
+  return muse::bench::RunThroughput(out_path, reps, duration_ms, scaling,
+                                    trace_sample_every);
 }

@@ -152,6 +152,48 @@ Deployment::Deployment(const MuseGraph& plan,
       primitive_index_[t.node][t.prim_type].push_back(t.id);
     }
   }
+
+  // 4. Freeze the planner-input rates for drift detection (obs/drift.h).
+  //    Types carry the exact global rates the trace generator realizes;
+  //    projections carry the r̂ = rate * bindings output estimate, with
+  //    multi-task placements of one query's projection (partitions) seen
+  //    as shares of a single logical stream, while placements owned by
+  //    different queries add their own estimates.
+  if (!catalogs.empty()) {
+    const Network& net = catalogs[0]->network();
+    planner_rates_.type_eps.resize(
+        static_cast<size_t>(net.num_types()));
+    for (EventTypeId t = 0;
+         t < static_cast<EventTypeId>(net.num_types()); ++t) {
+      planner_rates_.type_eps[t] = net.GlobalRate(t);
+    }
+    std::map<std::pair<int, std::string>, int> placements;  // partitions
+    for (const Task& t : tasks_) {
+      if (t.is_primitive) continue;
+      const ProjectionCatalog& cat = *catalogs[t.rep_query];
+      if (!cat.Valid(t.proj)) continue;
+      ++placements[{t.rep_query, cat.Signature(t.proj)}];
+    }
+    std::map<std::string, size_t> stream_of_sig;
+    for (const Task& t : tasks_) {
+      if (t.is_primitive) continue;
+      const ProjectionCatalog& cat = *catalogs[t.rep_query];
+      if (!cat.Valid(t.proj)) continue;
+      const std::string& sig = cat.Signature(t.proj);
+      auto [it, fresh] = stream_of_sig.emplace(
+          sig, planner_rates_.projections.size());
+      if (fresh) {
+        obs::RateSnapshot::ProjectionRate p;
+        p.label = sig;
+        planner_rates_.projections.push_back(std::move(p));
+      }
+      obs::RateSnapshot::ProjectionRate& p =
+          planner_rates_.projections[it->second];
+      p.eps += cat.Rate(t.proj) * cat.Bindings(t.proj) /
+               static_cast<double>(placements[{t.rep_query, sig}]);
+      p.tasks.push_back(t.id);
+    }
+  }
 }
 
 const std::vector<int>& Deployment::PrimitiveTasksFor(NodeId node,

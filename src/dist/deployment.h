@@ -7,6 +7,7 @@
 #include "src/cep/query.h"
 #include "src/core/muse_graph.h"
 #include "src/core/projection.h"
+#include "src/obs/drift.h"
 
 namespace muse {
 
@@ -63,11 +64,18 @@ class Deployment {
   const std::vector<int>& PrimitiveTasksFor(NodeId node,
                                             EventTypeId type) const;
 
+  /// Planner-input rate snapshot frozen at deployment time: the per-type
+  /// global rates r and the per-projection r̂ estimates (§4.4) the plan
+  /// was costed against. The rt runtime's RateDriftDetector compares live
+  /// observed rates against it (obs/drift.h).
+  const obs::RateSnapshot& planner_rates() const { return planner_rates_; }
+
   std::string ToString(const TypeRegistry* reg = nullptr) const;
 
  private:
   std::vector<Task> tasks_;
   int num_queries_ = 0;
+  obs::RateSnapshot planner_rates_;
   /// (node, type) -> primitive task ids.
   std::vector<std::vector<std::vector<int>>> primitive_index_;
   std::vector<int> empty_;

@@ -1,0 +1,124 @@
+#include "src/obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace muse::obs {
+
+RateDriftDetector::RateDriftDetector(const RateSnapshot& snapshot,
+                                     uint64_t duration_ms,
+                                     const DriftOptions& options)
+    : options_(options), duration_ms_(duration_ms) {
+  if (options_.window_ms == 0) options_.window_ms = 1;
+  num_windows_ = static_cast<size_t>(
+      (duration_ms_ + options_.window_ms - 1) / options_.window_ms);
+  if (num_windows_ == 0) num_windows_ = 1;
+  complete_windows_ = static_cast<size_t>(duration_ms_ / options_.window_ms);
+
+  type_stream_.assign(snapshot.type_eps.size(), SIZE_MAX);
+  for (size_t t = 0; t < snapshot.type_eps.size(); ++t) {
+    type_stream_[t] = streams_.size();
+    Stream s;
+    s.label = "type:" + std::to_string(t);
+    s.expected_eps = snapshot.type_eps[t];
+    s.flag_eligible = true;
+    streams_.push_back(std::move(s));
+  }
+  for (const RateSnapshot::ProjectionRate& p : snapshot.projections) {
+    const size_t idx = streams_.size();
+    Stream s;
+    s.label = "proj:" + p.label;
+    s.expected_eps = p.eps;
+    s.flag_eligible = false;  // r̂ is an estimate; diagnose, never flag
+    streams_.push_back(std::move(s));
+    for (int task : p.tasks) task_stream_[task] = idx;
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(streams_.size() *
+                                                       num_windows_);
+}
+
+size_t RateDriftDetector::BucketIndex(size_t stream,
+                                      uint64_t time_ms) const {
+  size_t w = static_cast<size_t>(time_ms / options_.window_ms);
+  // Events stamped exactly at the horizon land in the last window rather
+  // than out of bounds.
+  if (w >= num_windows_) w = num_windows_ - 1;
+  return stream * num_windows_ + w;
+}
+
+void RateDriftDetector::ObserveType(uint32_t type, uint64_t time_ms) {
+  if (type >= type_stream_.size()) return;
+  const size_t s = type_stream_[type];
+  if (s == SIZE_MAX) return;
+  buckets_[BucketIndex(s, time_ms)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void RateDriftDetector::ObserveTaskOutput(int task, uint64_t time_ms) {
+  auto it = task_stream_.find(task);
+  if (it == task_stream_.end()) return;
+  buckets_[BucketIndex(it->second, time_ms)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+RateDriftDetector::Report RateDriftDetector::Finish() const {
+  Report out;
+  const double window_s = static_cast<double>(options_.window_ms) / 1000.0;
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    StreamReport r;
+    r.label = streams_[s].label;
+    r.flag_eligible = streams_[s].flag_eligible;
+    r.expected_eps = streams_[s].expected_eps;
+    const double m = r.expected_eps * window_s;  // expected count/window
+    uint64_t total = 0;
+    for (size_t w = 0; w < complete_windows_; ++w) {
+      const double c = static_cast<double>(
+          buckets_[s * num_windows_ + w].load(std::memory_order_relaxed));
+      total += static_cast<uint64_t>(c);
+      // Too sparse to judge either way.
+      if (std::max(c, m) < options_.min_count_per_window) continue;
+      // Poisson z-score gate (kills low-rate noise)...
+      const double z = (c - m) / std::sqrt(std::max(m, 0.5));
+      if (std::fabs(z) < options_.z_threshold) continue;
+      // ...and ratio-band gate (kills tiny-relative, huge-z windows).
+      const double hi = m * options_.ratio_threshold;
+      const double lo = m / options_.ratio_threshold;
+      if (c <= hi && c >= lo) continue;
+      const double score = std::fabs(std::log2((c + 0.5) / (m + 0.5)));
+      r.score = std::max(r.score, score);
+    }
+    if (complete_windows_ > 0) {
+      r.observed_eps = static_cast<double>(total) /
+                       (static_cast<double>(complete_windows_) * window_s);
+    }
+    r.drifted = r.score > 0;
+    if (r.flag_eligible) {
+      out.drift_score = std::max(out.drift_score, r.score);
+      out.drifted = out.drifted || r.drifted;
+    }
+    out.streams.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string RateDriftDetector::Report::ToString() const {
+  std::ostringstream os;
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-28s %12s %12s %8s %s\n", "stream",
+                "expected/s", "observed/s", "score", "flags");
+  os << line;
+  for (const StreamReport& r : streams) {
+    std::snprintf(line, sizeof(line), "%-28s %12.3f %12.3f %8.3f %s%s\n",
+                  r.label.c_str(), r.expected_eps, r.observed_eps, r.score,
+                  r.drifted ? "DRIFTED" : "-",
+                  r.flag_eligible ? "" : " (informational)");
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "drift_score %.3f drifted %s\n",
+                drift_score, drifted ? "true" : "false");
+  os << line;
+  return os.str();
+}
+
+}  // namespace muse::obs

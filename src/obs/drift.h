@@ -1,0 +1,117 @@
+#ifndef MUSE_OBS_DRIFT_H_
+#define MUSE_OBS_DRIFT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace muse::obs {
+
+/// Rate-drift detection for the rt runtime (DESIGN.md "Tracing
+/// (muse-trace)"): compares windowed observed rates against the
+/// planner-input stats snapshot the plan was costed with, and raises a
+/// `drifted` flag when the live workload has moved away from what
+/// justified the placement — the sensor ROADMAP item 4 (adaptive
+/// re-planning) acts on.
+
+/// Frozen planner-input rates, captured at deployment time. Plain data on
+/// purpose: obs sits below net/core in the layering, so the snapshot holds
+/// numbers, not Network/ProjectionCatalog references.
+struct RateSnapshot {
+  /// Network-wide events/s per event type (index = type id). These are
+  /// the r inputs of the §4.4 cost model and the only flag-eligible
+  /// streams: a type's global rate is exactly what the generated trace
+  /// realizes, so deviation is real drift, not estimation error.
+  std::vector<double> type_eps;
+
+  /// One logical non-primitive projection: expected matches/s (the r̂
+  /// estimate, selectivities and bindings included) and the deployment
+  /// tasks whose outputs realize it (multi-sink partitions share one
+  /// stream). r̂ is an upper-bound estimate, so projection streams are
+  /// reported for diagnosis but never set the `drifted` flag.
+  struct ProjectionRate {
+    std::string label;        ///< projection signature, e.g. "SEQ(A,B)"
+    double eps = 0;           ///< summed r̂ across contributing tasks
+    std::vector<int> tasks;   ///< deployment task ids feeding this stream
+  };
+  std::vector<ProjectionRate> projections;
+
+  bool empty() const { return type_eps.empty() && projections.empty(); }
+};
+
+struct DriftOptions {
+  bool enabled = true;
+  /// Observation window; rates are compared per completed window.
+  uint64_t window_ms = 1000;
+  /// A window drifts only if its Poisson z-score |c-m|/sqrt(m) clears
+  /// this AND the count ratio leaves [1/ratio_threshold, ratio_threshold].
+  /// Both gates together make stationary traces score exactly 0: the
+  /// z-gate kills low-rate noise, the ratio-gate kills high-rate windows
+  /// where tiny relative wiggles have huge z.
+  double z_threshold = 6.0;
+  double ratio_threshold = 1.5;
+  /// Windows where both expected and observed counts are below this are
+  /// skipped — too few events to call drift.
+  double min_count_per_window = 20.0;
+};
+
+/// Windowed observed-vs-expected rate comparator. Observe* methods are
+/// thread-safe (relaxed atomic bucket increments, pre-sized at
+/// construction — no allocation or locking on the hot path); Finish() is
+/// called once after the run quiesces.
+class RateDriftDetector {
+ public:
+  RateDriftDetector(const RateSnapshot& snapshot, uint64_t duration_ms,
+                    const DriftOptions& options);
+
+  /// Source event of `type` injected at trace time `time_ms`.
+  void ObserveType(uint32_t type, uint64_t time_ms);
+  /// Non-primitive task `task` produced a match ending at `time_ms`.
+  void ObserveTaskOutput(int task, uint64_t time_ms);
+
+  struct StreamReport {
+    std::string label;
+    bool flag_eligible = false;  ///< true for type streams (see snapshot)
+    double expected_eps = 0;
+    double observed_eps = 0;  ///< over complete windows
+    /// max over drifted windows of |log2((c+.5)/(m+.5))|; exactly 0 when
+    /// no window cleared both gates.
+    double score = 0;
+    bool drifted = false;  ///< score > 0
+  };
+  struct Report {
+    std::vector<StreamReport> streams;
+    double drift_score = 0;  ///< max score over flag-eligible streams
+    bool drifted = false;    ///< any flag-eligible stream drifted
+    std::string ToString() const;
+  };
+  Report Finish() const;
+
+  size_t num_streams() const { return streams_.size(); }
+
+ private:
+  struct Stream {
+    std::string label;
+    double expected_eps = 0;
+    bool flag_eligible = false;
+  };
+
+  size_t BucketIndex(size_t stream, uint64_t time_ms) const;
+
+  DriftOptions options_;
+  uint64_t duration_ms_;
+  size_t num_windows_ = 0;       ///< including a partial tail window
+  size_t complete_windows_ = 0;  ///< windows fully inside the run
+  std::vector<Stream> streams_;
+  std::vector<size_t> type_stream_;  ///< type id -> stream, SIZE_MAX none
+  std::unordered_map<int, size_t> task_stream_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // [stream][window]
+};
+
+}  // namespace muse::obs
+
+#endif  // MUSE_OBS_DRIFT_H_

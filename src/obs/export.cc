@@ -90,6 +90,15 @@ void AppendMetricsJson(const MetricsRegistry& registry, std::string* out) {
       }
     }
     *out += "}";
+    // Clamped-out-of-range observations surface as a sibling counter so
+    // dashboards can alarm on silent histogram saturation.
+    if (e.kind == MetricKind::kHistogram &&
+        e.histogram->OverflowCount() > 0) {
+      *out += ",\n    {\"name\": \"" + EscapeJson(e.name) +
+              "_overflow_total\", \"labels\": " + LabelsJson(e.labels) +
+              ", \"kind\": \"counter\", \"value\": " +
+              std::to_string(e.histogram->OverflowCount()) + "}";
+    }
   }
   *out += "\n  ]";
 }
@@ -163,11 +172,26 @@ std::string RegistryToJson(const MetricsRegistry& registry) {
   return out;
 }
 
+std::string CsvField(const std::string& field) {
+  // RFC 4180: fields containing separators, quotes, or line breaks are
+  // quoted, with embedded quotes doubled. Everything else passes through.
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
 std::string SeriesToCsv(const TimeSeries& series) {
   std::string out = "name,labels,t_ms,value\n";
   for (const auto& [key, points] : series.series()) {
+    // Label values routinely contain commas (projection signatures like
+    // "C,L"), so both text fields go through the RFC-4180 quoter.
     const std::string prefix =
-        key.first + ",\"" + key.second.ToString() + "\",";
+        CsvField(key.first) + "," + CsvField(key.second.ToString()) + ",";
     for (const SeriesPoint& p : points) {
       out += prefix + std::to_string(p.t_ms) + "," + Num(p.value) + "\n";
     }

@@ -19,6 +19,10 @@ namespace muse::obs {
 ///      "quantiles": {"p25": …, "p50": …, "p75": …, "p90": …, "p99": …},
 ///      "buckets": [[index, upper_bound, count], …]}, …
 ///   ],
+///
+/// Histograms that clamped out-of-range observations additionally emit a
+/// "<name>_overflow_total" counter (same labels) right after the
+/// histogram entry; it is omitted while zero.
 ///   "series": [
 ///     {"name": "...", "labels": {…}, "points": [[t_ms, value], …]}, …
 ///   ],
@@ -36,8 +40,13 @@ std::string TelemetryToJson(const RunTelemetry& telemetry);
 std::string RegistryToJson(const MetricsRegistry& registry);
 
 /// Flat CSV of the time series: name,labels,t_ms,value (one row per point;
-/// labels canonically rendered, see LabelSet::ToString).
+/// labels canonically rendered, see LabelSet::ToString). Text fields are
+/// RFC-4180 quoted when they contain commas, quotes, or line breaks.
 std::string SeriesToCsv(const TimeSeries& series);
+
+/// RFC-4180 field quoting (exposed for tests): quotes the field and
+/// doubles embedded quotes iff it contains a comma, quote, CR, or LF.
+std::string CsvField(const std::string& field);
 
 }  // namespace muse::obs
 

@@ -90,8 +90,14 @@ void Histogram::Record(double value) {
   if (value > 0) {
     const double scaled = value / resolution_ + 0.5;
     // Clamp astronomically large observations into the top bucket instead
-    // of overflowing the unit conversion.
-    units = scaled >= 1.8e19 ? UINT64_MAX : static_cast<uint64_t>(scaled);
+    // of overflowing the unit conversion — but count them, so the clamp is
+    // visible in exports (`*_overflow_total`) rather than silent.
+    if (scaled >= 1.8e19) {
+      units = UINT64_MAX;
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      units = static_cast<uint64_t>(scaled);
+    }
   }
   buckets_[static_cast<size_t>(BucketIndex(units))].fetch_add(
       1, std::memory_order_relaxed);
@@ -182,6 +188,7 @@ void Histogram::MergeFrom(const Histogram& other) {
     }
   }
   count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  overflow_.fetch_add(other.OverflowCount(), std::memory_order_relaxed);
   double sum = sum_.load(std::memory_order_relaxed);
   const double add = other.Sum();
   while (!sum_.compare_exchange_weak(sum, sum + add,

@@ -93,6 +93,12 @@ class Histogram {
   void Record(double value);
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  /// Observations above the max trackable value (~1.8e19 units): they are
+  /// clamped into the top bucket but counted here, and exporters surface
+  /// the count as a `<name>_overflow_total` counter.
+  uint64_t OverflowCount() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Min() const;  ///< 0 when empty
   double Max() const;  ///< 0 when empty
@@ -126,6 +132,7 @@ class Histogram {
   double resolution_;
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> overflow_{0};
   std::atomic<double> sum_{0};
   std::atomic<uint64_t> min_units_{UINT64_MAX};
   std::atomic<uint64_t> max_units_{0};

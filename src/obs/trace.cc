@@ -1,0 +1,221 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace muse::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIngest:
+      return "ingest";
+    case SpanKind::kTransport:
+      return "transport";
+    case SpanKind::kInboxWait:
+      return "inbox-wait";
+    case SpanKind::kEvaluate:
+      return "evaluate";
+    case SpanKind::kEmit:
+      return "emit";
+  }
+  return "?";
+}
+
+SpanBuffer::SpanBuffer(size_t capacity) : capacity_(capacity) {
+  // Reserve up front: Record must never reallocate mid-run, both for
+  // latency and so the buffer stays observably single-writer.
+  spans_.reserve(capacity_);
+}
+
+uint64_t TraceSampler::TraceIdFor(uint64_t seq) const {
+  if (every_ == 0) return 0;
+  // splitmix64 finalizer: decorrelates the sampling decision from the raw
+  // position so "every 1024th" does not alias with periodic workloads.
+  uint64_t x = seq + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  if (x % every_ != 0) return 0;
+  return x | 1;  // never 0: 0 is the wire's "untraced" marker
+}
+
+void TraceLog::Absorb(const SpanBuffer& buffer) {
+  spans_.insert(spans_.end(), buffer.spans().begin(), buffer.spans().end());
+  dropped_ += buffer.dropped();
+}
+
+namespace {
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+TraceSummary TraceLog::Summarize(size_t top_k) const {
+  TraceSummary out;
+  out.spans = spans_.size();
+  out.dropped = dropped_;
+
+  std::array<std::vector<double>, kNumSpanKinds> durs;
+  // Per-trace bookkeeping: ingest start and the slowest emit. Only traces
+  // whose ingest span survived buffering can report end-to-end latency.
+  struct PerTrace {
+    bool has_ingest = false;
+    uint64_t ingest_us = 0;
+    bool has_emit = false;
+    uint64_t emit_us = 0;
+    int32_t query = -1;
+  };
+  std::map<uint64_t, PerTrace> traces;
+
+  for (const TraceSpan& s : spans_) {
+    const size_t k = static_cast<size_t>(s.kind);
+    durs[k].push_back(static_cast<double>(s.dur_us));
+    auto& t = traces[s.trace_id];
+    if (s.kind == SpanKind::kIngest) {
+      t.has_ingest = true;
+      t.ingest_us = s.start_us;
+    } else if (s.kind == SpanKind::kEmit) {
+      if (!t.has_emit || s.start_us > t.emit_us) {
+        t.emit_us = s.start_us;
+        t.query = s.query;
+      }
+      t.has_emit = true;
+    }
+  }
+
+  out.traces = traces.size();
+  for (size_t k = 0; k < kNumSpanKinds; ++k) {
+    auto& v = durs[k];
+    std::sort(v.begin(), v.end());
+    StageStats& st = out.stages[k];
+    st.count = v.size();
+    st.p50_us = Percentile(v, 0.50);
+    st.p99_us = Percentile(v, 0.99);
+    st.max_us = v.empty() ? 0 : v.back();
+    for (double d : v) st.total_us += d;
+  }
+
+  // Rank completed traces by ingest->slowest-emit latency.
+  std::vector<CriticalPath> paths;
+  for (const auto& [id, t] : traces) {
+    if (!t.has_ingest || !t.has_emit) continue;
+    ++out.completed;
+    CriticalPath p;
+    p.trace_id = id;
+    p.query = t.query;
+    p.latency_us = t.emit_us >= t.ingest_us ? t.emit_us - t.ingest_us : 0;
+    paths.push_back(std::move(p));
+  }
+  std::sort(paths.begin(), paths.end(),
+            [](const CriticalPath& a, const CriticalPath& b) {
+              if (a.latency_us != b.latency_us)
+                return a.latency_us > b.latency_us;
+              return a.trace_id < b.trace_id;
+            });
+  if (paths.size() > top_k) paths.resize(top_k);
+  // Attach the span walk only for the survivors (one scan, not per-trace).
+  std::map<uint64_t, CriticalPath*> wanted;
+  for (CriticalPath& p : paths) wanted[p.trace_id] = &p;
+  for (const TraceSpan& s : spans_) {
+    auto it = wanted.find(s.trace_id);
+    if (it != wanted.end()) it->second->spans.push_back(s);
+  }
+  for (CriticalPath& p : paths) {
+    std::sort(p.spans.begin(), p.spans.end(),
+              [](const TraceSpan& a, const TraceSpan& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                return a.kind < b.kind;
+              });
+  }
+  out.slowest = std::move(paths);
+  return out;
+}
+
+std::string TraceSummary::ToString() const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "traces %" PRIu64 " (completed %" PRIu64
+                ")  spans %" PRIu64 "  dropped %" PRIu64 "\n",
+                traces, completed, spans, dropped);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-10s %10s %12s %12s %12s %14s\n",
+                "stage", "count", "p50_us", "p99_us", "max_us", "total_us");
+  os << line;
+  for (size_t k = 0; k < kNumSpanKinds; ++k) {
+    const StageStats& st = stages[k];
+    std::snprintf(line, sizeof(line),
+                  "%-10s %10" PRIu64 " %12.1f %12.1f %12.1f %14.1f\n",
+                  SpanKindName(static_cast<SpanKind>(k)), st.count,
+                  st.p50_us, st.p99_us, st.max_us, st.total_us);
+    os << line;
+  }
+  if (!slowest.empty()) {
+    os << "slowest completed traces (ingest -> last emit):\n";
+    for (const CriticalPath& p : slowest) {
+      std::snprintf(line, sizeof(line),
+                    "  trace %016" PRIx64 "  query %d  latency %" PRIu64
+                    " us\n",
+                    p.trace_id, p.query, p.latency_us);
+      os << line;
+      for (const TraceSpan& s : p.spans) {
+        std::snprintf(line, sizeof(line),
+                      "    +%8" PRIu64 " us  %-10s node %u task %d dur %"
+                      PRIu64 " us\n",
+                      s.start_us - p.spans.front().start_us,
+                      SpanKindName(s.kind), s.node, s.task, s.dur_us);
+        os << line;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string ExportTrace(const TraceLog& log) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  // Process-name metadata so the Perfetto UI groups rows by network node.
+  // Node 0 is always named: an empty span set still yields a valid,
+  // non-empty traceEvents array (the checked-in schema requires one).
+  std::set<uint32_t> nodes{0};
+  for (const TraceSpan& s : log.spans()) nodes.insert(s.node);
+  for (uint32_t n : nodes) {
+    comma();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << n
+       << ",\"tid\":0,\"args\":{\"name\":\"node " << n << "\"}}";
+  }
+  char hexid[24];
+  for (const TraceSpan& s : log.spans()) {
+    comma();
+    std::snprintf(hexid, sizeof(hexid), "%016" PRIx64, s.trace_id);
+    // tid: tasks get their own rows; stage spans outside a task (ingest,
+    // transport, inbox-wait) share row 0 of their node.
+    const int64_t tid = s.task >= 0 ? s.task + 1 : 0;
+    os << "{\"name\":\"" << SpanKindName(s.kind) << "\",\"ph\":\"X\",\"ts\":"
+       << s.start_us << ",\"dur\":" << s.dur_us << ",\"pid\":" << s.node
+       << ",\"tid\":" << tid << ",\"args\":{\"trace\":\"" << hexid << "\"";
+    if (s.kind == SpanKind::kTransport) os << ",\"from\":" << s.peer;
+    if (s.task >= 0) os << ",\"task\":" << s.task;
+    if (s.query >= 0) os << ",\"query\":" << s.query;
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace muse::obs

@@ -1,0 +1,156 @@
+#ifndef MUSE_OBS_TRACE_H_
+#define MUSE_OBS_TRACE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace muse::obs {
+
+/// muse-trace: sampled causal tracing for the rt runtime (DESIGN.md
+/// "Tracing (muse-trace)").
+///
+/// A sampled source event is assigned a 64-bit trace id at injection; the
+/// id rides inside v2 wire frames (rt/wire.h TraceContext) across every
+/// transport hop and is inherited by every partial/full match the event
+/// contributes to. Each stage the event (or a match it caused) passes
+/// through becomes one TraceSpan; per-worker spans land in single-writer
+/// SpanBuffers (lock-free by ownership: exactly one thread ever writes a
+/// buffer, and the runtime drains them only after the workers have joined)
+/// and are merged into a TraceLog for export and summarization.
+
+/// Processing stage a span measures. The five kinds tile the life of a
+/// traced event: inject -> (wire) -> queue -> evaluate -> emit.
+enum class SpanKind : uint8_t {
+  kIngest = 0,     ///< driver injected the source event (instant, dur 0)
+  kTransport = 1,  ///< wire hop: sender encode until receiver delivery
+  kInboxWait = 2,  ///< delivered packet waiting in the worker inbox
+  kEvaluate = 3,   ///< task evaluation (OnInput over the frame's tasks)
+  kEmit = 4,       ///< sink accepted a full match (instant, dur 0)
+};
+constexpr size_t kNumSpanKinds = 5;
+
+/// Display name ("ingest", "transport", ...) used by exports and tables.
+const char* SpanKindName(SpanKind kind);
+
+/// One timed interval on a traced event's causal path. Times come from the
+/// transport's process-wide microsecond clock (rt/transport.h NowUs), so
+/// spans from different threads and hops share one axis.
+struct TraceSpan {
+  uint64_t trace_id = 0;    ///< sampled source event's id (never 0)
+  SpanKind kind = SpanKind::kIngest;
+  uint32_t node = 0;        ///< node executing/receiving the stage
+  uint32_t peer = 0;        ///< kTransport only: sending node
+  int32_t task = -1;        ///< deployment task id, -1 outside tasks
+  int32_t query = -1;       ///< kEmit only: sink query index
+  uint64_t start_us = 0;    ///< transport-clock start
+  uint64_t dur_us = 0;      ///< 0 for instant spans (kIngest, kEmit)
+};
+
+/// Fixed-capacity, single-writer span sink. The owning thread appends
+/// without synchronization; once the buffer fills, further spans are
+/// counted as dropped rather than reallocating on the hot path.
+class SpanBuffer {
+ public:
+  explicit SpanBuffer(size_t capacity);
+
+  void Record(const TraceSpan& span) {
+    if (spans_.size() < capacity_) {
+      spans_.push_back(span);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  uint64_t dropped_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
+/// Deterministic 1-in-N sampler. Whether a source event is traced depends
+/// only on its global-trace position (Event::seq), never on wall-clock or
+/// thread interleaving — so the differential harness can assert that
+/// tracing leaves the match multiset untouched, and reruns sample the same
+/// events. Ids are a bit-mixed function of seq with the low bit forced, so
+/// an id is never 0 (0 means "untraced" on the wire).
+class TraceSampler {
+ public:
+  TraceSampler() = default;
+  explicit TraceSampler(uint64_t sample_every) : every_(sample_every) {}
+
+  bool enabled() const { return every_ != 0; }
+  uint64_t sample_every() const { return every_; }
+
+  /// Trace id for the source event at position `seq`, or 0 if unsampled.
+  uint64_t TraceIdFor(uint64_t seq) const;
+
+ private:
+  uint64_t every_ = 0;  ///< 0 disables sampling entirely
+};
+
+/// Aggregate duration statistics for one SpanKind.
+struct StageStats {
+  uint64_t count = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double total_us = 0;
+};
+
+/// One end-to-end critical path: the per-stage walk from a trace's ingest
+/// to its slowest emit, used to explain where the tail latency went.
+struct CriticalPath {
+  uint64_t trace_id = 0;
+  int32_t query = -1;        ///< query of the slowest emit
+  uint64_t latency_us = 0;   ///< ingest start -> slowest emit
+  std::vector<TraceSpan> spans;  ///< the trace's spans, by start time
+};
+
+/// Per-stage breakdown plus the slowest completed traces.
+struct TraceSummary {
+  uint64_t traces = 0;     ///< distinct sampled trace ids seen
+  uint64_t completed = 0;  ///< traces with at least one emit span
+  uint64_t spans = 0;
+  uint64_t dropped = 0;
+  std::array<StageStats, kNumSpanKinds> stages{};
+  std::vector<CriticalPath> slowest;  ///< descending end-to-end latency
+
+  /// Human-readable stage table + critical-path listing.
+  std::string ToString() const;
+};
+
+/// Merged, immutable-after-drain span log for one runtime run.
+class TraceLog {
+ public:
+  /// Appends a drained buffer's spans and its drop count.
+  void Absorb(const SpanBuffer& buffer);
+  /// Appends loose spans (tests, synthetic traces).
+  void Add(const TraceSpan& span) { spans_.push_back(span); }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  uint64_t dropped() const { return dropped_; }
+  bool empty() const { return spans_.empty(); }
+
+  /// Per-stage percentiles and the `top_k` slowest completed traces.
+  TraceSummary Summarize(size_t top_k = 3) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  uint64_t dropped_ = 0;
+};
+
+/// Renders the log as Chrome/Perfetto trace-event JSON ("traceEvents"
+/// array of ph:"X" complete events, ts/dur in microseconds; pid = node,
+/// tid = task). Loads directly in ui.perfetto.dev or chrome://tracing.
+std::string ExportTrace(const TraceLog& log);
+
+}  // namespace muse::obs
+
+#endif  // MUSE_OBS_TRACE_H_

@@ -169,6 +169,17 @@ class RtRun {
     wire_rejects_ = reg.GetCounter("rt_wire_rejected_frames_total");
     source_skipped_ = reg.GetCounter("rt_source_skipped_events_total");
     flush_stash_.resize(num_nodes);
+
+    sampler_ = obs::TraceSampler(options_.trace_sample_every);
+    if (sampler_.enabled()) {
+      // One single-writer buffer per worker shard plus one for the driver
+      // (the last slot); drained only after every writer has joined.
+      for (int s = 0; s <= num_shards_; ++s) {
+        span_bufs_.push_back(std::make_unique<obs::SpanBuffer>(
+            options_.trace_max_spans_per_thread));
+      }
+      trace_sampled_ = reg.GetCounter("rt_trace_sampled_total");
+    }
   }
 
   RtReport Run(const std::vector<Event>& trace) {
@@ -177,6 +188,14 @@ class RtRun {
     report_.matches_per_query.resize(
         static_cast<size_t>(dep_.num_queries()));
     inject_us_.assign(trace.size(), 0);
+
+    if (options_.drift.enabled && !dep_.planner_rates().empty() &&
+        !trace.empty()) {
+      // The trace horizon in virtual ms; traces are time-sorted, so the
+      // last event carries it.
+      drift_ = std::make_unique<obs::RateDriftDetector>(
+          dep_.planner_rates(), trace.back().time + 1, options_.drift);
+    }
 
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(num_shards_));
@@ -303,6 +322,13 @@ class RtRun {
       }
       for (Packet& packet : popped.packets) {
         LinkBatcher* batcher = batchers[packet.dst].get();
+        obs::SpanBuffer* spans =
+            span_bufs_.empty() ? nullptr
+                               : span_bufs_[static_cast<size_t>(shard)].get();
+        // One clock read covers the whole packet: every frame in it became
+        // available at deliver_at_us and left the inbox now.
+        const uint64_t pop_us =
+            spans != nullptr ? transport_->NowUs() : 0;
         Result<std::vector<DecodedFrame>> frames = DecodePacket(packet.bytes);
         if (!frames.ok()) {
           // A malformed packet is a transport bug, not a data condition;
@@ -310,7 +336,7 @@ class RtRun {
           wire_rejects_->Add(packet.frames);
         } else {
           for (const DecodedFrame& frame : frames.value()) {
-            HandleFrame(packet.dst, frame, batcher);
+            HandleFrame(packet.dst, frame, batcher, packet, pop_us, spans);
           }
         }
         batcher->FlushAll();
@@ -321,14 +347,42 @@ class RtRun {
   }
 
   void HandleFrame(NodeId node, const DecodedFrame& frame,
-                   LinkBatcher* batcher) {
+                   LinkBatcher* batcher, const Packet& packet,
+                   uint64_t pop_us, obs::SpanBuffer* spans) {
     NodeRuntime& rt = nodes_[node];
     node_inputs_[node]->Add(1);
+    const uint64_t trace_id = frame.trace.trace_id;
+    const bool traced = trace_id != 0 && spans != nullptr;
+    if (traced) {
+      // The hop: sender encode time to transport delivery. Both ends read
+      // the same process-wide clock, so the difference is meaningful.
+      obs::TraceSpan hop;
+      hop.trace_id = trace_id;
+      hop.kind = obs::SpanKind::kTransport;
+      hop.node = node;
+      hop.peer = packet.src;
+      hop.start_us = frame.trace.sent_us;
+      hop.dur_us = packet.deliver_at_us > frame.trace.sent_us
+                       ? packet.deliver_at_us - frame.trace.sent_us
+                       : 0;
+      spans->Record(hop);
+      obs::TraceSpan wait;
+      wait.trace_id = trace_id;
+      wait.kind = obs::SpanKind::kInboxWait;
+      wait.node = node;
+      wait.start_us = packet.deliver_at_us;
+      wait.dur_us =
+          pop_us > packet.deliver_at_us ? pop_us - packet.deliver_at_us : 0;
+      spans->Record(wait);
+    }
     std::vector<NodeRuntime::Output> outs;
-    if (frame.kind == FrameKind::kEvent) {
+    if (frame.kind == FrameKind::kEvent ||
+        frame.kind == FrameKind::kEventTraced) {
       const Event& e = frame.event;
       for (int task : dep_.PrimitiveTasksFor(node, e.type)) {
+        const uint64_t eval_start = traced ? transport_->NowUs() : 0;
         rt.OnInput(task, -1, Match::Single(e), &outs);
+        if (traced) RecordEvalSpan(spans, trace_id, node, task, eval_start);
       }
     } else {
       const SimMessage& msg = frame.message;
@@ -339,10 +393,25 @@ class RtRun {
       if (!rt.Admit(msg)) return;  // duplicate from a recovering sender
       for (int succ : dep_.task(msg.src_task).successors) {
         if (dep_.task(succ).node != node) continue;
+        const uint64_t eval_start = traced ? transport_->NowUs() : 0;
         rt.OnInput(succ, msg.src_task, msg.payload, &outs);
+        if (traced) RecordEvalSpan(spans, trace_id, node, succ, eval_start);
       }
     }
-    RouteOutputs(node, outs, batcher);
+    RouteOutputs(node, outs, batcher, /*replay=*/false, trace_id, spans);
+  }
+
+  void RecordEvalSpan(obs::SpanBuffer* spans, uint64_t trace_id, NodeId node,
+                      int task, uint64_t start_us) {
+    obs::TraceSpan s;
+    s.trace_id = trace_id;
+    s.kind = obs::SpanKind::kEvaluate;
+    s.node = node;
+    s.task = task;
+    s.start_us = start_us;
+    const uint64_t now = transport_->NowUs();
+    s.dur_us = now > start_us ? now - start_us : 0;
+    spans->Record(s);
   }
 
   void HandleCrash(NodeId node, LinkBatcher* batcher) {
@@ -361,13 +430,26 @@ class RtRun {
   }
 
   void RouteOutputs(NodeId node, const std::vector<NodeRuntime::Output>& outs,
-                    LinkBatcher* batcher, bool replay = false) {
+                    LinkBatcher* batcher, bool replay = false,
+                    uint64_t trace_id = 0,
+                    obs::SpanBuffer* spans = nullptr) {
     NodeRuntime& rt = nodes_[node];
     std::string frame;
+    // One clock read per traced call: every output message of this unit of
+    // work is encoded "now".
+    const TraceContext ctx{trace_id,
+                           trace_id != 0 ? transport_->NowUs() : 0};
     for (const NodeRuntime::Output& out : outs) {
       const Task& t = dep_.task(out.task);
+      // Replay regenerates outputs already observed before the crash:
+      // counting them again would inflate the observed projection rates.
+      if (drift_ != nullptr && !replay && !t.is_primitive) {
+        drift_->ObserveTaskOutput(t.id, out.match.max_time);
+      }
       if (!replay) {
-        for (int query : t.sink_for) RecordMatch(query, out.match);
+        for (int query : t.sink_for) {
+          RecordMatch(query, out.match, trace_id, spans, node, t.id);
+        }
       }
       std::set<NodeId> dst_nodes;
       for (int succ : t.successors) dst_nodes.insert(dep_.task(succ).node);
@@ -378,7 +460,9 @@ class RtRun {
         msg.channel_seq = rt.NextChannelSeq(t.id, dst);
         msg.payload = out.match;
         frame.clear();
-        AppendMessageFrame(msg, &frame);
+        // The derived match inherits the input's trace id (untraced inputs
+        // encode the v1 frame byte-identically).
+        AppendMessageFrame(msg, ctx, &frame);
         if (dst != node) {
           node_net_frames_[node]->Add(1);
           node_net_bytes_[node]->Add(frame.size());
@@ -389,7 +473,9 @@ class RtRun {
     }
   }
 
-  void RecordMatch(int query, const Match& m) {
+  void RecordMatch(int query, const Match& m, uint64_t trace_id = 0,
+                   obs::SpanBuffer* spans = nullptr, NodeId node = 0,
+                   int task = -1) {
     QueryCollector& col = *collectors_[static_cast<size_t>(query)];
     uint64_t injected = 0;
     for (const Event& e : m.events) {
@@ -404,6 +490,17 @@ class RtRun {
     col.latency->Record(
         now > injected ? static_cast<double>(now - injected) / 1000.0 : 0.0);
     if (options_.collect_matches) col.matches.push_back(m);
+    if (trace_id != 0 && spans != nullptr) {
+      // Only the first (accepted) emission of a match closes the trace.
+      obs::TraceSpan s;
+      s.trace_id = trace_id;
+      s.kind = obs::SpanKind::kEmit;
+      s.node = node;
+      s.task = task;
+      s.query = query;
+      s.start_us = now;
+      spans->Record(s);
+    }
   }
 
   // --- source driver ---------------------------------------------------
@@ -431,9 +528,15 @@ class RtRun {
     const auto start = std::chrono::steady_clock::now();
     double next_arrival_s = 0;
     std::string frame;
+    obs::SpanBuffer* spans =
+        span_bufs_.empty() ? nullptr : span_bufs_.back().get();
     for (const Event& e : trace) {
       if (transport_->wedged()) break;  // watchdog fired: stop injecting
       inject_failures_until(e.time);
+      // Drift sees every trace event — including ones no deployed task
+      // consumes — because the snapshot's type rates describe the whole
+      // generated stream, not the plan's subscription.
+      if (drift_ != nullptr) drift_->ObserveType(e.type, e.time);
       if (e.origin >= nodes_.size() ||
           dep_.PrimitiveTasksFor(e.origin, e.type).empty()) {
         source_skipped_->Add(1);
@@ -445,9 +548,20 @@ class RtRun {
         std::this_thread::sleep_until(
             start + std::chrono::duration<double>(next_arrival_s));
       }
-      if (e.seq < inject_us_.size()) inject_us_[e.seq] = transport_->NowUs();
+      const uint64_t now = transport_->NowUs();
+      if (e.seq < inject_us_.size()) inject_us_[e.seq] = now;
+      const uint64_t trace_id = sampler_.TraceIdFor(e.seq);
+      if (trace_id != 0 && spans != nullptr) {
+        trace_sampled_->Add(1);
+        obs::TraceSpan s;
+        s.trace_id = trace_id;
+        s.kind = obs::SpanKind::kIngest;
+        s.node = e.origin;
+        s.start_us = now;
+        spans->Record(s);
+      }
       frame.clear();
-      AppendEventFrame(e, &frame);
+      AppendEventFrame(e, TraceContext{trace_id, now}, &frame);
       transport_->NoteFramesQueued(1);
       ++injected_;
       batcher.Add(e.origin, frame.data(), frame.size());
@@ -460,6 +574,28 @@ class RtRun {
 
   void FinishTelemetry() {
     obs::MetricsRegistry& reg = telemetry_->registry;
+    if (sampler_.enabled()) {
+      // Workers and driver have joined: draining the single-writer
+      // buffers is race-free by construction.
+      auto log = std::make_shared<obs::TraceLog>();
+      for (const auto& buf : span_bufs_) log->Absorb(*buf);
+      reg.GetCounter("rt_trace_spans_total")->Add(log->spans().size());
+      reg.GetCounter("rt_trace_spans_dropped_total")->Add(log->dropped());
+      report_.trace_log = std::move(log);
+    }
+    if (drift_ != nullptr) {
+      report_.drift_report = drift_->Finish();
+      report_.drift_score = report_.drift_report.drift_score;
+      report_.drifted = report_.drift_report.drifted;
+      for (const auto& s : report_.drift_report.streams) {
+        const obs::LabelSet labels{{"stream", s.label}};
+        reg.GetGauge("rt_drift_score", labels)->Set(s.score);
+        reg.GetGauge("rt_drift_observed_eps", labels)->Set(s.observed_eps);
+        reg.GetGauge("rt_drift_expected_eps", labels)->Set(s.expected_eps);
+      }
+      reg.GetGauge("rt_drifted")->Set(report_.drifted ? 1.0 : 0.0);
+      reg.GetGauge("rt_drift_score_max")->Set(report_.drift_score);
+    }
     for (size_t n = 0; n < nodes_.size(); ++n) {
       const std::string node_str = std::to_string(n);
       const obs::LabelSet node_labels{{"node", node_str}};
@@ -550,6 +686,13 @@ class RtRun {
   obs::Counter* wire_rejects_ = nullptr;
   obs::Counter* source_skipped_ = nullptr;
 
+  obs::TraceSampler sampler_;
+  /// Per-shard span sinks, plus the driver's at the back; single writer
+  /// each (see trace.h), drained by FinishTelemetry after the joins.
+  std::vector<std::unique_ptr<obs::SpanBuffer>> span_bufs_;
+  obs::Counter* trace_sampled_ = nullptr;
+  std::unique_ptr<obs::RateDriftDetector> drift_;
+
   std::vector<std::unique_ptr<QueryCollector>> collectors_;
   std::vector<std::vector<NodeRuntime::Output>> flush_stash_;
   std::vector<uint64_t> inject_us_;
@@ -578,6 +721,15 @@ std::string RtReport::Summary() const {
                 events_per_sec, wall_seconds);
   s += buf;
   s += "latency (wall ms): " + latency_ms.ToString();
+  if (!drift_report.streams.empty()) {
+    std::snprintf(buf, sizeof(buf), "\ndrift: score %.3f, drifted %s",
+                  drift_score, drifted ? "true" : "false");
+    s += buf;
+  }
+  if (trace_log != nullptr) {
+    s += "\ntrace: " + std::to_string(trace_log->spans().size()) +
+         " spans (" + std::to_string(trace_log->dropped()) + " dropped)";
+  }
   return s;
 }
 

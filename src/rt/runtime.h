@@ -9,7 +9,9 @@
 #include "src/cep/evaluator.h"
 #include "src/dist/deployment.h"
 #include "src/dist/metrics.h"
+#include "src/obs/drift.h"
 #include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
 #include "src/rt/transport.h"
 
 namespace muse::rt {
@@ -54,6 +56,23 @@ struct RtOptions {
   /// receivers deduplicate (the same exactly-once model the simulator
   /// pins down).
   std::vector<std::pair<NodeId, uint64_t>> failures;
+
+  /// muse-trace sampling: 1 in `trace_sample_every` source events (by a
+  /// deterministic hash of Event::seq, obs/trace.h) gets a trace id that
+  /// rides the wire into every derived match; each stage it passes through
+  /// becomes a span in RtReport::trace_log. 0 disables tracing, and the
+  /// wire format then stays byte-identical to the pre-trace (v1) frames.
+  /// Sampling is a pure function of the trace, so it can never change the
+  /// match multiset (pinned by rt_differential_test).
+  uint64_t trace_sample_every = 0;
+  /// Span capacity of each per-thread buffer; overflow is counted, not
+  /// reallocated (rt_trace_spans_dropped_total).
+  size_t trace_max_spans_per_thread = 1 << 16;
+
+  /// Rate-drift detection against the deployment's planner_rates()
+  /// snapshot; results land in RtReport::{drift_score, drifted,
+  /// drift_report} and rt_drift_* gauges.
+  obs::DriftOptions drift;
 };
 
 /// Results of one runtime execution. Latency here is *wall-clock* time
@@ -91,6 +110,18 @@ struct RtReport {
 
   /// Full metrics registry of the run (rt_* families).
   std::shared_ptr<obs::RunTelemetry> telemetry;
+
+  /// Merged causal-trace span log (null when trace_sample_every == 0);
+  /// feed to obs::ExportTrace / TraceLog::Summarize.
+  std::shared_ptr<obs::TraceLog> trace_log;
+
+  /// Rate-drift verdict vs the deployment's planner-rate snapshot: max
+  /// windowed drift score over the flag-eligible (per-type) streams, the
+  /// flag itself, and the full per-stream report. All zero/false/empty
+  /// when the detector was disabled.
+  double drift_score = 0;
+  bool drifted = false;
+  obs::RateDriftDetector::Report drift_report;
 
   std::string Summary() const;
 };

@@ -118,6 +118,41 @@ void AppendMessageFrame(const SimMessage& m, std::string* out) {
   for (const Event& e : m.payload.events) PutEventBody(e, out);
 }
 
+void AppendEventFrame(const Event& e, const TraceContext& trace,
+                      std::string* out) {
+  if (!trace.traced()) {
+    // Version gate: untraced frames stay on the v1 kind, byte-identical
+    // to the pre-trace format.
+    AppendEventFrame(e, out);
+    return;
+  }
+  PutU32(static_cast<uint32_t>(1 + kTraceContextBytes + kEventBodyBytes),
+         out);
+  out->push_back(static_cast<char>(FrameKind::kEventTraced));
+  PutU64(trace.trace_id, out);
+  PutU64(trace.sent_us, out);
+  PutEventBody(e, out);
+}
+
+void AppendMessageFrame(const SimMessage& m, const TraceContext& trace,
+                        std::string* out) {
+  if (!trace.traced()) {
+    AppendMessageFrame(m, out);
+    return;
+  }
+  const size_t body = kTraceContextBytes + kMessageHeaderBytes +
+                      kEventBodyBytes * m.payload.events.size();
+  PutU32(static_cast<uint32_t>(1 + body), out);
+  out->push_back(static_cast<char>(FrameKind::kMessageTraced));
+  PutU64(trace.trace_id, out);
+  PutU64(trace.sent_us, out);
+  PutI32(m.src_task, out);
+  PutI32(m.dst_task, out);
+  PutU64(m.channel_seq, out);
+  PutU32(static_cast<uint32_t>(m.payload.events.size()), out);
+  for (const Event& e : m.payload.events) PutEventBody(e, out);
+}
+
 Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size,
                                  size_t* consumed) {
   *consumed = 0;
@@ -145,20 +180,38 @@ Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size,
 
   DecodedFrame frame;
   switch (kind_byte) {
+    case static_cast<uint8_t>(FrameKind::kEventTraced):
     case static_cast<uint8_t>(FrameKind::kEvent): {
-      frame.kind = FrameKind::kEvent;
-      if (payload_len != 1 + kEventBodyBytes) {
+      // Traced (v2) frames differ from v1 only by the TraceContext
+      // between kind byte and body; the exact-size check below accounts
+      // for it via `ctx_bytes`.
+      const bool traced =
+          kind_byte == static_cast<uint8_t>(FrameKind::kEventTraced);
+      const size_t ctx_bytes = traced ? kTraceContextBytes : 0;
+      frame.kind = traced ? FrameKind::kEventTraced : FrameKind::kEvent;
+      if (payload_len != 1 + ctx_bytes + kEventBodyBytes) {
         return Err("wire: event frame body size ",
                    std::to_string(payload_len - 1), " != ",
-                   std::to_string(kEventBodyBytes));
+                   std::to_string(ctx_bytes + kEventBodyBytes));
+      }
+      if (traced && (!r.GetU64(&frame.trace.trace_id) ||
+                     !r.GetU64(&frame.trace.sent_us))) {
+        return Err("wire: truncated trace context");
       }
       if (!GetEventBody(&r, &frame.event)) {
         return Err("wire: truncated event body");
       }
       break;
     }
+    case static_cast<uint8_t>(FrameKind::kMessageTraced):
     case static_cast<uint8_t>(FrameKind::kMessage): {
-      frame.kind = FrameKind::kMessage;
+      const bool traced =
+          kind_byte == static_cast<uint8_t>(FrameKind::kMessageTraced);
+      frame.kind = traced ? FrameKind::kMessageTraced : FrameKind::kMessage;
+      if (traced && (!r.GetU64(&frame.trace.trace_id) ||
+                     !r.GetU64(&frame.trace.sent_us))) {
+        return Err("wire: truncated trace context");
+      }
       if (!r.GetI32(&frame.message.src_task) ||
           !r.GetI32(&frame.message.dst_task) ||
           !r.GetU64(&frame.message.channel_seq)) {

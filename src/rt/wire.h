@@ -29,6 +29,17 @@ namespace muse::rt {
 ///   i32 src_task, i32 dst_task, u64 channel_seq, u32 num_events,
 ///   followed by num_events event bodies (the payload match, seq-sorted)
 ///
+/// Traced variants (kEventTraced, kMessageTraced — muse-trace) carry a
+/// 16-byte trace context between the kind byte and the body:
+///   u64 trace_id, u64 sent_us
+///
+/// Version gate: the traced kinds are NEW frame kinds (3, 4), not new
+/// fields in the v1 kinds — untraced frames encode byte-identically to
+/// the pre-trace format, so decoders predating muse-trace still accept
+/// every untraced stream, and reject traced frames explicitly as unknown
+/// kinds instead of misparsing them. Encoders emit a traced kind only
+/// when trace_id != 0.
+///
 /// The decoder is total: truncated buffers, oversized length prefixes,
 /// unknown kinds, and inconsistent body sizes are reported as errors —
 /// never reads out of bounds, never crashes (fuzzed by rt_wire_test).
@@ -40,21 +51,48 @@ inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 20;
 enum class FrameKind : uint8_t {
   kEvent = 1,    ///< a source event injected at its origin node
   kMessage = 2,  ///< an inter-task match message (SimMessage)
+  /// v2: same bodies prefixed by a TraceContext. Separate kinds rather
+  /// than extra fields so v1 decoders keep working (see file comment).
+  kEventTraced = 3,
+  kMessageTraced = 4,
 };
 
+/// Optional causal-trace context (obs/trace.h): the 64-bit id the sampler
+/// assigned to the source event at the root of this frame's causal chain,
+/// and the sender's transport-clock timestamp at encode time (receivers
+/// derive the hop latency from it — one process-wide clock, see
+/// Transport::NowUs). trace_id 0 means "untraced".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t sent_us = 0;
+  bool traced() const { return trace_id != 0; }
+};
+
+/// Bytes a TraceContext adds to a traced frame's payload.
+inline constexpr size_t kTraceContextBytes = 8 + 8;
+
 /// One decoded frame; exactly the member named by `kind` is meaningful.
+/// `trace` is zero for untraced (v1) frames.
 struct DecodedFrame {
   FrameKind kind = FrameKind::kEvent;
   Event event;
   SimMessage message;
+  TraceContext trace;
 };
 
-/// Appends the encoded frame to `out`.
+/// Appends the encoded frame to `out`. The TraceContext overloads emit a
+/// v1 frame when the context is untraced — tracing disabled is
+/// byte-identical to the pre-trace wire format.
 void AppendEventFrame(const Event& e, std::string* out);
 void AppendMessageFrame(const SimMessage& m, std::string* out);
+void AppendEventFrame(const Event& e, const TraceContext& trace,
+                      std::string* out);
+void AppendMessageFrame(const SimMessage& m, const TraceContext& trace,
+                        std::string* out);
 
 /// Encoded sizes including the length prefix (the runtime's byte
-/// accounting and the link batcher's flush thresholds use these).
+/// accounting and the link batcher's flush thresholds use these). Sizes
+/// are for untraced frames; a traced frame adds kTraceContextBytes.
 size_t EventFrameBytes();
 size_t MessageFrameBytes(const Match& payload);
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -400,6 +401,75 @@ TEST(ExportTest, SeriesCsvHasOneRowPerPoint) {
   size_t rows = static_cast<size_t>(
       std::count(csv.begin(), csv.end(), '\n'));
   EXPECT_EQ(rows, 3u);  // header + 2 points
+}
+
+// RFC 4180: fields holding commas, quotes, or line breaks must be quoted,
+// with embedded quotes doubled; everything else passes through untouched.
+TEST(ExportTest, CsvFieldQuotesPerRfc4180) {
+  EXPECT_EQ(CsvField("plain"), "plain");
+  EXPECT_EQ(CsvField(""), "");
+  EXPECT_EQ(CsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvField("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvField("cr\rbreak"), "\"cr\rbreak\"");
+}
+
+// Regression: a label value containing a comma used to split the column
+// layout of `muse_metrics --csv`; the row must stay 4 fields wide.
+TEST(ExportTest, SeriesCsvEscapesCommasAndQuotesInLabels) {
+  TimeSeries ts;
+  ts.Append("rate", {{"expr", "SEQ(A,B)"}, {"note", "say \"hi\""}}, 250,
+            4.0);
+  std::string csv = SeriesToCsv(ts);
+  std::istringstream lines(csv);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  // Count columns respecting quotes: commas inside quoted fields don't
+  // split.
+  int columns = 1;
+  bool in_quotes = false;
+  for (char c : row) {
+    if (c == '"') in_quotes = !in_quotes;
+    if (c == ',' && !in_quotes) ++columns;
+  }
+  EXPECT_EQ(columns, 4);  // metric,labels,t_ms,value
+  EXPECT_NE(row.find("SEQ(A,B)"), std::string::npos);
+  EXPECT_NE(row.find("\"\"hi\"\""), std::string::npos);
+}
+
+// Values past the histogram's representable range land in the top bucket
+// and are counted instead of silently clamped.
+TEST(HistogramTest, OverflowIsCountedNotSilent) {
+  Histogram h(1.0);
+  h.Record(1.0);
+  EXPECT_EQ(h.OverflowCount(), 0u);
+  h.Record(1e30);  // scaled far beyond uint64 range
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.OverflowCount(), 2u);
+  EXPECT_EQ(h.Count(), 3u);  // overflowed samples still count
+
+  Histogram other(1.0);
+  other.Record(1e30);
+  h.MergeFrom(other);
+  EXPECT_EQ(h.OverflowCount(), 3u);  // merge carries the overflow tally
+}
+
+TEST(ExportTest, OverflowCounterAppearsInMetricsJson) {
+  RunTelemetry telemetry;
+  Histogram* lat =
+      telemetry.registry.GetHistogram("lat_ms", {{"query", "0"}}, 1.0);
+  lat->Record(2.5);
+  Result<JsonValue> clean = ParseJson(TelemetryToJson(telemetry));
+  ASSERT_TRUE(clean.ok()) << clean.error().message;
+  EXPECT_EQ(TelemetryToJson(telemetry).find("lat_ms_overflow_total"),
+            std::string::npos);  // omitted while zero
+
+  lat->Record(1e30);
+  const std::string json = TelemetryToJson(telemetry);
+  EXPECT_NE(json.find("\"lat_ms_overflow_total\""), std::string::npos);
+  Result<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
 }
 
 }  // namespace

@@ -1,0 +1,281 @@
+// Unit tests for muse-trace (src/obs/trace.h) and the rate-drift detector
+// (src/obs/drift.h): sampling determinism, span buffering, summary and
+// Perfetto export, and the stationary-silent / shift-flagged drift contract.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/drift.h"
+#include "src/obs/json_value.h"
+#include "src/obs/trace.h"
+
+namespace muse::obs {
+namespace {
+
+// ---------------------------------------------------------------- sampler
+
+TEST(TraceSamplerTest, DisabledSamplerNeverTraces) {
+  TraceSampler off;
+  EXPECT_FALSE(off.enabled());
+  for (uint64_t seq = 0; seq < 1000; ++seq) {
+    EXPECT_EQ(off.TraceIdFor(seq), 0u);
+  }
+}
+
+TEST(TraceSamplerTest, EveryOneTracesEverythingWithNonZeroIds) {
+  TraceSampler all(1);
+  ASSERT_TRUE(all.enabled());
+  std::set<uint64_t> ids;
+  for (uint64_t seq = 0; seq < 1000; ++seq) {
+    const uint64_t id = all.TraceIdFor(seq);
+    ASSERT_NE(id, 0u) << "seq " << seq;  // 0 means untraced on the wire
+    ids.insert(id);
+  }
+  // Bit-mixed ids: distinct positions must not collide in practice.
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(TraceSamplerTest, SamplingIsDeterministicInSeqOnly) {
+  TraceSampler a(64), b(64);
+  for (uint64_t seq = 0; seq < 4096; ++seq) {
+    EXPECT_EQ(a.TraceIdFor(seq), b.TraceIdFor(seq));
+  }
+}
+
+TEST(TraceSamplerTest, SampleRateIsRoughlyOneInN) {
+  const uint64_t every = 64;
+  TraceSampler s(every);
+  uint64_t sampled = 0;
+  const uint64_t n = 1 << 16;
+  for (uint64_t seq = 0; seq < n; ++seq) {
+    if (s.TraceIdFor(seq) != 0) ++sampled;
+  }
+  const double expect = static_cast<double>(n) / static_cast<double>(every);
+  EXPECT_GT(static_cast<double>(sampled), expect * 0.5);
+  EXPECT_LT(static_cast<double>(sampled), expect * 1.5);
+}
+
+// ------------------------------------------------------------ span buffer
+
+TEST(SpanBufferTest, CountsDropsPastCapacityWithoutGrowing)  {
+  SpanBuffer buf(4);
+  TraceSpan s;
+  s.trace_id = 1;
+  for (int i = 0; i < 10; ++i) buf.Record(s);
+  EXPECT_EQ(buf.spans().size(), 4u);
+  EXPECT_EQ(buf.dropped(), 6u);
+}
+
+TEST(TraceLogTest, AbsorbMergesSpansAndDropCounts) {
+  SpanBuffer a(2), b(2);
+  TraceSpan s;
+  s.trace_id = 7;
+  for (int i = 0; i < 3; ++i) a.Record(s);  // 1 dropped
+  b.Record(s);
+  TraceLog log;
+  log.Absorb(a);
+  log.Absorb(b);
+  EXPECT_EQ(log.spans().size(), 3u);
+  EXPECT_EQ(log.dropped(), 1u);
+}
+
+// --------------------------------------------------------------- summary
+
+TraceSpan MakeSpan(uint64_t id, SpanKind kind, uint64_t start_us,
+                   uint64_t dur_us) {
+  TraceSpan s;
+  s.trace_id = id;
+  s.kind = kind;
+  s.start_us = start_us;
+  s.dur_us = dur_us;
+  return s;
+}
+
+TEST(TraceLogTest, SummarizeCountsCompletedTracesAndRanksCriticalPaths) {
+  TraceLog log;
+  // Trace 1: ingest at 100, emit at 600 -> latency 500.
+  log.Add(MakeSpan(1, SpanKind::kIngest, 100, 0));
+  log.Add(MakeSpan(1, SpanKind::kTransport, 100, 200));
+  log.Add(MakeSpan(1, SpanKind::kEvaluate, 300, 250));
+  TraceSpan emit1 = MakeSpan(1, SpanKind::kEmit, 600, 0);
+  emit1.query = 2;
+  log.Add(emit1);
+  // Trace 2: ingest at 0, slowest emit at 900 -> latency 900 (two emits;
+  // the later one defines the end-to-end latency and query).
+  log.Add(MakeSpan(2, SpanKind::kIngest, 0, 0));
+  TraceSpan emit2a = MakeSpan(2, SpanKind::kEmit, 400, 0);
+  emit2a.query = 0;
+  log.Add(emit2a);
+  TraceSpan emit2b = MakeSpan(2, SpanKind::kEmit, 900, 0);
+  emit2b.query = 1;
+  log.Add(emit2b);
+  // Trace 3: ingest only — sampled but never produced a match.
+  log.Add(MakeSpan(3, SpanKind::kIngest, 50, 0));
+
+  TraceSummary sum = log.Summarize(/*top_k=*/2);
+  EXPECT_EQ(sum.traces, 3u);
+  EXPECT_EQ(sum.completed, 2u);
+  EXPECT_EQ(sum.spans, 8u);
+  EXPECT_EQ(sum.stages[static_cast<size_t>(SpanKind::kIngest)].count, 3u);
+  EXPECT_EQ(sum.stages[static_cast<size_t>(SpanKind::kEmit)].count, 3u);
+  EXPECT_DOUBLE_EQ(
+      sum.stages[static_cast<size_t>(SpanKind::kTransport)].max_us, 200.0);
+  EXPECT_DOUBLE_EQ(
+      sum.stages[static_cast<size_t>(SpanKind::kEvaluate)].total_us, 250.0);
+
+  ASSERT_EQ(sum.slowest.size(), 2u);
+  EXPECT_EQ(sum.slowest[0].trace_id, 2u);
+  EXPECT_EQ(sum.slowest[0].latency_us, 900u);
+  EXPECT_EQ(sum.slowest[0].query, 1);
+  EXPECT_EQ(sum.slowest[1].trace_id, 1u);
+  EXPECT_EQ(sum.slowest[1].latency_us, 500u);
+  EXPECT_EQ(sum.slowest[1].query, 2);
+  // The span walk is attached to survivors, ordered by start time.
+  ASSERT_EQ(sum.slowest[1].spans.size(), 4u);
+  EXPECT_EQ(sum.slowest[1].spans.front().kind, SpanKind::kIngest);
+  EXPECT_EQ(sum.slowest[1].spans.back().kind, SpanKind::kEmit);
+
+  // ToString renders without crashing and mentions the slowest trace.
+  const std::string text = sum.ToString();
+  EXPECT_NE(text.find("slowest completed traces"), std::string::npos);
+  EXPECT_NE(text.find("latency 900 us"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- export
+
+JsonValue LoadTraceSchema() {
+  std::ifstream in(std::string(MUSE_SOURCE_DIR) +
+                   "/tools/trace_schema.json");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Result<JsonValue> schema = ParseJson(buf.str());
+  EXPECT_TRUE(schema.ok()) << schema.error().message;
+  return schema.value();
+}
+
+TEST(ExportTraceTest, OutputValidatesAgainstCheckedInSchema) {
+  TraceLog log;
+  log.Add(MakeSpan(11, SpanKind::kIngest, 10, 0));
+  TraceSpan hop = MakeSpan(11, SpanKind::kTransport, 10, 30);
+  hop.node = 2;
+  hop.peer = 1;
+  log.Add(hop);
+  TraceSpan eval = MakeSpan(11, SpanKind::kEvaluate, 40, 5);
+  eval.node = 2;
+  eval.task = 4;
+  log.Add(eval);
+
+  const std::string json = ExportTrace(log);
+  Result<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const std::vector<std::string> errors =
+      ValidateJsonSchema(doc.value(), LoadTraceSchema());
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST(ExportTraceTest, EmptyLogStillConformsToSchema) {
+  // minItems 1 on traceEvents: the exporter always names node 0, so even a
+  // run that sampled nothing produces a loadable file.
+  const std::string json = ExportTrace(TraceLog{});
+  Result<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const std::vector<std::string> errors =
+      ValidateJsonSchema(doc.value(), LoadTraceSchema());
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+// ----------------------------------------------------------------- drift
+
+RateSnapshot TypeOnlySnapshot(double eps) {
+  RateSnapshot snap;
+  snap.type_eps = {eps};
+  return snap;
+}
+
+/// Feeds `per_window` evenly spaced type-0 events into every window of
+/// [from_window, to_window).
+void FillWindows(RateDriftDetector* d, uint64_t window_ms, size_t from_window,
+                 size_t to_window, uint64_t per_window) {
+  for (size_t w = from_window; w < to_window; ++w) {
+    for (uint64_t i = 0; i < per_window; ++i) {
+      d->ObserveType(0, w * window_ms + i * window_ms / per_window);
+    }
+  }
+}
+
+TEST(RateDriftTest, StationaryTraceScoresExactlyZero) {
+  DriftOptions opt;
+  RateDriftDetector d(TypeOnlySnapshot(100.0), /*duration_ms=*/10000, opt);
+  FillWindows(&d, opt.window_ms, 0, 10, 100);
+  const RateDriftDetector::Report r = d.Finish();
+  EXPECT_EQ(r.drift_score, 0.0);  // exactly, not approximately
+  EXPECT_FALSE(r.drifted);
+  ASSERT_EQ(r.streams.size(), 1u);
+  EXPECT_NEAR(r.streams[0].observed_eps, 100.0, 1e-9);
+}
+
+TEST(RateDriftTest, TwoTimesRateShiftIsFlagged) {
+  DriftOptions opt;
+  RateDriftDetector d(TypeOnlySnapshot(100.0), /*duration_ms=*/10000, opt);
+  FillWindows(&d, opt.window_ms, 0, 5, 100);   // first half on-model
+  FillWindows(&d, opt.window_ms, 5, 10, 200);  // then the rate doubles
+  const RateDriftDetector::Report r = d.Finish();
+  EXPECT_TRUE(r.drifted);
+  // Score is the log2 count ratio of the worst drifted window: ~1 for 2x.
+  EXPECT_NEAR(r.drift_score, 1.0, 0.05);
+}
+
+TEST(RateDriftTest, LowRateStreamsAreNeverJudged) {
+  DriftOptions opt;  // min_count_per_window = 20
+  RateDriftDetector d(TypeOnlySnapshot(5.0), /*duration_ms=*/10000, opt);
+  FillWindows(&d, opt.window_ms, 0, 10, 15);  // 3x expected, but sparse
+  const RateDriftDetector::Report r = d.Finish();
+  EXPECT_EQ(r.drift_score, 0.0);
+  EXPECT_FALSE(r.drifted);
+}
+
+TEST(RateDriftTest, SmallWigglesInsideRatioBandStaySilent) {
+  DriftOptions opt;
+  // Huge rate: +8% is a large z but inside the ratio band -> no drift.
+  RateDriftDetector d(TypeOnlySnapshot(10000.0), /*duration_ms=*/4000, opt);
+  FillWindows(&d, opt.window_ms, 0, 4, 10800);
+  const RateDriftDetector::Report r = d.Finish();
+  EXPECT_EQ(r.drift_score, 0.0);
+  EXPECT_FALSE(r.drifted);
+}
+
+TEST(RateDriftTest, ProjectionStreamsDiagnoseButNeverFlag) {
+  RateSnapshot snap;
+  RateSnapshot::ProjectionRate p;
+  p.label = "SEQ(A,B)";
+  p.eps = 100.0;  // r-hat says 100/s, but the run produces nothing
+  p.tasks = {7};
+  snap.projections.push_back(p);
+  DriftOptions opt;
+  RateDriftDetector d(snap, /*duration_ms=*/10000, opt);
+  const RateDriftDetector::Report r = d.Finish();
+  ASSERT_EQ(r.streams.size(), 1u);
+  EXPECT_FALSE(r.streams[0].flag_eligible);
+  EXPECT_TRUE(r.streams[0].drifted);  // 0 observed vs 100 expected
+  // ...but the run-level verdict only listens to type streams.
+  EXPECT_FALSE(r.drifted);
+  EXPECT_EQ(r.drift_score, 0.0);
+}
+
+TEST(RateDriftTest, ObservationsOutsideSnapshotAreIgnored) {
+  DriftOptions opt;
+  RateDriftDetector d(TypeOnlySnapshot(100.0), /*duration_ms=*/2000, opt);
+  d.ObserveType(99, 0);        // unknown type: no stream
+  d.ObserveTaskOutput(42, 0);  // unknown task: no stream
+  d.ObserveType(0, 5000);      // past the horizon: clamps, doesn't crash
+  const RateDriftDetector::Report r = d.Finish();
+  ASSERT_EQ(r.streams.size(), 1u);
+}
+
+}  // namespace
+}  // namespace muse::obs

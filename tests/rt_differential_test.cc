@@ -86,7 +86,7 @@ std::vector<std::vector<std::string>> KeySets(
 /// triple and requires identical per-query canonical match sets.
 void ExpectDifferentialEqual(
     const Triple& t, const std::vector<std::pair<NodeId, uint64_t>>& failures,
-    int num_threads) {
+    int num_threads, uint64_t trace_sample_every = 0) {
   SimOptions sim_options;
   sim_options.eval.eviction_slack_ms = kHugeSlackMs;
   sim_options.failures = failures;
@@ -96,6 +96,7 @@ void ExpectDifferentialEqual(
   rt_options.num_threads = num_threads;
   rt_options.eval.eviction_slack_ms = kHugeSlackMs;
   rt_options.failures = failures;
+  rt_options.trace_sample_every = trace_sample_every;
   rt::RtReport run = rt::RtRuntime(*t.dep, rt_options).Run(t.trace);
 
   ASSERT_EQ(run.matches_per_query.size(), sim.matches_per_query.size());
@@ -137,6 +138,25 @@ TEST(RtDifferentialTest, ThreadMultiplexingAgreesWithSimulator) {
 TEST(RtDifferentialTest, CrashesUnderMultiplexedShards) {
   Triple t(3000, "amuse");
   ExpectDifferentialEqual(t, {{0, 900}, {2, 1600}}, /*num_threads=*/2);
+}
+
+// Sampled causal tracing is pure observation: with tracing enabled —
+// even at sample-every=1, where every frame carries a trace context and
+// every stage records spans — the runtime must land on the simulator's
+// exact match sets, crashes and multiplexing included.
+TEST(RtDifferentialTest, SampledTracingNeverChangesMatches) {
+  const char* kPlans[] = {"amuse", "centralized", "oop"};
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const std::string plan_kind = kPlans[seed % 3];
+    const uint64_t sample_every = seed % 2 ? 4 : 1;
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan " + plan_kind +
+                 " sample_every " + std::to_string(sample_every));
+    Triple t(5000 + seed, plan_kind);
+    std::vector<std::pair<NodeId, uint64_t>> failures;
+    if (seed % 3 == 0) failures = {{static_cast<NodeId>(seed % 4), 1300}};
+    ExpectDifferentialEqual(t, failures, /*num_threads=*/seed % 2 ? 2 : 0,
+                            sample_every);
+  }
 }
 
 // NSEQ-heavy workloads: every query carries a negation, so the pending-

@@ -188,6 +188,88 @@ TEST(RtRuntimeTest, ProvedCreditDeadlockWedgesAndMinCreditClearsIt) {
   EXPECT_EQ(Keys(good.matches_per_query[0]), env.ReferenceKeys());
 }
 
+// Dense sampling (every source event traced) is pure observation: the
+// match set still equals the reference, and the drained trace log carries
+// spans for each stage of the pipeline plus completed end-to-end traces.
+TEST(RtRuntimeTest, TracingProducesSpansWithoutChangingMatches) {
+  Env env(79);
+  const std::vector<std::string> want = env.ReferenceKeys();
+  ASSERT_FALSE(want.empty());
+  rt::RtOptions options;
+  options.trace_sample_every = 1;
+  rt::RtReport report = rt::RtRuntime(*env.dep, options).Run(env.trace);
+  EXPECT_EQ(Keys(report.matches_per_query[0]), want);
+  ASSERT_NE(report.trace_log, nullptr);
+  const obs::TraceSummary sum = report.trace_log->Summarize();
+  EXPECT_EQ(sum.traces, env.trace.size());  // every source event sampled
+  EXPECT_GT(sum.completed, 0u);
+  using K = obs::SpanKind;
+  EXPECT_EQ(sum.stages[static_cast<size_t>(K::kIngest)].count,
+            env.trace.size());
+  EXPECT_GT(sum.stages[static_cast<size_t>(K::kTransport)].count, 0u);
+  EXPECT_GT(sum.stages[static_cast<size_t>(K::kInboxWait)].count, 0u);
+  EXPECT_GT(sum.stages[static_cast<size_t>(K::kEvaluate)].count, 0u);
+  EXPECT_GT(sum.stages[static_cast<size_t>(K::kEmit)].count, 0u);
+  // Spans land in telemetry counters too.
+  const obs::Counter* spans = report.telemetry->registry.GetCounter(
+      "rt_trace_spans_total", obs::LabelSet{});
+  ASSERT_NE(spans, nullptr);
+  EXPECT_EQ(spans->Value(), report.trace_log->spans().size());
+}
+
+TEST(RtRuntimeTest, TracingOffLeavesNoTraceLog) {
+  Env env(79);
+  rt::RtReport report = rt::RtRuntime(*env.dep, {}).Run(env.trace);
+  EXPECT_EQ(report.trace_log, nullptr);
+}
+
+// End-to-end drift contract: a runtime fed the exact trace the planner
+// snapshot was derived from reports drift_score == 0, while the same trace
+// with its second half time-compressed 2x (doubling the arrival rate)
+// raises the drifted flag.
+TEST(RtRuntimeTest, DriftDetectorSilentStationaryFlagsRateShift) {
+  // Hand-built network with explicit high rates: the drift detector's
+  // min-count gate needs roughly >= 36 events expected per 1 s window to
+  // call a 2x shift at z >= 6, and MakeRandomNetwork's Zipf rates are
+  // usually far below that.
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A, B)", &reg).value();
+  q.set_window(200);
+  std::vector<Query> workload;
+  workload.push_back(std::move(q));
+  Network net(4, 2);
+  for (NodeId n = 0; n < 4; ++n) {
+    net.AddProducer(n, 0);
+    net.AddProducer(n, 1);
+  }
+  net.SetRate(0, 100.0);  // global events/s; z = 100/sqrt(100) = 10 at 2x
+  net.SetRate(1, 100.0);
+  Rng rng(80);
+  TraceOptions topts;
+  topts.duration_ms = 10000;
+  std::vector<Event> trace = GenerateGlobalTrace(net, topts, rng);
+  WorkloadCatalogs catalogs(workload, net);
+  WorkloadPlan plan = PlanWorkloadAmuse(catalogs);
+  Deployment dep(plan.combined, catalogs.Pointers());
+  ASSERT_FALSE(dep.planner_rates().empty());
+
+  rt::RtOptions options;
+  options.collect_matches = false;
+  rt::RtReport stationary = rt::RtRuntime(dep, options).Run(trace);
+  EXPECT_EQ(stationary.drift_score, 0.0);
+  EXPECT_FALSE(stationary.drifted);
+
+  // Compress the second half of the timeline: arrivals after 5000 ms land
+  // twice as fast, so observed per-window counts double mid-run.
+  std::vector<Event> shifted = trace;
+  for (Event& e : shifted) {
+    if (e.time > 5000) e.time = 5000 + (e.time - 5000) / 2;
+  }
+  rt::RtReport drifted = rt::RtRuntime(dep, options).Run(shifted);
+  EXPECT_TRUE(drifted.drifted);
+  EXPECT_GT(drifted.drift_score, 0.5);
+}
+
 TEST(RtRuntimeTest, CollectMatchesOffKeepsCountsInTelemetry) {
   Env env(77);
   rt::RtOptions options;

@@ -194,5 +194,136 @@ TEST(RtWireTest, MutationFuzzNeverCrashes) {
   }
 }
 
+TraceContext RandomContext(Rng& rng) {
+  TraceContext ctx;
+  ctx.trace_id = static_cast<uint64_t>(rng.UniformInt(1, INT64_MAX));
+  ctx.sent_us = static_cast<uint64_t>(rng.UniformInt(0, INT64_MAX));
+  return ctx;
+}
+
+// Traced frames round-trip both the body and the trace context.
+TEST(RtWireTest, TracedEventRoundTripProperty) {
+  Rng rng(108);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Event e = RandomEvent(rng);
+    const TraceContext ctx = RandomContext(rng);
+    std::string buf;
+    AppendEventFrame(e, ctx, &buf);
+    size_t consumed = 0;
+    Result<DecodedFrame> frame = DecodeFrame(
+        reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.error().message;
+    EXPECT_EQ(consumed, buf.size());
+    ASSERT_EQ(frame.value().kind, FrameKind::kEventTraced);
+    EXPECT_EQ(frame.value().trace.trace_id, ctx.trace_id);
+    EXPECT_EQ(frame.value().trace.sent_us, ctx.sent_us);
+    ExpectEventsEqual(frame.value().event, e);
+  }
+}
+
+TEST(RtWireTest, TracedMessageRoundTripProperty) {
+  Rng rng(109);
+  for (int iter = 0; iter < 200; ++iter) {
+    const SimMessage m = RandomMessage(rng, 8);
+    const TraceContext ctx = RandomContext(rng);
+    std::string buf;
+    AppendMessageFrame(m, ctx, &buf);
+    size_t consumed = 0;
+    Result<DecodedFrame> frame = DecodeFrame(
+        reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.error().message;
+    EXPECT_EQ(consumed, buf.size());
+    ASSERT_EQ(frame.value().kind, FrameKind::kMessageTraced);
+    EXPECT_EQ(frame.value().trace.trace_id, ctx.trace_id);
+    EXPECT_EQ(frame.value().trace.sent_us, ctx.sent_us);
+    const SimMessage& got = frame.value().message;
+    EXPECT_EQ(got.src_task, m.src_task);
+    EXPECT_EQ(got.dst_task, m.dst_task);
+    EXPECT_EQ(got.channel_seq, m.channel_seq);
+    ASSERT_EQ(got.payload.events.size(), m.payload.events.size());
+    for (size_t i = 0; i < m.payload.events.size(); ++i) {
+      ExpectEventsEqual(got.payload.events[i], m.payload.events[i]);
+    }
+  }
+}
+
+// The version gate: an untraced context must encode the legacy v1 frame
+// byte-for-byte, so runtimes without tracing enabled put nothing new on
+// the wire and old decoders keep working unchanged.
+TEST(RtWireTest, UntracedContextEncodesLegacyFrameExactly) {
+  Rng rng(110);
+  const TraceContext none;  // trace_id == 0 means "not sampled"
+  ASSERT_FALSE(none.traced());
+  for (int iter = 0; iter < 50; ++iter) {
+    const Event e = RandomEvent(rng);
+    std::string legacy, gated;
+    AppendEventFrame(e, &legacy);
+    AppendEventFrame(e, none, &gated);
+    EXPECT_EQ(gated, legacy);
+
+    const SimMessage m = RandomMessage(rng, 4);
+    std::string mlegacy, mgated;
+    AppendMessageFrame(m, &mlegacy);
+    AppendMessageFrame(m, none, &mgated);
+    EXPECT_EQ(mgated, mlegacy);
+  }
+}
+
+// The trace context costs exactly kTraceContextBytes on the wire.
+TEST(RtWireTest, TracedFrameSizeIsUntracedPlusContext) {
+  Rng rng(111);
+  const Event e = RandomEvent(rng);
+  const SimMessage m = RandomMessage(rng, 5);
+  const TraceContext ctx = RandomContext(rng);
+  std::string plain, traced;
+  AppendEventFrame(e, &plain);
+  AppendEventFrame(e, ctx, &traced);
+  EXPECT_EQ(traced.size(), plain.size() + kTraceContextBytes);
+  plain.clear();
+  traced.clear();
+  AppendMessageFrame(m, &plain);
+  AppendMessageFrame(m, ctx, &traced);
+  EXPECT_EQ(traced.size(), plain.size() + kTraceContextBytes);
+}
+
+// Truncation sweep over traced frames: every strict prefix must error.
+TEST(RtWireTest, TracedFrameTruncationsError) {
+  Rng rng(112);
+  const TraceContext ctx = RandomContext(rng);
+  std::string event_buf;
+  AppendEventFrame(RandomEvent(rng), ctx, &event_buf);
+  std::string msg_buf;
+  AppendMessageFrame(RandomMessage(rng, 3), ctx, &msg_buf);
+  for (const std::string& buf : {event_buf, msg_buf}) {
+    for (size_t len = 0; len < buf.size(); ++len) {
+      size_t consumed = 0;
+      Result<DecodedFrame> frame = DecodeFrame(
+          reinterpret_cast<const uint8_t*>(buf.data()), len, &consumed);
+      EXPECT_FALSE(frame.ok()) << "prefix of " << len << " bytes decoded";
+    }
+  }
+}
+
+// Bit-flip fuzz over packets that mix traced and untraced frames.
+TEST(RtWireTest, TracedMutationFuzzNeverCrashes) {
+  Rng rng(113);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string packet;
+    for (int i = 0; i < 5; ++i) {
+      const bool traced = rng.Chance(0.5);
+      const TraceContext ctx = traced ? RandomContext(rng) : TraceContext{};
+      if (rng.Chance(0.5)) {
+        AppendEventFrame(RandomEvent(rng), ctx, &packet);
+      } else {
+        AppendMessageFrame(RandomMessage(rng, 3), ctx, &packet);
+      }
+    }
+    const size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(packet.size()) - 1));
+    packet[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    (void)DecodePacket(packet);
+  }
+}
+
 }  // namespace
 }  // namespace muse::rt

@@ -1,0 +1,328 @@
+// muse_trace — run a spec on the muse-rt multi-threaded runtime with
+// sampled causal tracing (obs/trace.h) and rate-drift detection
+// (obs/drift.h), then summarize where each traced event's latency went and
+// whether the live rates still match the planner-input stats.
+//
+// Usage:
+//   muse_trace <spec-file>
+//     [--algorithm amuse|amuse-star|oop|centralized]  planner (default amuse)
+//     [--duration-ms <n>]   trace length in virtual ms (default 10000)
+//     [--seed <n>]          trace RNG seed (default 1)
+//     [--sample-every <n>]  trace 1 in n source events (default 64; the
+//                           sampler hashes Event::seq, so sampling is
+//                           deterministic and cannot change match sets)
+//     [--max-spans <n>]     per-thread span buffer capacity (default 65536)
+//     [--top <k>]           slowest completed traces to print (default 3)
+//     [--rt-threads <n>]    worker threads (0 = one per node)
+//     [--rt-inbox <frames>] per-node inbox credit window (default 1024)
+//     [--rt-batch <frames>] per-link batch size (default 32)
+//     [--rt-delay-us <us>]  injected per-hop delivery delay (default 0)
+//     [--rt-rate <eps>]     Poisson source pacing, events/sec (0 = unpaced)
+//     [--out <file|->]      write the Chrome/Perfetto trace-event JSON
+//                           (load in ui.perfetto.dev or chrome://tracing)
+//     [--schema <file>]     validate the trace JSON against this schema;
+//                           exits 1 when it does not conform
+//     [--drift-window-ms <n>]  drift observation window (default 1000)
+//     [--drift-z <z>]          z-score gate (default 6)
+//     [--drift-ratio <r>]      ratio-band gate (default 1.5)
+//     [--rate-shift <f>]    synthetic drift: compress event times after the
+//                           shift point by f, so the observed rate jumps f×
+//                           mid-trace (f=2 doubles it)
+//     [--shift-at-ms <t>]   when the shift starts (default duration/2)
+//     [--expect-drift]      exit 1 unless the detector flags drift
+//     [--expect-stationary] exit 1 if the detector flags drift
+//
+// Exit status: 0 success, 1 schema violations, write failures, or a failed
+// --expect-* assertion, 2 usage or unreadable/unparseable inputs.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/net/trace.h"
+#include "src/obs/json_value.h"
+#include "src/obs/trace.h"
+#include "src/rt/runtime.h"
+#include "src/workload/spec.h"
+
+namespace {
+
+using namespace muse;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: muse_trace <spec-file> [--algorithm amuse|amuse-star|oop"
+      "|centralized]\n"
+      "  [--duration-ms <n>] [--seed <n>] [--sample-every <n>] "
+      "[--max-spans <n>] [--top <k>]\n"
+      "  [--rt-threads <n>] [--rt-inbox <frames>] [--rt-batch <frames>]\n"
+      "  [--rt-delay-us <us>] [--rt-rate <eps>] [--out <file|->] "
+      "[--schema <file>]\n"
+      "  [--drift-window-ms <n>] [--drift-z <z>] [--drift-ratio <r>]\n"
+      "  [--rate-shift <f>] [--shift-at-ms <t>] [--expect-drift] "
+      "[--expect-stationary]\n");
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* content) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+struct Args {
+  std::string spec_path;
+  std::string algorithm = "amuse";
+  uint64_t duration_ms = 10'000;
+  uint64_t seed = 1;
+  uint64_t sample_every = 64;
+  uint64_t max_spans = 1 << 16;
+  uint64_t top_k = 3;
+  std::string out_path;
+  std::string schema_path;
+  double rate_shift = 0;       // 0 = no synthetic shift
+  uint64_t shift_at_ms = 0;    // 0 = duration/2
+  bool expect_drift = false;
+  bool expect_stationary = false;
+  rt::RtOptions rt;
+};
+
+MuseGraph BuildPlan(const std::string& algorithm,
+                    const WorkloadCatalogs& catalogs) {
+  if (algorithm == "amuse" || algorithm == "amuse-star") {
+    PlannerOptions opts;
+    opts.star = algorithm == "amuse-star";
+    return std::move(PlanWorkloadAmuse(catalogs, opts).combined);
+  }
+  if (algorithm == "oop") {
+    return std::move(PlanWorkloadOop(catalogs).combined);
+  }
+  return BuildCentralizedPlan(catalogs.Pointers(), 0);
+}
+
+/// Synthetic mid-trace rate shift: event times past `shift_at_ms` are
+/// compressed toward it by `factor`, so the same events arrive `factor`×
+/// faster — the observed rate of every type jumps while the planner
+/// snapshot still describes the stationary head. Time order (and
+/// therefore Event::seq order) is preserved.
+void ApplyRateShift(std::vector<Event>* trace, uint64_t shift_at_ms,
+                    double factor) {
+  for (Event& e : *trace) {
+    if (e.time <= shift_at_ms) continue;
+    e.time = shift_at_ms +
+             static_cast<uint64_t>(
+                 static_cast<double>(e.time - shift_at_ms) / factor);
+  }
+}
+
+int ValidateAgainstSchema(const std::string& json,
+                          const std::string& schema_path) {
+  std::string schema_text;
+  if (!ReadFile(schema_path, &schema_text)) return 2;
+  Result<obs::JsonValue> schema = obs::ParseJson(schema_text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "error: schema %s: %s\n", schema_path.c_str(),
+                 schema.error().message.c_str());
+    return 2;
+  }
+  Result<obs::JsonValue> doc = obs::ParseJson(json);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: exported JSON does not re-parse: %s\n",
+                 doc.error().message.c_str());
+    return 1;
+  }
+  std::vector<std::string> violations =
+      obs::ValidateJsonSchema(doc.value(), schema.value());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "schema violation: %s\n", v.c_str());
+  }
+  if (!violations.empty()) return 1;
+  std::fprintf(stderr, "schema: trace JSON conforms to %s\n",
+               schema_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.spec_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](uint64_t* v) {
+      if (i + 1 >= argc) return false;
+      *v = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
+      args.algorithm = argv[++i];
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0) {
+      if (!next(&args.duration_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!next(&args.seed)) return Usage();
+    } else if (std::strcmp(argv[i], "--sample-every") == 0) {
+      if (!next(&args.sample_every)) return Usage();
+    } else if (std::strcmp(argv[i], "--max-spans") == 0) {
+      if (!next(&args.max_spans)) return Usage();
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      if (!next(&args.top_k)) return Usage();
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      args.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
+      args.schema_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--drift-window-ms") == 0) {
+      if (!next(&args.rt.drift.window_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--drift-z") == 0 && i + 1 < argc) {
+      args.rt.drift.z_threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--drift-ratio") == 0 && i + 1 < argc) {
+      args.rt.drift.ratio_threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--rate-shift") == 0 && i + 1 < argc) {
+      args.rate_shift = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--shift-at-ms") == 0) {
+      if (!next(&args.shift_at_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--expect-drift") == 0) {
+      args.expect_drift = true;
+    } else if (std::strcmp(argv[i], "--expect-stationary") == 0) {
+      args.expect_stationary = true;
+    } else if (std::strcmp(argv[i], "--rt-threads") == 0 && i + 1 < argc) {
+      args.rt.num_threads =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rt-inbox") == 0) {
+      uint64_t v = 0;
+      if (!next(&v)) return Usage();
+      args.rt.transport.inbox_capacity = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--rt-batch") == 0 && i + 1 < argc) {
+      args.rt.transport.batch_max_frames =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rt-delay-us") == 0) {
+      if (!next(&args.rt.transport.delivery_delay_us)) return Usage();
+    } else if (std::strcmp(argv[i], "--rt-rate") == 0 && i + 1 < argc) {
+      args.rt.source_rate_eps = std::strtod(argv[++i], nullptr);
+    } else {
+      return Usage();
+    }
+  }
+  const bool known_algorithm =
+      args.algorithm == "amuse" || args.algorithm == "amuse-star" ||
+      args.algorithm == "oop" || args.algorithm == "centralized";
+  if (!known_algorithm) return Usage();
+  if (args.sample_every == 0) {
+    std::fprintf(stderr, "error: --sample-every must be >= 1\n");
+    return Usage();
+  }
+  if (args.rate_shift != 0 && args.rate_shift < 1.0) {
+    std::fprintf(stderr, "error: --rate-shift factor must be >= 1\n");
+    return Usage();
+  }
+
+  std::string spec_text;
+  if (!ReadFile(args.spec_path, &spec_text)) return 2;
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(spec_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.error().message.c_str());
+    return 2;
+  }
+  const DeploymentSpec& dep_spec = spec.value();
+
+  std::FILE* out = args.out_path == "-" ? stderr : stdout;
+  std::fprintf(out, "network: %d nodes, %d event types; %zu queries\n",
+               dep_spec.network.num_nodes(), dep_spec.network.num_types(),
+               dep_spec.workload.size());
+
+  WorkloadCatalogs catalogs(dep_spec.workload, dep_spec.network);
+  Rng rng(args.seed);
+  TraceOptions trace_opts;
+  trace_opts.duration_ms = args.duration_ms;
+  std::vector<Event> trace =
+      GenerateGlobalTrace(dep_spec.network, trace_opts, rng);
+  if (args.rate_shift > 1.0) {
+    const uint64_t shift_at =
+        args.shift_at_ms > 0 ? args.shift_at_ms : args.duration_ms / 2;
+    ApplyRateShift(&trace, shift_at, args.rate_shift);
+    std::fprintf(out, "synthetic rate shift: %.2fx after %llu ms\n",
+                 args.rate_shift,
+                 static_cast<unsigned long long>(shift_at));
+  }
+  std::fprintf(out, "trace: %zu events (seed %llu), sampling 1/%llu\n",
+               trace.size(), static_cast<unsigned long long>(args.seed),
+               static_cast<unsigned long long>(args.sample_every));
+
+  MuseGraph plan = BuildPlan(args.algorithm, catalogs);
+  Deployment dep(plan, catalogs.Pointers());
+  rt::RtOptions rt_opts = args.rt;
+  rt_opts.source_seed = args.seed;
+  rt_opts.collect_matches = false;
+  rt_opts.trace_sample_every = args.sample_every;
+  rt_opts.trace_max_spans_per_thread =
+      static_cast<size_t>(args.max_spans);
+
+  rt::RtRuntime runtime(dep, rt_opts);
+  rt::RtReport report = runtime.Run(trace);
+
+  std::fprintf(out, "\nalgorithm: %s (muse-rt, %d thread(s))\n%s\n",
+               args.algorithm.c_str(), rt_opts.num_threads,
+               report.Summary().c_str());
+
+  if (report.trace_log != nullptr) {
+    const obs::TraceSummary summary =
+        report.trace_log->Summarize(static_cast<size_t>(args.top_k));
+    std::fprintf(out, "\nlatency breakdown:\n%s", summary.ToString().c_str());
+  }
+  if (!report.drift_report.streams.empty()) {
+    std::fprintf(out, "\nrate drift vs planner snapshot:\n%s",
+                 report.drift_report.ToString().c_str());
+  }
+
+  int rc = 0;
+  if (report.trace_log != nullptr &&
+      (!args.out_path.empty() || !args.schema_path.empty())) {
+    const std::string json = obs::ExportTrace(*report.trace_log);
+    if (args.out_path == "-") {
+      std::printf("%s", json.c_str());
+    } else if (!args.out_path.empty() && !WriteFile(args.out_path, json)) {
+      rc = 1;
+    }
+    if (!args.schema_path.empty() && rc == 0) {
+      rc = ValidateAgainstSchema(json, args.schema_path);
+    }
+  }
+  if (args.expect_drift && !report.drifted) {
+    std::fprintf(stderr,
+                 "expectation failed: --expect-drift but drifted=false "
+                 "(drift_score %.3f)\n",
+                 report.drift_score);
+    rc = 1;
+  }
+  if (args.expect_stationary && report.drifted) {
+    std::fprintf(stderr,
+                 "expectation failed: --expect-stationary but drifted=true "
+                 "(drift_score %.3f)\n",
+                 report.drift_score);
+    rc = 1;
+  }
+  return rc;
+}
