@@ -18,6 +18,14 @@
 // thread count with 1-in-N sampled causal tracing enabled and records the
 // events/s cost versus the untraced point as "trace_overhead" in the JSON.
 //
+// `--processes <csv>` (e.g. `--processes 1,2,4`) switches to the muse-net
+// multi-process suite: the aMuSE plan runs once in-process as the
+// baseline, then once per requested count as a real muse_node cluster
+// (spec text and plan JSON round-tripped exactly as daemons receive
+// them, frames over loopback TCP), and writes BENCH_rt_net.json. Every
+// point must report the identical match count — the cross-process
+// determinism contract — or the bench exits non-zero.
+//
 // Comparing the two plans is the paper's load-distribution claim (§7)
 // restated in wall-clock terms: the centralized plan funnels every event
 // through one evaluator node, so multiplexing its deployment over more
@@ -37,9 +45,12 @@
 #include "bench/bench_common.h"
 #include "src/common/thread_pool.h"
 #include "src/core/centralized.h"
+#include "src/core/plan_json.h"
 #include "src/net/trace.h"
+#include "src/rt/cluster.h"
 #include "src/rt/runtime.h"
 #include "src/workload/selectivity_model.h"
+#include "src/workload/spec.h"
 
 namespace muse::bench {
 namespace {
@@ -79,6 +90,7 @@ struct Point {
   double p99_ms = 0;
   uint64_t matches = 0;
   uint64_t net_frames = 0;
+  uint64_t net_bytes = 0;
   uint64_t stalls = 0;
 };
 
@@ -270,6 +282,184 @@ int RunThroughput(const std::string& out_path, int reps,
   return matches_consistent ? 0 : 1;
 }
 
+/// The same fixed workload as RunThroughput, but round-tripped through
+/// the deployment-spec text and plan JSON a cluster actually ships, so
+/// the Deployment measured here is compiled from the bytes every
+/// muse_node daemon parses. The trace is generated from the *parsed*
+/// network for the same reason.
+struct NetInstance {
+  DeploymentSpec spec;
+  std::string spec_text;
+  std::string plan_json;
+  std::vector<Event> trace;
+  std::unique_ptr<WorkloadCatalogs> catalogs;
+  std::unique_ptr<Deployment> dep;
+
+  explicit NetInstance(uint64_t duration_ms) {
+    Rng rng(kSeed);
+    NetworkGenOptions nopts;
+    nopts.num_nodes = 8;
+    nopts.num_types = 6;
+    nopts.max_rate = 10;
+    SelectivityModel model(nopts.num_types, 0.05, 0.3, rng);
+    QueryGenOptions qopts;
+    qopts.num_queries = 3;
+    qopts.avg_primitives = 4;
+    qopts.num_types = nopts.num_types;
+
+    DeploymentSpec generated;
+    generated.network = MakeRandomNetwork(nopts, rng);
+    generated.workload = GenerateWorkload(qopts, model, rng);
+    for (int t = 0; t < nopts.num_types; ++t) {
+      generated.registry.Intern("T" + std::to_string(t));
+    }
+    spec_text = WriteDeploymentSpec(generated);
+    Result<DeploymentSpec> parsed = ParseDeploymentSpec(spec_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fatal: spec round-trip failed: %s\n",
+                   parsed.error().message.c_str());
+      std::abort();
+    }
+    spec = std::move(parsed).value();
+
+    TraceOptions topts;
+    topts.duration_ms = duration_ms;
+    trace = GenerateGlobalTrace(spec.network, topts, rng);
+
+    catalogs = std::make_unique<WorkloadCatalogs>(spec.workload, spec.network);
+    MuseGraph plan =
+        PlanWorkloadAmuse(*catalogs, BenchPlannerOptions(false)).combined;
+    plan_json = PlanToJson(plan);
+    dep = std::make_unique<Deployment>(plan, catalogs->Pointers());
+  }
+};
+
+Point RunNetPoint(const NetInstance& inst, const std::string& label,
+                  int processes, int threads, int reps,
+                  const std::string& muse_node_bin) {
+  Point p;
+  p.plan = label;
+  p.threads = threads;
+  for (int r = 0; r < reps; ++r) {
+    rt::RtOptions opts;
+    opts.num_threads = threads;
+    opts.collect_matches = false;
+    opts.source_seed = kSeed + static_cast<uint64_t>(r);
+    if (processes > 0) {
+      opts.transport_kind = rt::RtTransportKind::kCluster;
+      opts.processes = processes;
+      opts.muse_node_bin = muse_node_bin;
+      opts.cluster_spec_text = inst.spec_text;
+      opts.cluster_plan_json = inst.plan_json;
+      opts.transport.wedge_timeout_ms = 60000;
+    }
+    rt::RtRuntime runtime(*inst.dep, opts);
+    rt::RtReport report = runtime.Run(inst.trace);
+    if (report.wedged) {
+      std::fprintf(stderr, "error: %s wedged (rep %d)\n", label.c_str(), r);
+      continue;
+    }
+    if (r == 0 || report.events_per_sec > p.events_per_sec) {
+      p.events_per_sec = report.events_per_sec;
+      p.wall_seconds = report.wall_seconds;
+      p.matches = MatchCount(report);
+      p.net_frames = report.network_frames;
+      p.net_bytes = report.network_bytes;
+      p.stalls = report.backpressure_stalls;
+      LatencyQuantiles(report, &p);
+    }
+  }
+  return p;
+}
+
+int RunNetThroughput(const std::string& out_path, int reps,
+                     uint64_t duration_ms,
+                     const std::vector<int>& process_counts) {
+  const std::string muse_node_bin = rt::FindMuseNodeBinary("");
+  if (muse_node_bin.empty()) {
+    std::fprintf(stderr,
+                 "error: muse_node binary not found (looked next to this "
+                 "binary, ../tools, $MUSE_NODE_BIN)\n");
+    return 1;
+  }
+  NetInstance inst(duration_ms);
+  const int threads = 2;
+
+  PrintTitle("muse-net multi-process throughput (trace: " +
+             std::to_string(inst.trace.size()) + " events, " +
+             std::to_string(duration_ms) + " virtual ms, " +
+             std::to_string(threads) + " threads/process, reps=" +
+             std::to_string(reps) + ")");
+  PrintHeader({"mode", "threads", "events/s", "wall_s", "p50_ms", "p99_ms",
+               "matches", "net_frames", "stalls"});
+
+  std::vector<Point> points;
+  std::vector<int> procs_of_point;
+  uint64_t baseline_matches = 0;
+  bool matches_consistent = true;
+  auto take = [&](Point p, int processes) {
+    if (points.empty()) baseline_matches = p.matches;
+    matches_consistent &= p.matches == baseline_matches;
+    points.push_back(p);
+    procs_of_point.push_back(processes);
+    PrintRow({p.plan, std::to_string(p.threads), Fmt(p.events_per_sec),
+              Fmt(p.wall_seconds), Fmt(p.p50_ms), Fmt(p.p99_ms),
+              std::to_string(p.matches), std::to_string(p.net_frames),
+              std::to_string(p.stalls)});
+  };
+  take(RunNetPoint(inst, "inproc", 0, threads, reps, muse_node_bin), 0);
+  for (int n : process_counts) {
+    take(RunNetPoint(inst, "cluster-p" + std::to_string(n), n, threads, reps,
+                     muse_node_bin),
+         n);
+  }
+  if (!matches_consistent) {
+    std::fprintf(stderr,
+                 "error: match counts diverged across process counts — the "
+                 "cross-process determinism contract is broken\n");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"rt_net_throughput\",\n";
+  json << "  \"config\": {\"num_nodes\": 8, \"num_types\": 6, "
+       << "\"num_queries\": 3, \"avg_primitives\": 4, \"seed\": " << kSeed
+       << ", \"duration_ms\": " << duration_ms << ", \"trace_events\": "
+       << inst.trace.size() << ", \"threads_per_process\": " << threads
+       << "},\n";
+  json << "  \"reps\": " << reps << ",\n";
+  json << "  \"matches_consistent\": "
+       << (matches_consistent ? "true" : "false") << ",\n";
+  json << "  \"results\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json << "    {\"mode\": \"" << p.plan
+         << "\", \"processes\": " << procs_of_point[i]
+         << ", \"threads\": " << p.threads
+         << ", \"events_per_sec\": " << p.events_per_sec
+         << ", \"wall_seconds\": " << p.wall_seconds
+         << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+         << ", \"matches\": " << p.matches
+         << ", \"net_frames\": " << p.net_frames
+         << ", \"net_bytes\": " << p.net_bytes
+         << ", \"backpressure_stalls\": " << p.stalls << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (out_path == "-") {
+    std::printf("%s", json.str().c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return matches_consistent ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace muse::bench
 
@@ -279,7 +469,8 @@ int main(int argc, char** argv) {
   int reps = 3;
   uint64_t duration_ms = 8000;
   uint64_t trace_sample_every = 0;
-  std::string out_path = "BENCH_rt.json";
+  std::string out_path;
+  std::vector<int> process_counts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling") == 0) {
       scaling = true;
@@ -291,8 +482,27 @@ int main(int argc, char** argv) {
       duration_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
       trace_sample_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--processes") == 0 && i + 1 < argc) {
+      for (const char* s = argv[++i]; *s != '\0';) {
+        char* end = nullptr;
+        const long n = std::strtol(s, &end, 10);
+        if (end == s || n < 1 || (*end != '\0' && *end != ',')) {
+          std::fprintf(stderr,
+                       "error: --processes wants a comma list of counts "
+                       ">= 1, got '%s'\n", argv[i]);
+          return 2;
+        }
+        process_counts.push_back(static_cast<int>(n));
+        s = *end == ',' ? end + 1 : end;
+      }
     }
   }
+  if (!process_counts.empty()) {
+    if (out_path.empty()) out_path = "BENCH_rt_net.json";
+    return muse::bench::RunNetThroughput(out_path, reps, duration_ms,
+                                         process_counts);
+  }
+  if (out_path.empty()) out_path = "BENCH_rt.json";
   if (!scaling) reps = 1;
   return muse::bench::RunThroughput(out_path, reps, duration_ms, scaling,
                                     trace_sample_every);

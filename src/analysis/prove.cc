@@ -134,10 +134,26 @@ ProveReport ProveDeployment(
   const size_t batch = static_cast<size_t>(
       std::max(1, transport.batch_max_frames));
 
+  // A cluster transport splits every inbox window W into processes+1
+  // equal sender shares — one per daemon plus the coordinator (see
+  // rt/net_transport.h). Each sender domain can spend only its own
+  // share, so M900's per-link sufficiency must hold per *share*, and the
+  // realizable aggregate inbox buffering is share * domains. TCP socket
+  // buffers need no extra term: bytes in flight sit on already-spent
+  // credits, so the shares bound kernel buffering as well.
+  const size_t domains =
+      options.rt.transport_kind == rt::RtTransportKind::kCluster
+          ? static_cast<size_t>(std::max(1, options.rt.processes)) + 1
+          : 1;
+  auto share_of = [&](size_t cap) {
+    return cap == 0 ? size_t{0} : std::max<size_t>(1, cap / domains);
+  };
+
   report.nodes.resize(num_nodes);
   for (NodeId n = 0; n < num_nodes; ++n) {
     report.nodes[n].node = n;
     report.nodes[n].credit_window = WindowOf(transport, n);
+    report.nodes[n].credit_share = share_of(report.nodes[n].credit_window);
     report.nodes[n].capacity_eps = net.Capacity(n);
   }
   auto node_ok = [&](NodeId n) { return static_cast<size_t>(n) < num_nodes; };
@@ -231,9 +247,14 @@ ProveReport ProveDeployment(
   }
   for (NodeId n = 0; n < num_nodes; ++n) {
     NodeCertificate& cert = report.nodes[n];
-    if (!in_links[n].empty() || injected[n]) cert.min_credit = batch;
+    // The hint is in whole-window frames: a cluster sender sees only a
+    // 1/(processes+1) share, so the window must be `domains` times the
+    // batch for one packet to ever clear a share.
+    if (!in_links[n].empty() || injected[n]) cert.min_credit = batch * domains;
     const size_t window = cert.credit_window;
-    if (window == 0 || cert.min_credit == 0 || batch <= window) continue;
+    if (window == 0 || cert.min_credit == 0 || batch <= cert.credit_share) {
+      continue;
+    }
     // Undeliverable link(s) into node n.
     std::string senders;
     for (NodeId src : in_links[n]) {
@@ -247,9 +268,13 @@ ProveReport ProveDeployment(
     std::string msg = "a packet of up to " + std::to_string(batch) +
                       " frames from {" + senders +
                       "} can never acquire the node's " +
-                      std::to_string(window) +
-                      " credits: the link wedges permanently once such a "
-                      "batch forms";
+                      std::to_string(cert.credit_share) + " credits";
+    if (domains > 1) {
+      msg += " (the " + std::to_string(window) + "-frame window splits into " +
+             std::to_string(domains) + " sender shares across " +
+             std::to_string(domains - 1) + " processes)";
+    }
+    msg += ": the link wedges permanently once such a batch forms";
     const std::vector<NodeId>& members =
         comp_members[static_cast<size_t>(comp[n])];
     const bool self_loop = adj[n].count(n) != 0;
@@ -262,11 +287,12 @@ ProveReport ProveDeployment(
         cycle += "n" + std::to_string(m);
         const size_t w = WindowOf(transport, m);
         if (w == 0) cycle_bounded = false;
-        aggregate += w;
+        aggregate += share_of(w);
       }
       msg += "; it wedges the blocking cycle {" + cycle + "}";
       if (cycle_bounded) {
-        msg += " (aggregate credit " + std::to_string(aggregate) + ")";
+        msg += " (aggregate sender-share credit " + std::to_string(aggregate) +
+               ")";
       }
     }
     report.findings.Add(
@@ -359,7 +385,11 @@ ProveReport ProveDeployment(
                             "'s inbox is unbounded (capacity 0)");
       }
     } else if (cert.min_credit > 0 || channels > 0) {
-      add_part("inbox", static_cast<double>(cert.credit_window));
+      // Realizable aggregate across all sender domains. With rounding
+      // (each share is at least 1 frame) this can slightly exceed the
+      // configured window — the supremum must track what senders can
+      // actually spend, not the nominal figure.
+      add_part("inbox", static_cast<double>(cert.credit_share * domains));
     }
     if (channels > 0) add_part("channels", channels);
 
@@ -473,12 +503,14 @@ std::string ProveReport::ToString() const {
 }
 
 std::string ProveReport::CertificateTable() const {
-  std::string out = "node  load/s      capacity    inbox  min  state bound\n";
+  std::string out =
+      "node  load/s      capacity    inbox  share  min  state bound\n";
   for (const NodeCertificate& c : nodes) {
     char line[160];
-    std::snprintf(line, sizeof(line), "n%-4u %-11.6g %-11.6g %-6zu %-4zu ",
+    std::snprintf(line, sizeof(line),
+                  "n%-4u %-11.6g %-11.6g %-6zu %-6zu %-4zu ",
                   static_cast<unsigned>(c.node), c.load_eps, c.capacity_eps,
-                  c.credit_window, c.min_credit);
+                  c.credit_window, c.credit_share, c.min_credit);
     out += line;
     if (c.state_bounded) {
       out += Fmt(c.state_bound);
@@ -502,6 +534,8 @@ void ExportProveBounds(const ProveReport& report,
     }
     registry->GetGauge("prove_min_credit", labels)
         ->Set(static_cast<double>(c.min_credit));
+    registry->GetGauge("prove_credit_share", labels)
+        ->Set(static_cast<double>(c.credit_share));
     registry->GetGauge("prove_load_eps", labels)->Set(c.load_eps);
   }
 }

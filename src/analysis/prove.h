@@ -40,8 +40,11 @@ namespace muse {
 /// never exceeds the exported `prove_state_bound` of its node.
 struct ProveOptions {
   /// Runtime configuration under which the deployment would run. The
-  /// transport fields drive M900 (credit windows, batch sizes) and the
-  /// eval fields drive M901-M903 (eviction slack).
+  /// transport fields drive M900 (credit windows, batch sizes), the
+  /// eval fields drive M901-M903 (eviction slack), and transport_kind +
+  /// processes select the credit-share model: a kCluster deployment
+  /// splits every inbox window across processes+1 sender domains, so a
+  /// window that is safe single-process can deadlock across sockets.
   rt::RtOptions rt;
 
   /// Volatile-state budget per node in buffered entries (matches + pending
@@ -64,10 +67,18 @@ struct NodeCertificate {
   /// Declared capacity (Network::Capacity); 0 = undeclared.
   double capacity_eps = 0;
 
-  /// Effective inbox credit window in frames (0 = unbounded).
+  /// Configured inbox credit window in frames (0 = unbounded).
   size_t credit_window = 0;
-  /// Minimum credit window that admits every incoming link's largest
-  /// packet (the M900 hint); 0 when no link targets this node.
+  /// Per-sender-domain share of that window actually spendable by one
+  /// sender: equal to `credit_window` for in-proc and loopback runs, and
+  /// max(1, window / (processes + 1)) under a cluster transport, which
+  /// splits the window across the daemons plus the coordinator (TCP
+  /// socket buffers only ever hold packets on already-spent credits, so
+  /// the share bounds kernel buffering too).
+  size_t credit_share = 0;
+  /// Minimum *whole* credit window that admits every incoming link's
+  /// largest packet through a single sender share (the M900 hint);
+  /// 0 when no link targets this node.
   size_t min_credit = 0;
 
   /// Proven supremum of volatile state in buffered entries, valid only
@@ -111,6 +122,7 @@ ProveReport ProveDeployment(
 ///                              only exported for bounded nodes)
 ///   prove_state_bounded{node}  1 when a finite bound exists, else 0
 ///   prove_min_credit{node}     minimum viable credit window (frames)
+///   prove_credit_share{node}   spendable per-sender share of the window
 ///   prove_load_eps{node}       expected processing load (inputs/s)
 void ExportProveBounds(const ProveReport& report,
                        obs::MetricsRegistry* registry);

@@ -1,0 +1,526 @@
+#include "src/rt/cluster.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "src/obs/telemetry.h"
+#include "src/rt/executor.h"
+#include "src/rt/net_transport.h"
+#include "src/rt/wire.h"
+
+namespace muse::rt {
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+int ListenLocalhost(uint16_t* port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 64) != 0) {
+    close(fd);
+    return -1;
+  }
+  socklen_t alen = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int DialLocalhost(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // The listener may not be up yet (daemons race the coordinator's spawn
+  // loop): retry briefly instead of failing the whole handshake.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno != ECONNREFUSED && errno != EINTR) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  close(fd);
+  return -1;
+}
+
+int AcceptWithTimeout(int listen_fd, int timeout_ms) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  const int r = poll(&pfd, 1, timeout_ms);
+  if (r <= 0) return -1;
+  const int fd = accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) {
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+bool SendAllBlocking(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Blocking single-frame read used only during the handshake; `assembler`
+/// persists per connection so bytes of a following frame are kept.
+Result<NetFrame> ReadFrameBlocking(int fd, FrameAssembler* assembler,
+                                   int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::string frame;
+  char buf[4096];
+  for (;;) {
+    if (assembler->Next(&frame)) {
+      size_t consumed = 0;
+      return DecodeNetFrame(reinterpret_cast<const uint8_t*>(frame.data()),
+                            frame.size(), &consumed);
+    }
+    if (assembler->poisoned()) return Error{assembler->error()};
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return Error{"handshake: frame read timed out"};
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, static_cast<int>(left.count()));
+    if (pr < 0 && errno != EINTR) return Error{"handshake: poll failed"};
+    if (pr <= 0) continue;
+    const ssize_t r = recv(fd, buf, sizeof(buf), 0);
+    if (r == 0) return Error{"handshake: peer closed the connection"};
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Error{"handshake: recv failed"};
+    }
+    assembler->Feed(buf, static_cast<size_t>(r));
+  }
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+constexpr int kHandshakeTimeoutMs = 15000;
+
+}  // namespace
+
+ClusterHandle::~ClusterHandle() {
+  if (!reaped_) {
+    KillAll(SIGKILL);
+    ReapAll(0);
+  }
+  for (const std::string& f : temp_files_) unlink(f.c_str());
+  if (!temp_dir_.empty()) rmdir(temp_dir_.c_str());
+}
+
+uint64_t ClusterHandle::SinceEpochUs() const {
+  return ElapsedUs(clock_epoch_);
+}
+
+void ClusterHandle::KillAll(int sig) {
+  for (pid_t pid : pids_) {
+    if (pid > 0) kill(pid, sig);
+  }
+}
+
+int ClusterHandle::ReapAll(uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int killed = 0;
+  for (pid_t& pid : pids_) {
+    if (pid <= 0) continue;
+    for (;;) {
+      int status = 0;
+      const pid_t r = waitpid(pid, &status, WNOHANG);
+      if (r == pid || (r < 0 && errno == ECHILD)) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        kill(pid, SIGKILL);
+        ++killed;
+        waitpid(pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    pid = -1;
+  }
+  reaped_ = true;
+  return killed;
+}
+
+std::string FindMuseNodeBinary(const std::string& hint) {
+  auto executable = [](const std::string& path) {
+    return !path.empty() && access(path.c_str(), X_OK) == 0;
+  };
+  if (executable(hint)) return hint;
+  char self[4096];
+  const ssize_t n = readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n > 0) {
+    self[n] = '\0';
+    std::string dir(self);
+    const size_t slash = dir.rfind('/');
+    if (slash != std::string::npos) dir.resize(slash);
+    if (executable(dir + "/muse_node")) return dir + "/muse_node";
+    if (executable(dir + "/../tools/muse_node")) {
+      return dir + "/../tools/muse_node";
+    }
+  }
+  const char* env = std::getenv("MUSE_NODE_BIN");
+  if (env != nullptr && executable(env)) return env;
+  return "";
+}
+
+Result<std::unique_ptr<ClusterHandle>> LaunchCluster(
+    const std::string& muse_node_bin, const std::string& spec_text,
+    const std::string& plan_json, const DaemonConfig& daemon_template) {
+  const int processes = daemon_template.processes;
+  if (processes < 1) return Error{"cluster: processes must be >= 1"};
+  const std::string bin = FindMuseNodeBinary(muse_node_bin);
+  if (bin.empty()) {
+    return Error{
+        "cluster: muse_node binary not found (build tools/muse_node or set "
+        "MUSE_NODE_BIN)"};
+  }
+
+  auto handle = std::make_unique<ClusterHandle>();
+  char dir_template[] = "/tmp/muse_cluster_XXXXXX";
+  if (mkdtemp(dir_template) == nullptr) {
+    return Error{"cluster: mkdtemp failed"};
+  }
+  handle->temp_dir_ = dir_template;
+  const std::string spec_path = handle->temp_dir_ + "/workload.spec";
+  const std::string plan_path = handle->temp_dir_ + "/plan.json";
+  handle->temp_files_ = {spec_path, plan_path};
+  if (!WriteFile(spec_path, spec_text) || !WriteFile(plan_path, plan_json)) {
+    return Error{"cluster: failed to write spec/plan files"};
+  }
+
+  uint16_t coord_port = 0;
+  const int listen_fd = ListenLocalhost(&coord_port);
+  if (listen_fd < 0) return Error{"cluster: coordinator listen failed"};
+
+  const RtTransportOptions& t = daemon_template.transport;
+  std::string node_caps;
+  for (size_t i = 0; i < t.node_inbox_capacity.size(); ++i) {
+    if (i > 0) node_caps += ",";
+    node_caps += std::to_string(t.node_inbox_capacity[i]);
+  }
+  std::vector<std::string> base_args = {
+      bin,
+      "--processes", std::to_string(processes),
+      "--coord-port", std::to_string(coord_port),
+      "--spec", spec_path,
+      "--plan", plan_path,
+      "--threads", std::to_string(daemon_template.num_threads),
+      "--rt-inbox", std::to_string(t.inbox_capacity),
+      "--rt-batch", std::to_string(t.batch_max_frames),
+      "--rt-delay-us", std::to_string(t.delivery_delay_us),
+      "--rt-wedge-ms", std::to_string(t.wedge_timeout_ms),
+      "--rt-slack-ms", std::to_string(daemon_template.eval.eviction_slack_ms),
+      "--rt-max-matches", std::to_string(daemon_template.eval.max_matches),
+      "--trace-every", std::to_string(daemon_template.trace_sample_every),
+      "--trace-max-spans", std::to_string(daemon_template.trace_max_spans),
+  };
+  if (!node_caps.empty()) {
+    base_args.push_back("--rt-node-inbox");
+    base_args.push_back(node_caps);
+  }
+
+  handle->pids_.assign(static_cast<size_t>(processes), -1);
+  for (int k = 0; k < processes; ++k) {
+    std::vector<std::string> args = base_args;
+    args.push_back("--process");
+    args.push_back(std::to_string(k));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      execv(bin.c_str(), argv.data());
+      std::fprintf(stderr, "muse_node exec failed: %s\n",
+                   std::strerror(errno));
+      _exit(127);
+    }
+    if (pid < 0) {
+      close(listen_fd);
+      return Error{"cluster: fork failed"};
+    }
+    handle->pids_[static_cast<size_t>(k)] = pid;
+  }
+
+  // Phase 1: collect kHello from every daemon (any connect order).
+  handle->daemon_fds_.assign(static_cast<size_t>(processes), -1);
+  std::vector<uint32_t> ports(static_cast<size_t>(processes), 0);
+  std::vector<FrameAssembler> assemblers(static_cast<size_t>(processes));
+  for (int i = 0; i < processes; ++i) {
+    const int fd = AcceptWithTimeout(listen_fd, kHandshakeTimeoutMs);
+    if (fd < 0) {
+      close(listen_fd);
+      return Error{"cluster: daemon failed to connect (check its stderr)"};
+    }
+    FrameAssembler assembler;
+    Result<NetFrame> hello =
+        ReadFrameBlocking(fd, &assembler, kHandshakeTimeoutMs);
+    if (!hello.ok() || hello.value().kind != FrameKind::kHello ||
+        hello.value().process >= static_cast<uint32_t>(processes) ||
+        handle->daemon_fds_[hello.value().process] != -1) {
+      close(fd);
+      close(listen_fd);
+      return Error{"cluster: bad kHello during handshake"};
+    }
+    const uint32_t k = hello.value().process;
+    handle->daemon_fds_[k] = fd;
+    ports[k] = hello.value().listen_port;
+    assemblers[k] = std::move(assembler);
+  }
+  close(listen_fd);
+
+  // Phase 2: clock reference + peer directory.
+  handle->clock_epoch_ = std::chrono::steady_clock::now();
+  for (int k = 0; k < processes; ++k) {
+    std::string frame;
+    AppendPeersFrame(ElapsedUs(handle->clock_epoch_), ports, &frame);
+    if (!SendAllBlocking(handle->daemon_fds_[static_cast<size_t>(k)],
+                         frame)) {
+      return Error{"cluster: failed to send kPeers"};
+    }
+  }
+
+  // Phase 3: wait for every daemon to finish meshing.
+  for (int k = 0; k < processes; ++k) {
+    Result<NetFrame> ready =
+        ReadFrameBlocking(handle->daemon_fds_[static_cast<size_t>(k)],
+                          &assemblers[static_cast<size_t>(k)],
+                          kHandshakeTimeoutMs);
+    if (!ready.ok() || ready.value().kind != FrameKind::kReady) {
+      return Error{"cluster: daemon failed to mesh (no kReady)"};
+    }
+  }
+  return handle;
+}
+
+int RunMuseNodeDaemon(const Deployment& dep, const DaemonConfig& config) {
+  signal(SIGPIPE, SIG_IGN);
+  const int k = config.process;
+  const int processes = config.processes;
+
+  NodeId max_node = 0;
+  for (const Task& t : dep.tasks()) max_node = std::max(max_node, t.node);
+  const size_t num_nodes = static_cast<size_t>(max_node) + 1;
+  size_t local_count = 0;
+  for (size_t n = 0; n < num_nodes; ++n) {
+    if (static_cast<int>(n % static_cast<size_t>(processes)) == k) {
+      ++local_count;
+    }
+  }
+
+  uint16_t my_port = 0;
+  const int listen_fd = ListenLocalhost(&my_port);
+  if (listen_fd < 0) return 2;
+  const int coord_fd = DialLocalhost(static_cast<uint16_t>(config.coord_port));
+  if (coord_fd < 0) {
+    close(listen_fd);
+    return 2;
+  }
+  std::string frame;
+  AppendHelloFrame(static_cast<uint32_t>(k), my_port, &frame);
+  if (!SendAllBlocking(coord_fd, frame)) return 2;
+
+  FrameAssembler coord_assembler;
+  Result<NetFrame> peers =
+      ReadFrameBlocking(coord_fd, &coord_assembler, kHandshakeTimeoutMs);
+  if (!peers.ok() || peers.value().kind != FrameKind::kPeers ||
+      peers.value().peer_ports.size() != static_cast<size_t>(processes)) {
+    std::fprintf(stderr, "muse_node %d: bad kPeers\n", k);
+    return 2;
+  }
+  const uint64_t coord_now_us = peers.value().coord_now_us;
+  const auto peers_received_at = std::chrono::steady_clock::now();
+
+  // Full daemon mesh: dial every lower index, accept every higher one.
+  std::vector<int> mesh(static_cast<size_t>(processes), -1);
+  for (int j = 0; j < k; ++j) {
+    const int fd = DialLocalhost(
+        static_cast<uint16_t>(peers.value().peer_ports[static_cast<size_t>(j)]));
+    if (fd < 0) {
+      std::fprintf(stderr, "muse_node %d: dial to peer %d failed\n", k, j);
+      return 2;
+    }
+    frame.clear();
+    AppendHelloFrame(static_cast<uint32_t>(k), 0, &frame);
+    if (!SendAllBlocking(fd, frame)) return 2;
+    mesh[static_cast<size_t>(j)] = fd;
+  }
+  for (int expected = processes - 1 - k; expected > 0; --expected) {
+    const int fd = AcceptWithTimeout(listen_fd, kHandshakeTimeoutMs);
+    if (fd < 0) {
+      std::fprintf(stderr, "muse_node %d: mesh accept timed out\n", k);
+      return 2;
+    }
+    FrameAssembler assembler;
+    Result<NetFrame> hello =
+        ReadFrameBlocking(fd, &assembler, kHandshakeTimeoutMs);
+    if (!hello.ok() || hello.value().kind != FrameKind::kHello ||
+        hello.value().process >= static_cast<uint32_t>(processes) ||
+        mesh[hello.value().process] != -1) {
+      std::fprintf(stderr, "muse_node %d: bad mesh kHello\n", k);
+      return 2;
+    }
+    mesh[hello.value().process] = fd;
+  }
+  close(listen_fd);
+  frame.clear();
+  AppendReadyFrame(static_cast<uint32_t>(k), &frame);
+  if (!SendAllBlocking(coord_fd, frame)) return 2;
+
+  obs::RunTelemetry telemetry;
+  NetTransport::Setup setup;
+  setup.role = NetTransport::Role::kDaemon;
+  setup.self_process = k;
+  setup.processes = processes;
+  setup.peer_fds = mesh;
+  setup.peer_fds.push_back(coord_fd);
+  setup.num_nodes = num_nodes;
+  setup.num_shards =
+      config.num_threads <= 0
+          ? static_cast<int>(std::max<size_t>(1, local_count))
+          : std::min<int>(config.num_threads,
+                          static_cast<int>(std::max<size_t>(1, local_count)));
+  setup.options = config.transport;
+  auto transport =
+      std::make_unique<NetTransport>(std::move(setup), &telemetry.registry);
+  transport->SyncClock(coord_now_us + ElapsedUs(peers_received_at));
+
+  RtExecutor::Hooks hooks;
+  NetTransport* net = transport.get();
+  hooks.record_match = [net](int query, const Match& m, uint64_t trace_id) {
+    std::string f;
+    AppendSinkMatchFrame(static_cast<uint32_t>(query), m,
+                         TraceContext{trace_id, net->NowUs()}, &f);
+    // In-flight until the coordinator records it — a quiescence probe must
+    // not conclude while sink matches ride the wire.
+    net->NoteFramesQueued(1);
+    if (!net->SendToCoordinator(f)) net->NoteFramesDone(1);
+    return true;
+  };
+  hooks.ack = [net](ControlKind kind) {
+    std::string f;
+    AppendAckFrame(kind, 1, &f);
+    net->SendToCoordinator(f);
+  };
+  // No drift hook: daemon-side observations could never reach the
+  // coordinator's detector, and partial streams would false-positive.
+
+  RtExecutor executor(dep, config.eval, config.transport, transport.get(),
+                      &telemetry.registry, hooks,
+                      config.trace_sample_every > 0 ? config.trace_max_spans
+                                                    : 0);
+  if (local_count > 0) {
+    executor.Start();
+    executor.Join();
+  } else {
+    // Nothing to execute (more daemons than nodes): wait for the
+    // coordinator's teardown kBye, or a wedge.
+    while (!transport->wedged() && transport->ByesReceived() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  const bool wedged = transport->wedged();
+  if (!wedged) {
+    std::vector<StatEntry> stats;
+    auto add = [&stats](NetStat stat, uint32_t index, uint64_t value) {
+      stats.push_back(StatEntry{static_cast<uint8_t>(stat), index, value});
+    };
+    for (NodeId n : transport->LocalNodes()) {
+      add(NetStat::kNodeInputs, n, executor.NodeInputs(n));
+      add(NetStat::kNodeNetFrames, n, executor.NodeNetFrames(n));
+      add(NetStat::kNodeNetBytes, n, executor.NodeNetBytes(n));
+      add(NetStat::kNodeCrashes, n, executor.NodeCrashes(n));
+      add(NetStat::kNodeDupsDropped, n,
+          executor.nodes()[n].DuplicatesDropped());
+      add(NetStat::kNodePeakBuffered, n,
+          executor.nodes()[n].PeakBufferedMatches());
+    }
+    add(NetStat::kStalls, 0, transport->Stalls());
+    add(NetStat::kWireRejects, 0, executor.WireRejects());
+    frame.clear();
+    AppendStatsFrame(stats, &frame);
+    transport->SendToCoordinator(frame);
+
+    if (config.trace_sample_every > 0) {
+      obs::TraceLog log;
+      for (const auto& buf : executor.span_buffers()) log.Absorb(*buf);
+      for (const obs::TraceSpan& s : log.spans()) {
+        frame.clear();
+        AppendSpanFrame(s.trace_id, static_cast<uint8_t>(s.kind), s.node,
+                        s.task, s.peer, s.query, s.start_us, s.dur_us,
+                        &frame);
+        transport->SendToCoordinator(frame);
+      }
+    }
+    frame.clear();
+    AppendByeFrame(0, &frame);
+    // Mesh peers too: their EOF handling treats a post-kBye close as a
+    // clean shutdown instead of a dead peer.
+    for (int j = 0; j < processes; ++j) {
+      if (j != k) transport->SendFrameToPeer(j, frame);
+    }
+    transport->SendToCoordinator(frame);
+    transport->FlushPending(5000);
+    // Bye barrier: close only after every peer said goodbye too.
+    // Closing earlier races their final writes — the coordinator's own
+    // kBye could hit our closed socket and read as a dead peer there.
+    const auto bye_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!transport->wedged() &&
+           transport->ByesReceived() < processes &&
+           std::chrono::steady_clock::now() < bye_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  transport->Shutdown();
+  return wedged ? 3 : 0;
+}
+
+}  // namespace muse::rt

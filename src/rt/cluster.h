@@ -1,0 +1,101 @@
+#ifndef MUSE_RT_CLUSTER_H_
+#define MUSE_RT_CLUSTER_H_
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cep/evaluator.h"
+#include "src/common/result.h"
+#include "src/dist/deployment.h"
+#include "src/rt/transport.h"
+
+namespace muse::rt {
+
+/// Everything a muse_node daemon needs to join a cluster: its identity,
+/// where the coordinator listens, and the runtime knobs the coordinator
+/// wants mirrored on every process (muse_node's flag parser fills this).
+struct DaemonConfig {
+  int process = 0;    ///< this daemon's index in [0, processes)
+  int processes = 1;  ///< daemon count P
+  int coord_port = 0; ///< coordinator's localhost listen port
+  int num_threads = 0;
+  RtTransportOptions transport;
+  EvaluatorOptions eval;
+  uint64_t trace_sample_every = 0;
+  size_t trace_max_spans = 1 << 16;
+};
+
+/// Handshake protocol (all frames from wire.h, length-prefixed over
+/// blocking localhost TCP):
+///   1. coordinator listens; spawns P muse_node daemons with --coord-port
+///   2. each daemon binds its own listener, dials the coordinator, sends
+///      kHello{process, listen_port}
+///   3. coordinator sends every daemon kPeers{coord_now_us, ports[P]} —
+///      the clock reference all daemons re-anchor to (SyncClock)
+///   4. daemon k dials daemons j < k (sending kHello{k, 0}) and accepts
+///      daemons j > k — a full mesh with one connection per pair
+///   5. each daemon sends kReady; the coordinator unblocks when it holds
+///      all P
+/// After that every socket switches to the non-blocking NetTransport
+/// regime; the run ends with kStop controls, kStats/kSpan exports, and a
+/// kBye per daemon.
+class ClusterHandle {
+ public:
+  ~ClusterHandle();
+
+  /// Child pids indexed by daemon process index.
+  const std::vector<pid_t>& pids() const { return pids_; }
+  /// Connected coordinator<->daemon sockets, indexed by process index.
+  /// Ownership transfers to the NetTransport built on top.
+  const std::vector<int>& daemon_fds() const { return daemon_fds_; }
+  /// The instant the kPeers clock reference was 0: feed
+  /// `SinceEpochUs()` to Transport::SyncClock so the coordinator's
+  /// transport clock matches what the daemons adopted.
+  uint64_t SinceEpochUs() const;
+
+  void KillAll(int sig);
+  /// waitpid()s every child, escalating to SIGKILL after `timeout_ms`.
+  /// Returns the number of children that had to be killed.
+  int ReapAll(uint64_t timeout_ms);
+
+ private:
+  friend Result<std::unique_ptr<ClusterHandle>> LaunchCluster(
+      const std::string& muse_node_bin, const std::string& spec_text,
+      const std::string& plan_json, const DaemonConfig& daemon_template);
+
+  std::vector<pid_t> pids_;
+  std::vector<int> daemon_fds_;
+  std::string temp_dir_;
+  std::vector<std::string> temp_files_;
+  std::chrono::steady_clock::time_point clock_epoch_;
+  bool reaped_ = false;
+};
+
+/// Coordinator side: writes the spec/plan slice files, forks+execs P
+/// muse_node daemons, and runs the handshake above. `daemon_template`
+/// carries the runtime knobs to mirror (its process/coord_port fields are
+/// ignored). On error the partial cluster is torn down.
+Result<std::unique_ptr<ClusterHandle>> LaunchCluster(
+    const std::string& muse_node_bin, const std::string& spec_text,
+    const std::string& plan_json, const DaemonConfig& daemon_template);
+
+/// Locates the muse_node binary: `hint` if non-empty, else next to
+/// /proc/self/exe, else ../tools/muse_node from there, else the
+/// MUSE_NODE_BIN environment variable. Empty string when not found.
+std::string FindMuseNodeBinary(const std::string& hint);
+
+/// Daemon side: the whole muse_node lifecycle after the deployment has
+/// been recompiled from its spec+plan slice — dial, mesh, execute until
+/// kStop, export stats and spans, kBye. Returns the process exit code
+/// (0 clean, 3 wedged).
+int RunMuseNodeDaemon(const Deployment& dep, const DaemonConfig& config);
+
+}  // namespace muse::rt
+
+#endif  // MUSE_RT_CLUSTER_H_

@@ -1,0 +1,316 @@
+#include "src/rt/executor.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace muse::rt {
+
+void LinkBatcher::Add(NodeId dst, const char* frame, size_t frame_bytes) {
+  Batch& batch = batches_[dst];
+  batch.bytes.append(frame, frame_bytes);
+  ++batch.frames;
+  if (batch.frames >=
+      static_cast<uint32_t>(std::max(1, options_.batch_max_frames))) {
+    FlushLink(dst);
+  }
+}
+
+void LinkBatcher::FlushAll() {
+  for (auto& [dst, batch] : batches_) {
+    if (batch.frames > 0) FlushLink(dst);
+  }
+}
+
+bool LinkBatcher::FlushSpill() {
+  for (auto it = spill_.begin(); it != spill_.end();) {
+    std::deque<Packet>& q = it->second;
+    while (!q.empty() && transport_->TryDeliver(std::move(q.front()))) {
+      q.pop_front();
+    }
+    it = q.empty() ? spill_.erase(it) : ++it;
+  }
+  return spill_.empty();
+}
+
+void LinkBatcher::FlushLink(NodeId dst) {
+  Batch& batch = batches_[dst];
+  Packet packet;
+  packet.src = src_;
+  packet.dst = dst;
+  // The blocking batcher is the source driver, which logically injects
+  // *at* the origin node — no network hop, immediate delivery.
+  packet.deliver_at_us =
+      blocking_ ? transport_->NowUs() : transport_->DeliverAt(src_, dst);
+  packet.frames = batch.frames;
+  packet.bytes = std::move(batch.bytes);
+  batch.bytes.clear();
+  batch.frames = 0;
+  if (blocking_) {
+    transport_->DeliverBlocking(std::move(packet));
+    return;
+  }
+  // FIFO per link: never overtake an already-spilled packet.
+  std::deque<Packet>& q = spill_[dst];
+  if (q.empty() && transport_->TryDeliver(std::move(packet))) {
+    spill_.erase(dst);
+    return;
+  }
+  q.push_back(std::move(packet));
+}
+
+RtExecutor::RtExecutor(const Deployment& dep, EvaluatorOptions eval,
+                       const RtTransportOptions& transport_options,
+                       Transport* transport, obs::MetricsRegistry* registry,
+                       Hooks hooks, size_t trace_spans_per_shard)
+    : dep_(dep),
+      transport_options_(transport_options),
+      transport_(transport),
+      hooks_(std::move(hooks)) {
+  if (eval.eviction_slack_ms == 0) {
+    eval.eviction_slack_ms = kUnboundedEvictionSlackMs;
+  }
+  const size_t num_nodes = transport_->num_nodes();
+  for (NodeId n = 0; n < num_nodes; ++n) nodes_.emplace_back(n, &dep_, eval);
+  flush_stash_.resize(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    const obs::LabelSet labels{{"node", std::to_string(n)}};
+    node_inputs_.push_back(
+        registry->GetCounter("rt_node_inputs_total", labels));
+    node_net_frames_.push_back(
+        registry->GetCounter("rt_net_out_frames_total", labels));
+    node_net_bytes_.push_back(
+        registry->GetCounter("rt_net_out_bytes_total", labels));
+    node_crashes_.push_back(registry->GetCounter("rt_crashes_total", labels));
+  }
+  wire_rejects_ = registry->GetCounter("rt_wire_rejected_frames_total");
+  if (trace_spans_per_shard > 0) {
+    for (int s = 0; s < transport_->num_shards(); ++s) {
+      span_bufs_.push_back(
+          std::make_unique<obs::SpanBuffer>(trace_spans_per_shard));
+    }
+  }
+}
+
+void RtExecutor::Start() {
+  workers_.reserve(static_cast<size_t>(transport_->num_shards()));
+  for (int s = 0; s < transport_->num_shards(); ++s) {
+    workers_.emplace_back([this, s] { WorkerMain(s); });
+  }
+}
+
+void RtExecutor::Join() {
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void RtExecutor::WorkerMain(int shard) {
+  // One batcher per local node of this shard: it only ever sends on behalf
+  // of that node, and `src` is stamped per flush from the routing node.
+  std::map<NodeId, std::unique_ptr<LinkBatcher>> batchers;
+  for (NodeId n : transport_->LocalNodes()) {
+    if (transport_->shard_of(n) != shard) continue;
+    batchers[n] = std::make_unique<LinkBatcher>(
+        n, transport_, transport_options_, /*blocking=*/false);
+  }
+  auto spill_empty = [&] {
+    for (auto& [n, b] : batchers) {
+      if (!b->spill_empty()) return false;
+    }
+    return true;
+  };
+
+  for (;;) {
+    // A wedged transport never delivers the remaining work (dead peer or
+    // credit deadlock): unwind instead of draining — wedged reports are
+    // explicitly truncated.
+    if (transport_->wedged()) return;
+    for (auto& [n, b] : batchers) b->FlushSpill();
+    const bool idle = spill_empty();
+    Transport::Popped popped = transport_->PopReady(shard, idle ? 5000 : 100);
+    for (const auto& [node, control] : popped.controls) {
+      LinkBatcher* batcher = batchers[node].get();
+      switch (control) {
+        case ControlKind::kCrash:
+          HandleCrash(node, batcher);
+          transport_->NoteFramesDone(1);
+          break;
+        case ControlKind::kFlushCollect:
+          nodes_[node].Flush(&flush_stash_[node]);
+          if (hooks_.ack) hooks_.ack(ControlKind::kFlushCollect);
+          break;
+        case ControlKind::kFlushEmit:
+          RouteOutputs(node, flush_stash_[node], batcher);
+          flush_stash_[node].clear();
+          batcher->FlushAll();
+          if (hooks_.ack) hooks_.ack(ControlKind::kFlushEmit);
+          break;
+        case ControlKind::kStop:
+          return;
+      }
+    }
+    for (Packet& packet : popped.packets) {
+      LinkBatcher* batcher = batchers[packet.dst].get();
+      obs::SpanBuffer* spans =
+          span_bufs_.empty() ? nullptr
+                             : span_bufs_[static_cast<size_t>(shard)].get();
+      // One clock read covers the whole packet: every frame in it became
+      // available at deliver_at_us and left the inbox now.
+      const uint64_t pop_us = spans != nullptr ? transport_->NowUs() : 0;
+      Result<std::vector<DecodedFrame>> frames = DecodePacket(packet.bytes);
+      if (!frames.ok()) {
+        // A malformed packet is a transport bug, not a data condition;
+        // account and drop rather than poison the node.
+        wire_rejects_->Add(packet.frames);
+      } else {
+        for (const DecodedFrame& frame : frames.value()) {
+          HandleFrame(packet.dst, frame, batcher, packet, pop_us, spans);
+        }
+      }
+      batcher->FlushAll();
+      transport_->Release(packet);
+      transport_->NoteFramesDone(packet.frames);
+    }
+  }
+}
+
+void RtExecutor::HandleFrame(NodeId node, const DecodedFrame& frame,
+                             LinkBatcher* batcher, const Packet& packet,
+                             uint64_t pop_us, obs::SpanBuffer* spans) {
+  NodeRuntime& rt = nodes_[node];
+  node_inputs_[node]->Add(1);
+  const uint64_t trace_id = frame.trace.trace_id;
+  const bool traced = trace_id != 0 && spans != nullptr;
+  if (traced) {
+    // The hop: sender encode time to transport delivery. Both ends read
+    // clocks synced to the coordinator's epoch, so the difference is
+    // meaningful (half-RTT error across processes).
+    obs::TraceSpan hop;
+    hop.trace_id = trace_id;
+    hop.kind = obs::SpanKind::kTransport;
+    hop.node = node;
+    hop.peer = packet.src;
+    hop.start_us = frame.trace.sent_us;
+    hop.dur_us = packet.deliver_at_us > frame.trace.sent_us
+                     ? packet.deliver_at_us - frame.trace.sent_us
+                     : 0;
+    spans->Record(hop);
+    obs::TraceSpan wait;
+    wait.trace_id = trace_id;
+    wait.kind = obs::SpanKind::kInboxWait;
+    wait.node = node;
+    wait.start_us = packet.deliver_at_us;
+    wait.dur_us =
+        pop_us > packet.deliver_at_us ? pop_us - packet.deliver_at_us : 0;
+    spans->Record(wait);
+  }
+  std::vector<NodeRuntime::Output> outs;
+  if (frame.kind == FrameKind::kEvent ||
+      frame.kind == FrameKind::kEventTraced) {
+    const Event& e = frame.event;
+    for (int task : dep_.PrimitiveTasksFor(node, e.type)) {
+      const uint64_t eval_start = traced ? transport_->NowUs() : 0;
+      rt.OnInput(task, -1, Match::Single(e), &outs);
+      if (traced) RecordEvalSpan(spans, trace_id, node, task, eval_start);
+    }
+  } else {
+    const SimMessage& msg = frame.message;
+    if (msg.src_task < 0 || msg.src_task >= dep_.num_tasks()) {
+      wire_rejects_->Add(1);
+      return;
+    }
+    if (!rt.Admit(msg)) return;  // duplicate from a recovering sender
+    for (int succ : dep_.task(msg.src_task).successors) {
+      if (dep_.task(succ).node != node) continue;
+      const uint64_t eval_start = traced ? transport_->NowUs() : 0;
+      rt.OnInput(succ, msg.src_task, msg.payload, &outs);
+      if (traced) RecordEvalSpan(spans, trace_id, node, succ, eval_start);
+    }
+  }
+  RouteOutputs(node, outs, batcher, /*replay=*/false, trace_id, spans);
+}
+
+void RtExecutor::RecordEvalSpan(obs::SpanBuffer* spans, uint64_t trace_id,
+                                NodeId node, int task, uint64_t start_us) {
+  obs::TraceSpan s;
+  s.trace_id = trace_id;
+  s.kind = obs::SpanKind::kEvaluate;
+  s.node = node;
+  s.task = task;
+  s.start_us = start_us;
+  const uint64_t now = transport_->NowUs();
+  s.dur_us = now > start_us ? now - start_us : 0;
+  spans->Record(s);
+}
+
+void RtExecutor::HandleCrash(NodeId node, LinkBatcher* batcher) {
+  node_crashes_[node]->Add(1);
+  NodeRuntime& rt = nodes_[node];
+  rt.Crash();
+  std::vector<NodeRuntime::Output> outs;
+  rt.Recover(&outs);
+  // Replay regenerates the original outputs with identical channel
+  // sequence numbers; receivers drop them as duplicates. Sinks skip
+  // them outright (replay=true): deterministic replay only re-derives
+  // already-recorded matches, which a horizon-compacted dedup set might
+  // no longer recognize.
+  RouteOutputs(node, outs, batcher, /*replay=*/true);
+  batcher->FlushAll();
+}
+
+void RtExecutor::RouteOutputs(NodeId node,
+                              const std::vector<NodeRuntime::Output>& outs,
+                              LinkBatcher* batcher, bool replay,
+                              uint64_t trace_id, obs::SpanBuffer* spans) {
+  NodeRuntime& rt = nodes_[node];
+  std::string frame;
+  // One clock read per traced call: every output message of this unit of
+  // work is encoded "now".
+  const TraceContext ctx{trace_id, trace_id != 0 ? transport_->NowUs() : 0};
+  for (const NodeRuntime::Output& out : outs) {
+    const Task& t = dep_.task(out.task);
+    // Replay regenerates outputs already observed before the crash:
+    // counting them again would inflate the observed projection rates.
+    if (hooks_.observe_output && !replay && !t.is_primitive) {
+      hooks_.observe_output(t.id, out.match.max_time);
+    }
+    if (!replay) {
+      for (int query : t.sink_for) {
+        const bool accepted = hooks_.record_match(query, out.match, trace_id);
+        if (accepted && trace_id != 0 && spans != nullptr) {
+          // Only the first (accepted) emission of a match closes the
+          // trace.
+          obs::TraceSpan s;
+          s.trace_id = trace_id;
+          s.kind = obs::SpanKind::kEmit;
+          s.node = node;
+          s.task = t.id;
+          s.query = query;
+          s.start_us = transport_->NowUs();
+          spans->Record(s);
+        }
+      }
+    }
+    std::set<NodeId> dst_nodes;
+    for (int succ : t.successors) dst_nodes.insert(dep_.task(succ).node);
+    for (NodeId dst : dst_nodes) {
+      SimMessage msg;
+      msg.src_task = t.id;
+      msg.dst_task = -1;
+      msg.channel_seq = rt.NextChannelSeq(t.id, dst);
+      msg.payload = out.match;
+      frame.clear();
+      // The derived match inherits the input's trace id (untraced inputs
+      // encode the v1 frame byte-identically).
+      AppendMessageFrame(msg, ctx, &frame);
+      if (dst != node) {
+        node_net_frames_[node]->Add(1);
+        node_net_bytes_[node]->Add(frame.size());
+      }
+      transport_->NoteFramesQueued(1);
+      batcher->Add(dst, frame.data(), frame.size());
+    }
+  }
+}
+
+}  // namespace muse::rt

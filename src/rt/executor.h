@@ -1,0 +1,160 @@
+#ifndef MUSE_RT_EXECUTOR_H_
+#define MUSE_RT_EXECUTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cep/evaluator.h"
+#include "src/dist/deployment.h"
+#include "src/dist/node_runtime.h"
+#include "src/obs/trace.h"
+#include "src/rt/transport.h"
+
+namespace muse::rt {
+
+/// Eviction horizon substituted when a caller leaves
+/// `EvaluatorOptions::eviction_slack_ms` at 0: large enough that no
+/// partial match is ever evicted before the final flush (see
+/// RtOptions::eval for why finite slacks break the determinism contract
+/// under real threading).
+constexpr uint64_t kUnboundedEvictionSlackMs = 1ULL << 60;
+
+/// Per-link batch of encoded frames owned by one sending thread. Frames
+/// accumulate until `batch_max_frames`, then flush as one packet; the
+/// owner also force-flushes after each unit of work so batching never
+/// holds a frame across an idle period.
+///
+/// Worker threads flush packets with TryDeliver and keep rejected packets
+/// in a per-link FIFO spill (credit order is preserved per link); the
+/// source driver flushes blocking. See Transport for the deadlock-freedom
+/// argument.
+class LinkBatcher {
+ public:
+  LinkBatcher(NodeId src, Transport* transport,
+              const RtTransportOptions& options, bool blocking)
+      : src_(src),
+        transport_(transport),
+        options_(options),
+        blocking_(blocking) {}
+
+  void Add(NodeId dst, const char* frame, size_t frame_bytes);
+  void FlushAll();
+
+  /// One pass over the spill queues; returns true when all are empty.
+  bool FlushSpill();
+
+  bool spill_empty() const { return spill_.empty(); }
+
+ private:
+  struct Batch {
+    std::string bytes;
+    uint32_t frames = 0;
+  };
+
+  void FlushLink(NodeId dst);
+
+  NodeId src_;
+  Transport* transport_;
+  RtTransportOptions options_;
+  bool blocking_;
+  std::map<NodeId, Batch> batches_;
+  std::map<NodeId, std::deque<Packet>> spill_;
+};
+
+/// The worker side of the runtime, split out of RtRuntime so that a
+/// muse_node daemon can run the exact same evaluation loop against a
+/// socket-backed transport: one thread per transport shard drains the
+/// shard's local inboxes, feeds frames into the NodeRuntimes, and routes
+/// derived outputs back through the transport. Everything that differs
+/// between the single-process runtime and a cluster daemon — where sink
+/// matches go, who counts flush acks, whether drift is observed — is
+/// injected through `Hooks`.
+class RtExecutor {
+ public:
+  struct Hooks {
+    /// Called for every sink emission (replay excluded). Returns true when
+    /// the match was newly accepted (first emission — closes the trace
+    /// with a kEmit span). A daemon ships the match to the coordinator and
+    /// returns true unconditionally; dedup then happens at the collector.
+    std::function<bool(int query, const Match& m, uint64_t trace_id)>
+        record_match;
+
+    /// Called once per node reaching a flush-barrier phase
+    /// (kFlushCollect / kFlushEmit).
+    std::function<void(ControlKind kind)> ack;
+
+    /// Rate-drift observation of non-replayed task outputs; leave empty to
+    /// disable (cluster daemons must: their observations could never reach
+    /// the coordinator's detector).
+    std::function<void(int task, uint64_t max_time)> observe_output;
+  };
+
+  /// `eval.eviction_slack_ms == 0` is widened to
+  /// kUnboundedEvictionSlackMs. `trace_spans_per_shard == 0` disables
+  /// span recording.
+  RtExecutor(const Deployment& dep, EvaluatorOptions eval,
+             const RtTransportOptions& transport_options,
+             Transport* transport, obs::MetricsRegistry* registry,
+             Hooks hooks, size_t trace_spans_per_shard);
+
+  /// Spawns one worker thread per transport shard. Workers run until a
+  /// kStop control reaches every local node (push one per node, then
+  /// Join).
+  void Start();
+  void Join();
+
+  std::vector<NodeRuntime>& nodes() { return nodes_; }
+  const std::vector<NodeRuntime>& nodes() const { return nodes_; }
+
+  /// Per-shard single-writer span sinks; drain only after Join.
+  const std::vector<std::unique_ptr<obs::SpanBuffer>>& span_buffers() const {
+    return span_bufs_;
+  }
+
+  uint64_t NodeInputs(NodeId n) const { return node_inputs_[n]->Value(); }
+  uint64_t NodeNetFrames(NodeId n) const {
+    return node_net_frames_[n]->Value();
+  }
+  uint64_t NodeNetBytes(NodeId n) const {
+    return node_net_bytes_[n]->Value();
+  }
+  uint64_t NodeCrashes(NodeId n) const { return node_crashes_[n]->Value(); }
+  uint64_t WireRejects() const { return wire_rejects_->Value(); }
+
+ private:
+  void WorkerMain(int shard);
+  void HandleFrame(NodeId node, const DecodedFrame& frame,
+                   LinkBatcher* batcher, const Packet& packet,
+                   uint64_t pop_us, obs::SpanBuffer* spans);
+  void HandleCrash(NodeId node, LinkBatcher* batcher);
+  void RouteOutputs(NodeId node, const std::vector<NodeRuntime::Output>& outs,
+                    LinkBatcher* batcher, bool replay = false,
+                    uint64_t trace_id = 0, obs::SpanBuffer* spans = nullptr);
+  void RecordEvalSpan(obs::SpanBuffer* spans, uint64_t trace_id, NodeId node,
+                      int task, uint64_t start_us);
+
+  const Deployment& dep_;
+  RtTransportOptions transport_options_;
+  Transport* transport_;
+  Hooks hooks_;
+  std::vector<NodeRuntime> nodes_;
+  std::vector<std::vector<NodeRuntime::Output>> flush_stash_;
+  std::vector<std::thread> workers_;
+
+  std::vector<obs::Counter*> node_inputs_;
+  std::vector<obs::Counter*> node_net_frames_;
+  std::vector<obs::Counter*> node_net_bytes_;
+  std::vector<obs::Counter*> node_crashes_;
+  obs::Counter* wire_rejects_ = nullptr;
+  std::vector<std::unique_ptr<obs::SpanBuffer>> span_bufs_;
+};
+
+}  // namespace muse::rt
+
+#endif  // MUSE_RT_EXECUTOR_H_

@@ -1,0 +1,667 @@
+#include "src/rt/net_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace muse::rt {
+namespace {
+
+/// kPacket envelope header bytes past the common (len, kind) prefix.
+constexpr size_t kPacketEnvelopeBytes = 4 + 4 + 8 + 4;
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  // Localhost latency test rigs die on Nagle; every frame is flushed
+  // deliberately, so coalescing adds nothing.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+size_t EffectiveCapacity(const RtTransportOptions& options, NodeId node) {
+  if (node < options.node_inbox_capacity.size() &&
+      options.node_inbox_capacity[node] != 0) {
+    return options.node_inbox_capacity[node];
+  }
+  return options.inbox_capacity;
+}
+
+}  // namespace
+
+NetTransport::NetTransport(Setup setup, obs::MetricsRegistry* registry)
+    : role_(setup.role),
+      self_process_(setup.self_process),
+      processes_(std::max(1, setup.processes)),
+      options_(setup.options),
+      callbacks_(std::move(setup.callbacks)) {
+  MUSE_CHECK(setup.num_nodes > 0, "net transport needs at least one node");
+  const size_t divisor =
+      role_ == Role::kLoopback ? 1 : static_cast<size_t>(processes_) + 1;
+  auto share_of = [&](size_t cap) {
+    return cap == 0 ? 0 : std::max<size_t>(1, cap / divisor);
+  };
+
+  // The embedded in-proc transport holds the *local* sender domain's
+  // share of each window; remote domains hold theirs in shares_ below.
+  RtTransportOptions scaled = options_;
+  scaled.inbox_capacity = share_of(scaled.inbox_capacity);
+  for (size_t& cap : scaled.node_inbox_capacity) cap = share_of(cap);
+
+  std::vector<int> shard_map;
+  if (role_ == Role::kDaemon) {
+    // Spread the strided local slice (node % P == self) evenly over the
+    // worker shards by *local* index — the default global round-robin
+    // would alias whenever num_shards shares a factor with P.
+    shard_map.assign(setup.num_nodes, 0);
+    int local_idx = 0;
+    for (size_t n = 0; n < setup.num_nodes; ++n) {
+      if (static_cast<int>(n % static_cast<size_t>(processes_)) ==
+          self_process_) {
+        shard_map[n] = local_idx++ % setup.num_shards;
+      }
+    }
+  }
+  embedded_ = std::make_unique<InProcTransport>(
+      setup.num_nodes, setup.num_shards, scaled, registry,
+      std::move(shard_map));
+
+  shares_.resize(setup.num_nodes);
+  for (size_t n = 0; n < setup.num_nodes; ++n) {
+    const size_t share = share_of(EffectiveCapacity(options_, n));
+    shares_[n].capacity = share;
+    shares_[n].credits = share;
+  }
+
+  remote_stall_metric_ =
+      registry->GetCounter("rt_remote_backpressure_stalls_total");
+  source_stall_us_ = registry->GetCounter("rt_source_stall_us_total");
+  stream_errors_ = registry->GetCounter("rt_wire_stream_errors_total");
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  MUSE_CHECK(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  MUSE_CHECK(wake_fd_ >= 0, "eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u32 = UINT32_MAX;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  peers_.reserve(setup.peer_fds.size());
+  for (size_t i = 0; i < setup.peer_fds.size(); ++i) {
+    auto peer = std::make_unique<Peer>();
+    peer->index = static_cast<int>(i);
+    peer->fd = setup.peer_fds[i];
+    const obs::LabelSet labels{{"peer", std::to_string(i)}};
+    peer->tx_frames = registry->GetCounter("rt_link_tx_frames_total", labels);
+    peer->tx_bytes = registry->GetCounter("rt_link_tx_bytes_total", labels);
+    peer->rx_frames = registry->GetCounter("rt_link_rx_frames_total", labels);
+    peer->rx_bytes = registry->GetCounter("rt_link_rx_bytes_total", labels);
+    peer->tx_buffered =
+        registry->GetGauge("rt_link_tx_buffered_bytes", labels);
+    if (peer->fd >= 0) {
+      SetNonBlocking(peer->fd);
+      SetNoDelay(peer->fd);
+      epoll_event pev{};
+      pev.events = EPOLLIN;
+      pev.data.u32 = static_cast<uint32_t>(i);
+      epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, peer->fd, &pev);
+    } else {
+      peer->closed = true;  // the self slot of a daemon mesh
+    }
+    peers_.push_back(std::move(peer));
+  }
+
+  io_thread_ = std::thread([this] { IoMain(); });
+}
+
+NetTransport::~NetTransport() { Shutdown(); }
+
+Result<std::unique_ptr<NetTransport>> NetTransport::Loopback(
+    size_t num_nodes, int num_shards, const RtTransportOptions& options,
+    obs::MetricsRegistry* registry) {
+  const int lfd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (lfd < 0) return Error{"loopback: socket() failed"};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(lfd, 1) != 0) {
+    close(lfd);
+    return Error{"loopback: bind/listen failed"};
+  }
+  socklen_t alen = sizeof(addr);
+  getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  const int out = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (out < 0) {
+    close(lfd);
+    return Error{"loopback: socket() failed"};
+  }
+  if (connect(out, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(lfd);
+    close(out);
+    return Error{"loopback: self-connect failed"};
+  }
+  const int in = accept(lfd, nullptr, nullptr);
+  close(lfd);
+  if (in < 0) {
+    close(out);
+    return Error{"loopback: accept failed"};
+  }
+  Setup setup;
+  setup.role = Role::kLoopback;
+  setup.processes = 1;
+  setup.peer_fds = {out, in};
+  setup.num_nodes = num_nodes;
+  setup.num_shards = num_shards;
+  setup.options = options;
+  return std::make_unique<NetTransport>(std::move(setup), registry);
+}
+
+std::vector<NodeId> NetTransport::LocalNodes() const {
+  if (role_ == Role::kLoopback) return embedded_->LocalNodes();
+  std::vector<NodeId> nodes;
+  if (role_ == Role::kCoordinator) return nodes;
+  for (size_t n = 0; n < embedded_->num_nodes(); ++n) {
+    if (static_cast<int>(n % static_cast<size_t>(processes_)) ==
+        self_process_) {
+      nodes.push_back(static_cast<NodeId>(n));
+    }
+  }
+  return nodes;
+}
+
+bool NetTransport::IsLocal(NodeId node) const {
+  switch (role_) {
+    case Role::kLoopback:
+      return true;
+    case Role::kCoordinator:
+      return false;
+    case Role::kDaemon:
+      return static_cast<int>(node % static_cast<size_t>(processes_)) ==
+             self_process_;
+  }
+  return false;
+}
+
+int NetTransport::OwnerPeer(NodeId node) const {
+  if (role_ == Role::kLoopback) return 0;  // the outbound half
+  return static_cast<int>(node % static_cast<size_t>(processes_));
+}
+
+bool NetTransport::RouteViaSocket(NodeId src, NodeId dst) const {
+  switch (role_) {
+    case Role::kLoopback:
+      // Same-node loopback stays in memory (it never was a network hop);
+      // every cross-node packet takes the wire.
+      return src != dst;
+    case Role::kCoordinator:
+      return true;
+    case Role::kDaemon:
+      return !IsLocal(dst);
+  }
+  return false;
+}
+
+uint64_t NetTransport::DeliverAt(NodeId src, NodeId dst) const {
+  if (src == dst || options_.delivery_delay_us == 0) return NowUs();
+  return NowUs() + options_.delivery_delay_us;
+}
+
+bool NetTransport::TryDeliver(Packet&& packet) {
+  if (!RouteViaSocket(packet.src, packet.dst)) {
+    return embedded_->TryDeliver(std::move(packet));
+  }
+  {
+    std::lock_guard<std::mutex> lock(credit_mu_);
+    CreditShare& share = shares_[packet.dst];
+    if (share.capacity != 0 && share.credits < packet.frames) {
+      remote_stalls_.fetch_add(1, std::memory_order_relaxed);
+      remote_stall_metric_->Add(1);
+      return false;
+    }
+    if (share.capacity != 0) share.credits -= packet.frames;
+  }
+  SendPacket(std::move(packet));
+  return true;
+}
+
+void NetTransport::DeliverBlocking(Packet packet) {
+  if (!RouteViaSocket(packet.src, packet.dst)) {
+    embedded_->DeliverBlocking(std::move(packet));
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(credit_mu_);
+    CreditShare& share = shares_[packet.dst];
+    auto ready = [&] {
+      return share.capacity == 0 || share.credits >= packet.frames ||
+             wedged();
+    };
+    if (!ready()) {
+      remote_stalls_.fetch_add(1, std::memory_order_relaxed);
+      remote_stall_metric_->Add(1);
+      const uint64_t stall_start = NowUs();
+      if (options_.wedge_timeout_ms == 0) {
+        credit_cv_.wait(lock, ready);
+      } else if (!credit_cv_.wait_for(
+                     lock,
+                     std::chrono::milliseconds(options_.wedge_timeout_ms),
+                     ready)) {
+        source_stall_us_->Add(NowUs() - stall_start);
+        lock.unlock();
+        MarkWedged();
+        NoteFramesDone(packet.frames);
+        return;
+      }
+      source_stall_us_->Add(NowUs() - stall_start);
+      if (wedged() &&
+          !(share.capacity == 0 || share.credits >= packet.frames)) {
+        lock.unlock();
+        NoteFramesDone(packet.frames);
+        return;
+      }
+    }
+    if (share.capacity != 0) share.credits -= packet.frames;
+  }
+  SendPacket(std::move(packet));
+}
+
+void NetTransport::SendPacket(Packet&& packet) {
+  MUSE_CHECK(
+      packet.bytes.size() + kPacketEnvelopeBytes <= kMaxFramePayloadBytes,
+      "net transport: packet envelope exceeds the max frame size — lower "
+      "batch_max_frames");
+  std::string frame;
+  AppendPacketFrame(packet.src, packet.dst, packet.deliver_at_us,
+                    packet.frames, packet.bytes, &frame);
+  if (!SendFrameToPeer(OwnerPeer(packet.dst), frame)) {
+    // Dead peer: these frames can never be processed. Settle the
+    // in-flight accounting so the (wedged) run can unwind.
+    NoteFramesDone(packet.frames);
+  }
+}
+
+void NetTransport::PushControl(NodeId dst, ControlKind kind) {
+  if (IsLocal(dst)) {
+    embedded_->PushControl(dst, kind);
+    return;
+  }
+  std::string frame;
+  AppendControlFrame(dst, kind, &frame);
+  SendFrameToPeer(OwnerPeer(dst), frame);
+}
+
+Transport::Popped NetTransport::PopReady(int shard, uint64_t max_wait_us) {
+  return embedded_->PopReady(shard, max_wait_us);
+}
+
+void NetTransport::Release(const Packet& packet) {
+  if (packet.via < 0) {
+    embedded_->Release(packet);
+    return;
+  }
+  // The credits were spent from the sending peer's share: return them as
+  // an explicit grant; only the local depth gauge moves here.
+  embedded_->ReleaseExempt(packet.dst, packet.frames);
+  std::string frame;
+  AppendCreditFrame(packet.dst, packet.frames, &frame);
+  SendFrameToPeer(packet.via, frame);
+}
+
+uint64_t NetTransport::Stalls() const {
+  return embedded_->Stalls() +
+         remote_stalls_.load(std::memory_order_relaxed);
+}
+
+size_t NetTransport::CapacityOf(NodeId node) const {
+  return EffectiveCapacity(options_, node);
+}
+
+std::pair<uint64_t, uint64_t> NetTransport::GlobalCounts() {
+  if (role_ != Role::kCoordinator) return Transport::GlobalCounts();
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    probe_pending_ = static_cast<int>(peers_.size());
+    probe_q_ = 0;
+    probe_d_ = 0;
+  }
+  std::string frame;
+  AppendQuiesceFrame(/*is_reply=*/false, 0, 0, &frame);
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    if (!SendFrameToPeer(static_cast<int>(p), frame)) {
+      std::lock_guard<std::mutex> lock(probe_mu_);
+      --probe_pending_;
+    }
+  }
+  std::unique_lock<std::mutex> lock(probe_mu_);
+  auto done = [&] { return probe_pending_ <= 0 || wedged(); };
+  if (options_.wedge_timeout_ms == 0) {
+    probe_cv_.wait(lock, done);
+  } else if (!probe_cv_.wait_for(
+                 lock, std::chrono::milliseconds(options_.wedge_timeout_ms),
+                 done)) {
+    lock.unlock();
+    MarkWedged();
+    return {1, 0};
+  }
+  if (probe_pending_ > 0) return {1, 0};  // wedged mid-probe
+  return {QueuedTotal() + probe_q_, DoneTotal() + probe_d_};
+}
+
+bool NetTransport::SendFrameToPeer(int peer, const std::string& frame) {
+  Peer& p = *peers_[static_cast<size_t>(peer)];
+  bool fatal = false;
+  {
+    std::lock_guard<std::mutex> lock(p.tx_mu);
+    if (p.closed || p.fd < 0) return false;
+    p.tx.append(frame);
+    p.tx_frames->Add(1);
+    p.tx_bytes->Add(frame.size());
+    if (!FlushTxLocked(p)) fatal = true;
+    p.tx_buffered->Set(static_cast<double>(p.tx.size()));
+  }
+  if (fatal) {
+    PeerDied(peer, "send failed");
+    return false;
+  }
+  return true;
+}
+
+bool NetTransport::SendToCoordinator(const std::string& frame) {
+  MUSE_CHECK(role_ == Role::kDaemon, "SendToCoordinator: not a daemon");
+  return SendFrameToPeer(processes_, frame);
+}
+
+bool NetTransport::FlushTxLocked(Peer& p) {
+  while (!p.tx.empty()) {
+    const ssize_t n =
+        send(p.fd, p.tx.data(), p.tx.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      p.tx.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ArmTxLocked(p);
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    p.closed = true;
+    return false;
+  }
+  if (p.tx_armed) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<uint32_t>(p.index);
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, p.fd, &ev);
+    p.tx_armed = false;
+  }
+  return true;
+}
+
+void NetTransport::ArmTxLocked(Peer& p) {
+  if (p.tx_armed) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.u32 = static_cast<uint32_t>(p.index);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, p.fd, &ev);
+  p.tx_armed = true;
+}
+
+void NetTransport::IoMain() {
+  epoll_event events[16];
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, 16, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.u32 == UINT32_MAX) {
+        uint64_t drain = 0;
+        while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      const int peer = static_cast<int>(events[i].data.u32);
+      Peer& p = *peers_[static_cast<size_t>(peer)];
+      if (events[i].events & EPOLLOUT) {
+        bool fatal = false;
+        {
+          std::lock_guard<std::mutex> lock(p.tx_mu);
+          if (!p.closed && !FlushTxLocked(p)) fatal = true;
+          p.tx_buffered->Set(static_cast<double>(p.tx.size()));
+        }
+        if (fatal) PeerDied(peer, "tx flush failed");
+      }
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(peer);
+      }
+    }
+  }
+}
+
+void NetTransport::HandleReadable(int peer) {
+  Peer& p = *peers_[static_cast<size_t>(peer)];
+  if (p.fd < 0) return;
+  char buf[65536];
+  for (;;) {
+    const ssize_t r = recv(p.fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (r > 0) {
+      p.rx_bytes->Add(static_cast<uint64_t>(r));
+      p.rx.Feed(buf, static_cast<size_t>(r));
+      std::string frame;
+      while (p.rx.Next(&frame)) {
+        p.rx_frames->Add(1);
+        size_t consumed = 0;
+        Result<NetFrame> nf = DecodeNetFrame(
+            reinterpret_cast<const uint8_t*>(frame.data()), frame.size(),
+            &consumed);
+        if (!nf.ok()) {
+          // A structurally valid prefix with a malformed body: the stream
+          // framing may be fine but the peer is speaking garbage —
+          // deterministic reject, connection unusable.
+          stream_errors_->Add(1);
+          PeerDied(peer, nf.error().message.c_str());
+          return;
+        }
+        HandleNetFrame(peer, nf.value());
+      }
+      if (p.rx.poisoned()) {
+        stream_errors_->Add(1);
+        PeerDied(peer, p.rx.error().c_str());
+        return;
+      }
+      continue;
+    }
+    if (r == 0) {
+      // EOF. Clean only after the peer announced kBye (or we are tearing
+      // the cluster down ourselves).
+      if (!p.saw_bye && !shutting_down_.load(std::memory_order_acquire)) {
+        PeerDied(peer, "EOF before kBye");
+      } else {
+        std::lock_guard<std::mutex> lock(p.tx_mu);
+        p.closed = true;
+      }
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    PeerDied(peer, "recv failed");
+    return;
+  }
+}
+
+void NetTransport::HandleNetFrame(int peer, const NetFrame& nf) {
+  switch (nf.kind) {
+    case FrameKind::kPacket: {
+      Packet packet;
+      packet.src = nf.src;
+      packet.dst = nf.dst;
+      packet.deliver_at_us = nf.deliver_at_us;
+      packet.frames = nf.frames;
+      packet.bytes = nf.inner;
+      packet.via = peer;
+      embedded_->DeliverExempt(std::move(packet));
+      return;
+    }
+    case FrameKind::kCredit: {
+      {
+        std::lock_guard<std::mutex> lock(credit_mu_);
+        CreditShare& share = shares_[nf.dst];
+        share.credits =
+            std::min(share.capacity, share.credits + nf.frames);
+      }
+      credit_cv_.notify_all();
+      return;
+    }
+    case FrameKind::kControl:
+      embedded_->PushControl(nf.dst, nf.op);
+      return;
+    case FrameKind::kAck:
+      if (callbacks_.on_ack) callbacks_.on_ack(nf.op, nf.frames);
+      return;
+    case FrameKind::kQuiesce: {
+      if (!nf.is_reply) {
+        std::string reply;
+        AppendQuiesceFrame(/*is_reply=*/true, QueuedTotal(), DoneTotal(),
+                           &reply);
+        SendFrameToPeer(peer, reply);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(probe_mu_);
+        probe_q_ += nf.queued_total;
+        probe_d_ += nf.done_total;
+        --probe_pending_;
+      }
+      probe_cv_.notify_all();
+      return;
+    }
+    case FrameKind::kSinkMatch:
+      if (callbacks_.on_sink_match) {
+        callbacks_.on_sink_match(static_cast<int>(nf.query), nf.match,
+                                 nf.trace.trace_id);
+      }
+      NoteFramesDone(1);  // the daemon queued it before shipping
+      return;
+    case FrameKind::kStats:
+      if (callbacks_.on_stats) callbacks_.on_stats(nf.stats);
+      return;
+    case FrameKind::kSpan: {
+      if (callbacks_.on_span) {
+        obs::TraceSpan span;
+        span.trace_id = nf.span_trace_id;
+        span.kind = static_cast<obs::SpanKind>(nf.span_kind);
+        span.node = nf.span_node;
+        span.task = nf.span_task;
+        span.peer = nf.span_peer;
+        span.query = nf.span_query;
+        span.start_us = nf.span_start_us;
+        span.dur_us = nf.span_dur_us;
+        callbacks_.on_span(span);
+      }
+      return;
+    }
+    case FrameKind::kBye: {
+      {
+        std::lock_guard<std::mutex> lock(peers_[peer]->tx_mu);
+        peers_[peer]->saw_bye = true;
+      }
+      byes_.fetch_add(1, std::memory_order_acq_rel);
+      if (callbacks_.on_bye) callbacks_.on_bye(peer);
+      return;
+    }
+    default:
+      // Handshake frames (kHello/kPeers/kReady) are consumed before the
+      // transport exists; a raw data-plane frame outside a kPacket is a
+      // protocol violation. Count and drop.
+      stream_errors_->Add(1);
+      return;
+  }
+}
+
+void NetTransport::PeerDied(int peer, const char* why) {
+  Peer& p = *peers_[static_cast<size_t>(peer)];
+  bool expected = false;
+  if (!p.dead.compare_exchange_strong(expected, true)) return;
+  {
+    std::lock_guard<std::mutex> lock(p.tx_mu);
+    p.closed = true;
+  }
+  if (shutting_down_.load(std::memory_order_acquire) || p.saw_bye) return;
+  std::fprintf(stderr,
+               "muse-rt transport (process %d): peer %d died: %s\n",
+               role_ == Role::kDaemon ? self_process_ : -1, peer, why);
+  MarkWedged();
+  if (callbacks_.on_peer_dead) callbacks_.on_peer_dead(peer);
+}
+
+void NetTransport::WakeAllForWedge() {
+  embedded_->MarkWedged();
+  credit_cv_.notify_all();
+  probe_cv_.notify_all();
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+bool NetTransport::FlushPending(uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool drained = true;
+    for (auto& peer : peers_) {
+      std::lock_guard<std::mutex> lock(peer->tx_mu);
+      if (!peer->closed && !peer->tx.empty()) drained = false;
+    }
+    if (drained) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void NetTransport::Shutdown() {
+  bool expected = false;
+  if (!shutting_down_.compare_exchange_strong(expected, true)) return;
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = write(wake_fd_, &one, sizeof(one));
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& peer : peers_) {
+    std::lock_guard<std::mutex> lock(peer->tx_mu);
+    if (peer->fd >= 0) {
+      close(peer->fd);
+      peer->fd = -1;
+    }
+    peer->closed = true;
+  }
+  if (wake_fd_ >= 0) {
+    close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+}  // namespace muse::rt

@@ -1,0 +1,209 @@
+#ifndef MUSE_RT_NET_TRANSPORT_H_
+#define MUSE_RT_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/obs/trace.h"
+#include "src/rt/transport.h"
+#include "src/rt/wire.h"
+
+namespace muse::rt {
+
+/// Control-plane frames surfaced by the IO thread to the embedding
+/// runtime. All callbacks run on the IO thread — they must not block on
+/// anything the IO thread itself services.
+struct NetCallbacks {
+  /// kAck: a flush-barrier phase acknowledged for `count` nodes.
+  std::function<void(ControlKind kind, uint32_t count)> on_ack;
+  /// kSinkMatch: a daemon emitted a sink match (coordinator side).
+  std::function<void(int query, const Match& m, uint64_t trace_id)>
+      on_sink_match;
+  /// kStats: a daemon's end-of-run counter export.
+  std::function<void(const std::vector<StatEntry>& stats)> on_stats;
+  /// kSpan: one causal-trace span shipped from a daemon.
+  std::function<void(const obs::TraceSpan& span)> on_span;
+  /// kBye: the peer is shutting down cleanly (EOF after this is expected).
+  std::function<void(int peer)> on_bye;
+  /// The peer's connection died without a kBye — crash or kill. The
+  /// transport has already marked itself wedged when this fires.
+  std::function<void(int peer)> on_peer_dead;
+};
+
+/// TCP transport: same contract as InProcTransport, but packets whose
+/// destination inbox lives behind a socket are encoded as kPacket
+/// envelopes (wire.h) and shipped over non-blocking localhost TCP,
+/// reassembled incrementally on the receiving side (FrameAssembler), and
+/// enqueued into the receiver's embedded in-proc inboxes. Three roles:
+///
+///  - kLoopback: one process owns every node, but every cross-node packet
+///    still round-trips through a real TCP connection to the process's own
+///    listener — the full socket path (encode, send, epoll, reassemble,
+///    credit grant) under single-process determinism. The differential
+///    harness uses it to isolate wire bugs from distribution bugs.
+///  - kDaemon: a muse_node process owning the nodes with
+///    node % processes == self_process, meshed with every other daemon
+///    and the coordinator.
+///  - kCoordinator: owns no nodes; injects the source trace, orchestrates
+///    barriers, and collects matches/acks/stats from the daemons.
+///
+/// Credit model: every inbox's window W is split into processes+1 equal
+/// shares, one per sender domain (each daemon plus the coordinator; the
+/// owner's local senders consume the embedded inbox's share). A sender
+/// spends its own share synchronously and regains it when the receiver
+/// releases the packet and ships a kCredit grant back — so no domain can
+/// buffer more than W/(processes+1) frames into one inbox, aggregate
+/// buffering stays <= W, and deadlock-freedom needs every share >= the
+/// max packet size (muse_lint M900 with --rt-processes). TCP's own socket
+/// buffers hold only packets already covered by spent credits, so kernel
+/// buffering adds no uncounted capacity.
+class NetTransport : public Transport {
+ public:
+  enum class Role { kLoopback, kCoordinator, kDaemon };
+
+  /// Connected-socket bootstrap; the cluster handshake (cluster.h) or the
+  /// Loopback() factory produces it. Peer indexing: daemons see peers
+  /// [0, processes) as the daemon mesh (entry self_process unused, -1)
+  /// and peer `processes` as the coordinator; the coordinator sees peers
+  /// [0, processes) as the daemons; loopback has peer 0 (outbound half)
+  /// and peer 1 (inbound half) of its self-connection.
+  struct Setup {
+    Role role = Role::kLoopback;
+    int self_process = 0;  ///< daemon index; ignored for other roles
+    int processes = 1;     ///< daemon count P
+    std::vector<int> peer_fds;
+    size_t num_nodes = 0;
+    int num_shards = 1;
+    RtTransportOptions options;
+    NetCallbacks callbacks;
+  };
+
+  NetTransport(Setup setup, obs::MetricsRegistry* registry);
+  ~NetTransport() override;
+
+  /// Single-process loopback factory: binds an ephemeral localhost
+  /// listener, connects to itself, and wires both halves as peers.
+  static Result<std::unique_ptr<NetTransport>> Loopback(
+      size_t num_nodes, int num_shards, const RtTransportOptions& options,
+      obs::MetricsRegistry* registry);
+
+  // --- Transport interface ------------------------------------------------
+
+  size_t num_nodes() const override { return embedded_->num_nodes(); }
+  int num_shards() const override { return embedded_->num_shards(); }
+  int shard_of(NodeId node) const override {
+    return embedded_->shard_of(node);
+  }
+  std::vector<NodeId> LocalNodes() const override;
+  uint64_t DeliverAt(NodeId src, NodeId dst) const override;
+  bool TryDeliver(Packet&& packet) override;
+  void DeliverBlocking(Packet packet) override;
+  void PushControl(NodeId dst, ControlKind kind) override;
+  Popped PopReady(int shard, uint64_t max_wait_us) override;
+  void Release(const Packet& packet) override;
+  uint64_t Stalls() const override;
+  size_t CapacityOf(NodeId node) const override;
+  bool wedged() const override {
+    return Transport::wedged() || embedded_->wedged();
+  }
+  std::pair<uint64_t, uint64_t> GlobalCounts() override;
+
+  // --- control-plane sends (runtime / daemon orchestration) ---------------
+
+  /// True when this process owns `node`'s inbox.
+  bool IsLocal(NodeId node) const;
+  /// Peer index of the process owning `node` (loopback: the self-peer).
+  int OwnerPeer(NodeId node) const;
+
+  /// Enqueues one encoded wire frame to `peer`; false if the peer is gone.
+  bool SendFrameToPeer(int peer, const std::string& frame);
+  /// Daemon convenience: send to the coordinator peer.
+  bool SendToCoordinator(const std::string& frame);
+  /// Number of peers that sent kBye so far.
+  int ByesReceived() const { return byes_.load(std::memory_order_acquire); }
+
+  /// Blocks until every peer's tx buffer drained (the IO thread keeps
+  /// flushing); false on timeout. Call before Shutdown when the last
+  /// frames (kStats/kBye) must actually reach the wire.
+  bool FlushPending(uint64_t timeout_ms);
+
+  /// Stops the IO thread and closes every socket. Idempotent; the
+  /// destructor calls it. After Shutdown, peer death no longer wedges.
+  void Shutdown();
+
+ private:
+  struct CreditShare {
+    size_t capacity = 0;  ///< 0 = unbounded
+    size_t credits = 0;
+  };
+  struct Peer {
+    int index = -1;
+    int fd = -1;
+    std::atomic<bool> dead{false};
+    std::mutex tx_mu;
+    std::string tx;        ///< bytes accepted but not yet written
+    bool tx_armed = false; ///< EPOLLOUT currently requested
+    bool closed = false;
+    bool saw_bye = false;
+    FrameAssembler rx;
+    obs::Counter* tx_frames = nullptr;
+    obs::Counter* tx_bytes = nullptr;
+    obs::Counter* rx_frames = nullptr;
+    obs::Counter* rx_bytes = nullptr;
+    obs::Gauge* tx_buffered = nullptr;
+  };
+
+  bool RouteViaSocket(NodeId src, NodeId dst) const;
+  void SendPacket(Packet&& packet);
+  void IoMain();
+  void HandleReadable(int peer);
+  void HandleNetFrame(int peer, const NetFrame& nf);
+  void PeerDied(int peer, const char* why);
+  bool FlushTxLocked(Peer& p);  // holds p.tx_mu; false on fatal error
+  void ArmTxLocked(Peer& p);
+
+  void WakeAllForWedge() override;
+
+  Role role_;
+  int self_process_ = 0;
+  int processes_ = 1;
+  RtTransportOptions options_;
+  std::unique_ptr<InProcTransport> embedded_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  NetCallbacks callbacks_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: shutdown + tx kicks
+  std::thread io_thread_;
+  std::atomic<bool> shutting_down_{false};
+
+  std::mutex credit_mu_;
+  std::condition_variable credit_cv_;
+  std::vector<CreditShare> shares_;  ///< sender-side share per dst node
+  std::atomic<uint64_t> remote_stalls_{0};
+  obs::Counter* remote_stall_metric_ = nullptr;
+  obs::Counter* source_stall_us_ = nullptr;
+  obs::Counter* stream_errors_ = nullptr;
+
+  // Coordinator quiescence probe state (GlobalCounts).
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  int probe_pending_ = 0;
+  uint64_t probe_q_ = 0;
+  uint64_t probe_d_ = 0;
+
+  std::atomic<int> byes_{0};
+};
+
+}  // namespace muse::rt
+
+#endif  // MUSE_RT_NET_TRANSPORT_H_

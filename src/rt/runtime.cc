@@ -1,116 +1,26 @@
 #include "src/rt/runtime.h"
 
+#include <signal.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <map>
 #include <mutex>
-#include <set>
 #include <thread>
 
 #include "src/cep/match_dedup.h"
 #include "src/cep/oracle.h"
+#include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/dist/node_runtime.h"
+#include "src/rt/cluster.h"
+#include "src/rt/executor.h"
+#include "src/rt/net_transport.h"
 #include "src/rt/wire.h"
 
 namespace muse::rt {
 namespace {
-
-/// Eviction horizon used when the caller leaves `eval.eviction_slack_ms`
-/// at 0: large enough that no partial match is ever evicted before the
-/// final flush (see RtOptions::eval for why finite slacks break the
-/// determinism contract under real threading).
-constexpr uint64_t kUnboundedSlackMs = 1ULL << 60;
-
-/// Per-link batch of encoded frames owned by one sending thread. Frames
-/// accumulate until `batch_max_frames`, then flush as one packet; the
-/// owner also force-flushes after each unit of work so batching never
-/// holds a frame across an idle period.
-///
-/// Worker threads flush packets with TryDeliver and keep rejected packets
-/// in a per-link FIFO spill (credit order is preserved per link); the
-/// source driver flushes blocking. See Transport for the deadlock-freedom
-/// argument.
-class LinkBatcher {
- public:
-  LinkBatcher(NodeId src, Transport* transport,
-              const RtTransportOptions& options, bool blocking)
-      : src_(src),
-        transport_(transport),
-        options_(options),
-        blocking_(blocking) {}
-
-  void Add(NodeId dst, const char* frame, size_t frame_bytes) {
-    Batch& batch = batches_[dst];
-    batch.bytes.append(frame, frame_bytes);
-    ++batch.frames;
-    if (batch.frames >= static_cast<uint32_t>(
-                            std::max(1, options_.batch_max_frames))) {
-      FlushLink(dst);
-    }
-  }
-
-  void FlushAll() {
-    for (auto& [dst, batch] : batches_) {
-      if (batch.frames > 0) FlushLink(dst);
-    }
-  }
-
-  /// One pass over the spill queues; returns true when all are empty.
-  bool FlushSpill() {
-    for (auto it = spill_.begin(); it != spill_.end();) {
-      std::deque<Packet>& q = it->second;
-      while (!q.empty() && transport_->TryDeliver(std::move(q.front()))) {
-        q.pop_front();
-      }
-      it = q.empty() ? spill_.erase(it) : ++it;
-    }
-    return spill_.empty();
-  }
-
-  bool spill_empty() const { return spill_.empty(); }
-
- private:
-  struct Batch {
-    std::string bytes;
-    uint32_t frames = 0;
-  };
-
-  void FlushLink(NodeId dst) {
-    Batch& batch = batches_[dst];
-    Packet packet;
-    packet.src = src_;
-    packet.dst = dst;
-    // The blocking batcher is the source driver, which logically injects
-    // *at* the origin node — no network hop, immediate delivery.
-    packet.deliver_at_us =
-        blocking_ ? transport_->NowUs() : transport_->DeliverAt(src_, dst);
-    packet.frames = batch.frames;
-    packet.bytes = std::move(batch.bytes);
-    batch.bytes.clear();
-    batch.frames = 0;
-    if (blocking_) {
-      transport_->DeliverBlocking(std::move(packet));
-      return;
-    }
-    // FIFO per link: never overtake an already-spilled packet.
-    std::deque<Packet>& q = spill_[dst];
-    if (q.empty() && transport_->TryDeliver(std::move(packet))) {
-      spill_.erase(dst);
-      return;
-    }
-    q.push_back(std::move(packet));
-  }
-
-  NodeId src_;
-  Transport* transport_;
-  RtTransportOptions options_;
-  bool blocking_;
-  std::map<NodeId, Batch> batches_;
-  std::map<NodeId, std::deque<Packet>> spill_;
-};
 
 class RtRun {
  public:
@@ -118,36 +28,24 @@ class RtRun {
       : dep_(dep),
         options_(options),
         telemetry_(std::make_shared<obs::RunTelemetry>()) {
-    EvaluatorOptions eval = options_.eval;
-    if (eval.eviction_slack_ms == 0) eval.eviction_slack_ms = kUnboundedSlackMs;
-
     NodeId max_node = 0;
     for (const Task& t : dep_.tasks()) max_node = std::max(max_node, t.node);
-    const size_t num_nodes = static_cast<size_t>(max_node) + 1;
-    for (NodeId n = 0; n < num_nodes; ++n) nodes_.emplace_back(n, &dep_, eval);
-
+    num_nodes_ = static_cast<size_t>(max_node) + 1;
     num_shards_ = options_.num_threads <= 0
-                      ? static_cast<int>(num_nodes)
+                      ? static_cast<int>(num_nodes_)
                       : std::min<int>(options_.num_threads,
-                                      static_cast<int>(num_nodes));
+                                      static_cast<int>(num_nodes_));
 
     obs::MetricsRegistry& reg = telemetry_->registry;
-    transport_ = std::make_unique<Transport>(num_nodes, num_shards_,
-                                             options_.transport, &reg);
-    for (size_t n = 0; n < num_nodes; ++n) {
-      const obs::LabelSet labels{{"node", std::to_string(n)}};
-      node_inputs_.push_back(reg.GetCounter("rt_node_inputs_total", labels));
-      node_net_frames_.push_back(
-          reg.GetCounter("rt_net_out_frames_total", labels));
-      node_net_bytes_.push_back(
-          reg.GetCounter("rt_net_out_bytes_total", labels));
-      node_crashes_.push_back(reg.GetCounter("rt_crashes_total", labels));
-    }
     // Sink dedup horizons mirror the simulator's: window + 4*slack of
     // match time, past which no live state can regenerate a match. With
     // the default unbounded slack the horizon is never reached, so the
     // sets degenerate to the old remember-everything behavior and the
     // determinism contract is untouched.
+    EvaluatorOptions eval = options_.eval;
+    if (eval.eviction_slack_ms == 0) {
+      eval.eviction_slack_ms = kUnboundedEvictionSlackMs;
+    }
     std::vector<uint64_t> horizon(static_cast<size_t>(dep_.num_queries()),
                                   MatchDedupSet::kNoHorizon);
     for (const Task& t : dep_.tasks()) {
@@ -166,75 +64,25 @@ class RtRun {
       col->total = reg.GetCounter("rt_matches_total", labels);
       collectors_.push_back(std::move(col));
     }
-    wire_rejects_ = reg.GetCounter("rt_wire_rejected_frames_total");
     source_skipped_ = reg.GetCounter("rt_source_skipped_events_total");
-    flush_stash_.resize(num_nodes);
 
     sampler_ = obs::TraceSampler(options_.trace_sample_every);
     if (sampler_.enabled()) {
-      // One single-writer buffer per worker shard plus one for the driver
-      // (the last slot); drained only after every writer has joined.
-      for (int s = 0; s <= num_shards_; ++s) {
-        span_bufs_.push_back(std::make_unique<obs::SpanBuffer>(
-            options_.trace_max_spans_per_thread));
-      }
+      driver_spans_ = std::make_unique<obs::SpanBuffer>(
+          options_.trace_max_spans_per_thread);
       trace_sampled_ = reg.GetCounter("rt_trace_sampled_total");
     }
   }
 
   RtReport Run(const std::vector<Event>& trace) {
-    const auto wall_start = std::chrono::steady_clock::now();
     report_.source_events = trace.size();
     report_.matches_per_query.resize(
         static_cast<size_t>(dep_.num_queries()));
     inject_us_.assign(trace.size(), 0);
-
-    if (options_.drift.enabled && !dep_.planner_rates().empty() &&
-        !trace.empty()) {
-      // The trace horizon in virtual ms; traces are time-sorted, so the
-      // last event carries it.
-      drift_ = std::make_unique<obs::RateDriftDetector>(
-          dep_.planner_rates(), trace.back().time + 1, options_.drift);
+    if (options_.transport_kind == RtTransportKind::kCluster) {
+      return RunCluster(trace);
     }
-
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(num_shards_));
-    for (int s = 0; s < num_shards_; ++s) {
-      workers.emplace_back([this, s] { WorkerMain(s); });
-    }
-    std::thread driver([this, &trace] { DriverMain(trace); });
-
-    driver.join();
-    WaitQuiesce();
-
-    if (!transport_->wedged()) {
-      // Final flush, two-phase to mirror the simulator exactly: every node
-      // stashes its pending NSEQ candidates *before* any of them is routed,
-      // so late flush outputs delivered to an already-flushed evaluator
-      // never gain a second flush.
-      for (NodeId n = 0; n < nodes_.size(); ++n) {
-        transport_->PushControl(n, ControlKind::kFlushCollect);
-      }
-      WaitAcks(&flush_acks_);
-      for (NodeId n = 0; n < nodes_.size(); ++n) {
-        transport_->PushControl(n, ControlKind::kFlushEmit);
-      }
-      WaitAcks(&emit_acks_);
-      WaitQuiesce();
-    }
-    for (NodeId n = 0; n < nodes_.size(); ++n) {
-      transport_->PushControl(n, ControlKind::kStop);
-    }
-    for (std::thread& t : workers) t.join();
-    report_.wedged = transport_->wedged();
-
-    FinishTelemetry();
-    report_.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
-    BuildReport();
-    return std::move(report_);
+    return RunLocal(trace);
   }
 
  private:
@@ -246,236 +94,257 @@ class RtRun {
     obs::Counter* total = nullptr;
   };
 
-  void WaitQuiesce() const {
-    // The wedge watchdog: in-flight work that makes no progress for the
-    // whole timeout means some packet can never acquire credits (worker
-    // spill queues retry continuously, so a stuck counter is a stuck
-    // packet, not a slow one).
+  // --- single-process modes (in-proc and loopback TCP) -----------------
+
+  RtReport RunLocal(const std::vector<Event>& trace) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    if (options_.transport_kind == RtTransportKind::kInProc) {
+      transport_ = std::make_unique<InProcTransport>(
+          num_nodes_, num_shards_, options_.transport, &reg);
+    } else {
+      Result<std::unique_ptr<NetTransport>> lb = NetTransport::Loopback(
+          num_nodes_, num_shards_, options_.transport, &reg);
+      MUSE_CHECK(lb.ok(), "loopback transport setup failed");
+      transport_ = std::move(lb.value());
+    }
+
+    if (options_.drift.enabled && !dep_.planner_rates().empty() &&
+        !trace.empty()) {
+      // The trace horizon in virtual ms; traces are time-sorted, so the
+      // last event carries it.
+      drift_ = std::make_unique<obs::RateDriftDetector>(
+          dep_.planner_rates(), trace.back().time + 1, options_.drift);
+    }
+
+    RtExecutor::Hooks hooks;
+    hooks.record_match = [this](int query, const Match& m,
+                                uint64_t trace_id) {
+      return RecordMatch(query, m, trace_id);
+    };
+    hooks.ack = [this](ControlKind kind) {
+      (kind == ControlKind::kFlushCollect ? flush_acks_ : emit_acks_)
+          .fetch_add(1, std::memory_order_release);
+    };
+    if (drift_ != nullptr) {
+      hooks.observe_output = [this](int task, uint64_t max_time) {
+        drift_->ObserveTaskOutput(task, max_time);
+      };
+    }
+    RtExecutor executor(
+        dep_, options_.eval, options_.transport, transport_.get(), &reg,
+        hooks, sampler_.enabled() ? options_.trace_max_spans_per_thread : 0);
+    executor.Start();
+    std::thread driver([this, &trace] { DriverMain(trace); });
+    driver.join();
+    WaitQuiesce();
+
+    FlushBarrier();
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      transport_->PushControl(n, ControlKind::kStop);
+    }
+    executor.Join();
+    report_.wedged = transport_->wedged();
+
+    FinishTelemetryLocal(executor);
+    FinishTelemetryCommon();
+    report_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    BuildReportLocal(executor);
+    BuildReportCommon();
+    return std::move(report_);
+  }
+
+  // --- multi-process mode ----------------------------------------------
+
+  RtReport RunCluster(const std::vector<Event>& trace) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    const int processes = std::max(1, options_.processes);
+
+    DaemonConfig tmpl;
+    tmpl.processes = processes;
+    tmpl.num_threads = options_.num_threads;
+    tmpl.transport = options_.transport;
+    tmpl.eval = options_.eval;
+    tmpl.trace_sample_every = options_.trace_sample_every;
+    tmpl.trace_max_spans = options_.trace_max_spans_per_thread;
+    Result<std::unique_ptr<ClusterHandle>> launched =
+        LaunchCluster(options_.muse_node_bin, options_.cluster_spec_text,
+                      options_.cluster_plan_json, tmpl);
+    if (!launched.ok()) {
+      std::fprintf(stderr, "rt cluster launch failed: %s\n",
+                   launched.error().message.c_str());
+      report_.wedged = true;
+      return std::move(report_);
+    }
+    cluster_ = std::move(launched.value());
+
+    if (sampler_.enabled()) {
+      cluster_spans_ = std::make_unique<obs::SpanBuffer>(
+          options_.trace_max_spans_per_thread *
+          static_cast<size_t>(processes));
+    }
+    NetTransport::Setup setup;
+    setup.role = NetTransport::Role::kCoordinator;
+    setup.processes = processes;
+    setup.peer_fds = cluster_->daemon_fds();
+    setup.num_nodes = num_nodes_;
+    setup.num_shards = 1;
+    setup.options = options_.transport;
+    setup.callbacks.on_ack = [this](ControlKind kind, uint32_t count) {
+      (kind == ControlKind::kFlushCollect ? flush_acks_ : emit_acks_)
+          .fetch_add(count, std::memory_order_release);
+    };
+    setup.callbacks.on_sink_match = [this](int query, const Match& m,
+                                           uint64_t trace_id) {
+      RecordMatch(query, m, trace_id);
+    };
+    setup.callbacks.on_stats =
+        [this](const std::vector<StatEntry>& stats) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          daemon_stats_.insert(daemon_stats_.end(), stats.begin(),
+                               stats.end());
+        };
+    setup.callbacks.on_span = [this](const obs::TraceSpan& span) {
+      if (cluster_spans_ != nullptr) cluster_spans_->Record(span);
+    };
+    auto net_owned =
+        std::make_unique<NetTransport>(std::move(setup), &reg);
+    NetTransport* net = net_owned.get();
+    transport_ = std::move(net_owned);
+    // Daemons adopted the coordinator's clock from the kPeers frame; the
+    // coordinator itself re-anchors to the same reference.
+    transport_->SyncClock(cluster_->SinceEpochUs());
+
+    std::thread killer;
+    if (!options_.kill_schedule.empty()) {
+      killer = std::thread([this] { KillerMain(); });
+    }
+
+    DriverMain(trace);
+    WaitQuiesce();
+    FlushBarrier();
+
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      transport_->PushControl(n, ControlKind::kStop);
+    }
+    std::string bye;
+    AppendByeFrame(0, &bye);
+    for (int p = 0; p < processes; ++p) net->SendFrameToPeer(p, bye);
+    // Each daemon ships kStats, its spans, and a kBye after its workers
+    // join — wait for all byes so those exports are in before teardown.
+    const auto bye_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!transport_->wedged() && net->ByesReceived() < processes &&
+           std::chrono::steady_clock::now() < bye_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    run_done_.store(true, std::memory_order_release);
+    if (killer.joinable()) killer.join();
+    report_.wedged = transport_->wedged();
+    net->Shutdown();
+    if (report_.wedged) cluster_->KillAll(SIGKILL);
+    cluster_->ReapAll(2000);
+
+    FinishTelemetryCluster();
+    FinishTelemetryCommon();
+    report_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    BuildReportCluster();
+    BuildReportCommon();
+    return std::move(report_);
+  }
+
+  void KillerMain() {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::pair<int, uint64_t>> schedule = options_.kill_schedule;
+    std::sort(schedule.begin(), schedule.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    for (const auto& [process, delay_ms] : schedule) {
+      while (!run_done_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() <
+                 start + std::chrono::milliseconds(delay_ms)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // A run that finished before the scheduled time keeps its daemons.
+      if (run_done_.load(std::memory_order_acquire)) return;
+      if (process >= 0 &&
+          process < static_cast<int>(cluster_->pids().size())) {
+        kill(cluster_->pids()[static_cast<size_t>(process)], SIGKILL);
+      }
+    }
+  }
+
+  // --- shared orchestration --------------------------------------------
+
+  /// Quiescence over GlobalCounts: done when two consecutive probes agree
+  /// on queued == done with no movement in between (per-process counters
+  /// are sampled at different instants, so a single probe can transiently
+  /// read equal sums mid-flight). In-flight work that makes no progress
+  /// for the whole wedge timeout means some packet can never be delivered
+  /// (worker spill queues retry continuously, so a stuck counter is a
+  /// stuck packet, not a slow one).
+  void WaitQuiesce() {
     const uint64_t timeout_us = options_.transport.wedge_timeout_ms * 1000;
-    int64_t last = transport_->InFlight();
-    uint64_t stagnant_us = 0;
-    while (transport_->InFlight() > 0) {
+    uint64_t last_q = 0;
+    uint64_t last_d = 0;
+    bool have_last = false;
+    auto stagnant_since = std::chrono::steady_clock::now();
+    for (;;) {
       if (transport_->wedged()) return;
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
-      if (timeout_us == 0) continue;
-      const int64_t now = transport_->InFlight();
-      if (now != last) {
-        last = now;
-        stagnant_us = 0;
-      } else if ((stagnant_us += 100) >= timeout_us) {
+      const auto [q, d] = transport_->GlobalCounts();
+      if (transport_->wedged()) return;
+      const bool unchanged = have_last && q == last_q && d == last_d;
+      if (unchanged && q == d) return;
+      if (!unchanged) {
+        stagnant_since = std::chrono::steady_clock::now();
+      } else if (timeout_us != 0 &&
+                 static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - stagnant_since)
+                         .count()) >= timeout_us) {
         transport_->MarkWedged();
         return;
       }
+      last_q = q;
+      last_d = d;
+      have_last = true;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
 
   void WaitAcks(const std::atomic<size_t>* acks) const {
-    while (acks->load(std::memory_order_acquire) < nodes_.size()) {
+    while (acks->load(std::memory_order_acquire) < num_nodes_) {
+      if (transport_->wedged()) return;
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
 
-  // --- worker side -----------------------------------------------------
-
-  void WorkerMain(int shard) {
-    // One batcher per worker: it only ever sends on behalf of this shard's
-    // nodes, and `src` is stamped per flush from the routing node.
-    std::map<NodeId, std::unique_ptr<LinkBatcher>> batchers;
-    for (size_t n = static_cast<size_t>(shard); n < nodes_.size();
-         n += static_cast<size_t>(num_shards_)) {
-      batchers[static_cast<NodeId>(n)] = std::make_unique<LinkBatcher>(
-          static_cast<NodeId>(n), transport_.get(), options_.transport,
-          /*blocking=*/false);
+  /// Final flush, two-phase to mirror the simulator exactly: every node
+  /// stashes its pending NSEQ candidates *before* any of them is routed,
+  /// so late flush outputs delivered to an already-flushed evaluator
+  /// never gain a second flush.
+  void FlushBarrier() {
+    if (transport_->wedged()) return;
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      transport_->PushControl(n, ControlKind::kFlushCollect);
     }
-    auto spill_empty = [&] {
-      for (auto& [n, b] : batchers) {
-        if (!b->spill_empty()) return false;
-      }
-      return true;
-    };
-
-    for (;;) {
-      for (auto& [n, b] : batchers) b->FlushSpill();
-      const bool idle = spill_empty();
-      Transport::Popped popped =
-          transport_->PopReady(shard, idle ? 5000 : 100);
-      for (const auto& [node, control] : popped.controls) {
-        LinkBatcher* batcher = batchers[node].get();
-        switch (control) {
-          case ControlKind::kCrash:
-            HandleCrash(node, batcher);
-            transport_->NoteFramesDone(1);
-            break;
-          case ControlKind::kFlushCollect:
-            nodes_[node].Flush(&flush_stash_[node]);
-            flush_acks_.fetch_add(1, std::memory_order_release);
-            break;
-          case ControlKind::kFlushEmit:
-            RouteOutputs(node, flush_stash_[node], batcher);
-            flush_stash_[node].clear();
-            batcher->FlushAll();
-            emit_acks_.fetch_add(1, std::memory_order_release);
-            break;
-          case ControlKind::kStop:
-            return;
-        }
-      }
-      for (Packet& packet : popped.packets) {
-        LinkBatcher* batcher = batchers[packet.dst].get();
-        obs::SpanBuffer* spans =
-            span_bufs_.empty() ? nullptr
-                               : span_bufs_[static_cast<size_t>(shard)].get();
-        // One clock read covers the whole packet: every frame in it became
-        // available at deliver_at_us and left the inbox now.
-        const uint64_t pop_us =
-            spans != nullptr ? transport_->NowUs() : 0;
-        Result<std::vector<DecodedFrame>> frames = DecodePacket(packet.bytes);
-        if (!frames.ok()) {
-          // A malformed packet is a transport bug, not a data condition;
-          // account and drop rather than poison the node.
-          wire_rejects_->Add(packet.frames);
-        } else {
-          for (const DecodedFrame& frame : frames.value()) {
-            HandleFrame(packet.dst, frame, batcher, packet, pop_us, spans);
-          }
-        }
-        batcher->FlushAll();
-        transport_->Release(packet.dst, packet.frames);
-        transport_->NoteFramesDone(packet.frames);
-      }
+    WaitAcks(&flush_acks_);
+    if (transport_->wedged()) return;
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      transport_->PushControl(n, ControlKind::kFlushEmit);
     }
+    WaitAcks(&emit_acks_);
+    WaitQuiesce();
   }
 
-  void HandleFrame(NodeId node, const DecodedFrame& frame,
-                   LinkBatcher* batcher, const Packet& packet,
-                   uint64_t pop_us, obs::SpanBuffer* spans) {
-    NodeRuntime& rt = nodes_[node];
-    node_inputs_[node]->Add(1);
-    const uint64_t trace_id = frame.trace.trace_id;
-    const bool traced = trace_id != 0 && spans != nullptr;
-    if (traced) {
-      // The hop: sender encode time to transport delivery. Both ends read
-      // the same process-wide clock, so the difference is meaningful.
-      obs::TraceSpan hop;
-      hop.trace_id = trace_id;
-      hop.kind = obs::SpanKind::kTransport;
-      hop.node = node;
-      hop.peer = packet.src;
-      hop.start_us = frame.trace.sent_us;
-      hop.dur_us = packet.deliver_at_us > frame.trace.sent_us
-                       ? packet.deliver_at_us - frame.trace.sent_us
-                       : 0;
-      spans->Record(hop);
-      obs::TraceSpan wait;
-      wait.trace_id = trace_id;
-      wait.kind = obs::SpanKind::kInboxWait;
-      wait.node = node;
-      wait.start_us = packet.deliver_at_us;
-      wait.dur_us =
-          pop_us > packet.deliver_at_us ? pop_us - packet.deliver_at_us : 0;
-      spans->Record(wait);
-    }
-    std::vector<NodeRuntime::Output> outs;
-    if (frame.kind == FrameKind::kEvent ||
-        frame.kind == FrameKind::kEventTraced) {
-      const Event& e = frame.event;
-      for (int task : dep_.PrimitiveTasksFor(node, e.type)) {
-        const uint64_t eval_start = traced ? transport_->NowUs() : 0;
-        rt.OnInput(task, -1, Match::Single(e), &outs);
-        if (traced) RecordEvalSpan(spans, trace_id, node, task, eval_start);
-      }
-    } else {
-      const SimMessage& msg = frame.message;
-      if (msg.src_task < 0 || msg.src_task >= dep_.num_tasks()) {
-        wire_rejects_->Add(1);
-        return;
-      }
-      if (!rt.Admit(msg)) return;  // duplicate from a recovering sender
-      for (int succ : dep_.task(msg.src_task).successors) {
-        if (dep_.task(succ).node != node) continue;
-        const uint64_t eval_start = traced ? transport_->NowUs() : 0;
-        rt.OnInput(succ, msg.src_task, msg.payload, &outs);
-        if (traced) RecordEvalSpan(spans, trace_id, node, succ, eval_start);
-      }
-    }
-    RouteOutputs(node, outs, batcher, /*replay=*/false, trace_id, spans);
-  }
-
-  void RecordEvalSpan(obs::SpanBuffer* spans, uint64_t trace_id, NodeId node,
-                      int task, uint64_t start_us) {
-    obs::TraceSpan s;
-    s.trace_id = trace_id;
-    s.kind = obs::SpanKind::kEvaluate;
-    s.node = node;
-    s.task = task;
-    s.start_us = start_us;
-    const uint64_t now = transport_->NowUs();
-    s.dur_us = now > start_us ? now - start_us : 0;
-    spans->Record(s);
-  }
-
-  void HandleCrash(NodeId node, LinkBatcher* batcher) {
-    node_crashes_[node]->Add(1);
-    NodeRuntime& rt = nodes_[node];
-    rt.Crash();
-    std::vector<NodeRuntime::Output> outs;
-    rt.Recover(&outs);
-    // Replay regenerates the original outputs with identical channel
-    // sequence numbers; receivers drop them as duplicates. Sinks skip
-    // them outright (replay=true): deterministic replay only re-derives
-    // already-recorded matches, which a horizon-compacted dedup set might
-    // no longer recognize.
-    RouteOutputs(node, outs, batcher, /*replay=*/true);
-    batcher->FlushAll();
-  }
-
-  void RouteOutputs(NodeId node, const std::vector<NodeRuntime::Output>& outs,
-                    LinkBatcher* batcher, bool replay = false,
-                    uint64_t trace_id = 0,
-                    obs::SpanBuffer* spans = nullptr) {
-    NodeRuntime& rt = nodes_[node];
-    std::string frame;
-    // One clock read per traced call: every output message of this unit of
-    // work is encoded "now".
-    const TraceContext ctx{trace_id,
-                           trace_id != 0 ? transport_->NowUs() : 0};
-    for (const NodeRuntime::Output& out : outs) {
-      const Task& t = dep_.task(out.task);
-      // Replay regenerates outputs already observed before the crash:
-      // counting them again would inflate the observed projection rates.
-      if (drift_ != nullptr && !replay && !t.is_primitive) {
-        drift_->ObserveTaskOutput(t.id, out.match.max_time);
-      }
-      if (!replay) {
-        for (int query : t.sink_for) {
-          RecordMatch(query, out.match, trace_id, spans, node, t.id);
-        }
-      }
-      std::set<NodeId> dst_nodes;
-      for (int succ : t.successors) dst_nodes.insert(dep_.task(succ).node);
-      for (NodeId dst : dst_nodes) {
-        SimMessage msg;
-        msg.src_task = t.id;
-        msg.dst_task = -1;
-        msg.channel_seq = rt.NextChannelSeq(t.id, dst);
-        msg.payload = out.match;
-        frame.clear();
-        // The derived match inherits the input's trace id (untraced inputs
-        // encode the v1 frame byte-identically).
-        AppendMessageFrame(msg, ctx, &frame);
-        if (dst != node) {
-          node_net_frames_[node]->Add(1);
-          node_net_bytes_[node]->Add(frame.size());
-        }
-        transport_->NoteFramesQueued(1);
-        batcher->Add(dst, frame.data(), frame.size());
-      }
-    }
-  }
-
-  void RecordMatch(int query, const Match& m, uint64_t trace_id = 0,
-                   obs::SpanBuffer* spans = nullptr, NodeId node = 0,
-                   int task = -1) {
+  bool RecordMatch(int query, const Match& m, uint64_t trace_id) {
+    (void)trace_id;  // the emitting executor records the kEmit span
     QueryCollector& col = *collectors_[static_cast<size_t>(query)];
     uint64_t injected = 0;
     for (const Event& e : m.events) {
@@ -485,22 +354,12 @@ class RtRun {
     }
     const uint64_t now = transport_->NowUs();
     std::lock_guard<std::mutex> lock(col.mu);
-    if (!col.seen.Accept(m)) return;
+    if (!col.seen.Accept(m)) return false;
     col.total->Add(1);
     col.latency->Record(
         now > injected ? static_cast<double>(now - injected) / 1000.0 : 0.0);
     if (options_.collect_matches) col.matches.push_back(m);
-    if (trace_id != 0 && spans != nullptr) {
-      // Only the first (accepted) emission of a match closes the trace.
-      obs::TraceSpan s;
-      s.trace_id = trace_id;
-      s.kind = obs::SpanKind::kEmit;
-      s.node = node;
-      s.task = task;
-      s.query = query;
-      s.start_us = now;
-      spans->Record(s);
-    }
+    return true;
   }
 
   // --- source driver ---------------------------------------------------
@@ -517,7 +376,7 @@ class RtRun {
              failures[next_failure].second <= trace_time_ms) {
         const NodeId victim = failures[next_failure].first;
         ++next_failure;
-        if (victim >= nodes_.size()) continue;
+        if (victim >= num_nodes_) continue;
         batcher.FlushAll();  // keep the crash ordered after sent events
         transport_->NoteFramesQueued(1);
         transport_->PushControl(victim, ControlKind::kCrash);
@@ -528,8 +387,7 @@ class RtRun {
     const auto start = std::chrono::steady_clock::now();
     double next_arrival_s = 0;
     std::string frame;
-    obs::SpanBuffer* spans =
-        span_bufs_.empty() ? nullptr : span_bufs_.back().get();
+    obs::SpanBuffer* spans = driver_spans_.get();
     for (const Event& e : trace) {
       if (transport_->wedged()) break;  // watchdog fired: stop injecting
       inject_failures_until(e.time);
@@ -537,7 +395,7 @@ class RtRun {
       // consumes — because the snapshot's type rates describe the whole
       // generated stream, not the plan's subscription.
       if (drift_ != nullptr) drift_->ObserveType(e.type, e.time);
-      if (e.origin >= nodes_.size() ||
+      if (e.origin >= num_nodes_ ||
           dep_.PrimitiveTasksFor(e.origin, e.type).empty()) {
         source_skipped_->Add(1);
         continue;
@@ -572,15 +430,14 @@ class RtRun {
 
   // --- end of run ------------------------------------------------------
 
-  void FinishTelemetry() {
+  void FinishTelemetryLocal(RtExecutor& executor) {
     obs::MetricsRegistry& reg = telemetry_->registry;
     if (sampler_.enabled()) {
       // Workers and driver have joined: draining the single-writer
       // buffers is race-free by construction.
       auto log = std::make_shared<obs::TraceLog>();
-      for (const auto& buf : span_bufs_) log->Absorb(*buf);
-      reg.GetCounter("rt_trace_spans_total")->Add(log->spans().size());
-      reg.GetCounter("rt_trace_spans_dropped_total")->Add(log->dropped());
+      for (const auto& buf : executor.span_buffers()) log->Absorb(*buf);
+      log->Absorb(*driver_spans_);
       report_.trace_log = std::move(log);
     }
     if (drift_ != nullptr) {
@@ -596,16 +453,17 @@ class RtRun {
       reg.GetGauge("rt_drifted")->Set(report_.drifted ? 1.0 : 0.0);
       reg.GetGauge("rt_drift_score_max")->Set(report_.drift_score);
     }
-    for (size_t n = 0; n < nodes_.size(); ++n) {
+    std::vector<NodeRuntime>& nodes = executor.nodes();
+    for (size_t n = 0; n < nodes.size(); ++n) {
       const std::string node_str = std::to_string(n);
       const obs::LabelSet node_labels{{"node", node_str}};
       reg.GetCounter("rt_node_dup_dropped_total", node_labels)
-          ->Add(nodes_[n].DuplicatesDropped());
+          ->Add(nodes[n].DuplicatesDropped());
       // Observed volatile-state peak, directly comparable against the
       // prove_state_bound gauge the static analyzer exports for this node.
       reg.GetGauge("rt_node_peak_buffered", node_labels)
-          ->Set(static_cast<double>(nodes_[n].PeakBufferedMatches()));
-      const ExactlyOnceFilter& filter = nodes_[n].filter();
+          ->Set(static_cast<double>(nodes[n].PeakBufferedMatches()));
+      const ExactlyOnceFilter& filter = nodes[n].filter();
       reg.GetGauge("rt_filter_pending_peak", node_labels)
           ->Set(static_cast<double>(filter.PeakPendingAboveWatermark()));
       for (const auto& [src_task, watermark] : filter.Watermarks()) {
@@ -614,13 +472,13 @@ class RtRun {
                                    {"src", std::to_string(src_task)}})
             ->Set(static_cast<double>(watermark));
       }
-      for (const auto& [task, counters] : nodes_[n].task_counters()) {
+      for (const auto& [task, counters] : nodes[n].task_counters()) {
         const obs::LabelSet labels{{"node", node_str},
                                    {"task", std::to_string(task)}};
         reg.GetCounter("rt_task_inputs_total", labels)->Add(counters.inputs);
         reg.GetCounter("rt_task_outputs_total", labels)->Add(counters.outputs);
       }
-      for (const auto& [task, stats] : nodes_[n].EvaluatorStatsByTask()) {
+      for (const auto& [task, stats] : nodes[n].EvaluatorStatsByTask()) {
         const obs::LabelSet labels{{"node", node_str},
                                    {"task", std::to_string(task)}};
         reg.GetCounter("rt_evaluator_evictions_total", labels)
@@ -630,6 +488,70 @@ class RtRun {
         reg.GetGauge("rt_task_peak_pending", labels)
             ->Set(static_cast<double>(stats.peak_pending));
       }
+    }
+  }
+
+  /// The cluster analogue: per-node state lives in the daemons, which
+  /// exported it as kStats entries before their kBye; re-export on the
+  /// coordinator's registry and fold into the report.
+  void FinishTelemetryCluster() {
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    if (sampler_.enabled()) {
+      auto log = std::make_shared<obs::TraceLog>();
+      log->Absorb(*driver_spans_);
+      if (cluster_spans_ != nullptr) log->Absorb(*cluster_spans_);
+      report_.trace_log = std::move(log);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const StatEntry& s : daemon_stats_) {
+      const obs::LabelSet node_labels{{"node", std::to_string(s.index)}};
+      switch (static_cast<NetStat>(s.stat)) {
+        case NetStat::kNodeInputs:
+          report_.inputs_processed += s.value;
+          reg.GetCounter("rt_node_inputs_total", node_labels)->Add(s.value);
+          break;
+        case NetStat::kNodeNetFrames:
+          report_.network_frames += s.value;
+          reg.GetCounter("rt_net_out_frames_total", node_labels)
+              ->Add(s.value);
+          break;
+        case NetStat::kNodeNetBytes:
+          report_.network_bytes += s.value;
+          reg.GetCounter("rt_net_out_bytes_total", node_labels)
+              ->Add(s.value);
+          break;
+        case NetStat::kNodeCrashes:
+          report_.crashes += s.value;
+          reg.GetCounter("rt_crashes_total", node_labels)->Add(s.value);
+          break;
+        case NetStat::kNodeDupsDropped:
+          report_.duplicates_dropped += s.value;
+          reg.GetCounter("rt_node_dup_dropped_total", node_labels)
+              ->Add(s.value);
+          break;
+        case NetStat::kNodePeakBuffered:
+          reg.GetGauge("rt_node_peak_buffered", node_labels)
+              ->Set(static_cast<double>(s.value));
+          break;
+        case NetStat::kStalls:
+          report_.backpressure_stalls += s.value;
+          break;
+        case NetStat::kWireRejects:
+          reg.GetCounter("rt_wire_rejected_frames_total")->Add(s.value);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void FinishTelemetryCommon() {
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    if (report_.trace_log != nullptr) {
+      reg.GetCounter("rt_trace_spans_total")
+          ->Add(report_.trace_log->spans().size());
+      reg.GetCounter("rt_trace_spans_dropped_total")
+          ->Add(report_.trace_log->dropped());
     }
     for (size_t q = 0; q < collectors_.size(); ++q) {
       QueryCollector& col = *collectors_[q];
@@ -646,16 +568,25 @@ class RtRun {
     }
   }
 
-  void BuildReport() {
-    report_.injected_events = injected_;
-    for (size_t n = 0; n < nodes_.size(); ++n) {
-      report_.inputs_processed += node_inputs_[n]->Value();
-      report_.network_frames += node_net_frames_[n]->Value();
-      report_.network_bytes += node_net_bytes_[n]->Value();
-      report_.duplicates_dropped += nodes_[n].DuplicatesDropped();
-      report_.crashes += node_crashes_[n]->Value();
+  void BuildReportLocal(RtExecutor& executor) {
+    for (size_t n = 0; n < num_nodes_; ++n) {
+      report_.inputs_processed += executor.NodeInputs(n);
+      report_.network_frames += executor.NodeNetFrames(n);
+      report_.network_bytes += executor.NodeNetBytes(n);
+      report_.duplicates_dropped += executor.nodes()[n].DuplicatesDropped();
+      report_.crashes += executor.NodeCrashes(n);
     }
     report_.backpressure_stalls = transport_->Stalls();
+  }
+
+  void BuildReportCluster() {
+    // Per-node totals already folded in FinishTelemetryCluster; add the
+    // coordinator's own (driver-side) stalls.
+    report_.backpressure_stalls += transport_->Stalls();
+  }
+
+  void BuildReportCommon() {
+    report_.injected_events = injected_;
     report_.events_per_sec =
         report_.wall_seconds > 0
             ? static_cast<double>(injected_) / report_.wall_seconds
@@ -675,30 +606,30 @@ class RtRun {
   const Deployment& dep_;
   RtOptions options_;
   std::shared_ptr<obs::RunTelemetry> telemetry_;
-  std::vector<NodeRuntime> nodes_;
+  size_t num_nodes_ = 0;
   int num_shards_ = 1;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<ClusterHandle> cluster_;
 
-  std::vector<obs::Counter*> node_inputs_;
-  std::vector<obs::Counter*> node_net_frames_;
-  std::vector<obs::Counter*> node_net_bytes_;
-  std::vector<obs::Counter*> node_crashes_;
-  obs::Counter* wire_rejects_ = nullptr;
   obs::Counter* source_skipped_ = nullptr;
-
   obs::TraceSampler sampler_;
-  /// Per-shard span sinks, plus the driver's at the back; single writer
-  /// each (see trace.h), drained by FinishTelemetry after the joins.
-  std::vector<std::unique_ptr<obs::SpanBuffer>> span_bufs_;
+  /// The driver's single-writer span sink (workers write the executor's;
+  /// daemon spans arrive over the wire into cluster_spans_, written only
+  /// by the coordinator's IO thread).
+  std::unique_ptr<obs::SpanBuffer> driver_spans_;
+  std::unique_ptr<obs::SpanBuffer> cluster_spans_;
   obs::Counter* trace_sampled_ = nullptr;
   std::unique_ptr<obs::RateDriftDetector> drift_;
 
   std::vector<std::unique_ptr<QueryCollector>> collectors_;
-  std::vector<std::vector<NodeRuntime::Output>> flush_stash_;
   std::vector<uint64_t> inject_us_;
   std::atomic<size_t> flush_acks_{0};
   std::atomic<size_t> emit_acks_{0};
+  std::atomic<bool> run_done_{false};
   uint64_t injected_ = 0;
+
+  std::mutex stats_mu_;
+  std::vector<StatEntry> daemon_stats_;
 
   RtReport report_;
 };

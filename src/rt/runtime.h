@@ -16,6 +16,14 @@
 
 namespace muse::rt {
 
+/// Which transport carries the frames (see transport.h for the seam).
+enum class RtTransportKind {
+  kInProc,    ///< shared-memory inboxes, one process (the original mode)
+  kLoopback,  ///< one process, but every cross-node packet round-trips
+              ///< through a real localhost TCP socket (full wire path)
+  kCluster,   ///< N muse_node daemon processes + this coordinator process
+};
+
 /// Configuration of the multi-threaded execution runtime.
 struct RtOptions {
   /// Worker threads servicing the node inboxes. 0 = one thread per network
@@ -71,8 +79,37 @@ struct RtOptions {
 
   /// Rate-drift detection against the deployment's planner_rates()
   /// snapshot; results land in RtReport::{drift_score, drifted,
-  /// drift_report} and rt_drift_* gauges.
+  /// drift_report} and rt_drift_* gauges. Force-disabled in kCluster mode:
+  /// daemon-side observations can never reach the coordinator's detector,
+  /// so a partial stream would only false-positive.
   obs::DriftOptions drift;
+
+  // --- muse-net -----------------------------------------------------------
+
+  /// Transport selection. kInProc and kLoopback are drop-in (same process,
+  /// same report); kCluster additionally needs the fields below.
+  RtTransportKind transport_kind = RtTransportKind::kInProc;
+
+  /// kCluster: number of muse_node daemon processes to launch. Node n is
+  /// owned by daemon n % processes.
+  int processes = 1;
+
+  /// kCluster: path of the muse_node binary, or empty to probe next to the
+  /// current executable / ../tools/muse_node / $MUSE_NODE_BIN.
+  std::string muse_node_bin;
+
+  /// kCluster: the workload spec text and plan JSON the daemons recompile
+  /// into the identical Deployment (dist/plan_io.h). Both sides must agree
+  /// byte-for-byte or task ids diverge; WriteDeploymentSpec produces a
+  /// spec that round-trips the planner's predicates exactly.
+  std::string cluster_spec_text;
+  std::string cluster_plan_json;
+
+  /// kCluster chaos: (daemon process index, wall-clock delay ms after
+  /// launch) pairs; each daemon gets SIGKILL at its delay. The coordinator
+  /// must then detect the dead peer within wedge_timeout_ms and report
+  /// RtReport::wedged — the crash-detection property rt_runtime_test pins.
+  std::vector<std::pair<int, uint64_t>> kill_schedule;
 };
 
 /// Results of one runtime execution. Latency here is *wall-clock* time

@@ -6,12 +6,19 @@
 
 namespace muse::rt {
 
-Transport::Transport(size_t num_nodes, int num_shards,
-                     const RtTransportOptions& options,
-                     obs::MetricsRegistry* registry)
-    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+InProcTransport::InProcTransport(size_t num_nodes, int num_shards,
+                                 const RtTransportOptions& options,
+                                 obs::MetricsRegistry* registry,
+                                 std::vector<int> shard_map)
+    : options_(options), shard_map_(std::move(shard_map)) {
   MUSE_CHECK(num_nodes > 0, "transport needs at least one node");
   MUSE_CHECK(num_shards > 0, "transport needs at least one shard");
+  if (shard_map_.empty()) {
+    for (size_t n = 0; n < num_nodes; ++n) {
+      shard_map_.push_back(static_cast<int>(n % static_cast<size_t>(num_shards)));
+    }
+  }
+  MUSE_CHECK(shard_map_.size() == num_nodes, "transport: bad shard map");
   inboxes_.resize(num_nodes);
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
@@ -33,21 +40,23 @@ Transport::Transport(size_t num_nodes, int num_shards,
   source_stall_us_ = registry->GetCounter("rt_source_stall_us_total");
 }
 
-uint64_t Transport::NowUs() const {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch_)
-          .count());
+std::vector<NodeId> InProcTransport::LocalNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(inboxes_.size());
+  for (size_t n = 0; n < inboxes_.size(); ++n) {
+    nodes.push_back(static_cast<NodeId>(n));
+  }
+  return nodes;
 }
 
-uint64_t Transport::DeliverAt(NodeId src, NodeId dst) const {
+uint64_t InProcTransport::DeliverAt(NodeId src, NodeId dst) const {
   // Loopback is immediate, mirroring the simulator's zero-delay local
   // channels.
   if (src == dst || options_.delivery_delay_us == 0) return NowUs();
   return NowUs() + options_.delivery_delay_us;
 }
 
-bool Transport::TryDeliver(Packet&& packet) {
+bool InProcTransport::TryDeliver(Packet&& packet) {
   MUSE_CHECK(packet.dst < inboxes_.size(), "transport: bad dst node");
   Inbox& inbox = inboxes_[packet.dst];
   Shard& shard = *shards_[static_cast<size_t>(shard_of(packet.dst))];
@@ -66,7 +75,20 @@ bool Transport::TryDeliver(Packet&& packet) {
   return true;
 }
 
-void Transport::DeliverBlocking(Packet packet) {
+void InProcTransport::DeliverExempt(Packet&& packet) {
+  MUSE_CHECK(packet.dst < inboxes_.size(), "transport: bad dst node");
+  Inbox& inbox = inboxes_[packet.dst];
+  Shard& shard = *shards_[static_cast<size_t>(shard_of(packet.dst))];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    inbox.depth_frames += packet.frames;
+    inbox.depth->Set(static_cast<double>(inbox.depth_frames));
+    inbox.packets.push_back(std::move(packet));
+  }
+  shard.cv.notify_all();
+}
+
+void InProcTransport::DeliverBlocking(Packet packet) {
   MUSE_CHECK(packet.dst < inboxes_.size(), "transport: bad dst node");
   Inbox& inbox = inboxes_[packet.dst];
   Shard& shard = *shards_[static_cast<size_t>(shard_of(packet.dst))];
@@ -107,7 +129,7 @@ void Transport::DeliverBlocking(Packet packet) {
   shard.cv.notify_all();
 }
 
-void Transport::PushControl(NodeId dst, ControlKind kind) {
+void InProcTransport::PushControl(NodeId dst, ControlKind kind) {
   MUSE_CHECK(dst < inboxes_.size(), "transport: bad control dst");
   Shard& shard = *shards_[static_cast<size_t>(shard_of(dst))];
   {
@@ -117,7 +139,8 @@ void Transport::PushControl(NodeId dst, ControlKind kind) {
   shard.cv.notify_all();
 }
 
-Transport::Popped Transport::PopReady(int shard_idx, uint64_t max_wait_us) {
+Transport::Popped InProcTransport::PopReady(int shard_idx,
+                                            uint64_t max_wait_us) {
   Popped out;
   Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
   std::unique_lock<std::mutex> lock(shard.mu);
@@ -126,8 +149,8 @@ Transport::Popped Transport::PopReady(int shard_idx, uint64_t max_wait_us) {
   for (;;) {
     const uint64_t now = NowUs();
     uint64_t earliest_due = UINT64_MAX;
-    for (size_t n = static_cast<size_t>(shard_idx); n < inboxes_.size();
-         n += shards_.size()) {
+    for (size_t n = 0; n < inboxes_.size(); ++n) {
+      if (shard_map_[n] != shard_idx) continue;
       Inbox& inbox = inboxes_[n];
       while (!inbox.controls.empty()) {
         out.controls.emplace_back(static_cast<NodeId>(n),
@@ -149,8 +172,11 @@ Transport::Popped Transport::PopReady(int shard_idx, uint64_t max_wait_us) {
     // caller's wait budget runs out, or a push wakes the shard.
     auto wake = deadline;
     if (earliest_due != UINT64_MAX) {
+      const uint64_t now2 = NowUs();
       const auto due_tp =
-          epoch_ + std::chrono::microseconds(earliest_due);
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(earliest_due > now2 ? earliest_due - now2
+                                                        : 0);
       if (due_tp < wake) wake = due_tp;
     }
     if (shard.cv.wait_until(lock, wake) == std::cv_status::timeout &&
@@ -160,7 +186,9 @@ Transport::Popped Transport::PopReady(int shard_idx, uint64_t max_wait_us) {
   }
 }
 
-void Transport::Release(NodeId node, uint32_t frames) {
+void InProcTransport::Release(const Packet& packet) {
+  const NodeId node = packet.dst;
+  const uint32_t frames = packet.frames;
   Inbox& inbox = inboxes_[node];
   Shard& shard = *shards_[static_cast<size_t>(shard_of(node))];
   {
@@ -172,19 +200,29 @@ void Transport::Release(NodeId node, uint32_t frames) {
   shard.cv.notify_all();
 }
 
-uint64_t Transport::Stalls() const {
+void InProcTransport::ReleaseExempt(NodeId node, uint32_t frames) {
+  Inbox& inbox = inboxes_[node];
+  Shard& shard = *shards_[static_cast<size_t>(shard_of(node))];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    inbox.depth_frames -= std::min<size_t>(inbox.depth_frames, frames);
+    inbox.depth->Set(static_cast<double>(inbox.depth_frames));
+  }
+  shard.cv.notify_all();
+}
+
+uint64_t InProcTransport::Stalls() const {
   uint64_t total = 0;
   for (const Inbox& inbox : inboxes_) total += inbox.stalls->Value();
   return total;
 }
 
-size_t Transport::CapacityOf(NodeId node) const {
+size_t InProcTransport::CapacityOf(NodeId node) const {
   MUSE_CHECK(node < inboxes_.size(), "transport: bad node");
   return inboxes_[node].capacity;
 }
 
-void Transport::MarkWedged() {
-  wedged_.store(true, std::memory_order_release);
+void InProcTransport::WakeAllForWedge() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
   }

@@ -14,10 +14,11 @@
 
 #include "src/cep/event.h"
 #include "src/obs/metrics.h"
+#include "src/rt/wire.h"
 
 namespace muse::rt {
 
-/// Channel model of the in-process transport (runtime.h ties it to the
+/// Channel model of the runtime transports (runtime.h ties it to the
 /// worker threads). Every network node owns one bounded MPSC inbox;
 /// senders coalesce frames into per-link packets (batching), consume inbox
 /// credits per frame (credit-based backpressure), and packets become
@@ -59,28 +60,24 @@ struct RtTransportOptions {
   uint64_t wedge_timeout_ms = 0;
 };
 
-/// Out-of-band signals delivered through the inbox alongside packets.
-/// Control delivery ignores credits (rare, coordinator- or driver-paced).
-enum class ControlKind : uint8_t {
-  kCrash,         ///< fail the node: drop volatile state, replay the log
-  kFlushCollect,  ///< stage 1 of the final flush barrier: stash outputs
-  kFlushEmit,     ///< stage 2: route the stashed outputs
-  kStop,          ///< terminate the worker loop
-};
-
-/// One batch of encoded frames in flight on a (src, dst) link.
+/// One batch of encoded frames in flight on a (src, dst) link. `via` is
+/// the index of the peer process the packet physically arrived from, or
+/// -1 for packets that never crossed a socket — Release() uses it to
+/// return credits to the right owner.
 struct Packet {
   NodeId src = 0;
   NodeId dst = 0;
   uint64_t deliver_at_us = 0;  ///< transport-clock due time
   uint32_t frames = 0;         ///< credit cost (frame count)
   std::string bytes;           ///< concatenated wire frames (wire.h)
+  int via = -1;                ///< receiving peer index, -1 = local origin
 };
 
-/// The in-process network: per-node bounded inboxes grouped into shards
-/// (one worker thread services one shard; runtime.cc assigns nodes
-/// round-robin). Push/pop of one shard's inboxes share a shard mutex; all
-/// telemetry updates are lock-free registry pointers.
+/// The pluggable transport seam between the runtime's workers/driver and
+/// whatever carries the frames: `InProcTransport` (below) keeps
+/// everything in shared-memory inboxes; `NetTransport` (net_transport.h)
+/// moves cross-node packets over loopback TCP sockets — in one process or
+/// across a muse_node cluster — behind the identical contract.
 ///
 /// Flow control contract (deadlock freedom): `TryDeliver` never blocks —
 /// worker threads that fail to acquire credits keep the packet in a local
@@ -89,38 +86,61 @@ struct Packet {
 /// consumes nothing) uses the blocking `DeliverBlocking`, making end-to-end
 /// backpressure land on event admission, as in credit-based streaming
 /// systems.
+///
+/// Quiescence accounting is cumulative (queued_total / done_total
+/// monotone counters, not one net gauge) so that a cluster coordinator
+/// can sum per-process snapshots: the global system is quiescent exactly
+/// when the sums are equal and stable across two probes.
 class Transport {
  public:
-  Transport(size_t num_nodes, int num_shards, const RtTransportOptions& options,
-            obs::MetricsRegistry* registry);
+  Transport() : epoch_(std::chrono::steady_clock::now()) {}
+  virtual ~Transport() = default;
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
 
-  size_t num_nodes() const { return inboxes_.size(); }
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  int shard_of(NodeId node) const {
-    return static_cast<int>(node % shards_.size());
+  /// Total nodes of the deployment (not just the locally-owned subset).
+  virtual size_t num_nodes() const = 0;
+  /// Worker shards this process runs (covering the local nodes only).
+  virtual int num_shards() const = 0;
+  /// Shard servicing `node`; only meaningful for local nodes.
+  virtual int shard_of(NodeId node) const = 0;
+  /// The nodes whose inboxes live in this process, ascending.
+  virtual std::vector<NodeId> LocalNodes() const = 0;
+
+  /// Microseconds since the transport epoch (the rt wall clock). In a
+  /// cluster every process syncs its epoch to the coordinator's clock
+  /// (SyncClock), so timestamps riding frames stay comparable.
+  uint64_t NowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
   }
 
-  /// Microseconds since transport construction (the rt wall clock).
-  uint64_t NowUs() const;
+  /// Re-anchors NowUs so it currently reads `now_us` (clock handshake:
+  /// daemons adopt the coordinator's clock, localhost half-RTT error).
+  void SyncClock(uint64_t now_us) {
+    epoch_ = std::chrono::steady_clock::now() -
+             std::chrono::microseconds(now_us);
+  }
 
   /// Computes the due time of a packet flushed now on src -> dst.
-  uint64_t DeliverAt(NodeId src, NodeId dst) const;
+  virtual uint64_t DeliverAt(NodeId src, NodeId dst) const = 0;
 
-  /// Non-blocking delivery: false when the destination inbox lacks
+  /// Non-blocking delivery: false when the destination lacks
   /// `packet.frames` credits (a backpressure stall, counted per dst node).
   /// Consumes `packet` only on success — on failure the caller's packet is
   /// untouched and can be retried (the spill queues depend on this).
-  bool TryDeliver(Packet&& packet);
+  virtual bool TryDeliver(Packet&& packet) = 0;
 
   /// Blocking delivery for the source driver: waits for credits, counting
   /// the stalled wall time in rt_source_stall_us_total.
-  void DeliverBlocking(Packet packet);
+  virtual void DeliverBlocking(Packet packet) = 0;
 
-  /// Delivers a control signal (credit-exempt, wakes the shard).
-  void PushControl(NodeId dst, ControlKind kind);
+  /// Delivers a control signal (credit-exempt, wakes the owning shard —
+  /// possibly in another process).
+  virtual void PushControl(NodeId dst, ControlKind kind) = 0;
 
   /// Everything a shard worker drained in one wait cycle. Controls are
   /// surfaced before packets; the runtime's phase protocol guarantees no
@@ -134,35 +154,123 @@ class Transport {
   /// Pops all due packets and controls of `shard`'s inboxes, waiting up to
   /// `max_wait_us` for something to become due (delivery delays wake the
   /// shard exactly when the earliest packet matures).
-  Popped PopReady(int shard, uint64_t max_wait_us);
+  virtual Popped PopReady(int shard, uint64_t max_wait_us) = 0;
 
-  /// Returns `frames` credits to `node`'s inbox once the receiver finished
-  /// processing them; wakes blocked senders.
-  void Release(NodeId node, uint32_t frames);
+  /// Returns `packet.frames` credits once the receiver finished processing
+  /// a popped packet; wakes blocked senders. Packets that arrived over a
+  /// socket (`packet.via >= 0`) have their credits granted back to the
+  /// sending peer as a kCredit frame.
+  virtual void Release(const Packet& packet) = 0;
 
   /// In-flight frame accounting for quiescence detection: queued when a
   /// frame enters a link batch, done after the receiver processed it (and
-  /// enqueued any outputs, keeping the counter conservative).
+  /// enqueued any outputs, keeping the counter conservative). Cumulative
+  /// so cluster-wide sums are meaningful (see class comment).
   void NoteFramesQueued(int64_t n) {
-    in_flight_.fetch_add(n, std::memory_order_seq_cst);
+    queued_total_.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_seq_cst);
   }
   void NoteFramesDone(int64_t n) {
-    in_flight_.fetch_sub(n, std::memory_order_seq_cst);
+    done_total_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_seq_cst);
   }
-  int64_t InFlight() const { return in_flight_.load(std::memory_order_seq_cst); }
+  uint64_t QueuedTotal() const {
+    return queued_total_.load(std::memory_order_seq_cst);
+  }
+  uint64_t DoneTotal() const {
+    return done_total_.load(std::memory_order_seq_cst);
+  }
+  int64_t InFlight() const {
+    return static_cast<int64_t>(QueuedTotal()) -
+           static_cast<int64_t>(DoneTotal());
+  }
+
+  /// Snapshot of the cumulative (queued, done) pair over the *whole
+  /// system*: this process alone by default; a cluster coordinator
+  /// overrides it to probe every daemon and sum. The pair is only
+  /// meaningful for quiescence when read twice: per-process counters are
+  /// sampled at different instants, so a single probe can be inconsistent
+  /// — the runtime declares quiescence only after two consecutive probes
+  /// agree (queued == done, unchanged between probes).
+  virtual std::pair<uint64_t, uint64_t> GlobalCounts() {
+    return {QueuedTotal(), DoneTotal()};
+  }
 
   /// Total backpressure stalls (failed credit acquisitions) so far.
-  uint64_t Stalls() const;
+  virtual uint64_t Stalls() const = 0;
 
   /// Effective credit window of `node`'s inbox in frames (0 = unbounded):
   /// the per-node override when set, else the global `inbox_capacity`.
-  size_t CapacityOf(NodeId node) const;
+  virtual size_t CapacityOf(NodeId node) const = 0;
 
-  /// Declares the transport permanently stuck (an undeliverable packet was
-  /// detected by the wedge watchdog). Wakes every blocked sender so the run
-  /// can unwind instead of hanging.
-  void MarkWedged();
-  bool wedged() const { return wedged_.load(std::memory_order_acquire); }
+  /// Declares the transport permanently stuck (an undeliverable packet or
+  /// a dead peer). Wakes every blocked sender so the run can unwind
+  /// instead of hanging.
+  void MarkWedged() {
+    wedged_.store(true, std::memory_order_release);
+    WakeAllForWedge();
+  }
+  /// Virtual so a layered transport (NetTransport embeds an
+  /// InProcTransport for local delivery) can report wedged when either
+  /// layer is.
+  virtual bool wedged() const {
+    return wedged_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// Wakes every waiter (shard cvs, credit cvs, IO threads) after the
+  /// wedged flag is set.
+  virtual void WakeAllForWedge() = 0;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> queued_total_{0};
+  std::atomic<uint64_t> done_total_{0};
+  std::atomic<bool> wedged_{false};
+};
+
+/// The original in-process transport: per-node bounded inboxes grouped
+/// into shards (one worker thread services one shard; runtime.cc assigns
+/// nodes round-robin). Push/pop of one shard's inboxes share a shard
+/// mutex; all telemetry updates are lock-free registry pointers.
+class InProcTransport : public Transport {
+ public:
+  /// `shard_map`, when non-empty, assigns inbox n to worker shard
+  /// shard_map[n] (each entry in [0, num_shards)); empty defaults to
+  /// round-robin n % num_shards. NetTransport daemons use it to spread
+  /// their strided slice of the node space evenly over local workers.
+  InProcTransport(size_t num_nodes, int num_shards,
+                  const RtTransportOptions& options,
+                  obs::MetricsRegistry* registry,
+                  std::vector<int> shard_map = {});
+
+  size_t num_nodes() const override { return inboxes_.size(); }
+  int num_shards() const override { return static_cast<int>(shards_.size()); }
+  int shard_of(NodeId node) const override { return shard_map_[node]; }
+  std::vector<NodeId> LocalNodes() const override;
+
+  uint64_t DeliverAt(NodeId src, NodeId dst) const override;
+  bool TryDeliver(Packet&& packet) override;
+  void DeliverBlocking(Packet packet) override;
+  void PushControl(NodeId dst, ControlKind kind) override;
+  Popped PopReady(int shard, uint64_t max_wait_us) override;
+  void Release(const Packet& packet) override;
+  uint64_t Stalls() const override;
+  size_t CapacityOf(NodeId node) const override;
+
+  // --- internals shared with NetTransport (which embeds one of these for
+  // its local inboxes) -----------------------------------------------------
+
+  /// Credit-exempt enqueue for packets whose credits were accounted on the
+  /// sending peer (socket arrivals); still bumps the depth gauge.
+  void DeliverExempt(Packet&& packet);
+
+  /// Depth-only release for exempt-delivered packets: the credits belong
+  /// to the remote sender's share, so only the gauge moves here.
+  void ReleaseExempt(NodeId node, uint32_t frames);
+
+ protected:
+  void WakeAllForWedge() override;
 
  private:
   /// Push/pop synchronization of one shard's inboxes.
@@ -188,9 +296,7 @@ class Transport {
   RtTransportOptions options_;
   std::vector<Inbox> inboxes_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::chrono::steady_clock::time_point epoch_;
-  std::atomic<int64_t> in_flight_{0};
-  std::atomic<bool> wedged_{false};
+  std::vector<int> shard_map_;
   obs::Counter* source_stall_us_ = nullptr;
 };
 

@@ -249,6 +249,362 @@ Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size,
   return frame;
 }
 
+// --- muse-net control plane ------------------------------------------------
+
+void AppendPacketFrame(uint32_t src, uint32_t dst, uint64_t deliver_at_us,
+                       uint32_t frames, const std::string& inner,
+                       std::string* out) {
+  PutU32(static_cast<uint32_t>(1 + 4 + 4 + 8 + 4 + inner.size()), out);
+  out->push_back(static_cast<char>(FrameKind::kPacket));
+  PutU32(src, out);
+  PutU32(dst, out);
+  PutU64(deliver_at_us, out);
+  PutU32(frames, out);
+  out->append(inner);
+}
+
+void AppendCreditFrame(uint32_t node, uint32_t frames, std::string* out) {
+  PutU32(1 + 4 + 4, out);
+  out->push_back(static_cast<char>(FrameKind::kCredit));
+  PutU32(node, out);
+  PutU32(frames, out);
+}
+
+void AppendControlFrame(uint32_t node, ControlKind op, std::string* out) {
+  PutU32(1 + 4 + 1, out);
+  out->push_back(static_cast<char>(FrameKind::kControl));
+  PutU32(node, out);
+  out->push_back(static_cast<char>(op));
+}
+
+void AppendAckFrame(ControlKind op, uint32_t count, std::string* out) {
+  PutU32(1 + 1 + 4, out);
+  out->push_back(static_cast<char>(FrameKind::kAck));
+  out->push_back(static_cast<char>(op));
+  PutU32(count, out);
+}
+
+void AppendQuiesceFrame(bool is_reply, uint64_t queued_total,
+                        uint64_t done_total, std::string* out) {
+  PutU32(1 + 1 + 8 + 8, out);
+  out->push_back(static_cast<char>(FrameKind::kQuiesce));
+  out->push_back(is_reply ? 1 : 0);
+  PutU64(queued_total, out);
+  PutU64(done_total, out);
+}
+
+void AppendSinkMatchFrame(uint32_t query, const Match& match,
+                          const TraceContext& trace, std::string* out) {
+  const size_t body =
+      4 + 8 + 8 + 4 + kEventBodyBytes * match.events.size();
+  PutU32(static_cast<uint32_t>(1 + body), out);
+  out->push_back(static_cast<char>(FrameKind::kSinkMatch));
+  PutU32(query, out);
+  PutU64(trace.trace_id, out);
+  PutU64(trace.sent_us, out);
+  PutU32(static_cast<uint32_t>(match.events.size()), out);
+  for (const Event& e : match.events) PutEventBody(e, out);
+}
+
+void AppendHelloFrame(uint32_t process, uint32_t listen_port,
+                      std::string* out) {
+  PutU32(1 + 4 + 4, out);
+  out->push_back(static_cast<char>(FrameKind::kHello));
+  PutU32(process, out);
+  PutU32(listen_port, out);
+}
+
+void AppendPeersFrame(uint64_t coord_now_us,
+                      const std::vector<uint32_t>& ports, std::string* out) {
+  PutU32(static_cast<uint32_t>(1 + 8 + 4 + 4 * ports.size()), out);
+  out->push_back(static_cast<char>(FrameKind::kPeers));
+  PutU64(coord_now_us, out);
+  PutU32(static_cast<uint32_t>(ports.size()), out);
+  for (uint32_t p : ports) PutU32(p, out);
+}
+
+void AppendReadyFrame(uint32_t process, std::string* out) {
+  PutU32(1 + 4, out);
+  out->push_back(static_cast<char>(FrameKind::kReady));
+  PutU32(process, out);
+}
+
+void AppendStatsFrame(const std::vector<StatEntry>& stats, std::string* out) {
+  PutU32(static_cast<uint32_t>(1 + 4 + (1 + 4 + 8) * stats.size()), out);
+  out->push_back(static_cast<char>(FrameKind::kStats));
+  PutU32(static_cast<uint32_t>(stats.size()), out);
+  for (const StatEntry& s : stats) {
+    out->push_back(static_cast<char>(s.stat));
+    PutU32(s.index, out);
+    PutU64(s.value, out);
+  }
+}
+
+void AppendSpanFrame(uint64_t trace_id, uint8_t span_kind, uint32_t node,
+                     int32_t task, uint32_t peer, int32_t query,
+                     uint64_t start_us, uint64_t dur_us, std::string* out) {
+  PutU32(1 + 8 + 1 + 4 + 4 + 4 + 4 + 8 + 8, out);
+  out->push_back(static_cast<char>(FrameKind::kSpan));
+  PutU64(trace_id, out);
+  out->push_back(static_cast<char>(span_kind));
+  PutU32(node, out);
+  PutI32(task, out);
+  PutU32(peer, out);
+  PutI32(query, out);
+  PutU64(start_us, out);
+  PutU64(dur_us, out);
+}
+
+void AppendByeFrame(uint8_t code, std::string* out) {
+  PutU32(1 + 1, out);
+  out->push_back(static_cast<char>(FrameKind::kBye));
+  out->push_back(static_cast<char>(code));
+}
+
+Result<NetFrame> DecodeNetFrame(const uint8_t* data, size_t size,
+                                size_t* consumed) {
+  *consumed = 0;
+  Reader r{data, size};
+  uint32_t payload_len = 0;
+  if (!r.GetU32(&payload_len)) {
+    return Err("wire: truncated frame (missing length prefix, ",
+               std::to_string(size), " bytes)");
+  }
+  if (payload_len == 0) return Err("wire: empty frame (payload_len 0)");
+  if (payload_len > kMaxFramePayloadBytes) {
+    return Err("wire: oversized frame (payload_len ",
+               std::to_string(payload_len), " > cap ",
+               std::to_string(kMaxFramePayloadBytes), ")");
+  }
+  if (size - r.pos < payload_len) {
+    return Err("wire: truncated frame (need ", std::to_string(payload_len),
+               " payload bytes, have ", std::to_string(size - r.pos), ")");
+  }
+  const uint8_t kind_byte = data[4];
+  NetFrame nf;
+  // Data-plane kinds: delegate so the two decoders can never diverge.
+  if (kind_byte >= static_cast<uint8_t>(FrameKind::kEvent) &&
+      kind_byte <= static_cast<uint8_t>(FrameKind::kMessageTraced)) {
+    Result<DecodedFrame> inner = DecodeFrame(data, size, consumed);
+    if (!inner.ok()) return inner.error();
+    nf.kind = inner.value().kind;
+    nf.frame = std::move(inner).value();
+    return nf;
+  }
+  r.size = r.pos + payload_len;
+  const size_t frame_end = r.size;
+  ++r.pos;  // kind byte
+  auto take_u8 = [&](uint8_t* v) {
+    if (r.pos >= r.size) return false;
+    *v = data[r.pos++];
+    return true;
+  };
+  switch (kind_byte) {
+    case static_cast<uint8_t>(FrameKind::kPacket): {
+      nf.kind = FrameKind::kPacket;
+      if (!r.GetU32(&nf.src) || !r.GetU32(&nf.dst) ||
+          !r.GetU64(&nf.deliver_at_us) || !r.GetU32(&nf.frames)) {
+        return Err("wire: truncated packet envelope");
+      }
+      nf.inner.assign(reinterpret_cast<const char*>(data + r.pos),
+                      frame_end - r.pos);
+      r.pos = frame_end;
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kCredit): {
+      nf.kind = FrameKind::kCredit;
+      if (payload_len != 1 + 4 + 4) return Err("wire: bad credit frame size");
+      if (!r.GetU32(&nf.dst) || !r.GetU32(&nf.frames)) {
+        return Err("wire: truncated credit frame");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kControl): {
+      nf.kind = FrameKind::kControl;
+      if (payload_len != 1 + 4 + 1) return Err("wire: bad control frame size");
+      uint8_t op = 0;
+      if (!r.GetU32(&nf.dst) || !take_u8(&op)) {
+        return Err("wire: truncated control frame");
+      }
+      if (op > static_cast<uint8_t>(ControlKind::kStop)) {
+        return Err("wire: unknown control op ", std::to_string(op));
+      }
+      nf.op = static_cast<ControlKind>(op);
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kAck): {
+      nf.kind = FrameKind::kAck;
+      if (payload_len != 1 + 1 + 4) return Err("wire: bad ack frame size");
+      uint8_t op = 0;
+      if (!take_u8(&op) || !r.GetU32(&nf.frames)) {
+        return Err("wire: truncated ack frame");
+      }
+      if (op > static_cast<uint8_t>(ControlKind::kStop)) {
+        return Err("wire: unknown ack op ", std::to_string(op));
+      }
+      nf.op = static_cast<ControlKind>(op);
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kQuiesce): {
+      nf.kind = FrameKind::kQuiesce;
+      if (payload_len != 1 + 1 + 8 + 8) {
+        return Err("wire: bad quiesce frame size");
+      }
+      if (!take_u8(&nf.is_reply) || !r.GetU64(&nf.queued_total) ||
+          !r.GetU64(&nf.done_total)) {
+        return Err("wire: truncated quiesce frame");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kSinkMatch): {
+      nf.kind = FrameKind::kSinkMatch;
+      if (!r.GetU32(&nf.query) || !r.GetU64(&nf.trace.trace_id) ||
+          !r.GetU64(&nf.trace.sent_us)) {
+        return Err("wire: truncated sink-match header");
+      }
+      uint32_t num_events = 0;
+      if (!r.GetU32(&num_events)) {
+        return Err("wire: truncated sink-match header");
+      }
+      if (static_cast<uint64_t>(num_events) * kEventBodyBytes !=
+          frame_end - r.pos) {
+        return Err("wire: sink match declares ", std::to_string(num_events),
+                   " events but carries ", std::to_string(frame_end - r.pos),
+                   " body bytes");
+      }
+      nf.match.events.resize(num_events);
+      for (uint32_t i = 0; i < num_events; ++i) {
+        if (!GetEventBody(&r, &nf.match.events[i])) {
+          return Err("wire: truncated sink-match event ", std::to_string(i));
+        }
+      }
+      nf.match.RecomputeSpan();
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kHello): {
+      nf.kind = FrameKind::kHello;
+      if (payload_len != 1 + 4 + 4) return Err("wire: bad hello frame size");
+      if (!r.GetU32(&nf.process) || !r.GetU32(&nf.listen_port)) {
+        return Err("wire: truncated hello frame");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kPeers): {
+      nf.kind = FrameKind::kPeers;
+      if (!r.GetU64(&nf.coord_now_us)) {
+        return Err("wire: truncated peers frame");
+      }
+      uint32_t count = 0;
+      if (!r.GetU32(&count)) return Err("wire: truncated peers frame");
+      if (static_cast<uint64_t>(count) * 4 != frame_end - r.pos) {
+        return Err("wire: peers frame declares ", std::to_string(count),
+                   " ports but carries ", std::to_string(frame_end - r.pos),
+                   " body bytes");
+      }
+      nf.peer_ports.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetU32(&nf.peer_ports[i])) {
+          return Err("wire: truncated peers frame");
+        }
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kReady): {
+      nf.kind = FrameKind::kReady;
+      if (payload_len != 1 + 4) return Err("wire: bad ready frame size");
+      if (!r.GetU32(&nf.process)) return Err("wire: truncated ready frame");
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kStats): {
+      nf.kind = FrameKind::kStats;
+      uint32_t count = 0;
+      if (!r.GetU32(&count)) return Err("wire: truncated stats frame");
+      if (static_cast<uint64_t>(count) * (1 + 4 + 8) != frame_end - r.pos) {
+        return Err("wire: stats frame declares ", std::to_string(count),
+                   " entries but carries ", std::to_string(frame_end - r.pos),
+                   " body bytes");
+      }
+      nf.stats.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        StatEntry& s = nf.stats[i];
+        if (!take_u8(&s.stat) || !r.GetU32(&s.index) || !r.GetU64(&s.value)) {
+          return Err("wire: truncated stats entry ", std::to_string(i));
+        }
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kSpan): {
+      nf.kind = FrameKind::kSpan;
+      if (payload_len != 1 + 8 + 1 + 4 + 4 + 4 + 4 + 8 + 8) {
+        return Err("wire: bad span frame size");
+      }
+      if (!r.GetU64(&nf.span_trace_id) || !take_u8(&nf.span_kind) ||
+          !r.GetU32(&nf.span_node) || !r.GetI32(&nf.span_task) ||
+          !r.GetU32(&nf.span_peer) || !r.GetI32(&nf.span_query) ||
+          !r.GetU64(&nf.span_start_us) || !r.GetU64(&nf.span_dur_us)) {
+        return Err("wire: truncated span frame");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kBye): {
+      nf.kind = FrameKind::kBye;
+      if (payload_len != 1 + 1) return Err("wire: bad bye frame size");
+      if (!take_u8(&nf.bye_code)) return Err("wire: truncated bye frame");
+      break;
+    }
+    default:
+      return Err("wire: unknown frame kind ", std::to_string(kind_byte));
+  }
+  if (r.pos != frame_end) {
+    return Err("wire: ", std::to_string(frame_end - r.pos),
+               " trailing bytes inside frame");
+  }
+  *consumed = frame_end;
+  return nf;
+}
+
+void FrameAssembler::Feed(const char* data, size_t n) {
+  if (poisoned_) return;
+  buf_.append(data, n);
+}
+
+bool FrameAssembler::Next(std::string* frame) {
+  if (poisoned_) return false;
+  // Compact lazily: move the unconsumed tail to the front only once the
+  // dead prefix dominates, keeping Feed/Next amortized O(bytes).
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= (1u << 16))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < 4) return false;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf_.data()) + pos_;
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  // A structurally impossible prefix can never be resynced past — any
+  // resync heuristic would depend on payload bytes, i.e. on how the
+  // stream happened to be segmented. Poison deterministically instead.
+  if (payload_len == 0) {
+    poisoned_ = true;
+    error_ = "wire stream: empty frame (payload_len 0)";
+    return false;
+  }
+  if (payload_len > kMaxFramePayloadBytes) {
+    poisoned_ = true;
+    error_ = "wire stream: oversized frame (payload_len " +
+             std::to_string(payload_len) + " > cap " +
+             std::to_string(kMaxFramePayloadBytes) + ")";
+    return false;
+  }
+  const size_t total = 4 + static_cast<size_t>(payload_len);
+  if (buf_.size() - pos_ < total) return false;
+  frame->assign(buf_, pos_, total);
+  pos_ += total;
+  ++frames_out_;
+  return true;
+}
+
 Result<std::vector<DecodedFrame>> DecodePacket(const std::string& bytes) {
   std::vector<DecodedFrame> frames;
   const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());

@@ -40,6 +40,27 @@ namespace muse::rt {
 /// kinds instead of misparsing them. Encoders emit a traced kind only
 /// when trace_id != 0.
 ///
+/// muse-net (v3) adds the socket control plane as further NEW kinds (5+),
+/// so the data-plane decoder (DecodeFrame/DecodePacket, which workers run
+/// on inbox packets) still rejects them explicitly — control frames only
+/// ever appear on peer TCP streams, decoded by DecodeNetFrame:
+///
+///   kPacket     u32 src, u32 dst, u64 deliver_at_us, u32 frames,
+///               then `frames` concatenated data-plane frames (the
+///               in-proc Packet, enveloped for one (src, dst) link)
+///   kCredit     u32 node, u32 frames       receiver returns inbox credits
+///   kControl    u32 node, u8 op            ControlKind across the socket
+///   kAck        u8 op, u32 count           flush-barrier acknowledgements
+///   kQuiesce    u8 is_reply, u64 queued_total, u64 done_total
+///   kSinkMatch  u32 query, u64 trace_id, u64 sent_us, u32 n, n events
+///   kHello      u32 process, u32 listen_port
+///   kPeers      u64 coord_now_us, u32 count, count × u32 listen_port
+///   kReady      u32 process
+///   kStats      u32 count, count × (u8 stat, u32 index, u64 value)
+///   kSpan       u64 trace_id, u8 span_kind, u32 node, i32 task,
+///               u32 peer, i32 query, u64 start_us, u64 dur_us
+///   kBye        u8 code
+///
 /// The decoder is total: truncated buffers, oversized length prefixes,
 /// unknown kinds, and inconsistent body sizes are reported as errors —
 /// never reads out of bounds, never crashes (fuzzed by rt_wire_test).
@@ -55,6 +76,30 @@ enum class FrameKind : uint8_t {
   /// than extra fields so v1 decoders keep working (see file comment).
   kEventTraced = 3,
   kMessageTraced = 4,
+  /// v3 (muse-net): socket control plane. Never valid inside an inbox
+  /// packet — DecodeFrame rejects them; only DecodeNetFrame accepts.
+  kPacket = 5,     ///< enveloped data packet for one (src, dst) link
+  kCredit = 6,     ///< inbox credits returned to a sending peer
+  kControl = 7,    ///< a ControlKind for one node, crossing a process
+  kAck = 8,        ///< flush-barrier acknowledgement (op, node count)
+  kQuiesce = 9,    ///< cumulative in-flight counters (probe or reply)
+  kSinkMatch = 10, ///< a sink-emitted match shipped to the coordinator
+  kHello = 11,     ///< daemon handshake: process id + own listen port
+  kPeers = 12,     ///< coordinator broadcast: clock ref + daemon ports
+  kReady = 13,     ///< daemon is connected to all peers
+  kStats = 14,     ///< end-of-run counter dump from a daemon
+  kSpan = 15,      ///< one causal-trace span shipped at end of run
+  kBye = 16,       ///< clean shutdown marker (EOF after it is expected)
+};
+
+/// Out-of-band signals delivered through a node's inbox alongside packets
+/// (in-proc) or as kControl frames (across sockets). Control delivery
+/// ignores credits — rare, coordinator- or driver-paced.
+enum class ControlKind : uint8_t {
+  kCrash,         ///< fail the node: drop volatile state, replay the log
+  kFlushCollect,  ///< stage 1 of the final flush barrier: stash outputs
+  kFlushEmit,     ///< stage 2: route the stashed outputs
+  kStop,          ///< terminate the worker loop
 };
 
 /// Optional causal-trace context (obs/trace.h): the 64-bit id the sampler
@@ -104,6 +149,137 @@ Result<DecodedFrame> DecodeFrame(const uint8_t* data, size_t size,
 /// Decodes a whole packet buffer into frames; errors if any frame is
 /// malformed or trailing bytes remain.
 Result<std::vector<DecodedFrame>> DecodePacket(const std::string& bytes);
+
+// --- muse-net control plane (v3 kinds) ------------------------------------
+
+/// One end-of-run counter shipped in a kStats frame: `stat` names the
+/// counter family (NetStat), `index` the node/peer/query label, `value`
+/// the count.
+struct StatEntry {
+  uint8_t stat = 0;
+  uint32_t index = 0;
+  uint64_t value = 0;
+};
+
+/// Stat ids carried by kStats frames (daemon -> coordinator aggregation).
+enum class NetStat : uint8_t {
+  kNodeInputs = 1,        ///< index = node
+  kNodeNetFrames = 2,     ///< index = node
+  kNodeNetBytes = 3,      ///< index = node
+  kNodeCrashes = 4,       ///< index = node
+  kNodeDupsDropped = 5,   ///< index = node
+  kNodePeakBuffered = 6,  ///< index = node
+  kStalls = 7,            ///< index = 0 (process total)
+  kWireRejects = 8,       ///< index = 0 (process total)
+  kLinkTxFrames = 9,      ///< index = peer process
+  kLinkTxBytes = 10,      ///< index = peer process
+  kLinkRxFrames = 11,     ///< index = peer process
+  kLinkRxBytes = 12,      ///< index = peer process
+};
+
+/// One decoded muse-net frame; the members named by `kind` are meaningful.
+/// Data-plane kinds (kEvent..kMessageTraced) land in `frame`.
+struct NetFrame {
+  FrameKind kind = FrameKind::kEvent;
+  DecodedFrame frame;  ///< data-plane kinds, decoded via DecodeFrame
+
+  // kPacket: the enveloped link packet.
+  uint32_t src = 0;
+  uint32_t dst = 0;           ///< also kCredit/kControl node
+  uint64_t deliver_at_us = 0;
+  uint32_t frames = 0;        ///< also kCredit frames, kAck count
+  std::string inner;          ///< concatenated data-plane frames
+
+  ControlKind op = ControlKind::kCrash;  ///< kControl / kAck
+  uint8_t is_reply = 0;                  ///< kQuiesce
+  uint64_t queued_total = 0;             ///< kQuiesce
+  uint64_t done_total = 0;               ///< kQuiesce
+
+  uint32_t query = 0;   ///< kSinkMatch
+  Match match;          ///< kSinkMatch payload
+  TraceContext trace;   ///< kSinkMatch context
+
+  uint32_t process = 0;      ///< kHello / kReady
+  uint32_t listen_port = 0;  ///< kHello
+  uint64_t coord_now_us = 0;           ///< kPeers clock reference
+  std::vector<uint32_t> peer_ports;    ///< kPeers
+
+  std::vector<StatEntry> stats;  ///< kStats
+
+  // kSpan (raw obs::TraceSpan fields; obs is not a wire dependency).
+  uint64_t span_trace_id = 0;
+  uint8_t span_kind = 0;
+  uint32_t span_node = 0;
+  int32_t span_task = -1;
+  uint32_t span_peer = 0;
+  int32_t span_query = -1;
+  uint64_t span_start_us = 0;
+  uint64_t span_dur_us = 0;
+
+  uint8_t bye_code = 0;  ///< kBye
+};
+
+void AppendPacketFrame(uint32_t src, uint32_t dst, uint64_t deliver_at_us,
+                       uint32_t frames, const std::string& inner,
+                       std::string* out);
+void AppendCreditFrame(uint32_t node, uint32_t frames, std::string* out);
+void AppendControlFrame(uint32_t node, ControlKind op, std::string* out);
+void AppendAckFrame(ControlKind op, uint32_t count, std::string* out);
+void AppendQuiesceFrame(bool is_reply, uint64_t queued_total,
+                        uint64_t done_total, std::string* out);
+void AppendSinkMatchFrame(uint32_t query, const Match& match,
+                          const TraceContext& trace, std::string* out);
+void AppendHelloFrame(uint32_t process, uint32_t listen_port,
+                      std::string* out);
+void AppendPeersFrame(uint64_t coord_now_us,
+                      const std::vector<uint32_t>& ports, std::string* out);
+void AppendReadyFrame(uint32_t process, std::string* out);
+void AppendStatsFrame(const std::vector<StatEntry>& stats, std::string* out);
+void AppendSpanFrame(uint64_t trace_id, uint8_t span_kind, uint32_t node,
+                     int32_t task, uint32_t peer, int32_t query,
+                     uint64_t start_us, uint64_t dur_us, std::string* out);
+void AppendByeFrame(uint8_t code, std::string* out);
+
+/// Decodes the first frame of `data[0, size)` accepting every kind —
+/// data-plane and control-plane. Same totality guarantees as DecodeFrame.
+Result<NetFrame> DecodeNetFrame(const uint8_t* data, size_t size,
+                                size_t* consumed);
+
+/// Incremental reassembly of length-prefixed frames from a TCP byte
+/// stream: `Feed` appends whatever the socket produced, `Next` extracts
+/// complete frames one at a time, byte-identical to what the sender
+/// encoded, no matter how the stream was segmented (pinned exhaustively
+/// by rt_wire_test's split-at-every-boundary cases).
+///
+/// Garbage policy: a length-prefixed stream cannot resync after losing
+/// framing (any byte could be payload), so the first structurally
+/// invalid prefix — payload_len 0 or above kMaxFramePayloadBytes —
+/// poisons the assembler deterministically: Next returns false forever
+/// and the connection must be torn down. Malformed frame *bodies* pass
+/// through (the assembler checks framing only) and are rejected by
+/// DecodeNetFrame, which callers must treat as equally fatal.
+class FrameAssembler {
+ public:
+  /// Appends `n` raw stream bytes. No-op once poisoned.
+  void Feed(const char* data, size_t n);
+
+  /// Extracts the next complete frame (length prefix included) into
+  /// `*frame`. False when more bytes are needed or the stream is
+  /// poisoned — check poisoned() to distinguish.
+  bool Next(std::string* frame);
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& error() const { return error_; }
+  uint64_t frames_out() const { return frames_out_; }
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  ///< consumed prefix of buf_ (compacted lazily)
+  bool poisoned_ = false;
+  std::string error_;
+  uint64_t frames_out_ = 0;
+};
 
 }  // namespace muse::rt
 

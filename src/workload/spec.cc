@@ -1,8 +1,10 @@
 #include "src/workload/spec.h"
 
+#include <cstdio>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 #include "src/cep/parser.h"
 #include "src/common/numbers.h"
@@ -21,6 +23,13 @@ std::vector<std::string> Tokenize(const std::string& line) {
   return tokens;
 }
 
+/// Shortest decimal that round-trips the exact double (max_digits10).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 }  // namespace
 
 Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
@@ -34,6 +43,7 @@ Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
   std::vector<std::pair<NodeId, std::vector<std::string>>> produces;
   std::map<std::pair<EventTypeId, EventTypeId>, double> selectivities;
   std::vector<std::string> query_lines;
+  std::vector<std::pair<size_t, Predicate>> extra_predicates;
 
   std::istringstream in(text);
   std::string line;
@@ -92,6 +102,63 @@ Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
         return fail("selectivity must be in (0, 1]");
       }
       selectivities[{std::min(*a, *b), std::max(*a, *b)}] = *sel;
+    } else if (directive == "predicate") {
+      // predicate <q> eq <T> <attr> <T> <attr> <sel>
+      // predicate <q> filter <T> <attr> <modulus> [sel]
+      if (tokens.size() < 3) return fail("usage: predicate <q> eq|filter ...");
+      std::optional<int64_t> q = ParseInt64(tokens[1]);
+      if (!q || *q < 0) return fail("query index must be non-negative");
+      auto parse_attr = [&](const std::string& s) -> std::optional<int> {
+        std::optional<int64_t> a = ParseInt64(s);
+        if (!a || *a < 0 || *a >= kNumAttrs) return std::nullopt;
+        return static_cast<int>(*a);
+      };
+      if (tokens[2] == "eq") {
+        if (tokens.size() != 8) {
+          return fail(
+              "usage: predicate <q> eq <type> <attr> <type> <attr> <sel>");
+        }
+        std::optional<EventTypeId> lt = intern(tokens[3]);
+        std::optional<EventTypeId> rt = intern(tokens[5]);
+        if (!lt || !rt) return fail("too many event types (max 64)");
+        if (*lt == *rt) {
+          return fail("equality predicate needs two distinct event types");
+        }
+        std::optional<int> la = parse_attr(tokens[4]);
+        std::optional<int> ra = parse_attr(tokens[6]);
+        if (!la || !ra) return fail("attr index out of range");
+        std::optional<double> sel = ParseDouble(tokens[7]);
+        if (!sel || *sel <= 0 || *sel > 1) {
+          return fail("selectivity must be in (0, 1]");
+        }
+        extra_predicates.emplace_back(
+            static_cast<size_t>(*q),
+            Predicate::Equality(*lt, *la, *rt, *ra, *sel));
+      } else if (tokens[2] == "filter") {
+        if (tokens.size() != 6 && tokens.size() != 7) {
+          return fail(
+              "usage: predicate <q> filter <type> <attr> <modulus> [sel]");
+        }
+        std::optional<EventTypeId> t = intern(tokens[3]);
+        if (!t) return fail("too many event types (max 64)");
+        std::optional<int> attr = parse_attr(tokens[4]);
+        if (!attr) return fail("attr index out of range");
+        std::optional<int64_t> modulus = ParseInt64(tokens[5]);
+        if (!modulus || *modulus <= 0) {
+          return fail("modulus must be positive");
+        }
+        Predicate p = Predicate::Filter(*t, *attr, *modulus);
+        if (tokens.size() == 7) {
+          std::optional<double> sel = ParseDouble(tokens[6]);
+          if (!sel || *sel <= 0 || *sel > 1) {
+            return fail("selectivity must be in (0, 1]");
+          }
+          p.selectivity = *sel;
+        }
+        extra_predicates.emplace_back(static_cast<size_t>(*q), std::move(p));
+      } else {
+        return fail("predicate kind must be 'eq' or 'filter'");
+      }
     } else if (directive == "query") {
       size_t at = line.find("query");
       query_lines.push_back(line.substr(at + 5));
@@ -151,7 +218,75 @@ Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
     }
     spec.workload.push_back(std::move(rebuilt));
   }
+
+  // Exact predicates attach after WHERE parsing; selectivity directives do
+  // not touch them (they carry their own).
+  for (const auto& [q_idx, pred] : extra_predicates) {
+    if (q_idx >= spec.workload.size()) {
+      return Err("spec: predicate references query ", q_idx, " but only ",
+                 spec.workload.size(), " queries are declared");
+    }
+    spec.workload[q_idx].AddPredicate(pred);
+  }
+  for (size_t q = 0; q < spec.workload.size(); ++q) {
+    std::string why;
+    if (!spec.workload[q].Validate(&why)) {
+      return Err("spec query ", q, " invalid after predicates: ", why);
+    }
+  }
   return spec;
+}
+
+std::string WriteDeploymentSpec(const DeploymentSpec& spec) {
+  std::string out;
+  out += "nodes " + std::to_string(spec.network.num_nodes()) + "\n";
+  // One rate line per type in id order pins the interning: a parser reading
+  // this text assigns every type the id it has here.
+  for (int t = 0; t < spec.registry.size(); ++t) {
+    out += "rate " + spec.registry.Name(static_cast<EventTypeId>(t)) + " " +
+           FormatDouble(spec.network.Rate(static_cast<EventTypeId>(t))) +
+           "\n";
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(spec.network.num_nodes()); ++n) {
+    std::string produced;
+    for (int t = 0; t < spec.network.num_types(); ++t) {
+      if (spec.network.Produces(n, static_cast<EventTypeId>(t))) {
+        produced += " " + spec.registry.Name(static_cast<EventTypeId>(t));
+      }
+    }
+    if (!produced.empty()) {
+      out += "produce " + std::to_string(n) + produced + "\n";
+    }
+    if (spec.network.Capacity(n) != 0) {
+      out += "capacity " + std::to_string(n) + " " +
+             FormatDouble(spec.network.Capacity(n)) + "\n";
+    }
+  }
+  for (size_t q = 0; q < spec.workload.size(); ++q) {
+    const Query& query = spec.workload[q];
+    out += "query " + query.ToString(&spec.registry);
+    if (query.window() != kNoWindow) {
+      out += " WITHIN " + std::to_string(query.window()) + "ms";
+    }
+    out += "\n";
+    for (const Predicate& p : query.predicates()) {
+      if (p.kind == Predicate::Kind::kEquality) {
+        out += "predicate " + std::to_string(q) + " eq " +
+               spec.registry.Name(p.left_type) + " " +
+               std::to_string(p.left_attr) + " " +
+               spec.registry.Name(p.right_type) + " " +
+               std::to_string(p.right_attr) + " " +
+               FormatDouble(p.selectivity) + "\n";
+      } else {
+        out += "predicate " + std::to_string(q) + " filter " +
+               spec.registry.Name(p.left_type) + " " +
+               std::to_string(p.left_attr) + " " +
+               std::to_string(p.modulus) + " " +
+               FormatDouble(p.selectivity) + "\n";
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace muse

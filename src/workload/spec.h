@@ -40,7 +40,25 @@ struct DeploymentSpec {
 /// first mention. `query` lines use the full parser syntax (parser.h);
 /// WHERE predicates receive the selectivity declared for their type pair
 /// (default 0.1). Unknown directives are errors.
+///
+/// Exact predicates (muse-net): generated workloads carry predicates with
+/// attribute indices and selectivities no WHERE clause can express, so a
+/// spec may pin them directly — `<q>` is the 0-based index of the query
+/// line they attach to (in file order), appended after WHERE parsing:
+///
+///   predicate 0 eq C 1 L 0 0.05    # C.attrs[1] == L.attrs[0], sel 0.05
+///   predicate 0 filter F 1 7       # F.attrs[1] % 7 == 0
+///   predicate 1 filter F 1 7 0.2   # same, with explicit selectivity
 Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text);
+
+/// Writes a spec that ParseDeploymentSpec round-trips into an equivalent
+/// DeploymentSpec: same type interning order (rate lines for every type,
+/// in id order), same network, and semantically identical queries — the
+/// pattern via Query::ToString + WITHIN, every predicate via exact
+/// `predicate` directives. This is how a muse_node daemon receives the
+/// workload of a cluster run: coordinator and daemons all parse the same
+/// written text, so their compiled Deployments agree task-for-task.
+std::string WriteDeploymentSpec(const DeploymentSpec& spec);
 
 }  // namespace muse
 

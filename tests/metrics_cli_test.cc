@@ -1,0 +1,51 @@
+// muse_metrics flag-parsing contract, tested against the real binary:
+// unknown --rt-* flags and malformed values must exit 2 (usage), never
+// run with silently-misread options — `--rt-inbox abc` used to parse as
+// inbox capacity 0, i.e. an *unbounded* window. A killed cluster daemon
+// must surface as a non-zero exit.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+/// Runs the muse_metrics binary with `flags` against the shipped robots
+/// spec, stdout/stderr discarded; returns the process exit code.
+int RunMetrics(const std::string& flags) {
+  const std::string cmd = std::string(MUSE_METRICS_BIN) + " " +
+                          MUSE_SOURCE_DIR "/examples/specs/robots.spec " +
+                          flags + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST(MetricsCliTest, UnknownRtFlagIsUsageError) {
+  EXPECT_EQ(RunMetrics("--runtime --rt-procceses 2"), 2);  // typo'd flag
+  EXPECT_EQ(RunMetrics("--runtime --rt-bogus"), 2);
+}
+
+TEST(MetricsCliTest, MalformedValuesAreUsageErrors) {
+  EXPECT_EQ(RunMetrics("--runtime --rt-inbox abc"), 2);
+  EXPECT_EQ(RunMetrics("--runtime --rt-threads -3"), 2);
+  EXPECT_EQ(RunMetrics("--runtime --rt-processes 0"), 2);
+  EXPECT_EQ(RunMetrics("--runtime --rt-rate 1e"), 2);
+  EXPECT_EQ(RunMetrics("--runtime --rt-kill 1"), 2);      // missing ,ms
+  EXPECT_EQ(RunMetrics("--runtime --rt-wedge-ms"), 2);    // missing value
+}
+
+TEST(MetricsCliTest, WellFormedRuntimeRunSucceeds) {
+  EXPECT_EQ(RunMetrics("--runtime --duration-ms 500 --rt-threads 2"), 0);
+}
+
+TEST(MetricsCliTest, ClusterRunSucceedsAndKilledDaemonFails) {
+  EXPECT_EQ(RunMetrics("--runtime --duration-ms 500 --rt-processes 2 "
+                       "--rt-wedge-ms 10000"),
+            0);
+  EXPECT_EQ(RunMetrics("--runtime --duration-ms 4000 --rt-processes 2 "
+                       "--rt-rate 100 --rt-wedge-ms 1500 --rt-kill 1,200"),
+            1);
+}
+
+}  // namespace

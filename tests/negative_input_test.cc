@@ -58,6 +58,45 @@ TEST(SpecNegativeTest, MalformedNumbersAreErrorsNotCrashes) {
   }
 }
 
+std::string TwoTypeSpecWith(const std::string& line) {
+  return "nodes 2\nrate A 1\nrate B 1\nproduce 0 A\nproduce 1 B\n" + line +
+         "\nquery SEQ(A, B) WITHIN 1s\n";
+}
+
+TEST(SpecNegativeTest, MalformedPredicateDirectivesAreErrors) {
+  for (const std::string& spec : {
+           SpecWith("predicate"),                              // no operands
+           TwoTypeSpecWith("predicate 0 like A 0 B 1 0.5"),    // unknown kind
+           TwoTypeSpecWith("predicate x eq A 0 B 1 0.5"),      // bad query idx
+           TwoTypeSpecWith("predicate 0 eq A 0 B 1"),          // missing sel
+           TwoTypeSpecWith("predicate 0 eq A 99 B 1 0.5"),     // attr range
+           TwoTypeSpecWith("predicate 0 eq A 0 B 1 1.5"),      // sel > 1
+           TwoTypeSpecWith("predicate 0 eq A 0 B 1 zero"),     // sel garbage
+           // Same type on both sides must be a parse error, not the
+           // Predicate constructor's CHECK-abort.
+           SpecWith("predicate 0 eq A 0 A 1 0.5"),
+           SpecWith("predicate 0 filter A 0 0"),               // modulus 0
+           SpecWith("predicate 0 filter A 0 -7"),              // negative mod
+           SpecWith("predicate 0 filter A abc 7"),             // attr garbage
+           TwoTypeSpecWith("predicate 7 eq A 0 B 1 0.5"),      // query 7 of 1
+       }) {
+    Result<DeploymentSpec> parsed = ParseDeploymentSpec(spec);
+    EXPECT_FALSE(parsed.ok()) << spec;
+  }
+  // The well-formed forms of both kinds still parse. (SpecWith's own
+  // query is deliberately invalid — SEQ(A, A) reuses a type — so the
+  // positive cases need the two-type fixture.)
+  for (const std::string& spec : {
+           TwoTypeSpecWith("predicate 0 eq A 0 B 1 0.5"),
+           TwoTypeSpecWith("predicate 0 filter A 0 7"),
+           TwoTypeSpecWith("predicate 0 filter A 0 7 0.25"),
+       }) {
+    Result<DeploymentSpec> parsed = ParseDeploymentSpec(spec);
+    EXPECT_TRUE(parsed.ok()) << spec << "\n"
+                             << (parsed.ok() ? "" : parsed.error().message);
+  }
+}
+
 TEST(SpecNegativeTest, TooManyTypesIsAnError) {
   std::string spec = "nodes 2\n";
   for (int i = 0; i < TypeRegistry::kMaxTypes + 3; ++i) {

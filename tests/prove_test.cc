@@ -116,6 +116,40 @@ TEST(ProveTest, PerNodeInboxOverrideBelowBatchIsDeadlock) {
   EXPECT_EQ(proof.nodes[1].min_credit, 8u);
 }
 
+TEST(ProveTest, ClusterShareModelShrinksEffectiveWindow) {
+  // A 64-frame window with batch 8 is fine single-process, but a 3-process
+  // cluster splits it into 4 sender shares of 16 — still fine — while a
+  // 31-frame window's shares of 7 can no longer admit a batch. min_credit
+  // must scale to the whole-window figure so the hint stays actionable.
+  Env env;
+  ProveOptions options = env.ProductionOptions();
+  options.rt.transport_kind = rt::RtTransportKind::kCluster;
+  options.rt.processes = 3;
+  ProveReport ok = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                   env.spec.network, options);
+  EXPECT_TRUE(ok.certified()) << ok.ToString();
+  for (const NodeCertificate& c : ok.nodes) {
+    EXPECT_EQ(c.credit_window, 64u);
+    EXPECT_EQ(c.credit_share, 16u);  // 64 / (3 + 1)
+    if (c.min_credit > 0) EXPECT_EQ(c.min_credit, 32u);  // 8 * (3 + 1)
+  }
+
+  options.rt.transport.inbox_capacity = 31;  // share 7 < batch 8
+  ProveReport bad = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                    env.spec.network, options);
+  EXPECT_FALSE(bad.certified());
+  EXPECT_TRUE(bad.findings.HasRule(Rule::kRtCreditDeadlock));
+  EXPECT_EQ(bad.nodes[0].credit_share, 7u);
+
+  // The identical config proves clean in-process and over loopback: the
+  // share model only bites when real sockets partition the window.
+  options.rt.transport_kind = rt::RtTransportKind::kLoopback;
+  ProveReport loop = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                     env.spec.network, options);
+  EXPECT_TRUE(loop.certified()) << loop.ToString();
+  EXPECT_EQ(loop.nodes[0].credit_share, 31u);
+}
+
 TEST(ProveTest, CapacityFeasibility) {
   Env env;
   // Find a node that actually hosts load, then declare a capacity below it.
@@ -159,6 +193,8 @@ TEST(ProveTest, ExportedGaugesMatchCertificates) {
     }
     EXPECT_EQ(registry.GetGauge("prove_min_credit", labels)->Value(),
               static_cast<double>(c.min_credit));
+    EXPECT_EQ(registry.GetGauge("prove_credit_share", labels)->Value(),
+              static_cast<double>(c.credit_share));
     EXPECT_EQ(registry.GetGauge("prove_load_eps", labels)->Value(),
               c.load_eps);
   }

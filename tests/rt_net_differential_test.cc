@@ -1,0 +1,263 @@
+// muse-net cross-process differential harness: the same (deployment,
+// trace) must produce identical per-query canonical match sets whether
+// frames move through shared-memory inboxes (kInProc), a real loopback
+// TCP socket in one process (kLoopback), or an N-process muse_node
+// cluster (kCluster) — with the discrete-event simulator as the
+// independent ground truth. Cluster runs exercise the full deployment
+// path: the workload round-trips through WriteDeploymentSpec text and
+// the plan through PlanToJson, exactly as daemons receive them.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/core/plan_json.h"
+#include "src/dist/simulator.h"
+#include "src/net/network_gen.h"
+#include "src/net/trace.h"
+#include "src/rt/cluster.h"
+#include "src/rt/runtime.h"
+#include "src/workload/query_gen.h"
+#include "src/workload/spec.h"
+
+namespace muse {
+namespace {
+
+/// Same rationale as rt_differential_test: both sides must evaluate with
+/// an effectively unbounded eviction horizon so the final match set is a
+/// pure function of the trace, not of scheduling.
+constexpr uint64_t kHugeSlackMs = 1ULL << 40;
+
+/// One randomized triple whose workload has round-tripped through the
+/// spec text + plan JSON a cluster ships: the Deployment under test is
+/// compiled from the *parsed* spec, so the coordinator-side task ids are
+/// the ones every daemon derives from the same bytes.
+struct NetTriple {
+  DeploymentSpec spec;
+  std::string spec_text;
+  std::string plan_json;
+  std::vector<Event> trace;
+  std::unique_ptr<WorkloadCatalogs> catalogs;
+  std::unique_ptr<Deployment> dep;
+
+  NetTriple(uint64_t seed, const std::string& plan_kind,
+            double nseq_probability = 0.35) {
+    Rng rng(seed);
+    QueryGenOptions qopts;
+    qopts.num_queries = 2;
+    qopts.avg_primitives = 3;
+    qopts.num_types = 4;
+    qopts.window_ms = 400;
+    qopts.nseq_probability = nseq_probability;
+    SelectivityModel model(qopts.num_types, 0.05, 0.3, rng);
+
+    NetworkGenOptions nopts;
+    nopts.num_nodes = 4;
+    nopts.num_types = qopts.num_types;
+    nopts.event_node_ratio = 0.7;
+    nopts.max_rate = 6;
+
+    DeploymentSpec generated;
+    generated.workload = GenerateWorkload(qopts, model, rng);
+    generated.network = MakeRandomNetwork(nopts, rng);
+    for (int t = 0; t < qopts.num_types; ++t) {
+      generated.registry.Intern("T" + std::to_string(t));
+    }
+    spec_text = WriteDeploymentSpec(generated);
+    Result<DeploymentSpec> parsed = ParseDeploymentSpec(spec_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "spec round-trip: %s\n%s\n",
+                   parsed.error().message.c_str(), spec_text.c_str());
+    }
+    MUSE_CHECK(parsed.ok(), "WriteDeploymentSpec must round-trip");
+    spec = std::move(parsed).value();
+
+    TraceOptions topts;
+    topts.duration_ms = 2500;
+    topts.attr_cardinality[0] = 3;
+    trace = GenerateGlobalTrace(spec.network, topts, rng);
+
+    catalogs = std::make_unique<WorkloadCatalogs>(spec.workload, spec.network);
+    MuseGraph plan;
+    if (plan_kind == "amuse") {
+      plan = PlanWorkloadAmuse(*catalogs).combined;
+    } else if (plan_kind == "oop") {
+      plan = PlanWorkloadOop(*catalogs).combined;
+    } else {
+      plan = BuildCentralizedPlan(catalogs->Pointers(), /*sink=*/0);
+    }
+    plan_json = PlanToJson(plan);
+    dep = std::make_unique<Deployment>(plan, catalogs->Pointers());
+  }
+};
+
+std::vector<std::vector<std::string>> KeySets(
+    const std::vector<std::vector<Match>>& matches_per_query) {
+  std::vector<std::vector<std::string>> keys(matches_per_query.size());
+  for (size_t q = 0; q < matches_per_query.size(); ++q) {
+    for (const Match& m : matches_per_query[q]) {
+      keys[q].push_back(m.Key());
+    }
+  }
+  return keys;
+}
+
+rt::RtOptions MakeOptions(const NetTriple& t, rt::RtTransportKind kind,
+                          int processes, int num_threads,
+                          const std::vector<std::pair<NodeId, uint64_t>>&
+                              failures) {
+  rt::RtOptions options;
+  options.num_threads = num_threads;
+  options.eval.eviction_slack_ms = kHugeSlackMs;
+  options.failures = failures;
+  options.transport_kind = kind;
+  // A finite watchdog turns any protocol bug into a checkable wedge
+  // instead of a hung test.
+  options.transport.wedge_timeout_ms = 20000;
+  if (kind == rt::RtTransportKind::kCluster) {
+    options.processes = processes;
+    options.muse_node_bin = rt::FindMuseNodeBinary(MUSE_NODE_BIN);
+    options.cluster_spec_text = t.spec_text;
+    options.cluster_plan_json = t.plan_json;
+  }
+  return options;
+}
+
+/// Runs one transport mode and requires the simulator's exact per-query
+/// match sets.
+void ExpectMode(const NetTriple& t,
+                const std::vector<std::vector<std::string>>& want,
+                rt::RtTransportKind kind, int processes, int num_threads,
+                const std::vector<std::pair<NodeId, uint64_t>>& failures,
+                uint64_t trace_sample_every = 0) {
+  rt::RtOptions options =
+      MakeOptions(t, kind, processes, num_threads, failures);
+  options.trace_sample_every = trace_sample_every;
+  rt::RtReport run = rt::RtRuntime(*t.dep, options).Run(t.trace);
+  ASSERT_FALSE(run.wedged);
+  ASSERT_EQ(run.matches_per_query.size(), want.size());
+  const auto got = KeySets(run.matches_per_query);
+  for (size_t q = 0; q < want.size(); ++q) {
+    EXPECT_EQ(got[q], want[q]) << "query " << q;
+  }
+  // In cluster mode these counters exist only if daemon kStats frames
+  // arrived — proof the run really crossed process boundaries.
+  EXPECT_GT(run.inputs_processed, 0u);
+  if (kind != rt::RtTransportKind::kInProc) {
+    EXPECT_GT(run.network_frames, 0u);
+    EXPECT_GT(run.network_bytes, 0u);
+  }
+}
+
+std::vector<std::vector<std::string>> SimulatorKeys(
+    const NetTriple& t,
+    const std::vector<std::pair<NodeId, uint64_t>>& failures) {
+  SimOptions sim_options;
+  sim_options.eval.eviction_slack_ms = kHugeSlackMs;
+  sim_options.failures = failures;
+  SimReport sim = DistributedSimulator(*t.dep, sim_options).Run(t.trace);
+  return KeySets(sim.matches_per_query);
+}
+
+// The three transports and the simulator agree on every plan shape.
+TEST(RtNetDifferentialTest, TransportsAgreeAcrossPlanShapes) {
+  const char* kPlans[] = {"amuse", "centralized", "oop"};
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const std::string plan_kind = kPlans[seed % 3];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan " + plan_kind);
+    NetTriple t(7000 + seed, plan_kind);
+    const auto want = SimulatorKeys(t, {});
+    ExpectMode(t, want, rt::RtTransportKind::kInProc, 1, 0, {});
+    ExpectMode(t, want, rt::RtTransportKind::kLoopback, 1, 0, {});
+    ExpectMode(t, want, rt::RtTransportKind::kCluster, 2, 0, {});
+  }
+}
+
+// The process count must not be observable in the final match sets —
+// including P=1 (a one-daemon cluster) and P=4 (one node per process).
+TEST(RtNetDifferentialTest, ClusterProcessCountsAgree) {
+  NetTriple t(7100, "amuse");
+  const auto want = SimulatorKeys(t, {});
+  for (int processes : {1, 2, 4}) {
+    SCOPED_TRACE("processes " + std::to_string(processes));
+    ExpectMode(t, want, rt::RtTransportKind::kCluster, processes, 0, {});
+  }
+}
+
+// Thread multiplexing inside each daemon is likewise unobservable.
+TEST(RtNetDifferentialTest, ClusterThreadCountsAgree) {
+  NetTriple t(7200, "oop");
+  const auto want = SimulatorKeys(t, {});
+  for (int threads : {1, 2}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExpectMode(t, want, rt::RtTransportKind::kCluster, 2, threads, {});
+  }
+}
+
+// Crash + replay across the socket boundary: the driver's kCrash control
+// frame reaches a remote daemon, the node replays its durable log, and
+// receiver-side dedup still lands on the simulator's match sets.
+TEST(RtNetDifferentialTest, CrashReplayAgreesOnEveryTransport) {
+  for (uint64_t seed = 0; seed < 2; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    NetTriple t(7300 + seed, seed % 2 ? "centralized" : "amuse");
+    const std::vector<std::pair<NodeId, uint64_t>> failures = {
+        {static_cast<NodeId>(seed % 4), 900},
+        {static_cast<NodeId>((seed + 2) % 4), 1700}};
+    const auto want = SimulatorKeys(t, failures);
+    ExpectMode(t, want, rt::RtTransportKind::kLoopback, 1, 0, failures);
+    ExpectMode(t, want, rt::RtTransportKind::kCluster, 2, 2, failures);
+  }
+}
+
+// NSEQ-heavy workloads put the watermark/flush-barrier path on the
+// socket's critical path: kFlushCollect/kFlushEmit and their acks must
+// round-trip to remote daemons in order.
+TEST(RtNetDifferentialTest, NseqFlushBarriersCrossTheSocket) {
+  NetTriple t(7400, "amuse", /*nseq_probability=*/1.0);
+  const auto want = SimulatorKeys(t, {});
+  ExpectMode(t, want, rt::RtTransportKind::kLoopback, 1, 0, {});
+  ExpectMode(t, want, rt::RtTransportKind::kCluster, 3, 0, {});
+}
+
+// Causal tracing is pure observation in cluster mode too: sampled spans
+// ride kSpan frames to the coordinator without changing any match set,
+// and the merged log is non-trivial.
+TEST(RtNetDifferentialTest, ClusterTracingNeverChangesMatches) {
+  NetTriple t(7500, "amuse");
+  const auto want = SimulatorKeys(t, {});
+  rt::RtOptions options =
+      MakeOptions(t, rt::RtTransportKind::kCluster, 2, 0, {});
+  options.trace_sample_every = 1;
+  rt::RtReport run = rt::RtRuntime(*t.dep, options).Run(t.trace);
+  ASSERT_FALSE(run.wedged);
+  const auto got = KeySets(run.matches_per_query);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < want.size(); ++q) {
+    EXPECT_EQ(got[q], want[q]) << "query " << q;
+  }
+  ASSERT_NE(run.trace_log, nullptr);
+  EXPECT_GT(run.trace_log->spans().size(), 0u);
+}
+
+// The spec writer round-trips byte-stably: writing the parsed spec again
+// reproduces the exact text the daemons were handed. This is the
+// agreement contract between coordinator and daemons.
+TEST(RtNetDifferentialTest, SpecRoundTripIsByteStable) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    NetTriple t(7600 + seed, "amuse", seed % 2 ? 1.0 : 0.35);
+    EXPECT_EQ(WriteDeploymentSpec(t.spec), t.spec_text);
+  }
+}
+
+}  // namespace
+}  // namespace muse

@@ -8,9 +8,12 @@
 #include "src/cep/oracle.h"
 #include "src/cep/parser.h"
 #include "src/core/multi_query.h"
+#include "src/core/plan_json.h"
 #include "src/net/network_gen.h"
 #include "src/net/trace.h"
+#include "src/rt/cluster.h"
 #include "src/rt/runtime.h"
+#include "src/workload/spec.h"
 
 namespace muse {
 namespace {
@@ -279,6 +282,78 @@ TEST(RtRuntimeTest, CollectMatchesOffKeepsCountsInTelemetry) {
   const obs::Counter* total = report.telemetry->registry.GetCounter(
       "rt_matches_total", obs::LabelSet{{"query", "0"}});
   EXPECT_EQ(total->Value(), env.ReferenceKeys().size());
+}
+
+// --- muse-net: cluster crash detection ---------------------------------
+
+// SIGKILL a muse_node daemon mid-trace. The coordinator must detect the
+// dead peer within the wedge timeout, mark the report wedged, and unwind
+// long before the paced source would have finished — never hang.
+TEST(RtRuntimeTest, KilledDaemonWedgesWithinTimeout) {
+  Env env(90);
+  // The cluster run recompiles the deployment from the round-tripped
+  // spec + plan JSON on every side, the same contract real daemons get.
+  DeploymentSpec ds;
+  ds.registry = env.reg;
+  ds.network = env.net;
+  ds.workload = env.workload;
+  const std::string spec_text = WriteDeploymentSpec(ds);
+  Result<DeploymentSpec> parsed = ParseDeploymentSpec(spec_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  WorkloadCatalogs catalogs(parsed.value().workload, parsed.value().network);
+  const MuseGraph plan = PlanWorkloadAmuse(catalogs).combined;
+  Deployment dep(plan, catalogs.Pointers());
+
+  rt::RtOptions options;
+  options.transport_kind = rt::RtTransportKind::kCluster;
+  options.processes = 2;
+  options.muse_node_bin = rt::FindMuseNodeBinary(MUSE_NODE_BIN);
+  ASSERT_FALSE(options.muse_node_bin.empty());
+  options.cluster_spec_text = spec_text;
+  options.cluster_plan_json = PlanToJson(plan);
+  options.transport.wedge_timeout_ms = 1000;
+  // Pace the source so a full run would take ~8 wall seconds — the only
+  // way this test finishes fast is the crash detector firing.
+  options.source_rate_eps =
+      static_cast<double>(env.trace.size()) / 8.0;
+  options.kill_schedule = {{1, 250}};
+
+  const auto start = std::chrono::steady_clock::now();
+  rt::RtReport report = rt::RtRuntime(dep, options).Run(env.trace);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(report.wedged) << report.Summary();
+  // kill at 0.25s + wedge timeout 1s + teardown; anywhere near the 8s
+  // full-run pace means detection failed.
+  EXPECT_LT(elapsed, 6.0);
+}
+
+// The same cluster config without the kill runs clean end to end — the
+// crash detector only fires for real deaths.
+TEST(RtRuntimeTest, ClusterWithoutKillsRunsClean) {
+  Env env(90);
+  DeploymentSpec ds;
+  ds.registry = env.reg;
+  ds.network = env.net;
+  ds.workload = env.workload;
+  const std::string spec_text = WriteDeploymentSpec(ds);
+  Result<DeploymentSpec> parsed = ParseDeploymentSpec(spec_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  WorkloadCatalogs catalogs(parsed.value().workload, parsed.value().network);
+  const MuseGraph plan = PlanWorkloadAmuse(catalogs).combined;
+  Deployment dep(plan, catalogs.Pointers());
+
+  rt::RtOptions options;
+  options.transport_kind = rt::RtTransportKind::kCluster;
+  options.processes = 2;
+  options.muse_node_bin = rt::FindMuseNodeBinary(MUSE_NODE_BIN);
+  options.cluster_spec_text = spec_text;
+  options.cluster_plan_json = PlanToJson(plan);
+  options.transport.wedge_timeout_ms = 20000;
+  rt::RtReport report = rt::RtRuntime(dep, options).Run(env.trace);
+  EXPECT_FALSE(report.wedged) << report.Summary();
+  EXPECT_GT(report.inputs_processed, 0u);
 }
 
 }  // namespace

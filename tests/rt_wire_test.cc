@@ -325,5 +325,198 @@ TEST(RtWireTest, TracedMutationFuzzNeverCrashes) {
   }
 }
 
+// --- muse-net: incremental stream reassembly (FrameAssembler) ----------
+
+/// One representative encoded frame of every wire kind, in kind order.
+/// Each entry must reassemble byte-identically no matter how the TCP
+/// stream slices it.
+std::vector<std::pair<std::string, std::string>> OneFrameOfEveryKind() {
+  Rng rng(977);
+  std::vector<std::pair<std::string, std::string>> frames;
+  auto add = [&frames](const char* name) -> std::string* {
+    frames.emplace_back(name, std::string());
+    return &frames.back().second;
+  };
+  AppendEventFrame(RandomEvent(rng), add("kEvent"));
+  AppendEventFrame(RandomEvent(rng), TraceContext{42, 77},
+                   add("kEventTraced"));
+  AppendMessageFrame(RandomMessage(rng, 3), add("kMessage"));
+  AppendMessageFrame(RandomMessage(rng, 3), TraceContext{43, 78},
+                     add("kMessageTraced"));
+  {
+    std::string inner;
+    AppendEventFrame(RandomEvent(rng), &inner);
+    AppendMessageFrame(RandomMessage(rng, 2), &inner);
+    AppendPacketFrame(3, 7, 123456, 2, inner, add("kPacket"));
+  }
+  AppendCreditFrame(5, 17, add("kCredit"));
+  AppendControlFrame(2, ControlKind::kFlushCollect, add("kControl"));
+  AppendAckFrame(ControlKind::kFlushEmit, 4, add("kAck"));
+  AppendQuiesceFrame(true, 1000, 999, add("kQuiesce"));
+  {
+    Match m = Match::Single(RandomEvent(rng));
+    AppendSinkMatchFrame(1, m, TraceContext{44, 79}, add("kSinkMatch"));
+  }
+  AppendHelloFrame(2, 40123, add("kHello"));
+  AppendPeersFrame(987654321, {40001, 40002, 40003}, add("kPeers"));
+  AppendReadyFrame(1, add("kReady"));
+  AppendStatsFrame({StatEntry{1, 0, 100}, StatEntry{9, 0, 3}},
+                   add("kStats"));
+  AppendSpanFrame(45, 2, 3, 11, 1, 0, 5000, 250, add("kSpan"));
+  AppendByeFrame(0, add("kBye"));
+  return frames;
+}
+
+// Every frame kind, split at every byte boundary across two Feed calls,
+// must come out of the assembler byte-identical to the encoding — the
+// exact property the TCP transport relies on, since the kernel may slice
+// a stream anywhere.
+TEST(RtWireTest, AssemblerReassemblesEverySplitOfEveryKind) {
+  for (const auto& [name, bytes] : OneFrameOfEveryKind()) {
+    SCOPED_TRACE(name);
+    for (size_t split = 0; split <= bytes.size(); ++split) {
+      FrameAssembler assembler;
+      assembler.Feed(bytes.data(), split);
+      std::string frame;
+      if (split < bytes.size()) {
+        // Incomplete input must never yield a frame or poison the stream.
+        EXPECT_FALSE(assembler.Next(&frame)) << "split " << split;
+        EXPECT_FALSE(assembler.poisoned()) << "split " << split;
+        assembler.Feed(bytes.data() + split, bytes.size() - split);
+      }
+      ASSERT_TRUE(assembler.Next(&frame)) << "split " << split;
+      EXPECT_EQ(frame, bytes) << "split " << split;
+      EXPECT_FALSE(assembler.Next(&frame));
+      EXPECT_FALSE(assembler.poisoned());
+      EXPECT_EQ(assembler.buffered_bytes(), 0u);
+      // The reassembled bytes must also decode as the original kind.
+      size_t consumed = 0;
+      Result<NetFrame> nf = DecodeNetFrame(
+          reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size(),
+          &consumed);
+      ASSERT_TRUE(nf.ok()) << nf.error().message;
+      EXPECT_EQ(consumed, bytes.size());
+    }
+  }
+}
+
+// A whole session's worth of back-to-back frames, fed in random chunk
+// sizes (including 1-byte drips), reassembles into the same frame
+// sequence.
+TEST(RtWireTest, AssemblerReassemblesChunkedConcatenations) {
+  Rng rng(979);
+  const auto kinds = OneFrameOfEveryKind();
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string stream;
+    std::vector<std::string> want;
+    for (int i = 0; i < 20; ++i) {
+      const auto& [name, bytes] =
+          kinds[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(kinds.size()) - 1))];
+      stream += bytes;
+      want.push_back(bytes);
+    }
+    FrameAssembler assembler;
+    std::vector<std::string> got;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      const size_t n = std::min<size_t>(
+          static_cast<size_t>(rng.UniformInt(1, 7)), stream.size() - pos);
+      assembler.Feed(stream.data() + pos, n);
+      pos += n;
+      std::string frame;
+      while (assembler.Next(&frame)) got.push_back(frame);
+    }
+    ASSERT_FALSE(assembler.poisoned());
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(assembler.frames_out(), want.size());
+    EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  }
+}
+
+// Garbage must reject deterministically: a zero or oversized length
+// prefix poisons the stream permanently — no resync heuristic, because
+// any resync would depend on how the stream happened to be segmented.
+TEST(RtWireTest, AssemblerPoisonsOnGarbageDeterministically) {
+  {
+    FrameAssembler assembler;
+    const char zeros[4] = {0, 0, 0, 0};
+    assembler.Feed(zeros, sizeof(zeros));
+    std::string frame;
+    EXPECT_FALSE(assembler.Next(&frame));
+    EXPECT_TRUE(assembler.poisoned());
+    EXPECT_FALSE(assembler.error().empty());
+    // Poisoned is terminal: further feeds are ignored.
+    std::string good;
+    AppendByeFrame(0, &good);
+    assembler.Feed(good.data(), good.size());
+    EXPECT_FALSE(assembler.Next(&frame));
+    EXPECT_TRUE(assembler.poisoned());
+  }
+  {
+    // Oversized prefix, dripped one byte at a time: poisoning must not
+    // depend on segmentation.
+    std::string huge(4, '\0');
+    const uint32_t len = kMaxFramePayloadBytes + 1;
+    for (int i = 0; i < 4; ++i) {
+      huge[static_cast<size_t>(i)] =
+          static_cast<char>((len >> (8 * i)) & 0xff);
+    }
+    FrameAssembler assembler;
+    std::string frame;
+    for (char c : huge) {
+      assembler.Feed(&c, 1);
+      EXPECT_FALSE(assembler.Next(&frame));
+    }
+    EXPECT_TRUE(assembler.poisoned());
+  }
+  {
+    // A valid frame before the garbage still comes out; the poison hits
+    // only when the assembler reaches the bad prefix.
+    std::string stream;
+    AppendCreditFrame(1, 2, &stream);
+    const std::string good = stream;
+    stream.append(4, '\0');
+    FrameAssembler assembler;
+    assembler.Feed(stream.data(), stream.size());
+    std::string frame;
+    ASSERT_TRUE(assembler.Next(&frame));
+    EXPECT_EQ(frame, good);
+    EXPECT_FALSE(assembler.Next(&frame));
+    EXPECT_TRUE(assembler.poisoned());
+  }
+}
+
+// Random garbage bytes through the assembler + DecodeNetFrame never
+// crash, and the outcome is deterministic: feeding the identical bytes
+// again produces the identical frame/poison sequence.
+TEST(RtWireTest, AssemblerGarbageFuzzIsDeterministic) {
+  Rng rng(983);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int n = static_cast<int>(rng.UniformInt(1, 256));
+    std::string bytes;
+    for (int i = 0; i < n; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    auto run = [&bytes]() {
+      FrameAssembler assembler;
+      assembler.Feed(bytes.data(), bytes.size());
+      std::vector<std::string> frames;
+      std::string frame;
+      while (assembler.Next(&frame)) {
+        frames.push_back(frame);
+        size_t consumed = 0;
+        (void)DecodeNetFrame(
+            reinterpret_cast<const uint8_t*>(frame.data()), frame.size(),
+            &consumed);
+      }
+      return std::make_pair(frames, assembler.poisoned());
+    };
+    const auto first = run();
+    const auto second = run();
+    EXPECT_EQ(first, second);
+  }
+}
+
 }  // namespace
 }  // namespace muse::rt

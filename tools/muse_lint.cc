@@ -10,7 +10,7 @@
 //             [--obs-max-cardinality <n>]
 //             [--rt-inbox <frames>] [--rt-batch <frames>]
 //             [--rt-delay-us <us>] [--rt-slack-ms <ms>]
-//             [--rt-node-inbox <node>=<frames>]...
+//             [--rt-node-inbox <node>=<frames>]... [--rt-processes <n>]
 //             [--prove] [--prove-budget <entries>]
 //             [--werror] [--sarif <file>]
 //
@@ -39,7 +39,10 @@
 // deadlock detection over the deployed link graph, per-node memory-bound
 // certification (against --prove-budget when given), watermark liveness,
 // and capacity feasibility. The --rt-* flags describe the config being
-// proven; --rt-node-inbox overrides one node's credit window (repeatable).
+// proven; --rt-node-inbox overrides one node's credit window (repeatable),
+// and --rt-processes proves against a muse-net cluster deployment, where
+// every inbox window splits into n+1 per-sender credit shares — a window
+// that passes M900 single-process can fail it across sockets.
 // The per-node certificate table is printed after the diagnostics.
 //
 // Diagnostics go to stdout, one per line, in compiler style:
@@ -84,6 +87,7 @@ int Usage() {
       "                 [--rt-inbox <frames>] [--rt-batch <frames>]\n"
       "                 [--rt-delay-us <us>] [--rt-slack-ms <ms>]\n"
       "                 [--rt-node-inbox <node>=<frames>]...\n"
+      "                 [--rt-processes <n>]\n"
       "                 [--prove] [--prove-budget <entries>]\n"
       "                 [--werror] [--sarif <file>]\n");
   return 2;
@@ -191,6 +195,15 @@ int main(int argc, char** argv) {
       auto& per_node = rt_options.transport.node_inbox_capacity;
       if (per_node.size() <= node) per_node.resize(node + 1, 0);
       per_node[node] = static_cast<size_t>(frames);
+      check_rt = true;
+    } else if (std::strcmp(argv[i], "--rt-processes") == 0 && i + 1 < argc) {
+      const int n = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (n < 1) {
+        std::fprintf(stderr, "error: --rt-processes wants a count >= 1\n");
+        return 2;
+      }
+      rt_options.processes = n;
+      rt_options.transport_kind = rt::RtTransportKind::kCluster;
       check_rt = true;
     } else if (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0) {
       if (!plan_path.empty()) return Usage();

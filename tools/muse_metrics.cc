@@ -25,6 +25,11 @@
 //     [--rt-batch <frames>] per-link batch size (default 32)
 //     [--rt-delay-us <us>]  injected per-hop delivery delay (default 0)
 //     [--rt-rate <eps>]     Poisson source rate, events/sec (0 = unpaced)
+//     [--rt-processes <n>]  muse-net: run as an n-daemon localhost cluster
+//                           (muse_node processes) coordinated by this one
+//     [--rt-wedge-ms <ms>]  wedge watchdog timeout (0 = wait forever)
+//     [--rt-kill <p>,<ms>]  SIGKILL daemon p that many ms after launch
+//                           (repeatable; the run then exits non-zero)
 //     [--prove]             (with --runtime) run the muse-prove static
 //                           analysis before executing and print a per-node
 //                           comparison of proven bounds vs observed peaks;
@@ -40,25 +45,31 @@
 // examples/specs/. With --json - the JSON goes to stdout and the report to
 // stderr (mirrors muse_plan).
 //
-// Exit status: 0 success, 1 schema violations or write failures, 2 usage,
-// unreadable/unparseable spec, or unreadable/unparseable schema.
+// Exit status: 0 success, 1 schema violations, write failures, or a
+// wedged runtime run (including a killed cluster daemon), 2 usage,
+// malformed flag values, unreadable/unparseable spec, or
+// unreadable/unparseable schema.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/prove.h"
+#include "src/common/numbers.h"
 #include "src/common/rng.h"
 #include "src/core/centralized.h"
 #include "src/core/multi_query.h"
+#include "src/core/plan_json.h"
 #include "src/dist/simulator.h"
 #include "src/net/trace.h"
 #include "src/obs/export.h"
 #include "src/obs/json_value.h"
+#include "src/rt/cluster.h"
 #include "src/rt/runtime.h"
 #include "src/workload/spec.h"
 
@@ -76,7 +87,9 @@ int Usage() {
                "[--csv <file|->] [--schema <file>]\n"
                "  [--runtime] [--rt-threads <n>] [--rt-inbox <frames>] "
                "[--rt-batch <frames>]\n"
-               "  [--rt-delay-us <us>] [--rt-rate <eps>] [--prove]\n");
+               "  [--rt-delay-us <us>] [--rt-rate <eps>] "
+               "[--rt-processes <n>] [--rt-wedge-ms <ms>]\n"
+               "  [--rt-kill <p>,<ms>] [--prove]\n");
   return 2;
 }
 
@@ -440,21 +453,45 @@ int main(int argc, char** argv) {
   Args args;
   args.spec_path = argv[1];
   for (int i = 2; i < argc; ++i) {
-    auto next = [&](uint64_t* v) {
+    // Strict value parsing: a malformed number must never be silently
+    // read as 0 (e.g. `--rt-inbox abc` would otherwise run with an
+    // *unbounded* inbox), and an unknown flag is an error, not a no-op.
+    auto bad = [&](const char* flag) {
+      std::fprintf(stderr, "muse_metrics: bad or missing value for %s\n",
+                   flag);
+      return Usage();
+    };
+    auto next_u64 = [&](uint64_t* v) {
       if (i + 1 >= argc) return false;
-      *v = std::strtoull(argv[++i], nullptr, 10);
+      std::optional<int64_t> p = ParseInt64(argv[++i]);
+      if (!p || *p < 0) return false;
+      *v = static_cast<uint64_t>(*p);
+      return true;
+    };
+    auto next_int = [&](int* v) {
+      if (i + 1 >= argc) return false;
+      std::optional<int64_t> p = ParseInt64(argv[++i]);
+      if (!p || *p < 0 || *p > INT32_MAX) return false;
+      *v = static_cast<int>(*p);
+      return true;
+    };
+    auto next_double = [&](double* v) {
+      if (i + 1 >= argc) return false;
+      std::optional<double> p = ParseDouble(argv[++i]);
+      if (!p || *p < 0) return false;
+      *v = *p;
       return true;
     };
     if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
       args.algorithm = argv[++i];
     } else if (std::strcmp(argv[i], "--duration-ms") == 0) {
-      if (!next(&args.duration_ms)) return Usage();
+      if (!next_u64(&args.duration_ms)) return bad("--duration-ms");
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      if (!next(&args.seed)) return Usage();
+      if (!next_u64(&args.seed)) return bad("--seed");
     } else if (std::strcmp(argv[i], "--bucket-ms") == 0) {
-      if (!next(&args.bucket_ms)) return Usage();
-    } else if (std::strcmp(argv[i], "--sample-rate") == 0 && i + 1 < argc) {
-      args.sample_rate = std::strtod(argv[++i], nullptr);
+      if (!next_u64(&args.bucket_ms)) return bad("--bucket-ms");
+    } else if (std::strcmp(argv[i], "--sample-rate") == 0) {
+      if (!next_double(&args.sample_rate)) return bad("--sample-rate");
     } else if (std::strcmp(argv[i], "--per-link") == 0) {
       args.per_link = true;
     } else if (std::strcmp(argv[i], "--compare") == 0) {
@@ -469,20 +506,48 @@ int main(int argc, char** argv) {
       args.runtime = true;
     } else if (std::strcmp(argv[i], "--prove") == 0) {
       args.prove = true;
-    } else if (std::strcmp(argv[i], "--rt-threads") == 0 && i + 1 < argc) {
-      args.rt.num_threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rt-threads") == 0) {
+      if (!next_int(&args.rt.num_threads)) return bad("--rt-threads");
     } else if (std::strcmp(argv[i], "--rt-inbox") == 0) {
       uint64_t v = 0;
-      if (!next(&v)) return Usage();
+      if (!next_u64(&v)) return bad("--rt-inbox");
       args.rt.transport.inbox_capacity = static_cast<size_t>(v);
-    } else if (std::strcmp(argv[i], "--rt-batch") == 0 && i + 1 < argc) {
-      args.rt.transport.batch_max_frames =
-          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rt-batch") == 0) {
+      if (!next_int(&args.rt.transport.batch_max_frames)) {
+        return bad("--rt-batch");
+      }
     } else if (std::strcmp(argv[i], "--rt-delay-us") == 0) {
-      if (!next(&args.rt.transport.delivery_delay_us)) return Usage();
-    } else if (std::strcmp(argv[i], "--rt-rate") == 0 && i + 1 < argc) {
-      args.rt.source_rate_eps = std::strtod(argv[++i], nullptr);
+      if (!next_u64(&args.rt.transport.delivery_delay_us)) {
+        return bad("--rt-delay-us");
+      }
+    } else if (std::strcmp(argv[i], "--rt-rate") == 0) {
+      if (!next_double(&args.rt.source_rate_eps)) return bad("--rt-rate");
+    } else if (std::strcmp(argv[i], "--rt-wedge-ms") == 0) {
+      if (!next_u64(&args.rt.transport.wedge_timeout_ms)) {
+        return bad("--rt-wedge-ms");
+      }
+    } else if (std::strcmp(argv[i], "--rt-processes") == 0) {
+      if (!next_int(&args.rt.processes) || args.rt.processes < 1) {
+        return bad("--rt-processes");
+      }
+      args.rt.transport_kind = rt::RtTransportKind::kCluster;
+    } else if (std::strcmp(argv[i], "--rt-kill") == 0) {
+      // <process>,<delay-ms>: SIGKILL that daemon mid-run (CI uses this
+      // to assert the coordinator detects the death and exits non-zero).
+      if (i + 1 >= argc) return bad("--rt-kill");
+      const std::string v = argv[++i];
+      const size_t comma = v.find(',');
+      std::optional<int64_t> p = comma == std::string::npos
+                                     ? std::nullopt
+                                     : ParseInt64(v.substr(0, comma));
+      std::optional<int64_t> ms = comma == std::string::npos
+                                      ? std::nullopt
+                                      : ParseInt64(v.substr(comma + 1));
+      if (!p || *p < 0 || !ms || *ms < 0) return bad("--rt-kill");
+      args.rt.kill_schedule.emplace_back(static_cast<int>(*p),
+                                         static_cast<uint64_t>(*ms));
     } else {
+      std::fprintf(stderr, "muse_metrics: unknown flag '%s'\n", argv[i]);
       return Usage();
     }
   }
@@ -523,6 +588,19 @@ int main(int argc, char** argv) {
     rt::RtOptions rt_opts = args.rt;
     rt_opts.source_seed = args.seed;
     rt_opts.collect_matches = false;  // counts live on in rt_matches_total
+    if (rt_opts.transport_kind == rt::RtTransportKind::kCluster) {
+      // Daemons parse the same spec bytes this process just read, so
+      // every side compiles the identical deployment.
+      rt_opts.cluster_spec_text = spec_text;
+      rt_opts.cluster_plan_json = PlanToJson(plan);
+      rt_opts.muse_node_bin = rt::FindMuseNodeBinary(rt_opts.muse_node_bin);
+      if (rt_opts.muse_node_bin.empty()) {
+        std::fprintf(stderr,
+                     "error: muse_node binary not found (looked next to "
+                     "muse_metrics, ../tools, $MUSE_NODE_BIN)\n");
+        return 2;
+      }
+    }
 
     ProveReport proof;
     if (args.prove) {
@@ -543,8 +621,12 @@ int main(int argc, char** argv) {
       ExportProveBounds(proof, &report.telemetry->registry);
     }
 
-    std::fprintf(out, "\nalgorithm: %s (muse-rt, %d thread(s))\n%s\n",
+    std::fprintf(out, "\nalgorithm: %s (muse-rt, %d thread(s), %d "
+                 "process(es))\n%s\n",
                  args.algorithm.c_str(), rt_opts.num_threads,
+                 rt_opts.transport_kind == rt::RtTransportKind::kCluster
+                     ? rt_opts.processes
+                     : 1,
                  report.Summary().c_str());
     PrintRtNodeTable(out, report,
                      static_cast<size_t>(dep_spec.network.num_nodes()));
@@ -552,7 +634,8 @@ int main(int argc, char** argv) {
     PrintRtLatency(out, report);
     if (args.prove) PrintProveComparison(out, proof, report);
 
-    int rc = 0;
+    // A wedged run produced truncated results; callers must see failure.
+    int rc = report.wedged ? 1 : 0;
     if (!args.json_path.empty() || !args.schema_path.empty()) {
       const std::string json = obs::TelemetryToJson(*report.telemetry);
       if (args.json_path == "-") {

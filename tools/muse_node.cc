@@ -1,0 +1,155 @@
+// muse_node — one daemon process of a distributed muse-rt cluster.
+//
+// Usage (normally spawned by the coordinator, see src/rt/cluster.h):
+//   muse_node --process <k> --processes <P> --coord-port <port>
+//             --spec <file> --plan <file> [--threads <n>]
+//             [--rt-inbox <frames>] [--rt-node-inbox <a,b,c>]
+//             [--rt-batch <frames>] [--rt-delay-us <us>]
+//             [--rt-wedge-ms <ms>] [--rt-slack-ms <ms>]
+//             [--rt-max-matches <n>] [--trace-every <n>]
+//             [--trace-max-spans <n>]
+//
+// The daemon recompiles the Deployment from the spec + plan files — the
+// exact pipeline the coordinator ran — so both sides agree on task ids
+// without ever serializing evaluator state. It owns the network nodes
+// with node % processes == process, serves their inboxes over TCP, and
+// exits 0 on a clean run, 3 when the transport wedged, 2 on setup errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/multi_query.h"
+#include "src/core/plan_json.h"
+#include "src/dist/deployment.h"
+#include "src/rt/cluster.h"
+#include "src/workload/spec.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: muse_node --process <k> --processes <P> "
+               "--coord-port <port> --spec <file> --plan <file> [flags]\n"
+               "(spawned by a muse-rt cluster coordinator; see "
+               "src/rt/cluster.h)\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool ParseSizeList(const std::string& csv, std::vector<size_t>* out) {
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0') return false;
+    out->push_back(static_cast<size_t>(v));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace muse;
+  rt::DaemonConfig config;
+  config.process = -1;
+  std::string spec_path;
+  std::string plan_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (flag == "--process" && (value = next()) != nullptr) {
+      config.process = std::atoi(value);
+    } else if (flag == "--processes" && (value = next()) != nullptr) {
+      config.processes = std::atoi(value);
+    } else if (flag == "--coord-port" && (value = next()) != nullptr) {
+      config.coord_port = std::atoi(value);
+    } else if (flag == "--spec" && (value = next()) != nullptr) {
+      spec_path = value;
+    } else if (flag == "--plan" && (value = next()) != nullptr) {
+      plan_path = value;
+    } else if (flag == "--threads" && (value = next()) != nullptr) {
+      config.num_threads = std::atoi(value);
+    } else if (flag == "--rt-inbox" && (value = next()) != nullptr) {
+      config.transport.inbox_capacity =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--rt-node-inbox" && (value = next()) != nullptr) {
+      if (!ParseSizeList(value, &config.transport.node_inbox_capacity)) {
+        std::fprintf(stderr, "muse_node: bad --rt-node-inbox list\n");
+        return 2;
+      }
+    } else if (flag == "--rt-batch" && (value = next()) != nullptr) {
+      config.transport.batch_max_frames = std::atoi(value);
+    } else if (flag == "--rt-delay-us" && (value = next()) != nullptr) {
+      config.transport.delivery_delay_us = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--rt-wedge-ms" && (value = next()) != nullptr) {
+      config.transport.wedge_timeout_ms = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--rt-slack-ms" && (value = next()) != nullptr) {
+      config.eval.eviction_slack_ms = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--rt-max-matches" && (value = next()) != nullptr) {
+      config.eval.max_matches = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--trace-every" && (value = next()) != nullptr) {
+      config.trace_sample_every = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--trace-max-spans" && (value = next()) != nullptr) {
+      config.trace_max_spans =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "muse_node: unknown or valueless flag '%s'\n",
+                   flag.c_str());
+      return Usage();
+    }
+  }
+  if (config.process < 0 || config.processes < 1 ||
+      config.process >= config.processes || config.coord_port <= 0 ||
+      spec_path.empty() || plan_path.empty()) {
+    return Usage();
+  }
+
+  std::string spec_text;
+  std::string plan_json;
+  if (!ReadFile(spec_path, &spec_text)) {
+    std::fprintf(stderr, "muse_node: cannot read spec %s\n",
+                 spec_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(plan_path, &plan_json)) {
+    std::fprintf(stderr, "muse_node: cannot read plan %s\n",
+                 plan_path.c_str());
+    return 2;
+  }
+
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(spec_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "muse_node: spec error: %s\n",
+                 spec.error().message.c_str());
+    return 2;
+  }
+  Result<MuseGraph> plan = PlanFromJson(plan_json);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "muse_node: plan error: %s\n",
+                 plan.error().message.c_str());
+    return 2;
+  }
+  WorkloadCatalogs catalogs(spec.value().workload, spec.value().network);
+  Deployment dep(plan.value(), catalogs.Pointers());
+
+  return rt::RunMuseNodeDaemon(dep, config);
+}
