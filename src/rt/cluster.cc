@@ -328,12 +328,20 @@ Result<std::unique_ptr<ClusterHandle>> LaunchCluster(
 
   // Phase 3: wait for every daemon to finish meshing.
   for (int k = 0; k < processes; ++k) {
-    Result<NetFrame> ready =
-        ReadFrameBlocking(handle->daemon_fds_[static_cast<size_t>(k)],
-                          &assemblers[static_cast<size_t>(k)],
-                          kHandshakeTimeoutMs);
+    FrameAssembler& assembler = assemblers[static_cast<size_t>(k)];
+    Result<NetFrame> ready = ReadFrameBlocking(
+        handle->daemon_fds_[static_cast<size_t>(k)], &assembler,
+        kHandshakeTimeoutMs);
     if (!ready.ok() || ready.value().kind != FrameKind::kReady) {
       return Error{"cluster: daemon failed to mesh (no kReady)"};
+    }
+    // kReady is the daemon's last handshake frame; this assembler is
+    // discarded here (NetTransport starts with a fresh one per peer), so
+    // any bytes already buffered past it would be silently dropped and
+    // desync the data-plane stream. The protocol forbids them: fail the
+    // handshake instead of losing frames.
+    if (assembler.buffered_bytes() != 0) {
+      return Error{"cluster: daemon sent data before handshake completed"};
     }
   }
   return handle;
@@ -374,6 +382,16 @@ int RunMuseNodeDaemon(const Deployment& dep, const DaemonConfig& config) {
     std::fprintf(stderr, "muse_node %d: bad kPeers\n", k);
     return 2;
   }
+  // kPeers is the coordinator's last handshake frame on this connection;
+  // the assembler dies here while the fd moves to NetTransport (fresh
+  // per-peer assembler), so buffered residue would desync the stream.
+  if (coord_assembler.buffered_bytes() != 0) {
+    std::fprintf(stderr,
+                 "muse_node %d: coordinator sent data before handshake "
+                 "completed\n",
+                 k);
+    return 2;
+  }
   const uint64_t coord_now_us = peers.value().coord_now_us;
   const auto peers_received_at = std::chrono::steady_clock::now();
 
@@ -402,7 +420,11 @@ int RunMuseNodeDaemon(const Deployment& dep, const DaemonConfig& config) {
         ReadFrameBlocking(fd, &assembler, kHandshakeTimeoutMs);
     if (!hello.ok() || hello.value().kind != FrameKind::kHello ||
         hello.value().process >= static_cast<uint32_t>(processes) ||
-        mesh[hello.value().process] != -1) {
+        mesh[hello.value().process] != -1 ||
+        // The mesh kHello is the dialing peer's only handshake frame on
+        // this connection, and this assembler is loop-local: buffered
+        // bytes past it would be dropped on the floor.
+        assembler.buffered_bytes() != 0) {
       std::fprintf(stderr, "muse_node %d: bad mesh kHello\n", k);
       return 2;
     }

@@ -129,7 +129,17 @@ void RtExecutor::WorkerMain(int shard) {
     const bool idle = spill_empty();
     Transport::Popped popped = transport_->PopReady(shard, idle ? 5000 : 100);
     for (const auto& [node, control] : popped.controls) {
-      LinkBatcher* batcher = batchers[node].get();
+      // The batcher map is the authority on which nodes this worker owns:
+      // a control naming any other node (a daemon's non-local inboxes all
+      // alias shard 0) is misrouted — account and drop rather than
+      // dereference a default-inserted null entry.
+      const auto it = batchers.find(node);
+      if (it == batchers.end()) {
+        wire_rejects_->Add(1);
+        if (control == ControlKind::kCrash) transport_->NoteFramesDone(1);
+        continue;
+      }
+      LinkBatcher* batcher = it->second.get();
       switch (control) {
         case ControlKind::kCrash:
           HandleCrash(node, batcher);
@@ -150,7 +160,17 @@ void RtExecutor::WorkerMain(int shard) {
       }
     }
     for (Packet& packet : popped.packets) {
-      LinkBatcher* batcher = batchers[packet.dst].get();
+      const auto it = batchers.find(packet.dst);
+      if (it == batchers.end()) {
+        // Misrouted packet for a node this worker doesn't own (see the
+        // control-path comment): reject, then settle credits and the
+        // in-flight accounting so the sender doesn't leak its share.
+        wire_rejects_->Add(packet.frames);
+        transport_->Release(packet);
+        transport_->NoteFramesDone(packet.frames);
+        continue;
+      }
+      LinkBatcher* batcher = it->second.get();
       obs::SpanBuffer* spans =
           span_bufs_.empty() ? nullptr
                              : span_bufs_[static_cast<size_t>(shard)].get();

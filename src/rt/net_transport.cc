@@ -493,7 +493,8 @@ void NetTransport::HandleReadable(int peer) {
     if (r == 0) {
       // EOF. Clean only after the peer announced kBye (or we are tearing
       // the cluster down ourselves).
-      if (!p.saw_bye && !shutting_down_.load(std::memory_order_acquire)) {
+      if (!p.saw_bye.load(std::memory_order_acquire) &&
+          !shutting_down_.load(std::memory_order_acquire)) {
         PeerDied(peer, "EOF before kBye");
       } else {
         std::lock_guard<std::mutex> lock(p.tx_mu);
@@ -509,6 +510,18 @@ void NetTransport::HandleReadable(int peer) {
 }
 
 void NetTransport::HandleNetFrame(int peer, const NetFrame& nf) {
+  // DecodeNetFrame checks structure only: a well-framed kPacket/kCredit/
+  // kControl can still name a node outside the deployment. Indexing
+  // shares_ / the embedded inboxes with it would be out-of-bounds (or a
+  // process-killing CHECK), so treat it like any other protocol error:
+  // deterministic reject, connection unusable.
+  if ((nf.kind == FrameKind::kPacket || nf.kind == FrameKind::kCredit ||
+       nf.kind == FrameKind::kControl) &&
+      static_cast<size_t>(nf.dst) >= embedded_->num_nodes()) {
+    stream_errors_->Add(1);
+    PeerDied(peer, "frame dst out of range");
+    return;
+  }
   switch (nf.kind) {
     case FrameKind::kPacket: {
       Packet packet;
@@ -580,10 +593,7 @@ void NetTransport::HandleNetFrame(int peer, const NetFrame& nf) {
       return;
     }
     case FrameKind::kBye: {
-      {
-        std::lock_guard<std::mutex> lock(peers_[peer]->tx_mu);
-        peers_[peer]->saw_bye = true;
-      }
+      peers_[peer]->saw_bye.store(true, std::memory_order_release);
       byes_.fetch_add(1, std::memory_order_acq_rel);
       if (callbacks_.on_bye) callbacks_.on_bye(peer);
       return;
@@ -605,7 +615,10 @@ void NetTransport::PeerDied(int peer, const char* why) {
     std::lock_guard<std::mutex> lock(p.tx_mu);
     p.closed = true;
   }
-  if (shutting_down_.load(std::memory_order_acquire) || p.saw_bye) return;
+  if (shutting_down_.load(std::memory_order_acquire) ||
+      p.saw_bye.load(std::memory_order_acquire)) {
+    return;
+  }
   std::fprintf(stderr,
                "muse-rt transport (process %d): peer %d died: %s\n",
                role_ == Role::kDaemon ? self_process_ : -1, peer, why);

@@ -153,7 +153,9 @@ class NetTransport : public Transport {
     std::string tx;        ///< bytes accepted but not yet written
     bool tx_armed = false; ///< EPOLLOUT currently requested
     bool closed = false;
-    bool saw_bye = false;
+    /// Written by the IO thread (kBye), read by worker/driver threads via
+    /// the SendFrameToPeer failure path (PeerDied) — hence atomic.
+    std::atomic<bool> saw_bye{false};
     FrameAssembler rx;
     obs::Counter* tx_frames = nullptr;
     obs::Counter* tx_bytes = nullptr;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/prove.h"
@@ -12,6 +14,7 @@
 #include "src/net/network_gen.h"
 #include "src/net/trace.h"
 #include "src/rt/cluster.h"
+#include "src/rt/net_transport.h"
 #include "src/rt/runtime.h"
 #include "src/workload/spec.h"
 
@@ -354,6 +357,44 @@ TEST(RtRuntimeTest, ClusterWithoutKillsRunsClean) {
   rt::RtReport report = rt::RtRuntime(dep, options).Run(env.trace);
   EXPECT_FALSE(report.wedged) << report.Summary();
   EXPECT_GT(report.inputs_processed, 0u);
+}
+
+// A structurally valid kCredit/kControl/kPacket frame can still name a
+// node outside the deployment (DecodeNetFrame checks structure only).
+// The transport must treat it like any other protocol error — stream
+// error counted, connection dead, run wedged — never index shares_ or
+// an inbox out of bounds, and never CHECK-abort the process.
+TEST(RtRuntimeTest, OutOfRangeWireDstWedgesInsteadOfCorrupting) {
+  for (int kind = 0; kind < 3; ++kind) {
+    obs::MetricsRegistry registry;
+    rt::RtTransportOptions topts;
+    topts.inbox_capacity = 64;
+    auto transport = rt::NetTransport::Loopback(/*num_nodes=*/2,
+                                                /*num_shards=*/1, topts,
+                                                &registry);
+    ASSERT_TRUE(transport.ok()) << transport.error().message;
+    rt::NetTransport& net = *transport.value();
+    const uint32_t bad_dst = 1000;
+    std::string frame;
+    if (kind == 0) {
+      rt::AppendCreditFrame(bad_dst, 1, &frame);
+    } else if (kind == 1) {
+      rt::AppendControlFrame(bad_dst, rt::ControlKind::kCrash, &frame);
+    } else {
+      rt::AppendPacketFrame(/*src=*/0, bad_dst, /*deliver_at_us=*/0,
+                            /*frames=*/1, /*inner=*/"", &frame);
+    }
+    ASSERT_TRUE(net.SendFrameToPeer(0, frame));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!net.wedged() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(net.wedged()) << "frame kind index " << kind;
+    EXPECT_GE(registry.GetCounter("rt_wire_stream_errors_total")->Value(),
+              1u);
+    net.Shutdown();
+  }
 }
 
 }  // namespace
