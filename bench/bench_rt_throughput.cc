@@ -26,6 +26,15 @@
 // point must report the identical match count — the cross-process
 // determinism contract — or the bench exits non-zero.
 //
+// `--adapt` switches to the muse-adapt migration suite: the aMuSE plan
+// runs once fixed (the baseline), then with a scripted driver that live-
+// migrates the running graph to the centralized plan at 40% of the trace
+// and back to aMuSE at 75%. BENCH_rt_adapt.json records the throughput
+// cost of migrating twice mid-run, the quiesce-to-resume pause p50/p99
+// over all reps, and the transferred replay state. Both runs must report
+// the identical match count — migration must not create, lose, or
+// duplicate matches — or the bench exits non-zero.
+//
 // Comparing the two plans is the paper's load-distribution claim (§7)
 // restated in wall-clock terms: the centralized plan funnels every event
 // through one evaluator node, so multiplexing its deployment over more
@@ -282,6 +291,203 @@ int RunThroughput(const std::string& out_path, int reps,
   return matches_consistent ? 0 : 1;
 }
 
+/// Scripted adapt driver for the --adapt suite: requests a migration to a
+/// fixed target deployment once the trace clock passes each scheduled
+/// time. Unlike adapt::AdaptController there is no wall-clock replan
+/// thread, so the flip fires deterministically even in unpaced runs.
+class FlipDriver : public rt::AdaptDriver {
+ public:
+  explicit FlipDriver(
+      std::vector<std::pair<uint64_t, const Deployment*>> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  const Deployment* OnDriftReport(const obs::RateDriftDetector::Report&,
+                                  uint64_t trace_now_ms) override {
+    if (next_ < schedule_.size() && trace_now_ms >= schedule_[next_].first) {
+      return schedule_[next_].second;
+    }
+    return nullptr;
+  }
+
+  void OnMigrated(uint64_t pause_us, bool ok) override {
+    ++next_;
+    if (ok) {
+      pauses_.push_back(pause_us);
+    } else {
+      ++rejected_;
+    }
+  }
+
+  uint64_t Replans() const override { return next_; }
+  const std::vector<uint64_t>& pauses() const { return pauses_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::vector<std::pair<uint64_t, const Deployment*>> schedule_;
+  size_t next_ = 0;
+  std::vector<uint64_t> pauses_;
+  uint64_t rejected_ = 0;
+};
+
+/// Nearest-rank quantile of the pooled pause samples.
+double PauseQuantile(std::vector<uint64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx =
+      static_cast<size_t>(q * static_cast<double>(samples.size() - 1) + 0.5);
+  return static_cast<double>(samples[std::min(idx, samples.size() - 1)]);
+}
+
+int RunAdaptBench(const std::string& out_path, int reps,
+                  uint64_t duration_ms) {
+  Instance inst(duration_ms);
+  WorkloadCatalogs catalogs(inst.workload, inst.net);
+  const MuseGraph amuse_graph =
+      PlanWorkloadAmuse(catalogs, BenchPlannerOptions(false)).combined;
+  const MuseGraph central_graph =
+      BuildCentralizedPlan(catalogs.Pointers(), 0);
+  Deployment amuse_dep(amuse_graph, catalogs.Pointers());
+  Deployment central_dep(central_graph, catalogs.Pointers());
+
+  const int threads = std::max(1, ThreadPool::HardwareExecutors());
+  const uint64_t flip_out_ms = duration_ms * 2 / 5;
+  const uint64_t flip_back_ms = duration_ms * 3 / 4;
+
+  PrintTitle("muse-adapt live-migration cost (trace: " +
+             std::to_string(inst.trace.size()) + " events, " +
+             std::to_string(duration_ms) + " virtual ms, " +
+             std::to_string(threads) + " threads, reps=" +
+             std::to_string(reps) + ")");
+  PrintHeader({"mode", "events/s", "wall_s", "matches", "migrations",
+               "pause_p50_us", "pause_p99_us"});
+
+  Point baseline;
+  baseline.plan = "fixed-amuse";
+  Point adapt;
+  adapt.plan = "amuse->central->amuse";
+  std::vector<uint64_t> pauses;
+  uint64_t state_events = 0;
+  uint64_t state_bytes = 0;
+  uint64_t aborts = 0;
+  bool matches_consistent = true;
+
+  for (int r = 0; r < reps; ++r) {
+    rt::RtOptions opts;
+    opts.num_threads = threads;
+    opts.collect_matches = false;
+    opts.source_seed = kSeed + static_cast<uint64_t>(r);
+    rt::RtRuntime runtime(amuse_dep, opts);
+    rt::RtReport report = runtime.Run(inst.trace);
+    if (r == 0 || report.events_per_sec > baseline.events_per_sec) {
+      baseline.events_per_sec = report.events_per_sec;
+      baseline.wall_seconds = report.wall_seconds;
+      baseline.matches = MatchCount(report);
+    }
+  }
+
+  for (int r = 0; r < reps; ++r) {
+    FlipDriver driver({{flip_out_ms, &central_dep},
+                       {flip_back_ms, &amuse_dep}});
+    rt::RtOptions opts;
+    opts.num_threads = threads;
+    opts.collect_matches = false;
+    opts.source_seed = kSeed + static_cast<uint64_t>(r);
+    opts.adapt = &driver;
+    opts.min_nodes = inst.net.num_nodes();
+    rt::RtRuntime runtime(amuse_dep, opts);
+    rt::RtReport report = runtime.Run(inst.trace);
+    if (report.wedged) {
+      std::fprintf(stderr, "error: adapt run wedged (rep %d)\n", r);
+      return 1;
+    }
+    if (report.migrations != 2 || driver.rejected() != 0) {
+      std::fprintf(stderr,
+                   "error: adapt rep %d executed %llu migrations "
+                   "(%llu rejected), expected 2 clean flips\n",
+                   r, static_cast<unsigned long long>(report.migrations),
+                   static_cast<unsigned long long>(driver.rejected()));
+      return 1;
+    }
+    pauses.insert(pauses.end(), driver.pauses().begin(),
+                  driver.pauses().end());
+    aborts += report.migration_aborts;
+    const uint64_t m = MatchCount(report);
+    matches_consistent &= m == baseline.matches;
+    if (r == 0 || report.events_per_sec > adapt.events_per_sec) {
+      adapt.events_per_sec = report.events_per_sec;
+      adapt.wall_seconds = report.wall_seconds;
+      adapt.matches = m;
+      state_events = report.migration_state_events;
+      state_bytes = report.migration_state_bytes;
+    }
+  }
+
+  const double pause_p50 = PauseQuantile(pauses, 0.50);
+  const double pause_p99 = PauseQuantile(pauses, 0.99);
+  const double overhead_pct =
+      baseline.events_per_sec > 0
+          ? (baseline.events_per_sec - adapt.events_per_sec) /
+                baseline.events_per_sec * 100.0
+          : 0;
+
+  PrintRow({baseline.plan, Fmt(baseline.events_per_sec),
+            Fmt(baseline.wall_seconds), std::to_string(baseline.matches),
+            "0", "-", "-"});
+  PrintRow({adapt.plan, Fmt(adapt.events_per_sec), Fmt(adapt.wall_seconds),
+            std::to_string(adapt.matches), "2", Fmt(pause_p50),
+            Fmt(pause_p99)});
+  std::printf("adapt overhead (2 migrations): %.2f%%, state moved: "
+              "%llu events / %llu bytes\n",
+              overhead_pct, static_cast<unsigned long long>(state_events),
+              static_cast<unsigned long long>(state_bytes));
+  if (!matches_consistent) {
+    std::fprintf(stderr,
+                 "error: match counts diverged between the fixed and the "
+                 "migrating run — migration broke the determinism "
+                 "contract\n");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"rt_adapt\",\n";
+  json << "  \"config\": {\"num_nodes\": 8, \"num_types\": 6, "
+       << "\"num_queries\": 3, \"avg_primitives\": 4, \"seed\": " << kSeed
+       << ", \"duration_ms\": " << duration_ms << ", \"trace_events\": "
+       << inst.trace.size() << ", \"flip_out_ms\": " << flip_out_ms
+       << ", \"flip_back_ms\": " << flip_back_ms << "},\n";
+  json << "  \"threads\": " << threads << ",\n";
+  json << "  \"reps\": " << reps << ",\n";
+  json << "  \"matches_consistent\": "
+       << (matches_consistent ? "true" : "false") << ",\n";
+  json << "  \"baseline\": {\"plan\": \"" << baseline.plan
+       << "\", \"events_per_sec\": " << baseline.events_per_sec
+       << ", \"wall_seconds\": " << baseline.wall_seconds
+       << ", \"matches\": " << baseline.matches << "},\n";
+  json << "  \"adapt\": {\"plan\": \"" << adapt.plan
+       << "\", \"events_per_sec\": " << adapt.events_per_sec
+       << ", \"wall_seconds\": " << adapt.wall_seconds
+       << ", \"matches\": " << adapt.matches
+       << ", \"migrations_per_run\": 2, \"migration_aborts\": " << aborts
+       << ", \"migration_state_events\": " << state_events
+       << ", \"migration_state_bytes\": " << state_bytes << "},\n";
+  json << "  \"migration_pause_us\": {\"samples\": " << pauses.size()
+       << ", \"p50\": " << pause_p50 << ", \"p99\": " << pause_p99
+       << ", \"max\": " << PauseQuantile(pauses, 1.0) << "},\n";
+  json << "  \"adapt_overhead_pct\": " << overhead_pct << "\n}\n";
+
+  if (out_path == "-") {
+    std::printf("%s", json.str().c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return matches_consistent ? 0 : 1;
+}
+
 /// The same fixed workload as RunThroughput, but round-tripped through
 /// the deployment-spec text and plan JSON a cluster actually ships, so
 /// the Deployment measured here is compiled from the bytes every
@@ -466,6 +672,7 @@ int RunNetThroughput(const std::string& out_path, int reps,
 int main(int argc, char** argv) {
   muse::bench::InitBench(argc, argv);
   bool scaling = false;
+  bool adapt = false;
   int reps = 3;
   uint64_t duration_ms = 8000;
   uint64_t trace_sample_every = 0;
@@ -474,6 +681,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling") == 0) {
       scaling = true;
+    } else if (std::strcmp(argv[i], "--adapt") == 0) {
+      adapt = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
@@ -501,6 +710,10 @@ int main(int argc, char** argv) {
     if (out_path.empty()) out_path = "BENCH_rt_net.json";
     return muse::bench::RunNetThroughput(out_path, reps, duration_ms,
                                          process_counts);
+  }
+  if (adapt) {
+    if (out_path.empty()) out_path = "BENCH_rt_adapt.json";
+    return muse::bench::RunAdaptBench(out_path, reps, duration_ms);
   }
   if (out_path.empty()) out_path = "BENCH_rt.json";
   if (!scaling) reps = 1;

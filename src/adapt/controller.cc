@@ -1,0 +1,171 @@
+#include "src/adapt/controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/adapt/plan_diff.h"
+
+namespace muse::adapt {
+namespace {
+
+/// Observed/expected rate ratio of one type stream, clamped to [1/16, 16]
+/// so a noisy short window can't push the planner into a degenerate
+/// corner. 1.0 (no correction) when the stream is missing or starved.
+double RateScale(const obs::RateDriftDetector::Report& report, int type) {
+  const std::string label = "type:" + std::to_string(type);
+  for (const auto& s : report.streams) {
+    if (s.label != label) continue;
+    if (s.expected_eps <= 0 || s.observed_eps <= 0) return 1.0;
+    return std::clamp(s.observed_eps / s.expected_eps, 1.0 / 16.0, 16.0);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+AdaptController::AdaptController(const std::vector<Query>& workload,
+                                 const Network& network,
+                                 const Deployment* initial,
+                                 AdaptPolicy policy, PlannerOptions planner)
+    : workload_(workload),
+      base_net_(network),
+      policy_(policy),
+      planner_(planner),
+      current_(initial),
+      current_net_(&network) {}
+
+AdaptController::~AdaptController() { JoinReplanThread(); }
+
+const char* AdaptController::StateName(State s) {
+  switch (s) {
+    case State::kStable:
+      return "stable";
+    case State::kDrifted:
+      return "drifted";
+    case State::kReplanning:
+      return "replanning";
+    case State::kCooldown:
+      return "cooldown";
+  }
+  return "?";
+}
+
+void AdaptController::Enter(State s, uint64_t now_ms, std::string note) {
+  state_ = s;
+  transitions_.push_back(Transition{s, now_ms, std::move(note)});
+}
+
+void AdaptController::JoinReplanThread() {
+  if (replan_thread_.joinable()) replan_thread_.join();
+}
+
+void AdaptController::StartReplan(
+    const obs::RateDriftDetector::Report& report, uint64_t now_ms) {
+  JoinReplanThread();  // a previous generation's thread, already consumed
+  Enter(State::kReplanning, now_ms,
+        "drift confirmed (" + std::to_string(consecutive_drifted_) +
+            " reports, score " + std::to_string(report.drift_score) + ")");
+  consecutive_drifted_ = 0;
+  replan_thread_ = std::thread([this, report] { ReplanMain(report); });
+}
+
+void AdaptController::ReplanMain(obs::RateDriftDetector::Report report) {
+  auto gen = std::make_unique<Generation>();
+  // Rate-corrected clone of the current generation's network: producer
+  // assignment and capacities are topology (unchanged); per-type rates
+  // are scaled by what the detector actually observed.
+  const Network& cur = *current_net_;
+  gen->net = std::make_unique<Network>(cur.num_nodes(), cur.num_types());
+  for (NodeId n = 0; n < static_cast<NodeId>(cur.num_nodes()); ++n) {
+    for (int t = 0; t < cur.num_types(); ++t) {
+      if (cur.Produces(n, static_cast<EventTypeId>(t))) {
+        gen->net->AddProducer(n, static_cast<EventTypeId>(t));
+      }
+    }
+    gen->net->SetCapacity(n, cur.Capacity(n));
+  }
+  for (int t = 0; t < cur.num_types(); ++t) {
+    const auto type = static_cast<EventTypeId>(t);
+    gen->net->SetRate(type, cur.Rate(type) * RateScale(report, t));
+  }
+  gen->catalogs = std::make_unique<WorkloadCatalogs>(workload_, *gen->net);
+  const WorkloadPlan plan = PlanWorkloadAmuse(*gen->catalogs, planner_);
+  gen->dep =
+      std::make_unique<Deployment>(plan.combined, gen->catalogs->Pointers());
+  pending_ = std::move(gen);
+  replans_.fetch_add(1, std::memory_order_release);
+  replan_ready_.store(true, std::memory_order_release);
+}
+
+const Deployment* AdaptController::OnDriftReport(
+    const obs::RateDriftDetector::Report& report, uint64_t trace_now_ms) {
+  last_now_ms_ = trace_now_ms;
+
+  if (state_ == State::kReplanning) {
+    if (!replan_ready_.load(std::memory_order_acquire)) return nullptr;
+    JoinReplanThread();
+    replan_ready_.store(false, std::memory_order_relaxed);
+    generations_.push_back(std::move(pending_));
+    Generation& gen = *generations_.back();
+    const PlanDiff diff = DiffDeployments(*current_, *gen.dep);
+    if (diff.no_op() || !diff.primitive_compatible || !diff.same_queries ||
+        migrations_ >= policy_.max_migrations) {
+      ++rejected_;
+      Enter(State::kCooldown, trace_now_ms,
+            "replanned but not migrating: " + diff.Summary());
+      cooldown_until_ms_ = trace_now_ms + policy_.cooldown_ms;
+      return nullptr;
+    }
+    candidate_ = gen.dep.get();
+    // The runtime migrates now and calls OnMigrated before the next
+    // report; the Cooldown transition lands there.
+    return candidate_;
+  }
+
+  if (state_ == State::kCooldown) {
+    if (trace_now_ms < cooldown_until_ms_) return nullptr;
+    consecutive_drifted_ = 0;
+    Enter(State::kStable, trace_now_ms, "cooldown over");
+  }
+
+  // Stable or Drifted: accumulate / decay confirmation evidence.
+  const bool hit =
+      report.drifted && report.drift_score >= policy_.min_drift_score;
+  if (!hit) {
+    if (state_ == State::kDrifted) {
+      Enter(State::kStable, trace_now_ms, "drift not sustained");
+    }
+    consecutive_drifted_ = 0;
+    return nullptr;
+  }
+  ++consecutive_drifted_;
+  if (consecutive_drifted_ < policy_.confirm_reports) {
+    if (state_ != State::kDrifted) {
+      Enter(State::kDrifted, trace_now_ms,
+            "drift report (score " + std::to_string(report.drift_score) +
+                ")");
+    }
+    return nullptr;
+  }
+  if (migrations_ >= policy_.max_migrations) return nullptr;
+  StartReplan(report, trace_now_ms);
+  return nullptr;
+}
+
+void AdaptController::OnMigrated(uint64_t pause_us, bool ok) {
+  if (ok && candidate_ != nullptr) {
+    ++migrations_;
+    pause_us_.push_back(pause_us);
+    current_ = candidate_;
+    current_net_ = generations_.back()->net.get();
+    Enter(State::kCooldown, last_now_ms_,
+          "migrated (pause " + std::to_string(pause_us) + "us)");
+  } else {
+    ++rejected_;
+    Enter(State::kCooldown, last_now_ms_, "migration rejected by runtime");
+  }
+  candidate_ = nullptr;
+  cooldown_until_ms_ = last_now_ms_ + policy_.cooldown_ms;
+}
+
+}  // namespace muse::adapt

@@ -1,0 +1,107 @@
+#include "src/adapt/plan_diff.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace muse::adapt {
+namespace {
+
+/// Logical task identity, placement excluded. Two tasks with equal keys
+/// evaluate the same projection slice of the same query; only their node
+/// may differ between plans.
+struct TaskKey {
+  int rep_query;
+  uint64_t proj_bits;
+  int part_type;
+  bool is_primitive;
+  EventTypeId prim_type;
+
+  bool operator<(const TaskKey& o) const {
+    return std::tie(rep_query, proj_bits, part_type, is_primitive,
+                    prim_type) < std::tie(o.rep_query, o.proj_bits,
+                                          o.part_type, o.is_primitive,
+                                          o.prim_type);
+  }
+};
+
+TaskKey KeyOf(const Task& t) {
+  return TaskKey{t.rep_query, t.proj.bits(), t.part_type, t.is_primitive,
+                 t.is_primitive ? t.prim_type : EventTypeId{0}};
+}
+
+/// node -> count of tasks with one signature (partitioned placements can
+/// host the same signature on several nodes, so this is a multiset).
+using NodeCounts = std::map<NodeId, size_t>;
+
+std::set<std::pair<NodeId, EventTypeId>> PrimitivePairs(
+    const Deployment& dep) {
+  std::set<std::pair<NodeId, EventTypeId>> pairs;
+  for (const Task& t : dep.tasks()) {
+    if (t.is_primitive) pairs.emplace(t.node, t.prim_type);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+PlanDiff DiffDeployments(const Deployment& from, const Deployment& to) {
+  PlanDiff diff;
+  diff.old_tasks = from.tasks().size();
+  diff.new_tasks = to.tasks().size();
+  diff.same_queries = from.num_queries() == to.num_queries();
+  diff.primitive_compatible = PrimitivePairs(from) == PrimitivePairs(to);
+
+  std::map<TaskKey, NodeCounts> old_by_key;
+  std::map<TaskKey, NodeCounts> new_by_key;
+  for (const Task& t : from.tasks()) ++old_by_key[KeyOf(t)][t.node];
+  for (const Task& t : to.tasks()) ++new_by_key[KeyOf(t)][t.node];
+
+  for (const auto& [key, old_nodes] : old_by_key) {
+    auto it = new_by_key.find(key);
+    if (it == new_by_key.end()) {
+      for (const auto& [node, n] : old_nodes) diff.removed += n;
+      continue;
+    }
+    const NodeCounts& new_nodes = it->second;
+    size_t old_total = 0;
+    size_t new_total = 0;
+    size_t same_node = 0;
+    for (const auto& [node, n] : old_nodes) {
+      old_total += n;
+      auto at = new_nodes.find(node);
+      if (at != new_nodes.end()) same_node += std::min(n, at->second);
+    }
+    for (const auto& [node, n] : new_nodes) new_total += n;
+    const size_t matched = std::min(old_total, new_total);
+    // Signature-level pairing: pairs that stayed put are unchanged, the
+    // remaining pairable instances moved, and any count surplus on either
+    // side is a removal/addition.
+    same_node = std::min(same_node, matched);
+    diff.unchanged += same_node;
+    diff.moved += matched - same_node;
+    diff.removed += old_total - matched;
+    diff.added += new_total - matched;
+  }
+  for (const auto& [key, new_nodes] : new_by_key) {
+    if (old_by_key.count(key)) continue;
+    for (const auto& [node, n] : new_nodes) diff.added += n;
+  }
+  return diff;
+}
+
+std::string PlanDiff::Summary() const {
+  std::ostringstream os;
+  os << "tasks " << old_tasks << " -> " << new_tasks << ": " << unchanged
+     << " unchanged, " << moved << " moved, " << added << " added, "
+     << removed << " removed";
+  if (!primitive_compatible) os << " [PRIMITIVE-INCOMPATIBLE]";
+  if (!same_queries) os << " [QUERY-MISMATCH]";
+  if (no_op()) os << " (no-op)";
+  return os.str();
+}
+
+}  // namespace muse::adapt

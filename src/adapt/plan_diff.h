@@ -1,0 +1,48 @@
+#ifndef MUSE_ADAPT_PLAN_DIFF_H_
+#define MUSE_ADAPT_PLAN_DIFF_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/dist/deployment.h"
+
+namespace muse::adapt {
+
+/// Structural delta between two compiled deployments of the same workload
+/// — the migration plan summary muse-adapt acts on. Tasks are matched by
+/// logical signature (representative query, projection type set, cover
+/// partition, primitive type), so a task that merely received a new id
+/// counts as unchanged or moved, never as removed+added.
+struct PlanDiff {
+  size_t old_tasks = 0;
+  size_t new_tasks = 0;
+  size_t unchanged = 0;  ///< same signature hosted on the same node
+  size_t moved = 0;      ///< same signature, different node
+  size_t added = 0;      ///< signature present only in the new plan
+  size_t removed = 0;    ///< signature present only in the old plan
+
+  /// Both plans subscribe the same (node, event type) pairs to primitive
+  /// tasks. This is an invariant of planning from one network (primitive
+  /// placement follows producers, not load), and live migration depends
+  /// on it: events the old plan's driver skipped as unroutable must be
+  /// equally unroutable under the new plan, or replay would be lossy.
+  bool primitive_compatible = true;
+
+  /// Same query count on both sides (plans from the same workload).
+  bool same_queries = true;
+
+  /// True when installing `to` would change nothing — adapt skips the
+  /// migration entirely.
+  bool no_op() const {
+    return moved == 0 && added == 0 && removed == 0 && same_queries &&
+           primitive_compatible;
+  }
+
+  std::string Summary() const;
+};
+
+PlanDiff DiffDeployments(const Deployment& from, const Deployment& to);
+
+}  // namespace muse::adapt
+
+#endif  // MUSE_ADAPT_PLAN_DIFF_H_

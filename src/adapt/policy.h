@@ -1,0 +1,37 @@
+#ifndef MUSE_ADAPT_POLICY_H_
+#define MUSE_ADAPT_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace muse::adapt {
+
+/// When the closed loop is allowed to act. The detector's dual gate
+/// (Poisson-z AND ratio band) already suppresses stationary noise; the
+/// policy adds the control-theoretic guards — confirmation against
+/// transients, cooldown against oscillation, and a hard migration budget.
+struct AdaptPolicy {
+  /// Consecutive drifted probe reports required before a replan starts.
+  /// One windowed verdict can be a burst; two in a row (with the window
+  ///-sized probe interval) is a trend.
+  int confirm_reports = 2;
+
+  /// Minimum drift score (max |log2(observed/expected)| over drifted
+  /// windows) a confirming report must carry. 0 accepts any flagged
+  /// report.
+  double min_drift_score = 0;
+
+  /// Trace-time quarantine after a migration (or a rejected plan) before
+  /// drift evidence counts again. The fresh detector needs at least one
+  /// full window under the new plan anyway; the cooldown keeps
+  /// borderline workloads from thrashing between two near-equal plans.
+  uint64_t cooldown_ms = 1000;
+
+  /// Hard cap on migrations per run; further drift is still reported in
+  /// telemetry but no longer acted on.
+  size_t max_migrations = 4;
+};
+
+}  // namespace muse::adapt
+
+#endif  // MUSE_ADAPT_POLICY_H_

@@ -1,0 +1,134 @@
+#include "src/adapt/state_transfer.h"
+
+#include <algorithm>
+
+#include "src/rt/wire.h"
+
+namespace muse::adapt {
+
+size_t MigrationState::TotalEvents() const {
+  size_t total = 0;
+  for (const NodeState& n : nodes) total += n.events.size();
+  return total;
+}
+
+uint64_t StateHorizonMs(const Deployment& dep, uint64_t eviction_slack_ms) {
+  uint64_t max_window = 0;
+  for (const Task& t : dep.tasks()) {
+    const uint64_t w = t.target.window();
+    if (w == kNoWindow) return kNoWindow;
+    max_window = std::max(max_window, w);
+  }
+  if (eviction_slack_ms > kNoWindow - max_window) return kNoWindow;
+  return max_window + eviction_slack_ms;
+}
+
+MigrationState CollectMigrationState(const std::vector<NodeRuntime>& nodes,
+                                     uint64_t migration_id,
+                                     uint64_t barrier_ms,
+                                     uint64_t horizon_ms) {
+  MigrationState state;
+  state.migration_id = migration_id;
+  state.barrier_ms = barrier_ms;
+  state.horizon_ms = horizon_ms;
+  const uint64_t cutoff =
+      horizon_ms >= barrier_ms ? 0 : barrier_ms - horizon_ms;
+  for (const NodeRuntime& nr : nodes) {
+    MigrationState::NodeState ns;
+    ns.node = nr.node();
+    for (const Event& e : nr.LoggedSourceEvents()) {
+      if (e.time >= cutoff) ns.events.push_back(e);
+    }
+    if (!ns.events.empty()) state.nodes.push_back(std::move(ns));
+  }
+  return state;
+}
+
+void EncodeMigrationState(const MigrationState& state,
+                          size_t max_events_per_chunk,
+                          std::vector<std::string>* frames) {
+  size_t cap = rt::MaxStateChunkEvents();
+  if (max_events_per_chunk != 0) cap = std::min(cap, max_events_per_chunk);
+  size_t chunks = 0;
+  for (const MigrationState::NodeState& ns : state.nodes) {
+    chunks += (ns.events.size() + cap - 1) / cap;
+  }
+  std::string header;
+  rt::AppendMigrateFrame(state.migration_id, state.barrier_ms,
+                         state.horizon_ms, static_cast<uint32_t>(chunks),
+                         &header);
+  frames->push_back(std::move(header));
+  for (const MigrationState::NodeState& ns : state.nodes) {
+    for (size_t at = 0; at < ns.events.size(); at += cap) {
+      const size_t n = std::min(cap, ns.events.size() - at);
+      std::vector<Event> slice(ns.events.begin() + static_cast<long>(at),
+                               ns.events.begin() + static_cast<long>(at + n));
+      std::string frame;
+      rt::AppendStateChunkFrame(state.migration_id, ns.node, slice, &frame);
+      frames->push_back(std::move(frame));
+    }
+  }
+}
+
+Result<MigrationState> DecodeMigrationState(
+    const std::vector<std::string>& frames) {
+  if (frames.empty()) return Err("migration: empty frame sequence");
+  MigrationState state;
+  uint32_t expect_chunks = 0;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    size_t consumed = 0;
+    Result<rt::NetFrame> decoded = rt::DecodeNetFrame(
+        reinterpret_cast<const uint8_t*>(frames[i].data()),
+        frames[i].size(), &consumed);
+    if (!decoded.ok()) return decoded.error();
+    if (consumed != frames[i].size()) {
+      return Err("migration: trailing bytes after frame ",
+                 std::to_string(i));
+    }
+    rt::NetFrame nf = std::move(decoded).value();
+    if (i == 0) {
+      if (nf.kind != rt::FrameKind::kMigrate) {
+        return Err("migration: sequence must start with kMigrate");
+      }
+      state.migration_id = nf.migration_id;
+      state.barrier_ms = nf.barrier_ms;
+      state.horizon_ms = nf.horizon_ms;
+      expect_chunks = nf.state_chunks;
+      continue;
+    }
+    if (nf.kind != rt::FrameKind::kStateChunk) {
+      return Err("migration: expected kStateChunk at frame ",
+                 std::to_string(i));
+    }
+    if (nf.migration_id != state.migration_id) {
+      return Err("migration: state chunk for migration ",
+                 std::to_string(nf.migration_id), " inside migration ",
+                 std::to_string(state.migration_id));
+    }
+    if (!state.nodes.empty() && state.nodes.back().node == nf.state_node) {
+      // Continuation chunk of the same node.
+      auto& events = state.nodes.back().events;
+      events.insert(events.end(), nf.state_events.begin(),
+                    nf.state_events.end());
+    } else {
+      MigrationState::NodeState ns;
+      ns.node = nf.state_node;
+      ns.events = std::move(nf.state_events);
+      state.nodes.push_back(std::move(ns));
+    }
+  }
+  if (frames.size() - 1 != expect_chunks) {
+    return Err("migration: header declares ", std::to_string(expect_chunks),
+               " chunks but ", std::to_string(frames.size() - 1),
+               " arrived");
+  }
+  return state;
+}
+
+size_t EncodedStateBytes(const std::vector<std::string>& frames) {
+  size_t total = 0;
+  for (const std::string& f : frames) total += f.size();
+  return total;
+}
+
+}  // namespace muse::adapt

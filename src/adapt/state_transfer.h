@@ -1,0 +1,69 @@
+#ifndef MUSE_ADAPT_STATE_TRANSFER_H_
+#define MUSE_ADAPT_STATE_TRANSFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dist/deployment.h"
+#include "src/dist/node_runtime.h"
+
+namespace muse::adapt {
+
+/// State handed across a live plan migration. MuSE partial matches are a
+/// pure function of the admitted source events (the Ambrosia-style replay
+/// model the runtime already recovers crashes with), so the snapshot is
+/// the replay-relevant suffix of each node's source-event log — not the
+/// partial matches themselves. Replaying it into the freshly planned
+/// executor rebuilds every partial match that could still complete, and
+/// the sink-side match dedup (horizon window + 4·slack, strictly wider
+/// than the replay horizon window + slack) absorbs re-derived matches.
+struct MigrationState {
+  uint64_t migration_id = 0;
+  uint64_t barrier_ms = 0;  ///< trace time the runtime quiesced at
+  uint64_t horizon_ms = 0;  ///< replay horizon H = max window + slack
+
+  struct NodeState {
+    uint32_t node = 0;
+    std::vector<Event> events;  ///< log order (ascending arrival)
+  };
+  std::vector<NodeState> nodes;  ///< ascending node id; empty nodes omitted
+
+  size_t TotalEvents() const;
+};
+
+/// Replay horizon of a deployment: max task window plus the effective
+/// eviction slack, saturating — an event older than barrier - horizon can
+/// no longer contribute to any new partial match and is not transferred.
+/// kNoWindow tasks or unbounded slack push the horizon to "everything".
+uint64_t StateHorizonMs(const Deployment& dep, uint64_t eviction_slack_ms);
+
+/// Collects the replay suffix (events with time + horizon >= barrier)
+/// from every node's input log. Call only while the executor is stopped —
+/// the logs are owned by worker threads while it runs.
+MigrationState CollectMigrationState(const std::vector<NodeRuntime>& nodes,
+                                     uint64_t migration_id,
+                                     uint64_t barrier_ms,
+                                     uint64_t horizon_ms);
+
+/// Encodes the snapshot into wire v4 frames: one kMigrate header followed
+/// by per-node kStateChunk frames, each holding at most
+/// `max_events_per_chunk` events (clamped to the wire's frame cap; pass 0
+/// for the wire maximum).
+void EncodeMigrationState(const MigrationState& state,
+                          size_t max_events_per_chunk,
+                          std::vector<std::string>* frames);
+
+/// Decodes what EncodeMigrationState produced. Total like the rest of the
+/// wire layer: truncated, reordered, mismatched-id or miscounted frame
+/// sequences are errors, never crashes.
+Result<MigrationState> DecodeMigrationState(
+    const std::vector<std::string>& frames);
+
+/// Total encoded bytes of a frame sequence (telemetry).
+size_t EncodedStateBytes(const std::vector<std::string>& frames);
+
+}  // namespace muse::adapt
+
+#endif  // MUSE_ADAPT_STATE_TRANSFER_H_

@@ -42,6 +42,7 @@ const char* RuleCode(Rule rule) {
     case Rule::kStateBudgetExceeded: return "M902";
     case Rule::kWatermarkStall: return "M903";
     case Rule::kCapacityInfeasible: return "M904";
+    case Rule::kMigrationStateUnbounded: return "M905";
   }
   return "M???";
 }
@@ -84,6 +85,7 @@ const char* RuleName(Rule rule) {
     case Rule::kStateBudgetExceeded: return "state-budget-exceeded";
     case Rule::kWatermarkStall: return "watermark-stall";
     case Rule::kCapacityInfeasible: return "capacity-infeasible";
+    case Rule::kMigrationStateUnbounded: return "migration-state-unbounded";
   }
   return "unknown";
 }

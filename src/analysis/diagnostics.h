@@ -63,6 +63,7 @@ enum class Rule {
   kStateBudgetExceeded, ///< M902: proven state bound exceeds the budget
   kWatermarkStall,      ///< M903: quiet input can stall eviction progress
   kCapacityInfeasible,  ///< M904: node load under r-hat exceeds capacity
+  kMigrationStateUnbounded, ///< M905: live-migration transfer state unbounded
 };
 
 /// Stable short code, e.g. "M200".

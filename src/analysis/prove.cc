@@ -495,6 +495,52 @@ ProveReport ProveDeployment(
     }
   }
 
+  // ---- M905: migration-state bound --------------------------------------
+  // A live migration (muse-adapt) rebuilds the next plan by replaying each
+  // node's source-log suffix inside the replay horizon H = max deployed
+  // window + slack of the barrier. The transferable state per node is its
+  // modeled injection volume over H: the sum of ceil(rate * H / 1000)
+  // over the primitive tasks it hosts (primitives are exactly what the
+  // durable log records). Unbounded when a deployed projection is
+  // windowless or the slack is 0 — the replay cutoff then never clears
+  // the start of the log, so a migration would ship the whole history.
+  uint64_t max_window = 0;
+  bool windows_bounded = true;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    if (t.is_primitive || !info[i].valid) continue;
+    if (t.target.window() == kNoWindow) {
+      windows_bounded = false;
+      break;
+    }
+    max_window = std::max(max_window, t.target.window());
+  }
+  const bool migration_bounded = windows_bounded && slack != 0;
+  const uint64_t mig_horizon = SatAdd(max_window, slack);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    NodeCertificate& cert = report.nodes[n];
+    cert.migration_state_bounded = migration_bounded;
+    if (!migration_bounded) continue;
+    double events = 0;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const Task& t = tasks[i];
+      if (t.node != n || !t.is_primitive || !info[i].valid) continue;
+      events += std::ceil(info[i].out_rate *
+                          static_cast<double>(mig_horizon) / 1000.0);
+    }
+    cert.migration_state_bound = events;
+  }
+  if (!migration_bounded) {
+    report.findings.Add(
+        Rule::kMigrationStateUnbounded, Severity::kWarning, "deployment",
+        std::string("no finite bound on live-migration transfer state: ") +
+            (windows_bounded
+                 ? "eviction slack 0 makes the replay horizon unbounded"
+                 : "a deployed projection is windowless"),
+        "set a finite eviction slack and windows on every deployed "
+        "projection before running with an adapt driver");
+  }
+
   return report;
 }
 
@@ -504,7 +550,8 @@ std::string ProveReport::ToString() const {
 
 std::string ProveReport::CertificateTable() const {
   std::string out =
-      "node  load/s      capacity    inbox  share  min  state bound\n";
+      "node  load/s      capacity    inbox  share  min  state bound"
+      " | migration bound\n";
   for (const NodeCertificate& c : nodes) {
     char line[160];
     std::snprintf(line, sizeof(line),
@@ -518,6 +565,9 @@ std::string ProveReport::CertificateTable() const {
     } else {
       out += c.bound_formula;
     }
+    out += c.migration_state_bounded
+               ? " | mig " + Fmt(c.migration_state_bound)
+               : " | mig unbounded";
     out += "\n";
   }
   return out;
@@ -537,6 +587,12 @@ void ExportProveBounds(const ProveReport& report,
     registry->GetGauge("prove_credit_share", labels)
         ->Set(static_cast<double>(c.credit_share));
     registry->GetGauge("prove_load_eps", labels)->Set(c.load_eps);
+    registry->GetGauge("prove_migration_state_bounded", labels)
+        ->Set(c.migration_state_bounded ? 1.0 : 0.0);
+    if (c.migration_state_bounded) {
+      registry->GetGauge("prove_migration_state_bound", labels)
+          ->Set(c.migration_state_bound);
+    }
   }
 }
 

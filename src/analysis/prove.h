@@ -31,6 +31,9 @@ namespace muse {
 ///                           or starved input
 ///   M904 capacity           per-node load under the cost model's r-hat
 ///                           fits the node's declared capacity
+///   M905 migration-state    a live migration's per-node state transfer
+///                           (the source-log suffix inside the replay
+///                           horizon) has a finite symbolic bound
 ///
 /// The analysis is abstract interpretation over rates and windows: event
 /// streams are abstracted to their modeled rates (Network / catalog r-hat),
@@ -89,6 +92,14 @@ struct NodeCertificate {
   /// Human-readable derivation of `state_bound`, e.g.
   /// "buffers 840 + pending 120 + dedup 96 + inbox 64 + channels 3".
   std::string bound_formula;
+
+  /// Proven supremum of the events a live migration (muse-adapt) would
+  /// transfer from this node: the node's modeled injection volume over
+  /// the replay horizon H = max deployed window + slack, i.e. the sum of
+  /// ceil(rate * H / 1000) over hosted primitive tasks. Valid only when
+  /// `migration_state_bounded` (finite windows and a nonzero slack).
+  double migration_state_bound = 0;
+  bool migration_state_bounded = false;
 };
 
 /// The proof outcome: M90x findings through the standard diagnostics
@@ -124,6 +135,9 @@ ProveReport ProveDeployment(
 ///   prove_min_credit{node}     minimum viable credit window (frames)
 ///   prove_credit_share{node}   spendable per-sender share of the window
 ///   prove_load_eps{node}       expected processing load (inputs/s)
+///   prove_migration_state_bound{node}    proven live-migration transfer
+///                              supremum (events; bounded nodes only)
+///   prove_migration_state_bounded{node}  1 when that bound is finite
 void ExportProveBounds(const ProveReport& report,
                        obs::MetricsRegistry* registry);
 

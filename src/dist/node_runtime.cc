@@ -1,6 +1,7 @@
 #include "src/dist/node_runtime.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/common/check.h"
 
@@ -111,6 +112,21 @@ uint64_t NodeRuntime::PeakBufferedMatches() const {
     peak = std::max(peak, ev->stats().peak_buffered);
   }
   return peak;
+}
+
+std::vector<Event> NodeRuntime::LoggedSourceEvents() const {
+  std::vector<Event> out;
+  std::unordered_set<uint64_t> seen;
+  for (const LoggedInput& in : log_) {
+    if (in.src_task != -1) continue;
+    // A source event reaches every primitive task of its (node, type)
+    // pair and is logged once per delivery; seq is globally unique, so it
+    // keys the dedup.
+    MUSE_CHECK(in.payload.events.size() == 1, "source log entry not unary");
+    const Event& e = in.payload.events[0];
+    if (seen.insert(e.seq).second) out.push_back(e);
+  }
+  return out;
 }
 
 std::vector<std::pair<int, EvaluatorStats>> NodeRuntime::EvaluatorStatsByTask()

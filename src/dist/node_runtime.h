@@ -88,6 +88,13 @@ class NodeRuntime {
   /// gauges).
   const ExactlyOnceFilter& filter() const { return filter_; }
 
+  /// Source events in this node's input log (src_task == -1 entries), in
+  /// arrival order, deduplicated by Event::seq — an event is logged once
+  /// per primitive task it was delivered to, but represents one ingress.
+  /// muse-adapt's state transfer replays these into a freshly planned
+  /// deployment during live migration.
+  std::vector<Event> LoggedSourceEvents() const;
+
   /// Next sequence number for the outgoing channel of `task` towards
   /// `dst_node`. Reset on crash; deterministic replay regenerates identical
   /// numbering (see Crash()). The key gives each half a full 32 bits —

@@ -63,8 +63,22 @@ void RateDriftDetector::ObserveTaskOutput(int task, uint64_t time_ms) {
 }
 
 RateDriftDetector::Report RateDriftDetector::Finish() const {
+  return ReportUpTo(duration_ms_);
+}
+
+RateDriftDetector::Report RateDriftDetector::ReportUpTo(
+    uint64_t now_ms) const {
   Report out;
   const double window_s = static_cast<double>(options_.window_ms) / 1000.0;
+  // Judge only windows no increment can still land in: fully closed by
+  // `now_ms` and fully inside the run.
+  size_t closed = static_cast<size_t>(now_ms / options_.window_ms);
+  if (closed > complete_windows_) closed = complete_windows_;
+  // Windows overlapping [0, valid_from_ms) predate this detector's
+  // installation (see DriftOptions::valid_from_ms).
+  const size_t first =
+      static_cast<size_t>((options_.valid_from_ms + options_.window_ms - 1) /
+                          options_.window_ms);
   for (size_t s = 0; s < streams_.size(); ++s) {
     StreamReport r;
     r.label = streams_[s].label;
@@ -72,7 +86,7 @@ RateDriftDetector::Report RateDriftDetector::Finish() const {
     r.expected_eps = streams_[s].expected_eps;
     const double m = r.expected_eps * window_s;  // expected count/window
     uint64_t total = 0;
-    for (size_t w = 0; w < complete_windows_; ++w) {
+    for (size_t w = first; w < closed; ++w) {
       const double c = static_cast<double>(
           buckets_[s * num_windows_ + w].load(std::memory_order_relaxed));
       total += static_cast<uint64_t>(c);
@@ -88,9 +102,10 @@ RateDriftDetector::Report RateDriftDetector::Finish() const {
       const double score = std::fabs(std::log2((c + 0.5) / (m + 0.5)));
       r.score = std::max(r.score, score);
     }
-    if (complete_windows_ > 0) {
-      r.observed_eps = static_cast<double>(total) /
-                       (static_cast<double>(complete_windows_) * window_s);
+    if (closed > first) {
+      r.observed_eps =
+          static_cast<double>(total) /
+          (static_cast<double>(closed - first) * window_s);
     }
     r.drifted = r.score > 0;
     if (r.flag_eligible) {

@@ -57,6 +57,12 @@ struct DriftOptions {
   /// Windows where both expected and observed counts are below this are
   /// skipped — too few events to call drift.
   double min_count_per_window = 20.0;
+  /// Windows that start before this trace time are excluded from every
+  /// report. muse-adapt sets it to the migration barrier on the detector
+  /// of a freshly installed plan: trace time before the barrier was
+  /// observed by the *previous* detector, so those windows would read as
+  /// spurious all-zero drift here.
+  uint64_t valid_from_ms = 0;
 };
 
 /// Windowed observed-vs-expected rate comparator. Observe* methods are
@@ -90,6 +96,12 @@ class RateDriftDetector {
     std::string ToString() const;
   };
   Report Finish() const;
+
+  /// Like Finish(), but judges only windows that end at or before
+  /// `now_ms` — the mid-run probe muse-adapt polls between events. Safe
+  /// to call while Observe* runs concurrently (buckets are atomic); a
+  /// window is read only once no further increments can land in it.
+  Report ReportUpTo(uint64_t now_ms) const;
 
   size_t num_streams() const { return streams_.size(); }
 

@@ -52,12 +52,21 @@ int ListenLocalhost(uint16_t* port) {
   return fd;
 }
 
-int DialLocalhost(uint16_t port) {
+/// Dials `host`:`port`; an empty host means 127.0.0.1 (the kPeers
+/// default), any other value must be a numeric IPv4 address — the peer
+/// directory carries addresses, not names, so there is no resolver here.
+int DialHost(const std::string& host, uint16_t port) {
+  in_addr peer_addr{};
+  if (host.empty()) {
+    peer_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, host.c_str(), &peer_addr) != 1) {
+    return -1;
+  }
   const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr = peer_addr;
   addr.sin_port = htons(port);
   // The listener may not be up yet (daemons race the coordinator's spawn
   // loop): retry briefly instead of failing the whole handshake.
@@ -73,6 +82,8 @@ int DialLocalhost(uint16_t port) {
   close(fd);
   return -1;
 }
+
+int DialLocalhost(uint16_t port) { return DialHost("", port); }
 
 int AcceptWithTimeout(int listen_fd, int timeout_ms) {
   pollfd pfd{listen_fd, POLLIN, 0};
@@ -315,11 +326,25 @@ Result<std::unique_ptr<ClusterHandle>> LaunchCluster(
   }
   close(listen_fd);
 
-  // Phase 2: clock reference + peer directory.
+  // Every daemon checked in, and a daemon parses its spec/plan files
+  // before it ever dials — the staged copies are dead weight from here
+  // on. Remove them *now* instead of in the destructor: if this process
+  // is later SIGKILLed mid-run, no ~ClusterHandle ever runs, and the
+  // eager removal is what keeps /tmp free of muse_cluster_* residue.
+  for (const std::string& f : handle->temp_files_) unlink(f.c_str());
+  handle->temp_files_.clear();
+  if (!handle->temp_dir_.empty()) rmdir(handle->temp_dir_.c_str());
+  // temp_dir_ keeps naming the (now removed) path: the destructor's rmdir
+  // degrades to a no-op, and tests can stat the path to pin the removal.
+
+  // Phase 2: clock reference + peer directory (per-peer listen port and
+  // host; hosts default to 127.0.0.1 when the spec names none).
+  std::vector<std::string> hosts = daemon_template.peer_hosts;
+  hosts.resize(static_cast<size_t>(processes));
   handle->clock_epoch_ = std::chrono::steady_clock::now();
   for (int k = 0; k < processes; ++k) {
     std::string frame;
-    AppendPeersFrame(ElapsedUs(handle->clock_epoch_), ports, &frame);
+    AppendPeersFrame(ElapsedUs(handle->clock_epoch_), ports, hosts, &frame);
     if (!SendAllBlocking(handle->daemon_fds_[static_cast<size_t>(k)],
                          frame)) {
       return Error{"cluster: failed to send kPeers"};
@@ -395,10 +420,16 @@ int RunMuseNodeDaemon(const Deployment& dep, const DaemonConfig& config) {
   const uint64_t coord_now_us = peers.value().coord_now_us;
   const auto peers_received_at = std::chrono::steady_clock::now();
 
-  // Full daemon mesh: dial every lower index, accept every higher one.
+  // Full daemon mesh: dial every lower index (at its advertised host —
+  // empty means 127.0.0.1), accept every higher one.
   std::vector<int> mesh(static_cast<size_t>(processes), -1);
+  const std::vector<std::string>& peer_hosts = peers.value().peer_hosts;
   for (int j = 0; j < k; ++j) {
-    const int fd = DialLocalhost(
+    const std::string host = static_cast<size_t>(j) < peer_hosts.size()
+                                 ? peer_hosts[static_cast<size_t>(j)]
+                                 : std::string();
+    const int fd = DialHost(
+        host,
         static_cast<uint16_t>(peers.value().peer_ports[static_cast<size_t>(j)]));
     if (fd < 0) {
       std::fprintf(stderr, "muse_node %d: dial to peer %d failed\n", k, j);

@@ -29,6 +29,13 @@ struct DaemonConfig {
   EvaluatorOptions eval;
   uint64_t trace_sample_every = 0;
   size_t trace_max_spans = 1 << 16;
+
+  /// Coordinator only: per-daemon host strings for the kPeers directory
+  /// (spec `peer <k> <host>` lines). Missing or empty entries mean
+  /// 127.0.0.1. Daemons dial each mesh peer at its advertised host;
+  /// launch and coordinator discovery stay localhost — this is the wire
+  /// and directory slice of multi-host support, not remote spawning.
+  std::vector<std::string> peer_hosts;
 };
 
 /// Handshake protocol (all frames from wire.h, length-prefixed over
@@ -63,6 +70,13 @@ class ClusterHandle {
   /// waitpid()s every child, escalating to SIGKILL after `timeout_ms`.
   /// Returns the number of children that had to be killed.
   int ReapAll(uint64_t timeout_ms);
+
+  /// The mkdtemp scratch directory the spec/plan slices were staged in.
+  /// LaunchCluster removes it eagerly (right after every daemon checked
+  /// in, having already loaded its files) — so a later SIGKILL of the
+  /// coordinator leaks nothing under /tmp. The path stays recorded here
+  /// so tests can assert the directory is really gone.
+  const std::string& temp_dir() const { return temp_dir_; }
 
  private:
   friend Result<std::unique_ptr<ClusterHandle>> LaunchCluster(

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/adapt/plan_diff.h"
+#include "src/adapt/state_transfer.h"
 #include "src/cep/match_dedup.h"
 #include "src/cep/oracle.h"
 #include "src/common/check.h"
@@ -31,6 +33,10 @@ class RtRun {
     NodeId max_node = 0;
     for (const Task& t : dep_.tasks()) max_node = std::max(max_node, t.node);
     num_nodes_ = static_cast<size_t>(max_node) + 1;
+    // Adaptive runs size the transport for the whole network up front —
+    // executors derive their node vectors from the transport, so every
+    // later plan generation covers the same node space.
+    num_nodes_ = std::max(num_nodes_, options_.min_nodes);
     num_shards_ = options_.num_threads <= 0
                       ? static_cast<int>(num_nodes_)
                       : std::min<int>(options_.num_threads,
@@ -109,32 +115,29 @@ class RtRun {
       transport_ = std::move(lb.value());
     }
 
-    if (options_.drift.enabled && !dep_.planner_rates().empty() &&
-        !trace.empty()) {
-      // The trace horizon in virtual ms; traces are time-sorted, so the
-      // last event carries it.
-      drift_ = std::make_unique<obs::RateDriftDetector>(
-          dep_.planner_rates(), trace.back().time + 1, options_.drift);
-    }
+    // The trace horizon in virtual ms; traces are time-sorted, so the
+    // last event carries it.
+    trace_duration_ms_ = trace.empty() ? 0 : trace.back().time + 1;
+    adapt_enabled_ = options_.adapt != nullptr;
+    InstallDrift(*live_dep_, /*valid_from_ms=*/0);
+    if (sampler_.enabled()) span_log_ = std::make_shared<obs::TraceLog>();
 
-    RtExecutor::Hooks hooks;
-    hooks.record_match = [this](int query, const Match& m,
-                                uint64_t trace_id) {
+    hooks_.record_match = [this](int query, const Match& m,
+                                 uint64_t trace_id) {
       return RecordMatch(query, m, trace_id);
     };
-    hooks.ack = [this](ControlKind kind) {
+    hooks_.ack = [this](ControlKind kind) {
       (kind == ControlKind::kFlushCollect ? flush_acks_ : emit_acks_)
           .fetch_add(1, std::memory_order_release);
     };
-    if (drift_ != nullptr) {
-      hooks.observe_output = [this](int task, uint64_t max_time) {
-        drift_->ObserveTaskOutput(task, max_time);
+    if (drift_ != nullptr || adapt_enabled_) {
+      // Reads drift_ at call time: migrations swap the detector between
+      // executor generations (workers joined), never under a live worker.
+      hooks_.observe_output = [this](int task, uint64_t max_time) {
+        if (drift_ != nullptr) drift_->ObserveTaskOutput(task, max_time);
       };
     }
-    RtExecutor executor(
-        dep_, options_.eval, options_.transport, transport_.get(), &reg,
-        hooks, sampler_.enabled() ? options_.trace_max_spans_per_thread : 0);
-    executor.Start();
+    StartExecutor();
     std::thread driver([this, &trace] { DriverMain(trace); });
     driver.join();
     WaitQuiesce();
@@ -143,18 +146,49 @@ class RtRun {
     for (NodeId n = 0; n < num_nodes_; ++n) {
       transport_->PushControl(n, ControlKind::kStop);
     }
-    executor.Join();
+    executor_->Join();
     report_.wedged = transport_->wedged();
 
-    FinishTelemetryLocal(executor);
+    FinishTelemetryLocal(*executor_);
     FinishTelemetryCommon();
     report_.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
-    BuildReportLocal(executor);
+    BuildReportLocal(*executor_);
     BuildReportCommon();
     return std::move(report_);
+  }
+
+  /// (Re)creates the drift detector for `dep`'s planner snapshot. On a
+  /// migration the outgoing detector's verdict up to the barrier is folded
+  /// into the sticky run-level maxima first, and the fresh detector starts
+  /// judging only at `valid_from_ms` — trace time before the barrier
+  /// belongs to the previous plan's stream.
+  void InstallDrift(const Deployment& dep, uint64_t valid_from_ms) {
+    if (drift_ != nullptr) {
+      const obs::RateDriftDetector::Report r =
+          drift_->ReportUpTo(valid_from_ms);
+      drift_floor_score_ = std::max(drift_floor_score_, r.drift_score);
+      drift_floor_flag_ = drift_floor_flag_ || r.drifted;
+    }
+    drift_.reset();
+    if (!options_.drift.enabled || dep.planner_rates().empty() ||
+        trace_duration_ms_ == 0) {
+      return;
+    }
+    obs::DriftOptions dopts = options_.drift;
+    dopts.valid_from_ms = valid_from_ms;
+    drift_ = std::make_unique<obs::RateDriftDetector>(
+        dep.planner_rates(), trace_duration_ms_, dopts);
+  }
+
+  void StartExecutor() {
+    executor_ = std::make_unique<RtExecutor>(
+        *live_dep_, options_.eval, options_.transport, transport_.get(),
+        &telemetry_->registry, hooks_,
+        sampler_.enabled() ? options_.trace_max_spans_per_thread : 0);
+    executor_->Start();
   }
 
   // --- multi-process mode ----------------------------------------------
@@ -171,6 +205,7 @@ class RtRun {
     tmpl.eval = options_.eval;
     tmpl.trace_sample_every = options_.trace_sample_every;
     tmpl.trace_max_spans = options_.trace_max_spans_per_thread;
+    tmpl.peer_hosts = options_.cluster_peer_hosts;
     Result<std::unique_ptr<ClusterHandle>> launched =
         LaunchCluster(options_.muse_node_bin, options_.cluster_spec_text,
                       options_.cluster_plan_json, tmpl);
@@ -343,6 +378,143 @@ class RtRun {
     WaitQuiesce();
   }
 
+  // --- live plan migration (muse-adapt) --------------------------------
+
+  /// Driver-thread poll between source events: hand the adapt driver the
+  /// drift verdict as of `now_ms` and migrate if it returns a new plan.
+  void MaybeAdapt(uint64_t now_ms, LinkBatcher* batcher) {
+    obs::RateDriftDetector::Report probe;
+    if (drift_ != nullptr) probe = drift_->ReportUpTo(now_ms);
+    const Deployment* next = options_.adapt->OnDriftReport(probe, now_ms);
+    if (next == nullptr || next == live_dep_) return;
+    MigrateTo(*next, now_ms, batcher);
+  }
+
+  /// Stops the current generation's workers with exactly one kStop per
+  /// shard. A worker exits on the first kStop it pops, so one per *node*
+  /// (the end-of-run pattern) could leave stale kStops in inboxes that
+  /// would kill the next generation's workers on arrival.
+  void StopAndJoinWorkers() {
+    std::vector<bool> stopped(
+        static_cast<size_t>(transport_->num_shards()), false);
+    for (NodeId n : transport_->LocalNodes()) {
+      const auto s = static_cast<size_t>(transport_->shard_of(n));
+      if (stopped[s]) continue;
+      stopped[s] = true;
+      transport_->PushControl(n, ControlKind::kStop);
+    }
+    executor_->Join();
+  }
+
+  /// Folds the outgoing generation's per-node state into telemetry and
+  /// the retained span log, then destroys it. Registry-backed executor
+  /// counters (inputs, net frames/bytes, crashes) are shared across
+  /// generations and accumulate on their own.
+  void RetireExecutor() {
+    ExportNodeTelemetry(*executor_);
+    for (const NodeRuntime& nr : executor_->nodes()) {
+      retired_dups_ += nr.DuplicatesDropped();
+    }
+    if (span_log_ != nullptr) {
+      for (const auto& buf : executor_->span_buffers()) {
+        span_log_->Absorb(*buf);
+      }
+    }
+    executor_.reset();
+  }
+
+  /// The coordinated handoff: quiesce (no flush — a mid-run flush would
+  /// emit NSEQ pendings early and change the match multiset), stop the
+  /// workers, snapshot the replay-relevant source-log suffix, round-trip
+  /// it through the v4 kMigrate/kStateChunk wire frames, install the new
+  /// plan with a fresh executor and drift detector, and replay the state.
+  /// Re-derived matches are absorbed by the sink dedup sets, whose horizon
+  /// (window + 4*slack) strictly contains the replay horizon
+  /// (window + slack) — the match multiset stays a pure function of the
+  /// trace, which rt_adapt_differential_test pins against the simulator.
+  void MigrateTo(const Deployment& next, uint64_t barrier_ms,
+                 LinkBatcher* batcher) {
+    obs::MetricsRegistry& reg = telemetry_->registry;
+    const adapt::PlanDiff diff = adapt::DiffDeployments(*live_dep_, next);
+    NodeId max_node = 0;
+    for (const Task& t : next.tasks()) max_node = std::max(max_node, t.node);
+    const bool fits = static_cast<size_t>(max_node) < num_nodes_;
+    if (diff.no_op() || !diff.primitive_compatible || !diff.same_queries ||
+        !fits) {
+      ++report_.migration_aborts;
+      reg.GetCounter("adapt_migrations_aborted_total")->Add(1);
+      options_.adapt->OnMigrated(0, false);
+      return;
+    }
+    const uint64_t t0 = transport_->NowUs();
+    batcher->FlushAll();
+    WaitQuiesce();
+    if (transport_->wedged()) {
+      ++report_.migration_aborts;
+      reg.GetCounter("adapt_migrations_aborted_total")->Add(1);
+      options_.adapt->OnMigrated(0, false);
+      return;
+    }
+    StopAndJoinWorkers();
+
+    // The replay horizon comes from the incoming plan; same workload, so
+    // it equals the outgoing plan's (windows are query properties).
+    const uint64_t slack = options_.eval.eviction_slack_ms == 0
+                               ? kUnboundedEvictionSlackMs
+                               : options_.eval.eviction_slack_ms;
+    const uint64_t horizon = adapt::StateHorizonMs(next, slack);
+    const adapt::MigrationState collected = adapt::CollectMigrationState(
+        executor_->nodes(), ++migration_seq_, barrier_ms, horizon);
+    // Round-trip through the wire frames even in-proc: the encode/decode
+    // path is the one a cross-process migration would ride, and its byte
+    // count is the telemetry of record (M905 bounds it).
+    std::vector<std::string> state_frames;
+    adapt::EncodeMigrationState(collected, 0, &state_frames);
+    Result<adapt::MigrationState> decoded =
+        adapt::DecodeMigrationState(state_frames);
+    MUSE_CHECK(decoded.ok(), "migration state wire round-trip failed");
+    const adapt::MigrationState state = std::move(decoded).value();
+    report_.migration_state_events += state.TotalEvents();
+    report_.migration_state_bytes += adapt::EncodedStateBytes(state_frames);
+
+    RetireExecutor();
+    live_dep_ = &next;
+    InstallDrift(next, barrier_ms);
+    StartExecutor();
+
+    // Replay: untraced source frames to each event's origin, exactly as
+    // the driver first injected them. inject_us_ keeps the original
+    // injection time, so latency of matches completed after the handoff
+    // honestly includes the migration pause.
+    std::string frame;
+    for (const adapt::MigrationState::NodeState& ns : state.nodes) {
+      for (const Event& e : ns.events) {
+        if (e.origin >= num_nodes_ ||
+            live_dep_->PrimitiveTasksFor(e.origin, e.type).empty()) {
+          continue;
+        }
+        frame.clear();
+        AppendEventFrame(e, TraceContext{}, &frame);
+        transport_->NoteFramesQueued(1);
+        batcher->Add(e.origin, frame.data(), frame.size());
+      }
+    }
+    batcher->FlushAll();
+    WaitQuiesce();
+
+    const uint64_t now = transport_->NowUs();
+    const uint64_t pause_us = now > t0 ? now - t0 : 0;
+    ++report_.migrations;
+    report_.migration_pause_us.push_back(pause_us);
+    reg.GetCounter("adapt_migrations_total")->Add(1);
+    reg.GetCounter("adapt_state_events_total")->Add(state.TotalEvents());
+    reg.GetCounter("adapt_state_bytes_total")
+        ->Add(adapt::EncodedStateBytes(state_frames));
+    reg.GetHistogram("adapt_migration_pause_us", {}, 1.0)
+        ->Record(static_cast<double>(pause_us));
+    options_.adapt->OnMigrated(pause_us, !transport_->wedged());
+  }
+
   bool RecordMatch(int query, const Match& m, uint64_t trace_id) {
     (void)trace_id;  // the emitting executor records the kEmit span
     QueryCollector& col = *collectors_[static_cast<size_t>(query)];
@@ -386,17 +558,25 @@ class RtRun {
     Rng rng(options_.source_seed);
     const auto start = std::chrono::steady_clock::now();
     double next_arrival_s = 0;
+    const uint64_t check_ms =
+        std::max<uint64_t>(1, options_.adapt_check_interval_ms);
+    uint64_t next_adapt_ms = check_ms;
     std::string frame;
     obs::SpanBuffer* spans = driver_spans_.get();
     for (const Event& e : trace) {
       if (transport_->wedged()) break;  // watchdog fired: stop injecting
+      if (adapt_enabled_ && e.time >= next_adapt_ms) {
+        while (next_adapt_ms <= e.time) next_adapt_ms += check_ms;
+        MaybeAdapt(e.time, &batcher);
+        if (transport_->wedged()) break;
+      }
       inject_failures_until(e.time);
       // Drift sees every trace event — including ones no deployed task
       // consumes — because the snapshot's type rates describe the whole
       // generated stream, not the plan's subscription.
       if (drift_ != nullptr) drift_->ObserveType(e.type, e.time);
       if (e.origin >= num_nodes_ ||
-          dep_.PrimitiveTasksFor(e.origin, e.type).empty()) {
+          live_dep_->PrimitiveTasksFor(e.origin, e.type).empty()) {
         source_skipped_->Add(1);
         continue;
       }
@@ -434,11 +614,13 @@ class RtRun {
     obs::MetricsRegistry& reg = telemetry_->registry;
     if (sampler_.enabled()) {
       // Workers and driver have joined: draining the single-writer
-      // buffers is race-free by construction.
-      auto log = std::make_shared<obs::TraceLog>();
-      for (const auto& buf : executor.span_buffers()) log->Absorb(*buf);
-      log->Absorb(*driver_spans_);
-      report_.trace_log = std::move(log);
+      // buffers is race-free by construction. span_log_ already holds the
+      // spans of every retired executor generation.
+      for (const auto& buf : executor.span_buffers()) {
+        span_log_->Absorb(*buf);
+      }
+      span_log_->Absorb(*driver_spans_);
+      report_.trace_log = span_log_;
     }
     if (drift_ != nullptr) {
       report_.drift_report = drift_->Finish();
@@ -450,9 +632,29 @@ class RtRun {
         reg.GetGauge("rt_drift_observed_eps", labels)->Set(s.observed_eps);
         reg.GetGauge("rt_drift_expected_eps", labels)->Set(s.expected_eps);
       }
+    }
+    // Sticky across migrations: a drift verdict that triggered a replan
+    // must survive into the final report even though each new plan starts
+    // with a fresh (non-drifted) detector.
+    report_.drift_score = std::max(report_.drift_score, drift_floor_score_);
+    report_.drifted = report_.drifted || drift_floor_flag_;
+    if (drift_ != nullptr || report_.migrations > 0) {
       reg.GetGauge("rt_drifted")->Set(report_.drifted ? 1.0 : 0.0);
       reg.GetGauge("rt_drift_score_max")->Set(report_.drift_score);
     }
+    if (adapt_enabled_) {
+      reg.GetGauge("adapt_replans_total")
+          ->Set(static_cast<double>(options_.adapt->Replans()));
+    }
+    ExportNodeTelemetry(executor);
+  }
+
+  /// Per-node state export of one executor generation. Counters
+  /// accumulate across generations; peak gauges take the max, watermark
+  /// and live-state gauges are last-generation (each generation starts
+  /// its filters fresh, so the final one is the live truth).
+  void ExportNodeTelemetry(RtExecutor& executor) {
+    obs::MetricsRegistry& reg = telemetry_->registry;
     std::vector<NodeRuntime>& nodes = executor.nodes();
     for (size_t n = 0; n < nodes.size(); ++n) {
       const std::string node_str = std::to_string(n);
@@ -461,11 +663,18 @@ class RtRun {
           ->Add(nodes[n].DuplicatesDropped());
       // Observed volatile-state peak, directly comparable against the
       // prove_state_bound gauge the static analyzer exports for this node.
-      reg.GetGauge("rt_node_peak_buffered", node_labels)
-          ->Set(static_cast<double>(nodes[n].PeakBufferedMatches()));
+      // Max-merged so the peak survives executor retirement on migration.
+      obs::Gauge* peak_buffered =
+          reg.GetGauge("rt_node_peak_buffered", node_labels);
+      peak_buffered->Set(
+          std::max(peak_buffered->Value(),
+                   static_cast<double>(nodes[n].PeakBufferedMatches())));
       const ExactlyOnceFilter& filter = nodes[n].filter();
-      reg.GetGauge("rt_filter_pending_peak", node_labels)
-          ->Set(static_cast<double>(filter.PeakPendingAboveWatermark()));
+      obs::Gauge* pending_peak =
+          reg.GetGauge("rt_filter_pending_peak", node_labels);
+      pending_peak->Set(std::max(
+          pending_peak->Value(),
+          static_cast<double>(filter.PeakPendingAboveWatermark())));
       for (const auto& [src_task, watermark] : filter.Watermarks()) {
         reg.GetGauge("rt_filter_watermark",
                      obs::LabelSet{{"node", node_str},
@@ -485,8 +694,9 @@ class RtRun {
             ->Add(stats.evictions);
         reg.GetCounter("rt_evaluator_pending_released_total", labels)
             ->Add(stats.pending_released);
-        reg.GetGauge("rt_task_peak_pending", labels)
-            ->Set(static_cast<double>(stats.peak_pending));
+        obs::Gauge* peak_pending = reg.GetGauge("rt_task_peak_pending", labels);
+        peak_pending->Set(std::max(peak_pending->Value(),
+                                   static_cast<double>(stats.peak_pending)));
       }
     }
   }
@@ -569,6 +779,8 @@ class RtRun {
   }
 
   void BuildReportLocal(RtExecutor& executor) {
+    // The registry-backed executor counters are shared across executor
+    // generations, so the final generation reads cumulative totals.
     for (size_t n = 0; n < num_nodes_; ++n) {
       report_.inputs_processed += executor.NodeInputs(n);
       report_.network_frames += executor.NodeNetFrames(n);
@@ -576,6 +788,7 @@ class RtRun {
       report_.duplicates_dropped += executor.nodes()[n].DuplicatesDropped();
       report_.crashes += executor.NodeCrashes(n);
     }
+    report_.duplicates_dropped += retired_dups_;
     report_.backpressure_stalls = transport_->Stalls();
   }
 
@@ -610,6 +823,22 @@ class RtRun {
   int num_shards_ = 1;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<ClusterHandle> cluster_;
+
+  // --- muse-adapt state (single-process modes only) --------------------
+  /// The deployment currently installed; starts as &dep_ and advances on
+  /// every live migration (the adapt driver owns all of them).
+  const Deployment* live_dep_ = &dep_;
+  std::unique_ptr<RtExecutor> executor_;
+  RtExecutor::Hooks hooks_;
+  /// Span sink surviving executor retirement (local modes; null unless
+  /// sampling).
+  std::shared_ptr<obs::TraceLog> span_log_;
+  uint64_t trace_duration_ms_ = 0;
+  bool adapt_enabled_ = false;
+  uint64_t migration_seq_ = 0;
+  uint64_t retired_dups_ = 0;
+  double drift_floor_score_ = 0;
+  bool drift_floor_flag_ = false;
 
   obs::Counter* source_skipped_ = nullptr;
   obs::TraceSampler sampler_;
@@ -656,6 +885,12 @@ std::string RtReport::Summary() const {
     std::snprintf(buf, sizeof(buf), "\ndrift: score %.3f, drifted %s",
                   drift_score, drifted ? "true" : "false");
     s += buf;
+  }
+  if (migrations > 0 || migration_aborts > 0) {
+    s += "\nadapt: " + std::to_string(migrations) + " migrations (" +
+         std::to_string(migration_aborts) + " rejected), state " +
+         std::to_string(migration_state_events) + " events / " +
+         std::to_string(migration_state_bytes) + " bytes";
   }
   if (trace_log != nullptr) {
     s += "\ntrace: " + std::to_string(trace_log->spans().size()) +

@@ -16,6 +16,37 @@
 
 namespace muse::rt {
 
+/// Control-plane seam of muse-adapt (src/adapt/): the runtime polls the
+/// driver between source events with the current drift verdict; a non-null
+/// return asks for a live migration to that deployment. The driver (e.g.
+/// adapt::AdaptController) owns every deployment it ever returns — each
+/// must stay alive until Run() finishes, because migration keeps no copy.
+///
+/// All callbacks arrive on the runtime's source-driver thread, strictly
+/// serialized: OnDriftReport never overlaps itself or OnMigrated.
+class AdaptDriver {
+ public:
+  virtual ~AdaptDriver() = default;
+
+  /// Called every RtOptions::adapt_check_interval_ms of trace time with
+  /// the detector's mid-run verdict (an empty report when drift detection
+  /// is off). Return the deployment to migrate to, or nullptr to stay.
+  virtual const Deployment* OnDriftReport(
+      const obs::RateDriftDetector::Report& report, uint64_t trace_now_ms) = 0;
+
+  /// Outcome of a requested migration: `ok` is false when the plan was
+  /// rejected (no-op diff, incompatible primitives, node overflow) or the
+  /// transport wedged mid-handoff. `pause_us` is the wall-clock
+  /// quiesce-to-resume pause (0 on rejection).
+  virtual void OnMigrated(uint64_t pause_us, bool ok) {
+    (void)pause_us;
+    (void)ok;
+  }
+
+  /// Background re-planning runs completed so far (telemetry only).
+  virtual uint64_t Replans() const { return 0; }
+};
+
 /// Which transport carries the frames (see transport.h for the seam).
 enum class RtTransportKind {
   kInProc,    ///< shared-memory inboxes, one process (the original mode)
@@ -105,11 +136,35 @@ struct RtOptions {
   std::string cluster_spec_text;
   std::string cluster_plan_json;
 
+  /// kCluster: per-daemon mesh host strings (DeploymentSpec::peer_hosts,
+  /// from `peer <k> <host>` spec lines). Forwarded verbatim into the
+  /// kPeers directory frame; missing/empty entries mean 127.0.0.1.
+  std::vector<std::string> cluster_peer_hosts;
+
   /// kCluster chaos: (daemon process index, wall-clock delay ms after
   /// launch) pairs; each daemon gets SIGKILL at its delay. The coordinator
   /// must then detect the dead peer within wedge_timeout_ms and report
   /// RtReport::wedged — the crash-detection property rt_runtime_test pins.
   std::vector<std::pair<int, uint64_t>> kill_schedule;
+
+  // --- muse-adapt ---------------------------------------------------------
+
+  /// Closed-loop re-planning driver, or null for a fixed plan. Only
+  /// honored by the single-process transports (kInProc, kLoopback): in
+  /// kCluster mode drift detection is already force-disabled, and daemons
+  /// recompile their plan from files, so live migration has no carrier.
+  /// The driver must outlive Run().
+  AdaptDriver* adapt = nullptr;
+
+  /// Trace-time period between AdaptDriver::OnDriftReport polls.
+  uint64_t adapt_check_interval_ms = 250;
+
+  /// Lower bound on the transport's node count. Migration can only install
+  /// plans whose nodes fit the transport built at startup, so adaptive
+  /// runs set this to the network's node count — every candidate plan of
+  /// the same network then fits, whatever subset the initial plan used.
+  /// 0 derives the count from the initial deployment alone.
+  size_t min_nodes = 0;
 };
 
 /// Results of one runtime execution. Latency here is *wall-clock* time
@@ -155,10 +210,22 @@ struct RtReport {
   /// Rate-drift verdict vs the deployment's planner-rate snapshot: max
   /// windowed drift score over the flag-eligible (per-type) streams, the
   /// flag itself, and the full per-stream report. All zero/false/empty
-  /// when the detector was disabled.
+  /// when the detector was disabled. After a live migration the score and
+  /// flag are sticky maxima across plan generations; the stream report is
+  /// the final generation's.
   double drift_score = 0;
   bool drifted = false;
   obs::RateDriftDetector::Report drift_report;
+
+  /// muse-adapt: live migrations executed / rejected, replay state moved
+  /// (events and encoded wire bytes), and the wall-clock pause of each
+  /// migration from quiesce to resume. All zero/empty without an
+  /// RtOptions::adapt driver.
+  uint64_t migrations = 0;
+  uint64_t migration_aborts = 0;
+  uint64_t migration_state_events = 0;
+  uint64_t migration_state_bytes = 0;
+  std::vector<uint64_t> migration_pause_us;
 
   std::string Summary() const;
 };

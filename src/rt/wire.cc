@@ -315,12 +315,27 @@ void AppendHelloFrame(uint32_t process, uint32_t listen_port,
 }
 
 void AppendPeersFrame(uint64_t coord_now_us,
-                      const std::vector<uint32_t>& ports, std::string* out) {
-  PutU32(static_cast<uint32_t>(1 + 8 + 4 + 4 * ports.size()), out);
+                      const std::vector<uint32_t>& ports,
+                      const std::vector<std::string>& hosts,
+                      std::string* out) {
+  // Hosts ride a u8 length each; anything longer is truncated (cluster
+  // spec validation rejects such hosts long before they reach the wire).
+  auto host_len = [&](size_t i) -> size_t {
+    if (i >= hosts.size()) return 0;
+    return hosts[i].size() > 255 ? 255 : hosts[i].size();
+  };
+  size_t body = 1 + 8 + 4;
+  for (size_t i = 0; i < ports.size(); ++i) body += 4 + 1 + host_len(i);
+  PutU32(static_cast<uint32_t>(body), out);
   out->push_back(static_cast<char>(FrameKind::kPeers));
   PutU64(coord_now_us, out);
   PutU32(static_cast<uint32_t>(ports.size()), out);
-  for (uint32_t p : ports) PutU32(p, out);
+  for (size_t i = 0; i < ports.size(); ++i) {
+    PutU32(ports[i], out);
+    const size_t len = host_len(i);
+    out->push_back(static_cast<char>(len));
+    if (len > 0) out->append(hosts[i].data(), len);
+  }
 }
 
 void AppendReadyFrame(uint32_t process, std::string* out) {
@@ -359,6 +374,33 @@ void AppendByeFrame(uint8_t code, std::string* out) {
   PutU32(1 + 1, out);
   out->push_back(static_cast<char>(FrameKind::kBye));
   out->push_back(static_cast<char>(code));
+}
+
+void AppendMigrateFrame(uint64_t migration_id, uint64_t barrier_ms,
+                        uint64_t horizon_ms, uint32_t chunks,
+                        std::string* out) {
+  PutU32(1 + 8 + 8 + 8 + 4, out);
+  out->push_back(static_cast<char>(FrameKind::kMigrate));
+  PutU64(migration_id, out);
+  PutU64(barrier_ms, out);
+  PutU64(horizon_ms, out);
+  PutU32(chunks, out);
+}
+
+void AppendStateChunkFrame(uint64_t migration_id, uint32_t node,
+                           const std::vector<Event>& events,
+                           std::string* out) {
+  const size_t body = 8 + 4 + 4 + kEventBodyBytes * events.size();
+  PutU32(static_cast<uint32_t>(1 + body), out);
+  out->push_back(static_cast<char>(FrameKind::kStateChunk));
+  PutU64(migration_id, out);
+  PutU32(node, out);
+  PutU32(static_cast<uint32_t>(events.size()), out);
+  for (const Event& e : events) PutEventBody(e, out);
+}
+
+size_t MaxStateChunkEvents() {
+  return (kMaxFramePayloadBytes - (1 + 8 + 4 + 4)) / kEventBodyBytes;
 }
 
 Result<NetFrame> DecodeNetFrame(const uint8_t* data, size_t size,
@@ -496,16 +538,27 @@ Result<NetFrame> DecodeNetFrame(const uint8_t* data, size_t size,
       }
       uint32_t count = 0;
       if (!r.GetU32(&count)) return Err("wire: truncated peers frame");
-      if (static_cast<uint64_t>(count) * 4 != frame_end - r.pos) {
+      // Entries are variable-length (per-peer host string), so the only
+      // possible size check is a lower bound up front plus the shared
+      // trailing-bytes check at the end.
+      if (static_cast<uint64_t>(count) * (4 + 1) > frame_end - r.pos) {
         return Err("wire: peers frame declares ", std::to_string(count),
-                   " ports but carries ", std::to_string(frame_end - r.pos),
-                   " body bytes");
+                   " peers but carries only ",
+                   std::to_string(frame_end - r.pos), " body bytes");
       }
       nf.peer_ports.resize(count);
+      nf.peer_hosts.resize(count);
       for (uint32_t i = 0; i < count; ++i) {
-        if (!r.GetU32(&nf.peer_ports[i])) {
+        uint8_t host_len = 0;
+        if (!r.GetU32(&nf.peer_ports[i]) || !take_u8(&host_len)) {
           return Err("wire: truncated peers frame");
         }
+        if (host_len > frame_end - r.pos) {
+          return Err("wire: truncated peers host ", std::to_string(i));
+        }
+        nf.peer_hosts[i].assign(reinterpret_cast<const char*>(data + r.pos),
+                                host_len);
+        r.pos += host_len;
       }
       break;
     }
@@ -550,6 +603,40 @@ Result<NetFrame> DecodeNetFrame(const uint8_t* data, size_t size,
       nf.kind = FrameKind::kBye;
       if (payload_len != 1 + 1) return Err("wire: bad bye frame size");
       if (!take_u8(&nf.bye_code)) return Err("wire: truncated bye frame");
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kMigrate): {
+      nf.kind = FrameKind::kMigrate;
+      if (payload_len != 1 + 8 + 8 + 8 + 4) {
+        return Err("wire: bad migrate frame size");
+      }
+      if (!r.GetU64(&nf.migration_id) || !r.GetU64(&nf.barrier_ms) ||
+          !r.GetU64(&nf.horizon_ms) || !r.GetU32(&nf.state_chunks)) {
+        return Err("wire: truncated migrate frame");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::kStateChunk): {
+      nf.kind = FrameKind::kStateChunk;
+      if (!r.GetU64(&nf.migration_id) || !r.GetU32(&nf.state_node)) {
+        return Err("wire: truncated state-chunk header");
+      }
+      uint32_t num_events = 0;
+      if (!r.GetU32(&num_events)) {
+        return Err("wire: truncated state-chunk header");
+      }
+      if (static_cast<uint64_t>(num_events) * kEventBodyBytes !=
+          frame_end - r.pos) {
+        return Err("wire: state chunk declares ", std::to_string(num_events),
+                   " events but carries ", std::to_string(frame_end - r.pos),
+                   " body bytes");
+      }
+      nf.state_events.resize(num_events);
+      for (uint32_t i = 0; i < num_events; ++i) {
+        if (!GetEventBody(&r, &nf.state_events[i])) {
+          return Err("wire: truncated state-chunk event ", std::to_string(i));
+        }
+      }
       break;
     }
     default:

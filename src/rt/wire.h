@@ -54,12 +54,25 @@ namespace muse::rt {
 ///   kQuiesce    u8 is_reply, u64 queued_total, u64 done_total
 ///   kSinkMatch  u32 query, u64 trace_id, u64 sent_us, u32 n, n events
 ///   kHello      u32 process, u32 listen_port
-///   kPeers      u64 coord_now_us, u32 count, count × u32 listen_port
+///   kPeers      u64 coord_now_us, u32 count,
+///               count × (u32 listen_port, u8 host_len, host_len bytes)
+///               (host_len 0 means the default host, 127.0.0.1)
 ///   kReady      u32 process
 ///   kStats      u32 count, count × (u8 stat, u32 index, u64 value)
 ///   kSpan       u64 trace_id, u8 span_kind, u32 node, i32 task,
 ///               u32 peer, i32 query, u64 start_us, u64 dur_us
 ///   kBye        u8 code
+///
+/// muse-adapt (v4) adds the live-migration control plane, again as NEW
+/// kinds so every earlier decoder rejects them explicitly:
+///
+///   kMigrate    u64 migration_id, u64 barrier_ms, u64 horizon_ms,
+///               u32 chunks            announces one migration's state
+///                                     snapshot: `chunks` kStateChunk
+///                                     frames with this id follow
+///   kStateChunk u64 migration_id, u32 node, u32 count, count × event
+///               bodies                one node's slice of the replayable
+///                                     source-event state
 ///
 /// The decoder is total: truncated buffers, oversized length prefixes,
 /// unknown kinds, and inconsistent body sizes are reported as errors —
@@ -90,6 +103,10 @@ enum class FrameKind : uint8_t {
   kStats = 14,     ///< end-of-run counter dump from a daemon
   kSpan = 15,      ///< one causal-trace span shipped at end of run
   kBye = 16,       ///< clean shutdown marker (EOF after it is expected)
+  /// v4 (muse-adapt): live plan migration. Control-plane only — the
+  /// data-plane decoder rejects them like every other kind >= 5.
+  kMigrate = 17,     ///< migration header: id, barrier, horizon, chunks
+  kStateChunk = 18,  ///< one node's replayable source-event state slice
 };
 
 /// Out-of-band signals delivered through a node's inbox alongside packets
@@ -203,8 +220,20 @@ struct NetFrame {
   uint32_t listen_port = 0;  ///< kHello
   uint64_t coord_now_us = 0;           ///< kPeers clock reference
   std::vector<uint32_t> peer_ports;    ///< kPeers
+  /// kPeers: host per peer, parallel to peer_ports. An empty string is
+  /// the wire encoding of the default host (127.0.0.1) — consumers must
+  /// treat the two identically.
+  std::vector<std::string> peer_hosts;
 
   std::vector<StatEntry> stats;  ///< kStats
+
+  // kMigrate / kStateChunk (muse-adapt v4).
+  uint64_t migration_id = 0;       ///< both kinds
+  uint64_t barrier_ms = 0;         ///< kMigrate: trace-time quiesce point
+  uint64_t horizon_ms = 0;         ///< kMigrate: replay horizon H
+  uint32_t state_chunks = 0;       ///< kMigrate: kStateChunk frames to come
+  uint32_t state_node = 0;         ///< kStateChunk: owning node
+  std::vector<Event> state_events; ///< kStateChunk payload (seq order)
 
   // kSpan (raw obs::TraceSpan fields; obs is not a wire dependency).
   uint64_t span_trace_id = 0;
@@ -231,14 +260,29 @@ void AppendSinkMatchFrame(uint32_t query, const Match& match,
                           const TraceContext& trace, std::string* out);
 void AppendHelloFrame(uint32_t process, uint32_t listen_port,
                       std::string* out);
+/// `hosts`, when non-empty, must be parallel to `ports`; each entry longer
+/// than 255 bytes is truncated (the length rides a u8). An empty vector —
+/// or an empty entry — encodes the default host (127.0.0.1) as host_len 0.
 void AppendPeersFrame(uint64_t coord_now_us,
-                      const std::vector<uint32_t>& ports, std::string* out);
+                      const std::vector<uint32_t>& ports,
+                      const std::vector<std::string>& hosts,
+                      std::string* out);
 void AppendReadyFrame(uint32_t process, std::string* out);
 void AppendStatsFrame(const std::vector<StatEntry>& stats, std::string* out);
 void AppendSpanFrame(uint64_t trace_id, uint8_t span_kind, uint32_t node,
                      int32_t task, uint32_t peer, int32_t query,
                      uint64_t start_us, uint64_t dur_us, std::string* out);
 void AppendByeFrame(uint8_t code, std::string* out);
+void AppendMigrateFrame(uint64_t migration_id, uint64_t barrier_ms,
+                        uint64_t horizon_ms, uint32_t chunks,
+                        std::string* out);
+void AppendStateChunkFrame(uint64_t migration_id, uint32_t node,
+                           const std::vector<Event>& events,
+                           std::string* out);
+
+/// Max events one kStateChunk frame may carry while staying under
+/// kMaxFramePayloadBytes (state_transfer chunks snapshots with it).
+size_t MaxStateChunkEvents();
 
 /// Decodes the first frame of `data[0, size)` accepting every kind —
 /// data-plane and control-plane. Same totality guarantees as DecodeFrame.

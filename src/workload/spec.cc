@@ -159,6 +159,18 @@ Result<DeploymentSpec> ParseDeploymentSpec(const std::string& text) {
       } else {
         return fail("predicate kind must be 'eq' or 'filter'");
       }
+    } else if (directive == "peer") {
+      // peer <process> <host> — cluster daemon mesh host (numeric IPv4;
+      // the daemon dialer has no resolver).
+      if (tokens.size() != 3) return fail("usage: peer <process> <host>");
+      std::optional<int64_t> proc = ParseInt64(tokens[1]);
+      if (!proc || *proc < 0 || *proc > 1'000'000) {
+        return fail("peer process index must be non-negative");
+      }
+      if (tokens[2].size() > 255) return fail("peer host too long");
+      const auto idx = static_cast<size_t>(*proc);
+      if (spec.peer_hosts.size() <= idx) spec.peer_hosts.resize(idx + 1);
+      spec.peer_hosts[idx] = tokens[2];
     } else if (directive == "query") {
       size_t at = line.find("query");
       query_lines.push_back(line.substr(at + 5));
@@ -261,6 +273,10 @@ std::string WriteDeploymentSpec(const DeploymentSpec& spec) {
       out += "capacity " + std::to_string(n) + " " +
              FormatDouble(spec.network.Capacity(n)) + "\n";
     }
+  }
+  for (size_t k = 0; k < spec.peer_hosts.size(); ++k) {
+    if (spec.peer_hosts[k].empty()) continue;  // empty means 127.0.0.1
+    out += "peer " + std::to_string(k) + " " + spec.peer_hosts[k] + "\n";
   }
   for (size_t q = 0; q < spec.workload.size(); ++q) {
     const Query& query = spec.workload[q];

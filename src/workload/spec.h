@@ -18,6 +18,12 @@ struct DeploymentSpec {
   Network network;
   std::vector<Query> workload;
 
+  /// Cluster peer directory (muse-net): host string per daemon process
+  /// index, from `peer <k> <host>` lines. Missing/empty entries mean
+  /// 127.0.0.1; the vector is empty when no peer line appears. Hosts are
+  /// numeric IPv4 strings — they ride the kPeers wire frame verbatim.
+  std::vector<std::string> peer_hosts;
+
   DeploymentSpec() : network(1, 1) {}
 };
 
@@ -34,6 +40,7 @@ struct DeploymentSpec {
 ///   produce 2 L F
 ///   capacity 1 5000      # node 1 can evaluate 5000 inputs/s (optional)
 ///   selectivity C L 0.05 # modeled selectivity for predicates on (C, L)
+///   peer 1 127.0.0.1     # daemon 1's mesh host (optional; default shown)
 ///   query SEQ(AND(C c, L l), F f) WHERE c.a0 == l.a0 WITHIN 1s
 ///
 /// Order constraints: `nodes` must precede `produce`; types are interned on

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/obs/drift.h"
@@ -275,6 +277,102 @@ TEST(RateDriftTest, ObservationsOutsideSnapshotAreIgnored) {
   d.ObserveType(0, 5000);      // past the horizon: clamps, doesn't crash
   const RateDriftDetector::Report r = d.Finish();
   ASSERT_EQ(r.streams.size(), 1u);
+}
+
+// An empty planner snapshot has no expectation to drift from: whatever
+// the detector observes, every report must stay silent (muse-adapt would
+// otherwise replan off pure noise).
+TEST(RateDriftTest, EmptySnapshotNeverFlagsDrift) {
+  DriftOptions opt;
+  RateDriftDetector d(RateSnapshot{}, /*duration_ms=*/10000, opt);
+  EXPECT_EQ(d.num_streams(), 0u);
+  for (uint64_t t = 0; t < 10000; t += 5) {
+    d.ObserveType(0, t);
+    d.ObserveTaskOutput(3, t);
+  }
+  for (const RateDriftDetector::Report& r :
+       {d.ReportUpTo(0), d.ReportUpTo(5000), d.Finish()}) {
+    EXPECT_FALSE(r.drifted);
+    EXPECT_EQ(r.drift_score, 0.0);
+    EXPECT_TRUE(r.streams.empty());
+  }
+}
+
+// ReportUpTo judges only windows that already closed: a rate shift inside
+// the still-open window must not leak into the mid-run verdict, and the
+// final Finish() still sees it.
+TEST(RateDriftTest, ReportUpToExcludesTheOpenWindow) {
+  DriftOptions opt;
+  RateDriftDetector d(TypeOnlySnapshot(100.0), /*duration_ms=*/10000, opt);
+  FillWindows(&d, opt.window_ms, 0, 3, 100);  // 3 on-model windows
+  FillWindows(&d, opt.window_ms, 3, 4, 300);  // 3x shift in window 3
+  // Probe mid-window-3: only windows 0..2 are closed, all on-model.
+  const RateDriftDetector::Report mid = d.ReportUpTo(3500);
+  EXPECT_FALSE(mid.drifted);
+  EXPECT_EQ(mid.drift_score, 0.0);
+  // Once window 3 closes, the same probe flags it.
+  const RateDriftDetector::Report after = d.ReportUpTo(4000);
+  EXPECT_TRUE(after.drifted);
+  EXPECT_GT(after.drift_score, 0.0);
+}
+
+// valid_from_ms excludes windows that started before it — the migration
+// barrier of a freshly installed plan. Events the *previous* detector
+// observed must read as neither drift nor starvation here.
+TEST(RateDriftTest, ValidFromExcludesPreBarrierWindows) {
+  DriftOptions opt;
+  opt.valid_from_ms = 5000;
+  RateDriftDetector d(TypeOnlySnapshot(100.0), /*duration_ms=*/10000, opt);
+  // Nothing at all before the barrier (the old detector's era), on-model
+  // after it: pre-barrier all-zero windows must not register as drift.
+  FillWindows(&d, opt.window_ms, 5, 10, 100);
+  const RateDriftDetector::Report r = d.Finish();
+  EXPECT_FALSE(r.drifted);
+  EXPECT_EQ(r.drift_score, 0.0);
+  ASSERT_EQ(r.streams.size(), 1u);
+  EXPECT_NEAR(r.streams[0].observed_eps, 100.0, 1e-9);
+  // And a detector without the barrier exclusion *does* flag that trace —
+  // the exclusion is what keeps the fresh detector quiet.
+  RateDriftDetector no_barrier(TypeOnlySnapshot(100.0), 10000, DriftOptions{});
+  FillWindows(&no_barrier, opt.window_ms, 5, 10, 100);
+  EXPECT_TRUE(no_barrier.Finish().drifted);
+}
+
+// The mid-run probe runs on the driver thread while workers keep calling
+// Observe* — exactly the overlap muse-adapt creates when it polls the
+// verdict between events. TSan pins that this is race-free and the
+// returned reports are internally consistent.
+TEST(RateDriftTest, ReportUpToIsSafeUnderConcurrentObservation) {
+  DriftOptions opt;
+  RateSnapshot snap;
+  snap.type_eps = {100.0, 100.0};
+  RateSnapshot::ProjectionRate p;
+  p.label = "SEQ(A,B)";
+  p.eps = 50.0;
+  p.tasks = {5};
+  snap.projections.push_back(p);
+  RateDriftDetector d(snap, /*duration_ms=*/10000, opt);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> observers;
+  for (int w = 0; w < 3; ++w) {
+    observers.emplace_back([&d, &stop, w] {
+      uint64_t t = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        d.ObserveType(static_cast<uint32_t>(w % 2), t % 10000);
+        d.ObserveTaskOutput(5, t % 10000);
+        t += 7;
+      }
+    });
+  }
+  for (int probe = 0; probe < 200; ++probe) {
+    const RateDriftDetector::Report r =
+        d.ReportUpTo(static_cast<uint64_t>(probe) * 50);
+    ASSERT_EQ(r.streams.size(), 3u);
+    if (r.drifted) EXPECT_GT(r.drift_score, 0.0);
+  }
+  stop.store(true);
+  for (std::thread& th : observers) th.join();
+  (void)d.Finish();
 }
 
 }  // namespace

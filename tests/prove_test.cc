@@ -176,6 +176,44 @@ TEST(ProveTest, CapacityFeasibility) {
   EXPECT_TRUE(ok.certified()) << ok.ToString();
 }
 
+TEST(ProveTest, MigrationStateBoundTracksInjectionRates) {
+  Env env;
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.spec.network,
+                                      env.ProductionOptions());
+  EXPECT_FALSE(proof.findings.HasRule(Rule::kMigrationStateUnbounded));
+  // Replay horizon: the 2s query window + the 2s production slack.
+  const double horizon_s = 4.0;
+  ASSERT_EQ(proof.nodes.size(), 4u);
+  double total = 0;
+  for (const NodeCertificate& c : proof.nodes) {
+    EXPECT_TRUE(c.migration_state_bounded) << "node " << c.node;
+    total += c.migration_state_bound;
+  }
+  // Every node injects at its modeled type rates, so the deployment-wide
+  // bound is at least the aggregate injection volume over one horizon.
+  EXPECT_GT(total, 0.0);
+  EXPECT_GE(total, (10 + 5 + 2) * horizon_s);
+  // The certificate table carries the migration column.
+  EXPECT_NE(proof.CertificateTable().find("| mig"), std::string::npos);
+}
+
+TEST(ProveTest, UnboundedReplayHorizonFlagsM905) {
+  Env env;
+  ProveOptions options = env.ProductionOptions();
+  options.rt.eval.eviction_slack_ms = 0;  // unbounded horizon
+  ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
+                                      env.spec.network, options);
+  // A warning, not an error: differential runs use slack 0 deliberately.
+  EXPECT_TRUE(proof.certified()) << proof.ToString();
+  EXPECT_TRUE(proof.findings.HasRule(Rule::kMigrationStateUnbounded));
+  for (const NodeCertificate& c : proof.nodes) {
+    EXPECT_FALSE(c.migration_state_bounded) << "node " << c.node;
+  }
+  EXPECT_NE(proof.CertificateTable().find("mig unbounded"),
+            std::string::npos);
+}
+
 TEST(ProveTest, ExportedGaugesMatchCertificates) {
   Env env;
   ProveReport proof = ProveDeployment(*env.dep, env.catalogs->Pointers(),
@@ -197,6 +235,14 @@ TEST(ProveTest, ExportedGaugesMatchCertificates) {
               static_cast<double>(c.credit_share));
     EXPECT_EQ(registry.GetGauge("prove_load_eps", labels)->Value(),
               c.load_eps);
+    EXPECT_EQ(
+        registry.GetGauge("prove_migration_state_bounded", labels)->Value(),
+        c.migration_state_bounded ? 1.0 : 0.0);
+    if (c.migration_state_bounded) {
+      EXPECT_EQ(
+          registry.GetGauge("prove_migration_state_bound", labels)->Value(),
+          c.migration_state_bound);
+    }
   }
 }
 

@@ -14,7 +14,11 @@
 #include <utility>
 #include <vector>
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "src/common/check.h"
 #include "src/core/centralized.h"
@@ -256,6 +260,58 @@ TEST(RtNetDifferentialTest, SpecRoundTripIsByteStable) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     NetTriple t(7600 + seed, "amuse", seed % 2 ? 1.0 : 0.35);
     EXPECT_EQ(WriteDeploymentSpec(t.spec), t.spec_text);
+  }
+}
+
+// The staged spec/plan files are removed *before* LaunchCluster returns
+// (every daemon has already loaded them), so SIGKILLing the coordinator
+// at any later point — when no destructor runs — leaks nothing in /tmp.
+TEST(RtNetDifferentialTest, ClusterTempDirRemovedBeforeLaunchReturns) {
+  NetTriple t(7700, "amuse");
+  rt::DaemonConfig tmpl;
+  tmpl.processes = 2;
+  Result<std::unique_ptr<rt::ClusterHandle>> launched = rt::LaunchCluster(
+      rt::FindMuseNodeBinary(MUSE_NODE_BIN), t.spec_text, t.plan_json, tmpl);
+  ASSERT_TRUE(launched.ok()) << launched.error().message;
+  rt::ClusterHandle& handle = *launched.value();
+  ASSERT_FALSE(handle.temp_dir().empty());
+  struct stat st;
+  EXPECT_NE(stat(handle.temp_dir().c_str(), &st), 0)
+      << handle.temp_dir() << " still exists after launch";
+  EXPECT_EQ(errno, ENOENT);
+  // The daemon-SIGKILL path must have nothing left to clean up either.
+  handle.KillAll(SIGKILL);
+  EXPECT_EQ(handle.ReapAll(5000), 0) << "daemons ignored SIGKILL";
+  EXPECT_NE(stat(handle.temp_dir().c_str(), &st), 0);
+  for (int fd : handle.daemon_fds()) close(fd);
+}
+
+// Explicit `peer <k> <host>` spec lines round-trip through parse/write and
+// through a real cluster run: pinning every daemon to 127.0.0.1 by name
+// must behave exactly like the implicit default.
+TEST(RtNetDifferentialTest, ClusterPeerHostDirectiveAgrees) {
+  NetTriple t(7800, "amuse");
+  DeploymentSpec spec_with_peers = std::move(t.spec);
+  spec_with_peers.peer_hosts = {"127.0.0.1", "127.0.0.1"};
+  const std::string text = WriteDeploymentSpec(spec_with_peers);
+  Result<DeploymentSpec> parsed = ParseDeploymentSpec(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().peer_hosts,
+            (std::vector<std::string>{"127.0.0.1", "127.0.0.1"}));
+  EXPECT_EQ(WriteDeploymentSpec(parsed.value()), text);
+
+  t.spec = std::move(parsed).value();
+  t.spec_text = text;
+  const auto want = SimulatorKeys(t, {});
+  rt::RtOptions options =
+      MakeOptions(t, rt::RtTransportKind::kCluster, 2, 0, {});
+  options.cluster_peer_hosts = t.spec.peer_hosts;
+  rt::RtReport run = rt::RtRuntime(*t.dep, options).Run(t.trace);
+  ASSERT_FALSE(run.wedged);
+  const auto got = KeySets(run.matches_per_query);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < want.size(); ++q) {
+    EXPECT_EQ(got[q], want[q]) << "query " << q;
   }
 }
 

@@ -358,12 +358,18 @@ std::vector<std::pair<std::string, std::string>> OneFrameOfEveryKind() {
     AppendSinkMatchFrame(1, m, TraceContext{44, 79}, add("kSinkMatch"));
   }
   AppendHelloFrame(2, 40123, add("kHello"));
-  AppendPeersFrame(987654321, {40001, 40002, 40003}, add("kPeers"));
+  AppendPeersFrame(987654321, {40001, 40002, 40003},
+                   {"", "10.0.0.2", "192.168.7.13"}, add("kPeers"));
   AppendReadyFrame(1, add("kReady"));
   AppendStatsFrame({StatEntry{1, 0, 100}, StatEntry{9, 0, 3}},
                    add("kStats"));
   AppendSpanFrame(45, 2, 3, 11, 1, 0, 5000, 250, add("kSpan"));
   AppendByeFrame(0, add("kBye"));
+  AppendMigrateFrame(7, 1500, 1100, 3, add("kMigrate"));
+  {
+    std::vector<Event> events = {RandomEvent(rng), RandomEvent(rng)};
+    AppendStateChunkFrame(7, 2, events, add("kStateChunk"));
+  }
   return frames;
 }
 
@@ -515,6 +521,216 @@ TEST(RtWireTest, AssemblerGarbageFuzzIsDeterministic) {
     const auto first = run();
     const auto second = run();
     EXPECT_EQ(first, second);
+  }
+}
+
+// --- muse-net kPeers host directory / muse-adapt migration frames -------
+
+TEST(RtWireTest, PeersHostsRoundTrip) {
+  std::string buf;
+  AppendPeersFrame(555, {40001, 40002, 40003},
+                   {"", "10.1.2.3", "192.168.200.250"}, &buf);
+  size_t consumed = 0;
+  Result<NetFrame> frame = DecodeNetFrame(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.error().message;
+  EXPECT_EQ(consumed, buf.size());
+  ASSERT_EQ(frame.value().kind, FrameKind::kPeers);
+  EXPECT_EQ(frame.value().coord_now_us, 555u);
+  EXPECT_EQ(frame.value().peer_ports,
+            (std::vector<uint32_t>{40001, 40002, 40003}));
+  EXPECT_EQ(frame.value().peer_hosts,
+            (std::vector<std::string>{"", "10.1.2.3", "192.168.200.250"}));
+}
+
+// An empty hosts vector is the all-defaults directory: every decoded host
+// is the empty string (= 127.0.0.1), and the hosts vector stays parallel
+// to the ports.
+TEST(RtWireTest, PeersEmptyHostsVectorDecodesAsDefaults) {
+  std::string buf;
+  AppendPeersFrame(1, {40001, 40002}, {}, &buf);
+  size_t consumed = 0;
+  Result<NetFrame> frame = DecodeNetFrame(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.error().message;
+  ASSERT_EQ(frame.value().peer_hosts.size(), frame.value().peer_ports.size());
+  for (const std::string& h : frame.value().peer_hosts) EXPECT_TRUE(h.empty());
+}
+
+// Hosts longer than a u8 length can express are truncated at encode time,
+// never overrun on the wire.
+TEST(RtWireTest, PeersOverlongHostTruncatedTo255) {
+  const std::string host(400, 'x');
+  std::string buf;
+  AppendPeersFrame(2, {40001}, {host}, &buf);
+  size_t consumed = 0;
+  Result<NetFrame> frame = DecodeNetFrame(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.error().message;
+  ASSERT_EQ(frame.value().peer_hosts.size(), 1u);
+  EXPECT_EQ(frame.value().peer_hosts[0], std::string(255, 'x'));
+}
+
+// A host_len byte claiming more bytes than the frame carries must reject
+// cleanly — the decoder never reads past the payload.
+TEST(RtWireTest, PeersHostLenOverrunRejected) {
+  std::string buf;
+  AppendPeersFrame(3, {40001}, {"ab"}, &buf);
+  // Layout: u32 len, u8 kind, u64 coord_now, u32 count, u32 port,
+  // u8 host_len — the host_len byte sits at offset 21.
+  buf[21] = static_cast<char>(200);
+  size_t consumed = 0;
+  EXPECT_FALSE(DecodeNetFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                              buf.size(), &consumed)
+                   .ok());
+}
+
+TEST(RtWireTest, MigrateFrameRoundTrip) {
+  std::string buf;
+  AppendMigrateFrame(42, 12345, 1100, 7, &buf);
+  size_t consumed = 0;
+  Result<NetFrame> frame = DecodeNetFrame(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.error().message;
+  EXPECT_EQ(consumed, buf.size());
+  ASSERT_EQ(frame.value().kind, FrameKind::kMigrate);
+  EXPECT_EQ(frame.value().migration_id, 42u);
+  EXPECT_EQ(frame.value().barrier_ms, 12345u);
+  EXPECT_EQ(frame.value().horizon_ms, 1100u);
+  EXPECT_EQ(frame.value().state_chunks, 7u);
+}
+
+TEST(RtWireTest, StateChunkRoundTripProperty) {
+  Rng rng(984);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Event> events;
+    const int n = static_cast<int>(rng.UniformInt(0, 12));
+    for (int i = 0; i < n; ++i) events.push_back(RandomEvent(rng));
+    std::string buf;
+    AppendStateChunkFrame(9000 + static_cast<uint64_t>(iter), 3, events,
+                          &buf);
+    size_t consumed = 0;
+    Result<NetFrame> frame = DecodeNetFrame(
+        reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.error().message;
+    EXPECT_EQ(consumed, buf.size());
+    ASSERT_EQ(frame.value().kind, FrameKind::kStateChunk);
+    EXPECT_EQ(frame.value().migration_id, 9000u + static_cast<uint64_t>(iter));
+    EXPECT_EQ(frame.value().state_node, 3u);
+    ASSERT_EQ(frame.value().state_events.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      ExpectEventsEqual(frame.value().state_events[i], events[i]);
+    }
+  }
+}
+
+// A chunk claiming more events than its body carries must reject.
+TEST(RtWireTest, StateChunkEventCountMismatchRejected) {
+  std::vector<Event> events = {Event{}};
+  std::string buf;
+  AppendStateChunkFrame(1, 0, events, &buf);
+  // Layout: u32 len, u8 kind, u64 migration_id, u32 node, u32 count —
+  // the count's low byte sits at offset 17.
+  buf[17] = 2;
+  size_t consumed = 0;
+  EXPECT_FALSE(DecodeNetFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                              buf.size(), &consumed)
+                   .ok());
+}
+
+// The migration kinds are control plane only: the data-plane decoder that
+// workers run on inbox packets must reject them like every kind >= 5.
+TEST(RtWireTest, DataPlaneDecoderRejectsMigrationKinds) {
+  std::string migrate;
+  AppendMigrateFrame(1, 2, 3, 4, &migrate);
+  std::string chunk;
+  AppendStateChunkFrame(1, 0, {Event{}}, &chunk);
+  for (const std::string& buf : {migrate, chunk}) {
+    size_t consumed = 0;
+    EXPECT_FALSE(DecodeFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                             buf.size(), &consumed)
+                     .ok());
+  }
+}
+
+// MaxStateChunkEvents is exactly the largest chunk that fits the frame
+// payload cap — one event more would cross kMaxFramePayloadBytes.
+TEST(RtWireTest, MaxStateChunkEventsSaturatesPayloadCap) {
+  const size_t cap = MaxStateChunkEvents();
+  ASSERT_GT(cap, 0u);
+  std::vector<Event> events(cap);
+  std::string buf;
+  AppendStateChunkFrame(1, 0, events, &buf);
+  // Payload = everything after the 4-byte length prefix.
+  const size_t payload = buf.size() - 4;
+  EXPECT_LE(payload, kMaxFramePayloadBytes);
+  // The frame at the cap must still decode.
+  size_t consumed = 0;
+  Result<NetFrame> frame = DecodeNetFrame(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.error().message;
+  EXPECT_EQ(frame.value().state_events.size(), cap);
+  // One more event overflows the cap, which the decoder rejects.
+  events.push_back(Event{});
+  std::string over;
+  AppendStateChunkFrame(1, 0, events, &over);
+  EXPECT_GT(over.size() - 4, kMaxFramePayloadBytes);
+  EXPECT_FALSE(DecodeNetFrame(reinterpret_cast<const uint8_t*>(over.data()),
+                              over.size(), &consumed)
+                   .ok());
+}
+
+// Every strict prefix of every control-plane frame kind must reject —
+// the DecodeNetFrame analogue of AllTruncationsError.
+TEST(RtWireTest, NetFrameTruncationsError) {
+  for (const auto& [name, bytes] : OneFrameOfEveryKind()) {
+    SCOPED_TRACE(name);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      size_t consumed = 0;
+      Result<NetFrame> frame = DecodeNetFrame(
+          reinterpret_cast<const uint8_t*>(bytes.data()), len, &consumed);
+      EXPECT_FALSE(frame.ok()) << "prefix of " << len << " bytes decoded";
+    }
+  }
+}
+
+// Bit-flip fuzz over the new control frames: mutations decode or error,
+// never crash (ASan/UBSan-clean on arbitrary mutation).
+TEST(RtWireTest, MigrationFrameMutationFuzzNeverCrashes) {
+  Rng rng(985);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string buf;
+    const int pick = static_cast<int>(rng.UniformInt(0, 2));
+    if (pick == 0) {
+      AppendMigrateFrame(static_cast<uint64_t>(rng.UniformInt(0, INT64_MAX)),
+                         static_cast<uint64_t>(rng.UniformInt(0, INT64_MAX)),
+                         static_cast<uint64_t>(rng.UniformInt(0, INT64_MAX)),
+                         static_cast<uint32_t>(rng.UniformInt(0, INT32_MAX)),
+                         &buf);
+    } else if (pick == 1) {
+      std::vector<Event> events;
+      const int n = static_cast<int>(rng.UniformInt(0, 5));
+      for (int i = 0; i < n; ++i) events.push_back(RandomEvent(rng));
+      AppendStateChunkFrame(static_cast<uint64_t>(rng.UniformInt(0, 1 << 20)),
+                            static_cast<uint32_t>(rng.UniformInt(0, 64)),
+                            events, &buf);
+    } else {
+      std::vector<uint32_t> ports;
+      std::vector<std::string> hosts;
+      const int n = static_cast<int>(rng.UniformInt(0, 5));
+      for (int i = 0; i < n; ++i) {
+        ports.push_back(static_cast<uint32_t>(rng.UniformInt(1024, 65535)));
+        hosts.push_back(rng.Chance(0.5) ? "" : "10.0.0.1");
+      }
+      AppendPeersFrame(static_cast<uint64_t>(rng.UniformInt(0, INT64_MAX)),
+                       ports, hosts, &buf);
+    }
+    const size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(buf.size()) - 1));
+    buf[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    size_t consumed = 0;
+    (void)DecodeNetFrame(reinterpret_cast<const uint8_t*>(buf.data()),
+                         buf.size(), &consumed);
   }
 }
 

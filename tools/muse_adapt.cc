@@ -1,0 +1,401 @@
+// muse_adapt — run a spec on the muse-rt runtime with the muse-adapt
+// closed loop attached: the rate-drift detector feeds an AdaptController
+// that re-plans against the observed rates and live-migrates the running
+// graph. A synthetic mid-trace rate shift (--rate-shift) makes the
+// planner's snapshot stale on purpose, so the whole
+// drift -> replan -> migrate pipeline can be exercised and asserted on
+// from CI.
+//
+// Usage:
+//   muse_adapt <spec-file>
+//     [--algorithm amuse|amuse-star|oop|centralized]  initial plan
+//     [--duration-ms <n>]   trace length in virtual ms (default 10000)
+//     [--seed <n>]          trace RNG seed (default 1)
+//     [--slack-ms <n>]      eviction slack (default 2000)
+//     [--rt-threads <n>]    worker threads (0 = one per node)
+//     [--rt-inbox <frames>] per-node inbox credit window (default 1024)
+//     [--rt-batch <frames>] per-link batch size (default 32)
+//     [--rt-rate <eps>]     Poisson source pacing, events/sec (0 = unpaced)
+//     [--rate-shift <f>]    synthetic drift: compress event times after the
+//                           shift point by f (observed rates jump f x)
+//     [--shift-at-ms <t>]   when the shift starts (default duration/2)
+//     [--drift-window-ms <n>] [--drift-z <z>] [--drift-ratio <r>]
+//     [--confirm <n>]       drift reports before re-planning (default 2)
+//     [--cooldown-ms <n>]   trace-time between migrations (default 1000)
+//     [--max-migrations <n>] migration budget for the run (default 4)
+//     [--check-interval-ms <n>] drift poll period (default 250)
+//     [--out <file|->]      write the adapt telemetry JSON
+//     [--schema <file>]     validate the telemetry JSON against this schema
+//     [--expect-drift]      exit 1 unless the detector flags drift
+//     [--expect-migration]  exit 1 unless at least one migration completed
+//     [--expect-stationary] exit 1 if any migration happened
+//
+// Exit status: 0 success, 1 schema violations, write failures, or a failed
+// --expect-* assertion, 2 usage or unreadable/unparseable inputs.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/adapt/controller.h"
+#include "src/adapt/policy.h"
+#include "src/common/rng.h"
+#include "src/core/centralized.h"
+#include "src/core/multi_query.h"
+#include "src/net/trace.h"
+#include "src/obs/json_value.h"
+#include "src/rt/runtime.h"
+#include "src/workload/spec.h"
+
+namespace {
+
+using namespace muse;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: muse_adapt <spec-file> [--algorithm amuse|amuse-star|oop"
+      "|centralized]\n"
+      "  [--duration-ms <n>] [--seed <n>] [--slack-ms <n>]\n"
+      "  [--rt-threads <n>] [--rt-inbox <frames>] [--rt-batch <frames>] "
+      "[--rt-rate <eps>]\n"
+      "  [--rate-shift <f>] [--shift-at-ms <t>]\n"
+      "  [--drift-window-ms <n>] [--drift-z <z>] [--drift-ratio <r>]\n"
+      "  [--confirm <n>] [--cooldown-ms <n>] [--max-migrations <n>]\n"
+      "  [--check-interval-ms <n>] [--out <file|->] [--schema <file>]\n"
+      "  [--expect-drift] [--expect-migration] [--expect-stationary]\n");
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* content) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+struct Args {
+  std::string spec_path;
+  std::string algorithm = "amuse";
+  uint64_t duration_ms = 10'000;
+  uint64_t seed = 1;
+  std::string out_path;
+  std::string schema_path;
+  double rate_shift = 0;     // 0 = no synthetic shift
+  uint64_t shift_at_ms = 0;  // 0 = duration/2
+  bool expect_drift = false;
+  bool expect_migration = false;
+  bool expect_stationary = false;
+  adapt::AdaptPolicy policy;
+  rt::RtOptions rt;
+};
+
+MuseGraph BuildPlan(const std::string& algorithm,
+                    const WorkloadCatalogs& catalogs) {
+  if (algorithm == "amuse" || algorithm == "amuse-star") {
+    PlannerOptions opts;
+    opts.star = algorithm == "amuse-star";
+    return std::move(PlanWorkloadAmuse(catalogs, opts).combined);
+  }
+  if (algorithm == "oop") {
+    return std::move(PlanWorkloadOop(catalogs).combined);
+  }
+  return BuildCentralizedPlan(catalogs.Pointers(), 0);
+}
+
+/// Same synthetic shift as muse_trace: event times past `shift_at_ms` are
+/// compressed toward it by `factor`, so observed rates jump factor x while
+/// the planner snapshot still describes the stationary head.
+void ApplyRateShift(std::vector<Event>* trace, uint64_t shift_at_ms,
+                    double factor) {
+  for (Event& e : *trace) {
+    if (e.time <= shift_at_ms) continue;
+    e.time = shift_at_ms +
+             static_cast<uint64_t>(
+                 static_cast<double>(e.time - shift_at_ms) / factor);
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The adapt telemetry document (tools/adapt_schema.json describes it).
+std::string ExportAdaptTelemetry(const Args& args,
+                                 const rt::RtReport& report,
+                                 const adapt::AdaptController& controller) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"algorithm\": \"" << JsonEscape(args.algorithm) << "\",\n";
+  os << "  \"duration_ms\": " << args.duration_ms << ",\n";
+  os << "  \"seed\": " << args.seed << ",\n";
+  os << "  \"rate_shift\": " << args.rate_shift << ",\n";
+  os << "  \"drifted\": " << (report.drifted ? "true" : "false") << ",\n";
+  os << "  \"drift_score\": " << report.drift_score << ",\n";
+  os << "  \"migrations\": " << report.migrations << ",\n";
+  os << "  \"migration_aborts\": " << report.migration_aborts << ",\n";
+  os << "  \"replans\": " << controller.Replans() << ",\n";
+  os << "  \"migration_state_events\": " << report.migration_state_events
+     << ",\n";
+  os << "  \"migration_state_bytes\": " << report.migration_state_bytes
+     << ",\n";
+  os << "  \"migration_pause_us\": [";
+  for (size_t i = 0; i < report.migration_pause_us.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << report.migration_pause_us[i];
+  }
+  os << "],\n";
+  os << "  \"transitions\": [";
+  const auto& transitions = controller.transitions();
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n    {\"to\": \""
+       << adapt::AdaptController::StateName(transitions[i].to)
+       << "\", \"trace_ms\": " << transitions[i].trace_ms << ", \"note\": \""
+       << JsonEscape(transitions[i].note) << "\"}";
+  }
+  if (!transitions.empty()) os << "\n  ";
+  os << "],\n";
+  uint64_t matches = 0;
+  for (const auto& per_query : report.matches_per_query) {
+    matches += per_query.size();
+  }
+  os << "  \"matches\": " << matches << ",\n";
+  os << "  \"wedged\": " << (report.wedged ? "true" : "false") << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+int ValidateAgainstSchema(const std::string& json,
+                          const std::string& schema_path) {
+  std::string schema_text;
+  if (!ReadFile(schema_path, &schema_text)) return 2;
+  Result<obs::JsonValue> schema = obs::ParseJson(schema_text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "error: schema %s: %s\n", schema_path.c_str(),
+                 schema.error().message.c_str());
+    return 2;
+  }
+  Result<obs::JsonValue> doc = obs::ParseJson(json);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: exported JSON does not re-parse: %s\n",
+                 doc.error().message.c_str());
+    return 1;
+  }
+  std::vector<std::string> violations =
+      obs::ValidateJsonSchema(doc.value(), schema.value());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "schema violation: %s\n", v.c_str());
+  }
+  if (!violations.empty()) return 1;
+  std::fprintf(stderr, "schema: adapt telemetry conforms to %s\n",
+               schema_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.spec_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](uint64_t* v) {
+      if (i + 1 >= argc) return false;
+      *v = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
+      args.algorithm = argv[++i];
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0) {
+      if (!next(&args.duration_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!next(&args.seed)) return Usage();
+    } else if (std::strcmp(argv[i], "--slack-ms") == 0) {
+      if (!next(&args.rt.eval.eviction_slack_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      args.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
+      args.schema_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--drift-window-ms") == 0) {
+      if (!next(&args.rt.drift.window_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--drift-z") == 0 && i + 1 < argc) {
+      args.rt.drift.z_threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--drift-ratio") == 0 && i + 1 < argc) {
+      args.rt.drift.ratio_threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--rate-shift") == 0 && i + 1 < argc) {
+      args.rate_shift = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--shift-at-ms") == 0) {
+      if (!next(&args.shift_at_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--confirm") == 0) {
+      uint64_t v = 0;
+      if (!next(&v)) return Usage();
+      args.policy.confirm_reports = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--cooldown-ms") == 0) {
+      if (!next(&args.policy.cooldown_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--max-migrations") == 0) {
+      if (!next(&args.policy.max_migrations)) return Usage();
+    } else if (std::strcmp(argv[i], "--check-interval-ms") == 0) {
+      if (!next(&args.rt.adapt_check_interval_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--expect-drift") == 0) {
+      args.expect_drift = true;
+    } else if (std::strcmp(argv[i], "--expect-migration") == 0) {
+      args.expect_migration = true;
+    } else if (std::strcmp(argv[i], "--expect-stationary") == 0) {
+      args.expect_stationary = true;
+    } else if (std::strcmp(argv[i], "--rt-threads") == 0 && i + 1 < argc) {
+      args.rt.num_threads =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rt-inbox") == 0) {
+      uint64_t v = 0;
+      if (!next(&v)) return Usage();
+      args.rt.transport.inbox_capacity = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--rt-batch") == 0 && i + 1 < argc) {
+      args.rt.transport.batch_max_frames =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rt-rate") == 0 && i + 1 < argc) {
+      args.rt.source_rate_eps = std::strtod(argv[++i], nullptr);
+    } else {
+      return Usage();
+    }
+  }
+  const bool known_algorithm =
+      args.algorithm == "amuse" || args.algorithm == "amuse-star" ||
+      args.algorithm == "oop" || args.algorithm == "centralized";
+  if (!known_algorithm) return Usage();
+  if (args.rate_shift != 0 && args.rate_shift < 1.0) {
+    std::fprintf(stderr, "error: --rate-shift factor must be >= 1\n");
+    return Usage();
+  }
+
+  std::string spec_text;
+  if (!ReadFile(args.spec_path, &spec_text)) return 2;
+  Result<DeploymentSpec> spec = ParseDeploymentSpec(spec_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.error().message.c_str());
+    return 2;
+  }
+  const DeploymentSpec& dep_spec = spec.value();
+
+  std::FILE* out = args.out_path == "-" ? stderr : stdout;
+  std::fprintf(out, "network: %d nodes, %d event types; %zu queries\n",
+               dep_spec.network.num_nodes(), dep_spec.network.num_types(),
+               dep_spec.workload.size());
+
+  WorkloadCatalogs catalogs(dep_spec.workload, dep_spec.network);
+  Rng rng(args.seed);
+  TraceOptions trace_opts;
+  trace_opts.duration_ms = args.duration_ms;
+  std::vector<Event> trace =
+      GenerateGlobalTrace(dep_spec.network, trace_opts, rng);
+  if (args.rate_shift > 1.0) {
+    const uint64_t shift_at =
+        args.shift_at_ms > 0 ? args.shift_at_ms : args.duration_ms / 2;
+    args.shift_at_ms = shift_at;
+    ApplyRateShift(&trace, shift_at, args.rate_shift);
+    std::fprintf(out, "synthetic rate shift: %.2fx after %llu ms\n",
+                 args.rate_shift, static_cast<unsigned long long>(shift_at));
+  }
+  std::fprintf(out, "trace: %zu events (seed %llu)\n", trace.size(),
+               static_cast<unsigned long long>(args.seed));
+
+  MuseGraph plan = BuildPlan(args.algorithm, catalogs);
+  Deployment dep(plan, catalogs.Pointers());
+
+  adapt::AdaptController controller(dep_spec.workload, dep_spec.network,
+                                    &dep, args.policy);
+  rt::RtOptions rt_opts = args.rt;
+  rt_opts.source_seed = args.seed;
+  rt_opts.adapt = &controller;
+  // Re-planned generations may place tasks on any network node.
+  rt_opts.min_nodes = static_cast<size_t>(dep_spec.network.num_nodes());
+  if (rt_opts.eval.eviction_slack_ms == 0) {
+    rt_opts.eval.eviction_slack_ms = 2000;
+  }
+
+  rt::RtRuntime runtime(dep, rt_opts);
+  rt::RtReport report = runtime.Run(trace);
+
+  std::fprintf(out, "\nalgorithm: %s (muse-rt, %d thread(s))\n%s\n",
+               args.algorithm.c_str(), rt_opts.num_threads,
+               report.Summary().c_str());
+  std::fprintf(out, "\ncontroller (%llu replans, %llu rejected):\n",
+               static_cast<unsigned long long>(controller.Replans()),
+               static_cast<unsigned long long>(controller.rejected()));
+  for (const auto& t : controller.transitions()) {
+    std::fprintf(out, "  %6llu ms  -> %-10s %s\n",
+                 static_cast<unsigned long long>(t.trace_ms),
+                 adapt::AdaptController::StateName(t.to), t.note.c_str());
+  }
+
+  int rc = 0;
+  if (!args.out_path.empty() || !args.schema_path.empty()) {
+    const std::string json = ExportAdaptTelemetry(args, report, controller);
+    if (args.out_path == "-") {
+      std::printf("%s", json.c_str());
+    } else if (!args.out_path.empty() && !WriteFile(args.out_path, json)) {
+      rc = 1;
+    }
+    if (!args.schema_path.empty() && rc == 0) {
+      rc = ValidateAgainstSchema(json, args.schema_path);
+    }
+  }
+  if (args.expect_drift && !report.drifted) {
+    std::fprintf(stderr,
+                 "expectation failed: --expect-drift but drifted=false "
+                 "(drift_score %.3f)\n",
+                 report.drift_score);
+    rc = 1;
+  }
+  if (args.expect_migration && report.migrations == 0) {
+    std::fprintf(stderr,
+                 "expectation failed: --expect-migration but no migration "
+                 "completed (%llu aborts, %llu replans)\n",
+                 static_cast<unsigned long long>(report.migration_aborts),
+                 static_cast<unsigned long long>(controller.Replans()));
+    rc = 1;
+  }
+  if (args.expect_stationary && report.migrations > 0) {
+    std::fprintf(stderr,
+                 "expectation failed: --expect-stationary but %llu "
+                 "migration(s) ran\n",
+                 static_cast<unsigned long long>(report.migrations));
+    rc = 1;
+  }
+  return rc;
+}
