@@ -33,12 +33,15 @@ struct EngineInstance {
   TypeRegistry reg;
   Query query;
   std::vector<Event> trace;
+  EvaluatorOptions opts;
 
   EngineInstance(const std::string& pattern, uint64_t window_ms,
-                 int64_t key_cardinality, double rate_per_type = 25.0) {
+                 int64_t key_cardinality, double rate_per_type = 25.0,
+                 uint64_t eviction_slack_ms = 0) {
     Query q = ParseQuery(pattern, &reg).value();
     q.set_window(window_ms);
     query = q;
+    opts.eviction_slack_ms = eviction_slack_ms;
     Network net(4, reg.size());
     for (NodeId n = 0; n < 4; ++n) {
       for (int t = 0; t < reg.size(); ++t) {
@@ -57,11 +60,42 @@ struct EngineInstance {
 
   /// One full pass: feed the trace, flush, return the match count.
   uint64_t RunOnce() const {
-    QueryEngine engine(query);
+    QueryEngine engine(query, opts);
     std::vector<Match> out;
     uint64_t matches = 0;
     for (const Event& e : trace) {
       engine.OnEvent(e, &out);
+      matches += out.size();
+      out.clear();
+    }
+    engine.Flush(&out);
+    matches += out.size();
+    return matches;
+  }
+
+  /// One full pass through the columnar path: the trace is cut into
+  /// consecutive batches whose time span stays within `max_span_ms` (set it
+  /// to the eviction slack so every batch takes the order-insensitive bulk
+  /// path), each fed through QueryEngine::OnBatch. Same match multiset as
+  /// RunOnce — the scaling harness fails if the counts diverge.
+  uint64_t RunOnceBatched(uint64_t max_span_ms) const {
+    QueryEngine engine(query, opts);
+    std::vector<Match> out;
+    uint64_t matches = 0;
+    EventBatch batch;
+    uint64_t batch_start = 0;
+    for (const Event& e : trace) {
+      if (!batch.empty() && e.time - batch_start > max_span_ms) {
+        engine.OnBatch(batch, &out);
+        matches += out.size();
+        out.clear();
+        batch.Clear();
+      }
+      if (batch.empty()) batch_start = e.time;
+      batch.Append(e);
+    }
+    if (!batch.empty()) {
+      engine.OnBatch(batch, &out);
       matches += out.size();
       out.clear();
     }
@@ -129,6 +163,36 @@ constexpr Scenario kScenarios[] = {
     {"nseq_keyed_window", "NSEQ(A, B, D)", 200, 8, 25.0},
 };
 
+/// Selective-predicate scenarios (muse-batch): unary modulus filters keep
+/// only a small fraction of each primitive stream, which is precisely where
+/// columnar ingestion pays off — the scalar path buffers and joins every
+/// event and only rejects at candidate assembly, while the batch kernels
+/// drop failing rows in one flat pass before they ever reach a buffer.
+/// Scalar and batch runs share one EngineInstance (same trace, same
+/// evaluator options); the batch span equals the eviction slack so every
+/// batch takes the bulk path.
+struct SelectiveScenario {
+  const char* name;
+  const char* pattern;
+  uint64_t window_ms;
+  int64_t key_cardinality;
+  double rate_per_type;
+  uint64_t slack_ms;
+};
+
+constexpr SelectiveScenario kSelectiveScenarios[] = {
+    {"seq_mod16_selective",
+     "SEQ(A a, B b) WHERE a.a0 % 16 == 0 AND b.a0 % 16 == 0", 50, 64, 400.0,
+     50},
+    {"seq_mod8_keyed_selective",
+     "SEQ(A a, B b, D d) WHERE a.a0 % 8 == 0 AND b.a0 % 8 == 0 AND "
+     "d.a0 % 8 == 0 AND a.a1 == b.a1 AND b.a1 == d.a1",
+     100, 64, 250.0, 50},
+    {"nseq_mod8_selective",
+     "NSEQ(A a, B b, D d) WHERE a.a0 % 8 == 0 AND d.a0 % 8 == 0", 100, 64,
+     250.0, 50},
+};
+
 int RunEngineScaling(const std::string& out_path, int reps) {
   struct Point {
     std::string name;
@@ -165,6 +229,52 @@ int RunEngineScaling(const std::string& out_path, int reps) {
                 consistent ? "" : "DIVERGED");
   }
 
+  // Scalar-vs-batch comparison on the selective scenarios: best-of-reps
+  // for each path, and a hard determinism gate — every rep of either path
+  // must produce the same match count.
+  struct SelectivePoint {
+    std::string name;
+    size_t events;
+    double scalar_seconds;
+    double batch_seconds;
+    uint64_t matches;
+    bool consistent;
+  };
+  std::vector<SelectivePoint> selective;
+  for (const SelectiveScenario& sc : kSelectiveScenarios) {
+    EngineInstance inst(sc.pattern, sc.window_ms, sc.key_cardinality,
+                        sc.rate_per_type, sc.slack_ms);
+    double scalar_best = 0, batch_best = 0;
+    uint64_t matches = 0;
+    bool consistent = true;
+    for (int r = 0; r < reps; ++r) {
+      auto t0 = std::chrono::steady_clock::now();
+      const uint64_t scalar_m = inst.RunOnce();
+      const double scalar_secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      t0 = std::chrono::steady_clock::now();
+      const uint64_t batch_m = inst.RunOnceBatched(sc.slack_ms);
+      const double batch_secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (r == 0 || scalar_secs < scalar_best) scalar_best = scalar_secs;
+      if (r == 0 || batch_secs < batch_best) batch_best = batch_secs;
+      if (r == 0) matches = scalar_m;
+      consistent &= (scalar_m == matches) && (batch_m == matches);
+    }
+    all_consistent &= consistent;
+    selective.push_back(SelectivePoint{sc.name, inst.trace.size(), scalar_best,
+                                       batch_best, matches, consistent});
+    std::printf(
+        "%-26s %zu events  scalar %.3fs  batch %.3fs  speedup %.2fx  "
+        "matches=%llu %s\n",
+        sc.name, inst.trace.size(), scalar_best, batch_best,
+        batch_best > 0 ? scalar_best / batch_best : 0.0,
+        static_cast<unsigned long long>(matches),
+        consistent ? "" : "DIVERGED");
+  }
+
   std::ostringstream json;
   json << "{\n  \"bench\": \"engine_scaling\",\n";
   json << "  \"config\": {\"num_nodes\": 4, \"duration_ms\": 20000, "
@@ -185,6 +295,21 @@ int RunEngineScaling(const std::string& out_path, int reps) {
          << ", \"matches\": " << p.matches << ", \"matches_consistent\": "
          << (p.consistent ? "true" : "false") << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"selective_results\": [\n";
+  for (size_t i = 0; i < selective.size(); ++i) {
+    const SelectivePoint& p = selective[i];
+    const SelectiveScenario& sc = kSelectiveScenarios[i];
+    json << "    {\"name\": \"" << p.name << "\", \"window_ms\": "
+         << sc.window_ms << ", \"keys\": " << sc.key_cardinality
+         << ", \"rate_per_type\": " << sc.rate_per_type
+         << ", \"slack_ms\": " << sc.slack_ms << ", \"events\": " << p.events
+         << ", \"scalar_seconds\": " << p.scalar_seconds
+         << ", \"batch_seconds\": " << p.batch_seconds << ", \"speedup\": "
+         << (p.batch_seconds > 0 ? p.scalar_seconds / p.batch_seconds : 0.0)
+         << ", \"matches\": " << p.matches << ", \"matches_consistent\": "
+         << (p.consistent ? "true" : "false") << "}"
+         << (i + 1 < selective.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
 

@@ -1,0 +1,119 @@
+#include "src/cep/batch.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace muse {
+
+void EventBatch::Clear() {
+  type.clear();
+  origin.clear();
+  seq.clear();
+  time.clear();
+  for (auto& col : attrs) col.clear();
+}
+
+void EventBatch::Reserve(size_t n) {
+  type.reserve(n);
+  origin.reserve(n);
+  seq.reserve(n);
+  time.reserve(n);
+  for (auto& col : attrs) col.reserve(n);
+}
+
+void EventBatch::Append(const Event& e) {
+  type.push_back(e.type);
+  origin.push_back(e.origin);
+  seq.push_back(e.seq);
+  time.push_back(e.time);
+  for (int a = 0; a < kNumAttrs; ++a) attrs[a].push_back(e.attrs[a]);
+}
+
+Event EventBatch::At(size_t i) const {
+  Event e;
+  e.type = type[i];
+  e.origin = origin[i];
+  e.seq = seq[i];
+  e.time = time[i];
+  for (int a = 0; a < kNumAttrs; ++a) e.attrs[a] = attrs[a][i];
+  return e;
+}
+
+uint64_t EventBatch::SpanMs() const {
+  if (time.empty()) return 0;
+  uint64_t lo = time[0];
+  uint64_t hi = time[0];
+  for (size_t i = 1; i < time.size(); ++i) {
+    lo = std::min(lo, time[i]);
+    hi = std::max(hi, time[i]);
+  }
+  return hi - lo;
+}
+
+EventBatch EventBatch::FromEvents(const std::vector<Event>& events) {
+  EventBatch b;
+  b.Reserve(events.size());
+  for (const Event& e : events) b.Append(e);
+  return b;
+}
+
+void SelectTypeRows(const EventBatch& b, EventTypeId t,
+                    std::vector<uint32_t>* rows) {
+  const EventTypeId* types = b.type.data();
+  const size_t n = b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (types[i] == t) rows->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+size_t FilterRowsMod(const EventBatch& b, int attr, int64_t modulus,
+                     std::vector<uint32_t>* rows) {
+  MUSE_CHECK(attr >= 0 && attr < kNumAttrs, "bad attr index");
+  MUSE_CHECK(modulus >= 1, "filter modulus must be positive");
+  const int64_t* col = b.attrs[attr].data();
+  uint32_t* dst = rows->data();
+  size_t kept = 0;
+  const size_t n = rows->size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = dst[i];
+    dst[kept] = r;
+    kept += static_cast<size_t>(EuclidMod(col[r], modulus) == 0);
+  }
+  const size_t dropped = n - kept;
+  rows->resize(kept);
+  return dropped;
+}
+
+void GatherAttr(const EventBatch& b, int attr,
+                const std::vector<uint32_t>& rows,
+                std::vector<int64_t>* keys) {
+  MUSE_CHECK(attr >= 0 && attr < kNumAttrs, "bad attr index");
+  const int64_t* col = b.attrs[attr].data();
+  keys->resize(rows.size());
+  int64_t* dst = keys->data();
+  for (size_t i = 0; i < rows.size(); ++i) dst[i] = col[rows[i]];
+}
+
+void ComputeUnaryPassMask(const EventBatch& b, EventTypeId target_type,
+                          const std::vector<Predicate>& preds,
+                          std::vector<uint8_t>* pass) {
+  const size_t n = b.size();
+  pass->resize(n);
+  uint8_t* out = pass->data();
+  const EventTypeId* types = b.type.data();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(types[i] == target_type);
+  }
+  for (const Predicate& p : preds) {
+    if (p.kind != Predicate::Kind::kFilter) continue;
+    if (p.left_type != target_type) continue;
+    const int64_t* col = b.attrs[p.left_attr].data();
+    const int64_t m = p.modulus;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] &= static_cast<uint8_t>(EuclidMod(col[i], m) == 0);
+    }
+  }
+}
+
+}  // namespace muse

@@ -1,0 +1,85 @@
+#ifndef MUSE_CEP_BATCH_H_
+#define MUSE_CEP_BATCH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/cep/predicate.h"
+
+namespace muse {
+
+/// A block of events in structure-of-arrays layout (muse-batch, ROADMAP
+/// item 2). The evaluator's per-event path pays a virtual-dispatch and
+/// pointer-chasing tax on every input; at millions-of-users scale the
+/// dominant cost is how many candidate tuples reach the join at all
+/// (Kolchinsky & Schuster). Batching lets predicate kernels sweep whole
+/// columns in flat loops — the compiler auto-vectorizes them — and hand the
+/// join pre-filtered candidate *row indices* instead of one event at a time,
+/// the same frames-not-samples discipline real-time DSP renderers use.
+///
+/// Columns are parallel: row i of every column describes one event. Rows
+/// are expected in global-trace order (`seq` ascending, hence `time`
+/// non-decreasing); `ProjectionEvaluator::OnEventBatch` relies on this to
+/// pick its ingestion mode.
+struct EventBatch {
+  std::vector<EventTypeId> type;
+  std::vector<NodeId> origin;
+  std::vector<uint64_t> seq;
+  std::vector<uint64_t> time;
+  std::array<std::vector<int64_t>, kNumAttrs> attrs;
+
+  size_t size() const { return type.size(); }
+  bool empty() const { return type.empty(); }
+
+  void Clear();
+  void Reserve(size_t n);
+  void Append(const Event& e);
+
+  /// Reassembles row i as a row-form Event (boundary use only — kernels and
+  /// the evaluator's bulk path never call this per inner-loop iteration).
+  Event At(size_t i) const;
+
+  /// max(time) - min(time) over all rows; 0 when empty. For in-order rows
+  /// this is time.back() - time.front(), but the span is computed over the
+  /// whole column so a mis-ordered batch still reports an honest span.
+  uint64_t SpanMs() const;
+
+  static EventBatch FromEvents(const std::vector<Event>& events);
+};
+
+/// Appends to `rows` the indices of all rows of `b` whose type is `t`, in
+/// row order. One flat pass over the type column.
+void SelectTypeRows(const EventBatch& b, EventTypeId t,
+                    std::vector<uint32_t>* rows);
+
+/// Compacts `rows` in place to the rows whose attribute `attr` satisfies
+/// the Euclidean-mod filter `attr % modulus == 0` (the same `EuclidMod`
+/// the scalar `Predicate::Eval` and the oracle use — truncated `%` would
+/// silently diverge on negative attributes). Returns the number of rows
+/// dropped. Branch-light gather over one attribute column; no virtual
+/// calls.
+size_t FilterRowsMod(const EventBatch& b, int attr, int64_t modulus,
+                     std::vector<uint32_t>* rows);
+
+/// Gathers attribute column `attr` at the given rows into `keys`
+/// (keys->size() == rows.size()). Used to stage join-key columns for the
+/// equality-partitioned buffers.
+void GatherAttr(const EventBatch& b, int attr,
+                const std::vector<uint32_t>& rows, std::vector<int64_t>* keys);
+
+/// Writes pass[i] = 1 iff row i has type `target_type` and satisfies every
+/// predicate in `preds` that is a unary filter on `target_type` (equality
+/// predicates are binary and vacuous on a single event, exactly as in the
+/// scalar `StructurallyMatches` gate on a singleton). One pass over the
+/// type column plus one flat pass per filter predicate. Used by the rt
+/// runtime to pre-compute per-task forwarding decisions for a whole inbox
+/// batch.
+void ComputeUnaryPassMask(const EventBatch& b, EventTypeId target_type,
+                          const std::vector<Predicate>& preds,
+                          std::vector<uint8_t>* pass);
+
+}  // namespace muse
+
+#endif  // MUSE_CEP_BATCH_H_

@@ -7,7 +7,7 @@
 namespace muse {
 
 QueryEngine::QueryEngine(const Query& q, EvaluatorOptions options)
-    : query_(q) {
+    : query_(q), options_(options) {
   MUSE_CHECK(!q.ContainsOr(),
              "QueryEngine evaluates OR-free queries; use SplitDisjunctions");
   std::vector<Query> parts;
@@ -56,6 +56,29 @@ void QueryEngine::OnEvent(const Event& e, std::vector<Match>* out) {
   }
 }
 
+void QueryEngine::OnBatch(const EventBatch& batch, std::vector<Match>* out) {
+  if (batch.empty()) return;
+  if (!middles_.empty() && batch.SpanMs() > options_.eviction_slack_ms) {
+    // Anti matches must interleave with positive ingestion once the batch
+    // outspans the slack contract; replay the scalar path, which does.
+    for (size_t i = 0; i < batch.size(); ++i) OnEvent(batch.At(i), out);
+    return;
+  }
+  // All anti matches of the batch are ingested before any positive row, so
+  // candidates formed from this batch see every invalidating anti either in
+  // the buffer (EmitCandidate's InvalidatedByAnti) or via pending pruning —
+  // order-insensitive because span <= slack keeps releases out of the batch.
+  for (MiddleEngine& me : middles_) {
+    std::vector<Match> anti;
+    me.engine->OnBatch(batch, &anti);
+    me.engine->Flush(&anti);
+    for (const Match& m : anti) {
+      main_->OnMatch(me.anti_part, m, out);
+    }
+  }
+  main_->OnEventBatch(batch, part_of_type_.data(), part_of_type_.size(), out);
+}
+
 void QueryEngine::Flush(std::vector<Match>* out) { main_->Flush(out); }
 
 namespace {
@@ -82,6 +105,13 @@ void ExportEvaluatorStats(obs::MetricsRegistry* registry,
       ->Set(static_cast<double>(stats.pending));
   registry->GetGauge("evaluator_peak_pending", labels)
       ->Set(static_cast<double>(stats.peak_pending));
+  registry->GetCounter("engine_batches_total", labels)->Add(stats.batches);
+  registry->GetCounter("engine_batch_rows_total", labels)
+      ->Add(stats.batch_rows);
+  registry->GetCounter("engine_batch_rows_filtered_total", labels)
+      ->Add(stats.batch_rows_filtered);
+  registry->GetCounter("engine_batch_bulk_total", labels)
+      ->Add(stats.batch_bulk);
 }
 
 }  // namespace
@@ -108,6 +138,14 @@ void WorkloadEngine::OnEvent(const Event& e,
   out->resize(engines_.size());
   for (size_t i = 0; i < engines_.size(); ++i) {
     engines_[i].OnEvent(e, &(*out)[i]);
+  }
+}
+
+void WorkloadEngine::OnBatch(const EventBatch& batch,
+                             std::vector<std::vector<Match>>* out) {
+  out->resize(engines_.size());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    engines_[i].OnBatch(batch, &(*out)[i]);
   }
 }
 

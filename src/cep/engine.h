@@ -30,6 +30,17 @@ class QueryEngine {
   /// `out`. Events of types not referenced by the query are ignored.
   void OnEvent(const Event& e, std::vector<Match>* out);
 
+  /// Columnar ingestion of a whole batch of global-trace events (rows in
+  /// `seq` order), semantically equal to calling OnEvent per row: the same
+  /// match multiset is emitted, though order within a batch may differ.
+  /// NSEQ middle sub-engines consume the batch first so every anti match is
+  /// known before positive candidates form; this requires batch ingestion
+  /// to be order-insensitive, so when the batch's time span exceeds
+  /// `eviction_slack_ms` a query with middles replays the batch through the
+  /// scalar path instead (negation-free queries defer that decision to
+  /// `ProjectionEvaluator::OnEventBatch`, which still pre-filters rows).
+  void OnBatch(const EventBatch& batch, std::vector<Match>* out);
+
   /// Emits pending NSEQ candidates (no-op for negation-free queries).
   void Flush(std::vector<Match>* out);
 
@@ -43,6 +54,7 @@ class QueryEngine {
 
  private:
   Query query_;
+  EvaluatorOptions options_;
   std::unique_ptr<ProjectionEvaluator> main_;
   /// part index in `main_` for each positive primitive type; -1 otherwise.
   std::vector<int> part_of_type_;
@@ -65,6 +77,8 @@ class WorkloadEngine {
 
   /// Feeds one event; `out[i]` receives completed matches of query i.
   void OnEvent(const Event& e, std::vector<std::vector<Match>>* out);
+  /// Columnar variant of OnEvent over a whole batch (see QueryEngine).
+  void OnBatch(const EventBatch& batch, std::vector<std::vector<Match>>* out);
   void Flush(std::vector<std::vector<Match>>* out);
 
   int num_queries() const { return static_cast<int>(engines_.size()); }

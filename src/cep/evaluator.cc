@@ -228,6 +228,70 @@ void ProjectionEvaluator::OnMatch(int part_idx, const Match& m,
   ReleasePending(out);
 }
 
+void ProjectionEvaluator::OnEventBatch(const EventBatch& batch,
+                                       const int* part_of_type,
+                                       size_t num_types,
+                                       std::vector<Match>* out) {
+  const size_t n = batch.size();
+  if (n == 0) return;
+  ++stats_.batches;
+  stats_.batch_rows += n;
+
+  // Route rows to their positive parts: one flat pass over the type column.
+  batch_rows_.resize(parts_.size());
+  for (auto& rows : batch_rows_) rows.clear();
+  const EventTypeId* types = batch.type.data();
+  for (size_t i = 0; i < n; ++i) {
+    const EventTypeId t = types[i];
+    const int p = static_cast<size_t>(t) < num_types ? part_of_type[t] : -1;
+    if (p >= 0) batch_rows_[p].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Compact each part's candidate rows through its unary filter kernels.
+  // The kernels only apply when the part is a singleton primitive (every
+  // routed row then has the predicate's type); QueryEngine's positive parts
+  // always are.
+  for (int p : positive_parts_) {
+    std::vector<uint32_t>& rows = batch_rows_[p];
+    if (rows.empty()) continue;
+    TypeSet prim = parts_[p].PrimitiveTypes();
+    if (prim.size() != 1) continue;
+    const EventTypeId part_type = prim.First();
+    for (const Predicate& pred : parts_[p].predicates()) {
+      if (pred.kind != Predicate::Kind::kFilter) continue;
+      if (pred.left_type != part_type) continue;
+      stats_.batch_rows_filtered +=
+          FilterRowsMod(batch, pred.left_attr, pred.modulus, &rows);
+      if (rows.empty()) break;
+    }
+  }
+
+  if (batch.SpanMs() <= options_.eviction_slack_ms) {
+    // Bulk: whole part columns at a time. No eviction cutoff or pending
+    // release can fire inside the batch (span <= slack), and each
+    // cross-part pair is formed exactly once — by whichever side is
+    // ingested second — so part order is free and chosen for locality.
+    ++stats_.batch_bulk;
+    for (int p : positive_parts_) {
+      for (uint32_t r : batch_rows_[p]) {
+        OnMatch(p, Match::Single(batch.At(r)), out);
+      }
+    }
+  } else {
+    // The batch spans more than the slack contract covers: replay the
+    // surviving rows in trace order so eviction and pending release see
+    // the same watermark schedule as the scalar path.
+    batch_part_of_row_.assign(n, -1);
+    for (int p : positive_parts_) {
+      for (uint32_t r : batch_rows_[p]) batch_part_of_row_[r] = p;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const int p = batch_part_of_row_[i];
+      if (p >= 0) OnMatch(p, Match::Single(batch.At(i)), out);
+    }
+  }
+}
+
 void ProjectionEvaluator::ReleasePending(std::vector<Match>* out) {
   // A pending candidate is clear once the watermark strictly passes its
   // release point: any anti match able to invalidate it lies between its

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cep/batch.h"
 #include "src/cep/match.h"
 #include "src/cep/query.h"
 
@@ -52,6 +53,15 @@ struct EvaluatorStats {
   uint64_t pending_released = 0;
   /// NSEQ candidates pruned from pending by a later-arriving anti match.
   uint64_t pending_invalidated = 0;
+  /// Columnar ingestion (muse-batch): batches fed through OnEventBatch,
+  /// their total row count, rows dropped by the predicate kernels before
+  /// ever reaching a buffer, and batches taken on the order-insensitive
+  /// bulk path (vs. the row-ordered fallback when the batch spans more
+  /// than the eviction slack).
+  uint64_t batches = 0;
+  uint64_t batch_rows = 0;
+  uint64_t batch_rows_filtered = 0;
+  uint64_t batch_bulk = 0;
 };
 
 /// Evaluates one query projection from streams of matches of its
@@ -100,6 +110,27 @@ class ProjectionEvaluator {
   void OnEvent(int part_idx, const Event& e, std::vector<Match>* out) {
     OnMatch(part_idx, Match::Single(e), out);
   }
+
+  /// Columnar ingestion of a whole batch of raw events (muse-batch).
+  /// `part_of_type[t]` names the positive primitive part receiving events
+  /// of type t, or -1 for types the evaluator ignores; every part so named
+  /// must be a singleton primitive projection. Rows must be in global-trace
+  /// order (`seq` ascending).
+  ///
+  /// Rows are first routed and compacted by the flat predicate kernels:
+  /// a row failing a unary filter of its part can never survive the
+  /// `StructurallyMatches` gate, so dropping it before insertion preserves
+  /// the match set while shrinking buffers and join work by the filter
+  /// selectivity. The surviving candidate index vectors then feed the join:
+  ///  * if the batch's time span fits inside `eviction_slack_ms`, parts are
+  ///    ingested column-at-a-time (order-insensitive: no eviction cutoff or
+  ///    pending release can fire inside the batch, and each cross-part pair
+  ///    is still formed exactly once by its later-ingested side);
+  ///  * otherwise rows replay in trace order, still skipping filtered rows.
+  /// Either way the emitted multiset equals the scalar path's; only the
+  /// emission order within the batch may differ.
+  void OnEventBatch(const EventBatch& batch, const int* part_of_type,
+                    size_t num_types, std::vector<Match>* out);
 
   /// Emits the NSEQ candidates still pending (those the watermark has not
   /// cleared yet). Idempotent: candidates already released by the
@@ -186,6 +217,11 @@ class ProjectionEvaluator {
   /// the watermark advances through other parts.
   uint64_t inserts_since_eviction_ = 0;
   uint64_t next_eviction_watermark_ = 0;
+  /// Scratch for OnEventBatch, reused across batches: per-part candidate
+  /// row indices after kernel pre-filtering, and the row -> part scatter
+  /// used by the ordered fallback.
+  std::vector<std::vector<uint32_t>> batch_rows_;
+  std::vector<int> batch_part_of_row_;
   EvaluatorStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/cep/parser.h"
 
 #include <cctype>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -22,14 +23,20 @@ class Parser {
     SkipSpace();
     const size_t before_keyword = pos_;
     if (ConsumeKeyword("PATTERN")) {
-      // The keyword must introduce an expression. A lone "PATTERN" is a
-      // pattern *named* PATTERN (an event type can carry that name), so
-      // backtrack and parse it as the expression itself — otherwise
-      // ToString -> ParseQuery round trips fail on such queries.
+      // The keyword must introduce an expression. A lone "PATTERN" — or
+      // "PATTERN WHERE ..."/"PATTERN WITHIN ..." — is a pattern *named*
+      // PATTERN (an event type can carry that name), so backtrack and parse
+      // it as the expression itself — otherwise ToSpecString -> ParseQuery
+      // round trips fail on such queries.
       SkipSpace();
-      if (AtEnd()) pos_ = before_keyword;
+      const size_t after_keyword = pos_;
+      std::optional<std::string> next = ParseIdent();
+      pos_ = after_keyword;
+      if (AtEnd() || (next.has_value() && IsClauseKeyword(*next))) {
+        pos_ = before_keyword;
+      }
     }
-    Result<Query> pattern = ParseExpr(/*allow_vars=*/true);
+    Result<Query> pattern = ParseExpr(/*allow_vars=*/true, /*at_root=*/true);
     if (!pattern.ok()) return pattern;
     Query q = std::move(pattern).value();
 
@@ -99,6 +106,12 @@ class Parser {
     return true;
   }
 
+  static bool IsClauseKeyword(const std::string& name) {
+    std::string upper;
+    for (char c : name) upper += static_cast<char>(std::toupper(c));
+    return upper == "WHERE" || upper == "WITHIN";
+  }
+
   static std::optional<OpKind> OperatorFor(const std::string& name) {
     std::string upper;
     for (char c : name) upper += static_cast<char>(std::toupper(c));
@@ -110,7 +123,13 @@ class Parser {
   }
 
   /// expr := IDENT [var] | OP '(' expr (',' expr)* ')'
-  Result<Query> ParseExpr(bool allow_vars) {
+  ///
+  /// `at_root` is true only for the top-level expression, where a WHERE or
+  /// WITHIN clause may legally follow: there a keyword after a primitive is
+  /// the clause, not a variable binding. Inside an operator's parentheses
+  /// the next token can only be a binding, ',' or ')', so keyword-named
+  /// variables stay usable.
+  Result<Query> ParseExpr(bool allow_vars, bool at_root = false) {
     std::optional<std::string> ident = ParseIdent();
     if (!ident.has_value()) return Err("expected identifier at ", pos_);
     std::optional<OpKind> op = OperatorFor(*ident);
@@ -156,8 +175,14 @@ class Parser {
     if (allow_vars) {
       SkipSpace();
       if (!AtEnd() && (std::isalpha(Peek()) || Peek() == '_')) {
+        const size_t before_var = pos_;
         std::optional<std::string> var = ParseIdent();
-        if (var.has_value() && !OperatorFor(*var).has_value()) {
+        if (var.has_value() && at_root && IsClauseKeyword(*var)) {
+          // `A WHERE ...` / `A WITHIN ...`: the word starts the next
+          // clause. Swallowing it as a binding would leave the clause
+          // unparsable ("trailing input").
+          pos_ = before_var;
+        } else if (var.has_value() && !OperatorFor(*var).has_value()) {
           vars_[*var] = type;
         }
       }
@@ -166,7 +191,9 @@ class Parser {
   }
 
   /// where := term ('AND'|'∧') term ...
-  /// term  := var '.' attr ('=='|'=') var '.' attr
+  /// term  := ref '.' attr ('=='|'=') ref '.' attr
+  ///        | ref '.' attr '%' INT ('=='|'=') '0'
+  /// ref   := bound variable | event type name
   Result<std::vector<Predicate>> ParseWhere() {
     std::vector<Predicate> preds;
     while (true) {
@@ -195,24 +222,57 @@ class Parser {
     return Err("unknown attribute '", *name, "' (use a0/a1/uID/jID)");
   }
 
+  /// Resolves a WHERE reference: a bound variable shadows an event type of
+  /// the same name; otherwise the name must be a type already mentioned in
+  /// the pattern (no interning here — WHERE cannot introduce new types).
+  Result<EventTypeId> ResolveRef(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return it->second;
+    int type = reg_->Find(name);
+    if (type >= 0) return static_cast<EventTypeId>(type);
+    return Err("unbound variable or unknown type '", name, "'");
+  }
+
   Result<Predicate> ParseWhereTerm() {
     std::optional<std::string> var = ParseIdent();
     if (!var.has_value()) return Err("expected variable at ", pos_);
-    auto left = vars_.find(*var);
-    if (left == vars_.end()) return Err("unbound variable '", *var, "'");
+    Result<EventTypeId> left = ResolveRef(*var);
+    if (!left.ok()) return left.error();
     if (!Consume('.')) return Err("expected '.' after variable");
     Result<int> left_attr = ParseAttr();
     if (!left_attr.ok()) return left_attr.error();
-    if (!Consume('=')) return Err("expected '=' in predicate");
+    SkipSpace();
+    if (Consume('%')) {
+      // Unary modulus filter: ref.attr % m == 0 (Euclidean mod).
+      SkipSpace();
+      size_t start = pos_;
+      while (pos_ < text_.size() && std::isdigit(Peek())) ++pos_;
+      if (pos_ == start) return Err("expected modulus at ", pos_);
+      std::optional<uint64_t> modulus =
+          ParseUint64(text_.substr(start, pos_ - start));
+      if (!modulus || *modulus == 0 ||
+          *modulus > static_cast<uint64_t>(INT64_MAX)) {
+        return Err("filter modulus out of range at ", start);
+      }
+      if (!Consume('=')) return Err("expected '=' in predicate");
+      Consume('=');  // tolerate both = and ==
+      if (!Consume('0')) return Err("filter must compare against 0");
+      return Predicate::Filter(left.value(), left_attr.value(),
+                               static_cast<int64_t>(*modulus));
+    }
+    if (!Consume('=')) return Err("expected '=' or '%' in predicate");
     Consume('=');  // tolerate both = and ==
     std::optional<std::string> rvar = ParseIdent();
     if (!rvar.has_value()) return Err("expected variable at ", pos_);
-    auto right = vars_.find(*rvar);
-    if (right == vars_.end()) return Err("unbound variable '", *rvar, "'");
+    Result<EventTypeId> right = ResolveRef(*rvar);
+    if (!right.ok()) return right.error();
     if (!Consume('.')) return Err("expected '.' after variable");
     Result<int> right_attr = ParseAttr();
     if (!right_attr.ok()) return right_attr.error();
-    return Predicate::Equality(left->second, left_attr.value(), right->second,
+    if (left.value() == right.value()) {
+      return Err("equality predicate needs two distinct types");
+    }
+    return Predicate::Equality(left.value(), left_attr.value(), right.value(),
                                right_attr.value(), default_sel_);
   }
 

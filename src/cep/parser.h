@@ -28,9 +28,19 @@ namespace muse {
 ///    `a0`/`a1` (with aliases `uid` -> a0 and `jid` -> a1, matching the
 ///    cluster-monitoring queries). WITHIN accepts `ms`, `s`, `m`/`min`, `h`.
 ///
+///    WHERE accepts two term forms, matching the two `Predicate` kinds:
+///
+///      f.a0 == e.a0         // kEquality (also accepts a single '=')
+///      f.a0 % 16 == 0       // kFilter: Euclidean mod, selectivity 1/16
+///
+///    A term's left/right reference is resolved as a bound variable first,
+///    falling back to the event type's own name, so filters are writable
+///    without inventing a binding (`A WHERE A.a0 % 4 == 0`).
+///
 /// Equality predicates parsed from WHERE receive selectivity
 /// `default_selectivity`; callers with better estimates can adjust the
-/// returned query's predicates.
+/// returned query's predicates. Filter predicates carry their exact
+/// modeled selectivity 1/modulus.
 Result<Query> ParseQuery(const std::string& text, TypeRegistry* reg,
                          double default_selectivity = 0.1);
 

@@ -56,7 +56,7 @@ bool Predicate::Eval(const std::vector<Event>& events) const {
   const Event* left = FindType(events, left_type);
   if (left == nullptr) return true;  // not applicable
   if (kind == Kind::kFilter) {
-    return left->attrs[left_attr] % modulus == 0;
+    return EuclidMod(left->attrs[left_attr], modulus) == 0;
   }
   const Event* right = FindType(events, right_type);
   if (right == nullptr) return true;  // not applicable

@@ -11,6 +11,17 @@
 
 namespace muse {
 
+/// Euclidean modulo: the remainder of `value / modulus` normalized into
+/// `[0, modulus)`. C++'s `%` truncates toward zero, so `-3 % 2 == -1` and a
+/// filter `attr % m == 0` written with raw `%` rejects almost every negative
+/// attribute — breaking the modeled 1/m selectivity on signed payloads. All
+/// predicate evaluation (scalar Eval, the oracle, and the columnar batch
+/// kernels) must use this one definition. `modulus` must be >= 1.
+inline int64_t EuclidMod(int64_t value, int64_t modulus) {
+  int64_t r = value % modulus;
+  return r < 0 ? r + modulus : r;
+}
+
 /// Boolean predicate over the payload of the events bound to at most two
 /// primitive operators (§2.2). Following the paper, complex predicates are
 /// split so that each predicate references at most two primitive operators

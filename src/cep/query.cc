@@ -163,6 +163,32 @@ std::string Query::ToString(const TypeRegistry* reg) const {
   return SubtreeString(root_, reg);
 }
 
+std::string Query::ToSpecString(const TypeRegistry* reg) const {
+  if (!IsInitialized()) return "<empty>";
+  auto type_name = [reg](EventTypeId t) -> std::string {
+    if (reg != nullptr && static_cast<int>(t) < reg->size()) {
+      return reg->Name(t);
+    }
+    return "E" + std::to_string(t);
+  };
+  std::string out = SubtreeString(root_, reg);
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    out += i == 0 ? " WHERE " : " AND ";
+    const Predicate& p = predicates_[i];
+    out += type_name(p.left_type) + ".a" + std::to_string(p.left_attr);
+    if (p.kind == Predicate::Kind::kFilter) {
+      out += " % " + std::to_string(p.modulus) + " == 0";
+    } else {
+      out += " == " + type_name(p.right_type) + ".a" +
+             std::to_string(p.right_attr);
+    }
+  }
+  if (window_ != kNoWindow) {
+    out += " WITHIN " + std::to_string(window_) + "ms";
+  }
+  return out;
+}
+
 Query Query::Subquery(int op_idx) const {
   std::vector<QueryOp> ops;
   // Recursive post-order copy of the subtree into a fresh arena.

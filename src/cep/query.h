@@ -110,6 +110,14 @@ class Query {
   /// names when provided, otherwise "E<id>".
   std::string ToString(const TypeRegistry* reg = nullptr) const;
 
+  /// Full SASE-like specification: the pattern plus a WHERE term per
+  /// predicate (types referenced by name; WHERE needs no variable bindings
+  /// since references fall back to type names) and a WITHIN clause when the
+  /// window is bounded. ParseQuery(spec, reg) reconstructs a query with the
+  /// same Signature() — the print/parse round trip parser_fuzz_test checks.
+  /// `reg` must be the registry the query's types were interned in.
+  std::string ToSpecString(const TypeRegistry* reg = nullptr) const;
+
   /// Canonical structural identity: two queries (or projections, which are
   /// queries) with equal signatures detect the same patterns and can share
   /// placements across a workload (§6.2). Covers the operator structure,

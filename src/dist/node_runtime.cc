@@ -40,6 +40,61 @@ void NodeRuntime::OnInput(int task, int src_task, const Match& m,
   Process(task, src_task, m, out);
 }
 
+void NodeRuntime::OnEventBatch(const EventBatch& batch,
+                               std::vector<Output>* out) {
+  const size_t n = batch.size();
+  if (n == 0) return;
+  // Pre-compute per-(type, task) forwarding masks with the columnar
+  // kernels: one flat pass over the type column plus one per unary filter
+  // predicate, instead of a StructurallyMatches call per (row, task).
+  struct TaskMasks {
+    std::vector<int> tasks;
+    std::vector<std::vector<uint8_t>> masks;  // parallel to `tasks`
+  };
+  std::unordered_map<EventTypeId, TaskMasks> by_type;
+  for (size_t i = 0; i < n; ++i) by_type.try_emplace(batch.type[i]);
+  for (auto& [type, tm] : by_type) {
+    for (int task : deployment_->PrimitiveTasksFor(node_, type)) {
+      const Task& t = deployment_->task(task);
+      MUSE_CHECK(t.node == node_, "input routed to wrong node");
+      tm.tasks.push_back(task);
+      tm.masks.emplace_back();
+      if (t.target.PrimitiveTypes().size() == 1) {
+        ComputeUnaryPassMask(batch, type, t.target.predicates(),
+                             &tm.masks.back());
+      } else {
+        // Defensive: a non-singleton primitive target gets the exact
+        // scalar gate per row.
+        std::vector<uint8_t>& mask = tm.masks.back();
+        mask.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          mask[i] = static_cast<uint8_t>(
+              StructurallyMatches(t.target, Match::Single(batch.At(i))));
+        }
+      }
+    }
+  }
+  // Deliver in scalar order: row-major, task order within a row. Every
+  // delivery is logged exactly as OnInput would, so a crash replay of the
+  // log is independent of whether ingestion was batched.
+  for (size_t i = 0; i < n; ++i) {
+    const TaskMasks& tm = by_type.find(batch.type[i])->second;
+    if (tm.tasks.empty()) continue;
+    const Match m = Match::Single(batch.At(i));
+    for (size_t j = 0; j < tm.tasks.size(); ++j) {
+      const int task = tm.tasks[j];
+      if (!replaying_) log_.push_back(LoggedInput{task, -1, m});
+      ++processed_;
+      TaskCounters& counters = task_counters_[task];
+      ++counters.inputs;
+      if (tm.masks[j][i] != 0) {
+        out->push_back(Output{task, m});
+        ++counters.outputs;
+      }
+    }
+  }
+}
+
 void NodeRuntime::Process(int task, int src_task, const Match& m,
                           std::vector<Output>* out) {
   ++processed_;

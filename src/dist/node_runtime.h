@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cep/batch.h"
 #include "src/cep/evaluator.h"
 #include "src/dist/channel.h"
 #include "src/dist/deployment.h"
@@ -43,6 +44,17 @@ class NodeRuntime {
   /// call *is* a replay), runs the evaluator, and reports outputs.
   void OnInput(int task, int src_task, const Match& m,
                std::vector<Output>* out);
+
+  /// Columnar ingestion of a run of locally generated source events
+  /// (muse-batch): per-(type, task) forwarding decisions are pre-computed
+  /// by the flat predicate kernels over whole columns, then rows are
+  /// delivered in exactly the scalar order — row-major, task order within a
+  /// row — with every delivery appended to the durable log just like
+  /// OnInput. Crash-recovery replay therefore regenerates identical outputs
+  /// and channel sequence numbers whether the live run was batched or not.
+  /// Equivalent to calling OnInput(task, -1, Single(row)) for each row and
+  /// each of the node's primitive tasks of the row's type.
+  void OnEventBatch(const EventBatch& batch, std::vector<Output>* out);
 
   /// Exactly-once admission for a network message; returns false for
   /// duplicates (which must not be processed or logged).

@@ -84,6 +84,8 @@ RtExecutor::RtExecutor(const Deployment& dep, EvaluatorOptions eval,
     node_crashes_.push_back(registry->GetCounter("rt_crashes_total", labels));
   }
   wire_rejects_ = registry->GetCounter("rt_wire_rejected_frames_total");
+  rt_batches_ = registry->GetCounter("rt_inbox_batches_total");
+  rt_batch_rows_ = registry->GetCounter("rt_inbox_batch_rows_total");
   if (trace_spans_per_shard > 0) {
     for (int s = 0; s < transport_->num_shards(); ++s) {
       span_bufs_.push_back(
@@ -119,6 +121,10 @@ void RtExecutor::WorkerMain(int shard) {
     }
     return true;
   };
+
+  // Scratch batch reused across packets; always drained before the packet's
+  // credits are released.
+  EventBatch event_batch;
 
   for (;;) {
     // A wedged transport never delivers the remaining work (dead peer or
@@ -182,6 +188,20 @@ void RtExecutor::WorkerMain(int shard) {
         // A malformed packet is a transport bug, not a data condition;
         // account and drop rather than poison the node.
         wire_rejects_->Add(packet.frames);
+      } else if (transport_options_.batch_inbox) {
+        // Drain runs of consecutive untraced event frames into a columnar
+        // batch; anything else (messages, traced events, controls) breaks
+        // the run and is handled on the scalar path in its original
+        // position, so delivery/log/channel-seq order is exactly scalar.
+        for (const DecodedFrame& frame : frames.value()) {
+          if (frame.kind == FrameKind::kEvent && frame.trace.trace_id == 0) {
+            event_batch.Append(frame.event);
+            continue;
+          }
+          FlushEventBatch(packet.dst, &event_batch, batcher);
+          HandleFrame(packet.dst, frame, batcher, packet, pop_us, spans);
+        }
+        FlushEventBatch(packet.dst, &event_batch, batcher);
       } else {
         for (const DecodedFrame& frame : frames.value()) {
           HandleFrame(packet.dst, frame, batcher, packet, pop_us, spans);
@@ -248,6 +268,18 @@ void RtExecutor::HandleFrame(NodeId node, const DecodedFrame& frame,
     }
   }
   RouteOutputs(node, outs, batcher, /*replay=*/false, trace_id, spans);
+}
+
+void RtExecutor::FlushEventBatch(NodeId node, EventBatch* batch,
+                                 LinkBatcher* batcher) {
+  if (batch->empty()) return;
+  node_inputs_[node]->Add(batch->size());
+  rt_batches_->Add(1);
+  rt_batch_rows_->Add(batch->size());
+  std::vector<NodeRuntime::Output> outs;
+  nodes_[node].OnEventBatch(*batch, &outs);
+  RouteOutputs(node, outs, batcher);
+  batch->Clear();
 }
 
 void RtExecutor::RecordEvalSpan(obs::SpanBuffer* spans, uint64_t trace_id,

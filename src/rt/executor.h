@@ -126,12 +126,20 @@ class RtExecutor {
   }
   uint64_t NodeCrashes(NodeId n) const { return node_crashes_[n]->Value(); }
   uint64_t WireRejects() const { return wire_rejects_->Value(); }
+  /// Columnar inbox batches drained / rows they carried (0 when
+  /// `RtTransportOptions::batch_inbox` is off or no events flowed).
+  uint64_t BatchesDrained() const { return rt_batches_->Value(); }
+  uint64_t BatchRows() const { return rt_batch_rows_->Value(); }
 
  private:
   void WorkerMain(int shard);
   void HandleFrame(NodeId node, const DecodedFrame& frame,
                    LinkBatcher* batcher, const Packet& packet,
                    uint64_t pop_us, obs::SpanBuffer* spans);
+  /// Evaluates and drains an accumulated columnar event batch for `node`
+  /// (no-op when empty). Outputs route exactly as the per-frame path would
+  /// have routed them.
+  void FlushEventBatch(NodeId node, EventBatch* batch, LinkBatcher* batcher);
   void HandleCrash(NodeId node, LinkBatcher* batcher);
   void RouteOutputs(NodeId node, const std::vector<NodeRuntime::Output>& outs,
                     LinkBatcher* batcher, bool replay = false,
@@ -152,6 +160,8 @@ class RtExecutor {
   std::vector<obs::Counter*> node_net_bytes_;
   std::vector<obs::Counter*> node_crashes_;
   obs::Counter* wire_rejects_ = nullptr;
+  obs::Counter* rt_batches_ = nullptr;
+  obs::Counter* rt_batch_rows_ = nullptr;
   std::vector<std::unique_ptr<obs::SpanBuffer>> span_bufs_;
 };
 

@@ -46,6 +46,16 @@ struct RtTransportOptions {
   /// larger than the credit window could never be delivered.
   int batch_max_frames = 32;
 
+  /// Drain runs of consecutive untraced event frames within each delivered
+  /// packet into a columnar EventBatch and evaluate them through the
+  /// muse-batch predicate kernels instead of frame-at-a-time. Semantics-
+  /// preserving: deliveries, durable-log entries, and channel sequence
+  /// numbers are generated in exactly the scalar order, so crash replay
+  /// and the exactly-once filters behave identically; traced frames always
+  /// take the scalar path so their spans and trace propagation survive.
+  /// Off is the differential reference mode.
+  bool batch_inbox = true;
+
   /// One-way delivery delay applied to cross-node packets, in wall-clock
   /// microseconds (the rt analogue of SimOptions::network_delay_ms).
   /// Same-node loopback packets are delivered immediately.

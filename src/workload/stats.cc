@@ -33,9 +33,10 @@ Network EstimateNetworkFromTrace(const std::vector<Event>& trace,
   return net;
 }
 
-double EstimatePairSelectivity(const std::vector<Event>& trace,
-                               EventTypeId a, EventTypeId b, int attr,
-                               uint64_t window_ms, size_t max_pairs) {
+std::optional<double> EstimatePairSelectivity(const std::vector<Event>& trace,
+                                              EventTypeId a, EventTypeId b,
+                                              int attr, uint64_t window_ms,
+                                              size_t max_pairs) {
   MUSE_CHECK(attr >= 0 && attr < kNumAttrs, "attr out of range");
   // Sliding scan over the time-ordered trace: for each b-event, pair it
   // with the a-events in the preceding window (and vice versa via the
@@ -68,7 +69,7 @@ double EstimatePairSelectivity(const std::vector<Event>& trace,
     }
     (e.type == a ? recent_a : recent_b).push_back(&e);
   }
-  if (pairs == 0) return 1.0;
+  if (pairs == 0) return std::nullopt;  // no evidence, not an estimate
   return static_cast<double>(agreeing) / static_cast<double>(pairs);
 }
 
@@ -79,10 +80,13 @@ int CalibrateQuerySelectivities(Query* q, const std::vector<Event>& trace,
   for (Predicate p : q->predicates()) {
     if (p.kind == Predicate::Kind::kEquality &&
         p.left_attr == p.right_attr) {
-      p.selectivity = EstimatePairSelectivity(trace, p.left_type,
-                                              p.right_type, p.left_attr,
-                                              window_ms);
-      ++calibrated;
+      std::optional<double> estimate = EstimatePairSelectivity(
+          trace, p.left_type, p.right_type, p.left_attr, window_ms);
+      if (estimate.has_value()) {
+        p.selectivity = *estimate;
+        ++calibrated;
+      }
+      // else: no observed pairs — keep the modeled prior.
     }
     updated.push_back(p);
   }

@@ -2,6 +2,7 @@
 #define MUSE_WORKLOAD_STATS_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/cep/event.h"
@@ -28,15 +29,22 @@ Network EstimateNetworkFromTrace(const std::vector<Event>& trace,
 /// Estimated selectivity of the equality predicate `a.attr == b.attr`
 /// between types `a` and `b`: the fraction of (a-event, b-event) pairs
 /// within `window_ms` of each other that agree on the attribute. Sampling
-/// caps the pair count at `max_pairs` for long traces. Returns 1.0 when
-/// no pair was observed (no evidence of selectivity).
-double EstimatePairSelectivity(const std::vector<Event>& trace,
-                               EventTypeId a, EventTypeId b, int attr,
-                               uint64_t window_ms,
-                               size_t max_pairs = 200'000);
+/// caps the pair count at `max_pairs` for long traces.
+///
+/// Returns `nullopt` when zero pairs were observed: that is *absence of
+/// evidence*, not an estimate, and callers must fall back to their modeled
+/// prior. (An observed every-pair-agreed trace legitimately returns 1.0 —
+/// the two cases used to be conflated, which would have silently poisoned
+/// sampling-based estimation, ROADMAP item 3.)
+std::optional<double> EstimatePairSelectivity(const std::vector<Event>& trace,
+                                              EventTypeId a, EventTypeId b,
+                                              int attr, uint64_t window_ms,
+                                              size_t max_pairs = 200'000);
 
 /// Replaces each equality predicate's modeled selectivity in `q` with the
 /// trace-estimated value; returns the number of predicates updated.
+/// Predicates whose type pair yielded no observed pairs keep their modeled
+/// prior and are not counted as updated.
 int CalibrateQuerySelectivities(Query* q, const std::vector<Event>& trace,
                                 uint64_t window_ms);
 

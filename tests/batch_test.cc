@@ -1,0 +1,312 @@
+// muse-batch: columnar EventBatch and the flat predicate kernels, plus the
+// batch ingestion paths of QueryEngine/ProjectionEvaluator. The contract
+// under test everywhere: feeding a trace as batches emits exactly the same
+// match multiset as the scalar per-event path — on both the bulk
+// (order-insensitive, span <= eviction slack) and the ordered-fallback
+// ingestion modes, with NSEQ middles, and with negative attribute values
+// (the Euclidean-mod regression).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cep/batch.h"
+#include "src/cep/engine.h"
+#include "src/cep/match.h"
+#include "src/cep/oracle.h"
+#include "src/cep/query.h"
+#include "src/common/rng.h"
+
+namespace muse {
+namespace {
+
+Event Ev(EventTypeId type, uint64_t seq, uint64_t time, int64_t a0,
+         int64_t a1 = 0) {
+  Event e;
+  e.type = type;
+  e.seq = seq;
+  e.time = time;
+  e.attrs = {a0, a1};
+  return e;
+}
+
+bool SameEvent(const Event& a, const Event& b) {
+  return a.type == b.type && a.origin == b.origin && a.seq == b.seq &&
+         a.time == b.time && a.attrs == b.attrs;
+}
+
+// ---------------------------------------------------------------------------
+// Container + kernels
+// ---------------------------------------------------------------------------
+
+TEST(EventBatchTest, AppendAtRoundTrip) {
+  std::vector<Event> events = {Ev(0, 1, 10, -4, 7), Ev(2, 2, 10, 5, -1),
+                               Ev(1, 3, 25, 0, 0)};
+  events[1].origin = 3;
+
+  EventBatch b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.SpanMs(), 0u);
+  for (const Event& e : events) b.Append(e);
+  ASSERT_EQ(b.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(SameEvent(b.At(i), events[i])) << "row " << i;
+  }
+  EXPECT_EQ(b.SpanMs(), 15u);
+
+  EventBatch from = EventBatch::FromEvents(events);
+  ASSERT_EQ(from.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(SameEvent(from.At(i), events[i])) << "row " << i;
+  }
+
+  b.Clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.SpanMs(), 0u);
+}
+
+TEST(EventBatchTest, SelectTypeRowsAndGather) {
+  EventBatch b = EventBatch::FromEvents(
+      {Ev(0, 0, 0, 10), Ev(1, 1, 1, 11), Ev(0, 2, 2, 12), Ev(2, 3, 3, 13),
+       Ev(0, 4, 4, 14)});
+  std::vector<uint32_t> rows;
+  SelectTypeRows(b, 0, &rows);
+  EXPECT_EQ(rows, (std::vector<uint32_t>{0, 2, 4}));
+
+  std::vector<int64_t> keys;
+  GatherAttr(b, 0, rows, &keys);
+  EXPECT_EQ(keys, (std::vector<int64_t>{10, 12, 14}));
+
+  rows.clear();
+  SelectTypeRows(b, 3, &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(EventBatchTest, FilterRowsModAgreesWithScalarEvalOnNegatives) {
+  // The kernel and Predicate::Eval must share one modulo definition; with
+  // truncated `%` the rows holding -3 and -9 would (wrongly) survive a
+  // modulus-3 filter check against residue 0... they must not, while -6
+  // and -12 must.
+  std::vector<Event> events;
+  for (int64_t v = -12; v <= 12; ++v) {
+    events.push_back(Ev(0, static_cast<uint64_t>(v + 12),
+                        static_cast<uint64_t>(v + 12), v));
+  }
+  EventBatch b = EventBatch::FromEvents(events);
+  std::vector<uint32_t> rows;
+  SelectTypeRows(b, 0, &rows);
+  const size_t before = rows.size();
+  const size_t dropped = FilterRowsMod(b, /*attr=*/0, /*modulus=*/3, &rows);
+  EXPECT_EQ(before, rows.size() + dropped);
+
+  Predicate p = Predicate::Filter(0, 0, 3);
+  std::vector<uint32_t> want;
+  for (uint32_t i = 0; i < b.size(); ++i) {
+    if (p.Eval({b.At(i)})) want.push_back(i);
+  }
+  EXPECT_EQ(rows, want);
+  // Non-vacuity: negative multiples of 3 survive.
+  EXPECT_NE(std::find(rows.begin(), rows.end(), 0u), rows.end());  // -12
+}
+
+TEST(EventBatchTest, UnaryPassMaskMatchesScalarSingletonGate) {
+  // The mask the rt runtime uses for primitive-task forwarding must equal
+  // the scalar gate: StructurallyMatches on the singleton projection, which
+  // applies unary filters and treats binary equality as vacuous.
+  Query target = Query::Primitive(1);
+  target.AddPredicate(Predicate::Filter(1, 0, 2));
+  target.AddPredicate(Predicate::Filter(1, 1, 3));
+  // Binary predicate: vacuous on a single event, and must not zero the mask.
+  target.AddPredicate(Predicate::Equality(1, 0, 2, 0, 0.1));
+
+  Rng rng(42);
+  std::vector<Event> events;
+  for (uint64_t i = 0; i < 64; ++i) {
+    events.push_back(Ev(static_cast<EventTypeId>(rng.UniformInt(0, 2)), i, i,
+                        rng.UniformInt(-9, 9), rng.UniformInt(-9, 9)));
+  }
+  EventBatch b = EventBatch::FromEvents(events);
+  std::vector<uint8_t> mask;
+  ComputeUnaryPassMask(b, /*target_type=*/1, target.predicates(), &mask);
+  ASSERT_EQ(mask.size(), b.size());
+  int passed = 0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    const bool want = events[i].type == 1 &&
+                      StructurallyMatches(target, Match::Single(events[i]));
+    EXPECT_EQ(mask[i] != 0, want) << "row " << i;
+    passed += mask[i];
+  }
+  EXPECT_GT(passed, 0);                            // not all-reject
+  EXPECT_LT(passed, static_cast<int>(b.size()));   // not all-accept
+}
+
+// ---------------------------------------------------------------------------
+// Engine batch ingestion vs. the scalar path
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> ScalarKeys(const Query& q,
+                                    const std::vector<Event>& trace,
+                                    EvaluatorOptions opts = {}) {
+  QueryEngine engine(q, opts);
+  std::vector<Match> out;
+  for (const Event& e : trace) engine.OnEvent(e, &out);
+  engine.Flush(&out);
+  std::vector<std::string> keys;
+  for (const Match& m : CanonicalMatchSet(std::move(out))) {
+    keys.push_back(m.Key());
+  }
+  return keys;
+}
+
+/// Feeds `trace` as batches of `chunk` consecutive events and returns the
+/// canonical match keys; `stats_out` receives the main evaluator's stats.
+std::vector<std::string> BatchKeys(const Query& q,
+                                   const std::vector<Event>& trace,
+                                   size_t chunk, EvaluatorOptions opts = {},
+                                   EvaluatorStats* stats_out = nullptr) {
+  QueryEngine engine(q, opts);
+  std::vector<Match> out;
+  for (size_t i = 0; i < trace.size(); i += chunk) {
+    std::vector<Event> slice(
+        trace.begin() + static_cast<long>(i),
+        trace.begin() + static_cast<long>(std::min(i + chunk, trace.size())));
+    engine.OnBatch(EventBatch::FromEvents(slice), &out);
+  }
+  engine.Flush(&out);
+  if (stats_out != nullptr) *stats_out = engine.stats();
+  std::vector<std::string> keys;
+  for (const Match& m : CanonicalMatchSet(std::move(out))) {
+    keys.push_back(m.Key());
+  }
+  return keys;
+}
+
+std::vector<Event> DenseTrace(int length, int num_types, Rng& rng) {
+  std::vector<Event> trace;
+  uint64_t time = 0;
+  for (int i = 0; i < length; ++i) {
+    time += static_cast<uint64_t>(rng.UniformInt(0, 4));
+    trace.push_back(Ev(static_cast<EventTypeId>(rng.UniformInt(0, num_types - 1)),
+                       static_cast<uint64_t>(i), time, rng.UniformInt(-6, 6),
+                       rng.UniformInt(-6, 6)));
+  }
+  return trace;
+}
+
+TEST(EngineBatchTest, BulkModeMatchesScalarWithFilterAndEquality) {
+  Query q = Query::Seq({Query::Primitive(0), Query::Primitive(1)});
+  q.AddPredicate(Predicate::Filter(0, 0, 2));
+  q.AddPredicate(Predicate::Equality(0, 1, 1, 1, 0.2));
+  q.set_window(50);
+
+  Rng rng(7);
+  std::vector<Event> trace = DenseTrace(200, 3, rng);
+
+  // Unbounded slack: every batch takes the order-insensitive bulk path.
+  EvaluatorOptions opts;
+  opts.eviction_slack_ms = 1ULL << 40;
+  EvaluatorStats stats;
+  const auto scalar = ScalarKeys(q, trace, opts);
+  const auto batched = BatchKeys(q, trace, /*chunk=*/32, opts, &stats);
+  EXPECT_EQ(batched, scalar);
+  EXPECT_FALSE(scalar.empty());
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.batch_bulk, stats.batches);  // all bulk under huge slack
+  EXPECT_GT(stats.batch_rows_filtered, 0u);    // the mod-2 filter pre-drops
+}
+
+TEST(EngineBatchTest, OrderedFallbackMatchesScalarUnderTightSlack) {
+  Query q = Query::Seq({Query::Primitive(0), Query::Primitive(1)});
+  q.AddPredicate(Predicate::Filter(1, 0, 3));
+  q.set_window(40);
+
+  Rng rng(11);
+  std::vector<Event> trace = DenseTrace(200, 3, rng);
+
+  // Zero slack: batch spans exceed it, forcing the row-ordered fallback —
+  // which must still agree with the scalar path and still pre-filter.
+  EvaluatorStats stats;
+  const auto scalar = ScalarKeys(q, trace);
+  const auto batched = BatchKeys(q, trace, /*chunk=*/16, {}, &stats);
+  EXPECT_EQ(batched, scalar);
+  EXPECT_FALSE(scalar.empty());
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.batch_bulk, 0u);
+  EXPECT_GT(stats.batch_rows_filtered, 0u);
+}
+
+TEST(EngineBatchTest, NseqBatchesMatchScalarAndOracle) {
+  // Middles consume each batch before the positives do; with a bounded
+  // batch span <= slack this is match-preserving, and with the span
+  // exceeding the slack the engine must fall back to scalar replay. Sweep
+  // chunk sizes and slacks to hit both regimes.
+  Query q = Query::Nseq(Query::Primitive(0), Query::Primitive(1),
+                        Query::Primitive(2));
+  q.AddPredicate(Predicate::Filter(0, 0, 2));
+  q.set_window(60);
+
+  Rng rng(23);
+  std::vector<Event> trace = DenseTrace(160, 3, rng);
+
+  std::vector<std::string> oracle;
+  for (const Match& m : CanonicalMatchSet(OracleMatches(q, trace))) {
+    oracle.push_back(m.Key());
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  for (uint64_t slack : {uint64_t{0}, uint64_t{25}, uint64_t{1} << 40}) {
+    EvaluatorOptions opts;
+    opts.eviction_slack_ms = slack;
+    const auto scalar = ScalarKeys(q, trace, opts);
+    EXPECT_EQ(scalar, oracle) << "slack " << slack;
+    for (size_t chunk : {size_t{1}, size_t{7}, size_t{64}}) {
+      EXPECT_EQ(BatchKeys(q, trace, chunk, opts), scalar)
+          << "slack " << slack << " chunk " << chunk;
+    }
+  }
+}
+
+TEST(EngineBatchTest, WorkloadEngineBatchMatchesScalar) {
+  Query a = Query::Seq({Query::Primitive(0), Query::Primitive(1)});
+  a.AddPredicate(Predicate::Filter(0, 0, 2));
+  a.set_window(50);
+  Query b = Query::And({Query::Primitive(1), Query::Primitive(2)});
+  b.set_window(30);
+  const std::vector<Query> workload = {a, b};
+
+  Rng rng(31);
+  std::vector<Event> trace = DenseTrace(150, 3, rng);
+
+  WorkloadEngine scalar(workload);
+  std::vector<std::vector<Match>> scalar_out(workload.size());
+  for (const Event& e : trace) scalar.OnEvent(e, &scalar_out);
+  scalar.Flush(&scalar_out);
+
+  WorkloadEngine batched(workload);
+  std::vector<std::vector<Match>> batch_out(workload.size());
+  for (size_t i = 0; i < trace.size(); i += 20) {
+    std::vector<Event> slice(
+        trace.begin() + static_cast<long>(i),
+        trace.begin() + static_cast<long>(std::min(i + 20, trace.size())));
+    batched.OnBatch(EventBatch::FromEvents(slice), &batch_out);
+  }
+  batched.Flush(&batch_out);
+
+  ASSERT_EQ(scalar_out.size(), batch_out.size());
+  for (size_t qi = 0; qi < scalar_out.size(); ++qi) {
+    std::vector<std::string> want, got;
+    for (const Match& m : CanonicalMatchSet(std::move(scalar_out[qi]))) {
+      want.push_back(m.Key());
+    }
+    for (const Match& m : CanonicalMatchSet(std::move(batch_out[qi]))) {
+      got.push_back(m.Key());
+    }
+    EXPECT_EQ(got, want) << "query " << qi;
+    EXPECT_FALSE(want.empty()) << "query " << qi;
+  }
+}
+
+}  // namespace
+}  // namespace muse

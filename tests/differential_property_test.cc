@@ -97,7 +97,8 @@ std::string ReproString(const Query& q, const std::vector<Event>& trace) {
   return out;
 }
 
-std::vector<Event> RandomTrace(int num_types, int length, Rng& rng) {
+std::vector<Event> RandomTrace(int num_types, int length, Rng& rng,
+                               int64_t attr_lo = 0, int64_t attr_hi = 2) {
   std::vector<Event> trace;
   uint64_t time = 0;
   for (int i = 0; i < length; ++i) {
@@ -106,7 +107,8 @@ std::vector<Event> RandomTrace(int num_types, int length, Rng& rng) {
     e.seq = static_cast<uint64_t>(i);
     time += static_cast<uint64_t>(rng.UniformInt(0, 30));
     e.time = time;
-    e.attrs = {rng.UniformInt(0, 2), rng.UniformInt(0, 2)};
+    e.attrs = {rng.UniformInt(attr_lo, attr_hi),
+               rng.UniformInt(attr_lo, attr_hi)};
     trace.push_back(e);
   }
   return trace;
@@ -144,6 +146,101 @@ TEST(DifferentialPropertyTest, EngineMatchesOracleOnRandomInputs) {
            << EngineKeys(q, minimal).size() << ", oracle matches: "
            << OracleKeys(q, minimal).size();
   }
+}
+
+/// Feeds the trace as randomly sized consecutive batches (1-6 rows) through
+/// QueryEngine::OnBatch and returns the canonical match keys.
+std::vector<std::vector<uint64_t>> BatchEngineKeys(
+    const Query& q, const std::vector<Event>& trace,
+    const EvaluatorOptions& opts, Rng& rng, EvaluatorStats* stats = nullptr) {
+  QueryEngine engine(q, opts);
+  std::vector<Match> out;
+  size_t i = 0;
+  while (i < trace.size()) {
+    const size_t chunk = static_cast<size_t>(rng.UniformInt(1, 6));
+    std::vector<Event> slice(
+        trace.begin() + static_cast<long>(i),
+        trace.begin() + static_cast<long>(std::min(i + chunk, trace.size())));
+    engine.OnBatch(EventBatch::FromEvents(slice), &out);
+    i += slice.size();
+  }
+  engine.Flush(&out);
+  if (stats != nullptr) *stats = engine.stats();
+  return Keys(std::move(out));
+}
+
+TEST(DifferentialPropertyTest, BatchedEngineMatchesScalarAndOracle) {
+  // Columnar ingestion is a pure optimization: across random queries
+  // (including NSEQ and unary modulus filters), random batch slicings, and
+  // eviction slacks selecting the bulk path, the ordered fallback, or a
+  // mix, the batched engine must emit exactly the scalar engine's match
+  // set — which in turn must equal the oracle's. Attributes go negative so
+  // a truncated-`%` regression in any one of the three mod definitions
+  // (scalar Eval, batch kernel, oracle) would split the vote.
+  constexpr int kIterations = 50;
+  constexpr int kNumTypes = 5;
+  const uint64_t kSlacks[] = {0, 25, 1ULL << 40};
+  uint64_t bulk_batches = 0, ordered_batches = 0, rows_filtered = 0;
+  int nonempty = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    Rng rng(11700 + static_cast<uint64_t>(iter) * 53);
+    SelectivityModel model(kNumTypes, 0.05, 0.5, rng);
+    const int arity = static_cast<int>(rng.UniformInt(2, 4));
+    std::vector<EventTypeId> types;
+    for (int t = 0; t < kNumTypes && static_cast<int>(types.size()) < arity;
+         ++t) {
+      if (rng.UniformInt(0, 1) == 1 ||
+          kNumTypes - t <= arity - static_cast<int>(types.size())) {
+        types.push_back(static_cast<EventTypeId>(t));
+      }
+    }
+    const uint64_t window = static_cast<uint64_t>(rng.UniformInt(40, 300));
+    Query q = GenerateQuery(types, model, window, /*nseq_probability=*/0.33,
+                            rng);
+    // Unary modulus filters on positive types put the columnar pre-filter
+    // kernel on the critical path.
+    for (EventTypeId t : types) {
+      if (!q.PositiveTypes().Contains(t)) continue;
+      if (rng.UniformInt(0, 2) != 0) continue;
+      q.AddPredicate(Predicate::Filter(
+          t, static_cast<int>(rng.UniformInt(0, kNumAttrs - 1)),
+          rng.UniformInt(2, 3)));
+    }
+
+    std::vector<Event> trace =
+        RandomTrace(kNumTypes, static_cast<int>(rng.UniformInt(20, 60)), rng,
+                    /*attr_lo=*/-4, /*attr_hi=*/4);
+    const auto oracle = OracleKeys(q, trace);
+    if (!oracle.empty()) ++nonempty;
+
+    for (uint64_t slack : kSlacks) {
+      EvaluatorOptions opts;
+      opts.eviction_slack_ms = slack;
+      QueryEngine scalar(q, opts);
+      std::vector<Match> scalar_out;
+      for (const Event& e : trace) scalar.OnEvent(e, &scalar_out);
+      scalar.Flush(&scalar_out);
+      const auto scalar_keys = Keys(std::move(scalar_out));
+      ASSERT_EQ(scalar_keys, oracle)
+          << "scalar/oracle disagreement (iteration " << iter << ", slack "
+          << slack << "):\n" << ReproString(q, trace);
+
+      EvaluatorStats stats;
+      const auto batch_keys = BatchEngineKeys(q, trace, opts, rng, &stats);
+      ASSERT_EQ(batch_keys, scalar_keys)
+          << "batch/scalar disagreement (iteration " << iter << ", slack "
+          << slack << "):\n" << ReproString(q, trace);
+      bulk_batches += stats.batch_bulk;
+      ordered_batches += stats.batches - stats.batch_bulk;
+      rows_filtered += stats.batch_rows_filtered;
+    }
+  }
+  // The property must exercise matches, both ingestion modes, and the
+  // pre-filter kernel — never hold vacuously.
+  EXPECT_GT(nonempty, 0);
+  EXPECT_GT(bulk_batches, 0u);
+  EXPECT_GT(ordered_batches, 0u);
+  EXPECT_GT(rows_filtered, 0u);
 }
 
 TEST(DifferentialPropertyTest, StreamingNseqReleasesBeforeFlush) {

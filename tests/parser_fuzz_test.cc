@@ -127,6 +127,66 @@ TEST(ParserFuzzTest, RoundTripWithWindow) {
   }
 }
 
+TEST(ParserFuzzTest, RoundTripSpecStringsWithPredicates) {
+  // Query::ToSpecString renders the full spec — pattern, WHERE terms
+  // (unary modulus filters and pairwise equalities), WITHIN — and must
+  // re-parse to an identical signature. References are printed as type
+  // names, so this also fuzzes the parser's var-free reference resolution
+  // and the root-level `<primitive> WHERE ...` form against the
+  // keyword-lookalike name pool.
+  TypeRegistry reg = MakeRegistry();
+  constexpr int kIterations = 300;
+  int with_filters = 0, with_equalities = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    Rng rng(7700 + static_cast<uint64_t>(iter) * 29);
+    std::vector<EventTypeId> pool;
+    for (int t = 0; t < kNumNames; ++t) {
+      pool.push_back(static_cast<EventTypeId>(t));
+    }
+    for (size_t i = pool.size() - 1; i > 0; --i) {
+      std::swap(pool[i],
+                pool[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(i)))]);
+    }
+    pool.resize(static_cast<size_t>(rng.UniformInt(1, 5)));
+    Query q = RandomAst(pool, rng);
+
+    const int num_filters = static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < num_filters; ++i) {
+      q.AddPredicate(Predicate::Filter(
+          pool[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))],
+          static_cast<int>(rng.UniformInt(0, kNumAttrs - 1)),
+          rng.UniformInt(1, 64)));
+      ++with_filters;
+    }
+    if (pool.size() >= 2 && rng.UniformInt(0, 1) == 1) {
+      // Equality over two distinct pool types; the parser assigns its
+      // default selectivity, which Signature() deliberately omits.
+      q.AddPredicate(Predicate::Equality(
+          pool[0], static_cast<int>(rng.UniformInt(0, kNumAttrs - 1)),
+          pool[1], static_cast<int>(rng.UniformInt(0, kNumAttrs - 1)), 0.1));
+      ++with_equalities;
+    }
+    if (rng.UniformInt(0, 1) == 1) {
+      q.set_window(static_cast<uint64_t>(rng.UniformInt(1, 100000)));
+    }
+    ASSERT_TRUE(q.Validate()) << q.ToSpecString(&reg);
+
+    const std::string text = q.ToSpecString(&reg);
+    Result<Query> round = ParseQuery(text, &reg);
+    ASSERT_TRUE(round.ok()) << "text: " << text
+                            << "\nerror: " << round.error().message;
+    EXPECT_EQ(round.value().Signature(), q.Signature())
+        << "text: " << text
+        << "\nreparsed: " << round.value().ToSpecString(&reg);
+    EXPECT_EQ(round.value().window(), q.window()) << "text: " << text;
+  }
+  // The property must cover both predicate kinds, not hold vacuously.
+  EXPECT_GT(with_filters, 0);
+  EXPECT_GT(with_equalities, 0);
+}
+
 TEST(ParserFuzzTest, PatternAsTypeNameRoundTrips) {
   // Regression (found by RoundTripRandomAsts): a sole primitive whose event
   // type is literally named PATTERN used to be swallowed by the keyword

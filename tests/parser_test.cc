@@ -70,6 +70,68 @@ TEST(ParserTest, JidAliasMapsToAttr1) {
   EXPECT_EQ(q->window(), 5000u);
 }
 
+TEST(ParserTest, FilterTermParses) {
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery(
+      "PATTERN SEQ(Fail f, Kill k) WHERE f.a0 % 16 == 0 AND f.a1 == k.a1 "
+      "WITHIN 10s",
+      &reg);
+  ASSERT_TRUE(q.ok()) << q.error().message;
+  ASSERT_EQ(q->predicates().size(), 2u);
+  const Predicate& f = q->predicates()[0];
+  EXPECT_EQ(f.kind, Predicate::Kind::kFilter);
+  EXPECT_EQ(f.left_type, reg.Find("Fail"));
+  EXPECT_EQ(f.left_attr, 0);
+  EXPECT_EQ(f.modulus, 16);
+  EXPECT_DOUBLE_EQ(f.selectivity, 1.0 / 16.0);
+  EXPECT_EQ(q->predicates()[1].kind, Predicate::Kind::kEquality);
+}
+
+TEST(ParserTest, WhereRefsResolveTypeNamesWithoutBinding) {
+  // A WHERE reference may name the event type directly instead of a bound
+  // variable — the form Query::ToSpecString prints.
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery(
+      "SEQ(Fail, Kill) WHERE Fail.a0 % 4 == 0 AND Fail.a1 == Kill.a1", &reg);
+  ASSERT_TRUE(q.ok()) << q.error().message;
+  ASSERT_EQ(q->predicates().size(), 2u);
+  EXPECT_EQ(q->predicates()[0].modulus, 4);
+  // An unknown name is still an unbound-reference error, not a new type.
+  const int before = reg.size();
+  EXPECT_FALSE(
+      ParseQuery("SEQ(Fail, Kill) WHERE Nope.a0 % 4 == 0", &reg).ok());
+  EXPECT_EQ(reg.size(), before);
+}
+
+TEST(ParserTest, SolePrimitiveWithWhereClause) {
+  // Regression: the variable-binding branch used to swallow WHERE/WITHIN as
+  // a variable name after a root-level sole primitive, so this spec failed
+  // with trailing input.
+  TypeRegistry reg;
+  Result<Query> q = ParseQuery("Fail WHERE Fail.a0 % 2 == 0 WITHIN 5s", &reg);
+  ASSERT_TRUE(q.ok()) << q.error().message;
+  EXPECT_EQ(q->NumPrimitives(), 1);
+  ASSERT_EQ(q->predicates().size(), 1u);
+  EXPECT_EQ(q->predicates()[0].modulus, 2);
+  EXPECT_EQ(q->window(), 5000u);
+  // A variable literally named "Where" inside operator parens still binds.
+  Result<Query> var = ParseQuery(
+      "PATTERN SEQ(Fail Where, Kill k) WHERE Where.a0 == k.a0", &reg);
+  ASSERT_TRUE(var.ok()) << var.error().message;
+  EXPECT_EQ(var->predicates().size(), 1u);
+}
+
+TEST(ParserTest, FilterTermRejectsMalformedForms) {
+  TypeRegistry reg;
+  ASSERT_TRUE(ParseQuery("SEQ(A, B)", &reg).ok());  // intern A, B
+  // Zero modulus, nonzero residue, missing residue.
+  EXPECT_FALSE(ParseQuery("SEQ(A, B) WHERE A.a0 % 0 == 0", &reg).ok());
+  EXPECT_FALSE(ParseQuery("SEQ(A, B) WHERE A.a0 % 4 == 1", &reg).ok());
+  EXPECT_FALSE(ParseQuery("SEQ(A, B) WHERE A.a0 % 4 ==", &reg).ok());
+  // Same-type equality must be a parse error, not a CHECK crash.
+  EXPECT_FALSE(ParseQuery("SEQ(A, B) WHERE A.a0 == A.a1", &reg).ok());
+}
+
 TEST(ParserTest, UnboundVariableRejected) {
   TypeRegistry reg;
   Result<Query> q =

@@ -37,6 +37,35 @@ TEST(PredicateTest, FilterModulus) {
   EXPECT_DOUBLE_EQ(p.selectivity, 0.25);
 }
 
+TEST(PredicateTest, FilterUsesEuclideanModOnNegativeAttributes) {
+  // Regression: Eval used C++'s truncated `%`, for which -3 % 2 == -1, so
+  // every odd-modulus-residue negative attribute silently failed the
+  // filter. The Euclidean remainder is always in [0, modulus): -4 % 4 == 0
+  // and -6 % 4 == 2, matching how the residue classes partition the
+  // integers.
+  Predicate p = Predicate::Filter(3, 0, 4);
+  EXPECT_TRUE(p.Eval({Ev(3, -4)}));
+  EXPECT_TRUE(p.Eval({Ev(3, -8)}));
+  EXPECT_TRUE(p.Eval({Ev(3, 0)}));
+  EXPECT_FALSE(p.Eval({Ev(3, -1)}));
+  EXPECT_FALSE(p.Eval({Ev(3, -6)}));
+
+  EXPECT_EQ(EuclidMod(-4, 4), 0);
+  EXPECT_EQ(EuclidMod(-6, 4), 2);
+  EXPECT_EQ(EuclidMod(-1, 4), 3);
+  EXPECT_EQ(EuclidMod(7, 4), 3);
+  // Every value agrees with the mathematical definition: the remainder of
+  // value = q*m + r with r in [0, m).
+  for (int64_t v = -25; v <= 25; ++v) {
+    for (int64_t m : {1, 2, 3, 5, 7}) {
+      const int64_t r = EuclidMod(v, m);
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, m);
+      EXPECT_EQ((v - r) % m, 0) << "v=" << v << " m=" << m;
+    }
+  }
+}
+
 TEST(PredicateTest, TypesAndApplicability) {
   Predicate eq = Predicate::Equality(0, 0, 5, 0, 0.1);
   EXPECT_EQ(eq.Types(), TypeSet({0, 5}));

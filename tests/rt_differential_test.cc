@@ -86,7 +86,8 @@ std::vector<std::vector<std::string>> KeySets(
 /// triple and requires identical per-query canonical match sets.
 void ExpectDifferentialEqual(
     const Triple& t, const std::vector<std::pair<NodeId, uint64_t>>& failures,
-    int num_threads, uint64_t trace_sample_every = 0) {
+    int num_threads, uint64_t trace_sample_every = 0,
+    bool batch_inbox = true) {
   SimOptions sim_options;
   sim_options.eval.eviction_slack_ms = kHugeSlackMs;
   sim_options.failures = failures;
@@ -97,6 +98,7 @@ void ExpectDifferentialEqual(
   rt_options.eval.eviction_slack_ms = kHugeSlackMs;
   rt_options.failures = failures;
   rt_options.trace_sample_every = trace_sample_every;
+  rt_options.transport.batch_inbox = batch_inbox;
   rt::RtReport run = rt::RtRuntime(*t.dep, rt_options).Run(t.trace);
 
   ASSERT_EQ(run.matches_per_query.size(), sim.matches_per_query.size());
@@ -104,6 +106,17 @@ void ExpectDifferentialEqual(
   const auto got = KeySets(run.matches_per_query);
   for (size_t q = 0; q < want.size(); ++q) {
     EXPECT_EQ(got[q], want[q]) << "query " << q;
+  }
+  // The batched inbox must actually engage when enabled (untraced runs
+  // carry plain event frames, which are exactly what batches), and must
+  // stay fully disengaged when disabled.
+  const uint64_t batches =
+      run.telemetry->registry.GetCounter("rt_inbox_batches_total")->Value();
+  if (batch_inbox && trace_sample_every == 0) {
+    EXPECT_GT(batches, 0u);
+  }
+  if (!batch_inbox) {
+    EXPECT_EQ(batches, 0u);
   }
 }
 
@@ -171,6 +184,28 @@ TEST(RtDifferentialTest, NseqWorkloadsAgreeWithSimulator) {
     std::vector<std::pair<NodeId, uint64_t>> failures;
     if (seed % 2 == 0) failures = {{static_cast<NodeId>(seed % 4), 1100}};
     ExpectDifferentialEqual(t, failures, /*num_threads=*/seed % 2 ? 2 : 0);
+  }
+}
+
+// Columnar inbox batching (muse-batch) is a pure optimization: with the
+// batched drain disabled the runtime must land on the same match sets as
+// with it enabled (both equal to the simulator), across plan shapes,
+// NSEQ-heavy workloads, crash schedules, and multiplexed shards.
+TEST(RtDifferentialTest, BatchInboxOnAndOffAgreeWithSimulator) {
+  const char* kPlans[] = {"amuse", "centralized", "oop"};
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const std::string plan_kind = kPlans[seed % 3];
+    const double nseq_probability = seed % 2 ? 1.0 : 0.35;
+    SCOPED_TRACE("seed " + std::to_string(seed) + " plan " + plan_kind);
+    Triple t(6000 + seed, plan_kind, nseq_probability);
+    std::vector<std::pair<NodeId, uint64_t>> failures;
+    if (seed % 3 == 0) failures = {{static_cast<NodeId>(seed % 4), 1200}};
+    const int num_threads = seed % 2 ? 2 : 0;
+    for (bool batch_inbox : {false, true}) {
+      SCOPED_TRACE(batch_inbox ? "batched inbox" : "scalar inbox");
+      ExpectDifferentialEqual(t, failures, num_threads,
+                              /*trace_sample_every=*/0, batch_inbox);
+    }
   }
 }
 

@@ -77,17 +77,58 @@ TEST(PairSelectivityTest, ExactOnConstructedTrace) {
   for (int i = 0; i < 4; ++i) trace.push_back(Ev(0, 0, 10 + i, i));
   for (int i = 0; i < 4; ++i) trace.push_back(Ev(1, 0, 20 + i, i));
   FinalizeTraceOrder(&trace);
-  double sel = EstimatePairSelectivity(trace, 0, 1, 0, 1000);
-  EXPECT_NEAR(sel, 0.25, 1e-9);  // 4 agreeing of 16 pairs
+  std::optional<double> sel = EstimatePairSelectivity(trace, 0, 1, 0, 1000);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_NEAR(*sel, 0.25, 1e-9);  // 4 agreeing of 16 pairs
 }
 
 TEST(PairSelectivityTest, WindowLimitsPairs) {
   std::vector<Event> trace = {Ev(0, 0, 0, 7), Ev(1, 0, 5000, 7)};
   FinalizeTraceOrder(&trace);
-  // Outside the 1s window: no pairs -> no evidence -> 1.0.
-  EXPECT_DOUBLE_EQ(EstimatePairSelectivity(trace, 0, 1, 0, 1000), 1.0);
+  // Outside the 1s window: no pairs -> no evidence, not an estimate.
+  EXPECT_FALSE(EstimatePairSelectivity(trace, 0, 1, 0, 1000).has_value());
   // Inside a 10s window: the single pair agrees.
-  EXPECT_DOUBLE_EQ(EstimatePairSelectivity(trace, 0, 1, 0, 10'000), 1.0);
+  EXPECT_EQ(EstimatePairSelectivity(trace, 0, 1, 0, 10'000),
+            std::optional<double>(1.0));
+}
+
+TEST(PairSelectivityTest, NoEvidenceDistinctFromObservedOne) {
+  // Observed-1.0: every windowed pair agrees on the attribute -> a real
+  // estimate of 1.0.
+  std::vector<Event> all_agree;
+  for (int i = 0; i < 8; ++i) all_agree.push_back(Ev(0, 0, i * 10, 42));
+  for (int i = 0; i < 8; ++i) all_agree.push_back(Ev(1, 0, i * 10 + 5, 42));
+  FinalizeTraceOrder(&all_agree);
+  std::optional<double> observed =
+      EstimatePairSelectivity(all_agree, 0, 1, 0, 1000);
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_DOUBLE_EQ(*observed, 1.0);
+
+  // No-evidence: one of the types never appears at all -> nullopt, so the
+  // caller can keep its modeled prior instead of planning as if the
+  // predicate filtered nothing.
+  std::vector<Event> only_a;
+  for (int i = 0; i < 8; ++i) only_a.push_back(Ev(0, 0, i * 10, 42));
+  FinalizeTraceOrder(&only_a);
+  EXPECT_FALSE(EstimatePairSelectivity(only_a, 0, 1, 0, 1000).has_value());
+  EXPECT_FALSE(EstimatePairSelectivity({}, 0, 1, 0, 1000).has_value());
+}
+
+TEST(CalibrateTest, NoObservedPairsKeepsModeledPrior) {
+  TypeRegistry reg;
+  Query q = ParseQuery("SEQ(A a, B b) WHERE a.a0 == b.a0 WITHIN 5s", &reg)
+                .value();
+  ASSERT_DOUBLE_EQ(q.predicates()[0].selectivity, 0.1);  // parser default
+
+  // The trace only ever shows type A: zero (A, B) pairs. Calibration must
+  // leave the prior untouched rather than snapping the selectivity to 1.0.
+  std::vector<Event> trace;
+  for (int i = 0; i < 20; ++i) trace.push_back(Ev(0, 0, i * 10, i));
+  FinalizeTraceOrder(&trace);
+
+  int updated = CalibrateQuerySelectivities(&q, trace, 5000);
+  EXPECT_EQ(updated, 0);
+  EXPECT_DOUBLE_EQ(q.predicates()[0].selectivity, 0.1);
 }
 
 TEST(PairSelectivityTest, UniformKeysApproachInverseCardinality) {
@@ -101,8 +142,9 @@ TEST(PairSelectivityTest, UniformKeysApproachInverseCardinality) {
   topts.duration_ms = 30'000;
   topts.attr_cardinality[0] = 10;
   std::vector<Event> trace = GenerateGlobalTrace(net, topts, rng);
-  double sel = EstimatePairSelectivity(trace, 0, 1, 0, 2000);
-  EXPECT_NEAR(sel, 0.1, 0.02);  // 1/cardinality
+  std::optional<double> sel = EstimatePairSelectivity(trace, 0, 1, 0, 2000);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_NEAR(*sel, 0.1, 0.02);  // 1/cardinality
 }
 
 TEST(CalibrateTest, UpdatesEqualityPredicates) {
